@@ -1,0 +1,79 @@
+"""Synthetic workload builders shared by the benchmark files."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.chains import ChainSet, FailureChain
+from repro.core.events import Severity
+from repro.templates.store import TemplateStore
+
+
+
+def synthetic_workload(
+    n_templates: int,
+    chain_lengths: List[int],
+    *,
+    seed: int = 0,
+) -> Tuple[TemplateStore, ChainSet]:
+    """A template store with ``n_templates`` synthetic phrases and one
+    chain per requested length, built over disjoint token ranges."""
+    assert sum(chain_lengths) <= n_templates, "not enough templates"
+    store = TemplateStore()
+    tokens: List[int] = []
+    for i in range(n_templates):
+        template = store.add(f"synth phase {i:04d} event: *", Severity.UNKNOWN)
+        tokens.append(template.token)
+    chains = []
+    cursor = 0
+    for idx, length in enumerate(chain_lengths):
+        chain_tokens = tuple(tokens[cursor : cursor + length])
+        cursor += length
+        chains.append(FailureChain(f"SYN{idx}_len{length}", chain_tokens))
+    return store, ChainSet(chains)
+
+
+def chain_messages(
+    store: TemplateStore,
+    chain: FailureChain,
+    *,
+    dt: float = 2.0,
+    rng: Optional[np.random.Generator] = None,
+) -> List[Tuple[str, float]]:
+    """Concrete messages realizing exactly one chain, in order."""
+    rng = rng or np.random.default_rng(1)
+    out = []
+    for i, token in enumerate(chain.tokens):
+        text = store.get(token).text.replace(
+            "*", f"detail {int(rng.integers(0, 9999))}")
+        out.append((text, i * dt))
+    return out
+
+
+def cyclic_stream(
+    store: TemplateStore,
+    chains: ChainSet,
+    length: int,
+    *,
+    dt: float = 1.0,
+    benign_every: int = 0,
+    seed: int = 3,
+) -> List[Tuple[str, float]]:
+    """A test stream of ``length`` entries cycling over FC phrases,
+    optionally interleaving benign lines every ``benign_every`` entries
+    (Fig. 9's realistic mix)."""
+    rng = np.random.default_rng(seed)
+    all_tokens = [t for c in chains for t in c.tokens]
+    out: List[Tuple[str, float]] = []
+    for i in range(length):
+        t = i * dt
+        if benign_every and i % benign_every == benign_every - 1:
+            out.append((f"healthy chatter sample {int(rng.integers(1e6))}", t))
+            continue
+        token = all_tokens[i % len(all_tokens)]
+        text = store.get(token).text.replace(
+            "*", f"detail {int(rng.integers(0, 9999))}")
+        out.append((text, t))
+    return out

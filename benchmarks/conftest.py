@@ -1,0 +1,48 @@
+"""Shared infrastructure for the table/figure benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures as
+aligned text, written to ``benchmarks/results/<id>.txt`` *and* echoed to
+the real stdout (bypassing capture) so ``pytest benchmarks/
+--benchmark-only | tee`` shows the rows the paper reports.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Dict
+
+import pytest
+
+from repro.logsim import ClusterLogGenerator, system_by_name
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """emit(name, text): persist + display one regenerated artifact."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        real = getattr(sys, "__stdout__", None) or sys.stdout
+        real.write(f"\n{'=' * 72}\n[{name}]\n{text}\n")
+        real.flush()
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def generators() -> Dict[str, ClusterLogGenerator]:
+    """One seeded generator per Table II system."""
+    return {
+        name: ClusterLogGenerator(system_by_name(name))
+        for name in ("HPC1", "HPC2", "HPC3", "HPC4")
+    }
+
+
+@pytest.fixture(scope="session")
+def hpc3(generators) -> ClusterLogGenerator:
+    return generators["HPC3"]

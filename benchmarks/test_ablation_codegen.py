@@ -1,0 +1,61 @@
+"""Ablation — generated standalone predictor vs the library path.
+
+flex/bison's payoff is that the generated artifact is as fast as (or
+faster than) the generic engine.  This bench holds our codegen to the
+same standard: the emitted module must match the library's predictions
+exactly and not be meaningfully slower.
+"""
+
+from statistics import mean
+
+from repro.codegen import emit_predictor_source, load_predictor
+from repro.core import AarohiPredictor
+from repro.core.events import LogEvent
+from repro.reporting import render_table
+
+from _workloads import cyclic_stream, synthetic_workload
+
+
+def test_ablation_codegen(benchmark, emit):
+    store, chains = synthetic_workload(80, [6, 10, 18])
+    entries = cyclic_stream(store, chains, 500, benign_every=4)
+
+    source = emit_predictor_source(chains, store, timeout=1e9)
+    module = load_predictor(source)
+
+    library = AarohiPredictor.from_store(chains, store, timeout=1e9)
+    events = [LogEvent(t, "n0", m) for m, t in entries]
+
+    def run_library():
+        import time as _t
+        library.reset()
+        t0 = _t.perf_counter()
+        flags = [p.chain_id for e in events if (p := library.process(e))]
+        return (_t.perf_counter() - t0) * 1e3, flags
+
+    def run_generated():
+        import time as _t
+        predictor = module.Predictor()
+        t0 = _t.perf_counter()
+        flags = [c for m, ts in entries if (c := predictor.feed(m, ts))]
+        return (_t.perf_counter() - t0) * 1e3, flags
+
+    lib_times, lib_flags = zip(*[run_library() for _ in range(7)])
+    gen_times, gen_flags = zip(*[run_generated() for _ in range(7)])
+
+    predictor = module.Predictor()
+    benchmark(lambda: [predictor.feed(m, t) for m, t in entries[:100]])
+
+    t_lib = mean(lib_times[1:])
+    t_gen = mean(gen_times[1:])
+    rows = [
+        ("library (AarohiPredictor)", f"{t_lib:.3f}", len(lib_flags[0])),
+        ("generated standalone", f"{t_gen:.3f}", len(gen_flags[0])),
+        ("generated / library", f"{t_gen / t_lib:.2f}x", ""),
+    ]
+    emit("ablation_codegen", render_table(
+        ["Path", "500-entry stream (ms)", "#Predictions"],
+        rows, title="Ablation — generated module vs library"))
+
+    assert lib_flags[0] == gen_flags[0], "predictions must match exactly"
+    assert t_gen < t_lib * 1.5, "generated module must not be much slower"

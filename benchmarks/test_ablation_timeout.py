@@ -1,0 +1,43 @@
+"""Ablation — ΔT timeout sensitivity.
+
+The parsing timeout trades false negatives (chains abandoned on a slow
+gap) against staleness (holding partial matches forever).  Sweeps the
+timeout across a realistic HPC3 workload and reports recall; the
+paper's 4-minute choice should sit on the plateau.
+"""
+
+from repro.core import PredictorFleet, pair_predictions
+from repro.reporting import render_table
+
+TIMEOUTS = [5.0, 15.0, 30.0, 60.0, 120.0, 240.0, 600.0]
+
+
+def recall_at(gen, window, timeout):
+    fleet = PredictorFleet.from_store(gen.chains, gen.store, timeout=timeout)
+    report = fleet.run(window.events)
+    pairing = pair_predictions(report.predictions, window.failures)
+    detectable = sum(1 for i in window.injections if i.kind == "detectable")
+    return pairing.true_positives / detectable if detectable else 0.0
+
+
+def test_ablation_timeout_sensitivity(benchmark, emit, hpc3):
+    window = hpc3.generate_window(
+        duration=10_800.0, n_nodes=40, n_failures=16, n_spurious=0)
+
+    recalls = {}
+    for timeout in TIMEOUTS:
+        recalls[timeout] = recall_at(hpc3, window, timeout)
+
+    benchmark.pedantic(
+        recall_at, args=(hpc3, window, 240.0), rounds=1, iterations=1)
+
+    rows = [(f"{t:.0f}s", f"{recalls[t]:.1%}") for t in TIMEOUTS]
+    emit("ablation_timeout", render_table(
+        ["ΔT timeout", "Recall of detectable failures"], rows,
+        title="Ablation — timeout sensitivity (HPC3, 16 failures)"))
+
+    # Shape: recall non-decreasing in timeout; paper's 240 s on plateau.
+    values = [recalls[t] for t in TIMEOUTS]
+    assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+    assert recalls[240.0] == max(values)
+    assert recalls[5.0] < recalls[240.0]  # too-tight timeouts lose chains

@@ -1,0 +1,69 @@
+"""Fig. 12 — fraction of FC-related phrases in the test data.
+
+The paper's test data is the per-node log neighbourhood of the studied
+failures (that is how 30–47% of phrases can be FC-related even though
+"healthy node logs dominate" cluster-wide).  The bench therefore
+measures, per system, the token fraction over each failing node's
+episode window (from a few minutes before the chain starts until the
+failure), plus the cluster-wide fraction for contrast.
+
+Shape goals (Observation 4): episode-level fractions below 47% on
+every system, well above the cluster-wide fraction.
+"""
+
+from repro.core import PredictorFleet
+from repro.logsim import clip_window, split_by_node
+from repro.reporting import render_table
+
+
+def run_fractions(gen):
+    window = gen.generate_window(
+        duration=7200.0, n_nodes=30, n_failures=10)
+    fleet = PredictorFleet.from_store(
+        gen.chains, gen.store, timeout=gen.recommended_timeout)
+    fleet.run(window.events)
+
+    # Cluster-wide fraction.
+    cluster = sum(
+        p.stats.lines_tokenized for p in fleet._predictors.values()
+    ) / max(1, sum(p.stats.lines_seen for p in fleet._predictors.values()))
+
+    # Episode-level fraction: each failing node's window around its chain.
+    by_node = split_by_node(window.events)
+    episode_seen = episode_fc = 0
+    scanner = gen.store.compile_scanner(keep=gen.chains.token_set)
+    for injection in window.injections:
+        if injection.kind == "spurious":
+            continue
+        start = injection.phrase_times[0] - 300.0
+        end = (injection.failure_time or injection.phrase_times[-1]) + 1.0
+        events = clip_window(by_node[injection.node], start, end)
+        episode_seen += len(events)
+        episode_fc += sum(
+            1 for e in events if scanner.tokenize(e.message) is not None)
+    episode = episode_fc / max(1, episode_seen)
+    return episode, cluster
+
+
+def test_fig12_fc_related_fraction(benchmark, emit, generators):
+    rows = []
+    episodes = {}
+    first = True
+    for name, gen in generators.items():
+        if first:
+            episode, cluster = benchmark.pedantic(
+                run_fractions, args=(gen,), rounds=1, iterations=1)
+            first = False
+        else:
+            episode, cluster = run_fractions(gen)
+        episodes[name] = (episode, cluster)
+        rows.append((name, f"{100 * episode:.1f}%", f"{100 * cluster:.1f}%"))
+
+    emit("fig12_phrase_fraction", render_table(
+        ["System", "FC-related % (failure episodes)",
+         "FC-related % (cluster-wide)"],
+        rows, title="Fig. 12 — fraction of FC-related phrases"))
+
+    for name, (episode, cluster) in episodes.items():
+        assert 0.0 < episode < 0.47, (name, episode)
+        assert episode > cluster, (name, episode, cluster)

@@ -1,0 +1,44 @@
+"""Fig. 14 — average lead time (± std) per system.
+
+Shape goals (Observation 6): average lead times above 2 minutes on all
+four systems, std-dev near or below ~1.2 minutes.
+"""
+
+from repro.core import PredictorFleet, pair_predictions
+from repro.reporting import render_table
+
+
+def system_leadtimes(gen):
+    window = gen.generate_window(
+        duration=10_800.0, n_nodes=40, n_failures=14, n_spurious=0)
+    fleet = PredictorFleet.from_store(
+        gen.chains, gen.store, timeout=gen.recommended_timeout)
+    report = fleet.run(window.events)
+    return pair_predictions(report.predictions, window.failures)
+
+
+def test_fig14_system_lead_times(benchmark, emit, generators):
+    rows = []
+    stats = {}
+    first = True
+    for name, gen in generators.items():
+        if first:
+            pairing = benchmark.pedantic(
+                system_leadtimes, args=(gen,), rounds=1, iterations=1)
+            first = False
+        else:
+            pairing = system_leadtimes(gen)
+        avg_min = pairing.mean_lead_time() / 60.0
+        std_min = pairing.std_lead_time() / 60.0
+        stats[name] = (avg_min, std_min, pairing.true_positives)
+        rows.append((name, f"{avg_min:.2f}", f"{std_min:.2f}",
+                     pairing.true_positives))
+
+    emit("fig14_system_lead_times", render_table(
+        ["System", "Avg Lead Time (min)", "Std Dev (min)", "#Predicted"],
+        rows, title="Fig. 14 — lead times per system"))
+
+    for name, (avg_min, std_min, n) in stats.items():
+        assert n >= 8, (name, n)
+        assert avg_min >= 2.0, (name, avg_min)  # Observation 6: >2.3 min
+        assert std_min <= 1.5, (name, std_min)

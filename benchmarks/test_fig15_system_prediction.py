@@ -1,0 +1,45 @@
+"""Fig. 15 — average prediction time (± std) per system.
+
+Per-failure prediction times measured by the fleet on each system's
+test window.  Shape goals (Observation 6): averages far below the
+paper's 16 ms bound; per-system std-dev exceeding the single-workload
+std-dev of Fig. 8/9 (diverse node-specific test sequences).
+"""
+
+from repro.core import PredictorFleet, pair_predictions
+from repro.reporting import render_table
+
+
+def system_prediction_times(gen):
+    window = gen.generate_window(
+        duration=10_800.0, n_nodes=40, n_failures=14, n_spurious=0)
+    fleet = PredictorFleet.from_store(
+        gen.chains, gen.store, timeout=gen.recommended_timeout)
+    report = fleet.run(window.events)
+    return pair_predictions(report.predictions, window.failures)
+
+
+def test_fig15_system_prediction_times(benchmark, emit, generators):
+    rows = []
+    stats = {}
+    first = True
+    for name, gen in generators.items():
+        if first:
+            pairing = benchmark.pedantic(
+                system_prediction_times, args=(gen,), rounds=1, iterations=1)
+            first = False
+        else:
+            pairing = system_prediction_times(gen)
+        avg_ms = pairing.mean_prediction_time() * 1e3
+        std_ms = pairing.std_prediction_time() * 1e3
+        stats[name] = (avg_ms, std_ms)
+        rows.append((name, f"{avg_ms:.4f}", f"{std_ms:.4f}",
+                     pairing.true_positives))
+
+    emit("fig15_system_prediction_times", render_table(
+        ["System", "Avg Prediction Time (ms)", "Std Dev (ms)", "#Predicted"],
+        rows, title="Fig. 15 — prediction times per system"))
+
+    for name, (avg_ms, std_ms) in stats.items():
+        assert avg_ms < 16.0, (name, avg_ms)  # Observation 6 bound
+        assert std_ms < 16.0, (name, std_ms)

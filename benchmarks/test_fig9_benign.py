@@ -1,0 +1,65 @@
+"""Fig. 9 — prediction time with benign phrases in the stream.
+
+Same chain lengths as Fig. 8 but each stream interleaves benign lines
+that match no FC template.  Shape goals: times comparable to — and on
+average slightly below per processed entry — the all-FC case, because
+benign lines die in the scanner DFA without tokenization ("these times
+are comparatively lower than the former").
+"""
+
+from statistics import mean, pstdev
+
+from repro.baselines import AarohiMessageDetector, repeat_message_checks
+from repro.reporting import render_table
+
+from _workloads import chain_messages, synthetic_workload
+
+LENGTHS = [5, 10, 15, 20, 25, 30, 35, 40, 45, 50]
+
+
+def with_benign(entries):
+    """Interleave one benign line after every FC phrase (2× entries)."""
+    out = []
+    t = 0.0
+    for i, (message, _t) in enumerate(entries):
+        out.append((message, t))
+        t += 1.0
+        out.append((f"pcieport 0000:00:03.0: [{i}] Replay Timer Timeout", t))
+        t += 1.0
+    return out
+
+
+def test_fig9_with_benign_phrases(benchmark, emit):
+    store, chains = synthetic_workload(300, LENGTHS)
+    detector = AarohiMessageDetector(chains, store, timeout=1e9)
+
+    rows = []
+    per_entry = {}
+    for chain in chains:
+        entries = with_benign(chain_messages(store, chain))
+        runs = repeat_message_checks(detector, entries, repeats=9)
+        times = [r.msecs for r in runs]
+        assert all(r.flagged for r in runs)
+        rows.append((len(chain), f"{mean(times):.4f}", f"{pstdev(times):.4f}"))
+        per_entry[len(chain)] = mean(times) / len(entries)
+
+    mid = chains[f"SYN{LENGTHS.index(25)}_len25"]
+    entries = with_benign(chain_messages(store, mid))
+
+    def check():
+        detector.reset()
+        return [detector.observe_message(m, t) for m, t in entries]
+
+    benchmark(check)
+
+    emit("fig9_benign_phrases", render_table(
+        ["Chain Length (#Phrases)", "Mean Time (ms)", "Std. Dev. (ms)"],
+        rows,
+        title="Fig. 9 — prediction time with benign phrases interleaved"))
+
+    # Benign entries are cheaper than FC entries: per-entry cost in the
+    # mixed stream stays well under the all-FC per-entry cost bound.
+    fc_only_runs = repeat_message_checks(
+        detector, chain_messages(store, mid), repeats=9)
+    fc_per_entry = mean(r.msecs for r in fc_only_runs) / len(mid)
+    assert per_entry[25] < fc_per_entry * 1.35

@@ -1,0 +1,62 @@
+"""Tables I, II, VII, VIII — the paper's descriptive tables, regenerated
+from the code's own inventories (so they stay true to what is built)."""
+
+from repro.logsim import ALL_SYSTEMS, catalog_for
+from repro.reporting import render_table
+from repro.training.metrics import ConfusionCounts
+
+
+def test_table1_log_variations(benchmark, emit):
+    rows = [
+        ("Processor", "Haswell, IvyBridge", "AMD Opteron", "Haswell, KNL"),
+        ("Job Scheduler", "Slurm", "Torque", "Slurm"),
+        ("Interconnect", "Aries (DragonFly)", "Gemini (Torus)", "Aries (DragonFly)"),
+        ("Benign templates", *(str(len(catalog_for(f).benign))
+                               for f in ("xc30", "xe6", "xc40"))),
+        ("Anomaly templates", *(str(len(catalog_for(f).anomalies))
+                                for f in ("xc30", "xe6", "xc40"))),
+    ]
+    catalogs = benchmark(lambda: [catalog_for(f) for f in ("xc30", "xe6", "xc40")])
+    assert len(catalogs) == 3
+    emit("table1_log_variations", render_table(
+        ["Feature", "Cray XC30", "Cray XE6", "Cray XC40"], rows,
+        title="Table I — log variations across simulated families"))
+
+
+def test_table2_system_logs(benchmark, emit):
+    rows = benchmark(lambda: [
+        (c.name, c.time_span, c.log_size, f"{c.n_nodes} nodes",
+         c.describe()["Type"])
+        for c in ALL_SYSTEMS
+    ])
+    assert len(rows) == 4
+    emit("table2_system_logs", render_table(
+        ["System", "Time Span", "Size", "Scale", "Type"], rows,
+        title="Table II — system logs (simulated equivalents)"))
+
+
+def test_table7_efficiency_formulae(benchmark, emit):
+    c = benchmark(lambda: ConfusionCounts(tp=15, fp=2, tn=80, fn=3))
+    rows = [
+        ("Recall(%) = TP/(TP+FN)", f"{100 * c.recall:.1f}"),
+        ("Precision(%) = TP/(TP+FP)", f"{100 * c.precision:.1f}"),
+        ("Accuracy(%) = (TP+TN)/all", f"{100 * c.accuracy:.1f}"),
+        ("FNR(%) = FN/(TP+FN)", f"{100 * c.false_negative_rate:.1f}"),
+    ]
+    emit("table7_efficiency_formulae", render_table(
+        ["Formula", "example (TP=15 FP=2 TN=80 FN=3)"], rows,
+        title="Table VII — efficiency formulae (implemented in "
+              "repro.training.metrics)"))
+
+
+def test_table8_comparative_analysis(benchmark, emit):
+    rows = benchmark(lambda: [
+        ("DeepLog", "LSTM top-g", "No", "N/A", "per entry", "yes"),
+        ("CloudSeer", "Automatons, FSMs", "N/A", "N/A", "per entry", "yes"),
+        ("Desh", "LSTM chains", "No", "yes", "per entry", "yes"),
+        ("Aarohi", "Compiler-based", "Yes", "≈3 min", "per chain", "yes"),
+    ])
+    emit("table8_comparative", render_table(
+        ["Solution", "Approach", "Unsupervised", "Lead Time",
+         "Test-time metric", "Online"], rows,
+        title="Table VIII — comparative analysis (implemented subset)"))

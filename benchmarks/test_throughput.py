@@ -1,0 +1,66 @@
+"""Real-time feasibility: sustained fleet throughput vs cluster log rate.
+
+The paper's challenge #2: "the pace of analyzing incoming event logs by
+the predictor should be compatible to the inter-arrival times of the
+consecutive system logs".  This bench measures the fleet's sustained
+events/second on a realistic mixed stream and compares it against each
+Table II system's aggregate log rate — the margin is the real-time
+feasibility headroom the placement model consumes.
+"""
+
+import time
+
+from repro.core import PredictorFleet
+from repro.logsim import ClusterProfile, evaluate_placement
+from repro.reporting import render_table
+
+
+def measure_throughput(gen, n_events=20_000):
+    window = gen.generate_window(
+        duration=7200.0, n_nodes=40, n_failures=10,
+        benign_rate_hz=max(gen.config.benign_rate_hz, 0.02))
+    events = window.events
+    while len(events) < n_events:
+        events = events + events
+    events = events[:n_events]
+    fleet = PredictorFleet.from_store(
+        gen.chains, gen.store, timeout=gen.recommended_timeout)
+    t0 = time.perf_counter()
+    for event in events:
+        fleet.process(event)
+    elapsed = time.perf_counter() - t0
+    return n_events / elapsed, elapsed / n_events
+
+
+def test_realtime_throughput(benchmark, emit, generators):
+    rows = []
+    first = True
+    for name, gen in generators.items():
+        if first:
+            events_per_s, per_event = benchmark.pedantic(
+                measure_throughput, args=(gen,), rounds=1, iterations=1)
+            first = False
+        else:
+            events_per_s, per_event = measure_throughput(gen)
+        cluster_rate = gen.config.n_nodes * gen.config.benign_rate_hz
+        margin = events_per_s / cluster_rate
+        placement = evaluate_placement(
+            ClusterProfile(n_nodes=gen.config.n_nodes,
+                           log_rate_hz=gen.config.benign_rate_hz),
+            strategy="hss", per_message_cost_s=per_event)
+        rows.append((
+            name,
+            f"{events_per_s:,.0f}",
+            f"{cluster_rate:,.0f}",
+            f"{margin:.0f}x",
+            "yes" if placement.feasible else "NO",
+        ))
+        # Real-time requirement: one predictor core outpaces the whole
+        # cluster's healthy log rate with a wide margin.
+        assert margin > 10.0, (name, margin)
+        assert placement.feasible, name
+    emit("throughput_realtime", render_table(
+        ["System", "fleet events/s (1 core)", "cluster log rate (msg/s)",
+         "headroom", "HSS placement feasible"],
+        rows, title="Real-time feasibility: sustained throughput vs "
+                    "aggregate log rate"))

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Cross-system adaptation (Table IX): one predictor, four foreign
+systems.
+
+Takes the predictor trained on Cray XC40 logs and adapts it to
+(a) Cray XK and IBM BG/P — semantically equivalent phrases, so the
+scanner remaps and the grammar rules survive untouched; and
+(b) Cassandra and Hadoop — different context, forcing rule
+regeneration.  Then proves the remapped BG/P predictor still flags the
+same failure chain from BG/P-syntax log lines.
+
+Run:  python examples/cross_system_adaptation.py
+"""
+
+from repro.adapt import TABLE9, plan_adaptation
+from repro.core import AarohiPredictor, LogEvent
+from repro.logsim import ClusterLogGenerator, HPC3
+from repro.reporting import render_table
+
+
+def main() -> None:
+    gen = ClusterLogGenerator(HPC3, seed=17)
+    xc_token_of = {key: gen.token_of(key) for key in gen.catalog.by_key()}
+
+    rows = []
+    stores = {}
+    for system, phrases in TABLE9.items():
+        store, report = plan_adaptation(
+            system, phrases, gen.store, xc_token_of, gen.chains)
+        stores[system] = store
+        rows.append((
+            system, report.strategy,
+            f"{report.equivalent_coverage:.0%}",
+            report.remapped, report.added,
+            "unchanged" if report.rules_unchanged else "REGENERATE",
+            f"{report.scanner_rebuild_seconds * 1e3:.2f} ms",
+        ))
+    print(render_table(
+        ["System", "Strategy", "XC-equivalent", "Remapped", "Added",
+         "Grammar rules", "Rebuild time"],
+        rows, title="Table IX — adaptation outcomes"))
+
+    # Prove the BG/P remap end-to-end: BG/P-syntax messages, XC rules.
+    print("\nReplaying an FC_mce failure episode in BG/P log syntax:")
+    bgp_messages = [
+        "Machine Check Exception: bank 4 deadbeef",  # unchanged template
+        "Node DDR correctable single symbol error(s) rank 2",  # BG/P P3
+        "EDAC MC0: uncorrected error page 0x9f00",  # unchanged template
+        "Kernel panic: soft-lockup: hung tasks on cpu 3",  # BG/P P4
+        "Kernel panic not syncing: fatal exception",  # unchanged template
+    ]
+    predictor = AarohiPredictor.from_store(
+        gen.chains, stores["HPC6 (IBM-BG/P)"], timeout=240.0)
+    for i, message in enumerate(bgp_messages):
+        prediction = predictor.process(
+            LogEvent(float(i * 4), "R01-M0-N04", message))
+        marker = f"  → FLAGGED {prediction.chain_id}" if prediction else ""
+        print(f"  [{i * 4:>3}s] {message[:58]:<58}{marker}")
+
+    print("\nSame grammar, new scanner — the paper's portability claim.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Online adaptation + deployment: learn new failure chains in
+production, then compile the enriched predictor to a standalone module.
+
+Demonstrates the paper's closing claim — Aarohi's automation permits
+"unsupervised dynamic re-training and re-generation of a new parser for
+enhanced FCs as they are being observed" — and the Fig. 6 "binary"
+step via :mod:`repro.codegen`.
+
+Run:  python examples/online_adaptation.py
+"""
+
+from pathlib import Path
+import tempfile
+
+from repro.codegen import emit_predictor_source, load_predictor
+from repro.core import ChainSet
+from repro.core.adaptive import AdaptiveFleet
+from repro.logsim import ClusterLogGenerator, HPC3
+from repro.training import terminal_tokens
+
+
+def main() -> None:
+    gen = ClusterLogGenerator(HPC3, seed=55)
+
+    # Deliberately train on a *subset* of the real failure modes: the
+    # fleet starts blind to FC_gpu and FC_lustre.
+    known = ChainSet([c for c in gen.chains
+                      if c.chain_id not in ("FC_gpu", "FC_lustre")])
+    print(f"Deployed with {len(known)} of {len(gen.chains)} failure "
+          f"chains trained.\n")
+
+    terminals = terminal_tokens(
+        gen.store, ["node down", "node *", "shutting down"])
+    scanner = gen.store.compile_scanner()
+    anomaly_tokens = {
+        gen.token_of(e.key) for e in gen.catalog.anomalies
+    } - terminals
+    fleet = AdaptiveFleet(
+        known, scanner.tokenize, terminals,
+        relevant_tokens=anomaly_tokens,
+        timeout=gen.recommended_timeout, min_support=2)
+
+    # Stream several windows of cluster life; unpredicted deaths teach.
+    predictions = 0
+    for epoch in range(6):
+        window = gen.generate_window(
+            duration=7200.0, n_nodes=30, n_failures=10, n_spurious=0,
+            start_time=epoch * 10_000.0)
+        flags = fleet.run(window.events)
+        predictions += len(flags)
+        learned = [a for a in fleet.adaptations]
+        print(f"  window {epoch}: {len(flags):>2} predictions, "
+              f"{len(learned)} chains learned so far")
+
+    print("\nLearned chains:")
+    for event in fleet.adaptations:
+        print(f"  {event.chain_id}: tokens {event.tokens} "
+              f"(confirmed on node {event.node})")
+
+    # Ship it: compile the enriched chain set to a standalone module.
+    source = emit_predictor_source(
+        fleet.chains, gen.store, timeout=gen.recommended_timeout)
+    out = Path(tempfile.gettempdir()) / "aarohi_hpc3_generated.py"
+    out.write_text(source)
+    module = load_predictor(source)
+    print(f"\nGenerated standalone predictor: {out} "
+          f"({len(source.splitlines())} lines, zero imports)")
+
+    # Smoke-test the generated module on a learned chain.
+    if fleet.adaptations:
+        tokens = fleet.adaptations[0].tokens
+        predictor = module.Predictor()
+        result = None
+        for i, token in enumerate(tokens):
+            result = predictor.feed_token(token, float(i))
+        print(f"Standalone module flags the learned chain: {result!r}")
+
+
+if __name__ == "__main__":
+    main()

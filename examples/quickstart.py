@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: predict node failures on a synthetic Cray log stream.
+
+Walks the paper's core loop end to end in ~30 lines of user code:
+generate a cluster log window for HPC3 (Table II), build a per-node
+predictor fleet from the trained failure chains, stream the log
+through it, and report lead times to the injected failures.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import PredictorFleet, pair_predictions
+from repro.logsim import ClusterLogGenerator, HPC3
+from repro.reporting import render_table
+
+
+def main() -> None:
+    # 1. A simulated production system: Cray XC40, 1630 nodes (Table II).
+    gen = ClusterLogGenerator(HPC3, seed=2026)
+    print(f"System: {HPC3.name} ({HPC3.describe()['Type']}, "
+          f"{HPC3.n_nodes} nodes)")
+    print(f"Trained failure chains: {len(gen.chains)} "
+          f"(lengths {sorted(len(c) for c in gen.chains)})")
+
+    # 2. One hour of cluster life on 24 nodes with 6 failing.
+    window = gen.generate_window(duration=3600.0, n_nodes=24, n_failures=6)
+    print(f"Generated {window.n_events} log events, "
+          f"{len(window.failures)} node failures injected\n")
+
+    # 3. The Aarohi predictor fleet: one instance per node, all sharing
+    #    the generated scanner DFA and chain rules.
+    fleet = PredictorFleet.from_store(
+        gen.chains, gen.store, timeout=gen.recommended_timeout)
+    report = fleet.run(window.events)
+
+    # 4. Pair predictions with ground truth and report lead times.
+    pairing = pair_predictions(report.predictions, window.failures)
+    rows = [
+        (r.failure.node, r.prediction.chain_id,
+         f"{r.effective_lead_time / 60:.2f}",
+         f"{r.prediction.prediction_time * 1e3:.3f}")
+        for r in pairing.matched
+    ]
+    print(render_table(
+        ["node", "matched chain", "lead time (min)", "prediction (ms)"],
+        rows, title="Predicted node failures"))
+
+    print(f"\nPredicted {pairing.true_positives}/{len(window.failures)} "
+          f"failures ({len(pairing.missed_failures)} used chains the "
+          f"trainer never saw)")
+    print(f"Mean lead time: {pairing.mean_lead_time() / 60:.2f} min — "
+          f"enough for process migration (≈3.1 s) many times over.")
+    print(f"FC-related phrase fraction: {report.fc_related_fraction:.1%} "
+          f"(the rest never left the scanner)")
+
+
+if __name__ == "__main__":
+    main()

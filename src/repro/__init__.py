@@ -1,0 +1,45 @@
+"""repro — a full reproduction of *Aarohi: Making Real-Time Node
+Failure Prediction Feasible* (Das, Mueller, Rountree; IPDPS 2020).
+
+Quick start::
+
+    from repro.logsim import ClusterLogGenerator, HPC3
+    from repro.core import PredictorFleet, pair_predictions
+
+    gen = ClusterLogGenerator(HPC3, seed=7)
+    window = gen.generate_window(duration=3600, n_nodes=24, n_failures=6)
+    fleet = PredictorFleet.from_store(gen.chains, gen.store,
+                                      timeout=gen.recommended_timeout)
+    report = fleet.run(window.events)
+    pairing = pair_predictions(report.predictions, window.failures)
+    print(pairing.mean_lead_time(), "s mean lead time")
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.core` — the paper's contribution: FC→rule translation,
+  generated grammars, the online predictor, per-node fleet, lead times
+* :mod:`repro.regexlib` / :mod:`repro.lexgen` / :mod:`repro.parsegen`
+  — from-scratch flex/bison substrate (regex→NFA→DFA, LALR(1) tables)
+* :mod:`repro.templates` — phrase templating (+ Drain/Spell baselines)
+* :mod:`repro.logsim` — synthetic Cray-style cluster log generation
+* :mod:`repro.nnlib` / :mod:`repro.training` — numpy LSTM + Phase 1
+* :mod:`repro.baselines` — Desh/DeepLog/CloudSeer comparators
+* :mod:`repro.mitigation` — proactive fault-tolerance economics
+* :mod:`repro.adapt` — cross-system portability (Table IX)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "adapt",
+    "baselines",
+    "core",
+    "lexgen",
+    "logsim",
+    "mitigation",
+    "nnlib",
+    "parsegen",
+    "regexlib",
+    "templates",
+    "training",
+]

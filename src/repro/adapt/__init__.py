@@ -1,0 +1,30 @@
+"""Cross-system portability (Table IX, §IV Adaptability).
+
+* :mod:`.catalogs` — phrase inventories for Cray XK, BG/P, Cassandra,
+  Hadoop, with XC semantic equivalences
+* :mod:`.remap` — scanner remapping vs rule regeneration machinery
+"""
+
+from .catalogs import (
+    CASSANDRA,
+    HADOOP,
+    HPC5_CRAY_XK,
+    HPC6_BGP,
+    TABLE9,
+    AdaptPhrase,
+    coverage,
+)
+from .remap import AdaptationReport, plan_adaptation, remap_store
+
+__all__ = [
+    "AdaptPhrase",
+    "AdaptationReport",
+    "CASSANDRA",
+    "HADOOP",
+    "HPC5_CRAY_XK",
+    "HPC6_BGP",
+    "TABLE9",
+    "coverage",
+    "plan_adaptation",
+    "remap_store",
+]

@@ -1,0 +1,77 @@
+"""Cross-system phrase catalogs (Table IX).
+
+Phrase inventories for the four additional systems of the adaptability
+study — two HPC (Cray XK, IBM BG/P) and two distributed systems
+(Cassandra, Hadoop) — with the paper's own example phrases P1–P6.  For
+the HPC pair, most phrases are semantic equivalents of Cray XC phrases
+(scanner remapping suffices); for the DS pair the context differs, so
+rules must be regenerated (§IV Adaptability).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.events import Severity
+
+
+@dataclass(frozen=True)
+class AdaptPhrase:
+    """One Table IX phrase: template + the XC-equivalent key, if any."""
+
+    key: str  # P1..P6 within its system
+    template: str
+    severity: Severity
+    xc_equivalent: Optional[str]  # anomaly key in the XC catalog, or None
+
+
+HPC5_CRAY_XK: List[AdaptPhrase] = [
+    AdaptPhrase("P1", "GPU* PMU communication error", Severity.ERRONEOUS, "seastar"),
+    AdaptPhrase("P2", "L0 heartbeat fault *", Severity.ERRONEOUS, "hb_fault"),
+    AdaptPhrase("P3", "Voltage Fault *", Severity.ERRONEOUS, "volt_fault"),
+    AdaptPhrase("P4", "Machine Check Exception (MCE) *", Severity.ERRONEOUS, "mce"),
+    AdaptPhrase("P5", "Kernel Panic, Call Trace: *", Severity.ERRONEOUS, "kpanic"),
+    AdaptPhrase("P6", "GPU* memory page fault", Severity.ERRONEOUS, "seastar"),
+]
+
+HPC6_BGP: List[AdaptPhrase] = [
+    AdaptPhrase("P1", "MMCS detected error: power module *", Severity.ERRONEOUS, "volt_fault"),
+    AdaptPhrase("P2", "Network link errors detected *", Severity.UNKNOWN, "aries_lcb"),
+    AdaptPhrase("P3", "Node DDR correctable single symbol error(s) *", Severity.UNKNOWN, "ecc_corr"),
+    AdaptPhrase("P4", "Kernel panic: soft-lockup: hung tasks *", Severity.ERRONEOUS, "soft_lockup"),
+    AdaptPhrase("P5", "Kill job * timed out", Severity.UNKNOWN, "oom"),
+    AdaptPhrase("P6", "Node System has halted *", Severity.ERRONEOUS, "node_halt"),
+]
+
+CASSANDRA: List[AdaptPhrase] = [
+    AdaptPhrase("P1", "Unable to lock JVM memory *", Severity.UNKNOWN, None),
+    AdaptPhrase("P2", "Server running in degraded mode *", Severity.UNKNOWN, None),
+    AdaptPhrase("P3", "Not starting RPC server as requested *", Severity.UNKNOWN, None),
+    AdaptPhrase("P4", "No host ID found *", Severity.UNKNOWN, None),
+    AdaptPhrase("P5", "Exception in thread Thread* ", Severity.ERRONEOUS, None),
+    AdaptPhrase("P6", "Exiting: error while processing commit log *", Severity.ERRONEOUS, None),
+]
+
+HADOOP: List[AdaptPhrase] = [
+    AdaptPhrase("P1", "No node available for block *", Severity.UNKNOWN, None),
+    AdaptPhrase("P2", "Could not obtain block *", Severity.UNKNOWN, None),
+    AdaptPhrase("P3", "DFS Read: java IOException *", Severity.UNKNOWN, None),
+    AdaptPhrase("P4", "No live nodes contain current block *", Severity.UNKNOWN, None),
+    AdaptPhrase("P5", "DFSClient: Failed to connect *", Severity.ERRONEOUS, None),
+    AdaptPhrase("P6", "NameNode: shutdown msg: *", Severity.ERRONEOUS, None),
+]
+
+TABLE9: Dict[str, List[AdaptPhrase]] = {
+    "HPC5 (Cray-XK*)": HPC5_CRAY_XK,
+    "HPC6 (IBM-BG/P)": HPC6_BGP,
+    "Cassandra": CASSANDRA,
+    "Hadoop": HADOOP,
+}
+
+
+def coverage(phrases: List[AdaptPhrase]) -> float:
+    """Fraction of phrases with a Cray-XC semantic equivalent."""
+    if not phrases:
+        return 0.0
+    return sum(1 for p in phrases if p.xc_equivalent) / len(phrases)

@@ -1,0 +1,115 @@
+"""Scanner remapping vs rule regeneration (§IV Adaptability).
+
+Two adaptation paths, matching the paper's three prevalent cases:
+
+1. **Remap** (syntactic log variations, same semantics — Cray XE→XC,
+   XK→XC, BG/P→XC): keep the grammar rules and every token id; only the
+   scanner's phrase templates change.  :func:`remap_store` rebuilds the
+   template store with new template text under the *old* token ids, so
+   the generated parser binary-equivalent continues to work.
+
+2. **Regenerate** (context differs — Cassandra, Hadoop): new phrases
+   get fresh token ids and the rules must be reformulated from new FCs;
+   :func:`plan_adaptation` detects this case from equivalent-phrase
+   coverage and reports it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.chains import ChainSet
+from ..core.events import Severity
+from ..templates.store import TemplateStore
+from .catalogs import AdaptPhrase, coverage
+
+
+@dataclass(frozen=True)
+class AdaptationReport:
+    """Outcome of adapting a predictor to a new system's logs."""
+
+    system: str
+    strategy: str  # "remap" | "regenerate"
+    remapped: int  # templates rebound to existing tokens
+    added: int  # brand-new templates (fresh tokens)
+    rules_unchanged: bool
+    scanner_rebuild_seconds: float
+    equivalent_coverage: float
+
+
+def remap_store(
+    base_store: TemplateStore,
+    token_renames: Dict[int, str],
+    *,
+    extra: Sequence[Tuple[str, Severity]] = (),
+) -> TemplateStore:
+    """New store with selected tokens re-templated and optional additions.
+
+    Every token keeps its id, so chain rules remain valid verbatim.
+    """
+    out = TemplateStore()
+    for template in base_store:
+        text = token_renames.get(template.token, template.text)
+        out.add(text, template.severity, token=template.token)
+    for text, severity in extra:
+        out.add(text, severity)
+    return out
+
+
+def plan_adaptation(
+    system: str,
+    phrases: Sequence[AdaptPhrase],
+    base_store: TemplateStore,
+    xc_token_of: Dict[str, int],
+    chains: ChainSet,
+    *,
+    remap_threshold: float = 0.5,
+) -> Tuple[TemplateStore, AdaptationReport]:
+    """Adapt ``base_store`` to a new system described by ``phrases``.
+
+    ``xc_token_of`` maps XC anomaly keys to token ids.  When at least
+    ``remap_threshold`` of the new system's phrases have XC semantic
+    equivalents, the scanner is remapped in place (rules unchanged);
+    otherwise new tokens are allocated and rule regeneration is flagged.
+    """
+    cov = coverage(list(phrases))
+    t0 = time.perf_counter()
+    if cov >= remap_threshold:
+        renames: Dict[int, str] = {}
+        additions: List[Tuple[str, Severity]] = []
+        for phrase in phrases:
+            if phrase.xc_equivalent and phrase.xc_equivalent in xc_token_of:
+                token = xc_token_of[phrase.xc_equivalent]
+                if token not in renames:  # first equivalent wins
+                    renames[token] = phrase.template
+                    continue
+            additions.append((phrase.template, phrase.severity))
+        new_store = remap_store(base_store, renames, extra=additions)
+        elapsed = time.perf_counter() - t0
+        # Remapped tokens must still cover every chain token.
+        rules_ok = all(tok in {t.token for t in new_store} for tok in chains.token_set)
+        return new_store, AdaptationReport(
+            system=system,
+            strategy="remap",
+            remapped=len(renames),
+            added=len(additions),
+            rules_unchanged=rules_ok,
+            scanner_rebuild_seconds=elapsed,
+            equivalent_coverage=cov,
+        )
+    # Regeneration path: all phrases are new vocabulary.
+    new_store = remap_store(base_store, {})
+    for phrase in phrases:
+        new_store.add(phrase.template, phrase.severity)
+    elapsed = time.perf_counter() - t0
+    return new_store, AdaptationReport(
+        system=system,
+        strategy="regenerate",
+        remapped=0,
+        added=len(phrases),
+        rules_unchanged=False,
+        scanner_rebuild_seconds=elapsed,
+        equivalent_coverage=cov,
+    )

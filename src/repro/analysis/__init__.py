@@ -1,0 +1,33 @@
+"""Field-study analytics over failure and prediction records.
+
+* :mod:`.failures` — inter-failure statistics, exponential/Weibull MLE
+  fits, blade/cabinet spatial-correlation tests (§I background claims)
+* :mod:`.campaign` — months-scale longitudinal simulation driver
+"""
+
+from .campaign import CampaignResult, run_campaign
+from .failures import (
+    InterFailureStats,
+    SpatialCorrelation,
+    WeibullFit,
+    failures_by_chain,
+    fit_exponential,
+    fit_weibull,
+    inter_failure_stats,
+    inter_failure_times,
+    spatial_correlation,
+)
+
+__all__ = [
+    "CampaignResult",
+    "InterFailureStats",
+    "SpatialCorrelation",
+    "WeibullFit",
+    "failures_by_chain",
+    "fit_exponential",
+    "fit_weibull",
+    "inter_failure_stats",
+    "inter_failure_times",
+    "run_campaign",
+    "spatial_correlation",
+]

@@ -1,0 +1,73 @@
+"""Longitudinal campaigns: months of simulated cluster life.
+
+Runs many evaluation windows back to back for one system and collects
+the longitudinal record the field studies analyze — every failure,
+every prediction, per-window efficiency — so the statistics in
+:mod:`.failures` and the mitigation economics have months-scale input
+without holding months of raw log events in memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core import PredictorFleet, pair_predictions
+from ..core.events import NodeFailure, Prediction
+from ..core.leadtime import LeadTimeRecord
+from ..logsim import ClusterLogGenerator, SystemConfig
+
+
+@dataclass
+class CampaignResult:
+    """Everything a longitudinal study needs, window by window."""
+
+    system: str
+    windows: int
+    duration_per_window: float
+    failures: List[NodeFailure] = field(default_factory=list)
+    predictions: List[Prediction] = field(default_factory=list)
+    matched: List[LeadTimeRecord] = field(default_factory=list)
+    missed: List[NodeFailure] = field(default_factory=list)
+    false_positives: List[Prediction] = field(default_factory=list)
+
+    @property
+    def recall(self) -> float:
+        total = len(self.failures)
+        return len(self.matched) / total if total else 0.0
+
+    @property
+    def total_duration(self) -> float:
+        return self.windows * self.duration_per_window
+
+
+def run_campaign(
+    config: SystemConfig,
+    *,
+    windows: int = 12,
+    duration: float = 7200.0,
+    n_nodes: int = 32,
+    failures_per_window: int = 6,
+    seed: Optional[int] = None,
+) -> CampaignResult:
+    """Simulate ``windows`` consecutive evaluation windows."""
+    gen = ClusterLogGenerator(config, seed=seed)
+    fleet = PredictorFleet.from_store(
+        gen.chains, gen.store, timeout=gen.recommended_timeout)
+    result = CampaignResult(
+        system=config.name, windows=windows, duration_per_window=duration)
+    for w in range(windows):
+        window = gen.generate_window(
+            duration=duration,
+            n_nodes=n_nodes,
+            n_failures=failures_per_window,
+            start_time=w * (duration + 600.0),
+        )
+        report = fleet.run(window.events)
+        pairing = pair_predictions(report.predictions, window.failures)
+        result.failures.extend(window.failures)
+        result.predictions.extend(report.predictions)
+        result.matched.extend(pairing.matched)
+        result.missed.extend(pairing.missed_failures)
+        result.false_positives.extend(pairing.false_positives)
+    return result

@@ -1,0 +1,175 @@
+"""Field-study statistics over failure records (§I background).
+
+The paper's introduction leans on a decade of field-data analysis —
+failure distributions, MTBF trends, spatio-temporal correlations.  This
+module reproduces those analyses over simulated (or real, if you have
+them) :class:`~repro.core.events.NodeFailure` records:
+
+* inter-failure time statistics and MTBF;
+* exponential / Weibull fits of the inter-failure distribution (Weibull
+  shape <1 ⇒ infant-mortality clustering, the published HPC finding);
+* spatial correlation: do failures co-locate on blades/cabinets more
+  than a uniform spread would predict?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.events import NodeFailure
+from ..logsim.topology import NodeName
+
+
+@dataclass(frozen=True)
+class InterFailureStats:
+    """Summary of the cluster-wide inter-failure process."""
+
+    count: int
+    mtbf: float  # mean time between failures (seconds)
+    median: float
+    cv: float  # coefficient of variation (1.0 ⇒ Poisson-like)
+
+    @property
+    def failures_per_day(self) -> float:
+        return 86_400.0 / self.mtbf if self.mtbf else 0.0
+
+
+def inter_failure_times(failures: Sequence[NodeFailure]) -> np.ndarray:
+    """Sorted cluster-wide gaps between consecutive failures."""
+    if len(failures) < 2:
+        return np.empty(0)
+    times = np.sort(np.array([f.time for f in failures]))
+    return np.diff(times)
+
+
+def inter_failure_stats(failures: Sequence[NodeFailure]) -> InterFailureStats:
+    gaps = inter_failure_times(failures)
+    if gaps.size == 0:
+        return InterFailureStats(count=len(failures), mtbf=0.0, median=0.0, cv=0.0)
+    mean = float(gaps.mean())
+    return InterFailureStats(
+        count=len(failures),
+        mtbf=mean,
+        median=float(np.median(gaps)),
+        cv=float(gaps.std() / mean) if mean else 0.0,
+    )
+
+
+@dataclass(frozen=True)
+class WeibullFit:
+    """Maximum-likelihood Weibull(shape k, scale λ) fit."""
+
+    shape: float
+    scale: float
+    log_likelihood: float
+
+    @property
+    def clustered(self) -> bool:
+        """shape < 1 ⇒ decreasing hazard: failures cluster in time."""
+        return self.shape < 1.0
+
+
+def fit_exponential(gaps: np.ndarray) -> Tuple[float, float]:
+    """MLE rate and log-likelihood of an exponential fit."""
+    gaps = np.asarray(gaps, dtype=float)
+    gaps = gaps[gaps > 0]
+    if gaps.size == 0:
+        raise ValueError("need positive gaps to fit")
+    rate = 1.0 / gaps.mean()
+    ll = float(gaps.size * np.log(rate) - rate * gaps.sum())
+    return rate, ll
+
+
+def fit_weibull(gaps: np.ndarray, *, iterations: int = 60) -> WeibullFit:
+    """MLE Weibull fit via Newton iteration on the shape equation."""
+    gaps = np.asarray(gaps, dtype=float)
+    gaps = gaps[gaps > 0]
+    if gaps.size < 2:
+        raise ValueError("need ≥2 positive gaps to fit")
+    log_x = np.log(gaps)
+    k = 1.0
+    for _ in range(iterations):
+        xk = gaps**k
+        a = float((xk * log_x).sum() / xk.sum())
+        b = float(log_x.mean())
+        f = 1.0 / k - (a - b)
+        # f'(k): quotient-rule derivative of the weighted log mean a(k).
+        xk_log2 = float((xk * log_x * log_x).sum())
+        d_a = (xk_log2 * xk.sum() - float((xk * log_x).sum()) ** 2) / (
+            xk.sum() ** 2
+        )
+        fprime = -1.0 / (k * k) - d_a
+        step = f / fprime
+        k_new = k - step
+        if k_new <= 0:
+            k_new = k / 2.0
+        if abs(k_new - k) < 1e-10:
+            k = k_new
+            break
+        k = k_new
+    scale = float((gaps**k).mean() ** (1.0 / k))
+    ll = float(
+        gaps.size * (np.log(k) - k * np.log(scale))
+        + (k - 1) * log_x.sum()
+        - ((gaps / scale) ** k).sum()
+    )
+    return WeibullFit(shape=float(k), scale=scale, log_likelihood=ll)
+
+
+@dataclass(frozen=True)
+class SpatialCorrelation:
+    """Blade/cabinet co-location of failures vs a uniform null model."""
+
+    level: str  # "blade" | "cabinet"
+    observed_pairs: int  # failure pairs sharing the location
+    expected_pairs: float  # under uniform placement
+    ratio: float  # observed / expected (>1 ⇒ spatial clustering)
+
+
+def spatial_correlation(
+    failures: Sequence[NodeFailure],
+    *,
+    level: str = "blade",
+    n_locations: Optional[int] = None,
+) -> SpatialCorrelation:
+    """Pairwise co-location statistic for failed nodes.
+
+    ``n_locations`` is the number of distinct blades/cabinets in the
+    cluster; defaults to the count observed among the failures (which
+    makes the test conservative).
+    """
+    def location(node: str) -> str:
+        name = NodeName.parse(node)
+        if level == "blade":
+            return name.blade
+        if level == "cabinet":
+            return f"c{name.cabinet_col}-{name.cabinet_row}"
+        raise ValueError(f"unknown level {level!r}")
+
+    locations = [location(f.node) for f in failures]
+    n = len(locations)
+    if n < 2:
+        return SpatialCorrelation(level, 0, 0.0, 0.0)
+    counts: Dict[str, int] = {}
+    for loc in locations:
+        counts[loc] = counts.get(loc, 0) + 1
+    observed = sum(c * (c - 1) // 2 for c in counts.values())
+    k = n_locations if n_locations is not None else len(counts)
+    expected = (n * (n - 1) / 2) / max(k, 1)
+    ratio = observed / expected if expected else 0.0
+    return SpatialCorrelation(
+        level=level, observed_pairs=observed,
+        expected_pairs=expected, ratio=ratio,
+    )
+
+
+def failures_by_chain(failures: Sequence[NodeFailure]) -> Dict[str, int]:
+    """Failure counts per root-cause chain (root-cause breakdown)."""
+    out: Dict[str, int] = {}
+    for f in failures:
+        key = f.chain_id or "unknown"
+        out[key] = out.get(key, 0) + 1
+    return out

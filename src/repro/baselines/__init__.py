@@ -1,0 +1,44 @@
+"""Comparator online detectors (Table VI / Table VIII).
+
+* :mod:`.deeplog` — LSTM top-g next-key anomaly detection (CCS'17)
+* :mod:`.desh` — compact-LSTM chain recognition (HPDC'18)
+* :mod:`.cloudseer` — interleaved-workflow automaton ensemble (ASPLOS'16)
+* :mod:`.aarohi_adapter` — Aarohi behind the same interface
+* :mod:`.base` — the shared protocol and the timed chain-check harness
+"""
+
+from .aarohi_adapter import AarohiDetector
+from .base import ChainCheckResult, OnlineDetector, repeat_timed_checks, timed_chain_check
+from .cloudseer import CloudSeerDetector
+from .deeplog import DeepLogDetector
+from .desh import DeshDetector
+from .leadtime_estimator import LeadEstimate, LeadTimeEstimator, TrainingEpisode, episodes_from_injections
+from .message_level import (
+    AarohiMessageDetector,
+    CloudSeerMessageDetector,
+    KeyedLSTMMessageDetector,
+    MessageDetector,
+    repeat_message_checks,
+    timed_message_check,
+)
+
+__all__ = [
+    "AarohiDetector",
+    "AarohiMessageDetector",
+    "ChainCheckResult",
+    "CloudSeerDetector",
+    "CloudSeerMessageDetector",
+    "DeepLogDetector",
+    "DeshDetector",
+    "LeadEstimate",
+    "LeadTimeEstimator",
+    "TrainingEpisode",
+    "episodes_from_injections",
+    "KeyedLSTMMessageDetector",
+    "MessageDetector",
+    "OnlineDetector",
+    "repeat_message_checks",
+    "repeat_timed_checks",
+    "timed_chain_check",
+    "timed_message_check",
+]

@@ -1,0 +1,24 @@
+"""Aarohi wrapped in the common :class:`OnlineDetector` interface, so
+the Table VI comparison times all four systems through one harness."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.chains import ChainSet
+from ..core.matcher import ChainMatcher
+
+
+class AarohiDetector:
+    """The grammar-based matcher behind the detector protocol."""
+
+    name = "Aarohi"
+
+    def __init__(self, chains: ChainSet, *, timeout: Optional[float] = None):
+        self._matcher = ChainMatcher(chains, timeout)
+
+    def reset(self) -> None:
+        self._matcher.reset()
+
+    def observe(self, token: int, time_s: float) -> bool:
+        return self._matcher.feed(token, time_s) is not None

@@ -1,0 +1,85 @@
+"""Shared interface for the comparator online detectors (Table VI).
+
+Each baseline implements :class:`OnlineDetector`: ``observe`` consumes
+one tokenized log entry and returns whether the detector currently
+flags an anomaly/failure; ``reset`` clears per-stream state.  The
+timing harness (:func:`timed_chain_check`) measures exactly what the
+paper reports — the wall time to check a variable-length sequence of
+phrases — for any detector, including Aarohi's.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Protocol, Sequence, Tuple
+
+
+class OnlineDetector(Protocol):
+    """Anything that can check a stream of tokenized phrases."""
+
+    name: str
+
+    def observe(self, token: int, time_s: float) -> bool:
+        """Consume one log entry; True if an anomaly/failure is flagged."""
+        ...
+
+    def reset(self) -> None:
+        """Clear per-stream state before a new sequence."""
+        ...
+
+
+@dataclass(frozen=True)
+class ChainCheckResult:
+    """Outcome of one timed chain check."""
+
+    detector: str
+    chain_length: int
+    seconds: float
+    flagged: bool
+
+    @property
+    def msecs(self) -> float:
+        return self.seconds * 1e3
+
+    @property
+    def per_entry_msecs(self) -> float:
+        return self.msecs / self.chain_length if self.chain_length else 0.0
+
+
+def timed_chain_check(
+    detector: OnlineDetector,
+    tokens: Sequence[Tuple[int, float]],
+    *,
+    clock: Callable[[], float] = time.perf_counter,
+) -> ChainCheckResult:
+    """Run ``tokens`` (token, arrival-time pairs) through ``detector``
+    and time the whole check, the paper's prediction-time metric."""
+    detector.reset()
+    flagged = False
+    start = clock()
+    for token, t in tokens:
+        if detector.observe(token, t):
+            flagged = True
+    elapsed = clock() - start
+    return ChainCheckResult(
+        detector=detector.name,
+        chain_length=len(tokens),
+        seconds=elapsed,
+        flagged=flagged,
+    )
+
+
+def repeat_timed_checks(
+    detector: OnlineDetector,
+    tokens: Sequence[Tuple[int, float]],
+    *,
+    repeats: int = 7,
+    clock: Callable[[], float] = time.perf_counter,
+) -> List[ChainCheckResult]:
+    """Multiple timed runs (first run excluded: warm-up / cache fill)."""
+    runs = [
+        timed_chain_check(detector, tokens, clock=clock)
+        for _ in range(repeats + 1)
+    ]
+    return runs[1:]

@@ -1,0 +1,125 @@
+"""Lead-time estimation from chain prefixes (Desh phase 3).
+
+Desh's third phase estimates *how long until the failure* once a chain
+is partially observed.  Aarohi inherits the need: when a rule match
+fires, operators want the expected remaining time to choose a recovery
+action.  This estimator learns, per (chain, position), the distribution
+of remaining time from training episodes — a transparent, calibrated
+alternative to the LSTM regression head, evaluated the same way.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.chains import ChainSet
+
+
+@dataclass(frozen=True)
+class LeadEstimate:
+    """Remaining-time estimate at one chain position."""
+
+    chain_id: str
+    position: int  # phrases observed so far
+    expected: float  # mean remaining seconds until failure
+    p10: float
+    p90: float
+
+    def covers(self, actual: float) -> bool:
+        return self.p10 <= actual <= self.p90
+
+
+@dataclass(frozen=True)
+class TrainingEpisode:
+    """One observed failure: phrase arrival times + failure time."""
+
+    chain_id: str
+    phrase_times: Tuple[float, ...]
+    failure_time: float
+
+
+class LeadTimeEstimator:
+    """Empirical remaining-time tables keyed by (chain, position)."""
+
+    def __init__(self, chains: ChainSet):
+        self.chains = chains
+        self._samples: Dict[Tuple[str, int], List[float]] = defaultdict(list)
+
+    def fit(self, episodes: Sequence[TrainingEpisode]) -> "LeadTimeEstimator":
+        for ep in episodes:
+            chain = self.chains[ep.chain_id]  # KeyError on unknown chain
+            n = min(len(ep.phrase_times), len(chain.tokens))
+            for pos in range(1, n + 1):
+                remaining = ep.failure_time - ep.phrase_times[pos - 1]
+                if remaining >= 0:
+                    self._samples[(ep.chain_id, pos)].append(remaining)
+        if not self._samples:
+            raise ValueError("no usable training episodes")
+        return self
+
+    def estimate(self, chain_id: str, position: int) -> Optional[LeadEstimate]:
+        """Estimate remaining time having seen ``position`` phrases."""
+        samples = self._samples.get((chain_id, position))
+        if not samples:
+            return None
+        arr = np.asarray(samples)
+        return LeadEstimate(
+            chain_id=chain_id,
+            position=position,
+            expected=float(arr.mean()),
+            p10=float(np.percentile(arr, 10)),
+            p90=float(np.percentile(arr, 90)),
+        )
+
+    def estimate_at_match(self, chain_id: str) -> Optional[LeadEstimate]:
+        """Estimate at the moment Aarohi flags (full chain observed)."""
+        chain = self.chains[chain_id]
+        return self.estimate(chain_id, len(chain.tokens))
+
+    # -- evaluation --------------------------------------------------------
+    def evaluate(
+        self, episodes: Sequence[TrainingEpisode]
+    ) -> Dict[str, float]:
+        """Held-out accuracy: mean absolute error (s) and p10–p90
+        coverage of the match-time estimates."""
+        errors: List[float] = []
+        covered = 0
+        total = 0
+        for ep in episodes:
+            chain = self.chains[ep.chain_id]
+            pos = min(len(ep.phrase_times), len(chain.tokens))
+            estimate = self.estimate(ep.chain_id, pos)
+            if estimate is None:
+                continue
+            actual = ep.failure_time - ep.phrase_times[pos - 1]
+            errors.append(abs(actual - estimate.expected))
+            total += 1
+            if estimate.covers(actual):
+                covered += 1
+        if not total:
+            return {"mae": float("nan"), "coverage": 0.0, "n": 0}
+        return {
+            "mae": float(np.mean(errors)),
+            "coverage": covered / total,
+            "n": total,
+        }
+
+
+def episodes_from_injections(injections, *, kind: str = "detectable"):
+    """Convert logsim injection records into training episodes."""
+    out = []
+    for injection in injections:
+        if injection.kind != kind or injection.failure_time is None:
+            continue
+        out.append(
+            TrainingEpisode(
+                chain_id=injection.chain_id,
+                phrase_times=tuple(injection.phrase_times),
+                failure_time=injection.failure_time,
+            )
+        )
+    return out

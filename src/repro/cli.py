@@ -1,0 +1,252 @@
+"""Command-line interface: ``aarohi <subcommand>``.
+
+Thin wrappers over the library so each piece of the paper's workflow
+(Fig. 6) is drivable from a shell:
+
+* ``generate`` — synthesize a cluster log window to a file
+* ``rules`` — print Algorithm 1's rule derivation (Table IV style)
+* ``predict`` — run the predictor fleet over a log file
+* ``pipeline`` — full two-phase run (generate → mine → predict → metrics)
+* ``speedup`` — quick Table VI-style comparison on this machine
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from statistics import mean
+from typing import List, Optional
+
+from .core import PredictorFleet, build_rules, pair_predictions
+from .logsim import ClusterLogGenerator, read_log, system_by_name, write_log
+from .reporting import render_table
+
+
+def _add_system_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--system", default="HPC3",
+        choices=["HPC1", "HPC2", "HPC3", "HPC4"],
+        help="which Table II system to simulate",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    gen = ClusterLogGenerator(system_by_name(args.system), seed=args.seed)
+    window = gen.generate_window(
+        duration=args.duration, n_nodes=args.nodes, n_failures=args.failures,
+    )
+    count = write_log(window.events, args.out)
+    print(f"wrote {count} events for {len(window.nodes)} nodes to {args.out}")
+    print(f"injected {len(window.failures)} failures "
+          f"({sum(1 for i in window.injections if i.kind == 'novel')} novel)")
+    return 0
+
+
+def cmd_rules(args: argparse.Namespace) -> int:
+    gen = ClusterLogGenerator(system_by_name(args.system), seed=args.seed)
+    rule_set = build_rules(gen.chains, factor=not args.flat)
+    print(rule_set.describe())
+    return 0
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    gen = ClusterLogGenerator(system_by_name(args.system), seed=args.seed)
+    fleet = PredictorFleet.from_store(
+        gen.chains, gen.store, timeout=gen.recommended_timeout,
+        backend=args.backend,
+    )
+    report = fleet.run(read_log(args.log))
+    rows = [
+        (p.node, p.chain_id, f"{p.flagged_at:.3f}",
+         f"{p.prediction_time * 1e3:.4f}")
+        for p in report.predictions
+    ]
+    print(render_table(
+        ["node", "chain", "flagged_at (s)", "prediction time (ms)"], rows,
+        title=f"{len(rows)} predictions "
+              f"({report.fc_related_fraction:.1%} of phrases FC-related)",
+    ))
+    return 0
+
+
+def cmd_pipeline(args: argparse.Namespace) -> int:
+    from .training import (
+        EventLabeler, anomaly_sequences, confusion_from_predictions,
+        mine_chains, terminal_tokens,
+    )
+
+    config = system_by_name(args.system)
+    gen = ClusterLogGenerator(config, seed=args.seed)
+    train = gen.generate_window(
+        duration=args.duration, n_nodes=args.nodes, n_failures=args.failures)
+    test = gen.generate_window(
+        duration=args.duration, n_nodes=args.nodes, n_failures=args.failures)
+
+    labeler = EventLabeler(gen.store)
+    sequences = anomaly_sequences(labeler.label_stream(train.events))
+    terminals = terminal_tokens(gen.store, ["node down", "node *", "shutting down"])
+    mined = mine_chains(sequences, terminals, min_support=1)
+    print(f"Phase 1: mined {len(mined.chains)} chains "
+          f"from {len(mined.candidates)} candidates")
+
+    fleet = PredictorFleet.from_store(
+        mined.chains, gen.store, timeout=gen.recommended_timeout)
+    report = fleet.run(test.events)
+    pairing = pair_predictions(report.predictions, test.failures)
+    confusion = confusion_from_predictions(
+        report.predictions, test.failures, test.nodes)
+    pct = confusion.as_percentages()
+    print(render_table(
+        ["metric", "value"],
+        [
+            ("recall %", f"{pct['recall']:.1f}"),
+            ("precision %", f"{pct['precision']:.1f}"),
+            ("accuracy %", f"{pct['accuracy']:.1f}"),
+            ("FNR %", f"{pct['fnr']:.1f}"),
+            ("mean lead time (min)", f"{pairing.mean_lead_time() / 60:.2f}"),
+            ("mean prediction time (ms)",
+             f"{pairing.mean_prediction_time() * 1e3:.4f}"),
+        ],
+        title=f"{config.name} two-phase pipeline",
+    ))
+    return 0
+
+
+def cmd_speedup(args: argparse.Namespace) -> int:
+    from .baselines import (
+        AarohiMessageDetector, CloudSeerMessageDetector, DeepLogDetector,
+        DeshDetector, KeyedLSTMMessageDetector, repeat_message_checks,
+    )
+    from .templates.store import NaiveTemplateScanner
+
+    import numpy as np
+
+    gen = ClusterLogGenerator(system_by_name(args.system), seed=args.seed)
+    chains = gen.chains
+    rng = np.random.default_rng(args.seed)
+    chain_def = max(gen.trained_defs, key=lambda d: len(d.phrase_keys))
+    entries = []
+    for i in range(args.length):
+        key = chain_def.phrase_keys[i % len(chain_def.phrase_keys)]
+        entries.append((gen.catalog.anomaly(key).make(rng, "c0-0c0s0n0"), float(i)))
+    scanner = NaiveTemplateScanner(gen.store, keep=chains.token_set)
+    detectors = [
+        AarohiMessageDetector(chains, gen.store, timeout=1e9),
+        KeyedLSTMMessageDetector(
+            "Desh", scanner, DeshDetector.train(chains, epochs=5, seed=1)),
+        KeyedLSTMMessageDetector(
+            "DeepLog", scanner,
+            DeepLogDetector.train([c.tokens for c in chains], epochs=5, seed=1)),
+        CloudSeerMessageDetector(chains, gen.store),
+    ]
+    rows = []
+    for det in detectors:
+        runs = repeat_message_checks(det, entries, repeats=5)
+        rows.append((det.name, f"{mean(r.msecs for r in runs):.4f}"))
+    print(render_table(
+        ["approach", f"time for {args.length}-length check (ms)"], rows,
+        title="Prediction-time comparison (Table VI shape)",
+    ))
+    return 0
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    from .codegen import emit_predictor_source
+
+    gen = ClusterLogGenerator(system_by_name(args.system), seed=args.seed)
+    source = emit_predictor_source(
+        gen.chains, gen.store, timeout=gen.recommended_timeout)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        fh.write(source)
+    print(f"wrote standalone predictor ({len(source.splitlines())} lines, "
+          f"{len(gen.chains)} chains) to {args.out}")
+    return 0
+
+
+def cmd_fieldstudy(args: argparse.Namespace) -> int:
+    from .analysis import (
+        fit_weibull, inter_failure_stats, inter_failure_times, run_campaign,
+    )
+
+    campaign = run_campaign(
+        system_by_name(args.system), windows=args.windows,
+        duration=args.duration, n_nodes=args.nodes,
+        failures_per_window=args.failures, seed=args.seed)
+    stats = inter_failure_stats(campaign.failures)
+    weibull = fit_weibull(inter_failure_times(campaign.failures))
+    print(render_table(
+        ["statistic", "value"],
+        [
+            ("windows", campaign.windows),
+            ("failures", stats.count),
+            ("MTBF (min)", f"{stats.mtbf / 60:.1f}"),
+            ("Weibull shape", f"{weibull.shape:.2f}"),
+            ("campaign recall", f"{campaign.recall:.1%}"),
+        ],
+        title=f"{campaign.system} longitudinal field study"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="aarohi",
+        description="Aarohi (IPDPS'20) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="synthesize a cluster log window")
+    _add_system_arg(p)
+    p.add_argument("--duration", type=float, default=3600.0)
+    p.add_argument("--nodes", type=int, default=24)
+    p.add_argument("--failures", type=int, default=6)
+    p.add_argument("--out", default="window.log")
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("rules", help="print Algorithm 1's rule derivation")
+    _add_system_arg(p)
+    p.add_argument("--flat", action="store_true", help="skip LALR factoring")
+    p.set_defaults(func=cmd_rules)
+
+    p = sub.add_parser("predict", help="run the fleet over a log file")
+    _add_system_arg(p)
+    p.add_argument("--log", required=True)
+    p.add_argument("--backend", default="matcher", choices=["matcher", "lalr"])
+    p.set_defaults(func=cmd_predict)
+
+    p = sub.add_parser("pipeline", help="full two-phase run with metrics")
+    _add_system_arg(p)
+    p.add_argument("--duration", type=float, default=3600.0)
+    p.add_argument("--nodes", type=int, default=24)
+    p.add_argument("--failures", type=int, default=8)
+    p.set_defaults(func=cmd_pipeline)
+
+    p = sub.add_parser("speedup", help="Table VI-style timing comparison")
+    _add_system_arg(p)
+    p.add_argument("--length", type=int, default=50)
+    p.set_defaults(func=cmd_speedup)
+
+    p = sub.add_parser("compile",
+                       help="emit a standalone predictor module (codegen)")
+    _add_system_arg(p)
+    p.add_argument("--out", default="aarohi_predictor.py")
+    p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser("fieldstudy", help="longitudinal failure statistics")
+    _add_system_arg(p)
+    p.add_argument("--windows", type=int, default=8)
+    p.add_argument("--duration", type=float, default=3600.0)
+    p.add_argument("--nodes", type=int, default=24)
+    p.add_argument("--failures", type=int, default=5)
+    p.set_defaults(func=cmd_fieldstudy)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,153 @@
+"""Dynamic re-training: regenerate the parser as new FCs are observed.
+
+The paper closes by noting Aarohi's automation "would also allow itself
+to be deployed in unsupervised dynamic re-training and re-generation of
+a new parser for enhanced FCs as they are being observed" (§V).  This
+module implements that loop:
+
+* every node's recent anomaly-relevant tokens are kept in a bounded
+  history window;
+* when a node-death record arrives *without* a preceding prediction for
+  that node (a live false negative), the death's lookback history is
+  mined into a candidate chain exactly as Phase 1 would;
+* after ``min_support`` sightings of the same candidate, the chain set
+  is extended and the predictor fleet is regenerated in place — new
+  matcher tables, same per-node state objects.
+
+Regeneration is cheap (table construction is milliseconds — see the
+Table IV bench), so it happens synchronously on the stream.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
+
+from .chains import ChainSet, FailureChain
+from .events import LogEvent, Prediction
+from .fleet import PredictorFleet
+from .predictor import Tokenizer
+
+
+@dataclass
+class AdaptationEvent:
+    """Record of one learned chain / regeneration."""
+
+    time: float
+    node: str
+    chain_id: str
+    tokens: Tuple[int, ...]
+    sightings: int
+
+
+class AdaptiveFleet:
+    """A predictor fleet that learns new failure chains online."""
+
+    def __init__(
+        self,
+        chains: ChainSet,
+        tokenizer: Tokenizer,
+        terminal_tokens: Set[int],
+        *,
+        timeout: Optional[float] = None,
+        relevant_tokens: Optional[Set[int]] = None,
+        lookback: float = 1800.0,
+        min_support: int = 2,
+        history_limit: int = 256,
+        prediction_grace: float = 1800.0,
+    ):
+        self.tokenizer = tokenizer
+        self.terminal_tokens = set(terminal_tokens)
+        # Tokens worth remembering for chain mining (anomaly-relevant
+        # phrases).  None = record everything the scanner emits — only
+        # sensible when the scanner itself is restricted to anomalies.
+        self.relevant_tokens = (
+            set(relevant_tokens) if relevant_tokens is not None else None)
+        self.lookback = lookback
+        self.min_support = min_support
+        self.history_limit = history_limit
+        self.prediction_grace = prediction_grace
+        self.timeout = timeout
+        self._chains: List[FailureChain] = list(chains)
+        self._fleet = PredictorFleet(chains, tokenizer, timeout=timeout)
+        # Per-node recent anomaly token history: (time, token).
+        self._history: Dict[str, Deque[Tuple[float, int]]] = defaultdict(
+            lambda: deque(maxlen=self.history_limit))
+        self._last_prediction: Dict[str, float] = {}
+        self._candidate_support: Dict[Tuple[int, ...], int] = defaultdict(int)
+        self.adaptations: List[AdaptationEvent] = []
+        self._next_learned = 0
+
+    # -- public API ------------------------------------------------------
+    @property
+    def chains(self) -> ChainSet:
+        return ChainSet(self._chains)
+
+    def process(self, event: LogEvent) -> Optional[Prediction]:
+        """Predict on one event, learning from unpredicted deaths."""
+        token = self.tokenizer(event.message)
+        if token is not None:
+            if token in self.terminal_tokens:
+                self._on_death(event.node, event.time)
+                self._history[event.node].clear()
+            elif (self.relevant_tokens is None
+                  or token in self.relevant_tokens):
+                self._history[event.node].append((event.time, token))
+        prediction = self._fleet.process(event)
+        if prediction is not None:
+            self._last_prediction[event.node] = event.time
+        return prediction
+
+    def run(self, events) -> List[Prediction]:
+        out = []
+        for event in events:
+            p = self.process(event)
+            if p is not None:
+                out.append(p)
+        return out
+
+    # -- learning loop -----------------------------------------------------
+    def _on_death(self, node: str, time: float) -> None:
+        last_flag = self._last_prediction.get(node)
+        if last_flag is not None and time - last_flag <= self.prediction_grace:
+            return  # this death was predicted; nothing to learn
+        candidate = self._mine_candidate(node, time)
+        if candidate is None:
+            return
+        self._candidate_support[candidate] += 1
+        sightings = self._candidate_support[candidate]
+        if sightings == self.min_support:
+            chain_id = f"LEARNED{self._next_learned}"
+            self._next_learned += 1
+            self._chains.append(FailureChain(chain_id, candidate))
+            self._regenerate()
+            self.adaptations.append(
+                AdaptationEvent(
+                    time=time, node=node, chain_id=chain_id,
+                    tokens=candidate, sightings=sightings,
+                )
+            )
+
+    def _mine_candidate(self, node: str, death_time: float) -> Optional[Tuple[int, ...]]:
+        first_seen: Dict[int, float] = {}
+        for t, token in self._history.get(node, ()):  # chronological
+            if death_time - t > self.lookback:
+                continue
+            if token not in first_seen:
+                first_seen[token] = t
+        if len(first_seen) < 2:
+            return None
+        ordered = sorted(first_seen.items(), key=lambda kv: kv[1])
+        candidate = tuple(token for token, _t in ordered)
+        # Already trained?  (Equal to an existing chain → no-op.)
+        if any(candidate == c.tokens for c in self._chains):
+            return None
+        return candidate
+
+    def _regenerate(self) -> None:
+        """Rebuild the fleet with the extended chain set; per-node
+        predictor state restarts (a reset is semantically safe: chains
+        in flight re-activate on their next token)."""
+        chains = ChainSet(self._chains)
+        self._fleet = PredictorFleet(chains, self.tokenizer, timeout=self.timeout)

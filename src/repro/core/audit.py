@@ -1,0 +1,127 @@
+"""Prediction audit trail: JSONL records for operator review.
+
+Proactive actions (migrating jobs, draining nodes) need an audit trail:
+*what* was flagged, *why* (which chain, which phrases), and what the
+predictor's state looked like.  :class:`AuditLog` wraps any fleet-like
+object and appends one JSON line per prediction — greppable, replayable
+and diffable, in the spirit of the HSS workstation's own logs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Iterator, List, Optional, Union
+
+from .events import LogEvent, Prediction
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One audited prediction."""
+
+    node: str
+    chain_id: str
+    flagged_at: float
+    prediction_time: float
+    matched_tokens: tuple
+    # Context captured at flag time:
+    lines_seen: int
+    fc_related_fraction: float
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "node": self.node,
+                "chain": self.chain_id,
+                "flagged_at": self.flagged_at,
+                "prediction_time_ms": self.prediction_time * 1e3,
+                "tokens": list(self.matched_tokens),
+                "lines_seen": self.lines_seen,
+                "fc_related_fraction": round(self.fc_related_fraction, 4),
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "AuditRecord":
+        data = json.loads(line)
+        return cls(
+            node=data["node"],
+            chain_id=data["chain"],
+            flagged_at=data["flagged_at"],
+            prediction_time=data["prediction_time_ms"] / 1e3,
+            matched_tokens=tuple(data["tokens"]),
+            lines_seen=data["lines_seen"],
+            fc_related_fraction=data["fc_related_fraction"],
+        )
+
+
+class AuditLog:
+    """Fleet wrapper that journals every prediction as JSONL."""
+
+    def __init__(self, fleet, sink: Union[str, Path, IO[str], None] = None):
+        self._fleet = fleet
+        self.records: List[AuditRecord] = []
+        self._own_handle = False
+        if isinstance(sink, (str, Path)):
+            self._sink: Optional[IO[str]] = open(sink, "a", encoding="utf-8")
+            self._own_handle = True
+        else:
+            self._sink = sink
+
+    def process(self, event: LogEvent) -> Optional[Prediction]:
+        prediction = self._fleet.process(event)
+        if prediction is not None:
+            self._record(event, prediction)
+        return prediction
+
+    def run(self, events) -> List[Prediction]:
+        out = []
+        for event in events:
+            p = self.process(event)
+            if p is not None:
+                out.append(p)
+        return out
+
+    def _record(self, event: LogEvent, prediction: Prediction) -> None:
+        stats = getattr(
+            self._fleet.predictor_for(event.node), "stats", None
+        ) if hasattr(self._fleet, "predictor_for") else None
+        record = AuditRecord(
+            node=prediction.node,
+            chain_id=prediction.chain_id,
+            flagged_at=prediction.flagged_at,
+            prediction_time=prediction.prediction_time,
+            matched_tokens=prediction.matched_tokens,
+            lines_seen=stats.lines_seen if stats else 0,
+            fc_related_fraction=stats.fc_related_fraction if stats else 0.0,
+        )
+        self.records.append(record)
+        if self._sink is not None:
+            self._sink.write(record.to_json() + "\n")
+            self._sink.flush()
+
+    def close(self) -> None:
+        if self._own_handle and self._sink is not None:
+            self._sink.close()
+            self._sink = None
+
+    def __enter__(self) -> "AuditLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_audit_log(source: Union[str, Path, IO[str]]) -> Iterator[AuditRecord]:
+    """Replay an audit JSONL file."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as fh:
+            yield from read_audit_log(fh)
+        return
+    for line in source:
+        line = line.strip()
+        if line:
+            yield AuditRecord.from_json(line)

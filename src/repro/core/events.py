@@ -1,0 +1,85 @@
+"""Event model shared across the library.
+
+A :class:`LogEvent` is one syslog-style record: timestamp, source node,
+message text.  After template matching an event becomes a
+:class:`TokenEvent` — the phrase's global token id plus arrival time —
+which is all the online predictor ever looks at (Table III's ``<T, id>``
+token column).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from typing import Optional
+
+
+class Severity(enum.Enum):
+    """Phrase labels used during Phase-1 segregation (Table III).
+
+    ``ERRONEOUS`` — definitely-not-benign messages (e.g. hardware error);
+    ``UNKNOWN`` — not provably benign, kept in chains; ``BENIGN`` —
+    healthy chatter, never part of a failure chain.
+    """
+
+    ERRONEOUS = "E"
+    UNKNOWN = "U"
+    BENIGN = "B"
+
+
+@dataclass(frozen=True, slots=True)
+class LogEvent:
+    """One raw log record."""
+
+    time: float  # seconds since epoch
+    node: str  # e.g. "c0-0c2s0n2"
+    message: str
+
+    def to_line(self) -> str:
+        """Serialize as a syslog-like line (ISO timestamp, node, message)."""
+        stamp = datetime.fromtimestamp(self.time, tz=timezone.utc)
+        return f"{stamp.isoformat(timespec='microseconds')} {self.node} {self.message}"
+
+    @classmethod
+    def from_line(cls, line: str) -> "LogEvent":
+        stamp, node, message = line.rstrip("\n").split(" ", 2)
+        t = datetime.fromisoformat(stamp).timestamp()
+        return cls(time=t, node=node, message=message)
+
+
+@dataclass(frozen=True, slots=True)
+class TokenEvent:
+    """A tokenized phrase: what the parser consumes (Table III Token col)."""
+
+    time: float
+    token: int  # global phrase-template id
+    node: str = ""
+
+    def delta_t(self, earlier: "TokenEvent") -> float:
+        """ΔT in seconds between this arrival and an earlier one."""
+        return self.time - earlier.time
+
+
+@dataclass(frozen=True, slots=True)
+class Prediction:
+    """An imminent-node-failure flag raised by the predictor."""
+
+    node: str
+    chain_id: str  # which FC matched
+    flagged_at: float  # timestamp of the phrase completing the match
+    prediction_time: float  # seconds spent deciding (inference cost)
+    matched_tokens: tuple[int, ...] = ()
+
+    def effective_lead_time(self, failure_time: float) -> float:
+        """Lead time to ``failure_time`` net of prediction cost (§IV)."""
+        return failure_time - self.flagged_at - self.prediction_time
+
+
+@dataclass(frozen=True, slots=True)
+class NodeFailure:
+    """Ground-truth record of an anomalous node outage."""
+
+    node: str
+    time: float
+    chain_id: Optional[str] = None  # which injected FC caused it (if known)

@@ -1,0 +1,79 @@
+"""From rule sets to executable LALR(1) grammars (Table IV).
+
+Terminals are token ids rendered as strings (``"177"``).  The start
+symbol ``FC`` has one alternative per failure chain; its semantic action
+returns the matched chain id, so a successful parse *is* a prediction.
+
+Two shapes are generated:
+
+* :func:`flat_grammar` — the ``P_FC`` form used by the evaluation
+  (non-recursive chain rules);
+* :func:`factored_grammar` — the ``P_LALR`` form with subchain (``B``)
+  and group (``C``) non-terminals.  Its language is a superset of the
+  chains (cross product of prefixes × grouped middles), as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from ..parsegen import Grammar, build_tables
+from ..parsegen.tables import ParseTables
+from .rules import RuleSet, Symbol
+
+START = "FC"
+
+
+def terminal_name(token: int) -> str:
+    return str(token)
+
+
+def _symbol_name(symbol: Symbol) -> str:
+    return symbol if isinstance(symbol, str) else terminal_name(symbol)
+
+
+def flat_grammar(rule_set: RuleSet) -> Grammar:
+    """The P_FC grammar: ``FC → (tok tok ...)`` per chain."""
+    g = Grammar(START)
+    for rule in rule_set.rules:
+        rhs = [terminal_name(t) for t in rule.tokens]
+        g.add(START, rhs, action=_chain_action(rule.chain_id))
+    return g
+
+
+def factored_grammar(rule_set: RuleSet) -> Grammar:
+    """The P_LALR grammar with B/C non-terminals (Table IV)."""
+    if not rule_set.factored:
+        raise ValueError("rule set was built with factor=False")
+    g = Grammar(START)
+    for rule in rule_set.factored:
+        rhs = [_symbol_name(s) for s in rule.symbols]
+        g.add(START, rhs, action=_chain_action(rule.chain_id))
+    for name, alternatives in rule_set.group_nts.items():
+        for alt in alternatives:
+            g.add(name, [_symbol_name(s) for s in alt])
+    for name, tokens in rule_set.subchain_nts.items():
+        g.add(name, [terminal_name(t) for t in tokens])
+    return g
+
+
+def _chain_action(chain_id: str):
+    def action(values: list, _cid=chain_id) -> str:
+        return _cid
+
+    return action
+
+
+def build_chain_tables(
+    rule_set: RuleSet, *, factored: bool = False
+) -> ParseTables:
+    """LALR(1) tables for a chain grammar.
+
+    Flat chain grammars are conflict-free by construction *except* when
+    one chain is a proper prefix of another whose continuation token
+    also ends some chain — bison-style shift preference resolves that
+    in favour of the longer chain, matching Aarohi's "the first match
+    already indicates a failure" semantics.
+    """
+    grammar = flat_grammar(rule_set) if not factored else factored_grammar(rule_set)
+    return build_tables(grammar, prefer_shift=True)

@@ -1,0 +1,110 @@
+"""Lead-time accounting: predictions vs ground-truth node failures.
+
+"From the timestamped node failed message in the test data to the event
+phrase at which the predictor flags match, we compute the expected lead
+times to imminent node failures" (§IV).  A prediction is credited to the
+earliest un-matched ground-truth failure of the same node that occurs at
+or after the flag, within ``horizon`` seconds.  Unmatched predictions
+are false positives; unmatched failures are false negatives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean, pstdev
+from typing import Dict, List, Optional, Sequence
+
+from .events import NodeFailure, Prediction
+
+
+@dataclass(frozen=True)
+class LeadTimeRecord:
+    """One prediction↔failure pairing."""
+
+    prediction: Prediction
+    failure: NodeFailure
+
+    @property
+    def lead_time(self) -> float:
+        """Raw lead: failure time minus flag time (seconds)."""
+        return self.failure.time - self.prediction.flagged_at
+
+    @property
+    def effective_lead_time(self) -> float:
+        """Lead net of the prediction (inference) cost (Observation 5)."""
+        return self.prediction.effective_lead_time(self.failure.time)
+
+
+@dataclass
+class LeadTimeReport:
+    matched: List[LeadTimeRecord] = field(default_factory=list)
+    false_positives: List[Prediction] = field(default_factory=list)
+    missed_failures: List[NodeFailure] = field(default_factory=list)
+
+    @property
+    def true_positives(self) -> int:
+        return len(self.matched)
+
+    def lead_times(self) -> List[float]:
+        return [r.effective_lead_time for r in self.matched]
+
+    def mean_lead_time(self) -> float:
+        leads = self.lead_times()
+        return mean(leads) if leads else 0.0
+
+    def std_lead_time(self) -> float:
+        leads = self.lead_times()
+        return pstdev(leads) if len(leads) > 1 else 0.0
+
+    def mean_prediction_time(self) -> float:
+        if not self.matched:
+            return 0.0
+        return mean(r.prediction.prediction_time for r in self.matched)
+
+    def std_prediction_time(self) -> float:
+        times = [r.prediction.prediction_time for r in self.matched]
+        return pstdev(times) if len(times) > 1 else 0.0
+
+
+def pair_predictions(
+    predictions: Sequence[Prediction],
+    failures: Sequence[NodeFailure],
+    *,
+    horizon: float = 1800.0,
+) -> LeadTimeReport:
+    """Greedy chronological pairing of predictions with failures.
+
+    ``horizon`` bounds how far ahead a flag may claim a failure (30 min
+    default — beyond that a flag is stale and counts as a false
+    positive).  Multiple predictions of one failure keep the earliest
+    (longest lead); later duplicates are *not* penalized as false
+    positives, matching the paper's per-failure accounting.
+    """
+    report = LeadTimeReport()
+    by_node: Dict[str, List[NodeFailure]] = {}
+    for failure in sorted(failures, key=lambda f: f.time):
+        by_node.setdefault(failure.node, []).append(failure)
+    claimed: Dict[int, LeadTimeRecord] = {}  # id(failure) → record
+
+    for prediction in sorted(predictions, key=lambda p: p.flagged_at):
+        candidates = by_node.get(prediction.node, [])
+        target: Optional[NodeFailure] = None
+        for failure in candidates:
+            if prediction.flagged_at <= failure.time <= prediction.flagged_at + horizon:
+                target = failure
+                break
+        if target is None:
+            report.false_positives.append(prediction)
+            continue
+        key = id(target)
+        if key not in claimed:
+            record = LeadTimeRecord(prediction=prediction, failure=target)
+            claimed[key] = record
+            report.matched.append(record)
+        # else: duplicate flag for an already-predicted failure — ignored.
+
+    predicted_ids = set(claimed)
+    for failure in failures:
+        if id(failure) not in predicted_ids:
+            report.missed_failures.append(failure)
+    return report

@@ -1,0 +1,209 @@
+"""Algorithm 2's rule-checking engine over token events.
+
+:class:`ChainMatcher` is the optimized direct implementation used by the
+evaluation: per-node state is three integers (active rule, position,
+last-match time), and each token costs O(1) — an equality check against
+the expected next token plus dispatch on chain-starting tokens.  Its
+semantics follow Algorithm 2 exactly:
+
+* a token starting some rule activates that rule (first match wins);
+* a token equal to the active rule's expected next token advances it;
+* any other token is **skipped** while the gap since the last matched
+  token stays within the ΔT timeout (#12);
+* a timeout violation resets the parser, restarting at the current
+  token (#13);
+* completing a rule flags a prediction and resets, continuing with the
+  next phrase after the match.
+
+:class:`OracleTracker` runs every rule concurrently (what a hypothetical
+multi-parser would do); the Table V experiment compares it to
+:class:`ChainMatcher` to count interleavings and check that the
+first-match policy misses no failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .chains import ChainSet
+
+
+@dataclass
+class MatcherStats:
+    """Counters describing one matcher's life (used by Table V / Fig 12)."""
+
+    fed: int = 0
+    advanced: int = 0
+    skipped: int = 0
+    interleaved_skips: int = 0  # skipped tokens that belong to some other rule
+    resets_timeout: int = 0
+    matches: int = 0
+    activations: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Match:
+    """A completed rule match."""
+
+    chain_id: str
+    start_time: float  # arrival of the first matched phrase
+    end_time: float  # arrival of the phrase completing the match
+    tokens: Tuple[int, ...]
+
+
+class ChainMatcher:
+    """Single-rule-at-a-time matcher (Aarohi's policy) for one node."""
+
+    __slots__ = (
+        "chains",
+        "timeout",
+        "stats",
+        "_first_of",
+        "_sequences",
+        "_chain_ids",
+        "_token_owner",
+        "_active",
+        "_pos",
+        "_last_time",
+        "_start_time",
+    )
+
+    def __init__(self, chains: ChainSet, timeout: Optional[float] = None):
+        self.chains = chains
+        self.timeout = chains.suggest_timeout() if timeout is None else timeout
+        if self.timeout <= 0:
+            raise ValueError("timeout must be positive")
+        self.stats = MatcherStats()
+        # Dense rule tables.
+        self._sequences: List[Tuple[int, ...]] = [c.tokens for c in chains]
+        self._chain_ids: List[str] = [c.chain_id for c in chains]
+        # First-token dispatch: token → lowest rule index starting with it.
+        self._first_of: Dict[int, int] = {}
+        for idx, seq in enumerate(self._sequences):
+            self._first_of.setdefault(seq[0], idx)
+        # token → set of rule indices containing it (interleaving stats).
+        self._token_owner: Dict[int, frozenset[int]] = {}
+        owners: Dict[int, set[int]] = {}
+        for idx, seq in enumerate(self._sequences):
+            for tok in seq:
+                owners.setdefault(tok, set()).add(idx)
+        self._token_owner = {t: frozenset(s) for t, s in owners.items()}
+        self._active: int = -1
+        self._pos: int = 0
+        self._last_time: float = 0.0
+        self._start_time: float = 0.0
+
+    # -- state ---------------------------------------------------------
+    @property
+    def active_chain(self) -> Optional[str]:
+        return self._chain_ids[self._active] if self._active >= 0 else None
+
+    @property
+    def position(self) -> int:
+        return self._pos
+
+    def reset(self) -> None:
+        self._active = -1
+        self._pos = 0
+
+    # -- feeding ---------------------------------------------------------
+    def feed(self, token: int, time: float) -> Optional[Match]:
+        """Process one tokenized phrase; returns a :class:`Match` when a
+        rule completes."""
+        self.stats.fed += 1
+        if self._active < 0:
+            self._try_activate(token, time)
+            return None
+
+        if time - self._last_time > self.timeout:
+            # Inordinate delay: this is not the same failure pattern.
+            self.stats.resets_timeout += 1
+            self.reset()
+            self._try_activate(token, time)
+            return None
+
+        seq = self._sequences[self._active]
+        if token == seq[self._pos]:
+            self.stats.advanced += 1
+            self._pos += 1
+            self._last_time = time
+            if self._pos == len(seq):
+                self.stats.matches += 1
+                match = Match(
+                    chain_id=self._chain_ids[self._active],
+                    start_time=self._start_time,
+                    end_time=time,
+                    tokens=seq,
+                )
+                self.reset()
+                return match
+            return None
+
+        # Mismatch within the timeout window: skip the token (#12).
+        self.stats.skipped += 1
+        owners = self._token_owner.get(token)
+        if owners and owners != {self._active}:
+            self.stats.interleaved_skips += 1
+        return None
+
+    def _try_activate(self, token: int, time: float) -> None:
+        rule = self._first_of.get(token)
+        if rule is None:
+            return
+        self._active = rule
+        self._pos = 1
+        self._last_time = time
+        self._start_time = time
+        self.stats.activations += 1
+        # Single-phrase chains are rejected by ChainSet, so no immediate
+        # match is possible here.
+
+
+@dataclass
+class _Cursor:
+    pos: int
+    start_time: float
+    last_time: float
+
+
+class OracleTracker:
+    """Tracks *all* rules concurrently with the same skip/timeout
+    semantics — the exhaustive comparator for Table V."""
+
+    def __init__(self, chains: ChainSet, timeout: Optional[float] = None):
+        self.chains = chains
+        self.timeout = chains.suggest_timeout() if timeout is None else timeout
+        self._sequences = [c.tokens for c in chains]
+        self._chain_ids = [c.chain_id for c in chains]
+        self._cursors: Dict[int, _Cursor] = {}
+
+    def feed(self, token: int, time: float) -> List[Match]:
+        matches: List[Match] = []
+        timeout = self.timeout
+        dead: List[int] = []
+        for idx, cursor in self._cursors.items():
+            if time - cursor.last_time > timeout:
+                dead.append(idx)
+                continue
+            seq = self._sequences[idx]
+            if token == seq[cursor.pos]:
+                cursor.pos += 1
+                cursor.last_time = time
+                if cursor.pos == len(seq):
+                    matches.append(
+                        Match(
+                            chain_id=self._chain_ids[idx],
+                            start_time=cursor.start_time,
+                            end_time=time,
+                            tokens=seq,
+                        )
+                    )
+                    dead.append(idx)
+        for idx in dead:
+            del self._cursors[idx]
+        # New activations (a rule may re-activate right after matching).
+        for idx, seq in enumerate(self._sequences):
+            if idx not in self._cursors and seq[0] == token and len(seq) > 1:
+                self._cursors[idx] = _Cursor(pos=1, start_time=time, last_time=time)
+        return matches

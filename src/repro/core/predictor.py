@@ -1,0 +1,220 @@
+"""The Aarohi online predictor (Phase 2, Algorithm 2).
+
+Pipeline per log event: anchored template scan (generated lexer) →
+discard if the phrase belongs to no failure chain → feed the token to
+the rule-checking backend → emit a :class:`Prediction` on a complete
+rule match.
+
+Two interchangeable, cross-validated backends:
+
+* ``backend="matcher"`` — the optimized direct :class:`ChainMatcher`
+  (what the paper's measured numbers correspond to);
+* ``backend="lalr"`` — a generated LALR(1) parser driven through
+  :class:`~repro.parsegen.runtime.StreamingParser`, with token skips
+  implemented as non-destructive rejections and ΔT timeouts as parser
+  resets; the compiler-architecture path of Fig. 6.
+
+Prediction time is measured per completed match: the cumulative
+tokenize+feed cost of the phrases participating in the chain check
+since the last reset (the paper's "time taken to check if a variable
+length sequence of phrases matches any of the FCs").
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Callable, List, Literal, Optional
+
+from ..parsegen import END, FeedResult, StreamingParser
+from .chains import ChainSet
+from .events import LogEvent, Prediction
+from .grammar_builder import build_chain_tables, terminal_name
+from .matcher import ChainMatcher, Match
+from .rules import build_rules
+
+Tokenizer = Callable[[str], Optional[int]]
+Backend = Literal["matcher", "lalr"]
+
+
+@dataclass
+class PredictorStats:
+    lines_seen: int = 0
+    lines_tokenized: int = 0  # FC-related phrases (Fig. 12 numerator)
+    predictions: int = 0
+    tokenize_seconds: float = 0.0
+    feed_seconds: float = 0.0
+
+    @property
+    def fc_related_fraction(self) -> float:
+        if not self.lines_seen:
+            return 0.0
+        return self.lines_tokenized / self.lines_seen
+
+
+class AarohiPredictor:
+    """Per-node online failure predictor.
+
+    Use :meth:`process` for raw log events (scan + parse) or
+    :meth:`feed_token` when events are pre-tokenized.
+    """
+
+    def __init__(
+        self,
+        chains: ChainSet,
+        tokenizer: Tokenizer,
+        *,
+        timeout: Optional[float] = None,
+        backend: Backend = "matcher",
+        node: str = "",
+        clock: Callable[[], float] = _time.perf_counter,
+    ):
+        self.chains = chains
+        self.tokenizer = tokenizer
+        self.node = node
+        self.backend: Backend = backend
+        self.stats = PredictorStats()
+        self._clock = clock
+        self._chain_cost = 0.0  # accumulated check time for current chain
+        if backend == "matcher":
+            self._engine: _Engine = _MatcherEngine(chains, timeout)
+        elif backend == "lalr":
+            self._engine = _LalrEngine(chains, timeout)
+        else:
+            raise ValueError(f"unknown backend {backend!r}")
+
+    @classmethod
+    def from_store(
+        cls,
+        chains: ChainSet,
+        store,
+        *,
+        optimized: bool = True,
+        **kwargs,
+    ) -> "AarohiPredictor":
+        """Wire a predictor whose scanner is generated from a
+        :class:`~repro.templates.store.TemplateStore`, restricted to
+        FC-related templates (non-FC phrases are never tokenized)."""
+        if optimized:
+            scanner = store.compile_scanner(keep=chains.token_set)
+        else:
+            from ..templates.store import NaiveTemplateScanner
+
+            scanner = NaiveTemplateScanner(store, keep=chains.token_set)
+        return cls(chains, scanner.tokenize, **kwargs)
+
+    # -- processing ------------------------------------------------------
+    def process(self, event: LogEvent) -> Optional[Prediction]:
+        """Scan + parse one raw log event."""
+        clock = self._clock
+        self.stats.lines_seen += 1
+        t0 = clock()
+        token = self.tokenizer(event.message)
+        t1 = clock()
+        self.stats.tokenize_seconds += t1 - t0
+        if token is None or not self.chains.is_relevant(token):
+            # Not FC-related: discarded during lexical scanning.  The
+            # scan cost still counts toward the running chain check.
+            self._chain_cost += t1 - t0
+            return None
+        self.stats.lines_tokenized += 1
+        return self._feed(token, event.time, t1 - t0)
+
+    def feed_token(self, token: int, event_time: float) -> Optional[Prediction]:
+        """Feed a pre-tokenized phrase (used by token-level benches)."""
+        return self._feed(token, event_time, 0.0)
+
+    def _feed(self, token: int, event_time: float, scan_cost: float) -> Optional[Prediction]:
+        clock = self._clock
+        t0 = clock()
+        match = self._engine.feed(token, event_time)
+        cost = clock() - t0
+        self.stats.feed_seconds += cost
+        self._chain_cost += scan_cost + cost
+        if match is None:
+            return None
+        prediction_time = self._chain_cost
+        self._chain_cost = 0.0
+        self.stats.predictions += 1
+        return Prediction(
+            node=self.node,
+            chain_id=match.chain_id,
+            flagged_at=match.end_time,
+            prediction_time=prediction_time,
+            matched_tokens=match.tokens,
+        )
+
+    def reset(self) -> None:
+        self._engine.reset()
+        self._chain_cost = 0.0
+
+
+class _Engine:
+    def feed(self, token: int, time: float) -> Optional[Match]:  # pragma: no cover
+        raise NotImplementedError
+
+    def reset(self) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class _MatcherEngine(_Engine):
+    def __init__(self, chains: ChainSet, timeout: Optional[float]):
+        self.matcher = ChainMatcher(chains, timeout)
+
+    def feed(self, token: int, time: float) -> Optional[Match]:
+        return self.matcher.feed(token, time)
+
+    def reset(self) -> None:
+        self.matcher.reset()
+
+
+class _LalrEngine(_Engine):
+    """Algorithm 2 on top of the generated LALR parser.
+
+    The streaming parser rejects non-viable tokens without touching the
+    stack (= skip).  A complete FC has been consumed exactly when the
+    parser would accept ``$end``; at that point we feed ``$end`` to run
+    the semantic action, read the chain id, and reset.
+    """
+
+    def __init__(self, chains: ChainSet, timeout: Optional[float]):
+        self.chains = chains
+        self.timeout = chains.suggest_timeout() if timeout is None else timeout
+        rule_set = build_rules(chains, factor=False)
+        self.tables = build_chain_tables(rule_set)
+        self.parser = StreamingParser(self.tables)
+        self._last_time = 0.0
+        self._start_time = 0.0
+        self._tokens: List[int] = []
+
+    def feed(self, token: int, time: float) -> Optional[Match]:
+        parser = self.parser
+        active = parser.depth > 0
+        if active and time - self._last_time > self.timeout:
+            parser.reset()
+            self._tokens.clear()
+            active = False
+        result = parser.feed(terminal_name(token), token)
+        if result is FeedResult.ERROR:
+            return None  # skip (mid-chain mismatch or irrelevant start)
+        if not active:
+            self._start_time = time
+        self._last_time = time
+        self._tokens.append(token)
+        if parser.would_accept(END):
+            parser.feed(END)
+            chain_id = parser.result  # set by the accept action
+            tokens = tuple(self._tokens)
+            parser.reset()
+            self._tokens.clear()
+            return Match(
+                chain_id=chain_id,
+                start_time=self._start_time,
+                end_time=time,
+                tokens=tokens,
+            )
+        return None
+
+    def reset(self) -> None:
+        self.parser.reset()
+        self._tokens.clear()

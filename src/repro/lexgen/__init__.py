@@ -1,0 +1,20 @@
+"""Scanner generator (the repo's "flex" analog).
+
+Build a :class:`LexSpec` of named, prioritized regex rules, compile it to
+one merged minimized DFA, and tokenize text with longest-match /
+first-rule-wins semantics via :class:`Scanner`.
+"""
+
+from .scanner import LexToken, Scanner, ScanError
+from .spec import CompiledLexSpec, LexRule, LexSpec, LexSpecError, spec_from_pairs
+
+__all__ = [
+    "CompiledLexSpec",
+    "LexRule",
+    "LexSpec",
+    "LexSpecError",
+    "LexToken",
+    "ScanError",
+    "Scanner",
+    "spec_from_pairs",
+]

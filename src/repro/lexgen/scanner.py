@@ -1,0 +1,81 @@
+"""Scanner runtime: turn text into a token stream using a compiled spec.
+
+Two error policies, selectable per scanner:
+
+* ``on_error="skip"`` (default, what Aarohi needs): characters that start
+  no token are silently consumed one at a time.  Raw log lines are full
+  of free text between the phrases the predictor cares about.
+* ``on_error="raise"``: a :class:`ScanError` pinpoints the offending
+  offset — the right default for strict grammars in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Literal
+
+from .spec import CompiledLexSpec, LexSpec
+
+
+@dataclass(frozen=True, slots=True)
+class LexToken:
+    """A scanned token: rule name, matched lexeme and [start, end) span."""
+
+    name: str
+    lexeme: str
+    start: int
+    end: int
+
+
+class ScanError(ValueError):
+    """Raised (under ``on_error="raise"``) when no rule matches."""
+
+    def __init__(self, text: str, pos: int):
+        snippet = text[pos : pos + 20]
+        super().__init__(f"no rule matches at offset {pos}: {snippet!r}...")
+        self.pos = pos
+
+
+class Scanner:
+    """Tokenizes strings with longest-match / first-rule-wins semantics."""
+
+    def __init__(
+        self,
+        spec: LexSpec | CompiledLexSpec,
+        *,
+        on_error: Literal["skip", "raise"] = "skip",
+        minimized: bool = True,
+    ):
+        if isinstance(spec, LexSpec):
+            spec = spec.compile(minimized=minimized)
+        self.compiled = spec
+        self.on_error = on_error
+        # Local caches to keep the scan loop tight.
+        self._rules = spec.spec.rules
+
+    def tokens(self, text: str, pos: int = 0) -> Iterator[LexToken]:
+        """Yield tokens of ``text`` starting at ``pos``."""
+        match = self.compiled.longest_match
+        rules = self._rules
+        n = len(text)
+        while pos < n:
+            tag, end = match(text, pos)
+            if tag is None or end == pos:
+                if self.on_error == "raise":
+                    raise ScanError(text, pos)
+                pos += 1
+                continue
+            rule = rules[tag]
+            if not rule.skip:
+                yield LexToken(rule.name, text[pos:end], pos, end)
+            pos = end
+
+    def scan(self, text: str) -> List[LexToken]:
+        """Eagerly tokenize ``text``."""
+        return list(self.tokens(text))
+
+    def first_token(self, text: str) -> LexToken | None:
+        """First non-skip token in ``text``, or None."""
+        for token in self.tokens(text):
+            return token
+        return None

@@ -1,0 +1,48 @@
+"""Synthetic HPC cluster log substrate (Tables I–II, Fig. 5 shapes).
+
+* :mod:`.topology` — Cray node naming / cluster enumeration
+* :mod:`.catalogs` — per-family message vocabularies (benign + anomaly)
+* :mod:`.faults` — failure-chain definitions and ΔT / lead-gap models
+* :mod:`.systems` — HPC1–HPC4 configs (Table II)
+* :mod:`.generator` — seeded workload generation with chain injection
+* :mod:`.stream` — merge / serialize / replay plumbing
+"""
+
+from .catalogs import Catalog, CatalogEntry, catalog_for
+from .faults import ChainDef, DeltaTModel, LeadGapModel, chain_defs_for
+from .generator import ClusterLogGenerator, InjectedChain, LogWindow
+from .placement import ClusterProfile, PlacementResult, compare_placements, evaluate_placement
+from .stream import clip_window, merge_streams, read_log, split_by_node, write_log
+from .systems import ALL_SYSTEMS, HPC1, HPC2, HPC3, HPC4, SystemConfig, system_by_name
+from .topology import ClusterTopology, NodeName
+
+__all__ = [
+    "ALL_SYSTEMS",
+    "Catalog",
+    "CatalogEntry",
+    "ChainDef",
+    "ClusterLogGenerator",
+    "ClusterProfile",
+    "ClusterTopology",
+    "DeltaTModel",
+    "HPC1",
+    "HPC2",
+    "HPC3",
+    "HPC4",
+    "InjectedChain",
+    "LeadGapModel",
+    "LogWindow",
+    "PlacementResult",
+    "NodeName",
+    "SystemConfig",
+    "catalog_for",
+    "chain_defs_for",
+    "clip_window",
+    "compare_placements",
+    "evaluate_placement",
+    "merge_streams",
+    "read_log",
+    "split_by_node",
+    "system_by_name",
+    "write_log",
+]

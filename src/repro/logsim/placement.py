@@ -1,0 +1,131 @@
+"""Predictor placement analysis (§IV Discussion 1, Fig. 16).
+
+Where should the online predictor live?  The paper argues for the HSS
+network on Cray systems (logs already aggregate there; compute nodes
+stay untouched) and notes the data-center multi-tier case is harder
+(aggregating from thousands of hosts can throttle the network).  This
+module turns that discussion into a quantitative model:
+
+* per-node log rates × message sizes → aggregate bandwidth demand;
+* per-message prediction cost (from measured benchmarks) → CPU demand
+  at the aggregation point;
+* on-node placement → per-node CPU overhead that competes with jobs.
+
+``compare_placements`` evaluates the three strategies for a cluster and
+reports which constraints bind — reproducing the paper's qualitative
+conclusions as numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class ClusterProfile:
+    """Workload parameters for a placement study."""
+
+    n_nodes: int
+    log_rate_hz: float  # messages per node per second (healthy mean)
+    mean_message_bytes: int = 160
+    burst_factor: float = 20.0  # peak/mean log-rate ratio during incidents
+
+    @property
+    def aggregate_rate_hz(self) -> float:
+        return self.n_nodes * self.log_rate_hz
+
+    @property
+    def aggregate_bandwidth_bps(self) -> float:
+        return self.aggregate_rate_hz * self.mean_message_bytes * 8.0
+
+    @property
+    def peak_bandwidth_bps(self) -> float:
+        return self.aggregate_bandwidth_bps * self.burst_factor
+
+
+@dataclass(frozen=True)
+class PlacementResult:
+    """One placement strategy's resource picture."""
+
+    strategy: str  # "hss" | "on_node" | "datacenter_tier"
+    cpu_cores_needed: float  # at the predictor location(s), total
+    per_node_cpu_fraction: float  # overhead on compute nodes
+    network_utilization: float  # of the aggregation link
+    feasible: bool
+    binding_constraint: str
+
+
+def evaluate_placement(
+    profile: ClusterProfile,
+    *,
+    strategy: str,
+    per_message_cost_s: float = 5e-6,
+    aggregation_link_bps: float = 10e9,
+    core_budget: int = 32,
+) -> PlacementResult:
+    """Resource demands of one placement strategy.
+
+    ``per_message_cost_s`` defaults to the measured Aarohi per-entry
+    cost on this substrate (≈5 µs; see Table VI bench).
+    """
+    if strategy == "hss":
+        # Central predictor on the HSS workstation: pays CPU for every
+        # message and the (already existing) log-aggregation bandwidth.
+        cores = profile.aggregate_rate_hz * per_message_cost_s * profile.burst_factor
+        net = profile.peak_bandwidth_bps / aggregation_link_bps
+        feasible = cores <= core_budget and net < 1.0
+        binding = (
+            "none" if feasible
+            else ("cpu" if cores > core_budget else "network")
+        )
+        return PlacementResult(
+            strategy=strategy,
+            cpu_cores_needed=cores,
+            per_node_cpu_fraction=0.0,
+            network_utilization=net,
+            feasible=feasible,
+            binding_constraint=binding,
+        )
+    if strategy == "on_node":
+        # Daemon per compute node: no extra network, but job interference.
+        per_node = profile.log_rate_hz * per_message_cost_s * profile.burst_factor
+        feasible = per_node < 0.01  # <1% of one core per node tolerated
+        return PlacementResult(
+            strategy=strategy,
+            cpu_cores_needed=per_node * profile.n_nodes,
+            per_node_cpu_fraction=per_node,
+            network_utilization=0.0,
+            feasible=feasible,
+            binding_constraint="none" if feasible else "job interference",
+        )
+    if strategy == "datacenter_tier":
+        # Multi-tier aggregation: same CPU as HSS but a shared tier link
+        # that also carries tenant traffic — only a slice is available.
+        cores = profile.aggregate_rate_hz * per_message_cost_s * profile.burst_factor
+        available = aggregation_link_bps * 0.1  # 10% slice for telemetry
+        net = profile.peak_bandwidth_bps / available
+        feasible = cores <= core_budget and net < 1.0
+        binding = (
+            "none" if feasible
+            else ("network" if net >= 1.0 else "cpu")
+        )
+        return PlacementResult(
+            strategy=strategy,
+            cpu_cores_needed=cores,
+            per_node_cpu_fraction=0.0,
+            network_utilization=net,
+            feasible=feasible,
+            binding_constraint=binding,
+        )
+    raise ValueError(f"unknown placement strategy {strategy!r}")
+
+
+def compare_placements(
+    profile: ClusterProfile, **kwargs
+) -> Dict[str, PlacementResult]:
+    """All three strategies side by side."""
+    return {
+        strategy: evaluate_placement(profile, strategy=strategy, **kwargs)
+        for strategy in ("hss", "on_node", "datacenter_tier")
+    }

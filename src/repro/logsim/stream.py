@@ -1,0 +1,64 @@
+"""Stream plumbing: merging, serialization, replay.
+
+The HSS aggregation point (Fig. 16) sees one time-ordered stream merged
+from every controller.  These helpers merge per-source event iterators
+by timestamp (heap merge, lazily), write/read the syslog-like text form,
+and replay a recorded window as an iterator.
+"""
+
+from __future__ import annotations
+
+import heapq
+from pathlib import Path
+from typing import IO, Iterable, Iterator, List, Sequence, Union
+
+from ..core.events import LogEvent
+
+
+def merge_streams(*streams: Iterable[LogEvent]) -> Iterator[LogEvent]:
+    """Lazily merge time-ordered event streams into one ordered stream."""
+    return heapq.merge(*streams, key=lambda e: e.time)
+
+
+def write_log(events: Iterable[LogEvent], target: Union[str, Path, IO[str]]) -> int:
+    """Serialize events, one line each; returns the line count."""
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as fh:
+            return write_log(events, fh)
+    count = 0
+    for event in events:
+        target.write(event.to_line() + "\n")
+        count += 1
+    return count
+
+
+def read_log(source: Union[str, Path, IO[str]]) -> Iterator[LogEvent]:
+    """Parse a log file produced by :func:`write_log` lazily."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as fh:
+            yield from read_log(fh)
+        return
+    for line in source:
+        line = line.rstrip("\n")
+        if line:
+            yield LogEvent.from_line(line)
+
+
+def split_by_node(events: Iterable[LogEvent]) -> dict[str, List[LogEvent]]:
+    """Group a stream per source node (predictor-instance routing)."""
+    out: dict[str, List[LogEvent]] = {}
+    for event in events:
+        out.setdefault(event.node, []).append(event)
+    return out
+
+
+def clip_window(
+    events: Sequence[LogEvent], start: float, end: float
+) -> List[LogEvent]:
+    """Events with ``start <= time < end`` (assumes sorted input)."""
+    import bisect
+
+    times = [e.time for e in events]
+    lo = bisect.bisect_left(times, start)
+    hi = bisect.bisect_left(times, end)
+    return list(events[lo:hi])

@@ -1,0 +1,88 @@
+"""Cray-style cluster topology and node naming.
+
+Cray XC/XE systems name compute nodes ``c<cab>-<row>c<chassis>s<slot>n<node>``
+(e.g. ``c0-0c2s0n2``): cabinets in a grid of columns × rows, 3 chassis
+per cabinet, 16 blade slots per chassis, 4 nodes per blade.  The
+hardware supervisory system (HSS) view in Fig. 16 aggregates per-node
+logs along that hierarchy, which is why the predictor can key its
+per-node instances off the name alone.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+CHASSIS_PER_CABINET = 3
+SLOTS_PER_CHASSIS = 16
+NODES_PER_SLOT = 4
+NODES_PER_CABINET = CHASSIS_PER_CABINET * SLOTS_PER_CHASSIS * NODES_PER_SLOT  # 192
+
+_NODE_RE = re.compile(r"^c(\d+)-(\d+)c(\d+)s(\d+)n(\d+)$")
+
+
+@dataclass(frozen=True, slots=True)
+class NodeName:
+    """Parsed Cray node identifier."""
+
+    cabinet_col: int
+    cabinet_row: int
+    chassis: int
+    slot: int
+    node: int
+
+    def __str__(self) -> str:
+        return (
+            f"c{self.cabinet_col}-{self.cabinet_row}"
+            f"c{self.chassis}s{self.slot}n{self.node}"
+        )
+
+    @classmethod
+    def parse(cls, text: str) -> "NodeName":
+        m = _NODE_RE.match(text)
+        if not m:
+            raise ValueError(f"not a Cray node name: {text!r}")
+        col, row, chassis, slot, node = map(int, m.groups())
+        if chassis >= CHASSIS_PER_CABINET or slot >= SLOTS_PER_CHASSIS or node >= NODES_PER_SLOT:
+            raise ValueError(f"out-of-range component in {text!r}")
+        return cls(col, row, chassis, slot, node)
+
+    @property
+    def blade(self) -> str:
+        """The blade (slot) this node shares with its neighbours."""
+        return f"c{self.cabinet_col}-{self.cabinet_row}c{self.chassis}s{self.slot}"
+
+
+class ClusterTopology:
+    """Deterministic enumeration of node names for a cluster of a given
+    size, filling cabinets row-major like a real floor plan."""
+
+    def __init__(self, n_nodes: int, *, cabinets_per_row: int = 16):
+        if n_nodes <= 0:
+            raise ValueError("cluster needs at least one node")
+        self.n_nodes = n_nodes
+        self.cabinets_per_row = cabinets_per_row
+
+    def node_name(self, index: int) -> str:
+        if not 0 <= index < self.n_nodes:
+            raise IndexError(index)
+        cabinet, rest = divmod(index, NODES_PER_CABINET)
+        row, col = divmod(cabinet, self.cabinets_per_row)
+        chassis, rest = divmod(rest, SLOTS_PER_CHASSIS * NODES_PER_SLOT)
+        slot, node = divmod(rest, NODES_PER_SLOT)
+        return str(NodeName(col, row, chassis, slot, node))
+
+    def nodes(self) -> Iterator[str]:
+        for i in range(self.n_nodes):
+            yield self.node_name(i)
+
+    def sample_nodes(self, rng, count: int) -> List[str]:
+        """``count`` distinct node names, RNG-chosen."""
+        count = min(count, self.n_nodes)
+        indices = rng.choice(self.n_nodes, size=count, replace=False)
+        return [self.node_name(int(i)) for i in indices]
+
+    @property
+    def n_cabinets(self) -> int:
+        return -(-self.n_nodes // NODES_PER_CABINET)

@@ -1,0 +1,49 @@
+"""Proactive fault-tolerance economics (§IV Discussion).
+
+* :mod:`.checkpoint` — Young/Daly intervals, waste model, proactive-vs-
+  periodic comparison
+* :mod:`.actions` — published recovery-action cost models
+* :mod:`.planner` — per-prediction feasibility and compute savings
+"""
+
+from .actions import (
+    LAZY_CHECKPOINT,
+    LIVE_MIGRATION,
+    PROCESS_MIGRATION,
+    QUARANTINE,
+    STANDARD_ACTIONS,
+    RecoveryAction,
+    actions_by_name,
+)
+from .checkpoint import (
+    ProactiveSavings,
+    daly_interval,
+    proactive_vs_periodic,
+    waste_fraction,
+    young_interval,
+)
+from .planner import ActionFeasibility, MitigationPlan, compute_saved_node_seconds, plan_mitigation
+from .simulator import PolicyOutcome, SimConfig, SimReport, simulate_policies
+
+__all__ = [
+    "ActionFeasibility",
+    "LAZY_CHECKPOINT",
+    "LIVE_MIGRATION",
+    "MitigationPlan",
+    "PROCESS_MIGRATION",
+    "ProactiveSavings",
+    "QUARANTINE",
+    "PolicyOutcome",
+    "RecoveryAction",
+    "SimConfig",
+    "SimReport",
+    "STANDARD_ACTIONS",
+    "actions_by_name",
+    "compute_saved_node_seconds",
+    "daly_interval",
+    "plan_mitigation",
+    "simulate_policies",
+    "proactive_vs_periodic",
+    "waste_fraction",
+    "young_interval",
+]

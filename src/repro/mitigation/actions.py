@@ -1,0 +1,91 @@
+"""Proactive recovery actions and their published cost models (§IV.2).
+
+The paper argues Aarohi's >2 min effective lead times leave room for
+the known proactive actions:
+
+* live VM/job migration — <24 s (Wang et al. [23]);
+* pipelined process-level migration — 3.1 s (Ouyang et al. [30]);
+* quarantine (drain node from the scheduler) — seconds;
+* on-demand (lazy) checkpoint — application dependent.
+
+Each action has a completion-time distribution; ``fits_within`` is the
+feasibility predicate the planner evaluates per prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RecoveryAction:
+    """A mitigation with a (mean, p99) completion-time model in seconds."""
+
+    name: str
+    mean_cost: float
+    p99_cost: float
+    description: str = ""
+
+    def __post_init__(self):
+        if self.mean_cost <= 0 or self.p99_cost < self.mean_cost:
+            raise ValueError(f"bad cost model for {self.name!r}")
+
+    def fits_within(self, lead_time: float, *, conservative: bool = True) -> bool:
+        """Can the action finish before the node dies?"""
+        budget = self.p99_cost if conservative else self.mean_cost
+        return lead_time >= budget
+
+    def sample_cost(self, rng: np.random.Generator) -> float:
+        """Lognormal draw matching (mean, p99)."""
+        # Solve lognormal params from mean and p99 ≈ exp(mu + 2.326 sigma).
+        import math
+
+        sigma = max(
+            1e-3,
+            (math.log(self.p99_cost) - math.log(self.mean_cost)) / 2.326 + 0.05,
+        )
+        mu = math.log(self.mean_cost) - sigma**2 / 2.0
+        return float(rng.lognormal(mu, sigma))
+
+
+PROCESS_MIGRATION = RecoveryAction(
+    name="process_migration",
+    mean_cost=3.1,
+    p99_cost=8.0,
+    description="Pipelined process-level live migration (Ouyang et al.)",
+)
+
+LIVE_MIGRATION = RecoveryAction(
+    name="live_migration",
+    mean_cost=15.0,
+    p99_cost=24.0,
+    description="Whole-job live migration (Wang et al., <24 s)",
+)
+
+QUARANTINE = RecoveryAction(
+    name="quarantine",
+    mean_cost=1.0,
+    p99_cost=3.0,
+    description="Drain node from the scheduler; no new work placed",
+)
+
+LAZY_CHECKPOINT = RecoveryAction(
+    name="lazy_checkpoint",
+    mean_cost=45.0,
+    p99_cost=110.0,
+    description="On-demand application checkpoint (Tiwari et al.)",
+)
+
+STANDARD_ACTIONS: List[RecoveryAction] = [
+    QUARANTINE,
+    PROCESS_MIGRATION,
+    LIVE_MIGRATION,
+    LAZY_CHECKPOINT,
+]
+
+
+def actions_by_name() -> Dict[str, RecoveryAction]:
+    return {a.name: a for a in STANDARD_ACTIONS}

@@ -1,0 +1,105 @@
+"""Checkpoint/restart economics (Daly's model).
+
+Supplies the quantitative backdrop of the paper's introduction: shorter
+MTBFs force shorter optimal checkpoint intervals and higher waste, which
+is why proactive prediction pays.  Implements Young's first-order and
+Daly's higher-order optimal-interval approximations plus the standard
+waste fraction model, and the *lazy checkpointing* comparison the paper
+cites ([19]): with a predictor giving lead time ≥ action cost, a
+checkpoint can be taken on demand instead of periodically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import exp, sqrt
+
+
+def young_interval(checkpoint_cost: float, mtbf: float) -> float:
+    """Young's optimal checkpoint interval: sqrt(2·δ·M)."""
+    _validate(checkpoint_cost, mtbf)
+    return sqrt(2.0 * checkpoint_cost * mtbf)
+
+
+def daly_interval(checkpoint_cost: float, mtbf: float) -> float:
+    """Daly's higher-order optimum.
+
+    For δ < 2M:  τ = sqrt(2δM)·[1 + (1/3)·sqrt(δ/2M) + (δ/2M)/9] − δ
+    otherwise τ = M (checkpointing continuously is already losing).
+    """
+    _validate(checkpoint_cost, mtbf)
+    if checkpoint_cost >= 2.0 * mtbf:
+        return mtbf
+    ratio = sqrt(checkpoint_cost / (2.0 * mtbf))
+    tau = sqrt(2.0 * checkpoint_cost * mtbf) * (
+        1.0 + ratio / 3.0 + (checkpoint_cost / (2.0 * mtbf)) / 9.0
+    ) - checkpoint_cost
+    return max(tau, checkpoint_cost)
+
+
+def waste_fraction(
+    interval: float, checkpoint_cost: float, mtbf: float, restart_cost: float = 0.0
+) -> float:
+    """Expected fraction of machine time lost to checkpoint overhead,
+    rework after failures, and restarts, under an exponential failure
+    model with rate 1/M and checkpoint period τ."""
+    _validate(checkpoint_cost, mtbf)
+    if interval <= 0:
+        raise ValueError("interval must be positive")
+    # Overhead while computing: δ per τ of useful work.
+    overhead = checkpoint_cost / (interval + checkpoint_cost)
+    # Expected rework on failure ≈ half a period + restart, paid at rate 1/M.
+    rework = ((interval + checkpoint_cost) / 2.0 + restart_cost) / mtbf
+    return min(1.0, overhead + rework)
+
+
+@dataclass(frozen=True)
+class ProactiveSavings:
+    """Periodic-vs-proactive checkpointing comparison for one cluster."""
+
+    periodic_waste: float
+    proactive_waste: float
+
+    @property
+    def waste_reduction(self) -> float:
+        if self.periodic_waste <= 0:
+            return 0.0
+        return 1.0 - self.proactive_waste / self.periodic_waste
+
+
+def proactive_vs_periodic(
+    *,
+    checkpoint_cost: float,
+    mtbf: float,
+    restart_cost: float,
+    prediction_recall: float,
+    action_cost: float,
+    safety_interval_factor: float = 4.0,
+) -> ProactiveSavings:
+    """Waste with Daly-periodic checkpointing vs predictor-driven action.
+
+    With recall ``r``, a fraction r of failures is pre-empted by an
+    action costing ``action_cost`` (e.g. a process migration); the rest
+    still pay rework against a *stretched* checkpoint interval (the
+    predictor lets the system checkpoint `safety_interval_factor`× less
+    often).
+    """
+    if not 0.0 <= prediction_recall <= 1.0:
+        raise ValueError("recall must be within [0, 1]")
+    tau = daly_interval(checkpoint_cost, mtbf)
+    periodic = waste_fraction(tau, checkpoint_cost, mtbf, restart_cost)
+
+    stretched = tau * safety_interval_factor
+    unpredicted = waste_fraction(stretched, checkpoint_cost, mtbf / max(1e-9, (1.0 - prediction_recall)), restart_cost) if prediction_recall < 1.0 else checkpoint_cost / (stretched + checkpoint_cost)
+    action_overhead = prediction_recall * action_cost / mtbf
+    return ProactiveSavings(
+        periodic_waste=periodic,
+        proactive_waste=min(1.0, unpredicted + action_overhead),
+    )
+
+
+def _validate(checkpoint_cost: float, mtbf: float) -> None:
+    if checkpoint_cost <= 0:
+        raise ValueError("checkpoint cost must be positive")
+    if mtbf <= 0:
+        raise ValueError("MTBF must be positive")

@@ -1,0 +1,92 @@
+"""Mitigation feasibility planning over measured lead times.
+
+Given the lead-time records a predictor produced and a recovery action,
+the planner answers the paper's bottom-line question (Observation 5 /
+§IV.2): *for what fraction of predicted failures does the lead time
+actually cover the mitigation?* — and how much compute would be saved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.leadtime import LeadTimeRecord
+from .actions import RecoveryAction, STANDARD_ACTIONS
+
+
+@dataclass(frozen=True)
+class ActionFeasibility:
+    """Feasibility of one action across a set of predictions."""
+
+    action: str
+    total: int
+    feasible: int
+    mean_margin: float  # mean (lead − cost) over feasible cases, seconds
+
+    @property
+    def fraction(self) -> float:
+        return self.feasible / self.total if self.total else 0.0
+
+
+@dataclass
+class MitigationPlan:
+    """Per-action feasibility plus the chosen default policy."""
+
+    feasibility: List[ActionFeasibility]
+    recommended: Optional[str]
+
+    def by_action(self) -> Dict[str, ActionFeasibility]:
+        return {f.action: f for f in self.feasibility}
+
+
+def plan_mitigation(
+    records: Sequence[LeadTimeRecord],
+    actions: Sequence[RecoveryAction] = tuple(STANDARD_ACTIONS),
+    *,
+    conservative: bool = True,
+) -> MitigationPlan:
+    """Evaluate every action against every paired prediction."""
+    feas: List[ActionFeasibility] = []
+    for action in actions:
+        budget = action.p99_cost if conservative else action.mean_cost
+        margins = [
+            r.effective_lead_time - budget
+            for r in records
+            if action.fits_within(r.effective_lead_time, conservative=conservative)
+        ]
+        feas.append(
+            ActionFeasibility(
+                action=action.name,
+                total=len(records),
+                feasible=len(margins),
+                mean_margin=float(np.mean(margins)) if margins else 0.0,
+            )
+        )
+    # Recommend the most thorough action that still covers ≥90% of cases.
+    recommended = None
+    for candidate in sorted(actions, key=lambda a: -a.mean_cost):
+        entry = next(f for f in feas if f.action == candidate.name)
+        if entry.fraction >= 0.9 and entry.total:
+            recommended = candidate.name
+            break
+    if recommended is None and feas and any(f.total for f in feas):
+        recommended = max(feas, key=lambda f: f.fraction).action
+    return MitigationPlan(feasibility=feas, recommended=recommended)
+
+
+def compute_saved_node_seconds(
+    records: Sequence[LeadTimeRecord],
+    action: RecoveryAction,
+    *,
+    rework_per_failure: float = 1800.0,
+) -> float:
+    """Node-seconds saved: each feasible pre-empted failure avoids
+    ``rework_per_failure`` of lost recomputation, minus action cost."""
+    saved = 0.0
+    for r in records:
+        if action.fits_within(r.effective_lead_time):
+            saved += rework_per_failure - action.mean_cost
+    return saved

@@ -1,0 +1,31 @@
+"""Minimal numpy deep-learning library (the paper's LSTM substrate).
+
+Implements exactly what the reproduction needs — embeddings, stacked
+LSTMs with truncated BPTT, a dense head, softmax cross-entropy, SGD and
+Adam — with a stateful per-step inference path so the online baselines
+pay a realistic per-log-entry model cost.
+"""
+
+from .init import normal, orthogonal, xavier_uniform
+from .layers import Dense, Embedding, Layer, cross_entropy, softmax
+from .lstm import LSTM, LSTMState
+from .model import NextTokenLSTM, TrainStats
+from .optim import Adam, SGD, clip_gradients
+
+__all__ = [
+    "Adam",
+    "Dense",
+    "Embedding",
+    "LSTM",
+    "LSTMState",
+    "Layer",
+    "NextTokenLSTM",
+    "SGD",
+    "TrainStats",
+    "clip_gradients",
+    "cross_entropy",
+    "normal",
+    "orthogonal",
+    "softmax",
+    "xavier_uniform",
+]

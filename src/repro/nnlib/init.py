@@ -1,0 +1,23 @@
+"""Parameter initializers for the mini DL library."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def xavier_uniform(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot/Xavier uniform init for dense weights."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def orthogonal(rng: np.random.Generator, rows: int, cols: int) -> np.ndarray:
+    """Orthogonal init — standard for recurrent weight matrices."""
+    a = rng.normal(size=(max(rows, cols), min(rows, cols)))
+    q, _r = np.linalg.qr(a)
+    q = q[:rows, :cols] if q.shape[0] >= rows else q.T[:rows, :cols]
+    return np.ascontiguousarray(q)
+
+
+def normal(rng: np.random.Generator, shape, scale: float = 0.01) -> np.ndarray:
+    return rng.normal(0.0, scale, size=shape)

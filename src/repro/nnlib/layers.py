@@ -1,0 +1,100 @@
+"""Dense / embedding layers and the softmax cross-entropy loss.
+
+Every layer follows the same contract: ``forward`` caches whatever the
+matching ``backward`` needs, ``backward`` accumulates parameter
+gradients into ``.grads`` and returns the gradient w.r.t. its input.
+Parameters and gradients are dicts keyed by name so optimizers can walk
+them generically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .init import normal, xavier_uniform
+
+
+class Layer:
+    """Base class: parameter/gradient bookkeeping."""
+
+    def __init__(self):
+        self.params: Dict[str, np.ndarray] = {}
+        self.grads: Dict[str, np.ndarray] = {}
+
+    def zero_grad(self) -> None:
+        for key, value in self.params.items():
+            self.grads[key] = np.zeros_like(value)
+
+    def n_params(self) -> int:
+        return sum(p.size for p in self.params.values())
+
+
+class Dense(Layer):
+    """Affine map ``y = x W + b`` over the last axis."""
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.params["W"] = xavier_uniform(rng, in_dim, out_dim)
+        self.params["b"] = np.zeros(out_dim)
+        self.zero_grad()
+        self._x: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return x @ self.params["W"] + self.params["b"]
+
+    def backward(self, d_out: np.ndarray) -> np.ndarray:
+        assert self._x is not None, "forward before backward"
+        x = self._x
+        flat_x = x.reshape(-1, x.shape[-1])
+        flat_d = d_out.reshape(-1, d_out.shape[-1])
+        self.grads["W"] += flat_x.T @ flat_d
+        self.grads["b"] += flat_d.sum(axis=0)
+        return d_out @ self.params["W"].T
+
+
+class Embedding(Layer):
+    """Token-id → dense vector lookup."""
+
+    def __init__(self, vocab: int, dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.vocab = vocab
+        self.params["E"] = normal(rng, (vocab, dim), scale=0.1)
+        self.zero_grad()
+        self._ids: Optional[np.ndarray] = None
+
+    def forward(self, ids: np.ndarray) -> np.ndarray:
+        self._ids = ids
+        return self.params["E"][ids]
+
+    def backward(self, d_out: np.ndarray) -> None:
+        assert self._ids is not None
+        np.add.at(self.grads["E"], self._ids, d_out)
+        return None  # ids are not differentiable
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def cross_entropy(
+    logits: np.ndarray, targets: np.ndarray
+) -> Tuple[float, np.ndarray]:
+    """Mean softmax cross-entropy and its gradient w.r.t. logits.
+
+    ``logits``: (..., V); ``targets``: integer ids of shape ``(...)``.
+    """
+    probs = softmax(logits)
+    flat_probs = probs.reshape(-1, probs.shape[-1])
+    flat_targets = targets.reshape(-1)
+    n = flat_targets.shape[0]
+    picked = flat_probs[np.arange(n), flat_targets]
+    loss = float(-np.log(np.clip(picked, 1e-12, None)).mean())
+    d_logits = flat_probs.copy()
+    d_logits[np.arange(n), flat_targets] -= 1.0
+    d_logits /= n
+    return loss, d_logits.reshape(logits.shape)

@@ -1,0 +1,160 @@
+"""LSTM layer: batched forward, truncated BPTT backward, stateful step.
+
+Gate layout follows the common packed convention: one input-to-hidden
+matrix ``Wx (D, 4H)`` and one hidden-to-hidden matrix ``Wh (H, 4H)``
+with columns ordered [input gate i | forget gate f | candidate g |
+output gate o].  The forget-gate bias starts at 1.0 (the standard
+gradient-flow trick).
+
+``forward``/``backward`` operate on full (B, T, D) sequences and are
+used for training; ``step``/``make_state`` run one timestep with
+explicit carried state — the shape online detectors (DeepLog/Desh-like
+baselines) need for per-log-entry inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .init import orthogonal, xavier_uniform
+from .layers import Layer
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+
+
+@dataclass
+class LSTMState:
+    """Carried (h, c) state for stateful stepping."""
+
+    h: np.ndarray
+    c: np.ndarray
+
+    def copy(self) -> "LSTMState":
+        return LSTMState(self.h.copy(), self.c.copy())
+
+
+class LSTM(Layer):
+    """Single LSTM layer over (batch, time, features) inputs."""
+
+    def __init__(self, in_dim: int, hidden: int, rng: np.random.Generator):
+        super().__init__()
+        self.in_dim = in_dim
+        self.hidden = hidden
+        self.params["Wx"] = xavier_uniform(rng, in_dim, 4 * hidden)
+        wh = np.concatenate(
+            [orthogonal(rng, hidden, hidden) for _ in range(4)], axis=1
+        )
+        self.params["Wh"] = wh
+        b = np.zeros(4 * hidden)
+        b[hidden : 2 * hidden] = 1.0  # forget-gate bias
+        self.params["b"] = b
+        self.zero_grad()
+        self._cache: Optional[dict] = None
+
+    # -- training path ---------------------------------------------------
+    def forward(self, x: np.ndarray, state: Optional[LSTMState] = None) -> np.ndarray:
+        """Run the full sequence; returns hidden states (B, T, H)."""
+        batch, steps, _ = x.shape
+        hid = self.hidden
+        h = np.zeros((batch, hid)) if state is None else state.h
+        c = np.zeros((batch, hid)) if state is None else state.c
+        Wx, Wh, b = self.params["Wx"], self.params["Wh"], self.params["b"]
+
+        hs = np.empty((batch, steps, hid))
+        cache_gates = np.empty((batch, steps, 4 * hid))
+        cache_c = np.empty((batch, steps, hid))
+        cache_c_prev = np.empty((batch, steps, hid))
+        cache_h_prev = np.empty((batch, steps, hid))
+
+        x_proj = x @ Wx  # (B, T, 4H) — one big matmul up front
+        for t in range(steps):
+            z = x_proj[:, t, :] + h @ Wh + b
+            i = _sigmoid(z[:, :hid])
+            f = _sigmoid(z[:, hid : 2 * hid])
+            g = np.tanh(z[:, 2 * hid : 3 * hid])
+            o = _sigmoid(z[:, 3 * hid :])
+            cache_h_prev[:, t] = h
+            cache_c_prev[:, t] = c
+            c = f * c + i * g
+            h = o * np.tanh(c)
+            hs[:, t] = h
+            cache_gates[:, t, :hid] = i
+            cache_gates[:, t, hid : 2 * hid] = f
+            cache_gates[:, t, 2 * hid : 3 * hid] = g
+            cache_gates[:, t, 3 * hid :] = o
+            cache_c[:, t] = c
+        self._cache = {
+            "x": x,
+            "gates": cache_gates,
+            "c": cache_c,
+            "c_prev": cache_c_prev,
+            "h_prev": cache_h_prev,
+        }
+        return hs
+
+    def backward(self, d_hs: np.ndarray) -> np.ndarray:
+        """BPTT from upstream gradients (B, T, H) → input grads (B, T, D)."""
+        assert self._cache is not None, "forward before backward"
+        cache = self._cache
+        x = cache["x"]
+        batch, steps, _ = x.shape
+        hid = self.hidden
+        Wx, Wh = self.params["Wx"], self.params["Wh"]
+        dWx, dWh, db = self.grads["Wx"], self.grads["Wh"], self.grads["b"]
+
+        dx = np.empty_like(x)
+        dh_next = np.zeros((batch, hid))
+        dc_next = np.zeros((batch, hid))
+        for t in range(steps - 1, -1, -1):
+            gates = cache["gates"][:, t]
+            i, f = gates[:, :hid], gates[:, hid : 2 * hid]
+            g, o = gates[:, 2 * hid : 3 * hid], gates[:, 3 * hid :]
+            c = cache["c"][:, t]
+            c_prev = cache["c_prev"][:, t]
+            h_prev = cache["h_prev"][:, t]
+            tanh_c = np.tanh(c)
+
+            dh = d_hs[:, t] + dh_next
+            dc = dc_next + dh * o * (1.0 - tanh_c**2)
+
+            do = dh * tanh_c
+            di = dc * g
+            dg = dc * i
+            df = dc * c_prev
+            dc_next = dc * f
+
+            dz = np.empty((batch, 4 * hid))
+            dz[:, :hid] = di * i * (1.0 - i)
+            dz[:, hid : 2 * hid] = df * f * (1.0 - f)
+            dz[:, 2 * hid : 3 * hid] = dg * (1.0 - g**2)
+            dz[:, 3 * hid :] = do * o * (1.0 - o)
+
+            dWx += x[:, t].T @ dz
+            dWh += h_prev.T @ dz
+            db += dz.sum(axis=0)
+            dx[:, t] = dz @ Wx.T
+            dh_next = dz @ Wh.T
+        return dx
+
+    # -- inference path ----------------------------------------------------
+    def make_state(self, batch: int = 1) -> LSTMState:
+        return LSTMState(
+            h=np.zeros((batch, self.hidden)), c=np.zeros((batch, self.hidden))
+        )
+
+    def step(self, x_t: np.ndarray, state: LSTMState) -> np.ndarray:
+        """One timestep (B, D) → (B, H); mutates ``state`` in place."""
+        hid = self.hidden
+        z = x_t @ self.params["Wx"] + state.h @ self.params["Wh"] + self.params["b"]
+        i = _sigmoid(z[:, :hid])
+        f = _sigmoid(z[:, hid : 2 * hid])
+        g = np.tanh(z[:, 2 * hid : 3 * hid])
+        o = _sigmoid(z[:, 3 * hid :])
+        state.c = f * state.c + i * g
+        state.h = o * np.tanh(state.c)
+        return state.h

@@ -1,0 +1,162 @@
+"""Next-token sequence model: Embedding → stacked LSTM → Dense → logits.
+
+This is the workhorse behind the Phase-1 LSTM trainer and the
+DeepLog/Desh-like baselines: train on windows of log-key history to
+predict the next key; at inference, an observed key outside the top-g
+most probable continuations is an anomaly (DeepLog's criterion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .layers import Dense, Embedding, cross_entropy, softmax
+from .lstm import LSTM, LSTMState
+from .optim import Adam, clip_gradients
+
+
+@dataclass
+class TrainStats:
+    losses: List[float]
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+
+class NextTokenLSTM:
+    """Stacked-LSTM language model over a token vocabulary."""
+
+    def __init__(
+        self,
+        vocab: int,
+        *,
+        embed_dim: int = 16,
+        hidden: int = 32,
+        layers: int = 1,
+        seed: int = 0,
+    ):
+        if vocab < 2:
+            raise ValueError("vocabulary must have at least 2 tokens")
+        rng = np.random.default_rng(seed)
+        self.vocab = vocab
+        self.embedding = Embedding(vocab, embed_dim, rng)
+        self.lstms = [
+            LSTM(embed_dim if i == 0 else hidden, hidden, rng)
+            for i in range(layers)
+        ]
+        self.head = Dense(hidden, vocab, rng)
+        self.layers = [self.embedding, *self.lstms, self.head]
+
+    def n_params(self) -> int:
+        return sum(layer.n_params() for layer in self.layers)
+
+    # -- training ---------------------------------------------------------
+    def forward(self, ids: np.ndarray) -> np.ndarray:
+        """(B, T) int ids → (B, T, V) logits."""
+        h = self.embedding.forward(ids)
+        for lstm in self.lstms:
+            h = lstm.forward(h)
+        return self.head.forward(h)
+
+    def loss_and_backward(self, ids: np.ndarray, targets: np.ndarray) -> float:
+        logits = self.forward(ids)
+        loss, d_logits = cross_entropy(logits, targets)
+        d = self.head.backward(d_logits)
+        for lstm in reversed(self.lstms):
+            d = lstm.backward(d)
+        self.embedding.backward(d)
+        return loss
+
+    def fit(
+        self,
+        sequences: Sequence[Sequence[int]],
+        *,
+        epochs: int = 20,
+        lr: float = 5e-3,
+        batch_size: int = 16,
+        clip: float = 5.0,
+        seed: int = 0,
+        window: Optional[int] = None,
+    ) -> TrainStats:
+        """Teacher-forced next-token training over variable-length
+        sequences (each is bucketed/padded into windows)."""
+        pairs = _windows(sequences, window)
+        if not pairs:
+            raise ValueError("no trainable windows in the input sequences")
+        inputs = np.array([p[0] for p in pairs])
+        targets = np.array([p[1] for p in pairs])
+        rng = np.random.default_rng(seed)
+        optimizer = Adam(self.layers, lr=lr)
+        losses: List[float] = []
+        n = inputs.shape[0]
+        for _epoch in range(epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            batches = 0
+            for start in range(0, n, batch_size):
+                idx = order[start : start + batch_size]
+                optimizer.zero_grad()
+                loss = self.loss_and_backward(inputs[idx], targets[idx])
+                clip_gradients(self.layers, clip)
+                optimizer.step()
+                epoch_loss += loss
+                batches += 1
+            losses.append(epoch_loss / batches)
+        return TrainStats(losses=losses)
+
+    # -- stateful inference -------------------------------------------------
+    def make_states(self, batch: int = 1) -> List[LSTMState]:
+        return [lstm.make_state(batch) for lstm in self.lstms]
+
+    def step_logits(self, token: int, states: List[LSTMState]) -> np.ndarray:
+        """Advance one token; returns next-token logits (V,)."""
+        x = self.embedding.params["E"][np.array([token])]
+        for lstm, state in zip(self.lstms, states):
+            x = lstm.step(x, state)
+        logits = x @ self.head.params["W"] + self.head.params["b"]
+        return logits[0]
+
+    def predict_topk(self, token: int, states: List[LSTMState], k: int) -> List[int]:
+        logits = self.step_logits(token, states)
+        return list(np.argsort(logits)[::-1][:k])
+
+    def sequence_probability(self, tokens: Sequence[int]) -> float:
+        """Joint log-probability of ``tokens`` under the model."""
+        if len(tokens) < 2:
+            return 0.0
+        states = self.make_states(1)
+        log_p = 0.0
+        for current, nxt in zip(tokens[:-1], tokens[1:]):
+            probs = softmax(self.step_logits(current, states))
+            log_p += float(np.log(np.clip(probs[nxt], 1e-12, None)))
+        return log_p
+
+
+def _windows(
+    sequences: Sequence[Sequence[int]], window: Optional[int]
+) -> List[Tuple[List[int], List[int]]]:
+    """(input, shifted-target) windows of a fixed length.
+
+    ``window=None`` uses the longest sequence length minus one, padding
+    shorter sequences by repeating their final token (the padding steps
+    still teach the terminal transition, which is what chain mining
+    cares about).
+    """
+    usable = [list(s) for s in sequences if len(s) >= 2]
+    if not usable:
+        return []
+    width = (max(len(s) for s in usable) - 1) if window is None else window
+    out: List[Tuple[List[int], List[int]]] = []
+    for seq in usable:
+        if len(seq) - 1 >= width:
+            for start in range(0, len(seq) - width):
+                chunk = seq[start : start + width + 1]
+                out.append((chunk[:-1], chunk[1:]))
+        else:
+            padded = seq + [seq[-1]] * (width + 1 - len(seq))
+            out.append((padded[:-1], padded[1:]))
+    return out

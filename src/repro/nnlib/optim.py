@@ -1,0 +1,101 @@
+"""Optimizers walking the layers' (params, grads) dicts."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from .layers import Layer
+
+
+def clip_gradients(layers: Iterable[Layer], max_norm: float) -> float:
+    """Global-norm gradient clipping; returns the pre-clip norm."""
+    total = 0.0
+    grads: List[np.ndarray] = []
+    for layer in layers:
+        for g in layer.grads.values():
+            grads.append(g)
+            total += float((g * g).sum())
+    norm = float(np.sqrt(total))
+    if norm > max_norm and norm > 0:
+        scale = max_norm / norm
+        for g in grads:
+            g *= scale
+    return norm
+
+
+class SGD:
+    """Plain SGD with optional momentum."""
+
+    def __init__(self, layers: List[Layer], lr: float = 0.1, momentum: float = 0.0):
+        self.layers = layers
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity: Dict[Tuple[int, str], np.ndarray] = {}
+
+    def step(self) -> None:
+        for li, layer in enumerate(self.layers):
+            for name, param in layer.params.items():
+                grad = layer.grads[name]
+                if self.momentum:
+                    key = (li, name)
+                    v = self._velocity.get(key)
+                    if v is None:
+                        v = np.zeros_like(param)
+                    v = self.momentum * v - self.lr * grad
+                    self._velocity[key] = v
+                    param += v
+                else:
+                    param -= self.lr * grad
+
+    def zero_grad(self) -> None:
+        for layer in self.layers:
+            layer.zero_grad()
+
+
+class Adam:
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        layers: List[Layer],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        self.layers = layers
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.t = 0
+        self._m: Dict[Tuple[int, str], np.ndarray] = {}
+        self._v: Dict[Tuple[int, str], np.ndarray] = {}
+
+    def step(self) -> None:
+        self.t += 1
+        b1, b2 = self.beta1, self.beta2
+        bias1 = 1.0 - b1**self.t
+        bias2 = 1.0 - b2**self.t
+        for li, layer in enumerate(self.layers):
+            for name, param in layer.params.items():
+                grad = layer.grads[name]
+                key = (li, name)
+                m = self._m.get(key)
+                if m is None:
+                    m = np.zeros_like(param)
+                    self._m[key] = m
+                    self._v[key] = np.zeros_like(param)
+                v = self._v[key]
+                m *= b1
+                m += (1 - b1) * grad
+                v *= b2
+                v += (1 - b2) * grad * grad
+                update = (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+                param -= self.lr * update
+
+    def zero_grad(self) -> None:
+        for layer in self.layers:
+            layer.zero_grad()

@@ -1,0 +1,102 @@
+"""Grammar analyses: NULLABLE, FIRST, FOLLOW.
+
+Fixed-point computations over the production set.  FOLLOW is provided
+for completeness (SLR comparisons and tests); the LALR generator itself
+uses the DeRemer–Pennello relations in :mod:`.lalr` instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Sequence
+
+from .cfg import END, AugmentedGrammar, Grammar
+
+
+def nullable_set(grammar: Grammar | AugmentedGrammar) -> FrozenSet[str]:
+    """Nonterminals that derive the empty string."""
+    productions = grammar.productions
+    nullable: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for p in productions:
+            if p.lhs not in nullable and all(s in nullable for s in p.rhs):
+                nullable.add(p.lhs)
+                changed = True
+    return frozenset(nullable)
+
+
+def first_sets(grammar: Grammar | AugmentedGrammar) -> Dict[str, FrozenSet[str]]:
+    """FIRST(X) for every grammar symbol X.
+
+    For a terminal ``t``, ``FIRST(t) = {t}``.  The returned dict covers
+    all symbols appearing in the grammar.
+    """
+    nullable = nullable_set(grammar)
+    is_nt = grammar.is_nonterminal
+    first: Dict[str, set[str]] = {}
+    for p in grammar.productions:
+        first.setdefault(p.lhs, set())
+        for s in p.rhs:
+            if is_nt(s):
+                first.setdefault(s, set())
+            else:
+                first[s] = {s}
+    changed = True
+    while changed:
+        changed = False
+        for p in grammar.productions:
+            target = first[p.lhs]
+            before = len(target)
+            for s in p.rhs:
+                target |= first.get(s, set())
+                if s not in nullable:
+                    break
+            if len(target) != before:
+                changed = True
+    return {k: frozenset(v) for k, v in first.items()}
+
+
+def first_of_sequence(
+    seq: Sequence[str],
+    first: Dict[str, FrozenSet[str]],
+    nullable: FrozenSet[str],
+) -> tuple[FrozenSet[str], bool]:
+    """FIRST of a symbol sequence and whether the whole sequence is nullable."""
+    out: set[str] = set()
+    for s in seq:
+        out |= first.get(s, {s} if s else set())
+        if s not in nullable:
+            return frozenset(out), False
+    return frozenset(out), True
+
+
+def follow_sets(grammar: Grammar | AugmentedGrammar) -> Dict[str, FrozenSet[str]]:
+    """Classic FOLLOW sets; FOLLOW(start) contains ``$end``."""
+    nullable = nullable_set(grammar)
+    first = first_sets(grammar)
+    is_nt = grammar.is_nonterminal
+    follow: Dict[str, set[str]] = {nt: set() for nt in _nonterminals(grammar)}
+    start = grammar.grammar.start if isinstance(grammar, AugmentedGrammar) else grammar.start
+    follow.setdefault(start, set()).add(END)
+    changed = True
+    while changed:
+        changed = False
+        for p in grammar.productions:
+            rhs = p.rhs
+            for i, s in enumerate(rhs):
+                if not is_nt(s):
+                    continue
+                tail_first, tail_nullable = first_of_sequence(rhs[i + 1 :], first, nullable)
+                target = follow.setdefault(s, set())
+                before = len(target)
+                target |= tail_first
+                if tail_nullable:
+                    target |= follow.get(p.lhs, set())
+                if len(target) != before:
+                    changed = True
+    return {k: frozenset(v) for k, v in follow.items()}
+
+
+def _nonterminals(grammar: Grammar | AugmentedGrammar) -> Iterable[str]:
+    return grammar.nonterminals

@@ -1,0 +1,130 @@
+"""A yacc-flavoured text format for grammars — parsed by this very
+parser generator (the meta-grammar below is itself an LALR(1) grammar
+compiled with :func:`build_tables`).
+
+Syntax::
+
+    %start Expr          # optional; defaults to the first rule's LHS
+
+    Expr : Expr '+' Term
+         | Term ;
+    Term : Term '*' Factor | Factor ;
+    Factor : '(' Expr ')' | num ;
+
+* ``IDENT : ... ;`` defines productions; ``|`` separates alternatives.
+* ``'+'`` quotes a literal terminal (the quotes are stripped).
+* An empty alternative (``X : ;`` or ``X : a | ;``) is an ε-production.
+* ``#`` comments run to end of line.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..lexgen import LexSpec, Scanner
+from .cfg import Grammar, GrammarError
+from .runtime import LRParser, ParseError
+from .tables import build_tables
+
+# -- lexical layer ---------------------------------------------------------
+
+_LEX = (
+    LexSpec()
+    .rule("START_DIRECTIVE", r"%start")
+    .rule("IDENT", r"[A-Za-z_][A-Za-z0-9_']*")
+    .rule("QUOTED", r"'[^']+'")
+    .rule("COLON", ":")
+    .rule("PIPE", r"\|")
+    .rule("SEMI", ";")
+    .rule("COMMENT", r"#[^\n]*", skip=True)
+    .rule("WS", r"\s+", skip=True)
+)
+
+
+# -- syntactic layer (dogfooding: built with our own generator) -------------
+
+def _meta_grammar() -> Grammar:
+    g = Grammar("spec")
+    # spec → directives rules
+    g.add("spec", ["directives", "rules"],
+          action=lambda v: {"start": v[0], "rules": v[1]})
+    g.add("directives", [], action=lambda v: None)
+    g.add("directives", ["directives", "START_DIRECTIVE", "IDENT"],
+          action=lambda v: v[2])
+    g.add("rules", ["rule"], action=lambda v: [v[0]])
+    g.add("rules", ["rules", "rule"], action=lambda v: v[0] + [v[1]])
+    # rule → IDENT : alts ;
+    g.add("rule", ["IDENT", "COLON", "alts", "SEMI"],
+          action=lambda v: (v[0], v[2]))
+    g.add("alts", ["alt"], action=lambda v: [v[0]])
+    g.add("alts", ["alts", "PIPE", "alt"], action=lambda v: v[0] + [v[2]])
+    g.add("alt", [], action=lambda v: [])
+    g.add("alt", ["alt", "symbol"], action=lambda v: v[0] + [v[1]])
+    g.add("symbol", ["IDENT"], action=lambda v: v[0])
+    g.add("symbol", ["QUOTED"], action=lambda v: v[0][1:-1])
+    return g
+
+
+_META_PARSER: Optional[LRParser] = None
+
+
+def _meta_parser() -> LRParser:
+    global _META_PARSER
+    if _META_PARSER is None:
+        _META_PARSER = LRParser(build_tables(_meta_grammar()))
+    return _META_PARSER
+
+
+class GrammarSyntaxError(ValueError):
+    """Raised for malformed grammar text."""
+
+
+def parse_grammar(text: str) -> Grammar:
+    """Parse yacc-flavoured ``text`` into a :class:`Grammar`."""
+    scanner = Scanner(_LEX, on_error="raise")
+    try:
+        tokens = [(t.name, t.lexeme) for t in scanner.tokens(text)]
+    except Exception as exc:
+        raise GrammarSyntaxError(f"lexical error: {exc}") from exc
+    if not tokens:
+        raise GrammarSyntaxError("empty grammar text")
+    try:
+        result = _meta_parser().parse(tokens)
+    except ParseError as exc:
+        raise GrammarSyntaxError(f"syntax error: {exc}") from exc
+
+    rules: List[Tuple[str, List[str]]] = []
+    for lhs, alternatives in result["rules"]:
+        for alt in alternatives:
+            rules.append((lhs, alt))
+    start = result["start"] or rules[0][0]
+    try:
+        grammar = Grammar(start)
+        for lhs, rhs in rules:
+            grammar.add(lhs, rhs)
+        grammar.validate()
+    except GrammarError as exc:
+        raise GrammarSyntaxError(str(exc)) from exc
+    return grammar
+
+
+def format_grammar(grammar: Grammar) -> str:
+    """Render a :class:`Grammar` back into the DSL (round-trippable)."""
+    lines = [f"%start {grammar.start}", ""]
+    by_lhs: dict[str, List[Sequence[str]]] = {}
+    order: List[str] = []
+    for p in grammar.productions:
+        if p.lhs not in by_lhs:
+            order.append(p.lhs)
+        by_lhs.setdefault(p.lhs, []).append(p.rhs)
+    nonterminals = grammar.nonterminals
+    for lhs in order:
+        alts = []
+        for rhs in by_lhs[lhs]:
+            rendered = " ".join(
+                s if s in nonterminals or s.isidentifier() else f"'{s}'"
+                for s in rhs
+            )
+            alts.append(rendered)
+        lines.append(f"{lhs} : {' | '.join(alts)} ;")
+    return "\n".join(lines)

@@ -1,0 +1,169 @@
+"""LALR(1) lookahead computation via DeRemer & Pennello (1982).
+
+Computes, for every state ``q`` and completed production ``A → ω`` in
+``q``, the lookahead set ``LA(q, A→ω)`` using the efficient relational
+method:
+
+* ``DR(p, A)`` — terminals directly readable after the nonterminal
+  transition ``(p, A)``;
+* ``reads`` — nonterminal transitions whose Read sets flow into ours via
+  nullable nonterminals;
+* ``includes`` — transitions whose Follow sets flow into ours because a
+  production ends (modulo nullable tails) with our nonterminal;
+* ``lookback`` — connects completed productions to the transitions that
+  gave rise to them.
+
+``Read`` and ``Follow`` are closed over ``reads`` / ``includes`` with the
+SCC-aware digraph algorithm (iterative, so chain grammars of arbitrary
+depth cannot overflow the Python stack).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, List, Sequence, Set, Tuple
+
+from .analysis import nullable_set
+from .cfg import AugmentedGrammar
+from .lr0 import LR0Automaton
+
+NTTransition = Tuple[int, str]  # (state, nonterminal)
+
+
+def digraph(
+    nodes: Sequence[Hashable],
+    edges: Dict[Hashable, List[Hashable]],
+    base: Dict[Hashable, Set[str]],
+) -> Dict[Hashable, Set[str]]:
+    """The DeRemer–Pennello digraph algorithm.
+
+    Returns ``F`` with ``F(x) = base(x) ∪ ⋃{ F(y) : x → y }`` where the
+    union is over the transitive closure; nodes in the same SCC share one
+    set.  Implemented iteratively with an explicit call stack.
+    """
+    INF = float("inf")
+    n: Dict[Hashable, float] = {x: 0 for x in nodes}
+    f: Dict[Hashable, Set[str]] = {x: set(base.get(x, ())) for x in nodes}
+    stack: List[Hashable] = []
+
+    for root in nodes:
+        if n[root] != 0:
+            continue
+        # Each frame: (node, iterator over successors, depth at entry)
+        call_stack: List[Tuple[Hashable, int, int]] = []
+
+        def enter(x: Hashable) -> None:
+            stack.append(x)
+            depth = len(stack)
+            n[x] = depth
+            call_stack.append((x, 0, depth))
+
+        enter(root)
+        while call_stack:
+            x, succ_idx, depth = call_stack.pop()
+            succs = edges.get(x, [])
+            advanced = False
+            while succ_idx < len(succs):
+                y = succs[succ_idx]
+                succ_idx += 1
+                if n[y] == 0:
+                    # Recurse into y; resume x afterwards.
+                    call_stack.append((x, succ_idx, depth))
+                    enter(y)
+                    advanced = True
+                    break
+                n[x] = min(n[x], n[y])
+                f[x] |= f[y]
+            if advanced:
+                continue
+            # All successors done.
+            if n[x] == depth:
+                fx = f[x]
+                while True:
+                    top = stack.pop()
+                    n[top] = INF
+                    if top is x or top == x:
+                        break
+                    f[top] = fx
+            # Propagate low-link/sets to the parent frame, if any.
+            if call_stack:
+                parent, p_idx, p_depth = call_stack[-1]
+                n[parent] = min(n[parent], n[x])
+                f[parent] |= f[x]
+    return f
+
+
+@dataclass(frozen=True)
+class LALRLookaheads:
+    """LA sets keyed by ``(state, production index)``."""
+
+    la: Dict[Tuple[int, int], FrozenSet[str]]
+
+    def of(self, state: int, prod_index: int) -> FrozenSet[str]:
+        return self.la.get((state, prod_index), frozenset())
+
+
+def compute_lookaheads(automaton: LR0Automaton) -> LALRLookaheads:
+    grammar = automaton.grammar
+    nullable = nullable_set(grammar)
+    transitions = automaton.transitions
+    is_nt = grammar.is_nonterminal
+
+    nt_transitions: List[NTTransition] = [
+        (p, a) for (p, a) in transitions if is_nt(a)
+    ]
+    nt_set = set(nt_transitions)
+
+    # Group outgoing transition symbols by state once: the DR/reads pass
+    # below would otherwise rescan the whole transition table per node.
+    out_symbols: Dict[int, List[str]] = {}
+    for (state, symbol) in transitions:
+        out_symbols.setdefault(state, []).append(symbol)
+
+    # -- DR and reads ------------------------------------------------
+    dr: Dict[NTTransition, Set[str]] = {}
+    reads: Dict[NTTransition, List[NTTransition]] = {}
+    for trans in nt_transitions:
+        p, a = trans
+        r = transitions[(p, a)]
+        direct: Set[str] = set()
+        succ: List[NTTransition] = []
+        for symbol in out_symbols.get(r, ()):
+            if is_nt(symbol):
+                if symbol in nullable:
+                    succ.append((r, symbol))
+            else:
+                direct.add(symbol)
+        dr[trans] = direct
+        reads[trans] = succ
+    read_sets = digraph(nt_transitions, reads, dr)
+
+    # -- includes and lookback ----------------------------------------
+    includes: Dict[NTTransition, List[NTTransition]] = {t: [] for t in nt_transitions}
+    lookback: Dict[Tuple[int, int], List[NTTransition]] = {}
+    for trans in nt_transitions:
+        p_prime, b = trans
+        for prod in grammar.productions_of(b):
+            q = p_prime
+            rhs = prod.rhs
+            for i, symbol in enumerate(rhs):
+                if is_nt(symbol):
+                    tail = rhs[i + 1 :]
+                    if all(s in nullable for s in tail):
+                        inner = (q, symbol)
+                        if inner in nt_set:
+                            includes[inner].append(trans)
+                q = transitions[(q, symbol)]
+            # q is now the state containing the completed item for prod.
+            lookback.setdefault((q, prod.index), []).append(trans)
+
+    follow_sets = digraph(nt_transitions, includes, read_sets)
+
+    # -- LA(q, A→ω) = ∪ Follow over lookback --------------------------
+    la: Dict[Tuple[int, int], FrozenSet[str]] = {}
+    for key, trans_list in lookback.items():
+        out: Set[str] = set()
+        for trans in trans_list:
+            out |= follow_sets[trans]
+        la[key] = frozenset(out)
+    return LALRLookaheads(la=la)

@@ -1,0 +1,114 @@
+"""LR(0) item sets and the characteristic finite-state machine.
+
+Items are ``(production_index, dot_position)`` pairs into the augmented
+production list.  States are identified by their *kernel* (the items
+that are not closure-derived: the start item and every item whose dot is
+past position 0); closures are recomputed on demand, which keeps state
+identity canonical and small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Tuple
+
+from .cfg import AugmentedGrammar
+
+Item = Tuple[int, int]  # (production index, dot position)
+
+
+def closure(grammar: AugmentedGrammar, kernel: FrozenSet[Item]) -> FrozenSet[Item]:
+    """LR(0) closure of a kernel item set."""
+    items = set(kernel)
+    stack = list(kernel)
+    productions = grammar.productions
+    while stack:
+        prod_idx, dot = stack.pop()
+        rhs = productions[prod_idx].rhs
+        if dot >= len(rhs):
+            continue
+        symbol = rhs[dot]
+        if not grammar.is_nonterminal(symbol):
+            continue
+        for p in grammar.productions_of(symbol):
+            item = (p.index, 0)
+            if item not in items:
+                items.add(item)
+                stack.append(item)
+    return frozenset(items)
+
+
+def goto_kernel(
+    grammar: AugmentedGrammar, items: FrozenSet[Item], symbol: str
+) -> FrozenSet[Item]:
+    """Kernel of the GOTO(state, symbol) target."""
+    productions = grammar.productions
+    out = set()
+    for prod_idx, dot in items:
+        rhs = productions[prod_idx].rhs
+        if dot < len(rhs) and rhs[dot] == symbol:
+            out.add((prod_idx, dot + 1))
+    return frozenset(out)
+
+
+@dataclass
+class LR0Automaton:
+    """The LR(0) characteristic automaton of an augmented grammar."""
+
+    grammar: AugmentedGrammar
+    kernels: List[FrozenSet[Item]] = field(default_factory=list)
+    closures: List[FrozenSet[Item]] = field(default_factory=list)
+    # transitions[(state, symbol)] = state
+    transitions: Dict[Tuple[int, str], int] = field(default_factory=dict)
+
+    @property
+    def n_states(self) -> int:
+        return len(self.kernels)
+
+    def items_of(self, state: int) -> FrozenSet[Item]:
+        return self.closures[state]
+
+    def describe(self, state: int) -> str:
+        """Human-readable item-set dump (for conflict reports and docs)."""
+        lines = []
+        for prod_idx, dot in sorted(self.items_of(state)):
+            p = self.grammar.productions[prod_idx]
+            rhs = list(p.rhs)
+            rhs.insert(dot, "•")
+            lines.append(f"  {p.lhs} → {' '.join(rhs)}")
+        return "\n".join(lines)
+
+
+def build_lr0(grammar: AugmentedGrammar) -> LR0Automaton:
+    """Construct the full LR(0) automaton via kernel-keyed BFS."""
+    start_kernel: FrozenSet[Item] = frozenset({(0, 0)})
+    automaton = LR0Automaton(grammar=grammar)
+    index: Dict[FrozenSet[Item], int] = {start_kernel: 0}
+    automaton.kernels.append(start_kernel)
+    automaton.closures.append(closure(grammar, start_kernel))
+
+    worklist = [0]
+    while worklist:
+        state = worklist.pop()
+        items = automaton.closures[state]
+        # Deterministic symbol order keeps state numbering stable.
+        symbols: list[str] = []
+        seen = set()
+        for prod_idx, dot in sorted(items):
+            rhs = grammar.productions[prod_idx].rhs
+            if dot < len(rhs) and rhs[dot] not in seen:
+                seen.add(rhs[dot])
+                symbols.append(rhs[dot])
+        for symbol in symbols:
+            kernel = goto_kernel(grammar, items, symbol)
+            if not kernel:
+                continue
+            target = index.get(kernel)
+            if target is None:
+                target = len(automaton.kernels)
+                index[kernel] = target
+                automaton.kernels.append(kernel)
+                automaton.closures.append(closure(grammar, kernel))
+                worklist.append(target)
+            automaton.transitions[(state, symbol)] = target
+    return automaton

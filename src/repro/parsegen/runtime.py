@@ -1,0 +1,179 @@
+"""LR parser driver: batch and streaming (push) interfaces.
+
+The batch :class:`LRParser` parses a complete token iterable and runs
+semantic actions bottom-up.
+
+The push-based :class:`StreamingParser` is what Aarohi's online predictor
+builds on: tokens are *offered* one at a time; an offered token that the
+current configuration cannot accept is rejected **without mutating the
+parser state**, which implements Algorithm 2's "skip unexpected phrases
+and continue" semantics directly on the LR stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Iterable, List, Optional, Tuple
+
+from .cfg import END
+from .tables import Action, ActionKind, ParseTables
+
+
+class ParseError(ValueError):
+    def __init__(self, terminal: str, value: Any, state: int, expected: List[str]):
+        shown = ", ".join(expected[:12]) or "<nothing>"
+        super().__init__(
+            f"unexpected token {terminal!r} (value {value!r}) in state {state}; "
+            f"expected one of: {shown}"
+        )
+        self.terminal = terminal
+        self.value = value
+        self.state = state
+        self.expected = expected
+
+
+def _default_action(values: list) -> object:
+    if len(values) == 1:
+        return values[0]
+    return values
+
+
+class LRParser:
+    """Batch LR(1) driver over :class:`ParseTables`."""
+
+    def __init__(self, tables: ParseTables):
+        self.tables = tables
+
+    def parse(self, tokens: Iterable[Tuple[str, Any]]) -> Any:
+        """Parse ``tokens`` (pairs of terminal name and semantic value).
+
+        Returns the semantic value of the start symbol.  The ``$end``
+        token is appended automatically.
+        """
+        sp = StreamingParser(self.tables)
+        for terminal, value in tokens:
+            result = sp.feed(terminal, value)
+            if result is FeedResult.ERROR:
+                raise ParseError(
+                    terminal, value, sp.state, self.tables.expected_terminals(sp.state)
+                )
+            if result is FeedResult.ACCEPTED:
+                raise ParseError(terminal, value, sp.state, [END])
+        return sp.finish()
+
+
+class FeedResult(Enum):
+    SHIFTED = "shifted"
+    ACCEPTED = "accepted"
+    ERROR = "error"
+
+
+@dataclass
+class _StackEntry:
+    state: int
+    value: Any
+
+
+class StreamingParser:
+    """Push-based LR driver with non-destructive rejection.
+
+    * :meth:`feed` — offer a token; performs any pending reduces then the
+      shift.  If the token is not viable, the state is left untouched and
+      ``FeedResult.ERROR`` is returned.
+    * :meth:`would_accept` — pure viability check.
+    * :meth:`finish` — feed ``$end`` and return the final semantic value.
+    """
+
+    def __init__(self, tables: ParseTables):
+        self.tables = tables
+        self._stack: List[_StackEntry] = [_StackEntry(0, None)]
+        self._result: Any = None
+        self._accepted = False
+
+    # -- introspection -------------------------------------------------
+    @property
+    def state(self) -> int:
+        return self._stack[-1].state
+
+    @property
+    def accepted(self) -> bool:
+        return self._accepted
+
+    @property
+    def result(self) -> Any:
+        """Semantic value of the start symbol once accepted, else None."""
+        return self._result
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack) - 1
+
+    def expected(self) -> List[str]:
+        return self.tables.expected_terminals(self.state)
+
+    def would_accept(self, terminal: str) -> bool:
+        """True iff feeding ``terminal`` now would not be an error."""
+        state = self.state
+        action_table = self.tables.action
+        # Simulate reduces on a lightweight state-only stack.
+        states = [e.state for e in self._stack]
+        while True:
+            act = action_table[states[-1]].get(terminal)
+            if act is None:
+                return False
+            if act.kind is not ActionKind.REDUCE:
+                return True
+            prod = self.tables.grammar.productions[act.target]
+            if prod.rhs:
+                del states[len(states) - len(prod.rhs) :]
+            goto_state = self.tables.goto[states[-1]].get(prod.lhs)
+            if goto_state is None:  # inconsistent tables; treat as error
+                return False
+            states.append(goto_state)
+
+    # -- mutation -------------------------------------------------------
+    def feed(self, terminal: str, value: Any = None) -> FeedResult:
+        if self._accepted:
+            return FeedResult.ERROR
+        if not self.would_accept(terminal):
+            return FeedResult.ERROR
+        action_table = self.tables.action
+        grammar = self.tables.grammar
+        stack = self._stack
+        while True:
+            act: Action = action_table[stack[-1].state][terminal]
+            if act.kind is ActionKind.SHIFT:
+                stack.append(_StackEntry(act.target, value))
+                return FeedResult.SHIFTED
+            if act.kind is ActionKind.ACCEPT:
+                self._accepted = True
+                # Stack: [start_entry, start_symbol_entry]
+                self._result = stack[-1].value
+                return FeedResult.ACCEPTED
+            # REDUCE
+            prod = grammar.productions[act.target]
+            k = len(prod.rhs)
+            values = [e.value for e in stack[len(stack) - k :]] if k else []
+            if k:
+                del stack[len(stack) - k :]
+            action = prod.action or _default_action
+            lhs_value = action(values)
+            goto_state = self.tables.goto[stack[-1].state][prod.lhs]
+            stack.append(_StackEntry(goto_state, lhs_value))
+
+    def finish(self) -> Any:
+        """Signal end of input; returns the start symbol's value."""
+        if not self._accepted:
+            result = self.feed(END)
+            if result is not FeedResult.ACCEPTED:
+                raise ParseError(
+                    END, None, self.state, self.expected()
+                )
+        return self._result
+
+    def reset(self) -> None:
+        """Return to the initial configuration (Aarohi's parser reset)."""
+        self._stack = [_StackEntry(0, None)]
+        self._result = None
+        self._accepted = False

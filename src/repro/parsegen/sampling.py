@@ -1,0 +1,117 @@
+"""Random sentence sampling from a grammar.
+
+Generates strings *in* a grammar's language by stochastic derivation —
+the generative half of a parser round-trip test: every sampled sentence
+must parse.  Depth-bounded: beyond ``soft_depth`` the sampler strongly
+prefers minimal-cost productions so recursion terminates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .cfg import Grammar
+
+
+def _min_costs(grammar: Grammar) -> Dict[str, int]:
+    """Minimal derivation length (#terminals) per nonterminal.
+
+    Infinity (a large sentinel) means the nonterminal cannot derive any
+    terminal string — a grammar bug worth surfacing.
+    """
+    INF = 10**9
+    cost: Dict[str, int] = {nt: INF for nt in grammar.nonterminals}
+    changed = True
+    while changed:
+        changed = False
+        for p in grammar.productions:
+            total = 0
+            for s in p.rhs:
+                total += cost.get(s, 1) if grammar.is_nonterminal(s) else 1
+                if total >= INF:
+                    total = INF
+                    break
+            if total < cost[p.lhs]:
+                cost[p.lhs] = total
+                changed = True
+    return cost
+
+
+class UnproductiveGrammarError(ValueError):
+    """The start symbol cannot derive any terminal string."""
+
+
+def sample_sentence(
+    grammar: Grammar,
+    rng: np.random.Generator,
+    *,
+    soft_depth: int = 12,
+    max_tokens: int = 200,
+) -> List[str]:
+    """One random sentence (list of terminal names) from the language."""
+    costs = _min_costs(grammar)
+    if costs.get(grammar.start, 10**9) >= 10**9:
+        raise UnproductiveGrammarError(
+            f"{grammar.start!r} derives no terminal string")
+
+    out: List[str] = []
+    # Explicit stack of symbols to expand, leftmost-first.
+    stack: List[tuple[str, int]] = [(grammar.start, 0)]
+    while stack:
+        symbol, depth = stack.pop(0)
+        if not grammar.is_nonterminal(symbol):
+            out.append(symbol)
+            if len(out) > max_tokens:
+                # Finish minimally: expand the rest at minimum cost.
+                return out + _finish_minimal(grammar, costs, stack)
+            continue
+        productions = grammar.productions_of(symbol)
+        if depth >= soft_depth:
+            # Pick a minimal-cost production to force termination.
+            best = min(
+                productions,
+                key=lambda p: sum(
+                    costs.get(s, 1) if grammar.is_nonterminal(s) else 1
+                    for s in p.rhs
+                ),
+            )
+            chosen = best
+        else:
+            chosen = productions[int(rng.integers(len(productions)))]
+        stack = [(s, depth + 1) for s in chosen.rhs] + stack
+    return out
+
+
+def _finish_minimal(grammar: Grammar, costs: Dict[str, int], stack) -> List[str]:
+    out: List[str] = []
+    work = list(stack)
+    while work:
+        symbol, _depth = work.pop(0)
+        if not grammar.is_nonterminal(symbol):
+            out.append(symbol)
+            continue
+        best = min(
+            grammar.productions_of(symbol),
+            key=lambda p: sum(
+                costs.get(s, 1) if grammar.is_nonterminal(s) else 1
+                for s in p.rhs
+            ),
+        )
+        work = [(s, 0) for s in best.rhs] + work
+    return out
+
+
+def sample_sentences(
+    grammar: Grammar,
+    n: int,
+    *,
+    seed: int = 0,
+    soft_depth: int = 12,
+) -> List[List[str]]:
+    rng = np.random.default_rng(seed)
+    return [
+        sample_sentence(grammar, rng, soft_depth=soft_depth)
+        for _ in range(n)
+    ]

@@ -1,0 +1,174 @@
+"""ACTION/GOTO table construction and conflict reporting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from .cfg import ACCEPT, END, AugmentedGrammar, Grammar
+from .lalr import compute_lookaheads
+from .lr0 import LR0Automaton, build_lr0
+
+
+class ActionKind(Enum):
+    SHIFT = "shift"
+    REDUCE = "reduce"
+    ACCEPT = "accept"
+
+
+@dataclass(frozen=True, slots=True)
+class Action:
+    kind: ActionKind
+    target: int = -1  # next state for SHIFT, production index for REDUCE
+
+    def __str__(self) -> str:
+        if self.kind is ActionKind.SHIFT:
+            return f"s{self.target}"
+        if self.kind is ActionKind.REDUCE:
+            return f"r{self.target}"
+        return "acc"
+
+
+@dataclass(frozen=True)
+class Conflict:
+    """A table-cell conflict, with enough context to debug the grammar."""
+
+    state: int
+    terminal: str
+    kind: str  # "shift/reduce" or "reduce/reduce"
+    actions: Tuple[Action, ...]
+    item_dump: str
+
+    def __str__(self) -> str:
+        acts = ", ".join(str(a) for a in self.actions)
+        return (
+            f"{self.kind} conflict in state {self.state} on {self.terminal!r}"
+            f" ({acts}):\n{self.item_dump}"
+        )
+
+
+class ConflictError(ValueError):
+    def __init__(self, conflicts: List[Conflict]):
+        super().__init__(
+            f"{len(conflicts)} LALR conflict(s):\n"
+            + "\n".join(str(c) for c in conflicts)
+        )
+        self.conflicts = conflicts
+
+
+@dataclass
+class ParseTables:
+    """Complete LALR(1) parse tables for a grammar."""
+
+    grammar: AugmentedGrammar
+    automaton: LR0Automaton
+    action: List[Dict[str, Action]]
+    goto: List[Dict[str, int]]
+    conflicts: List[Conflict] = field(default_factory=list)
+
+    @property
+    def n_states(self) -> int:
+        return len(self.action)
+
+    def expected_terminals(self, state: int) -> List[str]:
+        return sorted(self.action[state])
+
+    def stats(self) -> Dict[str, int]:
+        """Table-size statistics (used in docs and benchmarks)."""
+        return {
+            "states": self.n_states,
+            "action_entries": sum(len(row) for row in self.action),
+            "goto_entries": sum(len(row) for row in self.goto),
+            "terminals": len(self.grammar.terminals),
+            "nonterminals": len(self.grammar.nonterminals),
+            "productions": len(self.grammar.productions),
+        }
+
+
+def build_tables(
+    grammar: Grammar,
+    *,
+    prefer_shift: bool = False,
+    allow_conflicts: bool = False,
+) -> ParseTables:
+    """Generate LALR(1) tables for ``grammar``.
+
+    Conflicts raise :class:`ConflictError` unless ``prefer_shift`` (bison's
+    default shift/reduce resolution) or ``allow_conflicts`` (keep first
+    action, record the rest) is set.
+    """
+    augmented = AugmentedGrammar.of(grammar)
+    automaton = build_lr0(augmented)
+    lookaheads = compute_lookaheads(automaton)
+
+    n = automaton.n_states
+    action: List[Dict[str, Action]] = [dict() for _ in range(n)]
+    goto: List[Dict[str, int]] = [dict() for _ in range(n)]
+    conflicts: List[Conflict] = []
+
+    def place(state: int, terminal: str, act: Action) -> None:
+        existing = action[state].get(terminal)
+        if existing is None or existing == act:
+            action[state][terminal] = act
+            return
+        kinds = {existing.kind, act.kind}
+        if kinds == {ActionKind.SHIFT, ActionKind.REDUCE}:
+            kind = "shift/reduce"
+            resolved: Optional[Action] = None
+            if prefer_shift:
+                resolved = existing if existing.kind is ActionKind.SHIFT else act
+        else:
+            kind = "reduce/reduce"
+            # Bison resolves reduce/reduce toward the earlier production.
+            resolved = min(existing, act, key=lambda a: a.target) if allow_conflicts else None
+        conflicts.append(
+            Conflict(
+                state=state,
+                terminal=terminal,
+                kind=kind,
+                actions=(existing, act),
+                item_dump=automaton.describe(state),
+            )
+        )
+        if resolved is not None:
+            action[state][terminal] = resolved
+        elif allow_conflicts:
+            pass  # keep the existing action
+        # else: leave existing; error raised at the end.
+
+    # Shifts and gotos.
+    for (state, symbol), target in automaton.transitions.items():
+        if augmented.is_nonterminal(symbol):
+            goto[state][symbol] = target
+        elif symbol == END:
+            # $accept → start • $end : accepting configuration.
+            place(state, END, Action(ActionKind.ACCEPT))
+        else:
+            place(state, symbol, Action(ActionKind.SHIFT, target))
+
+    # Reduces.
+    for state in range(n):
+        for prod_idx, dot in automaton.items_of(state):
+            prod = augmented.productions[prod_idx]
+            if dot != len(prod.rhs) or prod.lhs == ACCEPT:
+                continue
+            for terminal in lookaheads.of(state, prod_idx):
+                place(state, terminal, Action(ActionKind.REDUCE, prod_idx))
+
+    real_conflicts = [
+        c
+        for c in conflicts
+        if not (prefer_shift and c.kind == "shift/reduce")
+        and not allow_conflicts
+    ]
+    if real_conflicts:
+        raise ConflictError(real_conflicts)
+
+    return ParseTables(
+        grammar=augmented,
+        automaton=automaton,
+        action=action,
+        goto=goto,
+        conflicts=conflicts,
+    )

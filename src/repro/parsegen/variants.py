@@ -1,0 +1,223 @@
+"""Alternative LR table constructions: SLR(1) and canonical LR(1).
+
+The paper formalizes its chain grammars as LALR(1).  These variants
+exist to justify that choice quantitatively (see the parser-variant
+ablation bench): SLR(1) is cheaper to build but rejects some grammars
+LALR handles; canonical LR(1) handles strictly more but its state count
+explodes.  All three share the :class:`~.tables.ParseTables` shape, so
+the same runtime drives any of them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from .analysis import first_of_sequence, first_sets, follow_sets, nullable_set
+from .cfg import ACCEPT, END, AugmentedGrammar, Grammar
+from .lr0 import LR0Automaton, build_lr0
+from .tables import Action, ActionKind, Conflict, ConflictError, ParseTables
+
+
+def _fill_shifts_and_accept(
+    automaton: LR0Automaton,
+    action: List[Dict[str, Action]],
+    goto: List[Dict[str, int]],
+    place,
+) -> None:
+    augmented = automaton.grammar
+    for (state, symbol), target in automaton.transitions.items():
+        if augmented.is_nonterminal(symbol):
+            goto[state][symbol] = target
+        elif symbol == END:
+            place(state, END, Action(ActionKind.ACCEPT))
+        else:
+            place(state, symbol, Action(ActionKind.SHIFT, target))
+
+
+def _collect(
+    automaton_or_grammar,
+    action: List[Dict[str, Action]],
+    conflicts: List[Conflict],
+    prefer_shift: bool,
+    describe,
+):
+    def place(state: int, terminal: str, act: Action) -> None:
+        existing = action[state].get(terminal)
+        if existing is None or existing == act:
+            action[state][terminal] = act
+            return
+        kinds = {existing.kind, act.kind}
+        if kinds == {ActionKind.SHIFT, ActionKind.REDUCE}:
+            kind = "shift/reduce"
+            if prefer_shift:
+                resolved = existing if existing.kind is ActionKind.SHIFT else act
+                action[state][terminal] = resolved
+        else:
+            kind = "reduce/reduce"
+        conflicts.append(
+            Conflict(state=state, terminal=terminal, kind=kind,
+                     actions=(existing, act), item_dump=describe(state))
+        )
+
+    return place
+
+
+def build_slr_tables(grammar: Grammar, *, prefer_shift: bool = False) -> ParseTables:
+    """SLR(1): reduce on FOLLOW(lhs) — the weakest of the family."""
+    augmented = AugmentedGrammar.of(grammar)
+    automaton = build_lr0(augmented)
+    follow = follow_sets(augmented)
+
+    n = automaton.n_states
+    action: List[Dict[str, Action]] = [dict() for _ in range(n)]
+    goto: List[Dict[str, int]] = [dict() for _ in range(n)]
+    conflicts: List[Conflict] = []
+    place = _collect(automaton, action, conflicts, prefer_shift,
+                     automaton.describe)
+
+    _fill_shifts_and_accept(automaton, action, goto, place)
+    for state in range(n):
+        for prod_idx, dot in automaton.items_of(state):
+            prod = augmented.productions[prod_idx]
+            if dot != len(prod.rhs) or prod.lhs == ACCEPT:
+                continue
+            for terminal in follow.get(prod.lhs, ()):
+                place(state, terminal, Action(ActionKind.REDUCE, prod_idx))
+
+    real = [c for c in conflicts
+            if not (prefer_shift and c.kind == "shift/reduce")]
+    if real:
+        raise ConflictError(real)
+    return ParseTables(grammar=augmented, automaton=automaton,
+                       action=action, goto=goto, conflicts=conflicts)
+
+
+# -- canonical LR(1) ------------------------------------------------------
+
+LR1Item = Tuple[int, int, str]  # (production, dot, lookahead terminal)
+
+
+class _LR1Builder:
+    def __init__(self, grammar: AugmentedGrammar):
+        self.grammar = grammar
+        self.nullable = nullable_set(grammar)
+        self.first = first_sets(grammar)
+
+    def closure(self, kernel: FrozenSet[LR1Item]) -> FrozenSet[LR1Item]:
+        items: Set[LR1Item] = set(kernel)
+        stack = list(kernel)
+        while stack:
+            prod_idx, dot, lookahead = stack.pop()
+            rhs = self.grammar.productions[prod_idx].rhs
+            if dot >= len(rhs):
+                continue
+            symbol = rhs[dot]
+            if not self.grammar.is_nonterminal(symbol):
+                continue
+            tail = rhs[dot + 1 :]
+            tail_first, tail_nullable = first_of_sequence(
+                tail, self.first, self.nullable)
+            lookaheads = set(tail_first)
+            if tail_nullable:
+                lookaheads.add(lookahead)
+            for p in self.grammar.productions_of(symbol):
+                for la in lookaheads:
+                    item = (p.index, 0, la)
+                    if item not in items:
+                        items.add(item)
+                        stack.append(item)
+        return frozenset(items)
+
+    def goto_kernel(
+        self, items: FrozenSet[LR1Item], symbol: str
+    ) -> FrozenSet[LR1Item]:
+        out = set()
+        for prod_idx, dot, la in items:
+            rhs = self.grammar.productions[prod_idx].rhs
+            if dot < len(rhs) and rhs[dot] == symbol:
+                out.add((prod_idx, dot + 1, la))
+        return frozenset(out)
+
+
+def build_canonical_lr1_tables(
+    grammar: Grammar, *, prefer_shift: bool = False
+) -> ParseTables:
+    """Knuth's canonical LR(1): maximal power, maximal state count.
+
+    Note: the returned tables carry an LR(0) automaton reconstructed for
+    description purposes only; ``action``/``goto`` come from the LR(1)
+    construction.
+    """
+    augmented = AugmentedGrammar.of(grammar)
+    builder = _LR1Builder(augmented)
+
+    start_kernel: FrozenSet[LR1Item] = frozenset({(0, 0, END)})
+    kernels: List[FrozenSet[LR1Item]] = [start_kernel]
+    closures: List[FrozenSet[LR1Item]] = [builder.closure(start_kernel)]
+    index: Dict[FrozenSet[LR1Item], int] = {start_kernel: 0}
+    transitions: Dict[Tuple[int, str], int] = {}
+
+    worklist = [0]
+    while worklist:
+        state = worklist.pop()
+        items = closures[state]
+        symbols: List[str] = []
+        seen: Set[str] = set()
+        for prod_idx, dot, _la in sorted(items):
+            rhs = augmented.productions[prod_idx].rhs
+            if dot < len(rhs) and rhs[dot] not in seen:
+                seen.add(rhs[dot])
+                symbols.append(rhs[dot])
+        for symbol in symbols:
+            kernel = builder.goto_kernel(items, symbol)
+            if not kernel:
+                continue
+            target = index.get(kernel)
+            if target is None:
+                target = len(kernels)
+                index[kernel] = target
+                kernels.append(kernel)
+                closures.append(builder.closure(kernel))
+                worklist.append(target)
+            transitions[(state, symbol)] = target
+
+    n = len(kernels)
+    action: List[Dict[str, Action]] = [dict() for _ in range(n)]
+    goto: List[Dict[str, int]] = [dict() for _ in range(n)]
+    conflicts: List[Conflict] = []
+
+    def describe(state: int) -> str:
+        lines = []
+        for prod_idx, dot, la in sorted(closures[state]):
+            p = augmented.productions[prod_idx]
+            rhs = list(p.rhs)
+            rhs.insert(dot, "•")
+            lines.append(f"  {p.lhs} → {' '.join(rhs)} , {la}")
+        return "\n".join(lines)
+
+    place = _collect(None, action, conflicts, prefer_shift, describe)
+
+    for (state, symbol), target in transitions.items():
+        if augmented.is_nonterminal(symbol):
+            goto[state][symbol] = target
+        elif symbol == END:
+            place(state, END, Action(ActionKind.ACCEPT))
+        else:
+            place(state, symbol, Action(ActionKind.SHIFT, target))
+    for state in range(n):
+        for prod_idx, dot, la in closures[state]:
+            prod = augmented.productions[prod_idx]
+            if dot != len(prod.rhs) or prod.lhs == ACCEPT:
+                continue
+            place(state, la, Action(ActionKind.REDUCE, prod_idx))
+
+    real = [c for c in conflicts
+            if not (prefer_shift and c.kind == "shift/reduce")]
+    if real:
+        raise ConflictError(real)
+
+    # A throwaway LR(0) automaton keeps the ParseTables shape uniform.
+    lr0 = build_lr0(augmented)
+    tables = ParseTables(grammar=augmented, automaton=lr0,
+                         action=action, goto=goto, conflicts=conflicts)
+    return tables

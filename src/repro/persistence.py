@@ -1,0 +1,151 @@
+"""Model persistence: ship Phase-1 output as a JSON bundle.
+
+A *bundle* is everything Phase 2 needs to stand up a predictor on
+another host: the template store (token ↔ template ↔ severity), the
+trained failure chains with their ΔT statistics, and the chosen parsing
+timeout.  Bundles are plain JSON — diffable, versioned, auditable —
+which matters operationally: site reliability teams review exactly
+which phrases can page them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Optional, Union
+
+from .core.chains import ChainSet, FailureChain
+from .core.events import Severity
+from .templates.store import TemplateStore
+
+FORMAT_VERSION = 1
+
+
+class BundleError(ValueError):
+    """Raised for malformed or incompatible bundles."""
+
+
+def store_to_dict(store: TemplateStore) -> dict:
+    return {
+        "templates": [
+            {"token": t.token, "text": t.text, "severity": t.severity.value}
+            for t in sorted(store, key=lambda t: t.token)
+        ]
+    }
+
+
+def store_from_dict(data: dict) -> TemplateStore:
+    store = TemplateStore()
+    try:
+        for item in data["templates"]:
+            store.add(
+                item["text"],
+                Severity(item["severity"]),
+                token=item["token"],
+            )
+    except (KeyError, ValueError, TypeError) as exc:
+        raise BundleError(f"bad template record: {exc}") from exc
+    return store
+
+
+def chains_to_dict(chains: ChainSet) -> dict:
+    return {
+        "chains": [
+            {
+                "id": c.chain_id,
+                "tokens": list(c.tokens),
+                "deltas": list(c.deltas),
+            }
+            for c in chains
+        ]
+    }
+
+
+def chains_from_dict(data: dict) -> ChainSet:
+    try:
+        return ChainSet(
+            FailureChain(
+                chain_id=item["id"],
+                tokens=tuple(item["tokens"]),
+                deltas=tuple(item.get("deltas", ())),
+            )
+            for item in data["chains"]
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        raise BundleError(f"bad chain record: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class PredictorBundle:
+    """A complete, deployable predictor description."""
+
+    store: TemplateStore
+    chains: ChainSet
+    timeout: float
+    system: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "format_version": FORMAT_VERSION,
+            "system": self.system,
+            "timeout": self.timeout,
+            **store_to_dict(self.store),
+            **chains_to_dict(self.chains),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PredictorBundle":
+        version = data.get("format_version")
+        if version != FORMAT_VERSION:
+            raise BundleError(
+                f"unsupported bundle version {version!r} "
+                f"(expected {FORMAT_VERSION})"
+            )
+        store = store_from_dict(data)
+        chains = chains_from_dict(data)
+        missing = chains.token_set - set(store.tokens())
+        if missing:
+            raise BundleError(
+                f"chains reference tokens absent from the store: "
+                f"{sorted(missing)}"
+            )
+        return cls(
+            store=store,
+            chains=chains,
+            timeout=float(data.get("timeout", 240.0)),
+            system=data.get("system", ""),
+        )
+
+    # -- I/O ------------------------------------------------------------
+    def save(self, target: Union[str, Path, IO[str]]) -> None:
+        if isinstance(target, (str, Path)):
+            with open(target, "w", encoding="utf-8") as fh:
+                self.save(fh)
+            return
+        json.dump(self.to_dict(), target, indent=2, sort_keys=True)
+        target.write("\n")
+
+    @classmethod
+    def load(cls, source: Union[str, Path, IO[str]]) -> "PredictorBundle":
+        if isinstance(source, (str, Path)):
+            with open(source, "r", encoding="utf-8") as fh:
+                return cls.load(fh)
+        try:
+            data = json.load(source)
+        except json.JSONDecodeError as exc:
+            raise BundleError(f"not valid JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    # -- convenience -----------------------------------------------------
+    def make_fleet(self, **kwargs):
+        from .core.fleet import PredictorFleet
+
+        kwargs.setdefault("timeout", self.timeout)
+        return PredictorFleet.from_store(self.chains, self.store, **kwargs)
+
+    def emit_standalone(self) -> str:
+        from .codegen import emit_predictor_source
+
+        return emit_predictor_source(
+            self.chains, self.store, timeout=self.timeout)

@@ -1,0 +1,39 @@
+"""From-scratch regular-expression engine (the repo's "flex" substrate).
+
+Pipeline: pattern string → AST (:mod:`.parser`) → ε-NFA via Thompson
+construction (:mod:`.nfa`) → DFA via subset construction over a
+partitioned alphabet (:mod:`.dfa`) → minimal DFA via Hopcroft
+(:mod:`.minimize`).  :func:`compile` wraps the pipeline; the scanner
+generator in :mod:`repro.lexgen` reuses the same pieces with tagged
+accept states for first-rule-wins tokenization.
+"""
+
+from .ast import literal
+from .charset import CharSet, partition_alphabet
+from .dfa import DEAD, DFA, from_nfa
+from .matcher import Regex, compile
+from .minimize import minimize
+from .nfa import NFA, from_ast, from_asts
+from .ops import equivalent, find_distinguishing_string, tag_equivalent, to_dot
+from .parser import RegexSyntaxError, parse
+
+__all__ = [
+    "CharSet",
+    "DEAD",
+    "DFA",
+    "NFA",
+    "Regex",
+    "RegexSyntaxError",
+    "compile",
+    "equivalent",
+    "find_distinguishing_string",
+    "from_ast",
+    "from_asts",
+    "from_nfa",
+    "literal",
+    "minimize",
+    "parse",
+    "tag_equivalent",
+    "to_dot",
+    "partition_alphabet",
+]

@@ -1,0 +1,90 @@
+"""Regex abstract syntax.
+
+A small, total set of node types; the parser produces these and the
+Thompson construction consumes them.  Nodes are immutable dataclasses so
+they can be hashed, compared in tests, and shared between patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from .charset import CharSet
+
+
+class Node:
+    """Base class for regex AST nodes."""
+
+    __slots__ = ()
+
+    def __or__(self, other: "Node") -> "Alt":
+        return Alt((self, other))
+
+    def __add__(self, other: "Node") -> "Concat":
+        return Concat((self, other))
+
+
+@dataclass(frozen=True, slots=True)
+class Epsilon(Node):
+    """Matches the empty string."""
+
+
+@dataclass(frozen=True, slots=True)
+class Chars(Node):
+    """Matches any single character from ``cs``."""
+
+    cs: CharSet
+
+
+@dataclass(frozen=True, slots=True)
+class Concat(Node):
+    """Matches ``parts`` in sequence."""
+
+    parts: Tuple[Node, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Alt(Node):
+    """Matches any one of ``options``."""
+
+    options: Tuple[Node, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Star(Node):
+    """Kleene closure: zero or more repetitions of ``inner``."""
+
+    inner: Node
+
+
+@dataclass(frozen=True, slots=True)
+class Plus(Node):
+    """One or more repetitions of ``inner``."""
+
+    inner: Node
+
+
+@dataclass(frozen=True, slots=True)
+class Optional(Node):
+    """Zero or one occurrence of ``inner``."""
+
+    inner: Node
+
+
+@dataclass(frozen=True, slots=True)
+class Repeat(Node):
+    """Bounded repetition ``inner{lo,hi}``; ``hi=None`` means unbounded."""
+
+    inner: Node
+    lo: int
+    hi: int | None
+
+
+def literal(text: str) -> Node:
+    """AST matching ``text`` exactly."""
+    if not text:
+        return Epsilon()
+    if len(text) == 1:
+        return Chars(CharSet.single(text))
+    return Concat(tuple(Chars(CharSet.single(c)) for c in text))

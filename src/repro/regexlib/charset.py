@@ -1,0 +1,230 @@
+"""Interval-based character sets.
+
+The regex engine labels NFA/DFA transitions with *character sets* rather
+than single characters so that classes like ``[a-z0-9]`` stay compact.  A
+:class:`CharSet` is an immutable, normalized sequence of inclusive
+codepoint intervals ``(lo, hi)`` kept sorted and non-adjacent, which makes
+union / intersection / complement linear-time merges.
+
+Subset construction needs a *partition* of the alphabet so that every
+transition set is either fully inside or fully outside each block; see
+:func:`partition_alphabet`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence, Tuple
+
+# Highest codepoint we consider part of the alphabet.  Log data is ASCII
+# in practice but we support the full BMP so arbitrary text scans safely.
+MAX_CODEPOINT = 0x10FFFF
+
+Interval = Tuple[int, int]
+
+
+def _normalize(intervals: Iterable[Interval]) -> Tuple[Interval, ...]:
+    """Sort intervals and coalesce overlapping / adjacent ones."""
+    items = sorted((lo, hi) for lo, hi in intervals if lo <= hi)
+    out: list[Interval] = []
+    for lo, hi in items:
+        if out and lo <= out[-1][1] + 1:
+            prev_lo, prev_hi = out[-1]
+            out[-1] = (prev_lo, max(prev_hi, hi))
+        else:
+            out.append((lo, hi))
+    return tuple(out)
+
+
+class CharSet:
+    """Immutable set of unicode codepoints stored as sorted intervals."""
+
+    __slots__ = ("intervals",)
+
+    def __init__(self, intervals: Iterable[Interval] = ()):
+        object.__setattr__(self, "intervals", _normalize(intervals))
+
+    def __setattr__(self, name: str, value) -> None:  # pragma: no cover
+        raise AttributeError("CharSet is immutable")
+
+    # -- constructors ------------------------------------------------
+    @classmethod
+    def single(cls, ch: str) -> "CharSet":
+        cp = ord(ch)
+        return cls(((cp, cp),))
+
+    @classmethod
+    def range(cls, lo: str, hi: str) -> "CharSet":
+        a, b = ord(lo), ord(hi)
+        if a > b:
+            raise ValueError(f"inverted range {lo!r}-{hi!r}")
+        return cls(((a, b),))
+
+    @classmethod
+    def of(cls, chars: str) -> "CharSet":
+        return cls(tuple((ord(c), ord(c)) for c in chars))
+
+    @classmethod
+    def full(cls) -> "CharSet":
+        return cls(((0, MAX_CODEPOINT),))
+
+    @classmethod
+    def empty(cls) -> "CharSet":
+        return cls(())
+
+    # -- queries -----------------------------------------------------
+    def __contains__(self, ch: str) -> bool:
+        return self.contains_cp(ord(ch))
+
+    def contains_cp(self, cp: int) -> bool:
+        intervals = self.intervals
+        lo_idx, hi_idx = 0, len(intervals)
+        while lo_idx < hi_idx:
+            mid = (lo_idx + hi_idx) // 2
+            lo, hi = intervals[mid]
+            if cp < lo:
+                hi_idx = mid
+            elif cp > hi:
+                lo_idx = mid + 1
+            else:
+                return True
+        return False
+
+    def __bool__(self) -> bool:
+        return bool(self.intervals)
+
+    def __len__(self) -> int:
+        """Number of codepoints in the set."""
+        return sum(hi - lo + 1 for lo, hi in self.intervals)
+
+    def __iter__(self) -> Iterator[int]:
+        for lo, hi in self.intervals:
+            yield from range(lo, hi + 1)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, CharSet) and self.intervals == other.intervals
+
+    def __hash__(self) -> int:
+        return hash(self.intervals)
+
+    def __repr__(self) -> str:
+        parts = []
+        for lo, hi in self.intervals[:8]:
+            if lo == hi:
+                parts.append(_show(lo))
+            else:
+                parts.append(f"{_show(lo)}-{_show(hi)}")
+        if len(self.intervals) > 8:
+            parts.append("...")
+        return f"CharSet[{' '.join(parts)}]"
+
+    # -- algebra -----------------------------------------------------
+    def union(self, other: "CharSet") -> "CharSet":
+        return CharSet(self.intervals + other.intervals)
+
+    __or__ = union
+
+    def complement(self) -> "CharSet":
+        out: list[Interval] = []
+        next_cp = 0
+        for lo, hi in self.intervals:
+            if lo > next_cp:
+                out.append((next_cp, lo - 1))
+            next_cp = hi + 1
+        if next_cp <= MAX_CODEPOINT:
+            out.append((next_cp, MAX_CODEPOINT))
+        return CharSet(out)
+
+    def intersect(self, other: "CharSet") -> "CharSet":
+        out: list[Interval] = []
+        a, b = self.intervals, other.intervals
+        i = j = 0
+        while i < len(a) and j < len(b):
+            lo = max(a[i][0], b[j][0])
+            hi = min(a[i][1], b[j][1])
+            if lo <= hi:
+                out.append((lo, hi))
+            if a[i][1] < b[j][1]:
+                i += 1
+            else:
+                j += 1
+        return CharSet(out)
+
+    __and__ = intersect
+
+    def difference(self, other: "CharSet") -> "CharSet":
+        return self.intersect(other.complement())
+
+    __sub__ = difference
+
+    def overlaps(self, other: "CharSet") -> bool:
+        a, b = self.intervals, other.intervals
+        i = j = 0
+        while i < len(a) and j < len(b):
+            if a[i][1] < b[j][0]:
+                i += 1
+            elif b[j][1] < a[i][0]:
+                j += 1
+            else:
+                return True
+        return False
+
+
+def _show(cp: int) -> str:
+    if 0x20 <= cp < 0x7F:
+        return chr(cp)
+    return f"\\u{cp:04x}"
+
+
+def partition_alphabet(sets: Sequence[CharSet]) -> list[CharSet]:
+    """Split the alphabet into equivalence blocks w.r.t. ``sets``.
+
+    Returns disjoint :class:`CharSet` blocks such that every input set is an
+    exact union of blocks.  Subset construction then only branches once per
+    block instead of once per codepoint.  Only codepoints mentioned by at
+    least one input set are covered (unmentioned codepoints can never move
+    the NFA, so they need no block).
+    """
+    # Classic sweep over interval boundaries.  Each boundary either opens
+    # or closes one of the input sets; the active-count signature between
+    # consecutive boundaries identifies a block.
+    events: list[Tuple[int, int, int]] = []  # (position, delta, set_index)
+    for idx, cs in enumerate(sets):
+        for lo, hi in cs.intervals:
+            events.append((lo, 1, idx))
+            events.append((hi + 1, -1, idx))
+    if not events:
+        return []
+    events.sort()
+
+    blocks: dict[frozenset[int], list[Interval]] = {}
+    active: set[int] = set()
+    prev_pos = events[0][0]
+    i = 0
+    n = len(events)
+    while i < n:
+        pos = events[i][0]
+        if active and pos > prev_pos:
+            sig = frozenset(active)
+            blocks.setdefault(sig, []).append((prev_pos, pos - 1))
+        while i < n and events[i][0] == pos:
+            _, delta, idx = events[i]
+            if delta == 1:
+                active.add(idx)
+            else:
+                active.discard(idx)
+            i += 1
+        prev_pos = pos
+    return [CharSet(iv) for iv in blocks.values()]
+
+
+# Named classes used by the regex parser (``\d``, ``\w``, ``\s``).
+DIGITS = CharSet.range("0", "9")
+WORD = (
+    CharSet.range("a", "z")
+    | CharSet.range("A", "Z")
+    | DIGITS
+    | CharSet.single("_")
+)
+SPACE = CharSet.of(" \t\r\n\f\v")
+# ``.`` matches anything except newline, per usual regex semantics.
+DOT = CharSet.single("\n").complement()

@@ -1,0 +1,176 @@
+"""Subset construction: ε-NFA → DFA over a partitioned alphabet.
+
+The DFA's input symbols are *character classes* (blocks of the alphabet
+partition induced by every CharSet appearing on an NFA edge), so the
+transition table is ``n_states × n_classes`` — small and cache-friendly.
+A per-codepoint classifier maps input characters to class ids: an ASCII
+lookup table for the common case plus a sorted-interval binary search for
+the rest.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .charset import CharSet, partition_alphabet
+from .nfa import NFA
+
+DEAD = -1  # transition target meaning "no move"
+
+
+@dataclass
+class Classifier:
+    """Maps codepoints to dense character-class ids (or -1: unclassified)."""
+
+    ascii_table: List[int]  # length 128
+    # parallel arrays for non-ASCII lookup, sorted by lo
+    los: List[int]
+    his: List[int]
+    ids: List[int]
+    n_classes: int
+
+    @classmethod
+    def build(cls, blocks: List[CharSet]) -> "Classifier":
+        ascii_table = [-1] * 128
+        entries: List[Tuple[int, int, int]] = []
+        for class_id, block in enumerate(blocks):
+            for lo, hi in block.intervals:
+                # ASCII fast path
+                a_lo, a_hi = lo, min(hi, 127)
+                for cp in range(a_lo, a_hi + 1):
+                    ascii_table[cp] = class_id
+                if hi > 127:
+                    entries.append((max(lo, 128), hi, class_id))
+        entries.sort()
+        return cls(
+            ascii_table=ascii_table,
+            los=[e[0] for e in entries],
+            his=[e[1] for e in entries],
+            ids=[e[2] for e in entries],
+            n_classes=len(blocks),
+        )
+
+    def classify(self, cp: int) -> int:
+        if cp < 128:
+            return self.ascii_table[cp]
+        i = bisect.bisect_right(self.los, cp) - 1
+        if i >= 0 and cp <= self.his[i]:
+            return self.ids[i]
+        return -1
+
+
+@dataclass
+class DFA:
+    """Deterministic automaton over character classes.
+
+    ``transitions`` is a flat row-major table: entry for state ``s`` on
+    class ``c`` is ``transitions[s * n_classes + c]`` (``DEAD`` if none).
+    ``accepts[s]`` is the accept tag of state ``s`` or ``None``.
+    """
+
+    n_states: int
+    n_classes: int
+    transitions: List[int]
+    accepts: List[Optional[int]]
+    classifier: Classifier
+    start: int = 0
+
+    def move(self, state: int, cp: int) -> int:
+        cls = self.classifier.classify(cp)
+        if cls < 0:
+            return DEAD
+        return self.transitions[state * self.n_classes + cls]
+
+    def accept_tag(self, state: int) -> Optional[int]:
+        return self.accepts[state]
+
+    def match(self, text: str, pos: int = 0) -> Tuple[Optional[int], int]:
+        """Longest match of the DFA starting at ``text[pos]``.
+
+        Returns ``(tag, end)`` for the longest accepting prefix, or
+        ``(None, pos)`` if even the empty prefix does not accept.
+        """
+        state = self.start
+        best_tag = self.accepts[state]
+        best_end = pos
+        transitions = self.transitions
+        accepts = self.accepts
+        n_classes = self.n_classes
+        classify = self.classifier.classify
+        i = pos
+        n = len(text)
+        while i < n:
+            cls = classify(ord(text[i]))
+            if cls < 0:
+                break
+            state = transitions[state * n_classes + cls]
+            if state == DEAD:
+                break
+            i += 1
+            tag = accepts[state]
+            if tag is not None:
+                best_tag = tag
+                best_end = i
+        return best_tag, best_end
+
+
+def from_nfa(nfa: NFA) -> DFA:
+    """Determinize ``nfa`` via subset construction.
+
+    Accept-tag conflicts in a subset resolve to the smallest tag
+    (first-rule-wins for scanners).
+    """
+    all_sets = [cs for edges in nfa.char_edges for cs, _ in edges]
+    blocks = partition_alphabet(all_sets)
+    classifier = Classifier.build(blocks)
+    n_classes = len(blocks)
+
+    # Precompute, per NFA state, the list of (class_id, target).
+    state_moves: List[List[Tuple[int, int]]] = [[] for _ in range(nfa.n_states)]
+    for s in range(nfa.n_states):
+        for cs, t in nfa.char_edges[s]:
+            for class_id, block in enumerate(blocks):
+                if cs.overlaps(block):
+                    state_moves[s].append((class_id, t))
+
+    start_set = nfa.eps_closure([nfa.start])
+    subsets: Dict[frozenset[int], int] = {start_set: 0}
+    worklist = [start_set]
+    transitions: List[int] = []
+    accepts: List[Optional[int]] = []
+
+    def accept_of(subset: frozenset[int]) -> Optional[int]:
+        tags = [nfa.accepts[s] for s in subset if s in nfa.accepts]
+        return min(tags) if tags else None
+
+    accepts.append(accept_of(start_set))
+    transitions.extend([DEAD] * n_classes)
+
+    while worklist:
+        subset = worklist.pop()
+        row = subsets[subset] * n_classes
+        # Gather targets per class.
+        per_class: Dict[int, set[int]] = {}
+        for s in subset:
+            for class_id, t in state_moves[s]:
+                per_class.setdefault(class_id, set()).add(t)
+        for class_id, targets in per_class.items():
+            closure = nfa.eps_closure(sorted(targets))
+            idx = subsets.get(closure)
+            if idx is None:
+                idx = len(subsets)
+                subsets[closure] = idx
+                worklist.append(closure)
+                accepts.append(accept_of(closure))
+                transitions.extend([DEAD] * n_classes)
+            transitions[row + class_id] = idx
+
+    return DFA(
+        n_states=len(subsets),
+        n_classes=n_classes,
+        transitions=transitions,
+        accepts=accepts,
+        classifier=classifier,
+    )

@@ -1,0 +1,61 @@
+"""User-facing compiled-regex objects built on the NFA→DFA pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from . import nfa as nfa_mod
+from . import parser
+from .dfa import DFA, from_nfa
+from .minimize import minimize
+
+
+@dataclass(frozen=True)
+class Regex:
+    """A compiled regular expression backed by a minimized DFA."""
+
+    pattern: str
+    dfa: DFA
+
+    def fullmatch(self, text: str) -> bool:
+        """True iff the entire ``text`` matches the pattern."""
+        tag, end = self.dfa.match(text, 0)
+        return tag is not None and end == len(text)
+
+    def match_prefix(self, text: str, pos: int = 0) -> Optional[Tuple[int, int]]:
+        """Longest match anchored at ``pos``.
+
+        Returns ``(start, end)`` or ``None``.  Zero-length matches are
+        reported (``start == end``) when the pattern is nullable.
+        """
+        tag, end = self.dfa.match(text, pos)
+        if tag is None:
+            return None
+        return pos, end
+
+    def search(self, text: str, pos: int = 0) -> Optional[Tuple[int, int]]:
+        """First (leftmost-longest) match at or after ``pos``."""
+        n = len(text)
+        while pos <= n:
+            result = self.match_prefix(text, pos)
+            if result is not None and result[1] > result[0]:
+                return result
+            if result is not None and result[0] == result[1] == pos:
+                # Nullable pattern: leftmost empty match.
+                return result
+            pos += 1
+        return None
+
+
+def compile(pattern: str, *, minimized: bool = True) -> Regex:  # noqa: A001
+    """Compile ``pattern`` into a :class:`Regex`.
+
+    ``minimized=False`` skips Hopcroft minimization — useful for comparing
+    table sizes and for the Fig. 11 optimization ablation.
+    """
+    tree = parser.parse(pattern)
+    automaton = from_nfa(nfa_mod.from_ast(tree))
+    if minimized:
+        automaton = minimize(automaton)
+    return Regex(pattern=pattern, dfa=automaton)

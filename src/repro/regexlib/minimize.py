@@ -1,0 +1,130 @@
+"""Hopcroft DFA minimization, accept-tag aware.
+
+Standard Hopcroft partition refinement, except the initial partition
+separates states by *accept tag* rather than merely accepting vs not:
+merging states with different tags would conflate scanner rules.
+Unreachable states are dropped first; the dead state is implicit
+(``DEAD`` entries in the table).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+from .dfa import DEAD, DFA
+
+
+def _reachable(dfa: DFA) -> List[int]:
+    seen = [False] * dfa.n_states
+    seen[dfa.start] = True
+    stack = [dfa.start]
+    while stack:
+        s = stack.pop()
+        base = s * dfa.n_classes
+        for c in range(dfa.n_classes):
+            t = dfa.transitions[base + c]
+            if t != DEAD and not seen[t]:
+                seen[t] = True
+                stack.append(t)
+    return [s for s in range(dfa.n_states) if seen[s]]
+
+
+def minimize(dfa: DFA) -> DFA:
+    """Return an equivalent DFA with the minimum number of states."""
+    states = _reachable(dfa)
+    n_classes = dfa.n_classes
+
+    # Initial partition: group by accept tag (None = non-accepting).
+    groups: Dict[Optional[int], set[int]] = defaultdict(set)
+    for s in states:
+        groups[dfa.accepts[s]].add(s)
+    partition: List[set[int]] = [g for g in groups.values() if g]
+    block_of: Dict[int, int] = {}
+    for i, block in enumerate(partition):
+        for s in block:
+            block_of[s] = i
+
+    # Inverse transitions restricted to reachable states.
+    inverse: List[Dict[int, List[int]]] = [dict() for _ in range(n_classes)]
+    state_set = set(states)
+    for s in states:
+        base = s * n_classes
+        for c in range(n_classes):
+            t = dfa.transitions[base + c]
+            if t != DEAD and t in state_set:
+                inverse[c].setdefault(t, []).append(s)
+
+    worklist: set[tuple[int, int]] = {
+        (i, c) for i in range(len(partition)) for c in range(n_classes)
+    }
+    while worklist:
+        block_idx, c = worklist.pop()
+        splitter = partition[block_idx]
+        # States with a c-transition into the splitter.
+        preds: set[int] = set()
+        inv_c = inverse[c]
+        for t in splitter:
+            preds.update(inv_c.get(t, ()))
+        if not preds:
+            continue
+        # Refine every block cut by preds.
+        touched: Dict[int, set[int]] = defaultdict(set)
+        for s in preds:
+            touched[block_of[s]].add(s)
+        for b_idx, inside in touched.items():
+            block = partition[b_idx]
+            if len(inside) == len(block):
+                continue
+            outside = block - inside
+            # Keep the smaller part as the new block (Hopcroft's trick).
+            if len(inside) <= len(outside):
+                new_block, old_block = inside, outside
+            else:
+                new_block, old_block = outside, inside
+            partition[b_idx] = old_block
+            new_idx = len(partition)
+            partition.append(new_block)
+            for s in new_block:
+                block_of[s] = new_idx
+            for cc in range(n_classes):
+                if (b_idx, cc) in worklist:
+                    worklist.add((new_idx, cc))
+                else:
+                    # Add the smaller of the two pieces.
+                    smaller = b_idx if len(old_block) <= len(new_block) else new_idx
+                    worklist.add((smaller, cc))
+
+    # Rebuild with the start block as state 0, breadth-first for locality.
+    start_block = block_of[dfa.start]
+    order: List[int] = [start_block]
+    index_of: Dict[int, int] = {start_block: 0}
+    reps: Dict[int, int] = {i: next(iter(partition[i])) for i in range(len(partition)) if partition[i]}
+    i = 0
+    new_transitions: List[int] = []
+    new_accepts: List[Optional[int]] = []
+    while i < len(order):
+        b = order[i]
+        rep = reps[b]
+        new_accepts.append(dfa.accepts[rep])
+        base = rep * n_classes
+        for c in range(n_classes):
+            t = dfa.transitions[base + c]
+            if t == DEAD:
+                new_transitions.append(DEAD)
+            else:
+                tb = block_of[t]
+                if tb not in index_of:
+                    index_of[tb] = len(order)
+                    order.append(tb)
+                new_transitions.append(index_of[tb])
+        i += 1
+
+    return DFA(
+        n_states=len(order),
+        n_classes=n_classes,
+        transitions=new_transitions,
+        accepts=new_accepts,
+        classifier=dfa.classifier,
+        start=0,
+    )

@@ -1,0 +1,170 @@
+"""Thompson construction: regex AST → nondeterministic finite automaton.
+
+States are dense integers.  Transitions are labeled by :class:`CharSet`
+(character transitions) or ``None`` (epsilon).  Accepting states carry an
+integer *tag*; in scanner mode every pattern gets its own tag and the
+lowest tag wins on conflict, mirroring flex's first-rule-wins policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from . import ast
+from .charset import CharSet
+
+
+@dataclass
+class NFA:
+    """An ε-NFA with a single start state and tagged accepting states."""
+
+    start: int = 0
+    n_states: int = 1
+    # char_edges[s] = [(charset, target), ...]
+    char_edges: List[List[Tuple[CharSet, int]]] = field(default_factory=lambda: [[]])
+    # eps_edges[s] = [target, ...]
+    eps_edges: List[List[int]] = field(default_factory=lambda: [[]])
+    # accepts[s] = tag  (absent = non-accepting)
+    accepts: Dict[int, int] = field(default_factory=dict)
+
+    def new_state(self) -> int:
+        self.char_edges.append([])
+        self.eps_edges.append([])
+        self.n_states += 1
+        return self.n_states - 1
+
+    def add_char_edge(self, src: int, cs: CharSet, dst: int) -> None:
+        if not cs:
+            raise ValueError("empty CharSet edge is unreachable; use epsilon")
+        self.char_edges[src].append((cs, dst))
+
+    def add_eps_edge(self, src: int, dst: int) -> None:
+        self.eps_edges[src].append(dst)
+
+    def eps_closure(self, states: Sequence[int]) -> frozenset[int]:
+        """All states reachable from ``states`` via epsilon edges."""
+        seen = set(states)
+        stack = list(states)
+        while stack:
+            s = stack.pop()
+            for t in self.eps_edges[s]:
+                if t not in seen:
+                    seen.add(t)
+                    stack.append(t)
+        return frozenset(seen)
+
+
+class _Builder:
+    """Builds NFA fragments (entry, exit) recursively from the AST."""
+
+    def __init__(self, nfa: NFA):
+        self.nfa = nfa
+
+    def build(self, node: ast.Node) -> Tuple[int, int]:
+        method = getattr(self, f"_build_{type(node).__name__.lower()}", None)
+        if method is None:
+            raise TypeError(f"unknown AST node {type(node).__name__}")
+        return method(node)
+
+    def _fragment(self) -> Tuple[int, int]:
+        return self.nfa.new_state(), self.nfa.new_state()
+
+    def _build_epsilon(self, node: ast.Epsilon) -> Tuple[int, int]:
+        entry, exit_ = self._fragment()
+        self.nfa.add_eps_edge(entry, exit_)
+        return entry, exit_
+
+    def _build_chars(self, node: ast.Chars) -> Tuple[int, int]:
+        entry, exit_ = self._fragment()
+        if node.cs:
+            self.nfa.add_char_edge(entry, node.cs, exit_)
+        # An empty class matches nothing: entry has no out-edges, the
+        # fragment is a dead end, which is the correct semantics.
+        return entry, exit_
+
+    def _build_concat(self, node: ast.Concat) -> Tuple[int, int]:
+        assert node.parts, "Concat must be non-empty"
+        first_entry, prev_exit = self.build(node.parts[0])
+        for part in node.parts[1:]:
+            entry, exit_ = self.build(part)
+            self.nfa.add_eps_edge(prev_exit, entry)
+            prev_exit = exit_
+        return first_entry, prev_exit
+
+    def _build_alt(self, node: ast.Alt) -> Tuple[int, int]:
+        entry, exit_ = self._fragment()
+        for option in node.options:
+            o_entry, o_exit = self.build(option)
+            self.nfa.add_eps_edge(entry, o_entry)
+            self.nfa.add_eps_edge(o_exit, exit_)
+        return entry, exit_
+
+    def _build_star(self, node: ast.Star) -> Tuple[int, int]:
+        entry, exit_ = self._fragment()
+        i_entry, i_exit = self.build(node.inner)
+        self.nfa.add_eps_edge(entry, i_entry)
+        self.nfa.add_eps_edge(entry, exit_)
+        self.nfa.add_eps_edge(i_exit, i_entry)
+        self.nfa.add_eps_edge(i_exit, exit_)
+        return entry, exit_
+
+    def _build_plus(self, node: ast.Plus) -> Tuple[int, int]:
+        i_entry, i_exit = self.build(node.inner)
+        exit_ = self.nfa.new_state()
+        self.nfa.add_eps_edge(i_exit, i_entry)
+        self.nfa.add_eps_edge(i_exit, exit_)
+        return i_entry, exit_
+
+    def _build_optional(self, node: ast.Optional) -> Tuple[int, int]:
+        entry, exit_ = self._fragment()
+        i_entry, i_exit = self.build(node.inner)
+        self.nfa.add_eps_edge(entry, i_entry)
+        self.nfa.add_eps_edge(entry, exit_)
+        self.nfa.add_eps_edge(i_exit, exit_)
+        return entry, exit_
+
+    def _build_repeat(self, node: ast.Repeat) -> Tuple[int, int]:
+        # Expand {m,n} by copying the inner fragment; patterns in this
+        # codebase use small bounds so blowup is not a concern.
+        entry = self.nfa.new_state()
+        cur = entry
+        for _ in range(node.lo):
+            i_entry, i_exit = self.build(node.inner)
+            self.nfa.add_eps_edge(cur, i_entry)
+            cur = i_exit
+        if node.hi is None:
+            s_entry, s_exit = self._build_star(ast.Star(node.inner))
+            self.nfa.add_eps_edge(cur, s_entry)
+            return entry, s_exit
+        exit_ = self.nfa.new_state()
+        self.nfa.add_eps_edge(cur, exit_)
+        for _ in range(node.hi - node.lo):
+            i_entry, i_exit = self.build(node.inner)
+            self.nfa.add_eps_edge(cur, i_entry)
+            self.nfa.add_eps_edge(i_exit, exit_)
+            cur = i_exit
+        return entry, exit_
+
+
+def from_ast(node: ast.Node, tag: int = 0) -> NFA:
+    """Build an NFA recognizing ``node``; its accept state carries ``tag``."""
+    return from_asts([(node, tag)])
+
+
+def from_asts(tagged: Sequence[Tuple[ast.Node, int]]) -> NFA:
+    """Build a combined NFA from several (AST, tag) pairs.
+
+    This is the scanner-generator entry point: one shared start state with
+    epsilon edges into each pattern's fragment, each pattern accepting with
+    its own tag.
+    """
+    nfa = NFA()
+    builder = _Builder(nfa)
+    for node, tag in tagged:
+        entry, exit_ = builder.build(node)
+        nfa.add_eps_edge(nfa.start, entry)
+        existing = nfa.accepts.get(exit_)
+        if existing is None or tag < existing:
+            nfa.accepts[exit_] = tag
+    return nfa

@@ -1,0 +1,172 @@
+"""DFA-level operations: product construction, equivalence, export.
+
+These close the loop on the regex engine: language equality between two
+compiled automata is decidable, so tests can verify that Hopcroft
+minimization, scanner merging, or a refactored pattern preserved the
+language *exactly*, instead of sampling strings.
+
+All operations work on automata that share a classifier (built from the
+same pattern set) or rebuild a joint classifier from both inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .charset import CharSet, partition_alphabet
+from .dfa import DEAD, DFA, Classifier
+
+
+def _joint_alphabet(a: DFA, b: DFA) -> List[CharSet]:
+    """Partition blocks refining both automata's classifiers."""
+    sets: List[CharSet] = []
+    for dfa in (a, b):
+        classifier = dfa.classifier
+        # Reconstruct each class's CharSet from the classifier tables.
+        by_class: Dict[int, List[Tuple[int, int]]] = {}
+        run_start: Optional[int] = None
+        run_class: int = -1
+        for cp in range(129):
+            cls = classifier.ascii_table[cp] if cp < 128 else -1
+            if cls != run_class:
+                if run_class >= 0 and run_start is not None:
+                    by_class.setdefault(run_class, []).append((run_start, cp - 1))
+                run_start, run_class = cp, cls
+        for lo, hi, cls in zip(classifier.los, classifier.his, classifier.ids):
+            by_class.setdefault(cls, []).append((lo, hi))
+        sets.extend(CharSet(intervals) for intervals in by_class.values())
+    return partition_alphabet(sets)
+
+
+def _remap(dfa: DFA, blocks: List[CharSet]) -> Tuple[List[int], int]:
+    """Transition table of ``dfa`` re-expressed over ``blocks``."""
+    n_classes = len(blocks)
+    table = [DEAD] * (dfa.n_states * n_classes)
+    for class_id, block in enumerate(blocks):
+        cp = block.intervals[0][0]  # any representative codepoint
+        old_class = dfa.classifier.classify(cp)
+        if old_class < 0:
+            continue
+        for state in range(dfa.n_states):
+            table[state * n_classes + class_id] = dfa.transitions[
+                state * dfa.n_classes + old_class
+            ]
+    return table, n_classes
+
+
+def product_reachable(
+    a: DFA, b: DFA
+) -> Iterator[Tuple[int, int]]:
+    """Reachable state pairs of the synchronous product of ``a``×``b``.
+
+    ``-1`` in a pair denotes the implicit dead state of that automaton.
+    """
+    blocks = _joint_alphabet(a, b)
+    table_a, n_classes = _remap(a, blocks)
+    table_b, _ = _remap(b, blocks)
+
+    def move(table: List[int], state: int, cls: int) -> int:
+        if state == DEAD:
+            return DEAD
+        return table[state * n_classes + cls]
+
+    seen: Set[Tuple[int, int]] = {(a.start, b.start)}
+    stack = [(a.start, b.start)]
+    while stack:
+        sa, sb = stack.pop()
+        yield sa, sb
+        for cls in range(n_classes):
+            ta = move(table_a, sa, cls)
+            tb = move(table_b, sb, cls)
+            if (ta, tb) == (DEAD, DEAD):
+                continue
+            if (ta, tb) not in seen:
+                seen.add((ta, tb))
+                stack.append((ta, tb))
+
+
+def equivalent(a: DFA, b: DFA) -> bool:
+    """Language equality: accept-status agrees on every reachable pair.
+
+    Tags are reduced to accept/reject; use :func:`tag_equivalent` when
+    the scanner's rule identity matters too.
+    """
+    for sa, sb in product_reachable(a, b):
+        acc_a = a.accepts[sa] is not None if sa != DEAD else False
+        acc_b = b.accepts[sb] is not None if sb != DEAD else False
+        if acc_a != acc_b:
+            return False
+    return True
+
+
+def tag_equivalent(a: DFA, b: DFA) -> bool:
+    """Stronger equivalence: accept *tags* agree everywhere (the two
+    scanners tokenize every input identically)."""
+    for sa, sb in product_reachable(a, b):
+        tag_a = a.accepts[sa] if sa != DEAD else None
+        tag_b = b.accepts[sb] if sb != DEAD else None
+        if tag_a != tag_b:
+            return False
+    return True
+
+
+def find_distinguishing_string(a: DFA, b: DFA) -> Optional[str]:
+    """A witness string accepted by exactly one automaton, or None.
+
+    BFS over the product, tracking one representative codepoint per
+    joint alphabet block, so the witness is a real, minimal-length
+    input.
+    """
+    blocks = _joint_alphabet(a, b)
+    table_a, n_classes = _remap(a, blocks)
+    table_b, _ = _remap(b, blocks)
+    reps = [chr(block.intervals[0][0]) for block in blocks]
+
+    def move(table: List[int], state: int, cls: int) -> int:
+        if state == DEAD:
+            return DEAD
+        return table[state * n_classes + cls]
+
+    start = (a.start, b.start)
+    paths: Dict[Tuple[int, int], str] = {start: ""}
+    queue = [start]
+    while queue:
+        sa, sb = queue.pop(0)
+        acc_a = sa != DEAD and a.accepts[sa] is not None
+        acc_b = sb != DEAD and b.accepts[sb] is not None
+        if acc_a != acc_b:
+            return paths[(sa, sb)]
+        for cls in range(n_classes):
+            ta = move(table_a, sa, cls)
+            tb = move(table_b, sb, cls)
+            if (ta, tb) == (DEAD, DEAD):
+                continue
+            if (ta, tb) not in paths:
+                paths[(ta, tb)] = paths[(sa, sb)] + reps[cls]
+                queue.append((ta, tb))
+    return None
+
+
+def to_dot(dfa: DFA, *, name: str = "dfa", max_label: int = 24) -> str:
+    """Graphviz dot rendering (debugging / documentation aid)."""
+    lines = [f"digraph {name} {{", "  rankdir=LR;", '  node [shape=circle];']
+    for state in range(dfa.n_states):
+        tag = dfa.accepts[state]
+        if tag is not None:
+            lines.append(
+                f'  s{state} [shape=doublecircle, label="s{state}/{tag}"];')
+    lines.append(f"  start [shape=point]; start -> s{dfa.start};")
+    # Group parallel edges per (src, dst).
+    edges: Dict[Tuple[int, int], List[int]] = {}
+    for state in range(dfa.n_states):
+        for cls in range(dfa.n_classes):
+            target = dfa.transitions[state * dfa.n_classes + cls]
+            if target != DEAD:
+                edges.setdefault((state, target), []).append(cls)
+    for (src, dst), classes in sorted(edges.items()):
+        label = ",".join(f"c{c}" for c in classes)
+        if len(label) > max_label:
+            label = label[: max_label - 1] + "…"
+        lines.append(f'  s{src} -> s{dst} [label="{label}"];')
+    lines.append("}")
+    return "\n".join(lines)

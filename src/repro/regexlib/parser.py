@@ -1,0 +1,253 @@
+"""Recursive-descent parser for a practical regex dialect.
+
+Supported syntax (a deliberate, documented subset of POSIX/PCRE):
+
+* literals, with ``\\`` escapes for metacharacters
+* ``.`` (any char but newline)
+* character classes ``[...]`` with ranges, negation (``[^...]``) and the
+  shorthand classes ``\\d \\D \\w \\W \\s \\S`` inside and outside classes
+* grouping ``(...)`` (non-capturing — the scanner generator has no use
+  for captures)
+* alternation ``|``
+* repetition ``* + ?`` and bounded ``{m} {m,} {m,n}``
+* escapes ``\\n \\t \\r \\f \\v \\0 \\xhh \\uhhhh``
+
+Anchors, backreferences and lookaround are intentionally rejected:
+Thompson-constructible regular languages only, so every pattern compiles
+to a DFA.
+"""
+
+from __future__ import annotations
+
+from . import ast
+from .charset import DIGITS, DOT, SPACE, WORD, CharSet
+
+_META = set("()[]{}|*+?.\\")
+
+_SIMPLE_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "f": "\f",
+    "v": "\v",
+    "0": "\0",
+}
+
+_CLASS_ESCAPES = {
+    "d": DIGITS,
+    "D": DIGITS.complement(),
+    "w": WORD,
+    "W": WORD.complement(),
+    "s": SPACE,
+    "S": SPACE.complement(),
+}
+
+
+class RegexSyntaxError(ValueError):
+    """Raised on malformed patterns, with position information."""
+
+    def __init__(self, message: str, pattern: str, pos: int):
+        super().__init__(f"{message} at position {pos} in {pattern!r}")
+        self.pattern = pattern
+        self.pos = pos
+
+
+class _Parser:
+    def __init__(self, pattern: str):
+        self.pattern = pattern
+        self.pos = 0
+
+    # -- utilities ---------------------------------------------------
+    def error(self, message: str) -> RegexSyntaxError:
+        return RegexSyntaxError(message, self.pattern, self.pos)
+
+    def peek(self) -> str | None:
+        if self.pos < len(self.pattern):
+            return self.pattern[self.pos]
+        return None
+
+    def next(self) -> str:
+        ch = self.peek()
+        if ch is None:
+            raise self.error("unexpected end of pattern")
+        self.pos += 1
+        return ch
+
+    def eat(self, ch: str) -> bool:
+        if self.peek() == ch:
+            self.pos += 1
+            return True
+        return False
+
+    # -- grammar -----------------------------------------------------
+    def parse(self) -> ast.Node:
+        node = self.alternation()
+        if self.pos != len(self.pattern):
+            raise self.error(f"unexpected {self.peek()!r}")
+        return node
+
+    def alternation(self) -> ast.Node:
+        options = [self.concatenation()]
+        while self.eat("|"):
+            options.append(self.concatenation())
+        if len(options) == 1:
+            return options[0]
+        return ast.Alt(tuple(options))
+
+    def concatenation(self) -> ast.Node:
+        parts: list[ast.Node] = []
+        while True:
+            ch = self.peek()
+            if ch is None or ch in "|)":
+                break
+            parts.append(self.repetition())
+        if not parts:
+            return ast.Epsilon()
+        if len(parts) == 1:
+            return parts[0]
+        return ast.Concat(tuple(parts))
+
+    def repetition(self) -> ast.Node:
+        node = self.atom()
+        while True:
+            ch = self.peek()
+            if ch == "*":
+                self.next()
+                node = ast.Star(node)
+            elif ch == "+":
+                self.next()
+                node = ast.Plus(node)
+            elif ch == "?":
+                self.next()
+                node = ast.Optional(node)
+            elif ch == "{":
+                node = self.bounded(node)
+            else:
+                return node
+
+    def bounded(self, inner: ast.Node) -> ast.Node:
+        start = self.pos
+        self.next()  # consume '{'
+        lo = self._number()
+        if lo is None:
+            # Not a quantifier after all — treat '{' as a literal, as most
+            # engines do for e.g. "a{x".
+            self.pos = start + 1
+            return ast.Concat((inner, ast.Chars(CharSet.single("{"))))
+        hi: int | None
+        if self.eat(","):
+            hi = self._number()  # None = unbounded
+        else:
+            hi = lo
+        if not self.eat("}"):
+            raise self.error("expected '}' in bounded repetition")
+        if hi is not None and hi < lo:
+            raise self.error(f"inverted repetition bounds {{{lo},{hi}}}")
+        # Bounded repetition expands by copying the inner fragment, so a
+        # huge bound would explode the NFA; real log templates never
+        # need more than a few dozen repetitions.
+        limit = 512
+        if lo > limit or (hi is not None and hi > limit):
+            raise self.error(f"repetition bound exceeds {limit}")
+        return ast.Repeat(inner, lo, hi)
+
+    def _number(self) -> int | None:
+        digits = ""
+        while (ch := self.peek()) is not None and ch.isdigit():
+            digits += self.next()
+        return int(digits) if digits else None
+
+    def atom(self) -> ast.Node:
+        ch = self.next()
+        if ch == "(":
+            # Accept and ignore the common non-capturing prefix.
+            if self.pattern.startswith("?:", self.pos):
+                self.pos += 2
+            node = self.alternation()
+            if not self.eat(")"):
+                raise self.error("unbalanced '('")
+            return node
+        if ch == ".":
+            return ast.Chars(DOT)
+        if ch == "[":
+            return ast.Chars(self.char_class())
+        if ch == "\\":
+            return self.escape()
+        if ch in "*+?":
+            raise self.error(f"nothing to repeat before {ch!r}")
+        if ch in ")]":
+            raise self.error(f"unbalanced {ch!r}")
+        return ast.Chars(CharSet.single(ch))
+
+    def escape(self) -> ast.Node:
+        ch = self.next()
+        if ch in _CLASS_ESCAPES:
+            return ast.Chars(_CLASS_ESCAPES[ch])
+        return ast.Chars(CharSet.single(self._escaped_char(ch)))
+
+    def _escaped_char(self, ch: str) -> str:
+        if ch in _SIMPLE_ESCAPES:
+            return _SIMPLE_ESCAPES[ch]
+        if ch == "x":
+            return chr(self._hex(2))
+        if ch == "u":
+            return chr(self._hex(4))
+        if ch in _META or not ch.isalnum():
+            return ch
+        raise self.error(f"unknown escape \\{ch}")
+
+    def _hex(self, width: int) -> int:
+        text = self.pattern[self.pos : self.pos + width]
+        if len(text) < width or any(c not in "0123456789abcdefABCDEF" for c in text):
+            raise self.error(f"expected {width} hex digits")
+        self.pos += width
+        return int(text, 16)
+
+    def char_class(self) -> CharSet:
+        negate = self.eat("^")
+        result = CharSet.empty()
+        first = True
+        while True:
+            ch = self.peek()
+            if ch is None:
+                raise self.error("unterminated character class")
+            if ch == "]" and not first:
+                self.next()
+                break
+            first = False
+            item = self._class_item()
+            if isinstance(item, CharSet):
+                result = result | item
+                continue
+            # Single char: maybe a range.
+            if self.peek() == "-" and self.pattern[self.pos + 1 : self.pos + 2] not in ("]", ""):
+                self.next()  # consume '-'
+                hi_item = self._class_item()
+                if isinstance(hi_item, CharSet):
+                    raise self.error("character class range endpoint is a class")
+                if ord(item) > ord(hi_item):
+                    raise self.error(f"inverted class range {item!r}-{hi_item!r}")
+                result = result | CharSet.range(item, hi_item)
+            else:
+                result = result | CharSet.single(item)
+        if negate:
+            result = result.complement()
+        return result
+
+    def _class_item(self) -> CharSet | str:
+        """One class member: either a shorthand CharSet or a single char."""
+        ch = self.next()
+        if ch == "\\":
+            esc = self.next()
+            if esc in _CLASS_ESCAPES:
+                return _CLASS_ESCAPES[esc]
+            return self._escaped_char(esc)
+        return ch
+
+
+def parse(pattern: str) -> ast.Node:
+    """Parse ``pattern`` into a regex AST.
+
+    Raises :class:`RegexSyntaxError` on malformed input.
+    """
+    return _Parser(pattern).parse()

@@ -1,0 +1,89 @@
+"""Plain-text table / series renderers shared by the benchmark harness.
+
+The paper's "figures" are regenerated as aligned text series (x, y ± σ)
+so every benchmark prints the same rows/series the paper plots, without
+a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: Optional[str] = None,
+    float_fmt: str = "{:.4g}",
+) -> str:
+    """Fixed-width ASCII table."""
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_fmt.format(cell)
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(sep))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    series: Dict[str, Sequence[Tuple[object, float]]],
+    *,
+    title: Optional[str] = None,
+    y_fmt: str = "{:.4g}",
+) -> str:
+    """Multi-series (x → y) listing, one row per x value."""
+    xs: List[object] = []
+    for points in series.values():
+        for x, _y in points:
+            if x not in xs:
+                xs.append(x)
+    headers = [x_label, *series.keys()]
+    lookup = {
+        name: {x: y for x, y in points} for name, points in series.items()
+    }
+    rows = []
+    for x in xs:
+        row: List[object] = [x]
+        for name in series:
+            y = lookup[name].get(x)
+            row.append(y_fmt.format(y) if y is not None else "—")
+        rows.append(row)
+    return render_table(headers, rows, title=title)
+
+
+def render_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    title: Optional[str] = None,
+    width: int = 40,
+    value_fmt: str = "{:.3g}",
+) -> str:
+    """Horizontal ASCII bar chart (for the bar-style figures)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    peak = max(values) if values else 1.0
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_w = max((len(l) for l in labels), default=0)
+    for label, value in zip(labels, values):
+        bar = "#" * (int(round(width * value / peak)) if peak else 0)
+        lines.append(f"{label.ljust(label_w)} | {bar} {value_fmt.format(value)}")
+    return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""Log phrase templating.
+
+* :mod:`.masking` — volatile-field masking (message → template text)
+* :mod:`.store` — template registry + generated anchored scanners
+* :mod:`.drain` — Drain fixed-depth-tree online log parser (baseline)
+* :mod:`.spell` — Spell LCS-based streaming log parser (baseline)
+"""
+
+from .drain import DrainGroup, DrainParser
+from .masking import MASK, make_masker, mask_message, template_tokens
+from .spell import LCSObject, SpellParser, lcs_length, lcs_sequence
+from .store import (
+    NaiveTemplateScanner,
+    Template,
+    TemplateScanner,
+    TemplateStore,
+    template_to_pattern,
+)
+
+__all__ = [
+    "DrainGroup",
+    "DrainParser",
+    "LCSObject",
+    "MASK",
+    "NaiveTemplateScanner",
+    "SpellParser",
+    "lcs_length",
+    "lcs_sequence",
+    "Template",
+    "TemplateScanner",
+    "TemplateStore",
+    "make_masker",
+    "mask_message",
+    "template_to_pattern",
+    "template_tokens",
+]

@@ -1,0 +1,104 @@
+"""Drain: online log parsing with a fixed-depth parse tree (He et al.,
+ICWS'17) — one of the general-purpose streaming template miners the
+paper positions Aarohi's integrated tokenization against.
+
+The tree routes a tokenized message by (1) token count, (2) its first
+``depth`` tokens (with numeric tokens wildcarded), then picks the most
+similar template group in the leaf by position-wise token similarity;
+above ``sim_threshold`` the message joins the group (wildcarding
+disagreeing positions), otherwise it founds a new group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+WILDCARD = "<*>"
+
+
+def _tokenize(message: str) -> List[str]:
+    return message.split()
+
+
+def _has_digit(token: str) -> bool:
+    return any(c.isdigit() for c in token)
+
+
+@dataclass
+class DrainGroup:
+    """A leaf template cluster."""
+
+    group_id: int
+    template: List[str]
+    count: int = 0
+
+    def similarity(self, tokens: List[str]) -> float:
+        if len(tokens) != len(self.template):
+            return 0.0
+        same = sum(
+            1
+            for a, b in zip(self.template, tokens)
+            if a == b or a == WILDCARD
+        )
+        return same / len(tokens)
+
+    def merge(self, tokens: List[str]) -> None:
+        self.template = [
+            a if (a == b or a == WILDCARD) else WILDCARD
+            for a, b in zip(self.template, tokens)
+        ]
+        self.count += 1
+
+    @property
+    def template_text(self) -> str:
+        return " ".join(self.template)
+
+
+class DrainParser:
+    """Streaming Drain parser."""
+
+    def __init__(self, *, depth: int = 3, sim_threshold: float = 0.5,
+                 max_children: int = 100):
+        if depth < 1:
+            raise ValueError("depth must be ≥ 1")
+        self.depth = depth
+        self.sim_threshold = sim_threshold
+        self.max_children = max_children
+        # root: length → prefix-token trie → leaf group list
+        self._root: Dict[int, dict] = {}
+        self._groups: List[DrainGroup] = []
+
+    @property
+    def groups(self) -> List[DrainGroup]:
+        return list(self._groups)
+
+    def parse(self, message: str) -> DrainGroup:
+        """Route one message; returns its (possibly new) template group."""
+        tokens = _tokenize(message)
+        node = self._root.setdefault(len(tokens), {})
+        for token in tokens[: self.depth]:
+            key = WILDCARD if _has_digit(token) else token
+            children = node.setdefault("children", {})
+            if key not in children and len(children) >= self.max_children:
+                key = WILDCARD  # overflow bucket, as in the paper
+            node = children.setdefault(key, {})
+        leaf: List[DrainGroup] = node.setdefault("groups", [])
+
+        best: Optional[DrainGroup] = None
+        best_sim = 0.0
+        for group in leaf:
+            sim = group.similarity(tokens)
+            if sim > best_sim:
+                best, best_sim = group, sim
+        if best is not None and best_sim >= self.sim_threshold:
+            best.merge(tokens)
+            return best
+        group = DrainGroup(group_id=len(self._groups), template=list(tokens), count=1)
+        self._groups.append(group)
+        leaf.append(group)
+        return group
+
+    def parse_stream(self, messages: List[str]) -> List[int]:
+        """Group id per message."""
+        return [self.parse(m).group_id for m in messages]

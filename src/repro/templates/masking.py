@@ -1,0 +1,68 @@
+"""Variable-field masking: raw log message → phrase template.
+
+Log messages mix a stable phrase skeleton with volatile fields (node
+ids, hex values, paths, counts).  Masking replaces each volatile field
+with ``*`` so that messages from the same event type collapse onto one
+template — the "Phrase" column of Table III.
+
+The masking rules are ordered; earlier rules run first so that, e.g.,
+a Cray node id is masked as a unit before its digits are.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, List, Pattern, Tuple
+
+MASK = "*"
+
+# (name, compiled pattern) in application order.  These use CPython's
+# ``re`` deliberately: masking is an *offline* preprocessing concern, not
+# part of the online prediction fast path (which uses repro.regexlib).
+_RULES: List[Tuple[str, Pattern[str]]] = [
+    ("cray_node", re.compile(r"\bc\d+-\d+c\d+s\d+n\d+\b")),
+    ("ip_port", re.compile(r"\b\d{1,3}(?:\.\d{1,3}){3}(?::\d+)?\b")),
+    ("pci_addr", re.compile(r"\b[0-9a-fA-F]{4}:[0-9a-fA-F]{2}:[0-9a-fA-F]{2}\.\d\b")),
+    ("mac", re.compile(r"\b[0-9a-fA-F]{2}(?::[0-9a-fA-F]{2}){5}\b")),
+    ("hex", re.compile(r"\b0x[0-9a-fA-F]+\b")),
+    ("path", re.compile(r"(?<![\w*])/[\w.\-/]+")),
+    ("uuid", re.compile(r"\b[0-9a-f]{8}-[0-9a-f]{4}-[0-9a-f]{4}-[0-9a-f]{4}-[0-9a-f]{12}\b")),
+    ("duration", re.compile(r"\b\d+(?:\.\d+)?\s*(?:secs?|msecs?|usecs?|ms|us|ns)\b")),
+    ("number", re.compile(r"\b\d+(?:\.\d+)?\b")),
+]
+
+_COLLAPSE = re.compile(r"(?:\*\s*){2,}")
+_WS = re.compile(r"\s+")
+
+
+def mask_message(message: str) -> str:
+    """Collapse volatile fields of ``message`` into ``*`` wildcards."""
+    out = message
+    for _name, pattern in _RULES:
+        out = pattern.sub(MASK, out)
+    out = _COLLAPSE.sub(f"{MASK} ", out)
+    out = _WS.sub(" ", out).strip()
+    return out
+
+
+def template_tokens(template: str) -> List[str]:
+    """Split a template into its literal words (wildcards dropped)."""
+    return [w for w in template.split() if w != MASK]
+
+
+def make_masker(extra_rules: List[Tuple[str, str]] | None = None) -> Callable[[str], str]:
+    """A masker with optional extra (name, regex) rules applied first.
+
+    Cross-system adaptation (Table IX) uses this to add vendor-specific
+    volatile fields (e.g. BG/P location codes) without touching the
+    defaults.
+    """
+    compiled = [(n, re.compile(p)) for n, p in (extra_rules or [])]
+
+    def mask(message: str) -> str:
+        out = message
+        for _name, pattern in compiled:
+            out = pattern.sub(MASK, out)
+        return mask_message(out)
+
+    return mask

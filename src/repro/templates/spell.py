@@ -1,0 +1,127 @@
+"""Spell: streaming log parsing via longest common subsequence (Du &
+Li, ICDM'16) — the second general-purpose online parser baseline.
+
+Each message is matched against existing *log-key objects* (LCS
+objects); if the longest common subsequence with some object covers at
+least half of that object's key, the message joins it and positions
+that disagree become wildcards.  Otherwise the message founds a new
+object.  A prefix-token index keeps the candidate set small, as in the
+paper's pre-filtering step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+WILDCARD = "<*>"
+
+
+def lcs_length(a: Sequence[str], b: Sequence[str]) -> int:
+    """Classic O(|a|·|b|) LCS length."""
+    if not a or not b:
+        return 0
+    prev = [0] * (len(b) + 1)
+    for x in a:
+        cur = [0] * (len(b) + 1)
+        for j, y in enumerate(b, start=1):
+            if x == y:
+                cur[j] = prev[j - 1] + 1
+            else:
+                cur[j] = max(prev[j], cur[j - 1])
+        prev = cur
+    return prev[-1]
+
+
+def lcs_sequence(a: Sequence[str], b: Sequence[str]) -> List[str]:
+    """One longest common subsequence of ``a`` and ``b``."""
+    m, n = len(a), len(b)
+    table = [[0] * (n + 1) for _ in range(m + 1)]
+    for i in range(1, m + 1):
+        for j in range(1, n + 1):
+            if a[i - 1] == b[j - 1]:
+                table[i][j] = table[i - 1][j - 1] + 1
+            else:
+                table[i][j] = max(table[i - 1][j], table[i][j - 1])
+    out: List[str] = []
+    i, j = m, n
+    while i and j:
+        if a[i - 1] == b[j - 1]:
+            out.append(a[i - 1])
+            i -= 1
+            j -= 1
+        elif table[i - 1][j] >= table[i][j - 1]:
+            i -= 1
+        else:
+            j -= 1
+    return out[::-1]
+
+
+@dataclass
+class LCSObject:
+    """A Spell log-key object."""
+
+    object_id: int
+    key: List[str]
+    count: int = 0
+
+    @property
+    def key_text(self) -> str:
+        return " ".join(self.key)
+
+
+class SpellParser:
+    """Streaming Spell parser with a prefix index."""
+
+    def __init__(self, *, tau: float = 0.5):
+        if not 0 < tau <= 1:
+            raise ValueError("tau must be in (0, 1]")
+        self.tau = tau
+        self._objects: List[LCSObject] = []
+        self._prefix_index: Dict[str, List[int]] = {}
+
+    @property
+    def objects(self) -> List[LCSObject]:
+        return list(self._objects)
+
+    def parse(self, message: str) -> LCSObject:
+        tokens = message.split()
+        candidates = self._candidates(tokens)
+        best: Optional[LCSObject] = None
+        best_len = 0
+        for idx in candidates:
+            obj = self._objects[idx]
+            length = lcs_length(obj.key, tokens)
+            if length > best_len and length >= self.tau * len(obj.key):
+                best, best_len = obj, length
+        if best is not None:
+            common = lcs_sequence(best.key, tokens)
+            if len(common) < len(best.key):
+                # Disagreeing positions in the key become wildcards.
+                best.key = _wildcard_merge(best.key, set(common))
+            best.count += 1
+            return best
+        obj = LCSObject(object_id=len(self._objects), key=list(tokens), count=1)
+        self._objects.append(obj)
+        for token in set(tokens[:3]):
+            self._prefix_index.setdefault(token, []).append(obj.object_id)
+        return obj
+
+    def _candidates(self, tokens: List[str]) -> List[int]:
+        seen: List[int] = []
+        got = set()
+        for token in tokens[:3]:
+            for idx in self._prefix_index.get(token, ()):
+                if idx not in got:
+                    got.add(idx)
+                    seen.append(idx)
+        if not seen:  # fall back to a full scan (rare, keeps recall)
+            return list(range(len(self._objects)))
+        return seen
+
+    def parse_stream(self, messages: List[str]) -> List[int]:
+        return [self.parse(m).object_id for m in messages]
+
+
+def _wildcard_merge(key: List[str], common: set) -> List[str]:
+    return [t if (t in common or t == WILDCARD) else WILDCARD for t in key]

@@ -1,0 +1,179 @@
+"""Template store: phrase templates ↔ global token ids.
+
+The store is the shared vocabulary between Phase 1 and Phase 2: training
+registers templates and learns chains over their ids; the online scanner
+is *generated from* the store (templates become lexical rules).
+
+Template syntax: literal text with ``*`` wildcards standing for masked
+variable fields, e.g. ``"DVS: verify filesystem: *"``.  Matching is
+anchored at the start of the message, like Aarohi's scanner, which reads
+a phrase "until it reaches [the template head]" and ignores the variable
+remainder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.events import Severity
+from ..lexgen import LexSpec
+from ..lexgen.spec import CompiledLexSpec
+from .masking import MASK, mask_message
+
+# Characters that are regex metacharacters in repro.regexlib syntax.
+_META = set("()[]{}|*+?.\\")
+
+
+def template_to_pattern(template: str) -> str:
+    """Convert a ``*``-wildcard template into a repro.regexlib pattern.
+
+    Literal runs are escaped; each wildcard becomes ``.*`` except a
+    *trailing* wildcard, which is dropped entirely — the scanner stops at
+    the end of the literal head and never scans the variable tail
+    (that's part of the speedup: "the remaining content ... none of
+    which are further considered").
+    """
+    parts = template.split(MASK)
+    # Drop a trailing wildcard: no need to consume the tail.
+    trailing_wildcard = template.endswith(MASK)
+    escaped = ["".join("\\" + c if c in _META else c for c in p) for p in parts]
+    if trailing_wildcard:
+        escaped = escaped[:-1]
+        pattern = ".*".join(p for p in escaped)
+        return pattern.rstrip()  # trailing spaces before '*' are noise
+    return ".*".join(escaped)
+
+
+@dataclass(frozen=True)
+class Template:
+    """A registered phrase template."""
+
+    token: int
+    text: str
+    severity: Severity = Severity.UNKNOWN
+
+    @property
+    def head(self) -> str:
+        """The literal head (text before the first wildcard)."""
+        return self.text.split(MASK, 1)[0].strip()
+
+
+class TemplateStore:
+    """Bidirectional template registry with scanner generation."""
+
+    def __init__(self) -> None:
+        self._by_token: Dict[int, Template] = {}
+        self._by_text: Dict[str, Template] = {}
+        self._next_token = 100  # paper numbers phrases from ~100 upward
+
+    def __len__(self) -> int:
+        return len(self._by_token)
+
+    def __iter__(self):
+        return iter(self._by_token.values())
+
+    def add(
+        self,
+        text: str,
+        severity: Severity = Severity.UNKNOWN,
+        token: Optional[int] = None,
+    ) -> Template:
+        """Register a template; idempotent on identical text."""
+        existing = self._by_text.get(text)
+        if existing is not None:
+            return existing
+        if token is None:
+            token = self._next_token
+        if token in self._by_token:
+            raise ValueError(f"token {token} already registered")
+        self._next_token = max(self._next_token, token + 1)
+        template = Template(token=token, text=text, severity=severity)
+        self._by_token[token] = template
+        self._by_text[text] = template
+        return template
+
+    def get(self, token: int) -> Template:
+        return self._by_token[token]
+
+    def lookup(self, text: str) -> Optional[Template]:
+        return self._by_text.get(text)
+
+    def tokens(self) -> List[int]:
+        return sorted(self._by_token)
+
+    def add_from_message(
+        self, message: str, severity: Severity = Severity.UNKNOWN
+    ) -> Template:
+        """Mask ``message`` and register the resulting template."""
+        return self.add(mask_message(message), severity)
+
+    # -- scanner generation (the Aarohi lexer) -------------------------
+    def lex_spec(self, keep: Optional[Iterable[int]] = None) -> LexSpec:
+        """A scanner spec whose rules are (a subset of) the templates.
+
+        ``keep`` restricts the scanner to FC-related tokens (Observation
+        4: less than half of test phrases are FC-related; the rest are
+        discarded by the scanner without tokenization).  Rule names are
+        the decimal token ids.
+        """
+        wanted = set(keep) if keep is not None else None
+        spec = LexSpec()
+        for token in sorted(self._by_token):
+            if wanted is not None and token not in wanted:
+                continue
+            template = self._by_token[token]
+            spec.rule(str(token), template_to_pattern(template.text))
+        if not spec.rules:
+            raise ValueError("no templates selected for scanner")
+        return spec
+
+    def compile_scanner(
+        self, keep: Optional[Iterable[int]] = None, *, minimized: bool = True
+    ) -> "TemplateScanner":
+        return TemplateScanner(self.lex_spec(keep).compile(minimized=minimized))
+
+
+class TemplateScanner:
+    """Anchored tokenizer: message → token id or None.
+
+    Matches the merged template DFA at position 0 of the message.  A
+    match needs only the literal head of some template; the variable
+    tail is never scanned.
+    """
+
+    __slots__ = ("compiled", "_match")
+
+    def __init__(self, compiled: CompiledLexSpec):
+        self.compiled = compiled
+        self._match = compiled.dfa.match
+
+    def tokenize(self, message: str) -> Optional[int]:
+        tag, end = self._match(message, 0)
+        if tag is None:
+            return None
+        return int(self.compiled.spec.rules[tag].name)
+
+
+class NaiveTemplateScanner:
+    """Per-template sequential scanner (the Fig. 11 "optimization off"
+    analog): tries each template's DFA one by one instead of the merged,
+    minimized DFA."""
+
+    def __init__(self, store: TemplateStore, keep: Optional[Iterable[int]] = None):
+        from ..regexlib import compile as rx_compile
+
+        wanted = set(keep) if keep is not None else None
+        self._patterns: List[Tuple[int, object]] = []
+        for template in store:
+            if wanted is not None and template.token not in wanted:
+                continue
+            rx = rx_compile(template_to_pattern(template.text), minimized=False)
+            self._patterns.append((template.token, rx))
+        self._patterns.sort()
+
+    def tokenize(self, message: str) -> Optional[int]:
+        for token, rx in self._patterns:
+            if rx.match_prefix(message) is not None:
+                return token
+        return None

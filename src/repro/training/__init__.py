@@ -1,0 +1,28 @@
+"""Phase 1: offline training (labeling → mining → LSTM → metrics).
+
+The paper's contribution is Phase 2; this package supplies the trained
+failure chains Phase 2 consumes, via a transparent sequence miner
+(:mod:`.miner`) optionally gated by an LSTM scorer
+(:mod:`.lstm_phase1`), plus the Table VII efficiency metrics
+(:mod:`.metrics`).
+"""
+
+from .labeling import EventLabeler, LabeledEvent, anomaly_sequences, terminal_tokens
+from .lstm_phase1 import LSTMPhase1Trainer, Phase1Result
+from .metrics import ConfusionCounts, confusion_from_predictions
+from .miner import CandidateChain, MinedChains, extract_candidates, mine_chains
+
+__all__ = [
+    "CandidateChain",
+    "ConfusionCounts",
+    "EventLabeler",
+    "LSTMPhase1Trainer",
+    "LabeledEvent",
+    "MinedChains",
+    "Phase1Result",
+    "anomaly_sequences",
+    "confusion_from_predictions",
+    "extract_candidates",
+    "mine_chains",
+    "terminal_tokens",
+]

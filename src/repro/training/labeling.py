@@ -1,0 +1,78 @@
+"""Phrase labeling: segregating anomaly-relevant messages (Phase 1, step 2).
+
+"The messages that are definitely not benign (e.g., erroneous or
+unknown) along with failed messages ... are segregated a priori."
+Labeling walks raw events through the template store: each event maps to
+a template (or none) and inherits its severity.  Events that match no
+template are conservatively treated as benign chatter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.events import LogEvent, Severity, TokenEvent
+from ..templates.store import TemplateScanner, TemplateStore
+
+
+@dataclass(frozen=True)
+class LabeledEvent:
+    """A raw event plus its template token and severity label."""
+
+    event: LogEvent
+    token: Optional[int]
+    severity: Severity
+
+    @property
+    def anomaly_relevant(self) -> bool:
+        """Erroneous or unknown — the chain-building material."""
+        return self.token is not None and self.severity is not Severity.BENIGN
+
+
+class EventLabeler:
+    """Labels events against a template store."""
+
+    def __init__(self, store: TemplateStore):
+        self.store = store
+        self._scanner: TemplateScanner = store.compile_scanner()
+
+    def label(self, event: LogEvent) -> LabeledEvent:
+        token = self._scanner.tokenize(event.message)
+        if token is None:
+            return LabeledEvent(event, None, Severity.BENIGN)
+        return LabeledEvent(event, token, self.store.get(token).severity)
+
+    def label_stream(self, events: Iterable[LogEvent]) -> List[LabeledEvent]:
+        return [self.label(e) for e in events]
+
+
+def anomaly_sequences(
+    labeled: Sequence[LabeledEvent],
+) -> Dict[str, List[TokenEvent]]:
+    """Per-node time-ordered sequences of anomaly-relevant tokens.
+
+    This is the exact input shape Phase-1 learners consume: benign
+    phrases are dropped, node identity is the partition key.
+    """
+    out: Dict[str, List[TokenEvent]] = {}
+    for item in labeled:
+        if item.anomaly_relevant:
+            assert item.token is not None
+            out.setdefault(item.event.node, []).append(
+                TokenEvent(time=item.event.time, token=item.token,
+                           node=item.event.node)
+            )
+    return out
+
+
+def terminal_tokens(store: TemplateStore, heads: Iterable[str]) -> Set[int]:
+    """Tokens whose template head starts with any of ``heads`` — used to
+    identify node-death records (e.g. "node down", "node * system has
+    halted") when mining chains."""
+    wanted = tuple(heads)
+    out: Set[int] = set()
+    for template in store:
+        if template.text.startswith(wanted):
+            out.add(template.token)
+    return out

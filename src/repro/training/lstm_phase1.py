@@ -1,0 +1,121 @@
+"""LSTM-backed Phase-1 trainer (the Desh-style learner of Fig. 2).
+
+Trains a :class:`~repro.nnlib.NextTokenLSTM` on the per-node anomaly
+token sequences, then uses it to *score* the miner's candidate chains:
+a candidate whose average per-transition log-likelihood falls below a
+threshold is rejected as incoherent (noise around a death rather than a
+recurring pattern).  This reproduces the paper's division of labour —
+the DL model supplies confidence, the chain extraction supplies
+structure — while staying fully inspectable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..core.chains import ChainSet, FailureChain
+from ..core.events import TokenEvent
+from ..nnlib import NextTokenLSTM
+from .miner import MinedChains, mine_chains
+
+
+@dataclass
+class Phase1Result:
+    """Output of the full Phase-1 pipeline."""
+
+    chains: ChainSet
+    model: NextTokenLSTM
+    vocab: Dict[int, int]  # template token → model id
+    rejected: List[Tuple[int, ...]]  # candidates the LSTM scored out
+    train_loss: float
+
+
+class LSTMPhase1Trainer:
+    """End-to-end Phase 1: mine candidates, train LSTM, filter chains."""
+
+    def __init__(
+        self,
+        *,
+        embed_dim: int = 12,
+        hidden: int = 24,
+        epochs: int = 60,
+        lr: float = 0.01,
+        score_threshold: float = -4.0,
+        seed: int = 0,
+    ):
+        self.embed_dim = embed_dim
+        self.hidden = hidden
+        self.epochs = epochs
+        self.lr = lr
+        self.score_threshold = score_threshold
+        self.seed = seed
+
+    def train(
+        self,
+        sequences: Dict[str, List[TokenEvent]],
+        terminal_tokens: Set[int],
+        *,
+        min_support: int = 1,
+        lookback: float = 1800.0,
+    ) -> Phase1Result:
+        mined: MinedChains = mine_chains(
+            sequences, terminal_tokens,
+            min_support=min_support, lookback=lookback,
+        )
+        # Model vocabulary: dense re-indexing of every token seen.
+        seen: Dict[int, int] = {}
+        for events in sequences.values():
+            for te in events:
+                seen.setdefault(te.token, len(seen))
+        if len(seen) < 2:
+            raise ValueError("need at least two distinct tokens to train")
+
+        train_seqs = [
+            [seen[te.token] for te in events]
+            for events in sequences.values()
+            if len(events) >= 2
+        ]
+        model = NextTokenLSTM(
+            vocab=len(seen),
+            embed_dim=self.embed_dim,
+            hidden=self.hidden,
+            seed=self.seed,
+        )
+        stats = model.fit(
+            train_seqs, epochs=self.epochs, lr=self.lr, seed=self.seed
+        )
+
+        kept: List[FailureChain] = []
+        rejected: List[Tuple[int, ...]] = []
+        for chain in mined.chains:
+            score = self.chain_score(model, seen, chain.tokens)
+            if score >= self.score_threshold:
+                kept.append(chain)
+            else:
+                rejected.append(chain.tokens)
+        if not kept:
+            # The model should never veto everything; fall back to the
+            # miner's output rather than leaving the predictor ruleless.
+            kept = list(mined.chains)
+            rejected = []
+        return Phase1Result(
+            chains=ChainSet(kept),
+            model=model,
+            vocab=seen,
+            rejected=rejected,
+            train_loss=stats.final_loss,
+        )
+
+    @staticmethod
+    def chain_score(
+        model: NextTokenLSTM, vocab: Dict[int, int], tokens: Sequence[int]
+    ) -> float:
+        """Mean per-transition log-likelihood of a chain under the model."""
+        ids = [vocab[t] for t in tokens if t in vocab]
+        if len(ids) < 2:
+            return float("-inf")
+        log_p = model.sequence_probability(ids)
+        return log_p / (len(ids) - 1)

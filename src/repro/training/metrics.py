@@ -1,0 +1,98 @@
+"""Efficiency metrics (Table VII) and the Phase-1 evaluation harness.
+
+Confusion counts are defined over *node instances* within an evaluation
+window, matching the paper's node-failure framing:
+
+* TP — a failed node flagged before its failure;
+* FN — a failed node never flagged (or flagged too late);
+* FP — a healthy node flagged;
+* TN — a healthy node never flagged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from ..core.events import NodeFailure, Prediction
+
+
+@dataclass(frozen=True)
+class ConfusionCounts:
+    """TP/FP/TN/FN plus the Table VII derived ratios."""
+
+    tp: int
+    fp: int
+    tn: int
+    fn: int
+
+    @property
+    def recall(self) -> float:
+        """Fraction of node failures correctly identified."""
+        return _ratio(self.tp, self.tp + self.fn)
+
+    @property
+    def precision(self) -> float:
+        """Fraction of node failures predicted."""
+        return _ratio(self.tp, self.tp + self.fp)
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of correct predictions in the entire set."""
+        return _ratio(self.tp + self.tn, self.tp + self.fp + self.fn + self.tn)
+
+    @property
+    def false_negative_rate(self) -> float:
+        """Rate of missed failures."""
+        return _ratio(self.fn, self.tp + self.fn)
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return _ratio(2 * p * r, p + r)
+
+    def as_percentages(self) -> Dict[str, float]:
+        return {
+            "recall": 100.0 * self.recall,
+            "precision": 100.0 * self.precision,
+            "accuracy": 100.0 * self.accuracy,
+            "fnr": 100.0 * self.false_negative_rate,
+        }
+
+
+def _ratio(num: float, den: float) -> float:
+    return num / den if den else 0.0
+
+
+def confusion_from_predictions(
+    predictions: Sequence[Prediction],
+    failures: Sequence[NodeFailure],
+    all_nodes: Iterable[str],
+    *,
+    horizon: float = 1800.0,
+) -> ConfusionCounts:
+    """Node-instance confusion counts for one evaluation window."""
+    failed_nodes = {f.node: f for f in failures}
+    flagged_nodes: Dict[str, List[Prediction]] = {}
+    for p in predictions:
+        flagged_nodes.setdefault(p.node, []).append(p)
+
+    tp = fp = tn = fn = 0
+    for node in all_nodes:
+        failure = failed_nodes.get(node)
+        flags = flagged_nodes.get(node, [])
+        if failure is not None:
+            timely = any(
+                p.flagged_at <= failure.time <= p.flagged_at + horizon
+                for p in flags
+            )
+            if timely:
+                tp += 1
+            else:
+                fn += 1
+        else:
+            if flags:
+                fp += 1
+            else:
+                tn += 1
+    return ConfusionCounts(tp=tp, fp=fp, tn=tn, fn=fn)

@@ -1,0 +1,137 @@
+"""Deterministic failure-chain mining (a Phase-1 learner).
+
+For every node-death record, walk that node's anomaly-relevant token
+history backwards over a lookback window; the ordered distinct tokens in
+the window form a *candidate chain*.  Candidates are grouped by token
+signature; groups with enough support become trained
+:class:`~repro.core.chains.FailureChain` objects, with per-gap mean ΔTs
+from the observed instances.
+
+The paper treats Phase 1 as pluggable ("any learning technique will
+work as long as the predictor can be fed a sequence of coherent
+phrases"); this miner is the transparent reference learner, and
+:mod:`.lstm_phase1` layers an LSTM scorer on top of it.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..core.chains import ChainSet, FailureChain
+from ..core.events import TokenEvent
+
+
+@dataclass(frozen=True)
+class CandidateChain:
+    """One observed precursor sequence before a death record."""
+
+    node: str
+    death_time: float
+    tokens: Tuple[int, ...]
+    times: Tuple[float, ...]
+
+
+@dataclass
+class MinedChains:
+    """Mining output: the trained chain set plus provenance."""
+
+    chains: ChainSet
+    candidates: List[CandidateChain]
+    support: Dict[Tuple[int, ...], int]
+    skipped_low_support: List[Tuple[int, ...]] = field(default_factory=list)
+
+
+def extract_candidates(
+    sequences: Dict[str, List[TokenEvent]],
+    terminal_tokens: Set[int],
+    *,
+    lookback: float = 1800.0,
+    max_len: int = 50,
+) -> List[CandidateChain]:
+    """Candidate chains: the distinct anomaly tokens preceding each death.
+
+    Tokens repeat in raw logs (retries, bursts); the candidate keeps the
+    *first* occurrence of each distinct token, preserving order — chains
+    are simple sequences of distinct templates.
+    """
+    out: List[CandidateChain] = []
+    for node, events in sequences.items():
+        for idx, te in enumerate(events):
+            if te.token not in terminal_tokens:
+                continue
+            first_seen: Dict[int, float] = {}
+            for prior in events[:idx]:
+                if prior.token in terminal_tokens:
+                    # A previous death resets the episode.
+                    first_seen.clear()
+                    continue
+                if te.time - prior.time > lookback:
+                    continue
+                if prior.token not in first_seen:
+                    first_seen[prior.token] = prior.time
+            if len(first_seen) < 2:
+                continue
+            items = sorted(first_seen.items(), key=lambda kv: kv[1])[-max_len:]
+            out.append(
+                CandidateChain(
+                    node=node,
+                    death_time=te.time,
+                    tokens=tuple(tok for tok, _t in items),
+                    times=tuple(t for _tok, t in items),
+                )
+            )
+    return out
+
+
+def mine_chains(
+    sequences: Dict[str, List[TokenEvent]],
+    terminal_tokens: Set[int],
+    *,
+    lookback: float = 1800.0,
+    min_support: int = 1,
+    max_len: int = 50,
+) -> MinedChains:
+    """Group candidates by signature and emit supported chains."""
+    candidates = extract_candidates(
+        sequences, terminal_tokens, lookback=lookback, max_len=max_len
+    )
+    if not candidates:
+        raise ValueError("no candidate chains found (no deaths in data?)")
+    groups: Dict[Tuple[int, ...], List[CandidateChain]] = defaultdict(list)
+    for cand in candidates:
+        groups[cand.tokens].append(cand)
+
+    chains: List[FailureChain] = []
+    support: Dict[Tuple[int, ...], int] = {}
+    skipped: List[Tuple[int, ...]] = []
+    for rank, (signature, members) in enumerate(
+        sorted(groups.items(), key=lambda kv: (-len(kv[1]), kv[0]))
+    ):
+        support[signature] = len(members)
+        if len(members) < min_support:
+            skipped.append(signature)
+            continue
+        gaps = np.array([np.diff(m.times) for m in members])
+        deltas = tuple(float(g) for g in gaps.mean(axis=0))
+        chains.append(
+            FailureChain(
+                chain_id=f"MINED{rank}",
+                tokens=signature,
+                deltas=deltas,
+            )
+        )
+    if not chains:
+        raise ValueError(
+            f"all {len(groups)} candidate signatures below support "
+            f"{min_support}"
+        )
+    return MinedChains(
+        chains=ChainSet(chains),
+        candidates=candidates,
+        support=support,
+        skipped_low_support=skipped,
+    )

@@ -1,0 +1,135 @@
+"""The Fig. 6 workflow, end to end, as one object.
+
+``Phase 1 produces FCs, which, when run with Algo. 1, produce parser
+rules.  Algo. 2 with equivalent grammar rules, appropriate error
+handling, and semantic actions produces the binary.  Aarohi is then run
+with new test data for online prediction.``  (§III, Fig. 6)
+
+:class:`AarohiWorkflow` walks exactly those arrows:
+
+1. ``train`` — label raw training events, mine failure chains
+   (optionally LSTM-gated), producing a :class:`PredictorBundle`;
+2. ``rules`` — Algorithm 1's token/rule lists (and LALR factoring);
+3. ``compile`` — the deployable standalone module (the "binary");
+4. ``predict`` / ``evaluate`` — online prediction on new test data,
+   with Table VII metrics and lead-time accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+from .core import PredictorFleet, build_rules, pair_predictions
+from .core.events import LogEvent, NodeFailure
+from .core.leadtime import LeadTimeReport
+from .core.rules import RuleSet
+from .persistence import PredictorBundle
+from .templates.store import TemplateStore
+from .training import (
+    EventLabeler,
+    LSTMPhase1Trainer,
+    anomaly_sequences,
+    confusion_from_predictions,
+    mine_chains,
+    terminal_tokens,
+)
+from .training.metrics import ConfusionCounts
+
+DEFAULT_TERMINAL_HEADS = ("node down", "node *", "shutting down")
+
+
+@dataclass
+class EvaluationResult:
+    """Joint Table VII + lead-time outcome of one test window."""
+
+    confusion: ConfusionCounts
+    leadtimes: LeadTimeReport
+
+    def summary(self) -> dict:
+        pct = self.confusion.as_percentages()
+        return {
+            **pct,
+            "mean_lead_time_s": self.leadtimes.mean_lead_time(),
+            "mean_prediction_time_s": self.leadtimes.mean_prediction_time(),
+            "true_positives": self.confusion.tp,
+            "false_positives": self.confusion.fp,
+        }
+
+
+class AarohiWorkflow:
+    """Orchestrates offline training → online prediction (Fig. 6)."""
+
+    def __init__(self, bundle: PredictorBundle):
+        self.bundle = bundle
+
+    # -- Phase 1 ---------------------------------------------------------
+    @classmethod
+    def train(
+        cls,
+        events: Iterable[LogEvent],
+        store: TemplateStore,
+        *,
+        terminal_heads: Sequence[str] = DEFAULT_TERMINAL_HEADS,
+        timeout: float = 240.0,
+        min_support: int = 1,
+        use_lstm: bool = False,
+        system: str = "",
+        lstm_epochs: int = 30,
+        seed: int = 0,
+    ) -> "AarohiWorkflow":
+        """Run Phase 1 over raw training events."""
+        labeler = EventLabeler(store)
+        sequences = anomaly_sequences(labeler.label_stream(events))
+        terminals = terminal_tokens(store, terminal_heads)
+        if use_lstm:
+            trainer = LSTMPhase1Trainer(epochs=lstm_epochs, seed=seed)
+            result = trainer.train(
+                sequences, terminals, min_support=min_support)
+            chains = result.chains
+        else:
+            chains = mine_chains(
+                sequences, terminals, min_support=min_support).chains
+        bundle = PredictorBundle(
+            store=store, chains=chains, timeout=timeout, system=system)
+        return cls(bundle)
+
+    # -- Algorithm 1 -------------------------------------------------------
+    def rules(self, *, factor: bool = True) -> RuleSet:
+        return build_rules(self.bundle.chains, factor=factor)
+
+    # -- the "binary" --------------------------------------------------------
+    def compile(self, path: Optional[Union[str, Path]] = None) -> str:
+        """Standalone predictor source; optionally written to ``path``."""
+        source = self.bundle.emit_standalone()
+        if path is not None:
+            Path(path).write_text(source, encoding="utf-8")
+        return source
+
+    def save(self, path: Union[str, Path]) -> None:
+        self.bundle.save(path)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "AarohiWorkflow":
+        return cls(PredictorBundle.load(path))
+
+    # -- Phase 2 -----------------------------------------------------------
+    def fleet(self, **kwargs) -> PredictorFleet:
+        return self.bundle.make_fleet(**kwargs)
+
+    def predict(self, events: Iterable[LogEvent], **kwargs):
+        return self.fleet(**kwargs).run(events)
+
+    def evaluate(
+        self,
+        events: Iterable[LogEvent],
+        failures: Sequence[NodeFailure],
+        all_nodes: Sequence[str],
+        **kwargs,
+    ) -> EvaluationResult:
+        report = self.predict(events, **kwargs)
+        pairing = pair_predictions(report.predictions, failures)
+        confusion = confusion_from_predictions(
+            report.predictions, failures, all_nodes)
+        return EvaluationResult(confusion=confusion, leadtimes=pairing)

@@ -1,0 +1,106 @@
+"""Tests for cross-system adaptation (Table IX)."""
+
+import pytest
+
+from repro.adapt import (
+    CASSANDRA,
+    HADOOP,
+    HPC5_CRAY_XK,
+    HPC6_BGP,
+    TABLE9,
+    coverage,
+    plan_adaptation,
+    remap_store,
+)
+from repro.core import AarohiPredictor, LogEvent
+from repro.logsim import ClusterLogGenerator, HPC3
+
+
+@pytest.fixture(scope="module")
+def gen():
+    return ClusterLogGenerator(HPC3, seed=3)
+
+
+class TestCatalogs:
+    def test_table9_has_four_systems_of_six_phrases(self):
+        assert len(TABLE9) == 4
+        for phrases in TABLE9.values():
+            assert len(phrases) == 6
+
+    def test_hpc_systems_have_equivalents(self):
+        assert coverage(HPC5_CRAY_XK) == 1.0
+        assert coverage(HPC6_BGP) == 1.0
+
+    def test_ds_systems_have_none(self):
+        assert coverage(CASSANDRA) == 0.0
+        assert coverage(HADOOP) == 0.0
+
+
+class TestRemapStore:
+    def test_tokens_preserved(self, gen):
+        token = gen.token_of("kpanic")
+        new_store = remap_store(
+            gen.store, {token: "Kernel Panic, Call Trace: *"})
+        assert new_store.get(token).text == "Kernel Panic, Call Trace: *"
+        # Untouched templates identical.
+        other = gen.token_of("mce")
+        assert new_store.get(other).text == gen.store.get(other).text
+
+    def test_extra_templates_added(self, gen):
+        from repro.core.events import Severity
+
+        new_store = remap_store(gen.store, {}, extra=[("brand new *", Severity.UNKNOWN)])
+        assert new_store.lookup("brand new *") is not None
+
+
+class TestPlanAdaptation:
+    def _xc_token_of(self, gen):
+        return {key: gen.token_of(key)
+                for key in gen.catalog.by_key() if key}
+
+    @pytest.mark.parametrize("system,phrases", [
+        ("HPC5 (Cray-XK*)", HPC5_CRAY_XK),
+        ("HPC6 (IBM-BG/P)", HPC6_BGP),
+    ])
+    def test_hpc_systems_remap(self, gen, system, phrases):
+        store, report = plan_adaptation(
+            system, phrases, gen.store, self._xc_token_of(gen), gen.chains)
+        assert report.strategy == "remap"
+        assert report.rules_unchanged
+        assert report.remapped >= 4
+        assert report.scanner_rebuild_seconds < 5.0
+
+    @pytest.mark.parametrize("system,phrases", [
+        ("Cassandra", CASSANDRA),
+        ("Hadoop", HADOOP),
+    ])
+    def test_ds_systems_regenerate(self, gen, system, phrases):
+        store, report = plan_adaptation(
+            system, phrases, gen.store, self._xc_token_of(gen), gen.chains)
+        assert report.strategy == "regenerate"
+        assert not report.rules_unchanged
+        assert report.added == 6
+
+    def test_remapped_predictor_still_predicts(self, gen):
+        """After remapping to BG/P syntax, the same grammar rules flag
+        the same failure chain from the new system's log text."""
+        xc_token_of = self._xc_token_of(gen)
+        store, report = plan_adaptation(
+            "HPC6 (IBM-BG/P)", HPC6_BGP, gen.store, xc_token_of, gen.chains)
+        assert report.rules_unchanged
+        # FC_mce = mce, ecc_corr, ecc_uncorr, soft_lockup, kpanic.
+        # In BG/P syntax, ecc_corr and soft_lockup have new templates.
+        predictor = AarohiPredictor.from_store(gen.chains, store, timeout=240.0)
+        messages = [
+            gen.store.get(gen.token_of("mce")).text.replace("*", "bank 4"),
+            "Node DDR correctable single symbol error(s) rank 2",  # BG/P P3
+            gen.store.get(gen.token_of("ecc_uncorr")).text.replace("*", "page 9"),
+            "Kernel panic: soft-lockup: hung tasks on cpu 3",  # BG/P P4
+            gen.store.get(gen.token_of("kpanic")).text.replace("*", "fatal"),
+        ]
+        predictions = []
+        for i, message in enumerate(messages):
+            p = predictor.process(LogEvent(float(i * 3), "R01-M0", message))
+            if p:
+                predictions.append(p)
+        assert [p.chain_id for p in predictions] == ["FC_mce"]

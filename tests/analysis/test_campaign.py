@@ -1,0 +1,56 @@
+"""Tests for longitudinal campaign simulation."""
+
+import pytest
+
+from repro.analysis import (
+    fit_weibull,
+    inter_failure_stats,
+    inter_failure_times,
+    run_campaign,
+    spatial_correlation,
+)
+from repro.logsim import HPC4
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return run_campaign(
+        HPC4, windows=6, duration=3600.0, n_nodes=24,
+        failures_per_window=5, seed=13)
+
+
+class TestCampaign:
+    def test_counts(self, campaign):
+        assert campaign.windows == 6
+        assert len(campaign.failures) == 30
+        assert campaign.total_duration == 6 * 3600.0
+
+    def test_recall_in_band(self, campaign):
+        # HPC4 novel fraction is 0.134: recall should sit near 1 - that.
+        assert 0.7 <= campaign.recall <= 1.0
+
+    def test_accounting_consistent(self, campaign):
+        assert len(campaign.matched) + len(campaign.missed) == len(campaign.failures)
+
+    def test_windows_are_time_ordered(self, campaign):
+        times = [f.time for f in campaign.failures]
+        # Failures span multiple windows (not all in the first one).
+        assert max(times) > 3600.0
+
+    def test_campaign_feeds_field_statistics(self, campaign):
+        stats = inter_failure_stats(campaign.failures)
+        assert stats.count == 30
+        assert stats.mtbf > 0
+        gaps = inter_failure_times(campaign.failures)
+        fit = fit_weibull(gaps)
+        assert fit.shape > 0
+        corr = spatial_correlation(campaign.failures, level="cabinet")
+        assert corr.expected_pairs >= 0
+
+    def test_reproducible(self):
+        a = run_campaign(HPC4, windows=2, duration=1800.0, n_nodes=10,
+                         failures_per_window=3, seed=9)
+        b = run_campaign(HPC4, windows=2, duration=1800.0, n_nodes=10,
+                         failures_per_window=3, seed=9)
+        assert [(f.node, f.time) for f in a.failures] == \
+               [(f.node, f.time) for f in b.failures]

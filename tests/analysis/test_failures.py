@@ -1,0 +1,131 @@
+"""Tests for the field-study statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    failures_by_chain,
+    fit_exponential,
+    fit_weibull,
+    inter_failure_stats,
+    inter_failure_times,
+    spatial_correlation,
+)
+from repro.core.events import NodeFailure
+
+
+def failures_at(times, nodes=None):
+    nodes = nodes or [f"c0-0c0s{i % 16}n{i % 4}" for i in range(len(times))]
+    return [NodeFailure(node=n, time=t) for n, t in zip(nodes, times)]
+
+
+class TestInterFailure:
+    def test_gaps(self):
+        gaps = inter_failure_times(failures_at([10.0, 30.0, 35.0]))
+        assert list(gaps) == [20.0, 5.0]
+
+    def test_unsorted_input_handled(self):
+        gaps = inter_failure_times(failures_at([35.0, 10.0, 30.0]))
+        assert list(gaps) == [20.0, 5.0]
+
+    def test_stats(self):
+        stats = inter_failure_stats(failures_at([0.0, 100.0, 200.0, 300.0]))
+        assert stats.mtbf == 100.0
+        assert stats.median == 100.0
+        assert stats.cv == 0.0
+        assert stats.failures_per_day == pytest.approx(864.0)
+
+    def test_single_failure(self):
+        stats = inter_failure_stats(failures_at([5.0]))
+        assert stats.count == 1 and stats.mtbf == 0.0
+
+    def test_poisson_cv_near_one(self):
+        rng = np.random.default_rng(0)
+        times = np.cumsum(rng.exponential(50.0, 2000))
+        stats = inter_failure_stats(failures_at(list(times)))
+        assert 0.9 < stats.cv < 1.1
+
+
+class TestFits:
+    def test_exponential_recovers_rate(self):
+        rng = np.random.default_rng(1)
+        gaps = rng.exponential(1.0 / 0.02, 5000)
+        rate, ll = fit_exponential(gaps)
+        assert rate == pytest.approx(0.02, rel=0.05)
+        assert np.isfinite(ll)
+
+    def test_weibull_recovers_parameters(self):
+        rng = np.random.default_rng(2)
+        for true_shape in (0.7, 1.0, 1.8):
+            gaps = rng.weibull(true_shape, 4000) * 100.0
+            fit = fit_weibull(gaps)
+            assert fit.shape == pytest.approx(true_shape, rel=0.08)
+            assert fit.scale == pytest.approx(100.0, rel=0.08)
+
+    def test_weibull_clustered_flag(self):
+        rng = np.random.default_rng(3)
+        clustered = fit_weibull(rng.weibull(0.6, 3000) * 10)
+        assert clustered.clustered
+        regular = fit_weibull(rng.weibull(2.0, 3000) * 10)
+        assert not regular.clustered
+
+    def test_weibull_beats_exponential_on_weibull_data(self):
+        rng = np.random.default_rng(4)
+        gaps = rng.weibull(0.6, 3000) * 50.0
+        _rate, ll_exp = fit_exponential(gaps)
+        fit = fit_weibull(gaps)
+        assert fit.log_likelihood > ll_exp
+
+    def test_degenerate_inputs(self):
+        with pytest.raises(ValueError):
+            fit_exponential(np.array([]))
+        with pytest.raises(ValueError):
+            fit_weibull(np.array([1.0]))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(0.5, 3.0), st.integers(200, 800))
+    def test_weibull_fit_converges(self, shape, n):
+        rng = np.random.default_rng(int(shape * 1000) + n)
+        gaps = rng.weibull(shape, n) * 10.0
+        fit = fit_weibull(gaps)
+        assert 0.1 < fit.shape < 10.0
+        assert fit.scale > 0
+
+
+class TestSpatialCorrelation:
+    def test_clustered_failures_detected(self):
+        # 6 failures on the same blade: maximal co-location.
+        nodes = [f"c0-0c0s0n{i % 4}" for i in range(6)]
+        failures = [NodeFailure(node=n, time=float(i)) for i, n in enumerate(nodes)]
+        corr = spatial_correlation(failures, level="blade", n_locations=100)
+        assert corr.observed_pairs == 15
+        assert corr.ratio > 10.0
+
+    def test_spread_failures_not_clustered(self):
+        nodes = [f"c{i}-0c0s0n0" for i in range(10)]
+        failures = [NodeFailure(node=n, time=float(i)) for i, n in enumerate(nodes)]
+        corr = spatial_correlation(failures, level="cabinet", n_locations=10)
+        assert corr.observed_pairs == 0
+
+    def test_too_few(self):
+        corr = spatial_correlation([NodeFailure("c0-0c0s0n0", 1.0)])
+        assert corr.ratio == 0.0
+
+    def test_bad_level(self):
+        failures = failures_at([1.0, 2.0])
+        with pytest.raises(ValueError):
+            spatial_correlation(failures, level="rack")
+
+
+class TestByChain:
+    def test_counts(self):
+        failures = [
+            NodeFailure("a", 1.0, chain_id="FC_dvs"),
+            NodeFailure("b", 2.0, chain_id="FC_dvs"),
+            NodeFailure("c", 3.0, chain_id="FC_mce"),
+            NodeFailure("d", 4.0),
+        ]
+        counts = failures_by_chain(failures)
+        assert counts == {"FC_dvs": 2, "FC_mce": 1, "unknown": 1}

@@ -1,0 +1,72 @@
+"""Detail tests for the CloudSeer message-level checker."""
+
+import pytest
+
+from repro.baselines import CloudSeerMessageDetector
+from repro.core import ChainSet, FailureChain
+from repro.core.events import Severity
+from repro.templates import TemplateStore
+
+
+@pytest.fixture
+def env():
+    store = TemplateStore()
+    store.add("start one *", token=601)
+    store.add("mid two *", token=602)
+    store.add("end three *", token=603)
+    store.add("start other *", token=611)
+    store.add("end other *", token=612)
+    chains = ChainSet([
+        FailureChain("W1", (601, 602, 603)),
+        FailureChain("W2", (611, 612)),
+    ])
+    return store, chains
+
+
+class TestCloudSeerMessageDetector:
+    def test_single_workflow(self, env):
+        store, chains = env
+        det = CloudSeerMessageDetector(chains, store)
+        assert not det.observe_message("start one x", 0.0)
+        assert not det.observe_message("mid two y", 1.0)
+        assert det.observe_message("end three z", 2.0)
+
+    def test_concurrent_instances_same_model(self, env):
+        # Two interleaved W2 instances: branching lets both complete.
+        store, chains = env
+        det = CloudSeerMessageDetector(chains, store)
+        det.observe_message("start other a", 0.0)
+        det.observe_message("start other b", 1.0)
+        first = det.observe_message("end other a", 2.0)
+        second = det.observe_message("end other b", 3.0)
+        assert first
+        assert second  # the branch kept a live hypothesis
+
+    def test_mid_stream_attachment(self, env):
+        # Monitoring starts after the workflow began: a mid-position
+        # entry still creates a hypothesis that can complete.
+        store, chains = env
+        det = CloudSeerMessageDetector(chains, store)
+        det.observe_message("mid two y", 0.0)
+        assert det.observe_message("end three z", 1.0)
+
+    def test_foreign_messages_do_not_complete(self, env):
+        store, chains = env
+        det = CloudSeerMessageDetector(chains, store)
+        for i in range(5):
+            assert not det.observe_message(f"unrelated chatter {i}", float(i))
+        assert det.live_instances == 0
+
+    def test_pool_cap_enforced(self, env):
+        store, chains = env
+        det = CloudSeerMessageDetector(chains, store, max_pool=5)
+        for i in range(30):
+            det.observe_message("start one x", float(i))
+            det.observe_message("mid two y", float(i) + 0.5)
+        assert det.live_instances <= 5
+
+    def test_extract_params(self, env):
+        store, chains = env
+        params = CloudSeerMessageDetector._extract_params(
+            "start one 0xdead c0-0c1s2n3")
+        assert "0xdead" in params or "c0-0c1s2n3" in params

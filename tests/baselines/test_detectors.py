@@ -1,0 +1,148 @@
+"""Tests for the comparator detectors and the timing harness."""
+
+import pytest
+
+from repro.baselines import (
+    AarohiDetector,
+    CloudSeerDetector,
+    DeepLogDetector,
+    DeshDetector,
+    repeat_timed_checks,
+    timed_chain_check,
+)
+from repro.core.chains import ChainSet, FailureChain
+
+
+@pytest.fixture(scope="module")
+def chains():
+    return ChainSet(
+        [
+            FailureChain("FC1", (176, 177, 178, 179, 180, 137)),
+            FailureChain("FC5", (172, 177, 178, 193, 137)),
+        ]
+    )
+
+
+def feed(detector, tokens, dt=1.0):
+    detector.reset()
+    out = []
+    for i, tok in enumerate(tokens):
+        out.append(detector.observe(tok, i * dt))
+    return out
+
+
+class TestAarohiDetector:
+    def test_flags_full_chain(self, chains):
+        det = AarohiDetector(chains, timeout=120)
+        flags = feed(det, [176, 177, 178, 179, 180, 137])
+        assert flags[-1] and not any(flags[:-1])
+
+    def test_reset(self, chains):
+        det = AarohiDetector(chains, timeout=120)
+        feed(det, [176, 177])
+        det.reset()
+        assert not any(feed(det, [178, 179, 180, 137]))
+
+
+class TestCloudSeer:
+    def test_single_workflow_completion(self, chains):
+        det = CloudSeerDetector(chains)
+        flags = feed(det, [172, 177, 178, 193, 137])
+        assert flags[-1]
+
+    def test_interleaved_workflows_both_complete(self, chains):
+        # FC1 and FC5 interleaved: the ensemble tracks both — 137 arrives
+        # twice, completing each chain.
+        det = CloudSeerDetector(chains)
+        seq = [176, 172, 177, 178, 179, 193, 137, 180, 137]
+        flags = feed(det, seq)
+        assert sum(flags) == 2
+
+    def test_foreign_tokens_tolerated(self, chains):
+        det = CloudSeerDetector(chains)
+        flags = feed(det, [172, 999, 177, 998, 178, 193, 137])
+        assert flags[-1]
+
+    def test_error_budget_kills_instance(self, chains):
+        det = CloudSeerDetector(chains, error_budget=1)
+        # Out-of-order own-alphabet tokens exceed the budget.
+        feed(det, [172, 137, 193, 193, 193])
+        assert det.live_instances == 0
+
+    def test_pool_grows_with_interleaving(self, chains):
+        det = CloudSeerDetector(chains)
+        feed(det, [176, 172])
+        assert det.live_instances == 2
+
+
+class TestDeepLog:
+    @pytest.fixture(scope="class")
+    def detector(self, chains):
+        sequences = [c.tokens for c in chains]
+        return DeepLogDetector.train(
+            sequences, hidden=16, layers=1, epochs=120, seed=5, g=2
+        )
+
+    def test_normal_sequence_not_flagged(self, detector, chains):
+        flags = feed(detector, list(chains["FC1"].tokens))
+        assert not any(flags)
+
+    def test_garbled_sequence_flagged(self, detector):
+        flags = feed(detector, [176, 137, 180, 137, 179, 177])
+        assert any(flags)
+
+    def test_unknown_keys_flagged(self, detector):
+        flags = feed(detector, [9991, 9992, 9993])
+        assert any(flags)
+
+    def test_reset_clears_state(self, detector, chains):
+        feed(detector, [176, 137, 180])
+        detector.reset()
+        assert not any(feed(detector, list(chains["FC1"].tokens)))
+
+
+class TestDesh:
+    @pytest.fixture(scope="class")
+    def detector(self, chains):
+        return DeshDetector.train(chains, hidden=12, epochs=150, seed=6)
+
+    def test_chain_flags_at_terminal(self, detector, chains):
+        flags = feed(detector, list(chains["FC5"].tokens))
+        assert flags[-1]
+
+    def test_irrelevant_tokens_ignored(self, detector):
+        assert not any(feed(detector, [9991, 9992]))
+
+    def test_no_flag_without_terminal(self, detector, chains):
+        flags = feed(detector, list(chains["FC1"].tokens[:-1]))
+        assert not any(flags)
+
+
+class TestTimingHarness:
+    def test_timed_chain_check(self, chains):
+        det = AarohiDetector(chains, timeout=120)
+        tokens = [(t, float(i)) for i, t in enumerate(chains["FC1"].tokens)]
+        result = timed_chain_check(det, tokens)
+        assert result.flagged
+        assert result.seconds > 0
+        assert result.chain_length == 6
+        assert result.msecs == pytest.approx(result.seconds * 1000)
+        assert result.per_entry_msecs == pytest.approx(result.msecs / 6)
+
+    def test_repeat_excludes_warmup(self, chains):
+        det = AarohiDetector(chains, timeout=120)
+        tokens = [(t, float(i)) for i, t in enumerate(chains["FC1"].tokens)]
+        runs = repeat_timed_checks(det, tokens, repeats=3)
+        assert len(runs) == 3
+
+    def test_aarohi_faster_than_deeplog(self, chains):
+        """The Table VI ordering on a 50-token stream: the grammar
+        matcher beats the per-entry LSTM by a wide margin."""
+        aarohi = AarohiDetector(chains, timeout=1e9)
+        deeplog = DeepLogDetector.train(
+            [c.tokens for c in chains], hidden=32, layers=2, epochs=5, seed=7
+        )
+        stream = [(chains["FC1"].tokens[i % 6], float(i)) for i in range(60)]
+        t_aarohi = min(r.seconds for r in repeat_timed_checks(aarohi, stream, repeats=5))
+        t_deeplog = min(r.seconds for r in repeat_timed_checks(deeplog, stream, repeats=5))
+        assert t_aarohi * 3 < t_deeplog

@@ -1,0 +1,93 @@
+"""Tests for the chain-position lead-time estimator."""
+
+import pytest
+
+from repro.baselines.leadtime_estimator import (
+    LeadTimeEstimator,
+    TrainingEpisode,
+    episodes_from_injections,
+)
+from repro.core import ChainSet, FailureChain
+from repro.logsim import ClusterLogGenerator, HPC3
+
+
+@pytest.fixture
+def chains():
+    return ChainSet([FailureChain("FC", (1, 2, 3))])
+
+
+def episode(cid, times, failure):
+    return TrainingEpisode(chain_id=cid, phrase_times=tuple(times),
+                           failure_time=failure)
+
+
+class TestEstimator:
+    def test_learns_remaining_time(self, chains):
+        episodes = [
+            episode("FC", [0.0, 10.0, 20.0], 140.0),
+            episode("FC", [0.0, 10.0, 20.0], 160.0),
+        ]
+        est = LeadTimeEstimator(chains).fit(episodes)
+        at_match = est.estimate_at_match("FC")
+        assert at_match.expected == pytest.approx(130.0)  # mean of 120/140
+        assert at_match.position == 3
+
+    def test_earlier_positions_expect_more_time(self, chains):
+        episodes = [episode("FC", [0.0, 30.0, 60.0], 200.0)] * 3
+        est = LeadTimeEstimator(chains).fit(episodes)
+        e1 = est.estimate("FC", 1)
+        e3 = est.estimate("FC", 3)
+        assert e1.expected > e3.expected
+
+    def test_unknown_position_returns_none(self, chains):
+        est = LeadTimeEstimator(chains).fit(
+            [episode("FC", [0.0, 1.0, 2.0], 100.0)])
+        assert est.estimate("FC", 9) is None
+
+    def test_unknown_chain_raises(self, chains):
+        with pytest.raises(KeyError):
+            LeadTimeEstimator(chains).fit(
+                [episode("NOPE", [0.0, 1.0], 10.0)])
+
+    def test_empty_training_rejected(self, chains):
+        with pytest.raises(ValueError):
+            LeadTimeEstimator(chains).fit([])
+
+    def test_coverage_interval(self, chains):
+        episodes = [
+            episode("FC", [0.0, 1.0, 2.0], 2.0 + r)
+            for r in (80.0, 100.0, 120.0, 140.0, 160.0)
+        ]
+        est = LeadTimeEstimator(chains).fit(episodes)
+        at_match = est.estimate_at_match("FC")
+        assert at_match.p10 <= at_match.expected <= at_match.p90
+        assert at_match.covers(120.0)
+        assert not at_match.covers(500.0)
+
+
+class TestOnGeneratedWorkload:
+    def test_trained_estimator_is_calibrated(self):
+        gen = ClusterLogGenerator(HPC3, seed=23)
+        train = gen.generate_window(
+            duration=14_400.0, n_nodes=80, n_failures=40, n_spurious=0)
+        test = gen.generate_window(
+            duration=14_400.0, n_nodes=80, n_failures=40, n_spurious=0)
+        est = LeadTimeEstimator(gen.chains).fit(
+            episodes_from_injections(train.injections))
+        metrics = est.evaluate(episodes_from_injections(test.injections))
+        assert metrics["n"] >= 20
+        # Lead gaps are ~30-235 s; a calibrated estimator lands well
+        # under the full spread and covers most held-out episodes.
+        assert metrics["mae"] < 120.0
+        assert metrics["coverage"] > 0.5
+
+    def test_estimates_available_at_match_time(self):
+        gen = ClusterLogGenerator(HPC3, seed=24)
+        train = gen.generate_window(
+            duration=14_400.0, n_nodes=80, n_failures=40, n_spurious=0)
+        est = LeadTimeEstimator(gen.chains).fit(
+            episodes_from_injections(train.injections))
+        for chain in gen.chains:
+            estimate = est.estimate_at_match(chain.chain_id)
+            if estimate is not None:
+                assert 20.0 < estimate.expected < 300.0

@@ -1,0 +1,125 @@
+"""Tests for the raw-message detector layer (Table VI surface)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AarohiMessageDetector,
+    CloudSeerMessageDetector,
+    DeepLogDetector,
+    DeshDetector,
+    KeyedLSTMMessageDetector,
+    repeat_message_checks,
+    timed_message_check,
+)
+from repro.logsim import ClusterLogGenerator, HPC3
+from repro.templates.store import NaiveTemplateScanner
+
+
+@pytest.fixture(scope="module")
+def env():
+    gen = ClusterLogGenerator(HPC3, seed=9)
+    rng = np.random.default_rng(3)
+    chain_def = next(d for d in gen.trained_defs if d.chain_id == "FC_dvs")
+    messages = [
+        (gen.catalog.anomaly(k).make(rng, "c0-0c0s0n0"), float(i) * 5.0)
+        for i, k in enumerate(chain_def.phrase_keys)
+    ]
+    return gen, chain_def, messages
+
+
+class TestAarohiMessageDetector:
+    def test_full_chain_flags(self, env):
+        gen, _cd, messages = env
+        det = AarohiMessageDetector(gen.chains, gen.store, timeout=240.0)
+        flags = [det.observe_message(m, t) for m, t in messages]
+        assert flags[-1] and not any(flags[:-1])
+
+    def test_benign_messages_ignored(self, env):
+        gen, _cd, _messages = env
+        det = AarohiMessageDetector(gen.chains, gen.store, timeout=240.0)
+        assert not det.observe_message("slurmd health check ok seq 5", 0.0)
+
+    def test_unoptimized_variant_same_flags(self, env):
+        gen, _cd, messages = env
+        fast = AarohiMessageDetector(gen.chains, gen.store, timeout=240.0)
+        slow = AarohiMessageDetector(
+            gen.chains, gen.store, timeout=240.0, optimized=False)
+        assert slow.name == "Aarohi (unoptimized)"
+        for m, t in messages:
+            assert fast.observe_message(m, t) == slow.observe_message(m, t)
+
+
+class TestKeyedLSTM:
+    def test_desh_flags_terminal(self, env):
+        gen, _cd, messages = env
+        scanner = NaiveTemplateScanner(gen.store, keep=gen.chains.token_set)
+        det = KeyedLSTMMessageDetector(
+            "Desh", scanner, DeshDetector.train(gen.chains, epochs=10, seed=4))
+        flags = [det.observe_message(m, t) for m, t in messages]
+        assert flags[-1]
+
+    def test_reset_propagates(self, env):
+        gen, _cd, messages = env
+        scanner = NaiveTemplateScanner(gen.store, keep=gen.chains.token_set)
+        det = KeyedLSTMMessageDetector(
+            "Desh", scanner, DeshDetector.train(gen.chains, epochs=5, seed=4))
+        for m, t in messages[:3]:
+            det.observe_message(m, t)
+        det.reset()
+        assert not det.observe_message(messages[-1][0], 0.0)
+
+
+class TestCloudSeerMessages:
+    def test_completes_workflow(self, env):
+        gen, _cd, messages = env
+        det = CloudSeerMessageDetector(gen.chains, gen.store)
+        flags = [det.observe_message(m, t) for m, t in messages]
+        assert flags[-1]
+
+    def test_pool_bounded(self, env):
+        gen, _cd, messages = env
+        det = CloudSeerMessageDetector(gen.chains, gen.store, max_pool=16)
+        for _round in range(5):
+            for m, t in messages:
+                det.observe_message(m, t)
+        assert det.live_instances <= 16
+
+    def test_reset(self, env):
+        gen, _cd, messages = env
+        det = CloudSeerMessageDetector(gen.chains, gen.store)
+        det.observe_message(messages[0][0], 0.0)
+        det.reset()
+        assert det.live_instances == 0
+
+
+class TestTableVIShape:
+    def test_ordering_on_long_stream(self, env):
+        """Aarohi fastest; the LSTM/automaton comparators pay ≥3× more
+        (the Table VI ordering, shape-level)."""
+        gen, chain_def, _messages = env
+        rng = np.random.default_rng(11)
+        entries = []
+        for i in range(60):
+            key = chain_def.phrase_keys[i % len(chain_def.phrase_keys)]
+            entries.append(
+                (gen.catalog.anomaly(key).make(rng, "c0-0c0s0n0"), float(i)))
+        scanner = NaiveTemplateScanner(gen.store, keep=gen.chains.token_set)
+        aarohi = AarohiMessageDetector(gen.chains, gen.store, timeout=1e9)
+        desh = KeyedLSTMMessageDetector(
+            "Desh", scanner, DeshDetector.train(gen.chains, epochs=3, seed=4))
+        cloudseer = CloudSeerMessageDetector(gen.chains, gen.store)
+        t = {}
+        for det in (aarohi, desh, cloudseer):
+            runs = repeat_message_checks(det, entries, repeats=5)
+            t[det.name] = min(r.seconds for r in runs)
+        assert t["Aarohi"] * 3 < t["Desh"]
+        assert t["Aarohi"] * 3 < t["CloudSeer"]
+
+    def test_timed_message_check_result_fields(self, env):
+        gen, _cd, messages = env
+        det = AarohiMessageDetector(gen.chains, gen.store, timeout=240.0)
+        result = timed_message_check(det, messages)
+        assert result.flagged
+        assert result.chain_length == len(messages)
+        assert result.seconds > 0

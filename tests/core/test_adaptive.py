@@ -1,0 +1,122 @@
+"""Tests for unsupervised dynamic re-training (AdaptiveFleet)."""
+
+import pytest
+
+from repro.core import ChainSet, FailureChain, LogEvent
+from repro.core.adaptive import AdaptiveFleet
+from repro.core.events import Severity
+from repro.templates import TemplateStore
+
+
+@pytest.fixture
+def store():
+    s = TemplateStore()
+    s.add("alpha fault *", Severity.ERRONEOUS, token=201)
+    s.add("beta warn *", Severity.UNKNOWN, token=202)
+    s.add("gamma err *", Severity.ERRONEOUS, token=203)
+    s.add("delta glitch *", Severity.UNKNOWN, token=204)
+    s.add("epsilon bad *", Severity.ERRONEOUS, token=205)
+    s.add("node down *", Severity.ERRONEOUS, token=290)
+    return s
+
+
+@pytest.fixture
+def trained_chains():
+    return ChainSet([FailureChain("FC_known", (201, 202, 203))])
+
+
+def make_fleet(store, chains, **kwargs):
+    scanner = store.compile_scanner()
+    return AdaptiveFleet(
+        chains, scanner.tokenize, terminal_tokens={290},
+        timeout=300.0, min_support=2, **kwargs)
+
+
+def episode(node, base, phrases, death=True):
+    events = [
+        LogEvent(base + 5.0 * i, node, text) for i, text in enumerate(phrases)
+    ]
+    if death:
+        events.append(LogEvent(base + 5.0 * len(phrases) + 60.0, node,
+                               "node down unexpectedly"))
+    return events
+
+
+NOVEL = ["delta glitch x", "epsilon bad y"]  # tokens (204, 205): untrained
+KNOWN = ["alpha fault a", "beta warn b", "gamma err c"]
+
+
+class TestAdaptiveFleet:
+    def test_known_chain_predicted_no_learning(self, store, trained_chains):
+        fleet = make_fleet(store, trained_chains)
+        predictions = fleet.run(episode("n1", 0.0, KNOWN))
+        assert [p.chain_id for p in predictions] == ["FC_known"]
+        assert fleet.adaptations == []
+
+    def test_novel_chain_learned_after_min_support(self, store, trained_chains):
+        fleet = make_fleet(store, trained_chains)
+        # First unpredicted death: candidate recorded, not yet trained.
+        fleet.run(episode("n1", 0.0, NOVEL))
+        assert fleet.adaptations == []
+        # Second sighting on another node: chain learned, fleet rebuilt.
+        fleet.run(episode("n2", 10_000.0, NOVEL))
+        assert len(fleet.adaptations) == 1
+        learned = fleet.adaptations[0]
+        assert learned.tokens == (204, 205)
+        # Third occurrence is now *predicted* before the death.
+        predictions = fleet.run(episode("n3", 20_000.0, NOVEL))
+        assert [p.chain_id for p in predictions] == [learned.chain_id]
+
+    def test_predicted_death_triggers_no_learning(self, store, trained_chains):
+        fleet = make_fleet(store, trained_chains)
+        fleet.run(episode("n1", 0.0, KNOWN, death=True))
+        fleet.run(episode("n2", 9_000.0, KNOWN, death=True))
+        assert fleet.adaptations == []
+
+    def test_single_phrase_history_not_learnable(self, store, trained_chains):
+        fleet = make_fleet(store, trained_chains)
+        for i in range(3):
+            fleet.run(episode(f"n{i}", i * 9_000.0, ["delta glitch q"]))
+        assert fleet.adaptations == []
+
+    def test_existing_chain_not_relearned(self, store, trained_chains):
+        # An unpredicted death whose candidate equals a trained chain
+        # (e.g. the flag was suppressed by a timeout) must not duplicate.
+        fleet = make_fleet(store, trained_chains)
+        # Break the chain with a >timeout gap so no prediction happens,
+        # but history still holds all three tokens.
+        for n in ("n1", "n2"):
+            events = [
+                LogEvent(0.0, n, "alpha fault a"),
+                LogEvent(1_000.0, n, "beta warn b"),   # timeout breach
+                LogEvent(1_005.0, n, "gamma err c"),
+                LogEvent(1_100.0, n, "node down zz"),
+            ]
+            fleet.run(events)
+        assert fleet.adaptations == []
+
+    def test_chains_property_reflects_learning(self, store, trained_chains):
+        fleet = make_fleet(store, trained_chains)
+        fleet.run(episode("n1", 0.0, NOVEL))
+        fleet.run(episode("n2", 10_000.0, NOVEL))
+        ids = [c.chain_id for c in fleet.chains]
+        assert "FC_known" in ids
+        assert any(i.startswith("LEARNED") for i in ids)
+
+    def test_history_bounded(self, store, trained_chains):
+        fleet = make_fleet(store, trained_chains, history_limit=4)
+        for i in range(20):
+            fleet.process(LogEvent(float(i), "n1", "delta glitch spam"))
+        assert len(fleet._history["n1"]) <= 4
+
+    def test_lookback_limits_candidate(self, store, trained_chains):
+        fleet = make_fleet(store, trained_chains)
+        for n in ("n1", "n2"):
+            events = [
+                LogEvent(0.0, n, "alpha fault old"),     # too old
+                LogEvent(9_000.0, n, "delta glitch x"),
+                LogEvent(9_010.0, n, "epsilon bad y"),
+                LogEvent(9_100.0, n, "node down zz"),
+            ]
+            fleet.run(events)
+        assert fleet.adaptations[0].tokens == (204, 205)

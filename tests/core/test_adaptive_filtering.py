@@ -1,0 +1,68 @@
+"""Tests for AdaptiveFleet's relevant-token filtering (noisy scanners)."""
+
+import pytest
+
+from repro.core import ChainSet, FailureChain, LogEvent
+from repro.core.adaptive import AdaptiveFleet
+from repro.core.events import Severity
+from repro.templates import TemplateStore
+
+
+@pytest.fixture
+def noisy_store():
+    """Store whose scanner also emits benign tokens (the realistic
+    deployment shape: one shared scanner for labeling + prediction)."""
+    s = TemplateStore()
+    s.add("benign heartbeat *", Severity.BENIGN, token=700)
+    s.add("benign job *", Severity.BENIGN, token=701)
+    s.add("anom disk *", Severity.ERRONEOUS, token=710)
+    s.add("anom net *", Severity.ERRONEOUS, token=711)
+    s.add("node down *", Severity.ERRONEOUS, token=790)
+    return s
+
+
+def episode(node, base, with_benign=True):
+    msgs = []
+    if with_benign:
+        msgs.append("benign heartbeat ok")
+    msgs.append("anom disk err")
+    if with_benign:
+        msgs.append("benign job done")
+    msgs.append("anom net err")
+    events = [LogEvent(base + 3.0 * i, node, m) for i, m in enumerate(msgs)]
+    events.append(LogEvent(base + 60.0, node, "node down hard"))
+    return events
+
+
+def make_fleet(store, relevant=None):
+    chains = ChainSet([FailureChain("FC_seed", (710, 790))])  # placeholder
+    scanner = store.compile_scanner()
+    return AdaptiveFleet(
+        chains, scanner.tokenize, terminal_tokens={790},
+        relevant_tokens=relevant, timeout=300.0, min_support=2)
+
+
+class TestRelevantTokenFiltering:
+    def test_unfiltered_history_pollutes_candidates(self, noisy_store):
+        """Without filtering, benign tokens join the candidate, producing
+        signatures that vary with benign traffic."""
+        fleet = make_fleet(noisy_store, relevant=None)
+        fleet.run(episode("n1", 0.0, with_benign=True))
+        fleet.run(episode("n2", 10_000.0, with_benign=False))
+        # Different benign interleavings → different signatures → no
+        # candidate reaches support 2.
+        assert fleet.adaptations == []
+
+    def test_filtered_history_learns_reliably(self, noisy_store):
+        fleet = make_fleet(noisy_store, relevant={710, 711})
+        fleet.run(episode("n1", 0.0, with_benign=True))
+        fleet.run(episode("n2", 10_000.0, with_benign=False))
+        assert len(fleet.adaptations) == 1
+        assert fleet.adaptations[0].tokens == (710, 711)
+
+    def test_terminal_never_recorded(self, noisy_store):
+        fleet = make_fleet(noisy_store, relevant={710, 711, 790})
+        fleet.run(episode("n1", 0.0))
+        fleet.run(episode("n2", 10_000.0))
+        for event in fleet.adaptations:
+            assert 790 not in event.tokens

@@ -1,0 +1,93 @@
+"""Tests for the prediction audit trail."""
+
+import io
+
+import pytest
+
+from repro.core import ChainSet, FailureChain, LogEvent, PredictorFleet
+from repro.core.audit import AuditLog, AuditRecord, read_audit_log
+from repro.templates import TemplateStore
+
+
+@pytest.fixture
+def env():
+    store = TemplateStore()
+    store.add("omega fail *", token=501)
+    store.add("psi crash *", token=502)
+    chains = ChainSet([FailureChain("FC_audit", (501, 502))])
+    fleet = PredictorFleet.from_store(chains, store, timeout=100.0)
+    events = [
+        LogEvent(0.0, "n1", "omega fail a"),
+        LogEvent(1.0, "n1", "unrelated noise"),
+        LogEvent(2.0, "n1", "psi crash b"),
+    ]
+    return fleet, events
+
+
+class TestAuditLog:
+    def test_records_predictions(self, env):
+        fleet, events = env
+        audit = AuditLog(fleet)
+        predictions = audit.run(events)
+        assert len(predictions) == 1
+        assert len(audit.records) == 1
+        record = audit.records[0]
+        assert record.chain_id == "FC_audit"
+        assert record.node == "n1"
+        assert record.matched_tokens == (501, 502)
+        assert record.lines_seen == 3
+        assert 0 < record.fc_related_fraction <= 1
+
+    def test_writes_jsonl_to_stream(self, env):
+        fleet, events = env
+        buffer = io.StringIO()
+        AuditLog(fleet, sink=buffer).run(events)
+        lines = buffer.getvalue().strip().splitlines()
+        assert len(lines) == 1
+        back = AuditRecord.from_json(lines[0])
+        assert back.chain_id == "FC_audit"
+
+    def test_file_roundtrip(self, env, tmp_path):
+        fleet, events = env
+        path = tmp_path / "audit.jsonl"
+        with AuditLog(fleet, sink=path) as audit:
+            audit.run(events)
+        records = list(read_audit_log(path))
+        assert len(records) == 1
+        original = audit.records[0]
+        back = records[0]
+        assert back.node == original.node
+        assert back.chain_id == original.chain_id
+        assert back.flagged_at == original.flagged_at
+        assert back.matched_tokens == original.matched_tokens
+        assert back.prediction_time == pytest.approx(
+            original.prediction_time, rel=1e-9)
+        assert back.fc_related_fraction == pytest.approx(
+            original.fc_related_fraction, abs=1e-4)
+
+    def test_append_mode(self, env, tmp_path):
+        fleet, events = env
+        path = tmp_path / "audit.jsonl"
+        with AuditLog(fleet, sink=path) as audit:
+            audit.run(events)
+        # A second session appends.
+        store = TemplateStore()
+        store.add("omega fail *", token=501)
+        store.add("psi crash *", token=502)
+        chains = ChainSet([FailureChain("FC_audit", (501, 502))])
+        fleet2 = PredictorFleet.from_store(chains, store, timeout=100.0)
+        with AuditLog(fleet2, sink=path) as audit2:
+            audit2.run([LogEvent(t + 100.0, "n2", e.message)
+                        for t, e in enumerate(events)])
+        assert len(list(read_audit_log(path))) == 2
+
+    def test_json_fields(self, env):
+        fleet, events = env
+        audit = AuditLog(fleet)
+        audit.run(events)
+        import json
+        data = json.loads(audit.records[0].to_json())
+        assert set(data) == {
+            "node", "chain", "flagged_at", "prediction_time_ms",
+            "tokens", "lines_seen", "fc_related_fraction",
+        }

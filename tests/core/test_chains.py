@@ -1,0 +1,132 @@
+"""Tests for failure chains and subchain discovery."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.chains import ChainSet, FailureChain, common_subchains
+
+
+def fc(cid, tokens, deltas=()):
+    return FailureChain(chain_id=cid, tokens=tuple(tokens), deltas=tuple(deltas))
+
+
+class TestFailureChain:
+    def test_basic(self):
+        chain = fc("FC1", [176, 177, 178, 179, 180, 137])
+        assert len(chain) == 6
+        assert chain.first == 176
+        assert chain.terminal == 137
+
+    def test_too_short(self):
+        with pytest.raises(ValueError, match="≥2"):
+            fc("X", [1])
+
+    def test_repeated_phrase_rejected(self):
+        with pytest.raises(ValueError, match="repeats"):
+            fc("X", [1, 2, 1])
+
+    def test_delta_length_mismatch(self):
+        with pytest.raises(ValueError, match="deltas"):
+            fc("X", [1, 2, 3], deltas=[1.0])
+
+    def test_expected_span(self):
+        chain = fc("X", [1, 2, 3], deltas=[8.3, 16.5])
+        assert chain.expected_span() == pytest.approx(24.8)
+
+    def test_expected_span_no_deltas(self):
+        assert fc("X", [1, 2]).expected_span() == 0.0
+
+
+class TestChainSet:
+    def make(self):
+        return ChainSet(
+            [
+                fc("FC1", [176, 177, 178, 179, 180, 137]),
+                fc("FC5", [172, 177, 178, 193, 137]),
+            ]
+        )
+
+    def test_token_list_order_and_dedup(self):
+        cs = self.make()
+        assert cs.token_list == (176, 177, 178, 179, 180, 137, 172, 193)
+
+    def test_relevance(self):
+        cs = self.make()
+        assert cs.is_relevant(177)
+        assert not cs.is_relevant(999)
+
+    def test_starting_with(self):
+        cs = self.make()
+        assert [c.chain_id for c in cs.starting_with(176)] == ["FC1"]
+        assert cs.starting_with(177) == []
+
+    def test_lookup_by_id(self):
+        cs = self.make()
+        assert cs["FC5"].first == 172
+        with pytest.raises(KeyError):
+            cs["nope"]
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ChainSet([fc("A", [1, 2]), fc("A", [3, 4])])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ChainSet([])
+
+    def test_max_length(self):
+        assert self.make().max_length() == 6
+
+    def test_suggest_timeout_default(self):
+        assert self.make().suggest_timeout() == 240.0
+
+    def test_suggest_timeout_from_deltas(self):
+        # 93rd percentile of the trained ΔTs, per §III.
+        chains = ChainSet(
+            [fc("A", [1, 2, 3], deltas=[10.0, 20.0]), fc("B", [4, 5], deltas=[30.0])]
+        )
+        t = chains.suggest_timeout(quantile=0.5)
+        assert t in (10.0, 20.0, 30.0)
+        assert chains.suggest_timeout(quantile=0.99) == 30.0
+
+
+class TestCommonSubchains:
+    def test_table4_example(self):
+        fc1 = [176, 177, 178, 179, 180, 137]
+        fc5 = [172, 177, 178, 193, 137]
+        subs = common_subchains(fc1, fc5)
+        assert (177, 178) in subs
+
+    def test_no_common(self):
+        assert common_subchains([1, 2, 3], [4, 5, 6]) == []
+
+    def test_min_len_respected(self):
+        assert common_subchains([1, 2], [9, 2], min_len=2) == []
+        assert common_subchains([1, 2], [9, 2], min_len=1) == [(2,)]
+
+    def test_longest_first(self):
+        a = [1, 2, 3, 4, 9, 5, 6]
+        b = [1, 2, 3, 4, 8, 5, 6]
+        subs = common_subchains(a, b)
+        assert subs[0] == (1, 2, 3, 4)
+        assert (5, 6) in subs
+
+    def test_non_overlapping_within_a(self):
+        a = [1, 2, 3]
+        b = [1, 2, 3]
+        subs = common_subchains(a, b)
+        assert subs == [(1, 2, 3)]
+
+    @given(
+        st.lists(st.integers(0, 9), min_size=2, max_size=12, unique=True),
+        st.lists(st.integers(0, 9), min_size=2, max_size=12, unique=True),
+    )
+    def test_subchains_actually_common(self, a, b):
+        for sub in common_subchains(a, b):
+            assert _contains(a, sub) and _contains(b, sub)
+
+
+def _contains(seq, sub):
+    k = len(sub)
+    return any(tuple(seq[i : i + k]) == sub for i in range(len(seq) - k + 1))

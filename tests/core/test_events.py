@@ -1,0 +1,72 @@
+"""Tests for the event model (serialization, lead-time arithmetic)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.events import LogEvent, NodeFailure, Prediction, Severity, TokenEvent
+
+
+class TestLogEvent:
+    def test_line_roundtrip(self):
+        event = LogEvent(time=1234.567891, node="c0-0c2s0n2",
+                         message="DVS: file node down: removing x")
+        assert LogEvent.from_line(event.to_line()) == event
+
+    def test_line_format(self):
+        event = LogEvent(time=0.0, node="n1", message="hello world")
+        line = event.to_line()
+        assert line.endswith("n1 hello world")
+        assert "1970" in line  # ISO timestamp
+
+    @given(st.floats(0, 4e9), st.text(
+        alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+        min_size=1, max_size=12))
+    def test_roundtrip_property(self, t, node):
+        event = LogEvent(time=round(t, 6), node=node, message="m s g")
+        back = LogEvent.from_line(event.to_line())
+        assert back.node == event.node
+        assert back.message == event.message
+        assert back.time == pytest.approx(event.time, abs=1e-5)
+
+    def test_from_line_requires_three_fields(self):
+        with pytest.raises(ValueError):
+            LogEvent.from_line("2020-01-01T00:00:00+00:00 onlynode")
+
+
+class TestTokenEvent:
+    def test_delta_t(self):
+        a = TokenEvent(time=10.0, token=1)
+        b = TokenEvent(time=14.5, token=2)
+        assert b.delta_t(a) == 4.5
+
+    def test_frozen(self):
+        te = TokenEvent(time=1.0, token=5)
+        with pytest.raises(AttributeError):
+            te.token = 6
+
+
+class TestPrediction:
+    def test_effective_lead_time(self):
+        p = Prediction(node="n", chain_id="FC", flagged_at=100.0,
+                       prediction_time=0.5)
+        assert p.effective_lead_time(160.0) == pytest.approx(59.5)
+
+    def test_negative_lead_possible(self):
+        # A flag raised after the failure (late) yields negative lead.
+        p = Prediction(node="n", chain_id="FC", flagged_at=200.0,
+                       prediction_time=0.0)
+        assert p.effective_lead_time(150.0) < 0
+
+
+class TestSeverity:
+    def test_values_match_paper_labels(self):
+        assert Severity.ERRONEOUS.value == "E"
+        assert Severity.UNKNOWN.value == "U"
+        assert Severity.BENIGN.value == "B"
+
+
+class TestNodeFailure:
+    def test_optional_chain(self):
+        f = NodeFailure(node="n", time=1.0)
+        assert f.chain_id is None

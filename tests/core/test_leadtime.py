@@ -1,0 +1,90 @@
+"""Tests for prediction↔failure pairing and lead-time reports."""
+
+import pytest
+
+from repro.core.events import NodeFailure, Prediction
+from repro.core.leadtime import pair_predictions
+
+
+def pred(node, at, cost=0.001, chain="FC"):
+    return Prediction(node=node, chain_id=chain, flagged_at=at,
+                      prediction_time=cost)
+
+
+def fail(node, at, chain=None):
+    return NodeFailure(node=node, time=at, chain_id=chain)
+
+
+class TestPairing:
+    def test_simple_match(self):
+        report = pair_predictions([pred("a", 100.0)], [fail("a", 220.0)])
+        assert report.true_positives == 1
+        record = report.matched[0]
+        assert record.lead_time == pytest.approx(120.0)
+        assert record.effective_lead_time == pytest.approx(119.999)
+
+    def test_wrong_node_is_fp_and_fn(self):
+        report = pair_predictions([pred("a", 100.0)], [fail("b", 150.0)])
+        assert report.false_positives == [pred("a", 100.0)]
+        assert len(report.missed_failures) == 1
+
+    def test_flag_after_failure_is_fp(self):
+        report = pair_predictions([pred("a", 300.0)], [fail("a", 200.0)])
+        assert len(report.false_positives) == 1
+        assert len(report.missed_failures) == 1
+
+    def test_horizon_limits_pairing(self):
+        report = pair_predictions(
+            [pred("a", 0.0)], [fail("a", 5000.0)], horizon=1000.0)
+        assert report.true_positives == 0
+
+    def test_earliest_prediction_wins(self):
+        report = pair_predictions(
+            [pred("a", 150.0), pred("a", 100.0)], [fail("a", 200.0)])
+        assert report.true_positives == 1
+        assert report.matched[0].prediction.flagged_at == 100.0
+        # The duplicate flag is NOT a false positive.
+        assert report.false_positives == []
+
+    def test_two_failures_same_node(self):
+        failures = [fail("a", 200.0), fail("a", 900.0)]
+        predictions = [pred("a", 100.0), pred("a", 800.0)]
+        report = pair_predictions(predictions, failures)
+        assert report.true_positives == 2
+        leads = sorted(r.lead_time for r in report.matched)
+        assert leads == [pytest.approx(100.0), pytest.approx(100.0)]
+
+    def test_prediction_claims_earliest_eligible_failure(self):
+        failures = [fail("a", 300.0), fail("a", 500.0)]
+        report = pair_predictions([pred("a", 100.0)], failures)
+        assert report.matched[0].failure.time == 300.0
+        assert len(report.missed_failures) == 1
+
+    def test_empty_inputs(self):
+        report = pair_predictions([], [])
+        assert report.true_positives == 0
+        assert report.mean_lead_time() == 0.0
+        assert report.std_lead_time() == 0.0
+        assert report.mean_prediction_time() == 0.0
+
+
+class TestReportStatistics:
+    def make(self):
+        predictions = [pred("a", 100.0, cost=0.001),
+                       pred("b", 50.0, cost=0.003)]
+        failures = [fail("a", 220.0), fail("b", 230.0)]
+        return pair_predictions(predictions, failures)
+
+    def test_means(self):
+        report = self.make()
+        assert report.mean_lead_time() == pytest.approx((119.999 + 179.997) / 2)
+        assert report.mean_prediction_time() == pytest.approx(0.002)
+
+    def test_stds(self):
+        report = self.make()
+        assert report.std_lead_time() > 0
+        assert report.std_prediction_time() == pytest.approx(0.001)
+
+    def test_lead_times_list(self):
+        report = self.make()
+        assert len(report.lead_times()) == 2

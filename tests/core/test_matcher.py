@@ -1,0 +1,193 @@
+"""Tests for the Algorithm 2 rule-checking engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chains import ChainSet, FailureChain
+from repro.core.matcher import ChainMatcher, OracleTracker
+
+
+def chains_fixture():
+    return ChainSet(
+        [
+            FailureChain("FC1", (176, 177, 178, 179, 180, 137)),
+            FailureChain("FC5", (172, 177, 178, 193, 137)),
+        ]
+    )
+
+
+def run(matcher, tokens, dt=1.0, t0=0.0):
+    """Feed tokens at fixed spacing; return matches."""
+    out = []
+    t = t0
+    for tok in tokens:
+        m = matcher.feed(tok, t)
+        if m:
+            out.append(m)
+        t += dt
+    return out
+
+
+class TestBasicMatching:
+    def test_exact_chain_matches(self):
+        m = ChainMatcher(chains_fixture(), timeout=120)
+        matches = run(m, [176, 177, 178, 179, 180, 137])
+        assert [x.chain_id for x in matches] == ["FC1"]
+
+    def test_second_chain(self):
+        m = ChainMatcher(chains_fixture(), timeout=120)
+        assert [x.chain_id for x in run(m, [172, 177, 178, 193, 137])] == ["FC5"]
+
+    def test_match_times(self):
+        m = ChainMatcher(chains_fixture(), timeout=120)
+        (match,) = run(m, [172, 177, 178, 193, 137], dt=2.0, t0=100.0)
+        assert match.start_time == 100.0
+        assert match.end_time == 108.0
+
+    def test_irrelevant_tokens_before_start(self):
+        m = ChainMatcher(chains_fixture(), timeout=120)
+        matches = run(m, [999, 142, 172, 177, 178, 193, 137])
+        assert [x.chain_id for x in matches] == ["FC5"]
+
+    def test_skip_mismatches_mid_chain(self):
+        # Paper's example: 172 177 178 [4] 193 137 — 4 is skipped.
+        m = ChainMatcher(chains_fixture(), timeout=120)
+        matches = run(m, [172, 177, 178, 4, 193, 137])
+        assert [x.chain_id for x in matches] == ["FC5"]
+        assert m.stats.skipped == 1
+
+    def test_no_match_partial(self):
+        m = ChainMatcher(chains_fixture(), timeout=120)
+        assert run(m, [176, 177, 178]) == []
+        assert m.active_chain == "FC1"
+        assert m.position == 3
+
+    def test_back_to_back_matches(self):
+        m = ChainMatcher(chains_fixture(), timeout=120)
+        seq = [172, 177, 178, 193, 137, 176, 177, 178, 179, 180, 137]
+        matches = run(m, seq)
+        assert [x.chain_id for x in matches] == ["FC5", "FC1"]
+
+    def test_reset_clears_state(self):
+        m = ChainMatcher(chains_fixture(), timeout=120)
+        run(m, [176, 177])
+        m.reset()
+        assert m.active_chain is None
+        assert [x.chain_id for x in run(m, [172, 177, 178, 193, 137])] == ["FC5"]
+
+
+class TestTimeout:
+    def test_timeout_resets(self):
+        m = ChainMatcher(chains_fixture(), timeout=10)
+        m.feed(176, 0.0)
+        m.feed(177, 5.0)
+        # 60s gap exceeds timeout: chain abandoned.
+        m.feed(178, 65.0)
+        assert m.active_chain is None
+        assert m.stats.resets_timeout == 1
+
+    def test_timeout_restarts_at_current_token(self):
+        m = ChainMatcher(chains_fixture(), timeout=10)
+        m.feed(176, 0.0)
+        # Gap violation, but the late token itself starts FC5.
+        m.feed(172, 100.0)
+        assert m.active_chain == "FC5"
+
+    def test_skips_do_not_refresh_clock(self):
+        # Time anchor is the last *matched* token, not the last skip.
+        m = ChainMatcher(chains_fixture(), timeout=10)
+        m.feed(176, 0.0)
+        m.feed(999, 9.0)  # skip (within window)... wait, 999 irrelevant
+        m.feed(4, 9.0)  # skip
+        m.feed(177, 11.0)  # 11s after 176 > timeout → reset
+        assert m.active_chain is None
+
+    def test_boundary_exact_timeout_ok(self):
+        m = ChainMatcher(chains_fixture(), timeout=10)
+        m.feed(176, 0.0)
+        m.feed(177, 10.0)  # exactly at the limit: allowed (≤)
+        assert m.position == 2
+
+    def test_invalid_timeout(self):
+        with pytest.raises(ValueError):
+            ChainMatcher(chains_fixture(), timeout=0)
+
+
+class TestFirstMatchPolicy:
+    def test_first_rule_selected_and_held(self):
+        # Once FC1 is active, FC5's start token does not preempt it.
+        m = ChainMatcher(chains_fixture(), timeout=120)
+        matches = run(m, [176, 172, 177, 178, 179, 180, 137])
+        assert [x.chain_id for x in matches] == ["FC1"]
+        assert m.stats.interleaved_skips >= 1
+
+    def test_interleaved_tokens_counted(self):
+        m = ChainMatcher(chains_fixture(), timeout=120)
+        run(m, [176, 193, 177, 178, 179, 180, 137])  # 193 belongs to FC5
+        assert m.stats.interleaved_skips == 1
+
+    def test_case1_false_negative_documented(self):
+        # Partial FC1 match interleaved with a full FC5 sequence: Aarohi
+        # misses FC5 (§III case 1).  The oracle sees it.
+        seq = [176, 172, 177, 178, 193, 137]
+        m = ChainMatcher(chains_fixture(), timeout=120)
+        aarohi_matches = run(m, seq)
+        assert aarohi_matches == []  # FC1 never completes; FC5 shadowed
+
+        oracle = OracleTracker(chains_fixture(), timeout=120)
+        oracle_matches = []
+        for i, tok in enumerate(seq):
+            oracle_matches += oracle.feed(tok, float(i))
+        assert [x.chain_id for x in oracle_matches] == ["FC5"]
+
+
+class TestOracleTracker:
+    def test_tracks_multiple_rules(self):
+        oracle = OracleTracker(chains_fixture(), timeout=120)
+        out = []
+        for i, tok in enumerate([176, 177, 178, 179, 180, 137]):
+            out += oracle.feed(tok, float(i))
+        assert [x.chain_id for x in out] == ["FC1"]
+
+    def test_oracle_timeout(self):
+        oracle = OracleTracker(chains_fixture(), timeout=5)
+        oracle.feed(176, 0.0)
+        out = oracle.feed(177, 100.0)
+        assert out == []
+        # The cursor died; completing the rest finds nothing.
+        for i, tok in enumerate([178, 179, 180, 137]):
+            out += oracle.feed(tok, 101.0 + i)
+        assert out == []
+
+
+class TestStats:
+    def test_counters(self):
+        m = ChainMatcher(chains_fixture(), timeout=120)
+        run(m, [172, 177, 4, 178, 193, 137])
+        s = m.stats
+        assert s.fed == 6
+        assert s.matches == 1
+        assert s.skipped == 1
+        assert s.activations == 1
+        assert s.advanced == 4  # 177, 178, 193, 137
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.sampled_from([176, 177, 178, 179, 180, 137, 172, 193, 999, 4]),
+             max_size=40)
+)
+def test_oracle_supersedes_matcher(tokens):
+    """Every match Aarohi finds, the oracle finds too (same end time)."""
+    m = ChainMatcher(chains_fixture(), timeout=1000)
+    oracle = OracleTracker(chains_fixture(), timeout=1000)
+    m_matches, o_matches = [], []
+    for i, tok in enumerate(tokens):
+        match = m.feed(tok, float(i))
+        if match:
+            m_matches.append(match)
+        o_matches += oracle.feed(tok, float(i))
+    o_keys = {(x.chain_id, x.end_time) for x in o_matches}
+    for match in m_matches:
+        assert (match.chain_id, match.end_time) in o_keys

@@ -1,0 +1,201 @@
+"""Tests for the end-to-end Aarohi predictor (both backends)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AarohiPredictor, ChainSet, FailureChain, LogEvent
+from repro.core.events import Severity
+from repro.templates import TemplateStore
+
+
+@pytest.fixture
+def store():
+    s = TemplateStore()
+    s.add("[Firmware Bug]: powernow k8: *", Severity.ERRONEOUS, token=174)
+    s.add("DVS: verify filesystem: *", Severity.UNKNOWN, token=140)
+    s.add("DVS: file node down: *", Severity.UNKNOWN, token=129)
+    s.add("Lustre: * cannot find peer *", Severity.UNKNOWN, token=175)
+    s.add("Lnet: critical hardware error: *", Severity.ERRONEOUS, token=134)
+    s.add("cb_node_unavailable: *", Severity.ERRONEOUS, token=127)
+    s.add("Machine Check Exception *", Severity.ERRONEOUS, token=150)
+    s.add("Kernel panic *", Severity.ERRONEOUS, token=151)
+    return s
+
+
+@pytest.fixture
+def chains():
+    # FC3 from Table III plus a second, disjoint chain.
+    return ChainSet(
+        [
+            FailureChain(
+                "FC3",
+                (174, 140, 129, 175, 134, 127),
+                deltas=(8.323, 16.506, 24.846, 36.372, 130.106),
+            ),
+            FailureChain("FC7", (150, 151)),
+        ]
+    )
+
+
+TABLE3_MESSAGES = [
+    (0.0, "[Firmware Bug]: powernow k8: disabling frequency"),
+    (8.323, "DVS: verify filesystem: magic 0x6969 mismatch"),
+    (24.829, "DVS: file node down: removing c4-2c0s0n2"),
+    (49.675, "Lustre: 4521 cannot find peer 10.0.0.1"),
+    (86.047, "Lnet: critical hardware error: bus fault"),
+    (216.153, "cb_node_unavailable: c0-0c2s0n2"),
+]
+
+
+def events(messages, node="c0-0c2s0n2"):
+    return [LogEvent(time=t, node=node, message=m) for t, m in messages]
+
+
+@pytest.mark.parametrize("backend", ["matcher", "lalr"])
+class TestPredictorBackends:
+    def test_table3_chain_predicts(self, store, chains, backend):
+        predictor = AarohiPredictor.from_store(chains, store, backend=backend)
+        predictions = [
+            p for e in events(TABLE3_MESSAGES) if (p := predictor.process(e))
+        ]
+        assert len(predictions) == 1
+        pred = predictions[0]
+        assert pred.chain_id == "FC3"
+        assert pred.flagged_at == pytest.approx(216.153)
+        assert pred.prediction_time > 0
+        assert pred.matched_tokens == (174, 140, 129, 175, 134, 127)
+
+    def test_benign_traffic_no_prediction(self, store, chains, backend):
+        predictor = AarohiPredictor.from_store(chains, store, backend=backend)
+        benign = [
+            (float(i), f"slurmd health check ok seq {i}") for i in range(50)
+        ]
+        assert all(predictor.process(e) is None for e in events(benign))
+        assert predictor.stats.lines_tokenized == 0
+        assert predictor.stats.fc_related_fraction == 0.0
+
+    def test_mixed_stream_with_skips(self, store, chains, backend):
+        # FC-related phrases of FC3 interleaved with benign and FC7 noise.
+        msgs = [
+            (0.0, "[Firmware Bug]: powernow k8: x"),
+            (1.0, "healthy chatter one"),
+            (8.0, "DVS: verify filesystem: y"),
+            (9.0, "Machine Check Exception on cpu 3"),  # FC7 token: skipped
+            (24.0, "DVS: file node down: z"),
+            (30.0, "healthy chatter two"),
+            (49.0, "Lustre: 99 cannot find peer host"),
+            (86.0, "Lnet: critical hardware error: w"),
+            (216.0, "cb_node_unavailable: node"),
+        ]
+        predictor = AarohiPredictor.from_store(chains, store, backend=backend)
+        predictions = [p for e in events(msgs) if (p := predictor.process(e))]
+        assert [p.chain_id for p in predictions] == ["FC3"]
+
+    def test_timeout_aborts_chain(self, store, chains, backend):
+        msgs = list(TABLE3_MESSAGES)
+        # Tear a >timeout gap between phrases 2 and 3.
+        msgs = msgs[:2] + [(t + 10_000.0, m) for t, m in msgs[2:]]
+        predictor = AarohiPredictor.from_store(
+            chains, store, backend=backend, timeout=240.0
+        )
+        predictions = [p for e in events(msgs) if (p := predictor.process(e))]
+        assert predictions == []
+
+    def test_back_to_back_failures(self, store, chains, backend):
+        first = events(TABLE3_MESSAGES)
+        second = events([(t + 400.0, m) for t, m in TABLE3_MESSAGES])
+        predictor = AarohiPredictor.from_store(chains, store, backend=backend)
+        predictions = [p for e in first + second if (p := predictor.process(e))]
+        assert [p.chain_id for p in predictions] == ["FC3", "FC3"]
+
+    def test_fc_related_fraction(self, store, chains, backend):
+        msgs = TABLE3_MESSAGES + [
+            (300.0 + i, f"benign message number {i}") for i in range(6)
+        ]
+        predictor = AarohiPredictor.from_store(chains, store, backend=backend)
+        for e in events(msgs):
+            predictor.process(e)
+        assert predictor.stats.fc_related_fraction == pytest.approx(0.5)
+
+    def test_second_chain(self, store, chains, backend):
+        msgs = [
+            (0.0, "Machine Check Exception bank 4"),
+            (5.0, "Kernel panic not syncing"),
+        ]
+        predictor = AarohiPredictor.from_store(chains, store, backend=backend)
+        predictions = [p for e in events(msgs) if (p := predictor.process(e))]
+        assert [p.chain_id for p in predictions] == ["FC7"]
+
+
+class TestBackendCrossValidation:
+    """Both backends must produce identical predictions on identical
+    streams (chains with distinct starting phrases, per paper §III)."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.sampled_from(
+                [
+                    "[Firmware Bug]: powernow k8: q",
+                    "DVS: verify filesystem: q",
+                    "DVS: file node down: q",
+                    "Lustre: 1 cannot find peer q",
+                    "Lnet: critical hardware error: q",
+                    "cb_node_unavailable: q",
+                    "Machine Check Exception q",
+                    "Kernel panic q",
+                    "benign chatter",
+                ]
+            ),
+            max_size=30,
+        )
+    )
+    def test_equivalence(self, msgs):
+        store = TemplateStore()
+        store.add("[Firmware Bug]: powernow k8: *", token=174)
+        store.add("DVS: verify filesystem: *", token=140)
+        store.add("DVS: file node down: *", token=129)
+        store.add("Lustre: * cannot find peer *", token=175)
+        store.add("Lnet: critical hardware error: *", token=134)
+        store.add("cb_node_unavailable: *", token=127)
+        store.add("Machine Check Exception *", token=150)
+        store.add("Kernel panic *", token=151)
+        chains = ChainSet(
+            [
+                FailureChain("FC3", (174, 140, 129, 175, 134, 127)),
+                FailureChain("FC7", (150, 151)),
+            ]
+        )
+        stream = [LogEvent(float(i), "n0", m) for i, m in enumerate(msgs)]
+        results = {}
+        for backend in ("matcher", "lalr"):
+            predictor = AarohiPredictor.from_store(chains, store, backend=backend)
+            results[backend] = [
+                (p.chain_id, p.flagged_at)
+                for e in stream
+                if (p := predictor.process(e))
+            ]
+        assert results["matcher"] == results["lalr"]
+
+
+class TestScannerVariants:
+    def test_naive_scanner_same_predictions(self, store, chains):
+        fast = AarohiPredictor.from_store(chains, store, optimized=True)
+        naive = AarohiPredictor.from_store(chains, store, optimized=False)
+        stream = events(TABLE3_MESSAGES)
+        fast_preds = [(p.chain_id, p.flagged_at) for e in stream if (p := fast.process(e))]
+        naive_preds = [(p.chain_id, p.flagged_at) for e in stream if (p := naive.process(e))]
+        assert fast_preds == naive_preds == [("FC3", pytest.approx(216.153))]
+
+    def test_unknown_backend_rejected(self, store, chains):
+        with pytest.raises(ValueError):
+            AarohiPredictor.from_store(chains, store, backend="wat")
+
+    def test_feed_token_path(self, chains, store):
+        predictor = AarohiPredictor.from_store(chains, store)
+        tokens = [(174, 0.0), (140, 8.0), (129, 24.0), (175, 49.0), (134, 86.0)]
+        for tok, t in tokens:
+            assert predictor.feed_token(tok, t) is None
+        pred = predictor.feed_token(127, 216.0)
+        assert pred is not None and pred.chain_id == "FC3"

@@ -1,0 +1,129 @@
+"""Cross-cutting property tests on randomly generated chain sets.
+
+These pin the core invariants of the whole Phase-2 pipeline under
+hypothesis-generated rule sets and streams:
+
+* every trained chain, played cleanly, is predicted by both backends;
+* the factored (Table IV) grammar accepts every trained chain;
+* matcher and LALR backends agree on arbitrary token streams whenever
+  chains have distinct starting phrases;
+* the generated standalone module agrees with the library matcher.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codegen import emit_predictor_source, load_predictor
+from repro.core import ChainSet, FailureChain, build_chain_tables, build_rules
+from repro.core.matcher import ChainMatcher
+from repro.parsegen import LRParser
+
+
+@st.composite
+def chain_sets(draw, max_chains=4, max_len=6):
+    """Random chain sets with distinct starting tokens (paper §III)."""
+    n_chains = draw(st.integers(1, max_chains))
+    pool = list(range(100, 140))
+    starts = draw(
+        st.lists(st.sampled_from(pool), min_size=n_chains,
+                 max_size=n_chains, unique=True))
+    chains = []
+    for i, start in enumerate(starts):
+        length = draw(st.integers(2, max_len))
+        body_pool = [t for t in pool if t not in starts]
+        body = draw(
+            st.lists(st.sampled_from(body_pool), min_size=length - 1,
+                     max_size=length - 1, unique=True))
+        chains.append(FailureChain(f"FC{i}", (start, *body)))
+    return ChainSet(chains)
+
+
+@settings(max_examples=50, deadline=None)
+@given(chain_sets())
+def test_every_chain_matches_cleanly(chains):
+    matcher = ChainMatcher(chains, timeout=1e9)
+    t = 0.0
+    for chain in chains:
+        result = None
+        for token in chain.tokens:
+            result = matcher.feed(token, t)
+            t += 1.0
+        assert result is not None and result.chain_id == chain.chain_id
+
+
+@settings(max_examples=50, deadline=None)
+@given(chain_sets())
+def test_flat_grammar_accepts_every_chain(chains):
+    rule_set = build_rules(chains, factor=False)
+    parser = LRParser(build_chain_tables(rule_set))
+    for chain in chains:
+        tokens = [(str(t), t) for t in chain.tokens]
+        assert parser.parse(tokens) == chain.chain_id
+
+
+@settings(max_examples=50, deadline=None)
+@given(chain_sets())
+def test_factored_grammar_accepts_every_chain(chains):
+    rule_set = build_rules(chains, factor=True)
+    parser = LRParser(build_chain_tables(rule_set, factored=True))
+    for chain in chains:
+        tokens = [(str(t), t) for t in chain.tokens]
+        # The factored grammar may generalize (cross products) but must
+        # never reject a trained chain.
+        parser.parse(tokens)
+
+
+@settings(max_examples=30, deadline=None)
+@given(chain_sets(max_chains=3, max_len=5),
+       st.lists(st.integers(100, 139), max_size=30))
+def test_matcher_and_generated_module_agree(chains, stream):
+    """The codegen'd standalone predictor replays any token stream with
+    the same flags as the library matcher."""
+    from repro.templates.store import TemplateStore
+
+    store = TemplateStore()
+    for token in sorted(set(t for c in chains for t in c.tokens)):
+        store.add(f"synthetic phrase {token} *", token=token)
+
+    matcher = ChainMatcher(chains, timeout=1e9)
+    module = load_predictor(
+        emit_predictor_source(chains, store, timeout=1e9))
+    standalone = module.Predictor()
+
+    relevant = chains.token_set
+    lib_flags, gen_flags = [], []
+    for i, token in enumerate(stream):
+        if token not in relevant:
+            continue  # the scanner would discard these
+        m = matcher.feed(token, float(i))
+        if m:
+            lib_flags.append((m.chain_id, i))
+        c = standalone.feed_token(token, float(i))
+        if c:
+            gen_flags.append((c, i))
+    assert lib_flags == gen_flags
+
+
+@settings(max_examples=30, deadline=None)
+@given(chain_sets(max_chains=3, max_len=5),
+       st.lists(st.integers(100, 139), max_size=25))
+def test_matcher_never_false_positives(chains, stream):
+    """A match implies the chain's tokens appear as a subsequence of the
+    stream since activation — Algorithm 2's soundness property."""
+    matcher = ChainMatcher(chains, timeout=1e9)
+    seen: list[int] = []
+    for i, token in enumerate(stream):
+        if token not in chains.token_set:
+            continue
+        seen.append(token)
+        m = matcher.feed(token, float(i))
+        if m:
+            # Verify subsequence property over the consumed stream.
+            chain_tokens = list(m.tokens)
+            idx = 0
+            for s in seen:
+                if idx < len(chain_tokens) and s == chain_tokens[idx]:
+                    idx += 1
+            assert idx == len(chain_tokens), (
+                f"matched {m.chain_id} but {chain_tokens} is not a "
+                f"subsequence of {seen}")

@@ -1,0 +1,137 @@
+"""Tests for Algorithm 1 (FCs → rules) and grammar building (Table IV)."""
+
+import pytest
+
+from repro.core.chains import ChainSet, FailureChain
+from repro.core.grammar_builder import (
+    build_chain_tables,
+    factored_grammar,
+    flat_grammar,
+)
+from repro.core.rules import build_rules
+from repro.parsegen import LRParser, ParseError, build_tables
+
+
+def table4_chains():
+    return ChainSet(
+        [
+            FailureChain("FC1", (176, 177, 178, 179, 180, 137)),
+            FailureChain("FC5", (172, 177, 178, 193, 137)),
+        ]
+    )
+
+
+class TestAlgorithm1:
+    def test_token_list(self):
+        rs = build_rules(table4_chains())
+        assert rs.token_list == (176, 177, 178, 179, 180, 137, 172, 193)
+
+    def test_flat_rules(self):
+        rs = build_rules(table4_chains(), factor=False)
+        assert [r.tokens for r in rs.rules] == [
+            (176, 177, 178, 179, 180, 137),
+            (172, 177, 178, 193, 137),
+        ]
+        assert rs.factored == []
+
+    def test_subchain_nonterminal_extracted(self):
+        rs = build_rules(table4_chains())
+        assert (177, 178) in rs.subchain_nts.values()
+
+    def test_middle_grouping_matches_table4(self):
+        rs = build_rules(table4_chains())
+        # One C group with alternatives (B 179 180) and (B 193).
+        assert len(rs.group_nts) == 1
+        (alts,) = rs.group_nts.values()
+        b_name = next(iter(rs.subchain_nts))
+        assert (b_name, 179, 180) in alts
+        assert (b_name, 193) in alts
+        # S-level: (176 C 137) | (172 C 137)
+        c_name = next(iter(rs.group_nts))
+        shapes = {r.symbols for r in rs.factored}
+        assert (176, c_name, 137) in shapes
+        assert (172, c_name, 137) in shapes
+
+    def test_describe_mentions_both_forms(self):
+        text = build_rules(table4_chains()).describe()
+        assert "P_FC" in text and "P_LALR" in text
+
+    def test_no_shared_structure_stays_flat(self):
+        chains = ChainSet(
+            [FailureChain("A", (1, 2, 3)), FailureChain("B", (4, 5, 6))]
+        )
+        rs = build_rules(chains)
+        assert rs.subchain_nts == {}
+        assert rs.group_nts == {}
+        assert [f.symbols for f in rs.factored] == [(1, 2, 3), (4, 5, 6)]
+
+
+class TestGrammars:
+    def test_flat_grammar_accepts_exactly_the_chains(self):
+        rs = build_rules(table4_chains(), factor=False)
+        parser = LRParser(build_tables(flat_grammar(rs), prefer_shift=True))
+        fc1 = [(str(t), t) for t in (176, 177, 178, 179, 180, 137)]
+        fc5 = [(str(t), t) for t in (172, 177, 178, 193, 137)]
+        assert parser.parse(fc1) == "FC1"
+        assert parser.parse(fc5) == "FC5"
+        # Cross-product sequence is rejected by the flat grammar.
+        cross = [(str(t), t) for t in (176, 177, 178, 193, 137)]
+        with pytest.raises(ParseError):
+            parser.parse(cross)
+
+    def test_factored_grammar_accepts_chains_and_cross_products(self):
+        rs = build_rules(table4_chains())
+        parser = LRParser(build_tables(factored_grammar(rs), prefer_shift=True))
+        fc1 = [(str(t), t) for t in (176, 177, 178, 179, 180, 137)]
+        cross = [(str(t), t) for t in (176, 177, 178, 193, 137)]
+        assert parser.parse(fc1) == "FC1"
+        # The paper's P_LALR factoring accepts the generalization too.
+        parser.parse(cross)
+
+    def test_factored_requires_factoring(self):
+        rs = build_rules(table4_chains(), factor=False)
+        with pytest.raises(ValueError):
+            factored_grammar(rs)
+
+    def test_build_chain_tables_stats(self):
+        tables = build_chain_tables(build_rules(table4_chains(), factor=False))
+        stats = tables.stats()
+        assert stats["productions"] == 3  # 2 chains + accept
+        assert stats["terminals"] == 9  # 8 tokens + $end
+
+    def test_every_chain_parses_under_both_backids(self):
+        chains = ChainSet(
+            [
+                FailureChain("A", (1, 2, 3, 4)),
+                FailureChain("B", (5, 2, 3, 6)),
+                FailureChain("C", (7, 8)),
+            ]
+        )
+        rs = build_rules(chains)
+        for factored in (False, True):
+            tables = build_chain_tables(rs, factored=factored)
+            parser = LRParser(tables)
+            for chain in chains:
+                tokens = [(str(t), t) for t in chain.tokens]
+                assert parser.parse(tokens) == chain.chain_id
+
+    def test_shared_prefix_chains(self):
+        # Chains sharing a two-token prefix must still be LALR-parsable.
+        chains = ChainSet(
+            [FailureChain("A", (1, 2, 3)), FailureChain("B", (1, 2, 4))]
+        )
+        rs = build_rules(chains, factor=False)
+        parser = LRParser(build_chain_tables(rs))
+        assert parser.parse([(str(t), t) for t in (1, 2, 3)]) == "A"
+        assert parser.parse([(str(t), t) for t in (1, 2, 4)]) == "B"
+
+    def test_prefix_chain_of_another(self):
+        # A is a proper prefix of B; shift preference favours B, but A
+        # alone still parses (reduce on $end).
+        chains = ChainSet(
+            [FailureChain("A", (1, 2)), FailureChain("B", (1, 2, 3))]
+        )
+        rs = build_rules(chains, factor=False)
+        parser = LRParser(build_chain_tables(rs))
+        assert parser.parse([(str(t), t) for t in (1, 2)]) == "A"
+        assert parser.parse([(str(t), t) for t in (1, 2, 3)]) == "B"

@@ -1,0 +1,153 @@
+"""Tests for the scanner generator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lexgen import LexSpec, LexSpecError, Scanner, ScanError, spec_from_pairs
+
+
+@pytest.fixture
+def arith_scanner():
+    spec = (
+        LexSpec()
+        .rule("NUMBER", r"\d+")
+        .rule("IDENT", r"[a-zA-Z_]\w*")
+        .rule("PLUS", r"\+")
+        .rule("TIMES", r"\*")
+        .rule("LPAREN", r"\(")
+        .rule("RPAREN", r"\)")
+        .rule("WS", r"\s+", skip=True)
+    )
+    return Scanner(spec, on_error="raise")
+
+
+class TestTokenization:
+    def test_basic(self, arith_scanner):
+        tokens = arith_scanner.scan("foo + 42 * (bar)")
+        assert [t.name for t in tokens] == [
+            "IDENT", "PLUS", "NUMBER", "TIMES", "LPAREN", "IDENT", "RPAREN",
+        ]
+        assert [t.lexeme for t in tokens] == ["foo", "+", "42", "*", "(", "bar", ")"]
+
+    def test_spans(self, arith_scanner):
+        tokens = arith_scanner.scan("ab 12")
+        assert (tokens[0].start, tokens[0].end) == (0, 2)
+        assert (tokens[1].start, tokens[1].end) == (3, 5)
+
+    def test_longest_match_wins(self):
+        spec = LexSpec().rule("IF", "if").rule("IDENT", r"[a-z]+")
+        tokens = Scanner(spec).scan("iffy if")
+        assert [t.name for t in tokens] == ["IDENT", "IF"]
+
+    def test_first_rule_wins_on_tie(self):
+        spec = LexSpec().rule("KEYWORD", "for").rule("IDENT", r"[a-z]+")
+        tokens = Scanner(spec).scan("for")
+        assert tokens[0].name == "KEYWORD"
+        # Reversed order: IDENT shadows the keyword.
+        spec2 = LexSpec().rule("IDENT", r"[a-z]+").rule("KEYWORD", "for")
+        assert Scanner(spec2).scan("for")[0].name == "IDENT"
+
+    def test_skip_rules_not_emitted(self, arith_scanner):
+        assert all(t.name != "WS" for t in arith_scanner.scan("a + b"))
+
+    def test_error_raise_policy(self, arith_scanner):
+        with pytest.raises(ScanError) as exc_info:
+            arith_scanner.scan("a @ b")
+        assert exc_info.value.pos == 2
+
+    def test_error_skip_policy(self):
+        spec = LexSpec().rule("NUM", r"\d+")
+        scanner = Scanner(spec, on_error="skip")
+        tokens = scanner.scan("xx12--34")
+        assert [t.lexeme for t in tokens] == ["12", "34"]
+
+    def test_empty_input(self, arith_scanner):
+        assert arith_scanner.scan("") == []
+
+    def test_first_token(self, arith_scanner):
+        token = arith_scanner.first_token("  zoo + 1")
+        assert token is not None and token.name == "IDENT"
+        spec = LexSpec().rule("NUM", r"\d+")
+        assert Scanner(spec).first_token("no digits here at all") is None
+
+    def test_tokens_is_lazy(self, arith_scanner):
+        gen = arith_scanner.tokens("a + b")
+        assert next(gen).name == "IDENT"
+
+    def test_scan_from_offset(self, arith_scanner):
+        tokens = list(arith_scanner.tokens("a + b", pos=2))
+        assert [t.name for t in tokens] == ["PLUS", "IDENT"]
+
+
+class TestSpecValidation:
+    def test_duplicate_rule_name(self):
+        with pytest.raises(LexSpecError):
+            LexSpec().rule("A", "a").rule("A", "b")
+
+    def test_empty_rule_name(self):
+        with pytest.raises(LexSpecError):
+            LexSpec().rule("", "a")
+
+    def test_empty_spec(self):
+        with pytest.raises(LexSpecError):
+            LexSpec().compile()
+
+    def test_bad_pattern_reports_rule(self):
+        with pytest.raises(LexSpecError, match="BAD"):
+            LexSpec().rule("BAD", "(").compile()
+
+    def test_nullable_rule_rejected(self):
+        with pytest.raises(LexSpecError, match="empty string"):
+            LexSpec().rule("NULLABLE", "a*").compile()
+
+    def test_spec_from_pairs(self):
+        spec = spec_from_pairs([("A", "a"), ("B", "b")])
+        assert spec.names() == ["A", "B"]
+
+
+class TestLogLikeScanning:
+    """Scanning shaped like Aarohi's phrase templates."""
+
+    def test_log_phrase_templates(self):
+        spec = (
+            LexSpec()
+            .rule("DVS_VERIFY", r"DVS: verify filesystem:")
+            .rule("DVS_DOWN", r"DVS: file node down:")
+            .rule("LUSTRE_PEER", r"Lustre: .* cannot find peer")
+            .rule("NODE_UNAVAIL", r"cb_node_unavailable")
+        )
+        scanner = Scanner(spec, on_error="skip")
+        line = (
+            "DVS: verify filesystem: file system magic value 0x6969 "
+            "retrieved from server c4-2c0s0n2"
+        )
+        token = scanner.first_token(line)
+        assert token is not None and token.name == "DVS_VERIFY"
+
+    def test_unrelated_line_yields_nothing(self):
+        spec = LexSpec().rule("X", "target phrase")
+        scanner = Scanner(spec, on_error="skip")
+        assert scanner.first_token("pcieport 0000:00:03.0: Replay Timer Timeout") is None
+
+    def test_minimized_and_unminimized_agree(self):
+        pairs = [("A", "abc+"), ("B", r"ab\d+"), ("C", "[abc]{2,5}")]
+        s1 = Scanner(spec_from_pairs(pairs), minimized=True)
+        s2 = Scanner(spec_from_pairs(pairs), minimized=False)
+        for text in ["abccc", "ab12", "aabbc", "abcab12ccc"]:
+            assert s1.scan(text) == s2.scan(text)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.text(alphabet="ab1 ", max_size=30))
+def test_roundtrip_coverage(text):
+    """Every character is either inside some token or skipped; spans are
+    monotonically increasing and non-overlapping."""
+    spec = LexSpec().rule("A", "a+").rule("NUM", "1+").rule("B", "b")
+    tokens = Scanner(spec).scan(text)
+    prev_end = 0
+    for t in tokens:
+        assert t.start >= prev_end
+        assert t.end > t.start
+        assert text[t.start : t.end] == t.lexeme
+        prev_end = t.end

@@ -1,0 +1,55 @@
+"""Detail tests for compiled lex specs and scanner internals."""
+
+import pytest
+
+from repro.lexgen import LexSpec, Scanner, spec_from_pairs
+
+
+class TestCompiledSpec:
+    def test_n_states_positive_and_minimization_helps(self):
+        spec = spec_from_pairs([
+            ("A", "(ab|ac)(ab|ac)*"), ("B", r"x\d{2,4}"), ("C", "[p-t]+"),
+        ])
+        mini = spec.compile(minimized=True)
+        full = spec.compile(minimized=False)
+        assert 0 < mini.n_states <= full.n_states
+
+    def test_rule_of_tag(self):
+        compiled = spec_from_pairs([("A", "a"), ("B", "b")]).compile()
+        assert compiled.rule_of_tag(0).name == "A"
+        assert compiled.rule_of_tag(1).name == "B"
+
+    def test_longest_match_api(self):
+        compiled = spec_from_pairs([("NUM", r"\d+")]).compile()
+        tag, end = compiled.longest_match("123abc", 0)
+        assert tag == 0 and end == 3
+        tag, end = compiled.longest_match("abc", 0)
+        assert tag is None and end == 0
+
+    def test_extend_and_names(self):
+        spec = LexSpec().extend([("X", "x"), ("Y", "y")])
+        assert spec.names() == ["X", "Y"]
+
+    def test_skip_rule_roundtrip(self):
+        spec = LexSpec().rule("T", "t").rule("SP", " +", skip=True)
+        tokens = Scanner(spec).scan("t t  t")
+        assert [t.name for t in tokens] == ["T", "T", "T"]
+
+
+class TestScannerEdgeCases:
+    def test_unicode_input(self):
+        scanner = Scanner(spec_from_pairs([("WORD", "[a-z]+")]))
+        tokens = scanner.scan("héllo wörld")
+        # Accented chars are skipped; ASCII runs tokenize.
+        assert [t.lexeme for t in tokens] == ["h", "llo", "w", "rld"]
+
+    def test_very_long_token(self):
+        scanner = Scanner(spec_from_pairs([("A", "a+")]))
+        text = "a" * 50_000
+        (token,) = scanner.scan(text)
+        assert token.end == 50_000
+
+    def test_alternating_error_and_match(self):
+        scanner = Scanner(spec_from_pairs([("D", r"\d")]), on_error="skip")
+        tokens = scanner.scan("1x2y3z")
+        assert [t.lexeme for t in tokens] == ["1", "2", "3"]

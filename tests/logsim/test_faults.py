@@ -1,0 +1,78 @@
+"""Tests for fault models (ChainDef validation, sampling properties)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logsim.faults import ChainDef, DeltaTModel, LeadGapModel
+
+
+class TestChainDef:
+    def test_valid(self):
+        cd = ChainDef("X", ("a", "b", "c"), "death")
+        assert cd.phrase_keys == ("a", "b", "c")
+
+    def test_too_short(self):
+        with pytest.raises(ValueError, match="≥2"):
+            ChainDef("X", ("a",), "death")
+
+    def test_repeated_key(self):
+        with pytest.raises(ValueError, match="repeated"):
+            ChainDef("X", ("a", "b", "a"), "death")
+
+
+class TestDeltaTModel:
+    def test_sample_size(self):
+        model = DeltaTModel()
+        rng = np.random.default_rng(0)
+        assert model.sample(rng, 17).shape == (17,)
+
+    def test_weights_normalized_internally(self):
+        # Non-normalized weights still produce a valid distribution.
+        model = DeltaTModel(burst_weight=2.0, seconds_weight=1.0,
+                            minutes_weight=1.0)
+        rng = np.random.default_rng(1)
+        gaps = model.sample(rng, 500)
+        assert (gaps > 0).all()
+
+    def test_pure_burst_model(self):
+        model = DeltaTModel(burst_weight=1.0, seconds_weight=0.0,
+                            minutes_weight=0.0)
+        rng = np.random.default_rng(2)
+        gaps = model.sample(rng, 500)
+        assert np.median(gaps) < 0.2  # everything msec-scale
+
+    def test_minutes_tail_thin(self):
+        # Only the lognormal seconds tail can exceed minutes_high, and
+        # only rarely: the distribution has a thin extreme tail.
+        model = DeltaTModel()
+        rng = np.random.default_rng(3)
+        gaps = model.sample(rng, 2000)
+        assert (gaps > model.minutes_high).mean() < 0.05
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 200))
+    def test_always_positive(self, seed, n):
+        gaps = DeltaTModel().sample(np.random.default_rng(seed), n)
+        assert (gaps > 0).all()
+
+    def test_deterministic_given_rng(self):
+        a = DeltaTModel().sample(np.random.default_rng(9), 20)
+        b = DeltaTModel().sample(np.random.default_rng(9), 20)
+        assert np.array_equal(a, b)
+
+
+class TestLeadGapModel:
+    def test_clipping(self):
+        model = LeadGapModel(mean=100.0, std=500.0, minimum=30.0, maximum=200.0)
+        rng = np.random.default_rng(4)
+        draws = np.array([model.sample(rng) for _ in range(300)])
+        assert draws.min() >= 30.0
+        assert draws.max() <= 200.0
+
+    def test_mean_roughly_respected(self):
+        model = LeadGapModel()
+        rng = np.random.default_rng(5)
+        draws = np.array([model.sample(rng) for _ in range(2000)])
+        assert abs(draws.mean() - model.mean) < 20.0

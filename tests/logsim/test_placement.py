@@ -1,0 +1,73 @@
+"""Tests for the predictor-placement model (Fig. 16 discussion)."""
+
+import pytest
+
+from repro.logsim.placement import (
+    ClusterProfile,
+    compare_placements,
+    evaluate_placement,
+)
+
+
+@pytest.fixture
+def cray():
+    # HPC1-scale: 5576 nodes, modest healthy log rate.
+    return ClusterProfile(n_nodes=5576, log_rate_hz=0.03)
+
+
+class TestClusterProfile:
+    def test_aggregate_rate(self, cray):
+        assert cray.aggregate_rate_hz == pytest.approx(5576 * 0.03)
+
+    def test_bandwidth(self, cray):
+        expected = 5576 * 0.03 * 160 * 8
+        assert cray.aggregate_bandwidth_bps == pytest.approx(expected)
+        assert cray.peak_bandwidth_bps == pytest.approx(expected * 20)
+
+
+class TestPlacement:
+    def test_hss_feasible_for_cray_scale(self, cray):
+        result = evaluate_placement(cray, strategy="hss")
+        assert result.feasible
+        assert result.per_node_cpu_fraction == 0.0
+        assert result.cpu_cores_needed < 1.0  # µs-scale per-message cost
+        assert result.network_utilization < 0.01
+
+    def test_on_node_feasible_but_touches_nodes(self, cray):
+        result = evaluate_placement(cray, strategy="on_node")
+        assert result.feasible
+        assert 0 < result.per_node_cpu_fraction < 0.01
+
+    def test_datacenter_tier_throttles_at_scale(self):
+        # The paper's data-center caveat: 100k chatty hosts on a shared
+        # tier link throttle the network slice.
+        dc = ClusterProfile(n_nodes=100_000, log_rate_hz=5.0,
+                            mean_message_bytes=400)
+        result = evaluate_placement(dc, strategy="datacenter_tier",
+                                    aggregation_link_bps=10e9)
+        assert not result.feasible
+        assert result.binding_constraint == "network"
+
+    def test_hss_cpu_binds_with_slow_predictor(self, cray):
+        # An ML-style 1 ms/message predictor cannot sit centrally.
+        result = evaluate_placement(
+            cray, strategy="hss", per_message_cost_s=1e-2, core_budget=32)
+        assert not result.feasible
+        assert result.binding_constraint == "cpu"
+
+    def test_on_node_infeasible_when_chatty_and_slow(self):
+        chatty = ClusterProfile(n_nodes=100, log_rate_hz=50.0)
+        result = evaluate_placement(
+            chatty, strategy="on_node", per_message_cost_s=1e-3)
+        assert not result.feasible
+        assert result.binding_constraint == "job interference"
+
+    def test_unknown_strategy(self, cray):
+        with pytest.raises(ValueError):
+            evaluate_placement(cray, strategy="cloud")
+
+    def test_compare_covers_all(self, cray):
+        results = compare_placements(cray)
+        assert set(results) == {"hss", "on_node", "datacenter_tier"}
+        # The paper's conclusion at Cray scale: HSS placement wins.
+        assert results["hss"].feasible

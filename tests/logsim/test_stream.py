@@ -1,0 +1,75 @@
+"""Tests for stream plumbing (merge / serialize / replay)."""
+
+import io
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.events import LogEvent
+from repro.logsim import clip_window, merge_streams, read_log, split_by_node, write_log
+
+
+def ev(t, node="c0-0c0s0n0", msg="hello world"):
+    return LogEvent(time=t, node=node, message=msg)
+
+
+class TestMerge:
+    def test_merges_in_time_order(self):
+        a = [ev(1.0), ev(4.0)]
+        b = [ev(2.0), ev(3.0)]
+        merged = list(merge_streams(a, b))
+        assert [e.time for e in merged] == [1.0, 2.0, 3.0, 4.0]
+
+    def test_lazy(self):
+        def infinite():
+            t = 0.0
+            while True:
+                t += 1.0
+                yield ev(t)
+
+        merged = merge_streams(infinite(), [ev(0.5)])
+        assert next(merged).time == 0.5
+        assert next(merged).time == 1.0
+
+    @given(st.lists(st.lists(st.floats(0, 1e6), max_size=10).map(sorted), max_size=4))
+    def test_merge_property(self, streams):
+        events = [[ev(t) for t in s] for s in streams]
+        merged = [e.time for e in merge_streams(*events)]
+        assert merged == sorted(t for s in streams for t in s)
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        events = [ev(1.5, "c0-0c1s2n3", "DVS: file node down: x"), ev(2.25)]
+        buffer = io.StringIO()
+        assert write_log(events, buffer) == 2
+        buffer.seek(0)
+        back = list(read_log(buffer))
+        assert back == events
+
+    def test_file_roundtrip(self, tmp_path):
+        events = [ev(float(i), msg=f"msg {i}") for i in range(5)]
+        path = tmp_path / "window.log"
+        write_log(events, path)
+        assert list(read_log(path)) == events
+
+    def test_message_with_spaces_preserved(self):
+        event = ev(0.0, msg="a  b   c, punctuated: [ok] (fine)")
+        assert LogEvent.from_line(event.to_line()) == event
+
+    def test_blank_lines_skipped(self):
+        buffer = io.StringIO(ev(1.0).to_line() + "\n\n" + ev(2.0).to_line() + "\n")
+        assert len(list(read_log(buffer))) == 2
+
+
+class TestGrouping:
+    def test_split_by_node(self):
+        events = [ev(1.0, "a"), ev(2.0, "b"), ev(3.0, "a")]
+        groups = split_by_node(events)
+        assert sorted(groups) == ["a", "b"]
+        assert [e.time for e in groups["a"]] == [1.0, 3.0]
+
+    def test_clip_window(self):
+        events = [ev(float(i)) for i in range(10)]
+        clipped = clip_window(events, 3.0, 7.0)
+        assert [e.time for e in clipped] == [3.0, 4.0, 5.0, 6.0]

@@ -1,0 +1,83 @@
+"""Tests for Cray topology / node naming."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.logsim.topology import (
+    NODES_PER_CABINET,
+    ClusterTopology,
+    NodeName,
+)
+
+
+class TestNodeName:
+    def test_roundtrip(self):
+        name = NodeName(4, 2, 0, 15, 3)
+        assert str(name) == "c4-2c0s15n3"
+        assert NodeName.parse("c4-2c0s15n3") == name
+
+    def test_parse_paper_example(self):
+        n = NodeName.parse("c0-0c2s0n2")
+        assert (n.cabinet_col, n.cabinet_row, n.chassis, n.slot, n.node) == (0, 0, 2, 0, 2)
+
+    def test_blade(self):
+        assert NodeName.parse("c4-2c0s15n3").blade == "c4-2c0s15"
+
+    @pytest.mark.parametrize("bad", ["x0-0c0s0n0", "c0-0c3s0n0", "c0-0c0s16n0", "c0-0c0s0n4", "c0c0s0n0"])
+    def test_parse_rejects(self, bad):
+        with pytest.raises(ValueError):
+            NodeName.parse(bad)
+
+
+class TestClusterTopology:
+    def test_node_names_unique(self):
+        topo = ClusterTopology(500)
+        names = list(topo.nodes())
+        assert len(names) == 500
+        assert len(set(names)) == 500
+
+    def test_all_names_parse(self):
+        topo = ClusterTopology(NODES_PER_CABINET * 2 + 7)
+        for name in topo.nodes():
+            NodeName.parse(name)
+
+    def test_first_node(self):
+        assert ClusterTopology(10).node_name(0) == "c0-0c0s0n0"
+
+    def test_cabinet_rollover(self):
+        topo = ClusterTopology(NODES_PER_CABINET + 1)
+        assert topo.node_name(NODES_PER_CABINET) == "c1-0c0s0n0"
+
+    def test_row_rollover(self):
+        topo = ClusterTopology(NODES_PER_CABINET * 17, cabinets_per_row=16)
+        assert topo.node_name(NODES_PER_CABINET * 16).startswith("c0-1")
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexError):
+            ClusterTopology(10).node_name(10)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            ClusterTopology(0)
+
+    def test_sample_nodes(self):
+        topo = ClusterTopology(1000)
+        rng = np.random.default_rng(7)
+        sample = topo.sample_nodes(rng, 50)
+        assert len(sample) == len(set(sample)) == 50
+
+    def test_sample_caps_at_cluster_size(self):
+        topo = ClusterTopology(5)
+        rng = np.random.default_rng(7)
+        assert len(topo.sample_nodes(rng, 50)) == 5
+
+    def test_n_cabinets(self):
+        assert ClusterTopology(NODES_PER_CABINET).n_cabinets == 1
+        assert ClusterTopology(NODES_PER_CABINET + 1).n_cabinets == 2
+
+    @given(st.integers(0, 5575))
+    def test_table2_scale_names_valid(self, index):
+        topo = ClusterTopology(5576)  # HPC1 scale
+        NodeName.parse(topo.node_name(index))

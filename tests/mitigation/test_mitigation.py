@@ -1,0 +1,154 @@
+"""Tests for checkpoint economics and mitigation planning."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import NodeFailure, Prediction
+from repro.core.leadtime import LeadTimeRecord
+from repro.mitigation import (
+    LAZY_CHECKPOINT,
+    PROCESS_MIGRATION,
+    QUARANTINE,
+    STANDARD_ACTIONS,
+    RecoveryAction,
+    actions_by_name,
+    compute_saved_node_seconds,
+    daly_interval,
+    plan_mitigation,
+    proactive_vs_periodic,
+    waste_fraction,
+    young_interval,
+)
+
+
+class TestCheckpointModels:
+    def test_young_formula(self):
+        assert young_interval(60.0, 24 * 3600.0) == pytest.approx(
+            np.sqrt(2 * 60.0 * 24 * 3600.0))
+
+    def test_daly_close_to_young_for_small_delta(self):
+        y = young_interval(30.0, 86400.0)
+        d = daly_interval(30.0, 86400.0)
+        assert abs(d - y) / y < 0.1
+
+    def test_daly_degenerate_regime(self):
+        assert daly_interval(100.0, 40.0) == 40.0
+
+    def test_shorter_mtbf_shorter_interval(self):
+        # The exascale motivation: MTBF minutes → very frequent checkpoints.
+        long_m = daly_interval(60.0, 24 * 3600.0)
+        short_m = daly_interval(60.0, 600.0)
+        assert short_m < long_m
+
+    def test_waste_increases_as_mtbf_drops(self):
+        tau = daly_interval(60.0, 3600.0)
+        w_good = waste_fraction(tau, 60.0, 24 * 3600.0)
+        w_bad = waste_fraction(tau, 60.0, 1800.0)
+        assert w_bad > w_good
+
+    def test_waste_bounded(self):
+        assert waste_fraction(10.0, 60.0, 30.0) == 1.0
+
+    @pytest.mark.parametrize("bad", [(0, 100), (-1, 100), (10, 0)])
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            young_interval(*bad)
+
+    def test_proactive_beats_periodic_with_good_recall(self):
+        savings = proactive_vs_periodic(
+            checkpoint_cost=120.0,
+            mtbf=4 * 3600.0,
+            restart_cost=300.0,
+            prediction_recall=0.9,
+            action_cost=PROCESS_MIGRATION.mean_cost,
+        )
+        assert savings.proactive_waste < savings.periodic_waste
+        assert 0 < savings.waste_reduction < 1
+
+    def test_zero_recall_no_benefit(self):
+        savings = proactive_vs_periodic(
+            checkpoint_cost=120.0, mtbf=4 * 3600.0, restart_cost=300.0,
+            prediction_recall=0.0, action_cost=3.0,
+        )
+        assert savings.waste_reduction <= 0.2
+
+    def test_recall_validation(self):
+        with pytest.raises(ValueError):
+            proactive_vs_periodic(
+                checkpoint_cost=1, mtbf=10, restart_cost=0,
+                prediction_recall=1.5, action_cost=1)
+
+
+class TestActions:
+    def test_standard_actions_ordered_by_cost(self):
+        costs = [a.mean_cost for a in STANDARD_ACTIONS]
+        assert costs == sorted(costs)
+
+    def test_fits_within(self):
+        assert PROCESS_MIGRATION.fits_within(180.0)
+        assert not PROCESS_MIGRATION.fits_within(5.0)
+        assert PROCESS_MIGRATION.fits_within(5.0, conservative=False)
+
+    def test_paper_claim_3s_migration_fits_2min_lead(self):
+        # §IV.2: "In <16 msecs prediction time and >2 mins effective
+        # lead time, such proactive solutions become feasible."
+        assert PROCESS_MIGRATION.fits_within(120.0)
+        assert QUARANTINE.fits_within(120.0)
+        assert LAZY_CHECKPOINT.fits_within(120.0)
+
+    def test_sample_cost_positive(self):
+        rng = np.random.default_rng(5)
+        draws = [PROCESS_MIGRATION.sample_cost(rng) for _ in range(100)]
+        assert all(d > 0 for d in draws)
+
+    def test_bad_cost_model_rejected(self):
+        with pytest.raises(ValueError):
+            RecoveryAction("x", mean_cost=10.0, p99_cost=5.0)
+
+    def test_actions_by_name(self):
+        assert actions_by_name()["quarantine"] is QUARANTINE
+
+
+def _records(leads):
+    out = []
+    for i, lead in enumerate(leads):
+        pred = Prediction(f"n{i}", "FC", flagged_at=0.0, prediction_time=0.001)
+        fail = NodeFailure(f"n{i}", time=lead + 0.001)
+        out.append(LeadTimeRecord(prediction=pred, failure=fail))
+    return out
+
+
+class TestPlanner:
+    def test_feasibility_fractions(self):
+        records = _records([200.0, 150.0, 6.0, 60.0])
+        plan = plan_mitigation(records)
+        by = plan.by_action()
+        assert by["quarantine"].feasible == 4
+        assert by["process_migration"].feasible == 3
+        assert by["lazy_checkpoint"].feasible == 2
+
+    def test_recommended_prefers_thorough_action_at_90pct(self):
+        records = _records([200.0] * 10)
+        plan = plan_mitigation(records)
+        assert plan.recommended == "lazy_checkpoint"
+
+    def test_recommended_falls_back_to_best_fraction(self):
+        records = _records([5.0, 4.0, 6.0])
+        plan = plan_mitigation(records)
+        assert plan.recommended == "quarantine"
+
+    def test_mean_margin(self):
+        records = _records([100.0])
+        plan = plan_mitigation(records)
+        entry = plan.by_action()["process_migration"]
+        assert entry.mean_margin == pytest.approx(100.0 - 8.0, abs=0.01)
+
+    def test_compute_saved(self):
+        records = _records([200.0, 5.0])
+        saved = compute_saved_node_seconds(records, PROCESS_MIGRATION,
+                                           rework_per_failure=1000.0)
+        assert saved == pytest.approx(1000.0 - 3.1)
+
+    def test_empty_records(self):
+        plan = plan_mitigation([])
+        assert all(f.feasible == 0 for f in plan.feasibility)

@@ -1,0 +1,195 @@
+"""Numeric-gradient checks and unit tests for nnlib layers."""
+
+import numpy as np
+import pytest
+
+from repro.nnlib import Dense, Embedding, LSTM, cross_entropy, softmax
+from repro.nnlib.optim import Adam, SGD, clip_gradients
+
+
+def numeric_grad(f, x, eps=1e-5):
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        hi = f()
+        x[idx] = orig - eps
+        lo = f()
+        x[idx] = orig
+        grad[idx] = (hi - lo) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestSoftmaxCrossEntropy:
+    def test_softmax_rows_sum_to_one(self):
+        rng = np.random.default_rng(0)
+        probs = softmax(rng.normal(size=(4, 7)))
+        assert np.allclose(probs.sum(axis=-1), 1.0)
+        assert (probs > 0).all()
+
+    def test_softmax_shift_invariant(self):
+        x = np.array([[1.0, 2.0, 3.0]])
+        assert np.allclose(softmax(x), softmax(x + 100.0))
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = np.array([[100.0, 0.0, 0.0]])
+        loss, _ = cross_entropy(logits, np.array([0]))
+        assert loss == pytest.approx(0.0, abs=1e-6)
+
+    def test_cross_entropy_gradient_numeric(self):
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=(3, 5))
+        targets = np.array([1, 4, 0])
+        _, d = cross_entropy(logits, targets)
+        num = numeric_grad(lambda: cross_entropy(logits, targets)[0], logits)
+        assert np.allclose(d, num, atol=1e-6)
+
+
+class TestDense:
+    def test_forward_shape(self):
+        rng = np.random.default_rng(2)
+        layer = Dense(4, 3, rng)
+        out = layer.forward(rng.normal(size=(5, 4)))
+        assert out.shape == (5, 3)
+
+    def test_gradients_numeric(self):
+        rng = np.random.default_rng(3)
+        layer = Dense(4, 3, rng)
+        x = rng.normal(size=(2, 4))
+        targets = np.array([0, 2])
+
+        def loss_fn():
+            return cross_entropy(layer.forward(x), targets)[0]
+
+        layer.zero_grad()
+        _, d_logits = cross_entropy(layer.forward(x), targets)
+        dx = layer.backward(d_logits)
+        assert np.allclose(layer.grads["W"], numeric_grad(loss_fn, layer.params["W"]), atol=1e-6)
+        assert np.allclose(layer.grads["b"], numeric_grad(loss_fn, layer.params["b"]), atol=1e-6)
+        assert np.allclose(dx, numeric_grad(loss_fn, x), atol=1e-6)
+
+    def test_3d_input(self):
+        rng = np.random.default_rng(4)
+        layer = Dense(4, 3, rng)
+        out = layer.forward(rng.normal(size=(2, 5, 4)))
+        assert out.shape == (2, 5, 3)
+
+
+class TestEmbedding:
+    def test_lookup(self):
+        rng = np.random.default_rng(5)
+        emb = Embedding(10, 4, rng)
+        ids = np.array([[1, 2], [3, 1]])
+        out = emb.forward(ids)
+        assert out.shape == (2, 2, 4)
+        assert np.allclose(out[0, 0], emb.params["E"][1])
+
+    def test_backward_accumulates_repeats(self):
+        rng = np.random.default_rng(6)
+        emb = Embedding(10, 4, rng)
+        ids = np.array([[1, 1]])
+        emb.zero_grad()
+        emb.forward(ids)
+        d = np.ones((1, 2, 4))
+        emb.backward(d)
+        assert np.allclose(emb.grads["E"][1], 2.0)
+        assert np.allclose(emb.grads["E"][0], 0.0)
+
+
+class TestLSTM:
+    def test_forward_shape(self):
+        rng = np.random.default_rng(7)
+        lstm = LSTM(3, 5, rng)
+        out = lstm.forward(rng.normal(size=(2, 4, 3)))
+        assert out.shape == (2, 4, 5)
+
+    def test_gradients_numeric(self):
+        rng = np.random.default_rng(8)
+        lstm = LSTM(3, 4, rng)
+        head = Dense(4, 2, rng)
+        x = rng.normal(size=(2, 3, 3))
+        targets = np.array([[0, 1, 0], [1, 1, 0]])
+
+        def loss_fn():
+            return cross_entropy(head.forward(lstm.forward(x)), targets)[0]
+
+        lstm.zero_grad()
+        head.zero_grad()
+        _, d_logits = cross_entropy(head.forward(lstm.forward(x)), targets)
+        dx = lstm.backward(head.backward(d_logits))
+        for name in ("Wx", "Wh", "b"):
+            num = numeric_grad(loss_fn, lstm.params[name])
+            assert np.allclose(lstm.grads[name], num, atol=1e-5), name
+        assert np.allclose(dx, numeric_grad(loss_fn, x), atol=1e-5)
+
+    def test_step_matches_forward(self):
+        rng = np.random.default_rng(9)
+        lstm = LSTM(3, 5, rng)
+        x = rng.normal(size=(1, 6, 3))
+        hs = lstm.forward(x)
+        state = lstm.make_state(1)
+        for t in range(6):
+            h = lstm.step(x[:, t, :], state)
+            assert np.allclose(h, hs[:, t, :], atol=1e-12)
+
+    def test_forget_bias_initialized(self):
+        rng = np.random.default_rng(10)
+        lstm = LSTM(3, 4, rng)
+        assert np.allclose(lstm.params["b"][4:8], 1.0)
+        assert np.allclose(lstm.params["b"][:4], 0.0)
+
+
+class TestOptimizers:
+    def _quadratic_layer(self):
+        rng = np.random.default_rng(11)
+        layer = Dense(2, 1, rng)
+        x = rng.normal(size=(32, 2))  # well-conditioned design matrix
+        y = x @ np.array([[2.0], [-3.0]]) + 1.0
+        return layer, x, y
+
+    def _mse_step(self, layer, x, y):
+        layer.zero_grad()
+        pred = layer.forward(x)
+        d = 2 * (pred - y) / len(x)
+        layer.backward(d)
+        return float(((pred - y) ** 2).mean())
+
+    def test_sgd_converges(self):
+        layer, x, y = self._quadratic_layer()
+        opt = SGD([layer], lr=0.05)
+        first = self._mse_step(layer, x, y)
+        opt.step()
+        for _ in range(1500):
+            self._mse_step(layer, x, y)
+            opt.step()
+        final = self._mse_step(layer, x, y)
+        assert final < 1e-3 < first
+
+    def test_sgd_momentum_converges(self):
+        layer, x, y = self._quadratic_layer()
+        opt = SGD([layer], lr=0.02, momentum=0.9)
+        for _ in range(300):
+            self._mse_step(layer, x, y)
+            opt.step()
+        assert self._mse_step(layer, x, y) < 1e-3
+
+    def test_adam_converges(self):
+        layer, x, y = self._quadratic_layer()
+        opt = Adam([layer], lr=0.05)
+        for _ in range(400):
+            self._mse_step(layer, x, y)
+            opt.step()
+        assert self._mse_step(layer, x, y) < 1e-3
+
+    def test_clip_gradients(self):
+        rng = np.random.default_rng(12)
+        layer = Dense(3, 3, rng)
+        layer.zero_grad()
+        layer.grads["W"] += 100.0
+        norm = clip_gradients([layer], max_norm=1.0)
+        assert norm > 1.0
+        total = float(sum((g * g).sum() for g in layer.grads.values()))
+        assert np.sqrt(total) == pytest.approx(1.0, rel=1e-6)

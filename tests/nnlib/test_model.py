@@ -1,0 +1,89 @@
+"""Tests for the next-token LSTM model."""
+
+import numpy as np
+import pytest
+
+from repro.nnlib import NextTokenLSTM
+from repro.nnlib.model import _windows
+
+
+class TestWindows:
+    def test_exact_windows(self):
+        out = _windows([[1, 2, 3, 4]], window=3)
+        assert out == [([1, 2, 3], [2, 3, 4])]
+
+    def test_sliding(self):
+        out = _windows([[1, 2, 3, 4, 5]], window=3)
+        assert ([1, 2, 3], [2, 3, 4]) in out
+        assert ([2, 3, 4], [3, 4, 5]) in out
+
+    def test_padding_short_sequences(self):
+        out = _windows([[1, 2], [5, 6, 7, 8]], window=None)
+        widths = {len(i) for i, _t in out}
+        assert widths == {3}
+        padded = [pair for pair in out if pair[0][0] == 1][0]
+        assert padded == ([1, 2, 2], [2, 2, 2])
+
+    def test_degenerate_filtered(self):
+        assert _windows([[1]], window=None) == []
+
+
+class TestTraining:
+    def test_learns_deterministic_chain(self):
+        # One unambiguous sequence: the model must learn each transition.
+        chain = [0, 1, 2, 3, 4, 5]
+        model = NextTokenLSTM(vocab=6, embed_dim=8, hidden=16, seed=3)
+        stats = model.fit([chain], epochs=150, lr=0.01, seed=3)
+        assert stats.final_loss < 0.1
+        assert stats.losses[0] > stats.final_loss
+        states = model.make_states()
+        for current, nxt in zip(chain[:-1], chain[1:]):
+            top = model.predict_topk(current, states, k=1)
+            assert top == [nxt]
+
+    def test_learns_branching_with_topk(self):
+        # 0→1 and 0→2 both occur; top-2 after 9,0 must contain both.
+        seqs = [[9, 0, 1, 3], [9, 0, 2, 4]] * 3
+        model = NextTokenLSTM(vocab=10, embed_dim=8, hidden=16, seed=4)
+        model.fit(seqs, epochs=150, lr=0.01, seed=4)
+        states = model.make_states()
+        model.step_logits(9, states)
+        top2 = model.predict_topk(0, states, k=2)
+        assert set(top2) == {1, 2}
+
+    def test_sequence_probability_ranks_seen_over_unseen(self):
+        seqs = [[0, 1, 2, 3]] * 4
+        model = NextTokenLSTM(vocab=6, embed_dim=8, hidden=12, seed=5)
+        model.fit(seqs, epochs=120, lr=0.01, seed=5)
+        seen = model.sequence_probability([0, 1, 2, 3])
+        unseen = model.sequence_probability([0, 3, 1, 5])
+        assert seen > unseen
+
+    def test_empty_input_rejected(self):
+        model = NextTokenLSTM(vocab=4)
+        with pytest.raises(ValueError):
+            model.fit([[1]])
+
+    def test_tiny_vocab_rejected(self):
+        with pytest.raises(ValueError):
+            NextTokenLSTM(vocab=1)
+
+    def test_n_params_positive_and_scales(self):
+        small = NextTokenLSTM(vocab=10, embed_dim=4, hidden=8)
+        big = NextTokenLSTM(vocab=10, embed_dim=8, hidden=32, layers=2)
+        assert 0 < small.n_params() < big.n_params()
+
+    def test_stateful_step_is_deterministic(self):
+        model = NextTokenLSTM(vocab=8, seed=6)
+        s1, s2 = model.make_states(), model.make_states()
+        a = model.step_logits(3, s1)
+        b = model.step_logits(3, s2)
+        assert np.allclose(a, b)
+
+    def test_training_reproducible(self):
+        seqs = [[0, 1, 2], [2, 1, 0]]
+        m1 = NextTokenLSTM(vocab=4, seed=7)
+        m2 = NextTokenLSTM(vocab=4, seed=7)
+        l1 = m1.fit(seqs, epochs=5, seed=7).losses
+        l2 = m2.fit(seqs, epochs=5, seed=7).losses
+        assert l1 == l2

@@ -1,0 +1,73 @@
+"""Tests for NULLABLE / FIRST / FOLLOW computations."""
+
+from repro.parsegen import END, Grammar, first_sets, follow_sets, nullable_set
+from repro.parsegen.cfg import AugmentedGrammar
+
+
+def dragon_grammar():
+    """The expression grammar from the Dragon book (4.28)."""
+    g = Grammar("E")
+    g.add("E", ["T", "E'"])
+    g.add("E'", ["+", "T", "E'"])
+    g.add("E'", [])
+    g.add("T", ["F", "T'"])
+    g.add("T'", ["*", "F", "T'"])
+    g.add("T'", [])
+    g.add("F", ["(", "E", ")"])
+    g.add("F", ["id"])
+    return g
+
+
+class TestNullable:
+    def test_dragon(self):
+        nullable = nullable_set(dragon_grammar())
+        assert nullable == {"E'", "T'"}
+
+    def test_transitively_nullable(self):
+        g = Grammar("S")
+        g.add("S", ["A", "B"])
+        g.add("A", [])
+        g.add("B", ["A", "A"])
+        assert nullable_set(g) == {"S", "A", "B"}
+
+    def test_nothing_nullable(self):
+        g = Grammar("S")
+        g.add("S", ["a"])
+        assert nullable_set(g) == frozenset()
+
+
+class TestFirst:
+    def test_dragon(self):
+        first = first_sets(dragon_grammar())
+        assert first["E"] == {"(", "id"}
+        assert first["T"] == {"(", "id"}
+        assert first["F"] == {"(", "id"}
+        assert first["E'"] == {"+"}
+        assert first["T'"] == {"*"}
+
+    def test_terminal_first_is_itself(self):
+        first = first_sets(dragon_grammar())
+        assert first["id"] == {"id"}
+
+    def test_first_through_nullable(self):
+        g = Grammar("S")
+        g.add("S", ["A", "b"])
+        g.add("A", ["a"])
+        g.add("A", [])
+        first = first_sets(g)
+        assert first["S"] == {"a", "b"}
+
+
+class TestFollow:
+    def test_dragon(self):
+        follow = follow_sets(dragon_grammar())
+        assert follow["E"] == {")", END}
+        assert follow["E'"] == {")", END}
+        assert follow["T"] == {"+", ")", END}
+        assert follow["T'"] == {"+", ")", END}
+        assert follow["F"] == {"+", "*", ")", END}
+
+    def test_follow_on_augmented(self):
+        aug = AugmentedGrammar.of(dragon_grammar())
+        follow = follow_sets(aug)
+        assert END in follow["E"]

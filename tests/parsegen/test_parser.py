@@ -1,0 +1,238 @@
+"""End-to-end LALR(1) parser generator tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parsegen import (
+    ConflictError,
+    FeedResult,
+    Grammar,
+    GrammarError,
+    LRParser,
+    ParseError,
+    StreamingParser,
+    build_tables,
+)
+
+
+def expression_grammar():
+    """LALR expression grammar with evaluating semantic actions."""
+    g = Grammar("E")
+    g.add("E", ["E", "+", "T"], action=lambda v: v[0] + v[2])
+    g.add("E", ["E", "-", "T"], action=lambda v: v[0] - v[2])
+    g.add("E", ["T"], action=lambda v: v[0])
+    g.add("T", ["T", "*", "F"], action=lambda v: v[0] * v[2])
+    g.add("T", ["F"], action=lambda v: v[0])
+    g.add("F", ["(", "E", ")"], action=lambda v: v[1])
+    g.add("F", ["num"], action=lambda v: v[0])
+    return g
+
+
+def tokenize_expr(text):
+    out = []
+    for part in text.split():
+        if part.isdigit():
+            out.append(("num", int(part)))
+        else:
+            out.append((part, part))
+    return out
+
+
+@pytest.fixture(scope="module")
+def expr_parser():
+    return LRParser(build_tables(expression_grammar()))
+
+
+class TestExpressionParsing:
+    @pytest.mark.parametrize(
+        "text,value",
+        [
+            ("1", 1),
+            ("1 + 2", 3),
+            ("2 * 3 + 4", 10),
+            ("2 + 3 * 4", 14),
+            ("( 2 + 3 ) * 4", 20),
+            ("10 - 2 - 3", 5),  # left associativity
+            ("2 * ( 3 + 4 ) * 5", 70),
+        ],
+    )
+    def test_evaluates(self, expr_parser, text, value):
+        assert expr_parser.parse(tokenize_expr(text)) == value
+
+    @pytest.mark.parametrize("text", ["+", "1 +", "( 1", "1 2", ") 1", ""])
+    def test_rejects(self, expr_parser, text):
+        with pytest.raises(ParseError):
+            expr_parser.parse(tokenize_expr(text))
+
+    def test_error_reports_expected(self, expr_parser):
+        with pytest.raises(ParseError) as exc_info:
+            expr_parser.parse(tokenize_expr("1 + +"))
+        assert "num" in exc_info.value.expected
+        assert "(" in exc_info.value.expected
+
+
+class TestGrammarValidation:
+    def test_undefined_start(self):
+        with pytest.raises(GrammarError):
+            build_tables(Grammar("S"))
+
+    def test_unreachable_nonterminal(self):
+        g = Grammar("S")
+        g.add("S", ["a"])
+        g.add("X", ["b"])
+        with pytest.raises(GrammarError, match="unreachable"):
+            build_tables(g)
+
+    def test_reserved_symbols_rejected(self):
+        g = Grammar("S")
+        with pytest.raises(GrammarError):
+            g.add("S", ["$end"])
+        with pytest.raises(GrammarError):
+            g.add("$accept", ["a"])
+
+
+class TestConflicts:
+    def test_dangling_else_conflict(self):
+        g = Grammar("S")
+        g.add("S", ["if", "S"])
+        g.add("S", ["if", "S", "else", "S"])
+        g.add("S", ["x"])
+        with pytest.raises(ConflictError) as exc_info:
+            build_tables(g)
+        assert any(c.kind == "shift/reduce" for c in exc_info.value.conflicts)
+
+    def test_dangling_else_prefer_shift(self):
+        g = Grammar("S")
+        g.add("S", ["if", "S"], action=lambda v: ("if", v[1]))
+        g.add("S", ["if", "S", "else", "S"], action=lambda v: ("ifelse", v[1], v[3]))
+        g.add("S", ["x"], action=lambda v: "x")
+        tables = build_tables(g, prefer_shift=True)
+        parser = LRParser(tables)
+        # else binds to the nearest if, bison-style.
+        result = parser.parse([(t, t) for t in ["if", "if", "x", "else", "x"]])
+        assert result == ("if", ("ifelse", "x", "x"))
+
+    def test_reduce_reduce_conflict(self):
+        g = Grammar("S")
+        g.add("S", ["A"])
+        g.add("S", ["B"])
+        g.add("A", ["x"])
+        g.add("B", ["x"])
+        with pytest.raises(ConflictError) as exc_info:
+            build_tables(g)
+        assert any(c.kind == "reduce/reduce" for c in exc_info.value.conflicts)
+
+    def test_lalr_but_not_slr_grammar(self):
+        # Classic grammar that is LALR(1) but not SLR(1) (Dragon 4.48-ish).
+        g = Grammar("S")
+        g.add("S", ["L", "=", "R"])
+        g.add("S", ["R"])
+        g.add("L", ["*", "R"])
+        g.add("L", ["id"])
+        g.add("R", ["L"])
+        tables = build_tables(g)  # must not raise
+        parser = LRParser(tables)
+        parser.parse([(t, t) for t in ["id", "=", "*", "id"]])
+        parser.parse([(t, t) for t in ["*", "*", "id"]])
+
+
+class TestStreamingParser:
+    def test_feed_and_finish(self):
+        tables = build_tables(expression_grammar())
+        sp = StreamingParser(tables)
+        for terminal, value in tokenize_expr("1 + 2 * 3"):
+            assert sp.feed(terminal, value) is FeedResult.SHIFTED
+        assert sp.finish() == 7
+
+    def test_rejection_is_nondestructive(self):
+        tables = build_tables(expression_grammar())
+        sp = StreamingParser(tables)
+        sp.feed("num", 5)
+        depth_before = sp.depth
+        assert sp.feed(")", ")") is FeedResult.ERROR
+        assert sp.depth == depth_before
+        # Parser still usable after rejection.
+        assert sp.feed("+", "+") is FeedResult.SHIFTED
+        sp.feed("num", 3)
+        assert sp.finish() == 8
+
+    def test_would_accept(self):
+        tables = build_tables(expression_grammar())
+        sp = StreamingParser(tables)
+        assert sp.would_accept("num")
+        assert sp.would_accept("(")
+        assert not sp.would_accept("+")
+        sp.feed("num", 1)
+        assert sp.would_accept("+")
+        assert not sp.would_accept("num")
+
+    def test_reset(self):
+        tables = build_tables(expression_grammar())
+        sp = StreamingParser(tables)
+        sp.feed("num", 1)
+        sp.feed("+", "+")
+        sp.reset()
+        assert sp.depth == 0
+        sp.feed("num", 9)
+        assert sp.finish() == 9
+
+    def test_feed_after_accept_errors(self):
+        tables = build_tables(expression_grammar())
+        sp = StreamingParser(tables)
+        sp.feed("num", 1)
+        sp.finish()
+        assert sp.accepted
+        assert sp.feed("num", 2) is FeedResult.ERROR
+
+    def test_finish_on_incomplete_raises(self):
+        tables = build_tables(expression_grammar())
+        sp = StreamingParser(tables)
+        sp.feed("num", 1)
+        sp.feed("+", "+")
+        with pytest.raises(ParseError):
+            sp.finish()
+
+
+class TestChainGrammars:
+    """Grammar shapes that Aarohi generates: flat token chains."""
+
+    def test_single_chain(self):
+        g = Grammar("FC")
+        g.add("FC", ["t1", "t2", "t3"], action=lambda v: tuple(v))
+        parser = LRParser(build_tables(g))
+        assert parser.parse([(t, t) for t in ["t1", "t2", "t3"]]) == ("t1", "t2", "t3")
+
+    def test_alternative_chains_with_shared_prefix(self):
+        # FC1: 176 177 178 179 180 137 / FC5: 172 177 178 193 137 (Table IV)
+        g = Grammar("FC")
+        g.add("FC", ["176", "C1", "137"], action=lambda v: "FC1")
+        g.add("FC", ["172", "C2", "137"], action=lambda v: "FC5")
+        g.add("C1", ["B", "179", "180"])
+        g.add("C2", ["B", "193"])
+        g.add("B", ["177", "178"])
+        parser = LRParser(build_tables(g))
+        assert parser.parse([(t, t) for t in "176 177 178 179 180 137".split()]) == "FC1"
+        assert parser.parse([(t, t) for t in "172 177 178 193 137".split()]) == "FC5"
+
+    def test_long_chain(self):
+        g = Grammar("FC")
+        symbols = [f"t{i}" for i in range(500)]
+        g.add("FC", symbols)
+        parser = LRParser(build_tables(g))
+        parser.parse([(s, s) for s in symbols])
+
+    def test_many_chains(self):
+        g = Grammar("FC")
+        for c in range(40):
+            g.add("FC", [f"c{c}_t{i}" for i in range(12)], action=lambda v, c=c: c)
+        parser = LRParser(build_tables(g))
+        assert parser.parse([(f"c7_t{i}", None) for i in range(12)]) == 7
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 50), st.integers(0, 50), st.integers(0, 50))
+def test_arith_matches_python(a, b, c):
+    parser = LRParser(build_tables(expression_grammar()))
+    text = f"{a} + {b} * {c}"
+    assert parser.parse(tokenize_expr(text)) == a + b * c

@@ -1,0 +1,110 @@
+"""Additional runtime/table tests: conflicts rendering, action strings,
+table statistics, nullable-heavy grammars, deep stacks."""
+
+import pytest
+
+from repro.parsegen import (
+    Action,
+    ActionKind,
+    ConflictError,
+    Grammar,
+    LRParser,
+    StreamingParser,
+    build_tables,
+)
+
+
+class TestActionRepr:
+    def test_strings(self):
+        assert str(Action(ActionKind.SHIFT, 7)) == "s7"
+        assert str(Action(ActionKind.REDUCE, 3)) == "r3"
+        assert str(Action(ActionKind.ACCEPT)) == "acc"
+
+
+class TestConflictReporting:
+    def test_conflict_message_contains_items(self):
+        g = Grammar("S")
+        g.add("S", ["if", "S"])
+        g.add("S", ["if", "S", "else", "S"])
+        g.add("S", ["x"])
+        with pytest.raises(ConflictError) as exc_info:
+            build_tables(g)
+        message = str(exc_info.value)
+        assert "shift/reduce" in message
+        assert "•" in message  # item dump present
+        assert "else" in message
+
+    def test_conflicts_recorded_when_resolved(self):
+        g = Grammar("S")
+        g.add("S", ["if", "S"])
+        g.add("S", ["if", "S", "else", "S"])
+        g.add("S", ["x"])
+        tables = build_tables(g, prefer_shift=True)
+        assert len(tables.conflicts) == 1
+        assert tables.conflicts[0].kind == "shift/reduce"
+
+
+class TestNullableHeavyGrammars:
+    def test_all_nullable(self):
+        g = Grammar("S")
+        g.add("S", ["A", "B", "C"], action=lambda v: "".join(filter(None, v)))
+        g.add("A", ["a"], action=lambda v: "a")
+        g.add("A", [], action=lambda v: "")
+        g.add("B", ["b"], action=lambda v: "b")
+        g.add("B", [], action=lambda v: "")
+        g.add("C", ["c"], action=lambda v: "c")
+        g.add("C", [], action=lambda v: "")
+        parser = LRParser(build_tables(g))
+        assert parser.parse([]) == ""
+        assert parser.parse([("b", "b")]) == "b"
+        assert parser.parse([("a", "a"), ("c", "c")]) == "ac"
+
+    def test_nested_epsilon(self):
+        g = Grammar("S")
+        g.add("S", ["X", "end"])
+        g.add("X", ["X", "item"])
+        g.add("X", [])
+        parser = LRParser(build_tables(g))
+        parser.parse([("end", None)])
+        parser.parse([("item", None)] * 5 + [("end", None)])
+
+
+class TestDeepStacks:
+    def test_right_recursion_deep(self):
+        g = Grammar("L")
+        g.add("L", ["x", "L"], action=lambda v: v[1] + 1)
+        g.add("L", ["x"], action=lambda v: 1)
+        parser = LRParser(build_tables(g))
+        n = 3000
+        assert parser.parse([("x", None)] * n) == n
+
+    def test_left_recursion_constant_stack(self):
+        g = Grammar("L")
+        g.add("L", ["L", "x"], action=lambda v: v[0] + 1)
+        g.add("L", ["x"], action=lambda v: 1)
+        tables = build_tables(g)
+        sp = StreamingParser(tables)
+        for _ in range(5000):
+            sp.feed("x", None)
+        assert sp.depth <= 2  # left recursion reduces eagerly
+        assert sp.finish() == 5000
+
+
+class TestTableStats:
+    def test_stats_shape(self):
+        g = Grammar("S")
+        g.add("S", ["a", "S"])
+        g.add("S", ["b"])
+        stats = build_tables(g).stats()
+        assert stats["productions"] == 3  # incl. $accept
+        assert stats["terminals"] == 3  # a, b, $end
+        assert stats["nonterminals"] == 2  # S, $accept
+        assert stats["states"] >= 4
+        assert stats["action_entries"] > 0
+
+    def test_expected_terminals_sorted(self):
+        g = Grammar("S")
+        g.add("S", ["z"])
+        g.add("S", ["a"])
+        tables = build_tables(g)
+        assert tables.expected_terminals(0) == ["a", "z"]

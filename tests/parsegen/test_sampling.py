@@ -1,0 +1,99 @@
+"""Generative round-trip tests: sampled sentences must parse."""
+
+import numpy as np
+import pytest
+
+from repro.parsegen import Grammar, LRParser, build_tables, parse_grammar
+from repro.parsegen.sampling import (
+    UnproductiveGrammarError,
+    sample_sentence,
+    sample_sentences,
+)
+
+
+GRAMMAR_TEXTS = [
+    # Arithmetic expressions.
+    """
+    E : E '+' T | T ;
+    T : T '*' F | F ;
+    F : '(' E ')' | num ;
+    """,
+    # Balanced parens with epsilon.
+    """
+    S : '(' S ')' S | ;
+    """,
+    # Lists.
+    """
+    List : List ',' item | item ;
+    """,
+    # Statements with nesting.
+    """
+    Stmt : 'if' Expr 'then' Stmt 'else' Stmt | 'print' Expr ;
+    Expr : Expr 'or' Term | Term ;
+    Term : 'true' | 'false' ;
+    """,
+]
+
+
+@pytest.mark.parametrize("text", GRAMMAR_TEXTS)
+def test_sampled_sentences_parse(text):
+    grammar = parse_grammar(text)
+    parser = LRParser(build_tables(grammar, prefer_shift=True))
+    for sentence in sample_sentences(grammar, 40, seed=5):
+        parser.parse([(t, t) for t in sentence])
+
+
+def test_sampling_is_seeded(gram_text=GRAMMAR_TEXTS[0]):
+    grammar = parse_grammar(gram_text)
+    a = sample_sentences(grammar, 10, seed=3)
+    b = sample_sentences(grammar, 10, seed=3)
+    assert a == b
+
+
+def test_sampling_variety():
+    grammar = parse_grammar(GRAMMAR_TEXTS[0])
+    sentences = sample_sentences(grammar, 50, seed=1)
+    assert len({tuple(s) for s in sentences}) > 5
+
+
+def test_depth_bound_terminates():
+    # Heavily recursive grammar still terminates quickly.
+    grammar = parse_grammar("S : S S 'x' | 'x' ;")
+    rng = np.random.default_rng(0)
+    for _ in range(20):
+        sentence = sample_sentence(grammar, rng, soft_depth=6)
+        assert sentence.count("x") == len(sentence)
+
+
+def test_unproductive_grammar_detected():
+    g = Grammar("S")
+    g.add("S", ["S", "x"])  # no base case: derives nothing
+    with pytest.raises(UnproductiveGrammarError):
+        sample_sentence(g, np.random.default_rng(0))
+
+
+def test_max_tokens_caps_length():
+    grammar = parse_grammar("S : '(' S ')' S | ;")
+    rng = np.random.default_rng(7)
+    sentence = sample_sentence(grammar, rng, soft_depth=40, max_tokens=50)
+    # May exceed slightly while finishing minimally, but stays bounded.
+    assert len(sentence) < 500
+    # And it still parses.
+    parser = LRParser(build_tables(grammar, prefer_shift=True))
+    parser.parse([(t, t) for t in sentence])
+
+
+def test_chain_grammar_roundtrip():
+    """The Aarohi-generated chain grammars round-trip too."""
+    from repro.core import ChainSet, FailureChain, build_rules
+    from repro.core.grammar_builder import flat_grammar
+
+    chains = ChainSet([
+        FailureChain("A", (1, 2, 3)),
+        FailureChain("B", (4, 2, 5, 6)),
+    ])
+    grammar = flat_grammar(build_rules(chains, factor=False))
+    parser = LRParser(build_tables(grammar, prefer_shift=True))
+    for sentence in sample_sentences(grammar, 10, seed=2):
+        chain_id = parser.parse([(t, int(t)) for t in sentence])
+        assert chain_id in ("A", "B")

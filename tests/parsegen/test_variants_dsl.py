@@ -1,0 +1,145 @@
+"""Tests for SLR/canonical-LR variants and the grammar DSL."""
+
+import pytest
+
+from repro.parsegen import ConflictError, Grammar, LRParser, build_tables
+from repro.parsegen.dsl import GrammarSyntaxError, format_grammar, parse_grammar
+from repro.parsegen.variants import build_canonical_lr1_tables, build_slr_tables
+
+
+def expr_text():
+    return """
+    %start E
+    E : E '+' T | T ;
+    T : T '*' F | F ;
+    F : '(' E ')' | num ;
+    """
+
+
+def lalr_not_slr():
+    # Dragon-book grammar: LALR(1) but not SLR(1).
+    g = Grammar("S")
+    g.add("S", ["L", "=", "R"])
+    g.add("S", ["R"])
+    g.add("L", ["*", "R"])
+    g.add("L", ["id"])
+    g.add("R", ["L"])
+    return g
+
+
+def lr1_not_lalr():
+    # Classic LR(1)-but-not-LALR(1) grammar (reduce/reduce after merge).
+    g = Grammar("S")
+    g.add("S", ["a", "A", "d"])
+    g.add("S", ["b", "B", "d"])
+    g.add("S", ["a", "B", "e"])
+    g.add("S", ["b", "A", "e"])
+    g.add("A", ["c"])
+    g.add("B", ["c"])
+    return g
+
+
+class TestDSL:
+    def test_parse_expression_grammar(self):
+        g = parse_grammar(expr_text())
+        assert g.start == "E"
+        assert len(g.productions) == 6
+        assert g.terminals == {"+", "*", "(", ")", "num"}
+
+    def test_parsed_grammar_builds_working_parser(self):
+        g = parse_grammar(expr_text())
+        parser = LRParser(build_tables(g))
+        parser.parse([(t, t) for t in ["num", "+", "num", "*", "num"]])
+
+    def test_default_start_is_first_rule(self):
+        g = parse_grammar("A : 'x' B ; B : 'y' ;")
+        assert g.start == "A"
+
+    def test_epsilon_alternatives(self):
+        g = parse_grammar("S : 'a' S | ;")
+        parser = LRParser(build_tables(g))
+        parser.parse([])
+        parser.parse([("a", "a"), ("a", "a")])
+
+    def test_comments_ignored(self):
+        g = parse_grammar("# header\nS : 'x' ; # trailing\n")
+        assert len(g.productions) == 1
+
+    @pytest.mark.parametrize("bad", [
+        "", "S 'x' ;", "S : 'x'", ": 'x' ;", "%start\nS : 'x' ;",
+    ])
+    def test_syntax_errors(self, bad):
+        with pytest.raises(GrammarSyntaxError):
+            parse_grammar(bad)
+
+    def test_undefined_start_rejected(self):
+        with pytest.raises(GrammarSyntaxError):
+            parse_grammar("%start Missing\nS : 'x' ;")
+
+    def test_roundtrip(self):
+        g = parse_grammar(expr_text())
+        text = format_grammar(g)
+        g2 = parse_grammar(text)
+        assert [(p.lhs, p.rhs) for p in g.productions] == \
+               [(p.lhs, p.rhs) for p in g2.productions]
+        assert g.start == g2.start
+
+
+class TestSLR:
+    def test_slr_handles_expression_grammar(self):
+        g = parse_grammar(expr_text())
+        parser = LRParser(build_slr_tables(g))
+        parser.parse([(t, t) for t in ["(", "num", ")", "*", "num"]])
+
+    def test_slr_rejects_lalr_grammar(self):
+        with pytest.raises(ConflictError):
+            build_slr_tables(lalr_not_slr())
+
+    def test_lalr_accepts_it(self):
+        build_tables(lalr_not_slr())  # must not raise
+
+
+class TestCanonicalLR1:
+    def test_handles_slr_grammar(self):
+        g = parse_grammar(expr_text())
+        parser = LRParser(build_canonical_lr1_tables(g))
+        parser.parse([(t, t) for t in ["num", "+", "num"]])
+
+    def test_handles_lalr_grammar(self):
+        parser = LRParser(build_canonical_lr1_tables(lalr_not_slr()))
+        parser.parse([(t, t) for t in ["*", "id", "=", "id"]])
+
+    def test_accepts_lr1_but_not_lalr_grammar(self):
+        g = lr1_not_lalr()
+        with pytest.raises(ConflictError):
+            build_tables(g)  # LALR merge creates reduce/reduce
+        parser = LRParser(build_canonical_lr1_tables(g))
+        parser.parse([(t, t) for t in ["a", "c", "d"]])
+        parser.parse([(t, t) for t in ["b", "c", "e"]])
+
+    def test_state_count_ordering(self):
+        # Canonical LR(1) has ≥ as many states as the LR(0)/LALR core.
+        g = parse_grammar(expr_text())
+        lalr = build_tables(g)
+        lr1 = build_canonical_lr1_tables(g)
+        assert lr1.n_states >= lalr.n_states
+
+    def test_same_language_as_lalr(self):
+        g = parse_grammar(expr_text())
+        lalr = LRParser(build_tables(g))
+        lr1 = LRParser(build_canonical_lr1_tables(g))
+        streams = [
+            ["num"], ["num", "+", "num"], ["(", "num", ")"],
+            ["num", "*", "(", "num", "+", "num", ")"],
+        ]
+        for stream in streams:
+            tokens = [(t, t) for t in stream]
+            lalr.parse(tokens)
+            lr1.parse(tokens)
+        from repro.parsegen import ParseError
+        for bad in [["+"], ["num", "num"], ["(", "num"]]:
+            tokens = [(t, t) for t in bad]
+            with pytest.raises(ParseError):
+                lalr.parse(tokens)
+            with pytest.raises(ParseError):
+                lr1.parse(tokens)

@@ -1,0 +1,179 @@
+"""Unit and property tests for interval-based character sets."""
+
+import string
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.regexlib.charset import (
+    DIGITS,
+    DOT,
+    MAX_CODEPOINT,
+    SPACE,
+    WORD,
+    CharSet,
+    partition_alphabet,
+)
+
+
+def small_charsets():
+    interval = st.tuples(
+        st.integers(0, 300), st.integers(0, 300)
+    ).map(lambda t: (min(t), max(t)))
+    return st.lists(interval, max_size=6).map(CharSet)
+
+
+class TestBasics:
+    def test_single(self):
+        cs = CharSet.single("a")
+        assert "a" in cs and "b" not in cs
+        assert len(cs) == 1
+
+    def test_range(self):
+        cs = CharSet.range("a", "f")
+        assert all(c in cs for c in "abcdef")
+        assert "g" not in cs
+        assert len(cs) == 6
+
+    def test_of(self):
+        cs = CharSet.of("xyz")
+        assert all(c in cs for c in "xyz")
+        assert "w" not in cs
+
+    def test_inverted_range_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            CharSet.range("z", "a")
+
+    def test_normalization_merges_adjacent(self):
+        cs = CharSet([(97, 99), (100, 105)])
+        assert cs.intervals == ((97, 105),)
+
+    def test_normalization_merges_overlapping(self):
+        cs = CharSet([(10, 50), (30, 70), (60, 80)])
+        assert cs.intervals == ((10, 80),)
+
+    def test_empty(self):
+        assert not CharSet.empty()
+        assert len(CharSet.empty()) == 0
+
+    def test_full(self):
+        assert len(CharSet.full()) == MAX_CODEPOINT + 1
+
+    def test_iteration(self):
+        assert list(CharSet.range("a", "c")) == [97, 98, 99]
+
+    def test_equality_and_hash(self):
+        a = CharSet.range("a", "c")
+        b = CharSet([(97, 97), (98, 99)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_immutable(self):
+        import pytest
+
+        with pytest.raises(AttributeError):
+            CharSet.single("a").intervals = ()
+
+
+class TestAlgebra:
+    def test_union(self):
+        cs = CharSet.range("a", "c") | CharSet.range("x", "z")
+        assert "b" in cs and "y" in cs and "m" not in cs
+
+    def test_intersect(self):
+        cs = CharSet.range("a", "m") & CharSet.range("g", "z")
+        assert cs == CharSet.range("g", "m")
+
+    def test_difference(self):
+        cs = CharSet.range("a", "z") - CharSet.range("d", "f")
+        assert "c" in cs and "d" not in cs and "g" in cs
+
+    def test_complement_roundtrip(self):
+        cs = CharSet.range("a", "z")
+        assert cs.complement().complement() == cs
+
+    def test_complement_of_empty_is_full(self):
+        assert CharSet.empty().complement() == CharSet.full()
+
+    def test_overlaps(self):
+        assert CharSet.range("a", "m").overlaps(CharSet.range("m", "z"))
+        assert not CharSet.range("a", "c").overlaps(CharSet.range("x", "z"))
+
+    @given(small_charsets(), small_charsets())
+    def test_union_membership(self, a, b):
+        union = a | b
+        for cp in range(0, 301, 7):
+            assert union.contains_cp(cp) == (a.contains_cp(cp) or b.contains_cp(cp))
+
+    @given(small_charsets(), small_charsets())
+    def test_intersection_membership(self, a, b):
+        inter = a & b
+        for cp in range(0, 301, 7):
+            assert inter.contains_cp(cp) == (a.contains_cp(cp) and b.contains_cp(cp))
+
+    @given(small_charsets())
+    def test_complement_membership(self, a):
+        comp = a.complement()
+        for cp in range(0, 301, 7):
+            assert comp.contains_cp(cp) != a.contains_cp(cp)
+
+    @given(small_charsets(), small_charsets())
+    def test_demorgan(self, a, b):
+        assert (a | b).complement() == a.complement() & b.complement()
+
+
+class TestNamedClasses:
+    def test_digits(self):
+        assert all(c in DIGITS for c in string.digits)
+        assert "a" not in DIGITS
+
+    def test_word(self):
+        assert all(c in WORD for c in string.ascii_letters + string.digits + "_")
+        assert "-" not in WORD
+
+    def test_space(self):
+        assert all(c in SPACE for c in " \t\r\n")
+        assert "a" not in SPACE
+
+    def test_dot_excludes_newline(self):
+        assert "\n" not in DOT
+        assert "a" in DOT and " " in DOT
+
+
+class TestPartition:
+    def test_empty_input(self):
+        assert partition_alphabet([]) == []
+
+    def test_disjoint_sets_kept(self):
+        blocks = partition_alphabet([CharSet.range("a", "c"), CharSet.range("x", "z")])
+        assert len(blocks) == 2
+
+    def test_overlap_split(self):
+        a = CharSet.range("a", "m")
+        b = CharSet.range("g", "z")
+        blocks = partition_alphabet([a, b])
+        # a-only, overlap, b-only
+        assert len(blocks) == 3
+        for block in blocks:
+            # Every block is fully inside or outside each input set.
+            in_a = [a.contains_cp(cp) for cp in block]
+            in_b = [b.contains_cp(cp) for cp in block]
+            assert len(set(in_a)) == 1 and len(set(in_b)) == 1
+
+    @given(st.lists(small_charsets(), min_size=1, max_size=5))
+    def test_partition_is_disjoint_and_covering(self, sets):
+        blocks = partition_alphabet(sets)
+        # Disjoint
+        for i, x in enumerate(blocks):
+            for y in blocks[i + 1 :]:
+                assert not x.overlaps(y)
+        # Each input set is the union of some blocks
+        for cs in sets:
+            covered = CharSet.empty()
+            for block in blocks:
+                if cs.overlaps(block):
+                    assert block - cs == CharSet.empty()  # block inside cs
+                    covered = covered | block
+            assert covered == cs

@@ -1,0 +1,167 @@
+"""End-to-end tests of the regex engine against Python's ``re``."""
+
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import regexlib
+from repro.regexlib.parser import RegexSyntaxError
+
+
+CASES = [
+    ("abc", ["abc"], ["ab", "abcd", ""]),
+    ("a|b", ["a", "b"], ["c", "ab", ""]),
+    ("a*", ["", "a", "aaaa"], ["b", "ab"]),
+    ("a+", ["a", "aaa"], ["", "b"]),
+    ("a?b", ["b", "ab"], ["aab", "a"]),
+    ("(ab)+", ["ab", "abab"], ["", "aba"]),
+    ("[abc]+", ["a", "cab"], ["", "d", "abd"]),
+    ("[^abc]", ["d", "z", " "], ["a", "b", "c", ""]),
+    ("[a-z0-9]+", ["abc123"], ["ABC", ""]),
+    ("a{3}", ["aaa"], ["aa", "aaaa"]),
+    ("a{2,4}", ["aa", "aaa", "aaaa"], ["a", "aaaaa"]),
+    ("a{2,}", ["aa", "aaaaaa"], ["a", ""]),
+    (r"\d+", ["0", "42", "12345"], ["", "a", "4a"]),
+    (r"\w+", ["abc_123"], ["", "a b"]),
+    (r"\s", [" ", "\t", "\n"], ["a", ""]),
+    (r"\.", ["."], ["a"]),
+    (r"a\\b", ["a\\b"], ["ab"]),
+    (".", ["a", " ", "."], ["\n", "", "ab"]),
+    (".*", ["", "anything here"], ["line\nbreak"]),
+    ("(a|b)*c", ["c", "abbac"], ["ab", ""]),
+    ("x(yz|w)+", ["xyz", "xwyzw"], ["x", "yzw"]),
+    (r"0x[0-9a-fA-F]+", ["0x1f", "0xDEAD"], ["0x", "1f"]),
+    (r"c\d+-\d+c\d+s\d+n\d+", ["c0-0c2s0n2", "c12-3c0s7n1"], ["c0-0", "n2"]),
+]
+
+
+@pytest.mark.parametrize("pattern,accepted,rejected", CASES)
+def test_fullmatch_table(pattern, accepted, rejected):
+    rx = regexlib.compile(pattern)
+    for text in accepted:
+        assert rx.fullmatch(text), f"{pattern!r} should match {text!r}"
+    for text in rejected:
+        assert not rx.fullmatch(text), f"{pattern!r} should not match {text!r}"
+
+
+@pytest.mark.parametrize("pattern,accepted,rejected", CASES)
+def test_matches_stdlib(pattern, accepted, rejected):
+    """Our engine agrees with CPython's re on every table entry."""
+    rx = regexlib.compile(pattern)
+    std = re.compile(pattern)
+    for text in accepted + rejected:
+        assert rx.fullmatch(text) == bool(std.fullmatch(text))
+
+
+def test_longest_match_prefix():
+    rx = regexlib.compile("a+")
+    assert rx.match_prefix("aaab") == (0, 3)
+    assert rx.match_prefix("baaa") is None
+    assert rx.match_prefix("baaa", 1) == (1, 4)
+
+
+def test_search():
+    rx = regexlib.compile(r"\d+")
+    assert rx.search("abc 123 xyz") == (4, 7)
+    assert rx.search("no digits") is None
+
+
+def test_search_nullable_pattern_returns_empty_at_start():
+    rx = regexlib.compile("a*")
+    assert rx.search("bbb") == (0, 0)
+
+
+def test_unminimized_equivalent():
+    pattern = "(ab|ac)*ad"
+    mini = regexlib.compile(pattern)
+    full = regexlib.compile(pattern, minimized=False)
+    for text in ["ad", "abad", "acabad", "ab", "", "abab"]:
+        assert mini.fullmatch(text) == full.fullmatch(text)
+    assert mini.dfa.n_states <= full.dfa.n_states
+
+
+def test_minimization_reduces_states():
+    # (a|b)*abb is the textbook example with redundant subset states.
+    pattern = "(a|b)*abb"
+    full = regexlib.compile(pattern, minimized=False)
+    mini = regexlib.compile(pattern)
+    assert mini.dfa.n_states <= full.dfa.n_states
+    assert mini.dfa.n_states == 4  # classic minimal DFA
+
+
+@pytest.mark.parametrize(
+    "bad",
+    ["(", ")", "[", "a{2,1}", "*a", "+", "a|*", r"\q", "[z-a]", "(?", "[]"],
+)
+def test_syntax_errors(bad):
+    with pytest.raises(RegexSyntaxError):
+        regexlib.compile(bad)
+
+
+def test_class_range_endpoint_class_rejected():
+    with pytest.raises(RegexSyntaxError):
+        regexlib.compile(r"[a-\d]")
+
+
+def test_literal_brace_without_quantifier():
+    rx = regexlib.compile("a{x")
+    assert rx.fullmatch("a{x")
+
+
+def test_escapes():
+    rx = regexlib.compile(r"\x41B\n\t")
+    assert rx.fullmatch("AB\n\t")
+
+
+def test_caret_inside_class_nonleading_is_literal():
+    rx = regexlib.compile("[a^]")
+    assert rx.fullmatch("^") and rx.fullmatch("a")
+    assert not rx.fullmatch("b")
+
+
+def test_dash_trailing_in_class_is_literal():
+    rx = regexlib.compile("[a-]")
+    assert rx.fullmatch("-") and rx.fullmatch("a")
+
+
+# -- differential property test against re on a generated fragment ------
+
+_atom = st.sampled_from(list("abc01") + [r"\d", r"\w", ".", "[ab]", "[^a]"])
+
+
+@st.composite
+def simple_patterns(draw, depth=2):
+    if depth == 0:
+        return draw(_atom)
+    kind = draw(st.integers(0, 4))
+    if kind == 0:
+        return draw(_atom)
+    if kind == 1:
+        return f"(?:{draw(simple_patterns(depth=depth - 1))})*"
+    if kind == 2:
+        return f"(?:{draw(simple_patterns(depth=depth - 1))})?"
+    if kind == 3:
+        a = draw(simple_patterns(depth=depth - 1))
+        b = draw(simple_patterns(depth=depth - 1))
+        return f"(?:{a}|{b})"
+    a = draw(simple_patterns(depth=depth - 1))
+    b = draw(simple_patterns(depth=depth - 1))
+    return a + b
+
+
+@settings(max_examples=120, deadline=None)
+@given(simple_patterns(), st.text(alphabet="abc01 _", max_size=8))
+def test_differential_vs_stdlib(pattern, text):
+    ours = regexlib.compile(pattern)
+    theirs = re.compile(pattern)
+    assert ours.fullmatch(text) == bool(theirs.fullmatch(text))
+
+
+def test_huge_repetition_bound_rejected():
+    with pytest.raises(RegexSyntaxError, match="exceeds"):
+        regexlib.compile("a{100000}")
+    with pytest.raises(RegexSyntaxError, match="exceeds"):
+        regexlib.compile("a{1,99999}")
+    regexlib.compile("a{1,512}")  # at the limit: fine

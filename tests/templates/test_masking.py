@@ -1,0 +1,64 @@
+"""Tests for volatile-field masking."""
+
+from repro.templates import MASK, make_masker, mask_message, template_tokens
+
+
+class TestMasking:
+    def test_cray_node_id(self):
+        assert mask_message("link down on c4-2c0s0n2 port") == "link down on * port"
+
+    def test_hex(self):
+        assert mask_message("magic value 0x6969 bad") == "magic value * bad"
+
+    def test_path(self):
+        assert mask_message("mount /global/scratch failed") == "mount * failed"
+
+    def test_numbers(self):
+        assert mask_message("retry 5 of 10") == "retry * of *"
+
+    def test_paper_example_p1(self):
+        msg = (
+            "DVS: verify filesystem: file system magic value 0x6969 retrieved "
+            "from server c4-2c0s0n2 for /global/scratch does not match "
+            "expected value 0x47504653: excluding server"
+        )
+        masked = mask_message(msg)
+        assert masked.startswith("DVS: verify filesystem:")
+        assert "0x6969" not in masked and "c4-2c0s0n2" not in masked
+        assert "/global/scratch" not in masked
+
+    def test_pci_address(self):
+        masked = mask_message("pcieport 0000:00:03.0: [12] Replay Timer Timeout")
+        assert "0000:00:03.0" not in masked
+        assert masked.endswith("Replay Timer Timeout")
+
+    def test_adjacent_masks_collapse(self):
+        assert mask_message("a 1 2 3 b") == "a * b"
+
+    def test_stable_text_unchanged(self):
+        msg = "Lnet: critical hardware error:"
+        assert mask_message(msg) == msg
+
+    def test_idempotent(self):
+        msg = "error 42 at c0-0c1s2n3 addr 0xdead"
+        once = mask_message(msg)
+        assert mask_message(once) == once
+
+    def test_ip_and_port(self):
+        assert mask_message("connect 10.1.2.3:5000 refused") == "connect * refused"
+
+    def test_durations(self):
+        assert mask_message("timed out after 30 secs total") == "timed out after * total"
+
+
+class TestHelpers:
+    def test_template_tokens(self):
+        assert template_tokens(f"a {MASK} b {MASK}") == ["a", "b"]
+
+    def test_make_masker_extra_rule(self):
+        mask = make_masker([("bgp_loc", r"R\d{2}-M\d-N\d{2}")])
+        assert mask("node R01-M0-N04 halted") == "node * halted"
+
+    def test_make_masker_defaults_still_apply(self):
+        mask = make_masker([])
+        assert mask("value 0xff") == "value *"

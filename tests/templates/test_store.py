@@ -1,0 +1,135 @@
+"""Tests for the template store and generated scanners."""
+
+import pytest
+
+from repro.core.events import Severity
+from repro.templates import (
+    NaiveTemplateScanner,
+    TemplateStore,
+    template_to_pattern,
+)
+
+
+PAPER_TEMPLATES = [
+    ("[Firmware Bug]: powernow k8: *", Severity.ERRONEOUS),
+    ("DVS: verify filesystem: *", Severity.UNKNOWN),
+    ("DVS: file node down: *", Severity.UNKNOWN),
+    ("Lustre: * cannot find peer *", Severity.UNKNOWN),
+    ("Lnet: critical hardware error: *", Severity.ERRONEOUS),
+    ("cb_node_unavailable: *", Severity.ERRONEOUS),
+]
+
+
+@pytest.fixture
+def store():
+    s = TemplateStore()
+    for text, severity in PAPER_TEMPLATES:
+        s.add(text, severity)
+    return s
+
+
+class TestTemplateToPattern:
+    def test_plain(self):
+        assert template_to_pattern("abc def") == "abc def"
+
+    def test_trailing_wildcard_dropped(self):
+        pattern = template_to_pattern("DVS: verify filesystem: *")
+        assert pattern == "DVS: verify filesystem:"
+
+    def test_inner_wildcard(self):
+        pattern = template_to_pattern("Lustre: * cannot find peer")
+        assert pattern == "Lustre: .* cannot find peer"
+
+    def test_metachars_escaped(self):
+        pattern = template_to_pattern("[Firmware Bug]: x (y) *")
+        assert pattern == r"\[Firmware Bug\]: x \(y\)"
+
+
+class TestStore:
+    def test_registration_assigns_increasing_tokens(self, store):
+        tokens = store.tokens()
+        assert tokens == sorted(tokens)
+        assert len(store) == 6
+
+    def test_idempotent_add(self, store):
+        t1 = store.add("DVS: verify filesystem: *")
+        t2 = store.lookup("DVS: verify filesystem: *")
+        assert t1 is t2
+        assert len(store) == 6
+
+    def test_explicit_token(self):
+        s = TemplateStore()
+        t = s.add("custom phrase", token=500)
+        assert t.token == 500
+        assert s.get(500).text == "custom phrase"
+
+    def test_token_collision_rejected(self):
+        s = TemplateStore()
+        s.add("a", token=100)
+        with pytest.raises(ValueError):
+            s.add("b", token=100)
+
+    def test_add_from_message_masks(self):
+        s = TemplateStore()
+        t = s.add_from_message("retry 5 of 10 on c0-0c1s2n3")
+        assert t.text == "retry * of * on *"
+
+    def test_severity_stored(self, store):
+        template = store.lookup("Lnet: critical hardware error: *")
+        assert template.severity is Severity.ERRONEOUS
+
+    def test_head(self, store):
+        assert store.lookup("Lustre: * cannot find peer *").head == "Lustre:"
+
+
+class TestScanner:
+    def test_tokenizes_paper_phrases(self, store):
+        scanner = store.compile_scanner()
+        dvs = store.lookup("DVS: verify filesystem: *").token
+        msg = (
+            "DVS: verify filesystem: file system magic value 0x6969 retrieved "
+            "from server c4-2c0s0n2 for /global/scratch does not match "
+            "expected value 0x47504653: excluding server"
+        )
+        assert scanner.tokenize(msg) == dvs
+
+    def test_benign_phrase_discarded(self, store):
+        scanner = store.compile_scanner()
+        assert scanner.tokenize("pcieport 0000:00:03.0: [12] Replay Timer Timeout") is None
+
+    def test_keep_subset(self, store):
+        wanted = store.lookup("DVS: file node down: *").token
+        other = store.lookup("DVS: verify filesystem: *").token
+        scanner = store.compile_scanner(keep={wanted})
+        assert scanner.tokenize("DVS: file node down: server x") == wanted
+        assert scanner.tokenize("DVS: verify filesystem: blah") is None
+        assert other != wanted
+
+    def test_inner_wildcard_matching(self, store):
+        token = store.lookup("Lustre: * cannot find peer *").token
+        scanner = store.compile_scanner()
+        assert scanner.tokenize("Lustre: 1234:0:ldlm cannot find peer 10.1.2.3") == token
+
+    def test_empty_selection_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.compile_scanner(keep=set())
+
+    def test_naive_scanner_agrees(self, store):
+        fast = store.compile_scanner()
+        naive = NaiveTemplateScanner(store)
+        messages = [
+            "DVS: verify filesystem: whatever",
+            "DVS: file node down: x",
+            "Lnet: critical hardware error: bus 7",
+            "cb_node_unavailable: c0-0c2s0n2",
+            "unrelated healthy chatter",
+            "Lustre: abc cannot find peer xyz",
+        ]
+        for msg in messages:
+            assert fast.tokenize(msg) == naive.tokenize(msg), msg
+
+    def test_unminimized_scanner_agrees(self, store):
+        fast = store.compile_scanner(minimized=True)
+        slow = store.compile_scanner(minimized=False)
+        for msg in ["DVS: verify filesystem: x", "nothing", "Lnet: critical hardware error: y"]:
+            assert fast.tokenize(msg) == slow.tokenize(msg)

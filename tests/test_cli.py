@@ -1,0 +1,110 @@
+"""End-to-end tests for the ``aarohi`` CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["rules", "--system", "HPC9"])
+
+
+class TestGenerate:
+    def test_generates_log_file(self, tmp_path, capsys):
+        out = tmp_path / "window.log"
+        rc = main([
+            "generate", "--system", "HPC4", "--seed", "3",
+            "--duration", "600", "--nodes", "8", "--failures", "2",
+            "--out", str(out),
+        ])
+        assert rc == 0
+        assert out.exists()
+        lines = out.read_text().splitlines()
+        assert len(lines) > 10
+        captured = capsys.readouterr()
+        assert "wrote" in captured.out
+        assert "2 failures" in captured.out
+
+
+class TestRules:
+    def test_prints_both_forms(self, capsys):
+        assert main(["rules", "--system", "HPC3"]) == 0
+        out = capsys.readouterr().out
+        assert "P_FC" in out and "P_LALR" in out
+
+    def test_flat_only(self, capsys):
+        assert main(["rules", "--system", "HPC3", "--flat"]) == 0
+        out = capsys.readouterr().out
+        assert "P_FC" in out and "P_LALR" not in out
+
+
+class TestPredict:
+    @pytest.mark.parametrize("backend", ["matcher", "lalr"])
+    def test_predicts_from_file(self, tmp_path, capsys, backend):
+        log = tmp_path / "w.log"
+        main([
+            "generate", "--system", "HPC3", "--seed", "5",
+            "--duration", "1800", "--nodes", "12", "--failures", "4",
+            "--out", str(log),
+        ])
+        capsys.readouterr()
+        rc = main([
+            "predict", "--system", "HPC3", "--seed", "5",
+            "--log", str(log), "--backend", backend,
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "predictions" in out
+        assert "FC_" in out  # at least one chain flagged
+
+
+class TestPipeline:
+    def test_full_pipeline_prints_metrics(self, capsys):
+        rc = main([
+            "pipeline", "--system", "HPC4", "--seed", "11",
+            "--duration", "3600", "--nodes", "30", "--failures", "10",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "mined" in out
+        assert "recall %" in out
+        assert "mean lead time (min)" in out
+
+
+class TestSpeedup:
+    def test_speedup_table(self, capsys):
+        rc = main(["speedup", "--system", "HPC3", "--length", "20"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name in ("Aarohi", "Desh", "DeepLog", "CloudSeer"):
+            assert name in out
+
+
+class TestCompile:
+    def test_emits_standalone_module(self, tmp_path, capsys):
+        out = tmp_path / "pred.py"
+        rc = main(["compile", "--system", "HPC3", "--out", str(out)])
+        assert rc == 0
+        source = out.read_text()
+        assert "class Predictor" in source
+        namespace = {}
+        exec(compile(source, str(out), "exec"), namespace)
+        assert callable(namespace["tokenize"])
+
+
+class TestFieldstudy:
+    def test_prints_statistics(self, capsys):
+        rc = main([
+            "fieldstudy", "--system", "HPC4", "--seed", "3",
+            "--windows", "3", "--duration", "1800",
+            "--nodes", "12", "--failures", "3",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "MTBF" in out and "Weibull" in out and "recall" in out

@@ -1,0 +1,110 @@
+"""Tests for the standalone predictor code generator."""
+
+import numpy as np
+import pytest
+
+from repro.codegen import emit_predictor_source, load_predictor
+from repro.core import AarohiPredictor
+from repro.core.events import LogEvent
+from repro.logsim import ClusterLogGenerator, HPC3
+
+
+@pytest.fixture(scope="module")
+def gen():
+    return ClusterLogGenerator(HPC3, seed=77)
+
+
+@pytest.fixture(scope="module")
+def generated(gen):
+    source = emit_predictor_source(gen.chains, gen.store, timeout=240.0)
+    return source, load_predictor(source)
+
+
+class TestGeneratedSource:
+    def test_source_is_self_contained(self, generated):
+        source, _module = generated
+        assert "import" not in source.split('"""', 2)[2].split("def")[0]
+        assert "repro" not in source.replace("repro.codegen", "")
+
+    def test_compiles_and_exposes_api(self, generated):
+        _source, module = generated
+        assert callable(module.tokenize)
+        assert callable(module.Predictor)
+        assert isinstance(module.CHAINS, list)
+
+    def test_chains_baked_in(self, generated, gen):
+        _source, module = generated
+        baked = {cid: tokens for cid, tokens in module.CHAINS}
+        for chain in gen.chains:
+            assert baked[chain.chain_id] == tuple(chain.tokens)
+
+
+class TestEquivalence:
+    def test_tokenize_matches_library_scanner(self, generated, gen):
+        _source, module = generated
+        scanner = gen.store.compile_scanner(keep=gen.chains.token_set)
+        rng = np.random.default_rng(5)
+        messages = [
+            entry.make(rng, "c0-0c0s0n0")
+            for entry in (*gen.catalog.anomalies, *gen.catalog.benign)
+        ] * 3
+        for message in messages:
+            lib_token = scanner.tokenize(message)
+            lib_token = (
+                lib_token if lib_token in gen.chains.token_set else None
+            ) if lib_token is not None else None
+            assert module.tokenize(message) == lib_token, message
+
+    def test_predictions_match_library(self, generated, gen):
+        _source, module = generated
+        window = gen.generate_window(
+            duration=3600.0, n_nodes=8, n_failures=3, n_spurious=1)
+        lib = AarohiPredictor.from_store(gen.chains, gen.store, timeout=240.0)
+        standalone = module.Predictor()
+        lib_flags, gen_flags = [], []
+        node = window.failures[0].node
+        for event in window.events:
+            if event.node != node:
+                continue
+            p = lib.process(event)
+            if p:
+                lib_flags.append((p.chain_id, p.flagged_at))
+            cid = standalone.feed(event.message, event.time)
+            if cid:
+                gen_flags.append((cid, event.time))
+        assert lib_flags == gen_flags
+        assert lib_flags, "expected at least one prediction on a failing node"
+
+    def test_reset(self, generated, gen):
+        _source, module = generated
+        predictor = module.Predictor()
+        chain = next(iter(gen.chains))
+        for i, token in enumerate(chain.tokens[:-1]):
+            predictor.feed_token(token, float(i))
+        predictor.reset()
+        assert predictor.feed_token(chain.tokens[-1], 99.0) is None
+
+    def test_timeout_semantics(self, generated, gen):
+        _source, module = generated
+        predictor = module.Predictor()
+        chain = next(iter(gen.chains))
+        predictor.feed_token(chain.tokens[0], 0.0)
+        # Gap beyond the baked-in 240 s timeout aborts the chain.
+        assert predictor.feed_token(chain.tokens[1], 1000.0) is None
+        for i, token in enumerate(chain.tokens[1:], start=1):
+            result = predictor.feed_token(token, 1000.0 + i)
+        assert result is None  # chain restarted mid-way, cannot complete
+
+
+class TestRoundtripToDisk:
+    def test_write_and_reload(self, generated, tmp_path, gen):
+        source, _module = generated
+        path = tmp_path / "aarohi_hpc3.py"
+        path.write_text(source)
+        reloaded = load_predictor(path.read_text(), name="reloaded")
+        chain = next(iter(gen.chains))
+        predictor = reloaded.Predictor()
+        result = None
+        for i, token in enumerate(chain.tokens):
+            result = predictor.feed_token(token, float(i))
+        assert result == chain.chain_id

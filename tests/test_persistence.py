@@ -1,0 +1,108 @@
+"""Tests for JSON model bundles."""
+
+import io
+import json
+
+import pytest
+
+from repro.core import ChainSet, FailureChain
+from repro.logsim import ClusterLogGenerator, HPC3
+from repro.persistence import (
+    BundleError,
+    PredictorBundle,
+    chains_from_dict,
+    chains_to_dict,
+    store_from_dict,
+    store_to_dict,
+)
+
+
+@pytest.fixture(scope="module")
+def gen():
+    return ClusterLogGenerator(HPC3, seed=8)
+
+
+@pytest.fixture(scope="module")
+def bundle(gen):
+    return PredictorBundle(
+        store=gen.store, chains=gen.chains,
+        timeout=gen.recommended_timeout, system="HPC3")
+
+
+class TestStoreRoundtrip:
+    def test_roundtrip(self, gen):
+        data = store_to_dict(gen.store)
+        back = store_from_dict(data)
+        assert len(back) == len(gen.store)
+        for template in gen.store:
+            restored = back.get(template.token)
+            assert restored.text == template.text
+            assert restored.severity == template.severity
+
+    def test_bad_severity(self):
+        with pytest.raises(BundleError):
+            store_from_dict(
+                {"templates": [{"token": 1, "text": "x", "severity": "Z"}]})
+
+
+class TestChainsRoundtrip:
+    def test_roundtrip(self, gen):
+        back = chains_from_dict(chains_to_dict(gen.chains))
+        assert [(c.chain_id, c.tokens, c.deltas) for c in back] == \
+               [(c.chain_id, c.tokens, c.deltas) for c in gen.chains]
+
+    def test_missing_field(self):
+        with pytest.raises(BundleError):
+            chains_from_dict({"chains": [{"id": "X"}]})
+
+
+class TestBundle:
+    def test_file_roundtrip(self, bundle, tmp_path):
+        path = tmp_path / "bundle.json"
+        bundle.save(path)
+        loaded = PredictorBundle.load(path)
+        assert loaded.system == "HPC3"
+        assert loaded.timeout == bundle.timeout
+        assert len(loaded.chains) == len(bundle.chains)
+
+    def test_json_is_diffable(self, bundle):
+        buffer = io.StringIO()
+        bundle.save(buffer)
+        data = json.loads(buffer.getvalue())
+        assert data["format_version"] == 1
+        assert isinstance(data["chains"], list)
+
+    def test_version_check(self, bundle):
+        data = bundle.to_dict()
+        data["format_version"] = 99
+        with pytest.raises(BundleError, match="version"):
+            PredictorBundle.from_dict(data)
+
+    def test_dangling_token_rejected(self, bundle, gen):
+        data = bundle.to_dict()
+        data["chains"].append({"id": "BAD", "tokens": [99999, 99998],
+                               "deltas": []})
+        with pytest.raises(BundleError, match="absent"):
+            PredictorBundle.from_dict(data)
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("{not json")
+        with pytest.raises(BundleError, match="JSON"):
+            PredictorBundle.load(path)
+
+    def test_loaded_bundle_predicts(self, bundle, gen, tmp_path):
+        path = tmp_path / "bundle.json"
+        bundle.save(path)
+        loaded = PredictorBundle.load(path)
+        fleet = loaded.make_fleet()
+        window = gen.generate_window(
+            duration=1800.0, n_nodes=8, n_failures=2, n_spurious=0)
+        report = fleet.run(window.events)
+        detectable = sum(
+            1 for i in window.injections if i.kind == "detectable")
+        assert len(report.predictions) == detectable
+
+    def test_emit_standalone(self, bundle):
+        source = bundle.emit_standalone()
+        assert "class Predictor" in source

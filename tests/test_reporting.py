@@ -1,0 +1,55 @@
+"""Tests for the text table/series renderers."""
+
+import pytest
+
+from repro.reporting import render_bars, render_series, render_table
+
+
+class TestRenderTable:
+    def test_basic(self):
+        out = render_table(["a", "bb"], [[1, 2.5], ["xx", 3.0]])
+        lines = out.splitlines()
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "xx" in out and "2.5" in out
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_alignment(self):
+        out = render_table(["col"], [["short"], ["a-much-longer-cell"]])
+        lines = out.splitlines()
+        assert len(lines[0]) == len(lines[1]) or len(lines[-1]) >= len(lines[0])
+
+    def test_empty_rows(self):
+        out = render_table(["a"], [])
+        assert "a" in out
+
+
+class TestRenderSeries:
+    def test_multi_series(self):
+        out = render_series(
+            "len",
+            {"Aarohi": [(1, 0.05), (10, 0.2)], "Desh": [(1, 0.12), (10, 1.8)]},
+        )
+        assert "Aarohi" in out and "Desh" in out
+        assert "0.05" in out and "1.8" in out
+
+    def test_missing_points_dashed(self):
+        out = render_series("x", {"a": [(1, 1.0)], "b": [(2, 2.0)]})
+        assert "—" in out
+
+
+class TestRenderBars:
+    def test_bars_scale(self):
+        out = render_bars(["a", "b"], [1.0, 2.0])
+        lines = out.splitlines()
+        assert lines[1].count("#") > lines[0].count("#")
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            render_bars(["a"], [1.0, 2.0])
+
+    def test_zero_values(self):
+        out = render_bars(["a"], [0.0])
+        assert "a" in out

@@ -1,0 +1,77 @@
+"""Integration tests for the Fig. 6 workflow object."""
+
+import pytest
+
+from repro.codegen import load_predictor
+from repro.logsim import ClusterLogGenerator, HPC3
+from repro.workflow import AarohiWorkflow
+
+
+@pytest.fixture(scope="module")
+def gen():
+    return ClusterLogGenerator(HPC3, seed=33)
+
+
+@pytest.fixture(scope="module")
+def trained(gen):
+    train = gen.generate_window(
+        duration=14_400.0, n_nodes=64, n_failures=30)
+    return AarohiWorkflow.train(
+        train.events, gen.store, timeout=gen.recommended_timeout,
+        system="HPC3")
+
+
+class TestTraining:
+    def test_chains_mined(self, trained, gen):
+        assert len(trained.bundle.chains) >= len(gen.trained_defs) - 1
+        assert trained.bundle.system == "HPC3"
+
+    def test_rules_describe(self, trained):
+        rule_set = trained.rules()
+        text = rule_set.describe()
+        assert "P_FC" in text
+
+    def test_lstm_variant(self, gen):
+        train = gen.generate_window(
+            duration=7200.0, n_nodes=40, n_failures=14)
+        wf = AarohiWorkflow.train(
+            train.events, gen.store, use_lstm=True, lstm_epochs=5)
+        assert len(wf.bundle.chains) >= 1
+
+
+class TestDeployment:
+    def test_compile_writes_standalone(self, trained, tmp_path):
+        path = tmp_path / "binary.py"
+        source = trained.compile(path)
+        assert path.read_text() == source
+        module = load_predictor(source)
+        chain = next(iter(trained.bundle.chains))
+        predictor = module.Predictor()
+        result = None
+        for i, token in enumerate(chain.tokens):
+            result = predictor.feed_token(token, float(i))
+        assert result == chain.chain_id
+
+    def test_save_load_roundtrip(self, trained, tmp_path):
+        path = tmp_path / "bundle.json"
+        trained.save(path)
+        loaded = AarohiWorkflow.load(path)
+        assert len(loaded.bundle.chains) == len(trained.bundle.chains)
+
+
+class TestEvaluation:
+    def test_evaluate_on_fresh_window(self, trained, gen):
+        test = gen.generate_window(
+            duration=10_800.0, n_nodes=48, n_failures=16)
+        result = trained.evaluate(test.events, test.failures, test.nodes)
+        summary = result.summary()
+        assert summary["recall"] >= 60.0
+        assert summary["precision"] >= 75.0
+        assert summary["mean_lead_time_s"] > 60.0
+        assert summary["mean_prediction_time_s"] < 0.05
+        assert summary["true_positives"] >= 10
+
+    def test_predict_returns_report(self, trained, gen):
+        test = gen.generate_window(duration=1800.0, n_nodes=8, n_failures=2)
+        report = trained.predict(test.events)
+        assert report.lines_seen == len(test.events)

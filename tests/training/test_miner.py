@@ -1,0 +1,145 @@
+"""Tests for labeling and chain mining."""
+
+import pytest
+
+from repro.core.events import LogEvent, Severity, TokenEvent
+from repro.templates import TemplateStore
+from repro.training import (
+    EventLabeler,
+    anomaly_sequences,
+    extract_candidates,
+    mine_chains,
+    terminal_tokens,
+)
+
+
+@pytest.fixture
+def store():
+    s = TemplateStore()
+    s.add("healthy chatter *", Severity.BENIGN, token=100)
+    s.add("err alpha *", Severity.ERRONEOUS, token=101)
+    s.add("warn beta *", Severity.UNKNOWN, token=102)
+    s.add("err gamma *", Severity.ERRONEOUS, token=103)
+    s.add("node down *", Severity.ERRONEOUS, token=110)
+    return s
+
+
+def tok(node, t, token):
+    return TokenEvent(time=t, token=token, node=node)
+
+
+class TestLabeling:
+    def test_label_severity(self, store):
+        labeler = EventLabeler(store)
+        labeled = labeler.label(LogEvent(1.0, "n1", "err alpha details"))
+        assert labeled.token == 101
+        assert labeled.severity is Severity.ERRONEOUS
+        assert labeled.anomaly_relevant
+
+    def test_benign_not_relevant(self, store):
+        labeler = EventLabeler(store)
+        labeled = labeler.label(LogEvent(1.0, "n1", "healthy chatter x"))
+        assert not labeled.anomaly_relevant
+
+    def test_unmatched_is_benign(self, store):
+        labeler = EventLabeler(store)
+        labeled = labeler.label(LogEvent(1.0, "n1", "totally unknown line"))
+        assert labeled.token is None
+        assert labeled.severity is Severity.BENIGN
+
+    def test_anomaly_sequences_grouped_by_node(self, store):
+        labeler = EventLabeler(store)
+        events = [
+            LogEvent(1.0, "a", "err alpha x"),
+            LogEvent(2.0, "b", "warn beta y"),
+            LogEvent(3.0, "a", "healthy chatter z"),
+            LogEvent(4.0, "a", "err gamma w"),
+        ]
+        seqs = anomaly_sequences(labeler.label_stream(events))
+        assert [te.token for te in seqs["a"]] == [101, 103]
+        assert [te.token for te in seqs["b"]] == [102]
+
+    def test_terminal_tokens(self, store):
+        assert terminal_tokens(store, ["node down"]) == {110}
+        assert terminal_tokens(store, ["nothing"]) == set()
+
+
+class TestCandidateExtraction:
+    def test_basic_candidate(self):
+        seqs = {"a": [tok("a", 1.0, 101), tok("a", 2.0, 102),
+                      tok("a", 3.0, 103), tok("a", 10.0, 110)]}
+        cands = extract_candidates(seqs, {110})
+        assert len(cands) == 1
+        assert cands[0].tokens == (101, 102, 103)
+        assert cands[0].times == (1.0, 2.0, 3.0)
+
+    def test_repeats_keep_first_occurrence(self):
+        seqs = {"a": [tok("a", 1.0, 101), tok("a", 2.0, 101),
+                      tok("a", 3.0, 102), tok("a", 4.0, 110)]}
+        cands = extract_candidates(seqs, {110})
+        assert cands[0].tokens == (101, 102)
+        assert cands[0].times == (1.0, 3.0)
+
+    def test_lookback_window(self):
+        seqs = {"a": [tok("a", 0.0, 101), tok("a", 5000.0, 102),
+                      tok("a", 5001.0, 110)]}
+        cands = extract_candidates(seqs, {110}, lookback=100.0)
+        # 101 is too old; only 102 remains → below 2-phrase minimum.
+        assert cands == []
+
+    def test_prior_death_resets_episode(self):
+        seqs = {"a": [tok("a", 1.0, 101), tok("a", 2.0, 110),
+                      tok("a", 3.0, 102), tok("a", 4.0, 103),
+                      tok("a", 5.0, 110)]}
+        cands = extract_candidates(seqs, {110})
+        assert len(cands) == 1
+        assert cands[0].tokens == (102, 103)
+
+    def test_max_len_truncates_to_recent(self):
+        seqs = {"a": [tok("a", float(i), 200 + i) for i in range(10)]
+                + [tok("a", 100.0, 110)]}
+        cands = extract_candidates(seqs, {110}, max_len=4)
+        assert len(cands[0].tokens) == 4
+        assert cands[0].tokens == (206, 207, 208, 209)
+
+
+class TestMining:
+    def test_support_grouping(self):
+        episode = [(101, 1.0), (102, 2.0), (103, 3.0), (110, 9.0)]
+        seqs = {}
+        for n in range(3):
+            seqs[f"node{n}"] = [tok(f"node{n}", t + n * 100, k) for k, t in episode]
+        mined = mine_chains(seqs, {110}, min_support=2)
+        assert len(mined.chains) == 1
+        chain = next(iter(mined.chains))
+        assert chain.tokens == (101, 102, 103)
+        assert mined.support[(101, 102, 103)] == 3
+
+    def test_mean_deltas(self):
+        seqs = {
+            "a": [tok("a", 0.0, 101), tok("a", 10.0, 102), tok("a", 11.0, 110)],
+            "b": [tok("b", 0.0, 101), tok("b", 20.0, 102), tok("b", 21.0, 110)],
+        }
+        mined = mine_chains(seqs, {110})
+        chain = next(iter(mined.chains))
+        assert chain.deltas == (15.0,)
+
+    def test_low_support_skipped(self):
+        seqs = {
+            "a": [tok("a", 0.0, 101), tok("a", 1.0, 102), tok("a", 2.0, 110)],
+            "b": [tok("b", 0.0, 103), tok("b", 1.0, 102), tok("b", 2.0, 110)],
+            "c": [tok("c", 50.0, 101), tok("c", 51.0, 102), tok("c", 52.0, 110)],
+        }
+        mined = mine_chains(seqs, {110}, min_support=2)
+        assert len(mined.chains) == 1
+        assert (103, 102) in mined.skipped_low_support
+
+    def test_no_deaths_raises(self):
+        seqs = {"a": [tok("a", 0.0, 101), tok("a", 1.0, 102)]}
+        with pytest.raises(ValueError, match="no candidate"):
+            mine_chains(seqs, {110})
+
+    def test_all_below_support_raises(self):
+        seqs = {"a": [tok("a", 0.0, 101), tok("a", 1.0, 102), tok("a", 2.0, 110)]}
+        with pytest.raises(ValueError, match="below support"):
+            mine_chains(seqs, {110}, min_support=5)

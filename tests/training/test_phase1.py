@@ -1,0 +1,96 @@
+"""Tests for the LSTM Phase-1 trainer and efficiency metrics."""
+
+import pytest
+
+from repro.core.events import NodeFailure, Prediction, TokenEvent
+from repro.training import (
+    ConfusionCounts,
+    LSTMPhase1Trainer,
+    confusion_from_predictions,
+)
+
+
+def tok(node, t, token):
+    return TokenEvent(time=t, token=token, node=node)
+
+
+def make_sequences(n_nodes=6):
+    """Synthetic corpus: one recurring failure episode per node."""
+    episode = [(101, 0.0), (102, 5.0), (103, 9.0), (110, 120.0)]
+    seqs = {}
+    for n in range(n_nodes):
+        base = n * 1000.0
+        seqs[f"node{n}"] = [tok(f"node{n}", base + t, k) for k, t in episode]
+    return seqs
+
+
+class TestLSTMPhase1:
+    def test_trains_and_keeps_supported_chain(self):
+        trainer = LSTMPhase1Trainer(epochs=40, seed=1)
+        result = trainer.train(make_sequences(), {110}, min_support=2)
+        assert len(result.chains) == 1
+        chain = next(iter(result.chains))
+        assert chain.tokens == (101, 102, 103)
+        assert result.train_loss < 2.0
+        assert result.rejected == []
+
+    def test_chain_score_orders_coherent_above_noise(self):
+        trainer = LSTMPhase1Trainer(epochs=60, seed=2)
+        result = trainer.train(make_sequences(), {110}, min_support=2)
+        seen_score = trainer.chain_score(result.model, result.vocab, (101, 102, 103))
+        shuffled_score = trainer.chain_score(result.model, result.vocab, (103, 101, 102))
+        assert seen_score > shuffled_score
+
+    def test_chain_score_unknown_tokens(self):
+        trainer = LSTMPhase1Trainer(epochs=5, seed=3)
+        result = trainer.train(make_sequences(), {110}, min_support=2)
+        assert trainer.chain_score(result.model, result.vocab, (999,)) == float("-inf")
+
+    def test_single_token_vocab_rejected(self):
+        trainer = LSTMPhase1Trainer(epochs=5)
+        seqs = {"a": [tok("a", 0.0, 101), tok("a", 1.0, 101)]}
+        with pytest.raises(ValueError):
+            trainer.train(seqs, {110})
+
+
+class TestConfusionCounts:
+    def test_table7_formulas(self):
+        c = ConfusionCounts(tp=15, fp=2, tn=80, fn=3)
+        assert c.recall == pytest.approx(15 / 18)
+        assert c.precision == pytest.approx(15 / 17)
+        assert c.accuracy == pytest.approx(95 / 100)
+        assert c.false_negative_rate == pytest.approx(3 / 18)
+        assert 0 < c.f1 < 1
+
+    def test_zero_division_guarded(self):
+        c = ConfusionCounts(tp=0, fp=0, tn=0, fn=0)
+        assert c.recall == c.precision == c.accuracy == c.f1 == 0.0
+
+    def test_percentages(self):
+        c = ConfusionCounts(tp=1, fp=1, tn=1, fn=1)
+        pct = c.as_percentages()
+        assert pct["recall"] == 50.0 and pct["accuracy"] == 50.0
+
+
+class TestConfusionFromPredictions:
+    def test_node_instance_accounting(self):
+        nodes = ["a", "b", "c", "d"]
+        failures = [NodeFailure("a", 100.0), NodeFailure("b", 100.0)]
+        predictions = [
+            Prediction("a", "FC1", flagged_at=40.0, prediction_time=0.001),
+            Prediction("c", "FC1", flagged_at=10.0, prediction_time=0.001),
+        ]
+        c = confusion_from_predictions(predictions, failures, nodes)
+        assert (c.tp, c.fn, c.fp, c.tn) == (1, 1, 1, 1)
+
+    def test_late_flag_is_fn(self):
+        failures = [NodeFailure("a", 100.0)]
+        predictions = [Prediction("a", "FC1", flagged_at=150.0, prediction_time=0.0)]
+        c = confusion_from_predictions(predictions, failures, ["a"])
+        assert (c.tp, c.fn) == (0, 1)
+
+    def test_stale_flag_beyond_horizon_is_fn(self):
+        failures = [NodeFailure("a", 10_000.0)]
+        predictions = [Prediction("a", "FC1", flagged_at=1.0, prediction_time=0.0)]
+        c = confusion_from_predictions(predictions, failures, ["a"], horizon=100.0)
+        assert (c.tp, c.fn) == (0, 1)
