@@ -1,0 +1,118 @@
+"""Emit BENCH_hotpath.json: machine-readable hot-path throughput.
+
+Measures sustained events/s on the discard-heavy realistic stream for
+
+* the **per-event path** — one ``fleet.process(event)`` call per line,
+  full timing (what the seed repo shipped), and
+* the **batched path** — ``fleet.run(events, timing="off")``, the
+  flattened driver this PR adds,
+
+and writes both, together with the recorded pre-PR reference numbers,
+to ``BENCH_hotpath.json`` at the repo root so the perf trajectory stays
+machine-readable from this PR onward.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/emit_bench.py
+
+or let ``benchmarks/test_throughput.py`` write the same file as part of
+the bench suite.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
+
+# Per-event path, measured on this machine at the seed commit (before
+# the hot-path PR), same workload as measure_hotpath below.
+PRE_PR_REFERENCE = {
+    "HPC1": 730_251,
+    "HPC3": 704_101,
+    "measured": "2026-08-05, fleet.process() per event, 20k-event window",
+}
+
+
+def discard_heavy_stream(gen, n_events: int = 20_000):
+    """The throughput bench's realistic mixed window: >99% of lines are
+    healthy chatter the scanner must discard (Fig. 12's regime)."""
+    window = gen.generate_window(
+        duration=7200.0, n_nodes=40, n_failures=10,
+        benign_rate_hz=max(gen.config.benign_rate_hz, 0.02))
+    events = window.events
+    while len(events) < n_events:
+        events = events + events
+    return events[:n_events]
+
+
+def measure_hotpath(gen, n_events: int = 20_000, rounds: int = 5) -> dict:
+    """Best-of-``rounds`` events/s for the old and new paths.
+
+    Rounds are interleaved (old, new, old, new, …) so both paths sample
+    the same machine conditions; each round uses a fresh fleet (cold
+    memo, cold chain state)."""
+    from repro.core import PredictorFleet
+
+    events = discard_heavy_stream(gen, n_events)
+
+    def fresh_fleet():
+        return PredictorFleet.from_store(
+            gen.chains, gen.store, timeout=gen.recommended_timeout)
+
+    old_best = 0.0
+    new_best = 0.0
+    report = None
+    for _ in range(rounds):
+        fleet = fresh_fleet()
+        t0 = time.perf_counter()
+        for event in events:
+            fleet.process(event)
+        old_best = max(old_best, n_events / (time.perf_counter() - t0))
+
+        fleet = fresh_fleet()
+        t0 = time.perf_counter()
+        report = fleet.run(events, timing="off")
+        new_best = max(new_best, n_events / (time.perf_counter() - t0))
+
+    return {
+        "events": n_events,
+        "fc_related_fraction": round(report.fc_related_fraction, 5),
+        "per_event_events_per_s": round(old_best),
+        "batched_events_per_s": round(new_best),
+        "batched_vs_per_event": round(new_best / old_best, 2),
+    }
+
+
+def write_bench_json(results: dict, path: Path = BENCH_PATH) -> dict:
+    payload = {
+        "bench": "hotpath",
+        "stream": "discard-heavy realistic window (see discard_heavy_stream)",
+        "pre_pr_reference_events_per_s": PRE_PR_REFERENCE,
+        "systems": results,
+    }
+    for name, row in results.items():
+        ref = PRE_PR_REFERENCE.get(name)
+        if isinstance(ref, int):
+            row["batched_vs_pre_pr"] = round(
+                row["batched_events_per_s"] / ref, 2)
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return payload
+
+
+def main() -> None:
+    from repro.logsim import ClusterLogGenerator, system_by_name
+
+    results = {}
+    for name in ("HPC1", "HPC2", "HPC3", "HPC4"):
+        gen = ClusterLogGenerator(system_by_name(name))
+        results[name] = measure_hotpath(gen)
+        print(name, results[name])
+    payload = write_bench_json(results)
+    print(f"wrote {BENCH_PATH} ({len(payload['systems'])} systems)")
+
+
+if __name__ == "__main__":
+    main()

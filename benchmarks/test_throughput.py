@@ -3,45 +3,55 @@
 The paper's challenge #2: "the pace of analyzing incoming event logs by
 the predictor should be compatible to the inter-arrival times of the
 consecutive system logs".  This bench measures the fleet's sustained
-events/second on a realistic mixed stream and compares it against each
-Table II system's aggregate log rate — the margin is the real-time
-feasibility headroom the placement model consumes.
-"""
+events/second on a realistic mixed stream — both the per-event
+``process()`` loop and the batched ``run(..., timing="off")`` fast path
+— and compares it against each Table II system's aggregate log rate;
+the margin is the real-time feasibility headroom the placement model
+consumes.
 
-import time
+Before timing anything, the batched path is differentially checked
+against the per-event path on every generator system: under a constant
+clock both must produce identical predictions.  The measured numbers
+are also written to ``BENCH_hotpath.json`` (see ``emit_bench.py``) so
+the perf trajectory is machine-readable.
+"""
 
 from repro.core import PredictorFleet
 from repro.logsim import ClusterProfile, evaluate_placement
 from repro.reporting import render_table
 
+from emit_bench import discard_heavy_stream, measure_hotpath, write_bench_json
 
-def measure_throughput(gen, n_events=20_000):
-    window = gen.generate_window(
-        duration=7200.0, n_nodes=40, n_failures=10,
-        benign_rate_hz=max(gen.config.benign_rate_hz, 0.02))
-    events = window.events
-    while len(events) < n_events:
-        events = events + events
-    events = events[:n_events]
-    fleet = PredictorFleet.from_store(
-        gen.chains, gen.store, timeout=gen.recommended_timeout)
-    t0 = time.perf_counter()
-    for event in events:
-        fleet.process(event)
-    elapsed = time.perf_counter() - t0
-    return n_events / elapsed, elapsed / n_events
+
+def assert_batched_path_equivalent(gen, n_events=4000):
+    """Differential check: batched fleet.run == per-event process()."""
+    events = discard_heavy_stream(gen, n_events)
+    zero = lambda: 0.0  # noqa: E731
+    reference = PredictorFleet.from_store(
+        gen.chains, gen.store, timeout=gen.recommended_timeout, clock=zero)
+    expected = [p for p in map(reference.process, events) if p is not None]
+    batched = PredictorFleet.from_store(
+        gen.chains, gen.store, timeout=gen.recommended_timeout, clock=zero)
+    report = batched.run(events, timing="off")
+    assert report.predictions == expected, gen.config.name
+    assert report.lines_seen == n_events
 
 
 def test_realtime_throughput(benchmark, emit, generators):
     rows = []
+    results = {}
     first = True
     for name, gen in generators.items():
+        assert_batched_path_equivalent(gen)
         if first:
-            events_per_s, per_event = benchmark.pedantic(
-                measure_throughput, args=(gen,), rounds=1, iterations=1)
+            measured = benchmark.pedantic(
+                measure_hotpath, args=(gen,), rounds=1, iterations=1)
             first = False
         else:
-            events_per_s, per_event = measure_throughput(gen)
+            measured = measure_hotpath(gen)
+        results[name] = measured
+        events_per_s = measured["batched_events_per_s"]
+        per_event = 1.0 / events_per_s
         cluster_rate = gen.config.n_nodes * gen.config.benign_rate_hz
         margin = events_per_s / cluster_rate
         placement = evaluate_placement(
@@ -50,6 +60,7 @@ def test_realtime_throughput(benchmark, emit, generators):
             strategy="hss", per_message_cost_s=per_event)
         rows.append((
             name,
+            f"{measured['per_event_events_per_s']:,.0f}",
             f"{events_per_s:,.0f}",
             f"{cluster_rate:,.0f}",
             f"{margin:.0f}x",
@@ -59,8 +70,22 @@ def test_realtime_throughput(benchmark, emit, generators):
         # cluster's healthy log rate with a wide margin.
         assert margin > 10.0, (name, margin)
         assert placement.feasible, name
+        # The batched driver must beat the per-event loop.  The margin
+        # is modest because the scanner-level optimizations (first-char
+        # rejection, head prefilter, memo) speed up *both* paths; the
+        # batched driver's edge is the hoisted loop and clock elision.
+        assert measured["batched_vs_per_event"] > 1.05, (name, measured)
+
+    payload = write_bench_json(results)
+    # Perf gate vs the recorded pre-PR numbers (same machine only —
+    # foreign machines still get the batched-vs-per-event gate above).
+    for name, row in results.items():
+        ratio = row.get("batched_vs_pre_pr")
+        if ratio is not None:
+            assert ratio > 1.0, (name, row)
+
     emit("throughput_realtime", render_table(
-        ["System", "fleet events/s (1 core)", "cluster log rate (msg/s)",
-         "headroom", "HSS placement feasible"],
+        ["System", "per-event ev/s", "batched ev/s (1 core)",
+         "cluster log rate (msg/s)", "headroom", "HSS placement feasible"],
         rows, title="Real-time feasibility: sustained throughput vs "
                     "aggregate log rate"))

@@ -8,21 +8,37 @@ GIL would otherwise cap the aggregation point at one core; sharding
 turns the placement-model CPU budget (see
 :mod:`repro.logsim.placement`) into real parallel speedup.
 
+Deployment shape: one single-process pool per shard, so shard *i* is
+always served by worker *i*.  That pinning buys two things over a
+shared pool fed one giant ``map`` payload per shard:
+
+* **chunked submission** — each shard's lines are submitted in bounded
+  chunks, so serialization of later chunks overlaps with worker
+  computation on earlier ones instead of pickling the whole window up
+  front;
+* **cross-window state** — a shard's per-node predictor state lives in
+  exactly one worker, so mid-chain configurations survive both chunk
+  boundaries and repeated :meth:`ParallelFleet.run` calls.
+
 The worker initializer rebuilds the compiled scanner and chain tables
 once per process from a :class:`~repro.persistence.PredictorBundle`
 dict (cheap: milliseconds) rather than pickling live DFAs per task.
+Workers drive the batched :meth:`~repro.core.fleet.PredictorFleet.run`
+fast path; ``timing`` selects its clock-read mode (default ``"off"``:
+discarded lines cost no clock reads at all).
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..core.events import LogEvent, Prediction
 from ..persistence import PredictorBundle
 
 # Per-process globals, populated by the initializer.
 _WORKER_FLEET = None
+_WORKER_TIMING = "off"
 
 
 def shard_of(node: str, n_shards: int) -> int:
@@ -43,33 +59,32 @@ def partition_events(
     return shards
 
 
-def _init_worker(bundle_dict: dict, timeout: Optional[float]) -> None:
-    global _WORKER_FLEET
+def _init_worker(
+    bundle_dict: dict, timeout: Optional[float], timing: str
+) -> None:
+    global _WORKER_FLEET, _WORKER_TIMING
     bundle = PredictorBundle.from_dict(bundle_dict)
     kwargs = {} if timeout is None else {"timeout": timeout}
     _WORKER_FLEET = bundle.make_fleet(**kwargs)
+    _WORKER_TIMING = timing
 
 
-def _run_shard(lines: List[str]) -> List[tuple]:
+def _run_chunk(lines: List[str]) -> List[tuple]:
     assert _WORKER_FLEET is not None, "worker not initialized"
-    out = []
-    for line in lines:
-        event = LogEvent.from_line(line)
-        prediction = _WORKER_FLEET.process(event)
-        if prediction is not None:
-            out.append(
-                (prediction.node, prediction.chain_id,
-                 prediction.flagged_at, prediction.prediction_time,
-                 prediction.matched_tokens)
-            )
-    return out
+    events = [LogEvent.from_line(line) for line in lines]
+    report = _WORKER_FLEET.run(events, timing=_WORKER_TIMING)
+    return [
+        (p.node, p.chain_id, p.flagged_at, p.prediction_time,
+         p.matched_tokens)
+        for p in report.predictions
+    ]
 
 
 class ParallelFleet:
     """Multiprocess fleet over a sharded cluster stream.
 
-    Use as a context manager or call :meth:`close` — the worker pool is
-    long-lived so repeated windows amortize process startup.
+    Use as a context manager or call :meth:`close` — the worker pools
+    are long-lived so repeated windows amortize process startup.
     """
 
     def __init__(
@@ -78,33 +93,53 @@ class ParallelFleet:
         *,
         n_workers: int = 4,
         timeout: Optional[float] = None,
+        chunk_lines: int = 4096,
+        timing: str = "off",
     ):
         if n_workers < 1:
             raise ValueError("need at least one worker")
+        if chunk_lines < 1:
+            raise ValueError("need at least one line per chunk")
         self.n_workers = n_workers
-        self._pool = mp.get_context("spawn").Pool(
-            processes=n_workers,
-            initializer=_init_worker,
-            initargs=(bundle.to_dict(), timeout),
-        )
+        self.chunk_lines = chunk_lines
+        ctx = mp.get_context("spawn")
+        bundle_dict = bundle.to_dict()
+        # One single-process pool per shard: shard i → worker i, always.
+        self._pools = [
+            ctx.Pool(
+                processes=1,
+                initializer=_init_worker,
+                initargs=(bundle_dict, timeout, timing),
+            )
+            for _ in range(n_workers)
+        ]
 
     def run(self, events: Sequence[LogEvent]) -> List[Prediction]:
         """Process a window; returns predictions sorted by flag time."""
         shards = partition_events(events, self.n_workers)
-        payloads = [[e.to_line() for e in shard] for shard in shards]
-        results = self._pool.map(_run_shard, payloads)
+        chunk_lines = self.chunk_lines
+        pending = []
+        for shard_idx, shard in enumerate(shards):
+            pool = self._pools[shard_idx]
+            # FIFO within a single-process pool keeps chunk order; the
+            # serialization of chunk k+1 overlaps the compute of chunk k.
+            for start in range(0, len(shard), chunk_lines):
+                payload = [e.to_line() for e in shard[start : start + chunk_lines]]
+                pending.append(pool.apply_async(_run_chunk, (payload,)))
         predictions = [
             Prediction(node=n, chain_id=c, flagged_at=f,
                        prediction_time=p, matched_tokens=tuple(m))
-            for shard_result in results
-            for (n, c, f, p, m) in shard_result
+            for result in pending
+            for (n, c, f, p, m) in result.get()
         ]
         predictions.sort(key=lambda p: p.flagged_at)
         return predictions
 
     def close(self) -> None:
-        self._pool.close()
-        self._pool.join()
+        for pool in self._pools:
+            pool.close()
+        for pool in self._pools:
+            pool.join()
 
     def __enter__(self) -> "ParallelFleet":
         return self

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import time as _time
 from dataclasses import dataclass, field
-from typing import Callable, List, Literal, Optional
+from typing import Callable, Iterable, List, Literal, Optional, Tuple
 
 from ..parsegen import END, FeedResult, StreamingParser
 from .chains import ChainSet
@@ -35,6 +35,9 @@ from .rules import build_rules
 
 Tokenizer = Callable[[str], Optional[int]]
 Backend = Literal["matcher", "lalr"]
+Timing = Literal["full", "sampled", "off"]
+
+_TIMING_MODES = ("full", "sampled", "off")
 
 
 @dataclass
@@ -124,6 +127,138 @@ class AarohiPredictor:
         """Feed a pre-tokenized phrase (used by token-level benches)."""
         return self._feed(token, event_time, 0.0)
 
+    def process_batch(
+        self, events: Iterable[LogEvent], *, timing: Timing = "full"
+    ) -> List[Prediction]:
+        """Scan + parse a batch of events for this node in one flat loop.
+
+        Semantically identical to calling :meth:`process` per event (the
+        differential suite in ``tests/core`` asserts this), but with
+        every attribute hoisted out of the loop, and a ``timing`` mode
+        controlling clock reads:
+
+        * ``"full"`` — per-event timing exactly like :meth:`process`;
+        * ``"sampled"`` — only the chain check (feed) of FC-related
+          phrases is timed; discarded lines cost **zero** clock reads,
+          so ``prediction_time`` excludes scan cost;
+        * ``"off"`` — no clock reads at all; timing stats stay zero and
+          predictions carry ``prediction_time == 0.0``.
+        """
+        predictions: List[Prediction] = []
+        self._run_batch(events, timing, lambda i, p: predictions.append(p))
+        return predictions
+
+    def _run_batch(
+        self,
+        events: Iterable[LogEvent],
+        timing: Timing,
+        emit: Callable[[int, Prediction], None],
+    ) -> None:
+        """Core batched loop; ``emit(i, prediction)`` receives the index
+        of the event (within ``events``) that completed each match."""
+        if timing not in _TIMING_MODES:
+            raise ValueError(f"unknown timing mode {timing!r}")
+        if not isinstance(events, (list, tuple)):
+            events = list(events)
+        stats = self.stats
+        tokenizer = self.tokenizer
+        is_relevant = self.chains.is_relevant
+        engine_feed = self._engine.feed
+        clock = self._clock
+        node = self.node
+        chain_cost = self._chain_cost
+        tokenized = 0
+        tokenize_seconds = 0.0
+        feed_seconds = 0.0
+        n_predictions = 0
+        try:
+            if timing == "full":
+                for i, event in enumerate(events):
+                    t0 = clock()
+                    token = tokenizer(event.message)
+                    t1 = clock()
+                    scan_cost = t1 - t0
+                    tokenize_seconds += scan_cost
+                    if token is None or not is_relevant(token):
+                        chain_cost += scan_cost
+                        continue
+                    tokenized += 1
+                    t2 = clock()
+                    match = engine_feed(token, event.time)
+                    cost = clock() - t2
+                    feed_seconds += cost
+                    chain_cost += scan_cost + cost
+                    if match is None:
+                        continue
+                    prediction_time = chain_cost
+                    chain_cost = 0.0
+                    n_predictions += 1
+                    emit(
+                        i,
+                        Prediction(
+                            node=node,
+                            chain_id=match.chain_id,
+                            flagged_at=match.end_time,
+                            prediction_time=prediction_time,
+                            matched_tokens=match.tokens,
+                        ),
+                    )
+            elif timing == "sampled":
+                for i, event in enumerate(events):
+                    token = tokenizer(event.message)
+                    if token is None or not is_relevant(token):
+                        continue
+                    tokenized += 1
+                    t2 = clock()
+                    match = engine_feed(token, event.time)
+                    cost = clock() - t2
+                    feed_seconds += cost
+                    chain_cost += cost
+                    if match is None:
+                        continue
+                    prediction_time = chain_cost
+                    chain_cost = 0.0
+                    n_predictions += 1
+                    emit(
+                        i,
+                        Prediction(
+                            node=node,
+                            chain_id=match.chain_id,
+                            flagged_at=match.end_time,
+                            prediction_time=prediction_time,
+                            matched_tokens=match.tokens,
+                        ),
+                    )
+            else:  # timing == "off": the leanest loop, zero clock reads
+                for i, event in enumerate(events):
+                    token = tokenizer(event.message)
+                    if token is None or not is_relevant(token):
+                        continue
+                    tokenized += 1
+                    match = engine_feed(token, event.time)
+                    if match is None:
+                        continue
+                    n_predictions += 1
+                    emit(
+                        i,
+                        Prediction(
+                            node=node,
+                            chain_id=match.chain_id,
+                            flagged_at=match.end_time,
+                            prediction_time=0.0,
+                            matched_tokens=match.tokens,
+                        ),
+                    )
+        finally:
+            # The batch is accounted wholesale (events is a sequence by
+            # this point), saving a per-event counter in the hot loops.
+            self._chain_cost = chain_cost
+            stats.lines_seen += len(events)
+            stats.lines_tokenized += tokenized
+            stats.tokenize_seconds += tokenize_seconds
+            stats.feed_seconds += feed_seconds
+            stats.predictions += n_predictions
+
     def _feed(self, token: int, event_time: float, scan_cost: float) -> Optional[Prediction]:
         clock = self._clock
         t0 = clock()
@@ -186,6 +321,9 @@ class _LalrEngine(_Engine):
         self._last_time = 0.0
         self._start_time = 0.0
         self._tokens: List[int] = []
+        # token id → terminal name, interned once (the scanner emits a
+        # small closed vocabulary, so this never grows unbounded).
+        self._names = {t: terminal_name(t) for t in chains.token_set}
 
     def feed(self, token: int, time: float) -> Optional[Match]:
         parser = self.parser
@@ -194,15 +332,20 @@ class _LalrEngine(_Engine):
             parser.reset()
             self._tokens.clear()
             active = False
-        result = parser.feed(terminal_name(token), token)
+        name = self._names.get(token)
+        if name is None:
+            name = self._names[token] = terminal_name(token)
+        result = parser.feed(name, token)
         if result is FeedResult.ERROR:
             return None  # skip (mid-chain mismatch or irrelevant start)
         if not active:
             self._start_time = time
         self._last_time = time
         self._tokens.append(token)
-        if parser.would_accept(END):
-            parser.feed(END)
+        # Probe-free completion check: feed($end) directly — rejection
+        # is non-destructive, so a mid-chain configuration is untouched,
+        # and acceptance replaces the old would_accept+feed double walk.
+        if parser.feed(END) is FeedResult.ACCEPTED:
             chain_id = parser.result  # set by the accept action
             tokens = tuple(self._tokens)
             parser.reset()

@@ -10,7 +10,8 @@ accept states are tagged with rule indices.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple
+from functools import cached_property
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from ..regexlib import ast as rast
 from ..regexlib import parser as rparser
@@ -103,6 +104,16 @@ class CompiledLexSpec:
 
     def rule_of_tag(self, tag: int) -> LexRule:
         return self.spec.rules[tag]
+
+    @cached_property
+    def matcher(self) -> Callable[[str, int], Tuple[Optional[int], int]]:
+        """Closure-specialized ``match(text, pos=0)`` over the merged DFA.
+
+        Same contract as :meth:`longest_match` but with every table
+        bound into the closure (see :meth:`repro.regexlib.dfa.DFA.compile_matcher`);
+        hot callers (the online scanner) should grab this once.
+        """
+        return self.dfa.compile_matcher()
 
     def longest_match(self, text: str, pos: int) -> Tuple[Optional[int], int]:
         """(rule index, end) of the longest match at ``pos``; (None, pos) if none."""

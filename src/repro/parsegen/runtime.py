@@ -134,33 +134,65 @@ class StreamingParser:
 
     # -- mutation -------------------------------------------------------
     def feed(self, terminal: str, value: Any = None) -> FeedResult:
+        """Offer one token: trial-simulate, then commit.
+
+        A single reduce simulation on a state-only stack decides
+        viability *and* records the ``(production, goto state)`` plan;
+        on success the plan replays against the value stack without
+        re-resolving any table entries.  A non-viable token returns
+        ``ERROR`` having touched nothing.
+        """
         if self._accepted:
             return FeedResult.ERROR
-        if not self.would_accept(terminal):
-            return FeedResult.ERROR
-        action_table = self.tables.action
-        grammar = self.tables.grammar
+        tables = self.tables
+        action_table = tables.action
+        goto_table = tables.goto
+        productions = tables.grammar.productions
+        reduce_kind = ActionKind.REDUCE
+        shift_kind = ActionKind.SHIFT
         stack = self._stack
+
+        # Trial: simulate pending reduces on states only.
+        states = [e.state for e in stack]
+        plan: List[Tuple[Any, int]] = []  # (production, goto state)
+        shift_target = -1
+        accepted = False
         while True:
-            act: Action = action_table[stack[-1].state][terminal]
-            if act.kind is ActionKind.SHIFT:
-                stack.append(_StackEntry(act.target, value))
-                return FeedResult.SHIFTED
-            if act.kind is ActionKind.ACCEPT:
-                self._accepted = True
-                # Stack: [start_entry, start_symbol_entry]
-                self._result = stack[-1].value
-                return FeedResult.ACCEPTED
-            # REDUCE
-            prod = grammar.productions[act.target]
+            act = action_table[states[-1]].get(terminal)
+            if act is None:
+                return FeedResult.ERROR
+            kind = act.kind
+            if kind is reduce_kind:
+                prod = productions[act.target]
+                if prod.rhs:
+                    del states[len(states) - len(prod.rhs) :]
+                goto_state = goto_table[states[-1]].get(prod.lhs)
+                if goto_state is None:  # inconsistent tables; treat as error
+                    return FeedResult.ERROR
+                states.append(goto_state)
+                plan.append((prod, goto_state))
+                continue
+            if kind is shift_kind:
+                shift_target = act.target
+            else:  # ACCEPT
+                accepted = True
+            break
+
+        # Commit: replay the recorded reduces with semantic values.
+        for prod, goto_state in plan:
             k = len(prod.rhs)
             values = [e.value for e in stack[len(stack) - k :]] if k else []
             if k:
                 del stack[len(stack) - k :]
             action = prod.action or _default_action
-            lhs_value = action(values)
-            goto_state = self.tables.goto[stack[-1].state][prod.lhs]
-            stack.append(_StackEntry(goto_state, lhs_value))
+            stack.append(_StackEntry(goto_state, action(values)))
+        if accepted:
+            self._accepted = True
+            # Stack: [start_entry, start_symbol_entry]
+            self._result = stack[-1].value
+            return FeedResult.ACCEPTED
+        stack.append(_StackEntry(shift_target, value))
+        return FeedResult.SHIFTED
 
     def finish(self) -> Any:
         """Signal end of input; returns the start symbol's value."""

@@ -12,7 +12,8 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from functools import cached_property
+from typing import Callable, Dict, List, Optional, Tuple
 
 from .charset import CharSet, partition_alphabet
 from .nfa import NFA
@@ -91,6 +92,10 @@ class DFA:
 
         Returns ``(tag, end)`` for the longest accepting prefix, or
         ``(None, pos)`` if even the empty prefix does not accept.
+
+        The scan loop inlines the ASCII classifier lookup (one list
+        index instead of a method call per character); only non-ASCII
+        codepoints fall back to :meth:`Classifier.classify`.
         """
         state = self.start
         best_tag = self.accepts[state]
@@ -98,15 +103,17 @@ class DFA:
         transitions = self.transitions
         accepts = self.accepts
         n_classes = self.n_classes
+        ascii_table = self.classifier.ascii_table
         classify = self.classifier.classify
         i = pos
         n = len(text)
         while i < n:
-            cls = classify(ord(text[i]))
+            cp = ord(text[i])
+            cls = ascii_table[cp] if cp < 128 else classify(cp)
             if cls < 0:
                 break
             state = transitions[state * n_classes + cls]
-            if state == DEAD:
+            if state < 0:
                 break
             i += 1
             tag = accepts[state]
@@ -114,6 +121,96 @@ class DFA:
                 best_tag = tag
                 best_end = i
         return best_tag, best_end
+
+    def compile_matcher(self) -> Callable[[str, int], Tuple[Optional[int], int]]:
+        """Build a closure-specialized ``match(text, pos=0)``.
+
+        All tables are captured as local tuples (immutable, contiguous)
+        so the scan loop pays no attribute lookups at all — the scanner
+        analog of flex emitting a flattened C loop.
+        """
+        transitions = tuple(self.transitions)
+        accepts = tuple(self.accepts)
+        n_classes = self.n_classes
+        ascii_table = tuple(self.classifier.ascii_table)
+        classify = self.classifier.classify
+        start = self.start
+
+        def match(text: str, pos: int = 0) -> Tuple[Optional[int], int]:
+            state = start
+            best_tag = accepts[state]
+            best_end = pos
+            i = pos
+            n = len(text)
+            while i < n:
+                cp = ord(text[i])
+                cls = ascii_table[cp] if cp < 128 else classify(cp)
+                if cls < 0:
+                    break
+                state = transitions[state * n_classes + cls]
+                if state < 0:
+                    break
+                i += 1
+                tag = accepts[state]
+                if tag is not None:
+                    best_tag = tag
+                    best_end = i
+            return best_tag, best_end
+
+        return match
+
+    @cached_property
+    def start_viable_ascii(self) -> bytes:
+        """128-entry table: 1 iff an ASCII codepoint can leave the start
+        state.  Lets callers reject most non-matching inputs with a
+        single index instead of entering the scan loop (Fig. 12: the
+        overwhelming majority of log lines are not FC-related)."""
+        base = self.start * self.n_classes
+        transitions = self.transitions
+        table = bytearray(128)
+        for cp, cls in enumerate(self.classifier.ascii_table):
+            if cls >= 0 and transitions[base + cls] >= 0:
+                table[cp] = 1
+        return bytes(table)
+
+    @cached_property
+    def max_match_length(self) -> Optional[int]:
+        """Longest path (in characters) from the start state, or ``None``
+        if the DFA is cyclic (unbounded matches, e.g. internal ``.*``).
+
+        When finite, ``match(text, 0)`` depends only on
+        ``text[:max_match_length]`` — which makes a prefix-keyed memo
+        cache on tokenizers sound."""
+        transitions = self.transitions
+        n_classes = self.n_classes
+        longest = [-1] * self.n_states  # -1 = not yet finished
+        on_stack = [False] * self.n_states
+        stack: List[Tuple[int, bool]] = [(self.start, False)]
+        while stack:
+            s, processed = stack.pop()
+            if processed:
+                on_stack[s] = False
+                best = 0
+                base = s * n_classes
+                for c in range(n_classes):
+                    t = transitions[base + c]
+                    if t >= 0 and longest[t] + 1 > best:
+                        best = longest[t] + 1
+                longest[s] = best
+                continue
+            if longest[s] >= 0 or on_stack[s]:
+                continue
+            on_stack[s] = True
+            stack.append((s, True))
+            base = s * n_classes
+            for c in range(n_classes):
+                t = transitions[base + c]
+                if t >= 0:
+                    if on_stack[t]:
+                        return None  # back edge: cycle
+                    if longest[t] < 0:
+                        stack.append((t, False))
+        return longest[self.start]
 
 
 def from_nfa(nfa: NFA) -> DFA:

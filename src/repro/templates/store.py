@@ -45,6 +45,33 @@ def template_to_pattern(template: str) -> str:
     return ".*".join(escaped)
 
 
+def template_literal_head(template: str) -> str:
+    """The literal prefix every match of ``template`` must start with.
+
+    This is the text before the first wildcard, right-stripped (the
+    compiled pattern drops trailing spaces before a trailing ``*``, so
+    only the rstripped head is guaranteed).  Sound as a *rejection*
+    filter: a message that does not start with this cannot match the
+    template, whatever its wildcard structure.
+    """
+    return template.split(MASK, 1)[0].rstrip()
+
+
+def heads_by_first_char(heads: Iterable[str]) -> Optional[Dict[str, Tuple[str, ...]]]:
+    """Bucket literal heads by first character for C-speed prefiltering.
+
+    Returns ``None`` (filter unusable) if any head is empty — a
+    leading-wildcard template can match anything.
+    """
+    unique = sorted(set(heads))
+    if not unique or any(not h for h in unique):
+        return None
+    buckets: Dict[str, List[str]] = {}
+    for head in unique:
+        buckets.setdefault(head[0], []).append(head)
+    return {c: tuple(hs) for c, hs in buckets.items()}
+
+
 @dataclass(frozen=True)
 class Template:
     """A registered phrase template."""
@@ -131,7 +158,15 @@ class TemplateStore:
     def compile_scanner(
         self, keep: Optional[Iterable[int]] = None, *, minimized: bool = True
     ) -> "TemplateScanner":
-        return TemplateScanner(self.lex_spec(keep).compile(minimized=minimized))
+        compiled = self.lex_spec(keep).compile(minimized=minimized)
+        heads = [
+            template_literal_head(self._by_token[int(rule.name)].text)
+            for rule in compiled.spec.rules
+        ]
+        return TemplateScanner(compiled, prefilter_heads=heads)
+
+
+_MEMO_MISS = object()  # cache sentinel: None is a legitimate cached value
 
 
 class TemplateScanner:
@@ -140,19 +175,96 @@ class TemplateScanner:
     Matches the merged template DFA at position 0 of the message.  A
     match needs only the literal head of some template; the variable
     tail is never scanned.
+
+    Four hot-path optimizations on top of the plain DFA scan, none of
+    which changes observable behavior:
+
+    * **first-char rejection** — a 128-entry table of ASCII codepoints
+      that can leave the DFA's start state; a message whose first char
+      is not in it can match nothing, so it is discarded with one index
+      (most log lines, per Fig. 12);
+    * **literal-head prefilter** — any match must begin with some
+      template's literal head, so survivors of the first-char check are
+      tested with ``str.startswith`` (a C memcmp) over the heads
+      sharing their first character before the Python scan loop runs;
+    * **closure-specialized kernel** — the scan runs through
+      :attr:`CompiledLexSpec.matcher`, a flattened loop with all tables
+      bound as locals;
+    * **bounded memo** — results are cached for messages that pass the
+      cheap rejection filters.  When the DFA is acyclic, a match is
+      fully determined by the first ``max_match_length`` characters, so
+      the cache keys on that prefix; otherwise it keys on the whole
+      message (sound for any DFA: ``tokenize`` is a pure function of
+      the message, and CPython caches string hashes, so repeated log
+      lines cost one dict probe).  The cache is cleared when it reaches
+      ``memo_capacity``, bounding memory.
     """
 
-    __slots__ = ("compiled", "_match")
+    __slots__ = (
+        "compiled",
+        "_match",
+        "_token_of_tag",
+        "_first_ok",
+        "_heads_by_first",
+        "_memo",
+        "_memo_len",
+        "_memo_capacity",
+    )
 
-    def __init__(self, compiled: CompiledLexSpec):
+    def __init__(
+        self,
+        compiled: CompiledLexSpec,
+        *,
+        memo_capacity: int = 4096,
+        prefilter_heads: Optional[Iterable[str]] = None,
+    ):
         self.compiled = compiled
-        self._match = compiled.dfa.match
+        self._match = compiled.matcher
+        self._token_of_tag = tuple(int(rule.name) for rule in compiled.spec.rules)
+        self._first_ok = compiled.dfa.start_viable_ascii
+        self._heads_by_first = (
+            heads_by_first_char(prefilter_heads)
+            if prefilter_heads is not None
+            else None
+        )
+        # Memo key: the determining prefix when the DFA is acyclic, the
+        # whole message otherwise (always sound — tokenize is pure).
+        self._memo_len = compiled.dfa.max_match_length
+        self._memo: Optional[Dict[str, Optional[int]]] = (
+            {} if memo_capacity > 0 else None
+        )
+        self._memo_capacity = memo_capacity
 
     def tokenize(self, message: str) -> Optional[int]:
-        tag, end = self._match(message, 0)
-        if tag is None:
+        if not message:
             return None
-        return int(self.compiled.spec.rules[tag].name)
+        first = message[0]
+        cp = ord(first)
+        if cp < 128 and not self._first_ok[cp]:
+            return None
+        memo = self._memo
+        if memo is None:
+            return self._scan(message)
+        memo_len = self._memo_len
+        key = message if memo_len is None else message[:memo_len]
+        token = memo.get(key, _MEMO_MISS)
+        if token is not _MEMO_MISS:
+            return token
+        token = self._scan(message)
+        if len(memo) >= self._memo_capacity:
+            memo.clear()
+        memo[key] = token
+        return token
+
+    def _scan(self, message: str) -> Optional[int]:
+        """Prefilter + DFA walk (the uncached tokenize tail)."""
+        heads_by_first = self._heads_by_first
+        if heads_by_first is not None:
+            heads = heads_by_first.get(message[0])
+            if heads is None or not message.startswith(heads):
+                return None
+        tag, _ = self._match(message, 0)
+        return self._token_of_tag[tag] if tag is not None else None
 
 
 class NaiveTemplateScanner:

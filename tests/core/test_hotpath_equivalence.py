@@ -1,0 +1,185 @@
+"""Differential equivalence suite for the batched hot path.
+
+The batched drivers (:meth:`AarohiPredictor.process_batch`,
+:meth:`PredictorFleet.run` with its ``timing`` modes) are pure
+performance restructurings: under a constant clock they must produce
+**byte-identical** predictions and stats to the per-event
+:meth:`AarohiPredictor.process` loop, for both backends, with and
+without timeout pressure, on multi-node interleaved streams with
+benign noise.
+"""
+
+import pytest
+
+from repro.core import ChainSet, FailureChain, LogEvent, PredictorFleet
+from repro.core.events import Severity
+from repro.core.predictor import AarohiPredictor
+from repro.templates import TemplateStore
+
+ZERO_CLOCK = lambda: 0.0  # noqa: E731 — constant clock: timings byte-compare
+
+
+@pytest.fixture(scope="module")
+def store():
+    s = TemplateStore()
+    s.add("alpha fault *", Severity.ERRONEOUS, token=301)
+    s.add("beta warn *", Severity.UNKNOWN, token=302)
+    s.add("gamma err *", Severity.ERRONEOUS, token=303)
+    s.add("delta panic *", Severity.ERRONEOUS, token=304)
+    s.add("epsilon trap *", Severity.UNKNOWN, token=305)
+    return s
+
+
+@pytest.fixture(scope="module")
+def chains():
+    return ChainSet([
+        FailureChain("FC_x", (301, 302, 303)),
+        FailureChain("FC_y", (304, 305)),
+    ])
+
+
+def mixed_stream(n_nodes=4, repeats=6, gap_every=5):
+    """Interleaved multi-node stream: chain phrases, benign noise, and
+    periodic long gaps that trip small timeouts mid-chain."""
+    msgs = [
+        "alpha fault a", "benign chatter one", "beta warn b",
+        "delta panic d", "unrelated noise xyz", "gamma err c",
+        "epsilon trap e", "zeta nothing at all",
+    ]
+    events = []
+    t = 0.0
+    for r in range(repeats):
+        for i, m in enumerate(msgs):
+            node = f"node-{(r + i) % n_nodes}"
+            t += 100.0 if (r * len(msgs) + i) % gap_every == 0 else 1.0
+            events.append(LogEvent(t, node, m))
+    return events
+
+
+def run_per_event(fleet, events):
+    """The reference path: one process() call per event, stream order."""
+    out = []
+    for event in events:
+        prediction = fleet.process(event)
+        if prediction is not None:
+            out.append(prediction)
+    return out
+
+
+def fleet_stats(fleet):
+    return {
+        node: (p.stats.lines_seen, p.stats.lines_tokenized,
+               p.stats.predictions, p.stats.tokenize_seconds,
+               p.stats.feed_seconds)
+        for node, p in fleet._predictors.items()
+    }
+
+
+@pytest.mark.parametrize("backend", ["matcher", "lalr"])
+@pytest.mark.parametrize("timeout", [100.0, 3.0])
+@pytest.mark.parametrize("timing", ["full", "sampled", "off"])
+class TestFleetBatchedEquivalence:
+    def test_identical_predictions_and_stats(
+        self, store, chains, backend, timeout, timing
+    ):
+        events = mixed_stream()
+        reference = PredictorFleet.from_store(
+            chains, store, timeout=timeout, backend=backend, clock=ZERO_CLOCK)
+        expected = run_per_event(reference, events)
+
+        batched = PredictorFleet.from_store(
+            chains, store, timeout=timeout, backend=backend, clock=ZERO_CLOCK)
+        report = batched.run(events, timing=timing)
+
+        assert report.predictions == expected  # dataclass eq: every field
+        assert fleet_stats(batched) == fleet_stats(reference)
+        assert report.lines_seen == len(events)
+        assert report.lines_tokenized == sum(
+            p.stats.lines_tokenized for p in reference._predictors.values())
+
+
+@pytest.mark.parametrize("backend", ["matcher", "lalr"])
+@pytest.mark.parametrize("timing", ["full", "sampled", "off"])
+class TestPredictorBatchEquivalence:
+    def test_process_batch_matches_process(self, store, chains, backend, timing):
+        events = [e for e in mixed_stream(n_nodes=1)]
+        ref = AarohiPredictor.from_store(
+            chains, store, timeout=3.0, backend=backend, clock=ZERO_CLOCK)
+        expected = [p for p in map(ref.process, events) if p is not None]
+
+        batched = AarohiPredictor.from_store(
+            chains, store, timeout=3.0, backend=backend, clock=ZERO_CLOCK)
+        got = batched.process_batch(events, timing=timing)
+
+        assert got == expected
+        assert batched.stats.lines_seen == ref.stats.lines_seen
+        assert batched.stats.lines_tokenized == ref.stats.lines_tokenized
+        assert batched.stats.predictions == ref.stats.predictions
+
+    def test_batch_boundaries_are_invisible(self, store, chains, backend, timing):
+        """Splitting one stream across several process_batch calls keeps
+        mid-chain state (chain cost, engine position) intact."""
+        events = mixed_stream(n_nodes=1)
+        whole = AarohiPredictor.from_store(
+            chains, store, timeout=3.0, backend=backend, clock=ZERO_CLOCK)
+        expected = whole.process_batch(events, timing=timing)
+
+        split = AarohiPredictor.from_store(
+            chains, store, timeout=3.0, backend=backend, clock=ZERO_CLOCK)
+        got = []
+        for start in range(0, len(events), 7):
+            got.extend(split.process_batch(events[start:start + 7], timing=timing))
+        assert got == expected
+
+
+class TestTimingModes:
+    def test_off_reads_no_clock(self, store, chains):
+        reads = []
+
+        def counting_clock():
+            reads.append(1)
+            return 0.0
+
+        fleet = PredictorFleet.from_store(
+            chains, store, timeout=100.0, clock=counting_clock)
+        fleet.run(mixed_stream(), timing="off")
+        assert not reads
+
+    def test_sampled_skips_discarded_lines(self, store, chains):
+        reads = []
+
+        def counting_clock():
+            reads.append(1)
+            return 0.0
+
+        fleet = PredictorFleet.from_store(
+            chains, store, timeout=100.0, clock=counting_clock)
+        report = fleet.run(mixed_stream(), timing="sampled")
+        # Exactly two reads per FC-related phrase, none for discards.
+        assert len(reads) == 2 * report.lines_tokenized
+
+    def test_unknown_timing_rejected(self, store, chains):
+        fleet = PredictorFleet.from_store(chains, store, timeout=100.0)
+        with pytest.raises(ValueError):
+            fleet.run(mixed_stream(), timing="warp")
+
+
+class TestRunWindowAccounting:
+    def test_second_run_not_double_counted(self, store, chains):
+        """Regression: FleetReport summed cumulative per-predictor
+        counters, so a second run() re-reported the first window."""
+        events = mixed_stream()
+        fleet = PredictorFleet.from_store(chains, store, timeout=100.0)
+        first = fleet.run(events)
+        second = fleet.run(events)
+        assert first.lines_seen == len(events)
+        assert second.lines_seen == len(events)
+        assert second.lines_tokenized == first.lines_tokenized
+
+    def test_mixed_process_and_run_windows(self, store, chains):
+        events = mixed_stream()
+        fleet = PredictorFleet.from_store(chains, store, timeout=100.0)
+        for event in events[:10]:
+            fleet.process(event)
+        report = fleet.run(events[10:])
+        assert report.lines_seen == len(events) - 10

@@ -1,0 +1,87 @@
+"""Property test: StreamingParser rejection is side-effect free.
+
+Guards the trial-commit rewrite of :meth:`StreamingParser.feed`: a feed
+that returns ``ERROR`` must leave the configuration — state stack,
+semantic values, current state, ``result``, ``accepted`` — untouched,
+and semantic actions must not have run.  Algorithm 2's "skip unexpected
+phrases" depends on this; a leaked reduce would corrupt every
+subsequent chain check.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parsegen import FeedResult, Grammar, StreamingParser, build_tables
+
+
+def arithmetic_tables():
+    """A reduce-heavy grammar (expressions) so rejected feeds happen in
+    configurations with pending reduces on the stack."""
+    g = Grammar("E")
+    g.add("E", ["E", "+", "T"], action=lambda v: v[0] + v[2])
+    g.add("E", ["T"])
+    g.add("T", ["T", "*", "F"], action=lambda v: v[0] * v[2])
+    g.add("T", ["F"])
+    g.add("F", ["(", "E", ")"], action=lambda v: v[1])
+    g.add("F", ["n"])
+    return build_tables(g)
+
+
+TABLES = arithmetic_tables()
+TERMINALS = ["n", "+", "*", "(", ")"]
+
+
+def snapshot(parser):
+    return (
+        [(e.state, e.value) for e in parser._stack],
+        parser.state,
+        parser.result,
+        parser.accepted,
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.sampled_from(TERMINALS), min_size=0, max_size=40))
+def test_rejected_feed_leaves_configuration_unchanged(offers):
+    parser = StreamingParser(TABLES)
+    for terminal in offers:
+        before = snapshot(parser)
+        result = parser.feed(terminal, 2)
+        if result is FeedResult.ERROR:
+            assert snapshot(parser) == before
+        else:
+            # Sanity: a viable feed did make progress.
+            assert result is FeedResult.SHIFTED
+            assert parser._stack[-1].state >= 0
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.sampled_from(TERMINALS), min_size=0, max_size=40))
+def test_rejecting_actions_never_run(offers):
+    """Semantic actions fire only on committed reduces: replaying just
+    the accepted tokens through a fresh parser gives the same stack."""
+    parser = StreamingParser(TABLES)
+    accepted = []
+    for terminal in offers:
+        if parser.feed(terminal, 2) is FeedResult.SHIFTED:
+            accepted.append(terminal)
+    replay = StreamingParser(TABLES)
+    for terminal in accepted:
+        assert replay.feed(terminal, 2) is FeedResult.SHIFTED
+    assert snapshot(replay) == snapshot(parser)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.sampled_from(TERMINALS), min_size=0, max_size=30))
+def test_would_accept_agrees_with_feed(offers):
+    """would_accept(t) is exactly 'feed(t) would not error'."""
+    parser = StreamingParser(TABLES)
+    for terminal in offers:
+        for probe in TERMINALS:
+            viable = parser.would_accept(probe)
+            shadow_before = snapshot(parser)
+            # Probing must never mutate either.
+            assert snapshot(parser) == shadow_before
+            if probe == terminal:
+                result = parser.feed(terminal, 2)
+                assert (result is not FeedResult.ERROR) == viable
