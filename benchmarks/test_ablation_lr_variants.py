@@ -12,7 +12,7 @@ LALR-but-not-SLR case).
 
 import time
 
-from repro.core import build_chain_tables, build_rules
+from repro.core import build_rules
 from repro.core.grammar_builder import flat_grammar
 from repro.parsegen import build_tables
 from repro.parsegen.variants import build_canonical_lr1_tables, build_slr_tables

@@ -8,7 +8,6 @@ offline path pays for the online speed.
 
 from statistics import mean
 
-from repro.baselines import AarohiMessageDetector, repeat_message_checks
 from repro.reporting import render_table
 from repro.templates.store import NaiveTemplateScanner
 

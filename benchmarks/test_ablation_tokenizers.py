@@ -11,9 +11,7 @@ tree and Spell's LCS matching, which must cluster *every* message.
 import time
 from statistics import mean
 
-import numpy as np
 
-from repro.logsim import ClusterLogGenerator, HPC3
 from repro.reporting import render_table
 from repro.templates import DrainParser, SpellParser
 

@@ -56,7 +56,6 @@ def test_fig10_platforms(benchmark, emit):
 
     # Shape: Opteron slowest at every length; modest absolute values.
     opteron = [measured[n] * 1.9 for n in LENGTHS]
-    others = [measured[n] * f for f in (1.0, 0.85, 0.9) for n in LENGTHS]
     assert min(opteron) > 0
     assert all(o >= measured[n] * 0.85 for o, n in zip(opteron, LENGTHS))
     # Sublinear growth: 3820/302 length ratio ≈ 12.6×, time ratio smaller

@@ -1,0 +1,70 @@
+"""Observability overhead gate: instrumented throughput ≥95% of off.
+
+The obs subsystem's contract is that it is *optional and cheap*: the
+registry path accumulates per batch, the counting scanner derives its
+common-path funnel stages arithmetically, and the tracer touches only
+FC-related tokens.  This bench measures all three fleet configurations
+(off / metrics / metrics+full-sampling tracer) interleaved on the HPC1
+discard-heavy stream, asserts the ≥95% floor, and writes the numbers to
+``BENCH_obs.json``.
+
+Before timing anything, a differential check confirms instrumentation
+never changes predictions.
+"""
+
+import io
+
+from repro.core import PredictorFleet
+from repro.obs import Observability, Tracer
+from repro.reporting import render_table
+
+from emit_bench import discard_heavy_stream
+from obs_overhead import (
+    OVERHEAD_FLOOR,
+    TRACED_FLOOR,
+    measure_obs_overhead,
+    write_bench_json,
+)
+
+
+def assert_obs_path_equivalent(gen, n_events=4000):
+    """Differential check: instrumented fleet.run == uninstrumented."""
+    events = discard_heavy_stream(gen, n_events)
+    zero = lambda: 0.0  # noqa: E731
+    plain = PredictorFleet.from_store(
+        gen.chains, gen.store, timeout=gen.recommended_timeout, clock=zero)
+    expected = plain.run(events, timing="off").predictions
+    obs = Observability(tracer=Tracer(io.StringIO(), sample=1.0))
+    traced = PredictorFleet.from_store(
+        gen.chains, gen.store, timeout=gen.recommended_timeout,
+        clock=zero, obs=obs)
+    report = traced.run(events, timing="off")
+    assert report.predictions == expected, gen.config.name
+    assert report.lines_seen == n_events
+
+
+def test_obs_overhead(benchmark, emit, generators):
+    gen = generators["HPC1"]
+    assert_obs_path_equivalent(gen)
+    measured = benchmark.pedantic(
+        measure_obs_overhead, args=(gen,), rounds=1, iterations=1)
+    results = {"HPC1": measured}
+    write_bench_json(results)
+
+    emit("obs_overhead", render_table(
+        ["config", "events/s", "vs off"],
+        [
+            ("off", f"{measured['off_events_per_s']:,.0f}", "1.0000"),
+            ("metrics", f"{measured['metrics_events_per_s']:,.0f}",
+             f"{measured['metrics_vs_off']:.4f}"),
+            ("metrics+tracer", f"{measured['traced_events_per_s']:,.0f}",
+             f"{measured['traced_vs_off']:.4f}"),
+        ],
+        title="Observability overhead on the HPC1 discard-heavy stream "
+              f"(floor: {OVERHEAD_FLOOR:.0%})"))
+
+    # The PR's hard gate: metrics collection keeps ≥95% of throughput.
+    # Full-sampling tracing is the worst case (the production knob
+    # samples a fraction of activations) and gets a looser floor.
+    assert measured["metrics_vs_off"] >= OVERHEAD_FLOOR, measured
+    assert measured["traced_vs_off"] >= TRACED_FLOOR, measured

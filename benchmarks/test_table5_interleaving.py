@@ -6,9 +6,8 @@ The paper's empirical finding to reproduce: interleavings occur, but no
 complete match is missed (case 1 never costs a failure).
 """
 
-from repro.core import OracleTracker, PredictorFleet
+from repro.core import OracleTracker
 from repro.core.matcher import ChainMatcher
-from repro.logsim import split_by_node
 from repro.reporting import render_table
 from repro.training import EventLabeler, anomaly_sequences
 

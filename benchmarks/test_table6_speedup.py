@@ -6,7 +6,6 @@ Aarohi fastest at every length; the gap (speedup) grows with length;
 LSTM baselines scale linearly with entries while Aarohi stays sublinear.
 """
 
-from statistics import mean
 
 import pytest
 

@@ -76,7 +76,7 @@ def test_realtime_throughput(benchmark, emit, generators):
         # batched driver's edge is the hoisted loop and clock elision.
         assert measured["batched_vs_per_event"] > 1.05, (name, measured)
 
-    payload = write_bench_json(results)
+    write_bench_json(results)
     # Perf gate vs the recorded pre-PR numbers (same machine only —
     # foreign machines still get the batched-vs-per-event gate above).
     for name, row in results.items():

@@ -13,7 +13,6 @@ from repro.core import PredictorFleet, pair_predictions
 from repro.logsim import ClusterLogGenerator, HPC1
 from repro.mitigation import (
     PROCESS_MIGRATION,
-    STANDARD_ACTIONS,
     compute_saved_node_seconds,
     daly_interval,
     plan_mitigation,

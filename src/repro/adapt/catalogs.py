@@ -11,7 +11,7 @@ rules must be regenerated (§IV Adaptability).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..core.events import Severity
 

@@ -17,8 +17,8 @@ Two adaptation paths, matching the paper's three prevalent cases:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 from ..core.chains import ChainSet
 from ..core.events import Severity

@@ -15,7 +15,7 @@ them) :class:`~repro.core.events.NodeFailure` records:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 

@@ -16,7 +16,7 @@ Table VI (2.36 ms/entry class) while Aarohi pays a single table lookup.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from ..core.chains import ChainSet
 

@@ -13,9 +13,8 @@ matches a trained chain signature with high joint likelihood.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set
 
-import numpy as np
 
 from ..core.chains import ChainSet
 from ..nnlib import NextTokenLSTM

@@ -27,7 +27,7 @@ from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple
 from ..core.chains import ChainSet
 from ..core.matcher import ChainMatcher
 from ..templates.masking import mask_message
-from ..templates.store import NaiveTemplateScanner, TemplateScanner, TemplateStore
+from ..templates.store import NaiveTemplateScanner, TemplateStore
 from .base import ChainCheckResult
 
 

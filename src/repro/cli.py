@@ -8,17 +8,21 @@ Thin wrappers over the library so each piece of the paper's workflow
 * ``predict`` — run the predictor fleet over a log file
 * ``pipeline`` — full two-phase run (generate → mine → predict → metrics)
 * ``speedup`` — quick Table VI-style comparison on this machine
+* ``obs-report`` — render a ``--metrics`` snapshot (and optionally a
+  ``--trace`` file) as funnel / latency / lifecycle summaries
 """
 
 from __future__ import annotations
 
 import argparse
+import json as _json
 import sys
 from statistics import mean
 from typing import List, Optional
 
 from .core import PredictorFleet, build_rules, pair_predictions
 from .logsim import ClusterLogGenerator, read_log, system_by_name, write_log
+from .obs import Observability, Tracer
 from .reporting import render_table
 
 
@@ -29,6 +33,40 @@ def _add_system_arg(parser: argparse.ArgumentParser) -> None:
         help="which Table II system to simulate",
     )
     parser.add_argument("--seed", type=int, default=7)
+
+
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics", metavar="OUT.prom", default=None,
+        help="write a Prometheus text-format metrics snapshot here",
+    )
+    parser.add_argument(
+        "--trace", metavar="TRACE.jsonl", default=None,
+        help="write prediction-lifecycle trace records (JSONL) here",
+    )
+    parser.add_argument(
+        "--trace-sample", type=float, default=1.0,
+        help="fraction of chain activations to trace (default: all)",
+    )
+
+
+def _make_obs(args: argparse.Namespace) -> Optional[Observability]:
+    """Build the Observability the flags ask for (None = fully off)."""
+    if not (args.metrics or args.trace):
+        return None
+    tracer = None
+    if args.trace:
+        tracer = Tracer(args.trace, sample=args.trace_sample)
+    return Observability(tracer=tracer)
+
+
+def _finish_obs(args: argparse.Namespace, obs: Optional[Observability]) -> None:
+    if obs is None:
+        return
+    if args.metrics:
+        with open(args.metrics, "w", encoding="utf-8") as fh:
+            fh.write(obs.prometheus())
+    obs.close()
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -51,12 +89,34 @@ def cmd_rules(args: argparse.Namespace) -> int:
 
 
 def cmd_predict(args: argparse.Namespace) -> int:
+    obs = _make_obs(args)
     gen = ClusterLogGenerator(system_by_name(args.system), seed=args.seed)
     fleet = PredictorFleet.from_store(
         gen.chains, gen.store, timeout=gen.recommended_timeout,
-        backend=args.backend,
+        backend=args.backend, obs=obs,
     )
     report = fleet.run(read_log(args.log))
+    _finish_obs(args, obs)
+    if args.json:
+        print(_json.dumps({
+            "system": args.system,
+            "predictions": [
+                {
+                    "node": p.node,
+                    "chain": p.chain_id,
+                    "flagged_at": p.flagged_at,
+                    "prediction_time": p.prediction_time,
+                }
+                for p in report.predictions
+            ],
+            "stats": {
+                "lines_seen": report.lines_seen,
+                "lines_tokenized": report.lines_tokenized,
+                "fc_related_fraction": report.fc_related_fraction,
+                "nodes": report.nodes,
+            },
+        }, indent=2))
+        return 0
     rows = [
         (p.node, p.chain_id, f"{p.flagged_at:.3f}",
          f"{p.prediction_time * 1e3:.4f}")
@@ -87,8 +147,9 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
     sequences = anomaly_sequences(labeler.label_stream(train.events))
     terminals = terminal_tokens(gen.store, ["node down", "node *", "shutting down"])
     mined = mine_chains(sequences, terminals, min_support=1)
-    print(f"Phase 1: mined {len(mined.chains)} chains "
-          f"from {len(mined.candidates)} candidates")
+    if not args.json:
+        print(f"Phase 1: mined {len(mined.chains)} chains "
+              f"from {len(mined.candidates)} candidates")
 
     fleet = PredictorFleet.from_store(
         mined.chains, gen.store, timeout=gen.recommended_timeout)
@@ -97,6 +158,21 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
     confusion = confusion_from_predictions(
         report.predictions, test.failures, test.nodes)
     pct = confusion.as_percentages()
+    if args.json:
+        print(_json.dumps({
+            "system": config.name,
+            "mined_chains": len(mined.chains),
+            "candidates": len(mined.candidates),
+            "predictions": len(report.predictions),
+            "failures": len(test.failures),
+            "recall_pct": pct["recall"],
+            "precision_pct": pct["precision"],
+            "accuracy_pct": pct["accuracy"],
+            "fnr_pct": pct["fnr"],
+            "mean_lead_time_s": pairing.mean_lead_time(),
+            "mean_prediction_time_s": pairing.mean_prediction_time(),
+        }, indent=2))
+        return 0
     print(render_table(
         ["metric", "value"],
         [
@@ -188,6 +264,96 @@ def cmd_fieldstudy(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_obs_report(args: argparse.Namespace) -> int:
+    from .obs import (
+        CHAIN_MATCHES,
+        FLEET_EVENTS_PER_SECOND,
+        FLEET_NODES,
+        FUNNEL_STAGES,
+        LINES_SEEN,
+        PREDICTION_SECONDS,
+        PREDICTIONS,
+        histogram_series,
+        lifecycle_counts,
+        parse_prometheus,
+        read_trace,
+    )
+    from .reporting import render_bars
+
+    with open(args.metrics, "r", encoding="utf-8") as fh:
+        snapshot = parse_prometheus(fh.read())
+
+    def counter_total(name: str) -> float:
+        family = snapshot.get(name)
+        if not family:
+            return 0.0
+        return sum(entry["value"] for entry in family["series"])
+
+    sections: List[str] = []
+
+    # 1. The scanner rejection funnel (why the hot path is fast).
+    lines_seen = counter_total(LINES_SEEN)
+    rows = []
+    for name, label in FUNNEL_STAGES:
+        count = counter_total(name)
+        share = f"{count / lines_seen:.2%}" if lines_seen else "—"
+        rows.append((label, f"{count:.0f}", share))
+    rows.append(("lines seen", f"{lines_seen:.0f}", "100.00%" if lines_seen else "—"))
+    sections.append(render_table(
+        ["stage", "lines", "share"], rows, title="Scanner rejection funnel"))
+
+    # 2. Per-prediction latency histogram (log2 buckets).
+    for entry in histogram_series(snapshot, PREDICTION_SECONDS):
+        labels, counts = entry["labels"], entry["counts"]
+        total = sum(counts)
+        if not total:
+            continue
+        lo_exp = entry["lo_exp"]
+        bucket_labels, bucket_values = [], []
+        for i, count in enumerate(counts):
+            if not count:
+                continue
+            top = 2.0 ** (lo_exp + i)
+            bucket_labels.append(
+                "+Inf" if i == len(counts) - 1 else f"≤{top:.3g}s")
+            bucket_values.append(float(count))
+        suffix = f" {labels}" if labels else ""
+        mean_s = entry["sum"] / total
+        sections.append(render_bars(
+            bucket_labels, bucket_values,
+            title=(f"Prediction latency{suffix} — {total:.0f} predictions, "
+                   f"mean {mean_s * 1e3:.4f} ms"),
+        ))
+
+    # 3. Headline fleet numbers.
+    summary_rows = [
+        ("predictions", f"{counter_total(PREDICTIONS):.0f}"),
+        ("chain matches", f"{counter_total(CHAIN_MATCHES):.0f}"),
+    ]
+    for gauge_name, label in (
+        (FLEET_NODES, "fleet nodes"),
+        (FLEET_EVENTS_PER_SECOND, "events/s (last run)"),
+    ):
+        family = snapshot.get(gauge_name)
+        if family and family["series"]:
+            value = sum(e["value"] for e in family["series"])
+            summary_rows.append((label, f"{value:.4g}"))
+    sections.append(render_table(
+        ["metric", "value"], summary_rows, title="Fleet summary"))
+
+    # 4. Optional lifecycle roll-up from a trace file.
+    if args.trace:
+        records = read_trace(args.trace)
+        counts = lifecycle_counts(records)
+        sections.append(render_table(
+            ["lifecycle event", "count"],
+            [(kind, n) for kind, n in counts.items()],
+            title=f"Prediction lifecycle ({len(records)} trace records)"))
+
+    print("\n\n".join(sections))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="aarohi",
@@ -212,6 +378,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_system_arg(p)
     p.add_argument("--log", required=True)
     p.add_argument("--backend", default="matcher", choices=["matcher", "lalr"])
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable JSON instead of a table")
+    _add_obs_args(p)
     p.set_defaults(func=cmd_predict)
 
     p = sub.add_parser("pipeline", help="full two-phase run with metrics")
@@ -219,6 +388,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--duration", type=float, default=3600.0)
     p.add_argument("--nodes", type=int, default=24)
     p.add_argument("--failures", type=int, default=8)
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable JSON instead of tables")
     p.set_defaults(func=cmd_pipeline)
 
     p = sub.add_parser("speedup", help="Table VI-style timing comparison")
@@ -231,6 +402,15 @@ def build_parser() -> argparse.ArgumentParser:
     _add_system_arg(p)
     p.add_argument("--out", default="aarohi_predictor.py")
     p.set_defaults(func=cmd_compile)
+
+    p = sub.add_parser(
+        "obs-report",
+        help="summarize a --metrics snapshot (funnel, latency, lifecycle)")
+    p.add_argument("--metrics", required=True, metavar="OUT.prom",
+                   help="Prometheus text file written by predict --metrics")
+    p.add_argument("--trace", default=None, metavar="TRACE.jsonl",
+                   help="optional trace file for the lifecycle roll-up")
+    p.set_defaults(func=cmd_obs_report)
 
     p = sub.add_parser("fieldstudy", help="longitudinal failure statistics")
     _add_system_arg(p)

@@ -21,8 +21,8 @@ Table IV bench), so it happens synchronously on the stream.
 from __future__ import annotations
 
 from collections import defaultdict, deque
-from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from .chains import ChainSet, FailureChain
 from .events import LogEvent, Prediction

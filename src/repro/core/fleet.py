@@ -9,26 +9,41 @@ collects predictions.
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional
 
+from ..obs import Observability
 from .chains import ChainSet
 from .events import LogEvent, Prediction
-from .predictor import AarohiPredictor, Backend, Timing, Tokenizer
+from .predictor import AarohiPredictor, Backend, PredictorStats, Timing, Tokenizer
 
 
 @dataclass
 class FleetReport:
-    """Aggregate outcome of a fleet run."""
+    """Aggregate outcome of a fleet run.
+
+    ``stats`` is the summed :meth:`PredictorStats.diff` of every
+    predictor that participated — **this run only**, so repeated
+    ``run()`` calls on a long-lived fleet never double-count earlier
+    windows.
+    """
 
     predictions: List[Prediction] = field(default_factory=list)
-    lines_seen: int = 0
-    lines_tokenized: int = 0
+    stats: PredictorStats = field(default_factory=PredictorStats)
     nodes: int = 0
 
     @property
+    def lines_seen(self) -> int:
+        return self.stats.lines_seen
+
+    @property
+    def lines_tokenized(self) -> int:
+        return self.stats.lines_tokenized
+
+    @property
     def fc_related_fraction(self) -> float:
-        return self.lines_tokenized / self.lines_seen if self.lines_seen else 0.0
+        return self.stats.fc_related_fraction
 
 
 class PredictorFleet:
@@ -47,25 +62,36 @@ class PredictorFleet:
         timeout: Optional[float] = None,
         backend: Backend = "matcher",
         clock: Optional[Callable[[], float]] = None,
+        obs: Optional[Observability] = None,
+        scanner=None,
     ):
         self.chains = chains
         self.tokenizer = tokenizer
         self.timeout = timeout
         self.backend: Backend = backend
+        self.obs = obs
+        self.scanner = scanner  # the shared scanner object, if known
         self._clock = clock
         self._predictors: Dict[str, AarohiPredictor] = {}
 
     @classmethod
     def from_store(
-        cls, chains: ChainSet, store, *, optimized: bool = True, **kwargs
+        cls,
+        chains: ChainSet,
+        store,
+        *,
+        optimized: bool = True,
+        obs: Optional[Observability] = None,
+        **kwargs,
     ) -> "PredictorFleet":
         if optimized:
-            scanner = store.compile_scanner(keep=chains.token_set)
+            scanner = store.compile_scanner(
+                keep=chains.token_set, counting=obs is not None)
         else:
             from ..templates.store import NaiveTemplateScanner
 
             scanner = NaiveTemplateScanner(store, keep=chains.token_set)
-        return cls(chains, scanner.tokenize, **kwargs)
+        return cls(chains, scanner.tokenize, obs=obs, scanner=scanner, **kwargs)
 
     def predictor_for(self, node: str) -> AarohiPredictor:
         predictor = self._predictors.get(node)
@@ -79,6 +105,7 @@ class PredictorFleet:
                 timeout=self.timeout,
                 backend=self.backend,
                 node=node,
+                obs=self.obs,
                 **kwargs,
             )
             self._predictors[node] = predictor
@@ -100,9 +127,12 @@ class PredictorFleet:
         order, exactly as the per-event loop would produce them.
 
         The report counts **this run only**: per-predictor stats are
-        snapshotted before and after, so repeated ``run()`` calls on a
-        long-lived fleet never double-count earlier windows.
+        snapshotted before the batch and diffed after.  When the fleet
+        carries an :class:`~repro.obs.Observability`, the run is folded
+        into its registry here — per run, never per event.
         """
+        obs = self.obs
+        t_run = _time.perf_counter() if obs is not None else 0.0
         report = FleetReport()
         # Group (stream index, event) pairs by node.  The grouping loop
         # runs once per line, so it is kept to one dict probe plus one
@@ -122,18 +152,42 @@ class PredictorFleet:
         for node, pairs in pairs_of.items():
             order, batch = zip(*pairs)
             predictor = self.predictor_for(node)
-            stats = predictor.stats
-            seen_before = stats.lines_seen
-            tokenized_before = stats.lines_tokenized
+            before = predictor.stats.snapshot()
             predictor._run_batch(
                 batch, timing, lambda j, p, order=order: flagged.append((order[j], p))
             )
-            report.lines_seen += stats.lines_seen - seen_before
-            report.lines_tokenized += stats.lines_tokenized - tokenized_before
+            report.stats.add(predictor.stats.diff(before))
         flagged.sort(key=lambda item: item[0])
         report.predictions = [p for _, p in flagged]
         report.nodes = len(self._predictors)
+        if obs is not None:
+            self._record_run(obs, report, _time.perf_counter() - t_run,
+                             [len(p) for p in pairs_of.values()])
         return report
+
+    def _record_run(
+        self,
+        obs: Observability,
+        report: FleetReport,
+        seconds: float,
+        batch_sizes: List[int],
+    ) -> None:
+        obs.record_run_stats(report.stats)
+        obs.record_fleet_run(
+            n_events=report.lines_seen,
+            n_nodes=report.nodes,
+            seconds=seconds,
+            batch_sizes=batch_sizes,
+        )
+        predictors = self._predictors.values()
+        obs.record_engine_stats(p._engine.stats for p in predictors)
+        if self.scanner is not None:
+            # The scanner is shared by every predictor, so its funnel is
+            # resolved against the fleet-wide cumulative line count.
+            obs.record_scanner(
+                self.scanner,
+                sum(p.stats.lines_seen for p in predictors),
+            )
 
     @property
     def nodes(self) -> List[str]:

@@ -15,7 +15,6 @@ Two shapes are generated:
 
 from __future__ import annotations
 
-from typing import Union
 
 from ..parsegen import Grammar, build_tables
 from ..parsegen.tables import ParseTables

@@ -23,9 +23,15 @@ first-match policy misses no failures.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from ..obs.tracing import (
+    CHAIN_STARTED,
+    DELTA_T_TIMEOUT,
+    PARSER_RESET,
+    TOKEN_ADVANCED,
+)
 from .chains import ChainSet
 
 
@@ -67,6 +73,9 @@ class ChainMatcher:
         "_pos",
         "_last_time",
         "_start_time",
+        "_tracer",
+        "_trace_node",
+        "_trace_chain",
     )
 
     def __init__(self, chains: ChainSet, timeout: Optional[float] = None):
@@ -93,6 +102,10 @@ class ChainMatcher:
         self._pos: int = 0
         self._last_time: float = 0.0
         self._start_time: float = 0.0
+        # Lifecycle tracing (off by default: one None-check per feed).
+        self._tracer = None
+        self._trace_node = ""
+        self._trace_chain = False  # is the *current* chain sampled?
 
     # -- state ---------------------------------------------------------
     @property
@@ -103,7 +116,27 @@ class ChainMatcher:
     def position(self) -> int:
         return self._pos
 
+    def set_tracer(self, tracer, node: str = "") -> None:
+        """Attach a lifecycle :class:`~repro.obs.tracing.Tracer`.
+
+        Lifecycle events (started / advanced / timeout) are emitted for
+        chains the tracer samples; with no tracer attached the hot path
+        pays one ``None``-check per fed token.
+        """
+        self._tracer = tracer
+        self._trace_node = node
+
     def reset(self) -> None:
+        tracer = self._tracer
+        if tracer is not None and self._trace_chain and self._active >= 0:
+            # An externally requested reset tears down a traced chain.
+            tracer.emit(
+                PARSER_RESET,
+                self._trace_node,
+                chain=self._chain_ids[self._active],
+                cause="manual",
+            )
+        self._trace_chain = False
         self._active = -1
         self._pos = 0
 
@@ -119,7 +152,19 @@ class ChainMatcher:
         if time - self._last_time > self.timeout:
             # Inordinate delay: this is not the same failure pattern.
             self.stats.resets_timeout += 1
-            self.reset()
+            tracer = self._tracer
+            if tracer is not None and self._trace_chain:
+                tracer.emit(
+                    DELTA_T_TIMEOUT,
+                    self._trace_node,
+                    chain=self._chain_ids[self._active],
+                    token=token,
+                    t=time,
+                    gap=time - self._last_time,
+                )
+            self._trace_chain = False
+            self._active = -1
+            self._pos = 0
             self._try_activate(token, time)
             return None
 
@@ -128,6 +173,16 @@ class ChainMatcher:
             self.stats.advanced += 1
             self._pos += 1
             self._last_time = time
+            tracer = self._tracer
+            if tracer is not None and self._trace_chain:
+                tracer.emit(
+                    TOKEN_ADVANCED,
+                    self._trace_node,
+                    chain=self._chain_ids[self._active],
+                    token=token,
+                    t=time,
+                    pos=self._pos,
+                )
             if self._pos == len(seq):
                 self.stats.matches += 1
                 match = Match(
@@ -136,7 +191,11 @@ class ChainMatcher:
                     end_time=time,
                     tokens=seq,
                 )
-                self.reset()
+                # Silent teardown: the completion is traced by the
+                # predictor's prediction_fired record.
+                self._trace_chain = False
+                self._active = -1
+                self._pos = 0
                 return match
             return None
 
@@ -156,6 +215,17 @@ class ChainMatcher:
         self._last_time = time
         self._start_time = time
         self.stats.activations += 1
+        tracer = self._tracer
+        if tracer is not None:
+            self._trace_chain = tracer.sample_chain()
+            if self._trace_chain:
+                tracer.emit(
+                    CHAIN_STARTED,
+                    self._trace_node,
+                    chain=self._chain_ids[rule],
+                    token=token,
+                    t=time,
+                )
         # Single-phrase chains are rejected by ChainSet, so no immediate
         # match is possible here.
 

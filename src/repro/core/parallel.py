@@ -31,14 +31,23 @@ discarded lines cost no clock reads at all).
 from __future__ import annotations
 
 import multiprocessing as mp
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from ..core.events import LogEvent, Prediction
+from ..obs import (
+    Observability,
+    PARALLEL_CHUNK_EVENTS,
+    PARALLEL_QUEUE_DEPTH,
+    diff_snapshots,
+)
 from ..persistence import PredictorBundle
+from .predictor import PredictorStats
 
 # Per-process globals, populated by the initializer.
 _WORKER_FLEET = None
 _WORKER_TIMING = "off"
+_WORKER_OBS: Optional[Observability] = None
+_WORKER_LAST_SNAP: Optional[dict] = None
 
 
 def shard_of(node: str, n_shards: int) -> int:
@@ -60,24 +69,45 @@ def partition_events(
 
 
 def _init_worker(
-    bundle_dict: dict, timeout: Optional[float], timing: str
+    bundle_dict: dict,
+    timeout: Optional[float],
+    timing: str,
+    shard: Optional[int] = None,
 ) -> None:
-    global _WORKER_FLEET, _WORKER_TIMING
+    global _WORKER_FLEET, _WORKER_TIMING, _WORKER_OBS, _WORKER_LAST_SNAP
     bundle = PredictorBundle.from_dict(bundle_dict)
     kwargs = {} if timeout is None else {"timeout": timeout}
+    if shard is not None:
+        # Each worker owns a process-local registry; deltas ship back
+        # with every chunk result and merge into the parent's registry,
+        # where the shard label keeps per-shard series (throughput,
+        # funnel, latency) distinct.  (Tracers are not forwarded across
+        # processes.)
+        _WORKER_OBS = Observability(labels={"shard": str(shard)})
+        kwargs["obs"] = _WORKER_OBS
     _WORKER_FLEET = bundle.make_fleet(**kwargs)
     _WORKER_TIMING = timing
+    _WORKER_LAST_SNAP = None
 
 
-def _run_chunk(lines: List[str]) -> List[tuple]:
+def _run_chunk(lines: List[str]) -> Tuple[List[tuple], PredictorStats, Optional[dict]]:
+    global _WORKER_LAST_SNAP
     assert _WORKER_FLEET is not None, "worker not initialized"
     events = [LogEvent.from_line(line) for line in lines]
     report = _WORKER_FLEET.run(events, timing=_WORKER_TIMING)
-    return [
+    predictions = [
         (p.node, p.chain_id, p.flagged_at, p.prediction_time,
          p.matched_tokens)
         for p in report.predictions
     ]
+    obs_delta: Optional[dict] = None
+    if _WORKER_OBS is not None:
+        snap = _WORKER_OBS.registry.snapshot()
+        # Registries are cumulative; ship only this chunk's delta so the
+        # parent-side merge never double-counts earlier chunks.
+        obs_delta = diff_snapshots(snap, _WORKER_LAST_SNAP)
+        _WORKER_LAST_SNAP = snap
+    return predictions, report.stats, obs_delta
 
 
 class ParallelFleet:
@@ -95,6 +125,7 @@ class ParallelFleet:
         timeout: Optional[float] = None,
         chunk_lines: int = 4096,
         timing: str = "off",
+        obs: Optional[Observability] = None,
     ):
         if n_workers < 1:
             raise ValueError("need at least one worker")
@@ -102,6 +133,10 @@ class ParallelFleet:
             raise ValueError("need at least one line per chunk")
         self.n_workers = n_workers
         self.chunk_lines = chunk_lines
+        self.obs = obs
+        # Fleet-wide cumulative stats, merged back from worker diffs via
+        # the PredictorStats.snapshot()/diff()/add() API.
+        self.stats = PredictorStats()
         ctx = mp.get_context("spawn")
         bundle_dict = bundle.to_dict()
         # One single-process pool per shard: shard i → worker i, always.
@@ -109,29 +144,55 @@ class ParallelFleet:
             ctx.Pool(
                 processes=1,
                 initializer=_init_worker,
-                initargs=(bundle_dict, timeout, timing),
+                initargs=(bundle_dict, timeout, timing,
+                          shard if obs is not None else None),
             )
-            for _ in range(n_workers)
+            for shard in range(n_workers)
         ]
 
     def run(self, events: Sequence[LogEvent]) -> List[Prediction]:
-        """Process a window; returns predictions sorted by flag time."""
+        """Process a window; returns predictions sorted by flag time.
+
+        Worker-side per-chunk stats deltas accumulate into
+        :attr:`stats`; with ``obs`` set, worker registry deltas merge
+        into the parent registry and the parent records queue depth and
+        chunk sizes.
+        """
+        obs = self.obs
         shards = partition_events(events, self.n_workers)
         chunk_lines = self.chunk_lines
         pending = []
+        chunk_sizes: List[int] = []
         for shard_idx, shard in enumerate(shards):
             pool = self._pools[shard_idx]
             # FIFO within a single-process pool keeps chunk order; the
             # serialization of chunk k+1 overlaps the compute of chunk k.
             for start in range(0, len(shard), chunk_lines):
                 payload = [e.to_line() for e in shard[start : start + chunk_lines]]
+                chunk_sizes.append(len(payload))
                 pending.append(pool.apply_async(_run_chunk, (payload,)))
-        predictions = [
-            Prediction(node=n, chain_id=c, flagged_at=f,
-                       prediction_time=p, matched_tokens=tuple(m))
-            for result in pending
-            for (n, c, f, p, m) in result.get()
-        ]
+        if obs is not None:
+            obs.registry.gauge(
+                PARALLEL_QUEUE_DEPTH,
+                "chunks in flight across worker pools",
+            ).set(len(pending))
+            obs.registry.histogram(
+                PARALLEL_CHUNK_EVENTS, "events per submitted chunk",
+                lo_exp=0, hi_exp=24,
+            ).observe_many(chunk_sizes)
+        predictions: List[Prediction] = []
+        for result in pending:
+            chunk_predictions, chunk_stats, obs_delta = result.get()
+            predictions.extend(
+                Prediction(node=n, chain_id=c, flagged_at=f,
+                           prediction_time=p, matched_tokens=tuple(m))
+                for (n, c, f, p, m) in chunk_predictions
+            )
+            self.stats.add(chunk_stats)
+            if obs is not None and obs_delta:
+                obs.registry.merge(obs_delta)
+        if obs is not None:
+            obs.registry.gauge(PARALLEL_QUEUE_DEPTH).set(0)
         predictions.sort(key=lambda p: p.flagged_at)
         return predictions
 

@@ -23,14 +23,22 @@ length sequence of phrases matches any of the FCs").
 from __future__ import annotations
 
 import time as _time
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Literal, Optional, Tuple
+from dataclasses import dataclass, fields, replace
+from typing import Callable, Iterable, List, Literal, Optional
 
+from ..obs import Observability, PREDICTION_SECONDS
+from ..obs.tracing import (
+    CHAIN_STARTED,
+    DELTA_T_TIMEOUT,
+    PARSER_RESET,
+    PREDICTION_FIRED,
+    TOKEN_ADVANCED,
+)
 from ..parsegen import END, FeedResult, StreamingParser
 from .chains import ChainSet
 from .events import LogEvent, Prediction
 from .grammar_builder import build_chain_tables, terminal_name
-from .matcher import ChainMatcher, Match
+from .matcher import ChainMatcher, Match, MatcherStats
 from .rules import build_rules
 
 Tokenizer = Callable[[str], Optional[int]]
@@ -54,6 +62,25 @@ class PredictorStats:
             return 0.0
         return self.lines_tokenized / self.lines_seen
 
+    # -- windowed accounting (snapshot → work → diff) ------------------
+    def snapshot(self) -> "PredictorStats":
+        """An immutable-by-convention copy of the current totals."""
+        return replace(self)
+
+    def diff(self, since: "PredictorStats") -> "PredictorStats":
+        """Field-wise delta of this snapshot against an earlier one —
+        the 'this run only' accounting used by :class:`~.fleet.FleetReport`."""
+        return PredictorStats(**{
+            f.name: getattr(self, f.name) - getattr(since, f.name)
+            for f in fields(self)
+        })
+
+    def add(self, other: "PredictorStats") -> None:
+        """Accumulate another stats record in place (fleet aggregation,
+        worker→parent merging in :class:`~.parallel.ParallelFleet`)."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
 
 class AarohiPredictor:
     """Per-node online failure predictor.
@@ -71,6 +98,7 @@ class AarohiPredictor:
         backend: Backend = "matcher",
         node: str = "",
         clock: Callable[[], float] = _time.perf_counter,
+        obs: Optional[Observability] = None,
     ):
         self.chains = chains
         self.tokenizer = tokenizer
@@ -85,6 +113,38 @@ class AarohiPredictor:
             self._engine = _LalrEngine(chains, timeout)
         else:
             raise ValueError(f"unknown backend {backend!r}")
+        # Observability is opt-in: with obs=None the prediction path has
+        # exactly one extra None-check, taken only when a match fires.
+        self._obs_emit: Optional[Callable[[Prediction], None]] = None
+        if obs is not None:
+            self._obs_emit = self._make_obs_emit(obs)
+            if obs.tracer is not None:
+                self._engine.set_tracer(obs.tracer, node)
+
+    def _make_obs_emit(self, obs: Observability) -> Callable[[Prediction], None]:
+        """Build the per-prediction recording hook (latency histogram +
+        prediction_fired trace).  Predictions are rare, so this hook may
+        allocate; it never runs for discarded or skipped lines."""
+        hist = obs.registry.histogram(
+            PREDICTION_SECONDS,
+            "per-prediction chain-check latency (seconds)",
+            **obs.labels,
+        )
+        tracer = obs.tracer
+
+        def emit(prediction: Prediction) -> None:
+            hist.observe(prediction.prediction_time)
+            if tracer is not None:
+                tracer.emit(
+                    PREDICTION_FIRED,
+                    prediction.node,
+                    chain=prediction.chain_id,
+                    t=prediction.flagged_at,
+                    prediction_time=prediction.prediction_time,
+                    n_tokens=len(prediction.matched_tokens),
+                )
+
+        return emit
 
     @classmethod
     def from_store(
@@ -97,9 +157,14 @@ class AarohiPredictor:
     ) -> "AarohiPredictor":
         """Wire a predictor whose scanner is generated from a
         :class:`~repro.templates.store.TemplateStore`, restricted to
-        FC-related templates (non-FC phrases are never tokenized)."""
+        FC-related templates (non-FC phrases are never tokenized).  With
+        ``obs=`` in ``kwargs`` the scanner is compiled in counting mode
+        so its rejection funnel is observable."""
         if optimized:
-            scanner = store.compile_scanner(keep=chains.token_set)
+            scanner = store.compile_scanner(
+                keep=chains.token_set,
+                counting=kwargs.get("obs") is not None,
+            )
         else:
             from ..templates.store import NaiveTemplateScanner
 
@@ -160,6 +225,15 @@ class AarohiPredictor:
             raise ValueError(f"unknown timing mode {timing!r}")
         if not isinstance(events, (list, tuple)):
             events = list(events)
+        obs_emit = self._obs_emit
+        if obs_emit is not None:
+            # Wrap only when instrumented: the uninstrumented loops run
+            # byte-identically to before.
+            inner_emit = emit
+
+            def emit(i: int, p: Prediction) -> None:
+                obs_emit(p)
+                inner_emit(i, p)
         stats = self.stats
         tokenizer = self.tokenizer
         is_relevant = self.chains.is_relevant
@@ -271,13 +345,16 @@ class AarohiPredictor:
         prediction_time = self._chain_cost
         self._chain_cost = 0.0
         self.stats.predictions += 1
-        return Prediction(
+        prediction = Prediction(
             node=self.node,
             chain_id=match.chain_id,
             flagged_at=match.end_time,
             prediction_time=prediction_time,
             matched_tokens=match.tokens,
         )
+        if self._obs_emit is not None:
+            self._obs_emit(prediction)
+        return prediction
 
     def reset(self) -> None:
         self._engine.reset()
@@ -291,6 +368,13 @@ class _Engine:
     def reset(self) -> None:  # pragma: no cover
         raise NotImplementedError
 
+    def set_tracer(self, tracer, node: str) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    @property
+    def stats(self) -> MatcherStats:  # pragma: no cover
+        raise NotImplementedError
+
 
 class _MatcherEngine(_Engine):
     def __init__(self, chains: ChainSet, timeout: Optional[float]):
@@ -301,6 +385,13 @@ class _MatcherEngine(_Engine):
 
     def reset(self) -> None:
         self.matcher.reset()
+
+    def set_tracer(self, tracer, node: str) -> None:
+        self.matcher.set_tracer(tracer, node)
+
+    @property
+    def stats(self) -> MatcherStats:
+        return self.matcher.stats
 
 
 class _LalrEngine(_Engine):
@@ -324,11 +415,38 @@ class _LalrEngine(_Engine):
         # token id → terminal name, interned once (the scanner emits a
         # small closed vocabulary, so this never grows unbounded).
         self._names = {t: terminal_name(t) for t in chains.token_set}
+        self._stats = MatcherStats()
+        self._tracer = None
+        self._trace_node = ""
+        self._trace_chain = False
+
+    @property
+    def stats(self) -> MatcherStats:
+        return self._stats
+
+    def set_tracer(self, tracer, node: str = "") -> None:
+        self._tracer = tracer
+        self._trace_node = node
 
     def feed(self, token: int, time: float) -> Optional[Match]:
         parser = self.parser
+        stats = self._stats
+        tracer = self._tracer
+        stats.fed += 1
         active = parser.depth > 0
         if active and time - self._last_time > self.timeout:
+            stats.resets_timeout += 1
+            if tracer is not None and self._trace_chain:
+                # Mid-parse the LALR configuration does not name one
+                # chain, so the timeout record carries no chain id.
+                tracer.emit(
+                    DELTA_T_TIMEOUT,
+                    self._trace_node,
+                    token=token,
+                    t=time,
+                    gap=time - self._last_time,
+                )
+            self._trace_chain = False
             parser.reset()
             self._tokens.clear()
             active = False
@@ -337,9 +455,26 @@ class _LalrEngine(_Engine):
             name = self._names[token] = terminal_name(token)
         result = parser.feed(name, token)
         if result is FeedResult.ERROR:
+            stats.skipped += 1
             return None  # skip (mid-chain mismatch or irrelevant start)
         if not active:
             self._start_time = time
+            stats.activations += 1
+            if tracer is not None:
+                self._trace_chain = tracer.sample_chain()
+                if self._trace_chain:
+                    tracer.emit(
+                        CHAIN_STARTED, self._trace_node, token=token, t=time)
+        else:
+            stats.advanced += 1
+            if tracer is not None and self._trace_chain:
+                tracer.emit(
+                    TOKEN_ADVANCED,
+                    self._trace_node,
+                    token=token,
+                    t=time,
+                    pos=len(self._tokens) + 1,
+                )
         self._last_time = time
         self._tokens.append(token)
         # Probe-free completion check: feed($end) directly — rejection
@@ -350,6 +485,8 @@ class _LalrEngine(_Engine):
             tokens = tuple(self._tokens)
             parser.reset()
             self._tokens.clear()
+            stats.matches += 1
+            self._trace_chain = False
             return Match(
                 chain_id=chain_id,
                 start_time=self._start_time,
@@ -359,5 +496,9 @@ class _LalrEngine(_Engine):
         return None
 
     def reset(self) -> None:
+        tracer = self._tracer
+        if tracer is not None and self._trace_chain and self.parser.depth > 0:
+            tracer.emit(PARSER_RESET, self._trace_node, cause="manual")
+        self._trace_chain = False
         self.parser.reset()
         self._tokens.clear()

@@ -20,9 +20,9 @@ middles, a superset of the trained chains.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Sequence, Tuple, Union
 
-from .chains import ChainSet, FailureChain, common_subchains
+from .chains import ChainSet, common_subchains
 
 # A factored RHS element: either a terminal token id or a non-terminal name.
 Symbol = Union[int, str]

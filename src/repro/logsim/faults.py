@@ -14,7 +14,7 @@ toward ~2 minutes; ~93% of gaps fall under the parsing timeout.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

@@ -21,8 +21,8 @@ cluster's life, with four ingredient kinds:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -65,8 +65,16 @@ class LogWindow:
 class ClusterLogGenerator:
     """Reproducible workload source for one simulated system."""
 
-    def __init__(self, config: SystemConfig, *, seed: Optional[int] = None):
+    def __init__(
+        self,
+        config: SystemConfig,
+        *,
+        seed: Optional[int] = None,
+        obs=None,
+    ):
         self.config = config
+        # Optional repro.obs.Observability: windows/events/faults counters.
+        self.obs = obs
         self.topology = ClusterTopology(config.n_nodes)
         self.catalog: Catalog = catalog_for(config.family)
         self.rng = np.random.default_rng(config.seed if seed is None else seed)
@@ -183,6 +191,8 @@ class ClusterLogGenerator:
             )
 
         events.sort(key=lambda e: e.time)
+        if self.obs is not None:
+            self.obs.record_window(len(events), injections)
         return LogWindow(
             events=events, failures=failures, injections=injections,
             nodes=nodes, duration=duration,

@@ -19,7 +19,7 @@ conclusions as numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict
 
 
 @dataclass(frozen=True)

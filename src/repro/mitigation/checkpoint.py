@@ -12,7 +12,7 @@ checkpoint can be taken on demand instead of periodically.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from math import exp, sqrt
+from math import sqrt
 
 
 def young_interval(checkpoint_cost: float, mtbf: float) -> float:

@@ -8,7 +8,7 @@ actually cover the mitigation?* — and how much compute would be saved.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np

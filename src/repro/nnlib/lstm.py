@@ -15,7 +15,7 @@ baselines) need for per-log-entry inference.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

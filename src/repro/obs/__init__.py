@@ -1,0 +1,281 @@
+"""`repro.obs` — observability for the online predictor fleet.
+
+Three layers (ISSUE 2 / DESIGN.md §5.6):
+
+* :mod:`.metrics` — allocation-free Counter/Gauge/log2-Histogram types
+  and a process-local :class:`Registry` with label support, snapshots,
+  and a merge path for multi-process fleets;
+* :mod:`.tracing` — the prediction-lifecycle :class:`Tracer` (JSONL,
+  sampled per chain activation);
+* :mod:`.exposition` — Prometheus text-format and JSON renderers plus
+  the inverse parser.
+
+:class:`Observability` is the wiring facade the predictor stack accepts
+(``PredictorFleet.from_store(..., obs=...)``): it owns the registry and
+optional tracer and knows how to fold the cheap cumulative counters the
+hot path maintains (predictor stats, scanner funnel slots, matcher
+transition stats) into registry metrics **once per batch/run**, never
+per event.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from .exposition import (
+    PrometheusParseError,
+    histogram_series,
+    parse_prometheus,
+    render_json,
+    render_prometheus,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    NULL_REGISTRY,
+    NullRegistry,
+    Registry,
+    diff_snapshots,
+)
+from .tracing import (
+    CHAIN_STARTED,
+    DELTA_T_TIMEOUT,
+    EVENT_KINDS,
+    PARSER_RESET,
+    PREDICTION_FIRED,
+    TOKEN_ADVANCED,
+    Tracer,
+    lifecycle_counts,
+    read_trace,
+    realized_lead_times,
+)
+
+# Canonical metric names (one place, so exposition and reports agree).
+LINES_SEEN = "aarohi_lines_seen_total"
+LINES_TOKENIZED = "aarohi_lines_tokenized_total"
+PREDICTIONS = "aarohi_predictions_total"
+TOKENIZE_SECONDS = "aarohi_tokenize_seconds_total"
+FEED_SECONDS = "aarohi_feed_seconds_total"
+PREDICTION_SECONDS = "aarohi_prediction_seconds"
+
+SCANNER_FIRST_CHAR_REJECTED = "aarohi_scanner_first_char_rejected_total"
+SCANNER_PREFILTER_REJECTED = "aarohi_scanner_prefilter_rejected_total"
+SCANNER_MEMO_HITS = "aarohi_scanner_memo_hits_total"
+SCANNER_DFA_RUNS = "aarohi_scanner_dfa_runs_total"
+SCANNER_DFA_MATCHES = "aarohi_scanner_dfa_matches_total"
+
+CHAIN_ACTIVATIONS = "aarohi_chain_activations_total"
+TOKENS_ADVANCED = "aarohi_tokens_advanced_total"
+TOKENS_SKIPPED = "aarohi_tokens_skipped_total"
+CHAIN_TIMEOUTS = "aarohi_chain_timeouts_total"
+CHAIN_MATCHES = "aarohi_chain_matches_total"
+
+FLEET_RUNS = "aarohi_fleet_runs_total"
+FLEET_RUN_SECONDS = "aarohi_fleet_run_seconds"
+FLEET_EVENTS_PER_SECOND = "aarohi_fleet_events_per_second"
+FLEET_NODES = "aarohi_fleet_nodes"
+FLEET_BATCH_EVENTS = "aarohi_fleet_batch_events"
+
+PARALLEL_QUEUE_DEPTH = "aarohi_parallel_queue_depth"
+PARALLEL_CHUNK_EVENTS = "aarohi_parallel_chunk_events"
+
+LOGSIM_EVENTS = "aarohi_logsim_events_emitted_total"
+LOGSIM_FAULTS = "aarohi_logsim_faults_injected_total"
+LOGSIM_WINDOWS = "aarohi_logsim_windows_total"
+
+# The rejection-funnel stage names, in pipeline order.  Their counter
+# values sum to LINES_SEEN (asserted by the equivalence suite).
+FUNNEL_STAGES = (
+    (SCANNER_FIRST_CHAR_REJECTED, "first-char rejected"),
+    (SCANNER_PREFILTER_REJECTED, "prefilter rejected"),
+    (SCANNER_MEMO_HITS, "memo hits"),
+    (SCANNER_DFA_RUNS, "full DFA runs"),
+)
+
+
+class Observability:
+    """Wiring facade: a registry plus an optional lifecycle tracer.
+
+    Instrumented components receive one of these (or ``None``, meaning
+    observability fully off).  All recording methods are batch-grained —
+    the per-event bookkeeping stays in plain int slots owned by the hot
+    path and is folded in here.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[Registry] = None,
+        tracer: Optional[Tracer] = None,
+        labels: Optional[dict] = None,
+    ):
+        self.registry = registry if registry is not None else Registry()
+        self.tracer = tracer
+        # Default labels stamped on every recorded series — e.g.
+        # {"shard": "3"} inside a ParallelFleet worker, so per-shard
+        # series stay distinct after the parent-side merge.
+        self.labels = dict(labels or {})
+
+    # -- fold-in paths (called per batch / run, never per event) -------
+    def record_run_stats(self, run_stats) -> None:
+        """Fold one run's :class:`~repro.core.predictor.PredictorStats`
+        delta (from ``snapshot()``/``diff()``) into the counters."""
+        registry = self.registry
+        labels = self.labels
+        registry.counter(
+            LINES_SEEN, "log lines offered to the scanner", **labels).inc(
+            run_stats.lines_seen)
+        registry.counter(
+            LINES_TOKENIZED, "FC-related phrases tokenized", **labels).inc(
+            run_stats.lines_tokenized)
+        registry.counter(
+            PREDICTIONS, "failure predictions flagged", **labels).inc(
+            run_stats.predictions)
+        registry.counter(
+            TOKENIZE_SECONDS, "cumulative scan time", **labels).inc(
+            run_stats.tokenize_seconds)
+        registry.counter(
+            FEED_SECONDS, "cumulative rule-check time", **labels).inc(
+            run_stats.feed_seconds)
+
+    def record_scanner(self, scanner, lines_seen_total: int) -> None:
+        """Mirror a counting scanner's cumulative funnel slots into the
+        registry.  ``lines_seen_total`` is the total number of tokenize
+        calls (the fleet's summed ``lines_seen``), from which the
+        untracked common-path stage (first-char rejection) is derived —
+        the hot path pays zero bookkeeping for rejected lines."""
+        funnel = getattr(scanner, "funnel", None)
+        if funnel is None:
+            return
+        counts = funnel(lines_seen_total)
+        registry = self.registry
+        labels = self.labels
+        registry.counter(
+            SCANNER_FIRST_CHAR_REJECTED,
+            "lines rejected by the first-char table (incl. empty lines)",
+            **labels,
+        ).set_total(counts["first_char_rejected"])
+        registry.counter(
+            SCANNER_PREFILTER_REJECTED,
+            "lines rejected by the literal-head prefilter",
+            **labels,
+        ).set_total(counts["prefilter_rejected"])
+        registry.counter(
+            SCANNER_MEMO_HITS, "tokenize results served from the memo",
+            **labels,
+        ).set_total(counts["memo_hits"])
+        registry.counter(
+            SCANNER_DFA_RUNS, "full DFA scans executed",
+            **labels,
+        ).set_total(counts["dfa_runs"])
+        registry.counter(
+            SCANNER_DFA_MATCHES, "full DFA scans that matched a template",
+            **labels,
+        ).set_total(counts["dfa_matches"])
+
+    def record_engine_stats(self, stats_iter: Iterable) -> None:
+        """Mirror cumulative matcher transition stats (summed over the
+        fleet's engines) into the registry."""
+        fed = advanced = skipped = timeouts = matches = activations = 0
+        for stats in stats_iter:
+            fed += stats.fed
+            advanced += stats.advanced
+            skipped += stats.skipped
+            timeouts += stats.resets_timeout
+            matches += stats.matches
+            activations += stats.activations
+        registry = self.registry
+        labels = self.labels
+        registry.counter(
+            CHAIN_ACTIVATIONS, "chain checks started",
+            **labels).set_total(activations)
+        registry.counter(
+            TOKENS_ADVANCED, "tokens that advanced a chain",
+            **labels).set_total(advanced)
+        registry.counter(
+            TOKENS_SKIPPED, "mid-chain tokens skipped",
+            **labels).set_total(skipped)
+        registry.counter(
+            CHAIN_TIMEOUTS, "ΔT timeouts (parser resets)",
+            **labels).set_total(timeouts)
+        registry.counter(
+            CHAIN_MATCHES, "complete rule matches",
+            **labels).set_total(matches)
+
+    def record_fleet_run(
+        self,
+        *,
+        n_events: int,
+        n_nodes: int,
+        seconds: Optional[float],
+        batch_sizes: Sequence[int],
+    ) -> None:
+        registry = self.registry
+        labels = self.labels
+        registry.counter(FLEET_RUNS, "fleet.run() invocations", **labels).inc()
+        registry.gauge(
+            FLEET_NODES, "predictor instances alive", **labels).set(n_nodes)
+        registry.histogram(
+            FLEET_BATCH_EVENTS, "per-node batch sizes per run",
+            lo_exp=0, hi_exp=24, **labels,
+        ).observe_many(batch_sizes)
+        if seconds is not None and seconds > 0:
+            registry.gauge(
+                FLEET_RUN_SECONDS, "wall time of the last run",
+                **labels).set(seconds)
+            registry.gauge(
+                FLEET_EVENTS_PER_SECOND,
+                "throughput of the last run",
+                **labels,
+            ).set(n_events / seconds)
+
+    def record_window(self, n_events: int, injections) -> None:
+        """Count a generated logsim window (events emitted, faults
+        injected by kind)."""
+        registry = self.registry
+        registry.counter(LOGSIM_WINDOWS, "windows generated").inc()
+        registry.counter(LOGSIM_EVENTS, "log events emitted").inc(n_events)
+        for injection in injections:
+            registry.counter(
+                LOGSIM_FAULTS, "injected chains by kind",
+                kind=injection.kind,
+            ).inc()
+
+    # -- exposition ----------------------------------------------------
+    def prometheus(self) -> str:
+        return render_prometheus(self.registry.snapshot())
+
+    def json(self) -> str:
+        return render_json(self.registry.snapshot())
+
+    def close(self) -> None:
+        if self.tracer is not None:
+            self.tracer.close()
+
+
+__all__ = [
+    "CHAIN_STARTED",
+    "DELTA_T_TIMEOUT",
+    "EVENT_KINDS",
+    "FUNNEL_STAGES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "Observability",
+    "PARSER_RESET",
+    "PREDICTION_FIRED",
+    "PrometheusParseError",
+    "Registry",
+    "TOKEN_ADVANCED",
+    "Tracer",
+    "diff_snapshots",
+    "histogram_series",
+    "lifecycle_counts",
+    "parse_prometheus",
+    "read_trace",
+    "realized_lead_times",
+    "render_json",
+    "render_prometheus",
+]

@@ -1,0 +1,246 @@
+"""Exposition: registry snapshots → Prometheus text format / JSON.
+
+``render_prometheus`` emits the text exposition format (``# HELP`` /
+``# TYPE`` headers, ``_bucket``/``_sum``/``_count`` histogram samples
+with cumulative ``le`` buckets).  ``parse_prometheus`` is the inverse —
+it rebuilds a snapshot-shaped dict from the text, which gives the test
+suite a true round-trip check and lets ``aarohi obs-report`` consume
+the same ``.prom`` files it writes.
+
+Numbers are formatted with ``repr`` so every float survives the round
+trip bit-exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import Dict, List, Tuple
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _unescape_label(value: str) -> str:
+    return (
+        value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+    )
+
+
+def _format_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape_label(str(v))}"' for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "NaN"
+        if value == math.inf:
+            return "+Inf"
+        if value == -math.inf:
+            return "-Inf"
+        if value.is_integer() and abs(value) < 2**53:
+            return str(int(value))
+        return repr(value)
+    return str(value)
+
+
+def _bucket_bounds(lo_exp: int, hi_exp: int) -> List[float]:
+    bounds = [2.0 ** e for e in range(lo_exp, hi_exp)]
+    bounds.append(math.inf)
+    return bounds
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Render a :meth:`Registry.snapshot` dict as Prometheus text."""
+    lines: List[str] = []
+    for name, family in snapshot.items():
+        kind = family["type"]
+        help_text = family.get("help", "")
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        for entry in family["series"]:
+            labels = entry.get("labels", {})
+            if kind in ("counter", "gauge"):
+                lines.append(
+                    f"{name}{_format_labels(labels)} "
+                    f"{_format_value(entry['value'])}"
+                )
+                continue
+            # histogram: cumulative buckets, then _sum and _count
+            bounds = _bucket_bounds(entry["lo_exp"], entry["hi_exp"])
+            cumulative = 0
+            for bound, count in zip(bounds, entry["counts"]):
+                cumulative += count
+                le = "+Inf" if bound == math.inf else _format_value(bound)
+                bucket_labels = dict(labels, le=le)
+                lines.append(
+                    f"{name}_bucket{_format_labels(bucket_labels)} {cumulative}"
+                )
+            lines.append(
+                f"{name}_sum{_format_labels(labels)} "
+                f"{_format_value(entry['sum'])}"
+            )
+            lines.append(f"{name}_count{_format_labels(labels)} {cumulative}")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(snapshot: dict, *, indent: int = 2) -> str:
+    """Stable JSON rendering of a snapshot (machine-readable sibling)."""
+    return json.dumps(snapshot, indent=indent, sort_keys=True) + "\n"
+
+
+_LABEL_RE = re.compile(r'([A-Za-z_][A-Za-z0-9_]*)="((?:[^"\\]|\\.)*)"')
+_SAMPLE_RE = re.compile(
+    r"^([A-Za-z_:][A-Za-z0-9_:]*)(\{(.*)\})?\s+(\S+)$"
+)
+
+
+def _parse_number(text: str):
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    try:
+        return int(text)
+    except ValueError:
+        return float(text)
+
+
+def _parse_labels(text: str) -> Dict[str, str]:
+    return {m.group(1): _unescape_label(m.group(2))
+            for m in _LABEL_RE.finditer(text)}
+
+
+class PrometheusParseError(ValueError):
+    """Raised when exposition text does not parse."""
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse Prometheus text back into a snapshot-shaped dict.
+
+    Inverse of :func:`render_prometheus` for output produced by this
+    module: histogram families are reassembled from their ``_bucket`` /
+    ``_sum`` / ``_count`` samples (bucket exponents recovered from the
+    ``le`` bounds), so ``parse_prometheus(render_prometheus(s)) == s``
+    for any registry snapshot ``s``.
+    """
+    types: Dict[str, str] = {}
+    helps: Dict[str, str] = {}
+    order: List[str] = []
+    # family → label-key → accumulated series state
+    series: Dict[str, Dict[Tuple[Tuple[str, str], ...], dict]] = {}
+
+    def family_of(sample_name: str) -> Tuple[str, str]:
+        """Map a sample name to (family, role) using declared types."""
+        for suffix, role in (("_bucket", "bucket"), ("_sum", "sum"),
+                             ("_count", "count")):
+            if sample_name.endswith(suffix):
+                base = sample_name[: -len(suffix)]
+                if types.get(base) == "histogram":
+                    return base, role
+        return sample_name, "value"
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            types[name] = kind.strip()
+            order.append(name)
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            helps[name] = help_text
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise PrometheusParseError(f"line {lineno}: cannot parse {line!r}")
+        sample_name, _, label_text, value_text = match.groups()
+        labels = _parse_labels(label_text or "")
+        family, role = family_of(sample_name)
+        if family not in types:
+            raise PrometheusParseError(
+                f"line {lineno}: sample {sample_name!r} has no # TYPE"
+            )
+        le = labels.pop("le", None)
+        key = tuple(sorted(labels.items()))
+        entry = series.setdefault(family, {}).setdefault(
+            key, {"labels": dict(key)}
+        )
+        value = _parse_number(value_text)
+        if role == "value":
+            entry["value"] = value
+        elif role == "sum":
+            entry["sum"] = float(value)
+        elif role == "count":
+            entry["total"] = value
+        else:  # bucket
+            if le is None:
+                raise PrometheusParseError(
+                    f"line {lineno}: histogram bucket without le label"
+                )
+            entry.setdefault("buckets", []).append(
+                (_parse_number(le), value)
+            )
+
+    snapshot: dict = {}
+    for name in order:
+        kind = types[name]
+        out_series = []
+        for key in sorted(series.get(name, {})):
+            entry = series[name][key]
+            if kind != "histogram":
+                out_series.append(
+                    {"labels": entry["labels"], "value": entry.get("value", 0)}
+                )
+                continue
+            buckets = sorted(entry.get("buckets", []), key=lambda b: b[0])
+            if not buckets or buckets[-1][0] != math.inf:
+                raise PrometheusParseError(
+                    f"histogram {name!r} missing +Inf bucket"
+                )
+            counts: List[int] = []
+            previous = 0
+            for _bound, cumulative in buckets:
+                counts.append(cumulative - previous)
+                previous = cumulative
+            lo_exp = (
+                round(math.log2(buckets[0][0]))
+                if len(buckets) > 1 else 0
+            )
+            out_series.append({
+                "labels": entry["labels"],
+                "counts": counts,
+                "sum": entry.get("sum", 0.0),
+                "lo_exp": lo_exp,
+                "hi_exp": lo_exp + len(counts) - 1,
+            })
+        snapshot[name] = {
+            "type": kind,
+            "help": helps.get(name, ""),
+            "series": out_series,
+        }
+    return snapshot
+
+
+def histogram_series(snapshot: dict, name: str) -> List[dict]:
+    """Convenience for reports: the series list of histogram ``name``
+    (empty if absent)."""
+    family = snapshot.get(name)
+    if not family or family.get("type") != "histogram":
+        return []
+    return family["series"]

@@ -24,7 +24,6 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Hashable, List, Sequence, Set, Tuple
 
 from .analysis import nullable_set
-from .cfg import AugmentedGrammar
 from .lr0 import LR0Automaton
 
 NTTransition = Tuple[int, str]  # (state, nonterminal)

@@ -14,10 +14,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Any, Iterable, List, Optional, Tuple
+from typing import Any, Iterable, List, Tuple
 
 from .cfg import END
-from .tables import Action, ActionKind, ParseTables
+from .tables import ActionKind, ParseTables
 
 
 class ParseError(ValueError):
@@ -114,7 +114,6 @@ class StreamingParser:
 
     def would_accept(self, terminal: str) -> bool:
         """True iff feeding ``terminal`` now would not be an error."""
-        state = self.state
         action_table = self.tables.action
         # Simulate reduces on a lightweight state-only stack.
         states = [e.state for e in self._stack]

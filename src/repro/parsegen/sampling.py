@@ -8,7 +8,7 @@ prefers minimal-cost productions so recursion terminates.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 

@@ -10,7 +10,7 @@ the same runtime drives any of them.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Set, Tuple
 
 from .analysis import first_of_sequence, first_sets, follow_sets, nullable_set
 from .cfg import ACCEPT, END, AugmentedGrammar, Grammar

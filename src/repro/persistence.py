@@ -13,7 +13,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import IO, Optional, Union
+from typing import IO, Union
 
 from .core.chains import ChainSet, FailureChain
 from .core.events import Severity

@@ -11,7 +11,7 @@ the rest.
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import cached_property
 from typing import Callable, Dict, List, Optional, Tuple
 

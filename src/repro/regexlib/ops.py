@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from .charset import CharSet, partition_alphabet
-from .dfa import DEAD, DFA, Classifier
+from .dfa import DEAD, DFA
 
 
 def _joint_alphabet(a: DFA, b: DFA) -> List[CharSet]:

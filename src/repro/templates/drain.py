@@ -11,8 +11,8 @@ disagreeing positions), otherwise it founds a new group.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 WILDCARD = "<*>"
 

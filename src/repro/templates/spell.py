@@ -11,7 +11,7 @@ paper's pre-filtering step.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 WILDCARD = "<*>"

@@ -156,14 +156,22 @@ class TemplateStore:
         return spec
 
     def compile_scanner(
-        self, keep: Optional[Iterable[int]] = None, *, minimized: bool = True
+        self,
+        keep: Optional[Iterable[int]] = None,
+        *,
+        minimized: bool = True,
+        counting: bool = False,
     ) -> "TemplateScanner":
+        """Compile the merged scanner; ``counting=True`` returns a
+        :class:`CountingTemplateScanner` whose rejection-funnel stages
+        are observable (see :mod:`repro.obs`)."""
         compiled = self.lex_spec(keep).compile(minimized=minimized)
         heads = [
             template_literal_head(self._by_token[int(rule.name)].text)
             for rule in compiled.spec.rules
         ]
-        return TemplateScanner(compiled, prefilter_heads=heads)
+        cls = CountingTemplateScanner if counting else TemplateScanner
+        return cls(compiled, prefilter_heads=heads)
 
 
 _MEMO_MISS = object()  # cache sentinel: None is a legitimate cached value
@@ -265,6 +273,86 @@ class TemplateScanner:
                 return None
         tag, _ = self._match(message, 0)
         return self._token_of_tag[tag] if tag is not None else None
+
+
+class CountingTemplateScanner(TemplateScanner):
+    """A :class:`TemplateScanner` whose rejection funnel is observable.
+
+    Counting must not tax the hot path, so the increments sit only on
+    the *rare* branches — every line that survives the first-char table
+    (``n_pass_first``), prefilter rejections, and full DFA scans.  The
+    two overwhelmingly common outcomes cost **zero** extra bookkeeping:
+
+    * first-char rejection (most lines, Fig. 12) runs the exact same
+      instructions as the base class — its count is *derived* as
+      ``lines_seen - n_pass_first`` (empty messages included: an empty
+      message has no viable first character by definition);
+    * memo hits (the common survivor outcome on repetitive streams) are
+      derived as ``n_pass_first - prefilter_rejected - dfa_runs``, since
+      every memo miss lands in exactly one of those two ``_scan``
+      branches.
+
+    ``funnel(lines_seen)`` resolves the derived stages; the four stage
+    counts sum to ``lines_seen`` by construction, which the equivalence
+    suite asserts against independently recomputed per-line outcomes.
+    """
+
+    __slots__ = ("n_pass_first", "n_prefilter_rejected", "n_scans", "n_matched")
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.n_pass_first = 0
+        self.n_prefilter_rejected = 0
+        self.n_scans = 0
+        self.n_matched = 0
+
+    def tokenize(self, message: str) -> Optional[int]:
+        if not message:
+            return None
+        first = message[0]
+        cp = ord(first)
+        if cp < 128 and not self._first_ok[cp]:
+            return None
+        self.n_pass_first += 1
+        memo = self._memo
+        if memo is None:
+            return self._scan(message)
+        memo_len = self._memo_len
+        key = message if memo_len is None else message[:memo_len]
+        token = memo.get(key, _MEMO_MISS)
+        if token is not _MEMO_MISS:
+            return token
+        token = self._scan(message)
+        if len(memo) >= self._memo_capacity:
+            memo.clear()
+        memo[key] = token
+        return token
+
+    def _scan(self, message: str) -> Optional[int]:
+        heads_by_first = self._heads_by_first
+        if heads_by_first is not None:
+            heads = heads_by_first.get(message[0])
+            if heads is None or not message.startswith(heads):
+                self.n_prefilter_rejected += 1
+                return None
+        self.n_scans += 1
+        tag, _ = self._match(message, 0)
+        if tag is None:
+            return None
+        self.n_matched += 1
+        return self._token_of_tag[tag]
+
+    def funnel(self, lines_seen: int) -> Dict[str, int]:
+        """Resolve the funnel given the total tokenize-call count
+        (tracked for free by the predictors' ``lines_seen`` stats)."""
+        memo_hits = self.n_pass_first - self.n_prefilter_rejected - self.n_scans
+        return {
+            "first_char_rejected": lines_seen - self.n_pass_first,
+            "prefilter_rejected": self.n_prefilter_rejected,
+            "memo_hits": memo_hits,
+            "dfa_runs": self.n_scans,
+            "dfa_matches": self.n_matched,
+        }
 
 
 class NaiveTemplateScanner:

@@ -10,7 +10,7 @@ template are conservatively treated as benign chatter.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from ..core.events import LogEvent, Severity, TokenEvent
 from ..templates.store import TemplateScanner, TemplateStore

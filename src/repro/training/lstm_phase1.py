@@ -12,9 +12,8 @@ structure — while staying fully inspectable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
-import numpy as np
 
 from ..core.chains import ChainSet, FailureChain
 from ..core.events import TokenEvent

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import Iterable, Optional, Sequence, Union
 
 from .core import PredictorFleet, build_rules, pair_predictions
 from .core.events import LogEvent, NodeFailure

@@ -4,7 +4,6 @@ import pytest
 
 from repro.baselines import CloudSeerMessageDetector
 from repro.core import ChainSet, FailureChain
-from repro.core.events import Severity
 from repro.templates import TemplateStore
 
 

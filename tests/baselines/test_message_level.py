@@ -6,7 +6,6 @@ import pytest
 from repro.baselines import (
     AarohiMessageDetector,
     CloudSeerMessageDetector,
-    DeepLogDetector,
     DeshDetector,
     KeyedLSTMMessageDetector,
     repeat_message_checks,

@@ -164,6 +164,44 @@ class TestTimingModes:
             fleet.run(mixed_stream(), timing="warp")
 
 
+class TestInstrumentedEquivalence:
+    """The counting scanner and obs wiring are pure observers: they must
+    not change predictions, and the funnel stages must account for every
+    line exactly once."""
+
+    @pytest.mark.parametrize("backend", ["matcher", "lalr"])
+    def test_instrumented_run_identical(self, store, chains, backend):
+        from repro.obs import Observability
+
+        events = mixed_stream()
+        plain = PredictorFleet.from_store(
+            chains, store, timeout=3.0, backend=backend, clock=ZERO_CLOCK)
+        expected = plain.run(events, timing="off")
+
+        obs = Observability()
+        wired = PredictorFleet.from_store(
+            chains, store, timeout=3.0, backend=backend, clock=ZERO_CLOCK,
+            obs=obs)
+        report = wired.run(events, timing="off")
+        assert report.predictions == expected.predictions
+        assert report.stats == expected.stats
+
+    def test_funnel_counters_sum_to_lines_seen(self, store, chains):
+        from repro.obs import FUNNEL_STAGES, LINES_SEEN, Observability
+
+        obs = Observability()
+        fleet = PredictorFleet.from_store(
+            chains, store, timeout=100.0, clock=ZERO_CLOCK, obs=obs)
+        fleet.run(mixed_stream())
+        fleet.run(mixed_stream())  # funnel identity holds cumulatively
+        snap = obs.registry.snapshot()
+
+        def total(name):
+            return sum(e["value"] for e in snap[name]["series"])
+
+        assert sum(total(name) for name, _ in FUNNEL_STAGES) == total(LINES_SEEN)
+
+
 class TestRunWindowAccounting:
     def test_second_run_not_double_counted(self, store, chains):
         """Regression: FleetReport summed cumulative per-predictor

@@ -75,3 +75,48 @@ class TestCostAccounting:
         predictor.process(LogEvent(10.0, "n", "one alpha x"))
         pred = predictor.process(LogEvent(11.0, "n", "two beta y"))
         assert pred.prediction_time == pytest.approx(4e-3)
+
+
+class TestSnapshotDiffAdd:
+    """The windowed-accounting API (snapshot → work → diff → add) that
+    FleetReport and ParallelFleet worker merging are built on."""
+
+    def run_window(self, predictor):
+        predictor.process(LogEvent(0.0, "n", "one alpha x"))
+        predictor.process(LogEvent(0.5, "n", "noise"))
+        predictor.process(LogEvent(1.0, "n", "two beta y"))
+
+    def test_snapshot_is_independent_copy(self, setup):
+        store, chains = setup
+        predictor = make_predictor(store, chains)
+        before = predictor.stats.snapshot()
+        self.run_window(predictor)
+        assert before.lines_seen == 0
+        assert predictor.stats.lines_seen == 3
+
+    def test_diff_isolates_one_window(self, setup):
+        store, chains = setup
+        predictor = make_predictor(store, chains)
+        self.run_window(predictor)
+        before = predictor.stats.snapshot()
+        self.run_window(predictor)
+        delta = predictor.stats.diff(before)
+        assert delta.lines_seen == 3
+        assert delta.lines_tokenized == 2
+        assert delta.predictions == 1
+        assert delta.tokenize_seconds > 0
+        # Cumulative totals unchanged by diffing.
+        assert predictor.stats.lines_seen == 6
+
+    def test_add_accumulates_in_place(self, setup):
+        from repro.core.predictor import PredictorStats
+
+        store, chains = setup
+        total = PredictorStats()
+        for _ in range(3):
+            predictor = make_predictor(store, chains)
+            self.run_window(predictor)
+            total.add(predictor.stats.diff(PredictorStats()))
+        assert total.lines_seen == 9
+        assert total.predictions == 3
+        assert total.fc_related_fraction == pytest.approx(6 / 9)

@@ -1,6 +1,5 @@
 """Detail tests for compiled lex specs and scanner internals."""
 
-import pytest
 
 from repro.lexgen import LexSpec, Scanner, spec_from_pairs
 

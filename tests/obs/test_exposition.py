@@ -1,0 +1,112 @@
+"""Tests for Prometheus/JSON exposition and the inverse parser."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.exposition import (
+    PrometheusParseError,
+    histogram_series,
+    parse_prometheus,
+    render_json,
+    render_prometheus,
+)
+from repro.obs.metrics import Registry
+
+
+def populated_registry() -> Registry:
+    r = Registry()
+    r.counter("aarohi_lines_seen_total", "lines offered").inc(1234)
+    r.counter("aarohi_faults_total", "by kind", kind="novel").inc(3)
+    r.counter("aarohi_faults_total", "by kind", kind="spurious").inc(2)
+    r.gauge("aarohi_fleet_nodes", "alive").set(40)
+    r.gauge("aarohi_rate", "fractional").set(0.12345)
+    h = r.histogram("aarohi_latency_seconds", "latency", lo_exp=-6, hi_exp=2)
+    for v in (0.01, 0.02, 0.5, 1.5, 300.0):
+        h.observe(v)
+    return r
+
+
+class TestRoundTrip:
+    def test_parse_inverts_render(self):
+        snap = populated_registry().snapshot()
+        assert parse_prometheus(render_prometheus(snap)) == snap
+
+    def test_empty_snapshot(self):
+        assert parse_prometheus(render_prometheus({})) == {}
+
+    def test_label_escaping_survives(self):
+        r = Registry()
+        r.counter("c_total", "x", path='we"ird\\lab\nel').inc(1)
+        snap = r.snapshot()
+        assert parse_prometheus(render_prometheus(snap)) == snap
+
+
+class TestRenderPrometheus:
+    def test_headers_and_samples(self):
+        text = render_prometheus(populated_registry().snapshot())
+        assert "# HELP aarohi_lines_seen_total lines offered" in text
+        assert "# TYPE aarohi_lines_seen_total counter" in text
+        assert "aarohi_lines_seen_total 1234" in text
+        assert 'aarohi_faults_total{kind="novel"} 3' in text
+
+    def test_histogram_buckets_cumulative(self):
+        r = Registry()
+        h = r.histogram("h", lo_exp=0, hi_exp=2)
+        h.observe(0.7)  # bucket 0 (≤1)
+        h.observe(1.5)  # bucket 1 (≤2)
+        text = render_prometheus(r.snapshot())
+        assert 'h_bucket{le="1"} 1' in text
+        assert 'h_bucket{le="2"} 2' in text
+        assert 'h_bucket{le="+Inf"} 2' in text
+        assert "h_count 2" in text
+        assert "h_sum 2.2" in text
+
+    def test_integer_valued_floats_render_as_ints(self):
+        r = Registry()
+        r.gauge("g").set(7.0)
+        assert "g 7\n" in render_prometheus(r.snapshot())
+
+
+class TestParseErrors:
+    def test_garbage_line(self):
+        with pytest.raises(PrometheusParseError):
+            parse_prometheus("# TYPE c counter\nc = what\n")
+
+    def test_sample_without_type(self):
+        with pytest.raises(PrometheusParseError):
+            parse_prometheus("mystery_total 3\n")
+
+    def test_histogram_missing_inf_bucket(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1"} 1\n'
+            "h_sum 0.5\nh_count 1\n"
+        )
+        with pytest.raises(PrometheusParseError):
+            parse_prometheus(text)
+
+
+class TestRenderJson:
+    def test_json_is_loadable_and_equal(self):
+        snap = populated_registry().snapshot()
+        assert json.loads(render_json(snap)) == snap
+
+
+class TestHistogramSeries:
+    def test_returns_series_of_histograms_only(self):
+        snap = populated_registry().snapshot()
+        series = histogram_series(snap, "aarohi_latency_seconds")
+        assert len(series) == 1
+        assert sum(series[0]["counts"]) == 5
+        assert histogram_series(snap, "aarohi_fleet_nodes") == []
+        assert histogram_series(snap, "absent") == []
+
+    def test_overflow_lands_in_inf_bucket(self):
+        snap = populated_registry().snapshot()
+        entry = histogram_series(snap, "aarohi_latency_seconds")[0]
+        assert entry["counts"][-1] == 1  # the 300 s observation
+        bounds = [2.0 ** e for e in range(entry["lo_exp"], entry["hi_exp"])]
+        assert bounds[-1] < 300.0
+        assert math.inf not in bounds

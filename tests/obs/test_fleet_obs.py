@@ -1,0 +1,195 @@
+"""Fleet- and parallel-level observability wiring tests."""
+
+import pytest
+
+from repro.core import ChainSet, FailureChain, LogEvent, PredictorFleet
+from repro.core.events import Severity
+from repro.obs import (
+    CHAIN_MATCHES,
+    FUNNEL_STAGES,
+    LINES_SEEN,
+    LINES_TOKENIZED,
+    LOGSIM_EVENTS,
+    LOGSIM_FAULTS,
+    LOGSIM_WINDOWS,
+    Observability,
+    PREDICTION_SECONDS,
+    PREDICTIONS,
+    SCANNER_DFA_MATCHES,
+    histogram_series,
+)
+from repro.templates import TemplateStore
+
+ZERO_CLOCK = lambda: 0.0  # noqa: E731
+
+
+@pytest.fixture(scope="module")
+def store():
+    s = TemplateStore()
+    s.add("alpha fault *", Severity.ERRONEOUS, token=301)
+    s.add("beta warn *", Severity.UNKNOWN, token=302)
+    s.add("gamma err *", Severity.ERRONEOUS, token=303)
+    return s
+
+
+@pytest.fixture(scope="module")
+def chains():
+    return ChainSet([FailureChain("FC_x", (301, 302, 303))])
+
+
+def mixed_stream(repeats=5):
+    msgs = [
+        "alpha fault a", "benign chatter one", "beta warn b",
+        "unrelated noise xyz", "gamma err c", "zeta nothing",
+    ]
+    # One node per repeat: each node sees whole chains plus noise.
+    return [
+        LogEvent(float(r * len(msgs) + i), f"node-{r % 3}", m)
+        for r in range(repeats)
+        for i, m in enumerate(msgs)
+    ]
+
+
+def counter_total(snapshot, name):
+    family = snapshot.get(name, {"series": []})
+    return sum(entry["value"] for entry in family["series"])
+
+
+class TestFleetRegistry:
+    def test_counters_match_report_stats(self, store, chains):
+        obs = Observability()
+        fleet = PredictorFleet.from_store(
+            chains, store, timeout=100.0, clock=ZERO_CLOCK, obs=obs)
+        report = fleet.run(mixed_stream())
+        snap = obs.registry.snapshot()
+        assert counter_total(snap, LINES_SEEN) == report.lines_seen
+        assert counter_total(snap, LINES_TOKENIZED) == report.lines_tokenized
+        assert counter_total(snap, PREDICTIONS) == len(report.predictions)
+
+    def test_funnel_counters_sum_to_lines_seen(self, store, chains):
+        obs = Observability()
+        fleet = PredictorFleet.from_store(
+            chains, store, timeout=100.0, clock=ZERO_CLOCK, obs=obs)
+        report = fleet.run(mixed_stream())
+        snap = obs.registry.snapshot()
+        funnel_sum = sum(counter_total(snap, name) for name, _ in FUNNEL_STAGES)
+        assert funnel_sum == report.lines_seen
+        # Every FC-related phrase is a DFA match (first full scan) or a
+        # memo hit; the store's matcher found exactly the tokenized ones.
+        assert counter_total(snap, SCANNER_DFA_MATCHES) <= report.lines_tokenized
+
+    def test_second_run_extends_not_doubles(self, store, chains):
+        obs = Observability()
+        fleet = PredictorFleet.from_store(
+            chains, store, timeout=100.0, clock=ZERO_CLOCK, obs=obs)
+        events = mixed_stream()
+        fleet.run(events)
+        fleet.run(events)
+        snap = obs.registry.snapshot()
+        assert counter_total(snap, LINES_SEEN) == 2 * len(events)
+        funnel_sum = sum(counter_total(snap, name) for name, _ in FUNNEL_STAGES)
+        assert funnel_sum == 2 * len(events)
+
+    def test_latency_histogram_counts_predictions(self, store, chains):
+        obs = Observability()
+        fleet = PredictorFleet.from_store(
+            chains, store, timeout=100.0, obs=obs)
+        report = fleet.run(mixed_stream())
+        assert report.predictions  # the stream completes chains
+        (entry,) = histogram_series(
+            obs.registry.snapshot(), PREDICTION_SECONDS)
+        assert sum(entry["counts"]) == len(report.predictions)
+
+    def test_chain_matches_mirror_engine_stats(self, store, chains):
+        obs = Observability()
+        fleet = PredictorFleet.from_store(
+            chains, store, timeout=100.0, clock=ZERO_CLOCK, obs=obs)
+        report = fleet.run(mixed_stream())
+        snap = obs.registry.snapshot()
+        assert counter_total(snap, CHAIN_MATCHES) == len(report.predictions)
+
+    def test_no_obs_no_counting_scanner(self, store, chains):
+        from repro.templates.store import CountingTemplateScanner
+
+        plain = PredictorFleet.from_store(chains, store, timeout=100.0)
+        assert not isinstance(plain.scanner, CountingTemplateScanner)
+        wired = PredictorFleet.from_store(
+            chains, store, timeout=100.0, obs=Observability())
+        assert isinstance(wired.scanner, CountingTemplateScanner)
+
+
+class TestParallelFleetObs:
+    @pytest.fixture(scope="class")
+    def gen(self):
+        from repro.logsim import ClusterLogGenerator, HPC3
+
+        return ClusterLogGenerator(HPC3, seed=61)
+
+    @pytest.fixture(scope="class")
+    def bundle(self, gen):
+        from repro.persistence import PredictorBundle
+
+        return PredictorBundle(
+            store=gen.store, chains=gen.chains,
+            timeout=gen.recommended_timeout, system="HPC3")
+
+    def test_worker_deltas_merge_without_double_count(self, gen, bundle):
+        from repro.core.parallel import ParallelFleet
+
+        window = gen.generate_window(
+            duration=1800.0, n_nodes=12, n_failures=4, n_spurious=0)
+        serial_obs = Observability()
+        serial = PredictorFleet.from_store(
+            gen.chains, gen.store, timeout=gen.recommended_timeout,
+            obs=serial_obs)
+        serial_report = serial.run(window.events)
+
+        obs = Observability()
+        with ParallelFleet(bundle, n_workers=2, obs=obs,
+                           chunk_lines=64) as parallel:
+            predictions = parallel.run(window.events)
+            assert len(predictions) == len(serial_report.predictions)
+            snap = obs.registry.snapshot()
+            # Summed across shard labels, totals equal the serial run's.
+            assert counter_total(snap, LINES_SEEN) == len(window.events)
+            funnel_sum = sum(
+                counter_total(snap, name) for name, _ in FUNNEL_STAGES)
+            assert funnel_sum == len(window.events)
+            assert counter_total(snap, PREDICTIONS) == len(predictions)
+            # PredictorStats merged back through snapshot/diff/add.
+            assert parallel.stats.lines_seen == len(window.events)
+            assert parallel.stats.predictions == len(predictions)
+
+    def test_shard_labels_distinguish_workers(self, gen, bundle):
+        from repro.core.parallel import ParallelFleet
+
+        window = gen.generate_window(
+            duration=1800.0, n_nodes=12, n_failures=2, n_spurious=0)
+        obs = Observability()
+        with ParallelFleet(bundle, n_workers=2, obs=obs) as parallel:
+            parallel.run(window.events)
+        snap = obs.registry.snapshot()
+        shards = {
+            entry["labels"].get("shard")
+            for entry in snap[LINES_SEEN]["series"]
+        }
+        assert shards == {"0", "1"}
+
+
+class TestLogsimObs:
+    def test_generator_records_windows_events_faults(self):
+        from repro.logsim import ClusterLogGenerator, HPC3
+
+        obs = Observability()
+        gen = ClusterLogGenerator(HPC3, seed=11, obs=obs)
+        window = gen.generate_window(
+            duration=900.0, n_nodes=8, n_failures=3, n_spurious=1)
+        snap = obs.registry.snapshot()
+        assert counter_total(snap, LOGSIM_WINDOWS) == 1
+        assert counter_total(snap, LOGSIM_EVENTS) == len(window.events)
+        assert counter_total(snap, LOGSIM_FAULTS) == len(window.injections)
+        kinds = {
+            entry["labels"]["kind"]: entry["value"]
+            for entry in snap[LOGSIM_FAULTS]["series"]
+        }
+        assert kinds.get("spurious") == 1

@@ -1,0 +1,118 @@
+"""Tests for the prediction-lifecycle tracer and trace analytics."""
+
+import io
+
+import pytest
+
+from repro.core.events import NodeFailure
+from repro.obs.tracing import (
+    CHAIN_STARTED,
+    EVENT_KINDS,
+    PREDICTION_FIRED,
+    TOKEN_ADVANCED,
+    Tracer,
+    lifecycle_counts,
+    read_trace,
+    realized_lead_times,
+)
+
+
+class TestEmitAndRead:
+    def test_round_trip(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink, clock=lambda: 99.0)
+        tracer.emit(CHAIN_STARTED, "node-1", chain="FC_x", token=7, t=3.5)
+        tracer.emit(PREDICTION_FIRED, "node-1", chain="FC_x", t=9.0)
+        tracer.close()
+        records = read_trace(io.StringIO(sink.getvalue()))
+        assert [r["ev"] for r in records] == [CHAIN_STARTED, PREDICTION_FIRED]
+        assert records[0]["chain"] == "FC_x"
+        assert records[0]["wall"] == 99.0
+        assert tracer.emitted == 2
+
+    def test_none_fields_dropped(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink, clock=lambda: 0.0)
+        tracer.emit(TOKEN_ADVANCED, "n", chain=None, token=5, t=1.0)
+        (record,) = read_trace(io.StringIO(sink.getvalue()))
+        assert "chain" not in record
+        assert record["token"] == 5
+
+    def test_unknown_event_kind_rejected_on_read(self):
+        with pytest.raises(ValueError):
+            read_trace(io.StringIO('{"ev": "mystery", "node": "n"}\n'))
+
+    def test_path_sink_owned_and_closed(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with Tracer(str(path), clock=lambda: 0.0) as tracer:
+            tracer.emit(CHAIN_STARTED, "n", chain="FC", t=0.0)
+        records = read_trace(str(path))
+        assert len(records) == 1
+
+
+class TestSampling:
+    def test_sample_one_traces_everything(self):
+        tracer = Tracer(io.StringIO(), sample=1.0)
+        assert all(tracer.sample_chain() for _ in range(20))
+
+    def test_sample_zero_traces_nothing(self):
+        tracer = Tracer(io.StringIO(), sample=0.0)
+        # The accumulator starts full, so even the first activation needs
+        # a nonzero rate to fire.
+        assert not any(tracer.sample_chain() for _ in range(20))
+
+    def test_fractional_rate_is_deterministic_and_proportional(self):
+        tracer = Tracer(io.StringIO(), sample=0.25)
+        decisions = [tracer.sample_chain() for _ in range(100)]
+        # The accumulator starts full: the first activation fires, then
+        # every 4th after it — 26 of 100 at rate 0.25.
+        assert decisions[0] is True
+        assert sum(decisions) == 26
+        again = Tracer(io.StringIO(), sample=0.25)
+        assert [again.sample_chain() for _ in range(100)] == decisions
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(io.StringIO(), sample=1.5)
+
+
+class TestRealizedLeadTimes:
+    def make_records(self):
+        return [
+            {"ev": CHAIN_STARTED, "node": "a", "chain": "FC", "t": 0.0},
+            {"ev": PREDICTION_FIRED, "node": "a", "chain": "FC", "t": 10.0},
+            {"ev": PREDICTION_FIRED, "node": "b", "chain": "FC", "t": 20.0},
+        ]
+
+    def test_fired_records_gain_lead(self):
+        failures = [NodeFailure(node="a", time=130.0, chain_id="FC")]
+        annotated = realized_lead_times(self.make_records(), failures)
+        fired = [r for r in annotated if r["ev"] == PREDICTION_FIRED]
+        assert fired[0]["lead"] == pytest.approx(120.0)
+        assert fired[1]["lead"] is None  # node b never failed
+        # Non-fired records pass through unannotated.
+        assert "lead" not in annotated[0]
+
+    def test_horizon_limits_pairing(self):
+        failures = [NodeFailure(node="a", time=10_000.0, chain_id="FC")]
+        annotated = realized_lead_times(
+            self.make_records(), failures, horizon=100.0)
+        fired = [r for r in annotated if r["ev"] == PREDICTION_FIRED]
+        assert fired[0]["lead"] is None
+
+    def test_input_not_mutated(self):
+        records = self.make_records()
+        realized_lead_times(
+            records, [NodeFailure(node="a", time=130.0, chain_id="FC")])
+        assert "lead" not in records[1]
+
+
+class TestLifecycleCounts:
+    def test_counts_every_kind(self):
+        counts = lifecycle_counts([
+            {"ev": CHAIN_STARTED}, {"ev": CHAIN_STARTED},
+            {"ev": PREDICTION_FIRED},
+        ])
+        assert counts[CHAIN_STARTED] == 2
+        assert counts[PREDICTION_FIRED] == 1
+        assert set(counts) == set(EVENT_KINDS)

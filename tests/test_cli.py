@@ -1,5 +1,7 @@
 """End-to-end tests for the ``aarohi`` CLI."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -75,6 +77,86 @@ class TestPipeline:
         assert "mined" in out
         assert "recall %" in out
         assert "mean lead time (min)" in out
+
+
+class TestJsonOutput:
+    def test_predict_json(self, tmp_path, capsys):
+        log = tmp_path / "w.log"
+        main([
+            "generate", "--system", "HPC3", "--seed", "5",
+            "--duration", "1800", "--nodes", "12", "--failures", "4",
+            "--out", str(log),
+        ])
+        capsys.readouterr()
+        rc = main([
+            "predict", "--system", "HPC3", "--seed", "5",
+            "--log", str(log), "--json",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["system"] == "HPC3"
+        assert payload["predictions"]
+        first = payload["predictions"][0]
+        assert set(first) == {"node", "chain", "flagged_at", "prediction_time"}
+        stats = payload["stats"]
+        assert stats["lines_seen"] == len(log.read_text().splitlines())
+        assert 0.0 <= stats["fc_related_fraction"] <= 1.0
+
+    def test_pipeline_json(self, capsys):
+        rc = main([
+            "pipeline", "--system", "HPC4", "--seed", "11",
+            "--duration", "3600", "--nodes", "30", "--failures", "10",
+            "--json",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out)  # pure JSON: no phase chatter on stdout
+        for key in ("system", "mined_chains", "candidates", "predictions",
+                    "failures", "recall_pct", "precision_pct", "accuracy_pct",
+                    "fnr_pct", "mean_lead_time_s", "mean_prediction_time_s"):
+            assert key in payload
+        assert payload["system"] == "HPC4"
+        assert payload["failures"] == 10
+
+
+class TestObsReport:
+    @pytest.fixture()
+    def artifacts(self, tmp_path, capsys):
+        log = tmp_path / "w.log"
+        metrics = tmp_path / "out.prom"
+        trace = tmp_path / "trace.jsonl"
+        main([
+            "generate", "--system", "HPC3", "--seed", "5",
+            "--duration", "1800", "--nodes", "12", "--failures", "4",
+            "--out", str(log),
+        ])
+        rc = main([
+            "predict", "--system", "HPC3", "--seed", "5",
+            "--log", str(log), "--metrics", str(metrics),
+            "--trace", str(trace),
+        ])
+        assert rc == 0
+        capsys.readouterr()
+        return metrics, trace
+
+    def test_report_from_metrics(self, artifacts, capsys):
+        metrics, _ = artifacts
+        rc = main(["obs-report", "--metrics", str(metrics)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Scanner rejection funnel" in out
+        assert "Fleet summary" in out
+        assert "lines seen" in out
+
+    def test_report_with_trace(self, artifacts, capsys):
+        metrics, trace = artifacts
+        rc = main([
+            "obs-report", "--metrics", str(metrics), "--trace", str(trace),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "lifecycle" in out.lower()
+        assert "prediction_fired" in out
 
 
 class TestSpeedup:

@@ -5,7 +5,6 @@ import pytest
 
 from repro.codegen import emit_predictor_source, load_predictor
 from repro.core import AarohiPredictor
-from repro.core.events import LogEvent
 from repro.logsim import ClusterLogGenerator, HPC3
 
 

@@ -5,7 +5,6 @@ import json
 
 import pytest
 
-from repro.core import ChainSet, FailureChain
 from repro.logsim import ClusterLogGenerator, HPC3
 from repro.persistence import (
     BundleError,

@@ -40,6 +40,50 @@ class TestRenderSeries:
         assert "—" in out
 
 
+class TestGoldenOutputs:
+    """Byte-exact renderings: layout changes must be deliberate."""
+
+    def test_table_golden(self):
+        assert render_table(["a", "bb"], [[1, 2.5], ["xx", 3.0]]) == "\n".join([
+            "a  | bb ",
+            "---+----",
+            "1  | 2.5",
+            "xx | 3  ",
+        ])
+
+    def test_table_with_title_golden(self):
+        out = render_table(
+            ["sys", "ev/s"], [["HPC1", 1234567.0]], title="Throughput")
+        assert out == "\n".join([
+            "Throughput",
+            "================",
+            "sys  | ev/s     ",
+            "-----+----------",
+            "HPC1 | 1.235e+06",
+        ])
+
+    def test_series_golden(self):
+        out = render_series(
+            "x", {"a": [(1, 0.5)], "b": [(1, 1.0), (2, 2.0)]},
+            y_fmt="{:.2f}")
+        assert out == "\n".join([
+            "x | a    | b   ",
+            "--+------+-----",
+            "1 | 0.50 | 1.00",
+            "2 | —    | 2.00",
+        ])
+
+    def test_bars_golden(self):
+        out = render_bars(
+            ["mem", "dfa"], [1.0, 4.0], title="Funnel", width=8,
+            value_fmt="{:.1f}")
+        assert out == "\n".join([
+            "Funnel",
+            "mem | ## 1.0",
+            "dfa | ######## 4.0",
+        ])
+
+
 class TestRenderBars:
     def test_bars_scale(self):
         out = render_bars(["a", "b"], [1.0, 2.0])
