@@ -9,20 +9,39 @@ Thin wrappers over the library so each piece of the paper's workflow
 * ``pipeline`` — full two-phase run (generate → mine → predict → metrics)
 * ``speedup`` — quick Table VI-style comparison on this machine
 * ``obs-report`` — render a ``--metrics`` snapshot (and optionally a
-  ``--trace`` file) as funnel / latency / lifecycle summaries
+  ``--trace`` file) as funnel / latency / lifecycle summaries, or the
+  delta of two snapshots (``--diff BEFORE AFTER``)
+* ``obs-serve`` — replay a log through a live-instrumented fleet while
+  serving ``/metrics``, ``/healthz``, and ``/quality`` over HTTP
 """
 
 from __future__ import annotations
 
 import argparse
 import json as _json
+import math
 import sys
+import time
 from statistics import mean
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from .core import PredictorFleet, build_rules, pair_predictions
-from .logsim import ClusterLogGenerator, read_log, system_by_name, write_log
-from .obs import Observability, Tracer
+from .logsim import (
+    ClusterLogGenerator,
+    read_log,
+    read_truth,
+    system_by_name,
+    write_log,
+    write_truth,
+)
+from .obs import (
+    LiveMonitor,
+    Observability,
+    ObsServer,
+    QualityScoreboard,
+    Tracer,
+    inter_arrival_budget,
+)
 from .reporting import render_table
 
 
@@ -50,14 +69,31 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _make_obs(args: argparse.Namespace) -> Optional[Observability]:
-    """Build the Observability the flags ask for (None = fully off)."""
-    if not (args.metrics or args.trace):
+def _make_obs(
+    args: argparse.Namespace, config=None
+) -> Optional[Observability]:
+    """Build the Observability the flags ask for (None = fully off).
+
+    ``--watch`` turns on the live monitor (deadline budget derived from
+    the system config); ``--truth`` turns on the quality scoreboard,
+    pre-loaded with the ground-truth failures.
+    """
+    watch = getattr(args, "watch", False)
+    truth = getattr(args, "truth", None)
+    if not (args.metrics or args.trace or watch or truth):
         return None
     tracer = None
     if args.trace:
         tracer = Tracer(args.trace, sample=args.trace_sample)
-    return Observability(tracer=tracer)
+    live = None
+    if watch:
+        budget = inter_arrival_budget(config) if config is not None else None
+        live = LiveMonitor(budget)
+    quality = None
+    if truth:
+        quality = QualityScoreboard()
+        quality.add_failures(read_truth(truth))
+    return Observability(tracer=tracer, live=live, quality=quality)
 
 
 def _finish_obs(args: argparse.Namespace, obs: Optional[Observability]) -> None:
@@ -78,6 +114,9 @@ def cmd_generate(args: argparse.Namespace) -> int:
     print(f"wrote {count} events for {len(window.nodes)} nodes to {args.out}")
     print(f"injected {len(window.failures)} failures "
           f"({sum(1 for i in window.injections if i.kind == 'novel')} novel)")
+    if args.truth:
+        n_truth = write_truth(window.failures, args.truth)
+        print(f"wrote {n_truth} ground-truth failures to {args.truth}")
     return 0
 
 
@@ -88,14 +127,48 @@ def cmd_rules(args: argparse.Namespace) -> int:
     return 0
 
 
+def _watch_frame(obs: Observability) -> str:
+    """One dashboard refresh: funnel, latency, fleet, live, quality."""
+    from .obs.report import report_sections
+
+    obs.refresh()
+    return "\n\n".join(report_sections(obs.registry.snapshot()))
+
+
+def _run_watched(
+    fleet: PredictorFleet, events: Sequence, obs: Observability, slices: int
+):
+    """Drive the stream in slices, redrawing the dashboard per slice."""
+    from .core.fleet import FleetReport
+
+    total = FleetReport()
+    n_slices = max(1, slices)
+    size = max(1, math.ceil(len(events) / n_slices)) if events else 1
+    clear = "\x1b[2J\x1b[H" if sys.stdout.isatty() else ""
+    for start in range(0, len(events), size):
+        report = fleet.run(events[start:start + size])
+        total.predictions.extend(report.predictions)
+        total.stats.add(report.stats)
+        total.nodes = report.nodes
+        done = min(start + size, len(events))
+        print(f"{clear}— watch: {done}/{len(events)} events —\n")
+        print(_watch_frame(obs))
+    return total
+
+
 def cmd_predict(args: argparse.Namespace) -> int:
-    obs = _make_obs(args)
-    gen = ClusterLogGenerator(system_by_name(args.system), seed=args.seed)
+    config = system_by_name(args.system)
+    obs = _make_obs(args, config)
+    gen = ClusterLogGenerator(config, seed=args.seed)
     fleet = PredictorFleet.from_store(
         gen.chains, gen.store, timeout=gen.recommended_timeout,
         backend=args.backend, obs=obs,
     )
-    report = fleet.run(read_log(args.log))
+    if getattr(args, "watch", False):
+        report = _run_watched(
+            fleet, list(read_log(args.log)), obs, args.slices)
+    else:
+        report = fleet.run(read_log(args.log))
     _finish_obs(args, obs)
     if args.json:
         print(_json.dumps({
@@ -264,94 +337,113 @@ def cmd_fieldstudy(args: argparse.Namespace) -> int:
     return 0
 
 
+class _ReportError(Exception):
+    """A user-facing obs-report input problem (exit code 2)."""
+
+
+def _load_snapshot(path: str) -> dict:
+    """Parse a ``.prom`` file, or raise :class:`_ReportError` with a
+    one-line explanation (missing, empty, truncated, not Prometheus)."""
+    from .obs import PrometheusParseError, parse_prometheus
+
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError as exc:
+        raise _ReportError(
+            f"cannot read {path}: {exc.strerror or exc}") from exc
+    if not text.strip():
+        raise _ReportError(f"{path} is empty — no metrics were written")
+    try:
+        snapshot = parse_prometheus(text)
+    except PrometheusParseError as exc:
+        raise _ReportError(
+            f"{path} is not a valid metrics snapshot ({exc})") from exc
+    if not snapshot:
+        raise _ReportError(f"{path} contains no metric series")
+    return snapshot
+
+
+def _load_trace(path: str) -> list:
+    from .obs import read_trace
+
+    try:
+        return read_trace(path)
+    except OSError as exc:
+        raise _ReportError(
+            f"cannot read {path}: {exc.strerror or exc}") from exc
+    except ValueError as exc:
+        raise _ReportError(
+            f"{path} is not a valid trace file ({exc})") from exc
+
+
 def cmd_obs_report(args: argparse.Namespace) -> int:
-    from .obs import (
-        CHAIN_MATCHES,
-        FLEET_EVENTS_PER_SECOND,
-        FLEET_NODES,
-        FUNNEL_STAGES,
-        LINES_SEEN,
-        PREDICTION_SECONDS,
-        PREDICTIONS,
-        histogram_series,
-        lifecycle_counts,
-        parse_prometheus,
-        read_trace,
-    )
-    from .reporting import render_bars
+    from .obs import diff_snapshots
+    from .obs.report import report_sections
 
-    with open(args.metrics, "r", encoding="utf-8") as fh:
-        snapshot = parse_prometheus(fh.read())
-
-    def counter_total(name: str) -> float:
-        family = snapshot.get(name)
-        if not family:
-            return 0.0
-        return sum(entry["value"] for entry in family["series"])
-
-    sections: List[str] = []
-
-    # 1. The scanner rejection funnel (why the hot path is fast).
-    lines_seen = counter_total(LINES_SEEN)
-    rows = []
-    for name, label in FUNNEL_STAGES:
-        count = counter_total(name)
-        share = f"{count / lines_seen:.2%}" if lines_seen else "—"
-        rows.append((label, f"{count:.0f}", share))
-    rows.append(("lines seen", f"{lines_seen:.0f}", "100.00%" if lines_seen else "—"))
-    sections.append(render_table(
-        ["stage", "lines", "share"], rows, title="Scanner rejection funnel"))
-
-    # 2. Per-prediction latency histogram (log2 buckets).
-    for entry in histogram_series(snapshot, PREDICTION_SECONDS):
-        labels, counts = entry["labels"], entry["counts"]
-        total = sum(counts)
-        if not total:
-            continue
-        lo_exp = entry["lo_exp"]
-        bucket_labels, bucket_values = [], []
-        for i, count in enumerate(counts):
-            if not count:
-                continue
-            top = 2.0 ** (lo_exp + i)
-            bucket_labels.append(
-                "+Inf" if i == len(counts) - 1 else f"≤{top:.3g}s")
-            bucket_values.append(float(count))
-        suffix = f" {labels}" if labels else ""
-        mean_s = entry["sum"] / total
-        sections.append(render_bars(
-            bucket_labels, bucket_values,
-            title=(f"Prediction latency{suffix} — {total:.0f} predictions, "
-                   f"mean {mean_s * 1e3:.4f} ms"),
-        ))
-
-    # 3. Headline fleet numbers.
-    summary_rows = [
-        ("predictions", f"{counter_total(PREDICTIONS):.0f}"),
-        ("chain matches", f"{counter_total(CHAIN_MATCHES):.0f}"),
-    ]
-    for gauge_name, label in (
-        (FLEET_NODES, "fleet nodes"),
-        (FLEET_EVENTS_PER_SECOND, "events/s (last run)"),
-    ):
-        family = snapshot.get(gauge_name)
-        if family and family["series"]:
-            value = sum(e["value"] for e in family["series"])
-            summary_rows.append((label, f"{value:.4g}"))
-    sections.append(render_table(
-        ["metric", "value"], summary_rows, title="Fleet summary"))
-
-    # 4. Optional lifecycle roll-up from a trace file.
-    if args.trace:
-        records = read_trace(args.trace)
-        counts = lifecycle_counts(records)
-        sections.append(render_table(
-            ["lifecycle event", "count"],
-            [(kind, n) for kind, n in counts.items()],
-            title=f"Prediction lifecycle ({len(records)} trace records)"))
-
-    print("\n\n".join(sections))
+    try:
+        if args.diff:
+            before = _load_snapshot(args.diff[0])
+            after = _load_snapshot(args.diff[1])
+            snapshot = diff_snapshots(after, before)
+            if not snapshot:
+                print("no metric changed between the two snapshots")
+                return 0
+        else:
+            if not args.metrics:
+                raise _ReportError(
+                    "need --metrics FILE or --diff BEFORE AFTER")
+            snapshot = _load_snapshot(args.metrics)
+        trace_records = _load_trace(args.trace) if args.trace else None
+    except _ReportError as exc:
+        print(f"obs-report: {exc}", file=sys.stderr)
+        return 2
+    print("\n\n".join(report_sections(snapshot, trace_records)))
     return 0
+
+
+def cmd_obs_serve(args: argparse.Namespace) -> int:
+    """Replay a log through a live-instrumented fleet while serving
+    ``/metrics``, ``/healthz``, and ``/quality``.  Exit code reflects
+    the final deadline verdict (0 = feasible, 1 = budget blown)."""
+    config = system_by_name(args.system)
+    gen = ClusterLogGenerator(config, seed=args.seed)
+    live = LiveMonitor(inter_arrival_budget(config))
+    quality = None
+    if args.truth:
+        quality = QualityScoreboard()
+        quality.add_failures(read_truth(args.truth))
+    obs = Observability(live=live, quality=quality)
+    fleet = PredictorFleet.from_store(
+        gen.chains, gen.store, timeout=gen.recommended_timeout,
+        backend=args.backend, obs=obs,
+    )
+    events = list(read_log(args.log))
+    n_slices = max(1, args.slices)
+    size = max(1, math.ceil(len(events) / n_slices)) if events else 1
+    with ObsServer(obs, host=args.host, port=args.port) as server:
+        print(f"serving {server.url('/metrics')} "
+              f"(also /healthz and /quality)", flush=True)
+        for start in range(0, len(events), size):
+            fleet.run(events[start:start + size])
+            if args.pace > 0:
+                time.sleep(args.pace)
+        verdict = live.verdict()
+        if verdict is not None:
+            state = "PASS" if verdict.ok else "FAIL"
+            print(f"deadline {state}: p{verdict.quantile:g} latency "
+                  f"{verdict.latency * 1e3:.4f} ms vs budget "
+                  f"{verdict.budget * 1e3:.4f} ms "
+                  f"({verdict.observed} predictions, "
+                  f"burn {verdict.burn_rate:.3f})")
+        if args.hold:
+            print("stream done; serving until interrupted (Ctrl-C)")
+            try:
+                while True:
+                    time.sleep(1.0)
+            except KeyboardInterrupt:
+                pass
+    return 0 if verdict is None or verdict.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -367,6 +459,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--nodes", type=int, default=24)
     p.add_argument("--failures", type=int, default=6)
     p.add_argument("--out", default="window.log")
+    p.add_argument("--truth", default=None, metavar="TRUTH.jsonl",
+                   help="also write injected-failure ground truth (JSONL)")
     p.set_defaults(func=cmd_generate)
 
     p = sub.add_parser("rules", help="print Algorithm 1's rule derivation")
@@ -380,6 +474,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", default="matcher", choices=["matcher", "lalr"])
     p.add_argument("--json", action="store_true",
                    help="emit machine-readable JSON instead of a table")
+    p.add_argument("--watch", action="store_true",
+                   help="refreshing dashboard: funnel, latency quantiles, "
+                        "SLO budget, quality")
+    p.add_argument("--slices", type=int, default=20,
+                   help="stream slices per --watch refresh (default 20)")
+    p.add_argument("--truth", default=None, metavar="TRUTH.jsonl",
+                   help="ground-truth failures (enables the online "
+                        "quality scoreboard)")
     _add_obs_args(p)
     p.set_defaults(func=cmd_predict)
 
@@ -406,11 +508,34 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "obs-report",
         help="summarize a --metrics snapshot (funnel, latency, lifecycle)")
-    p.add_argument("--metrics", required=True, metavar="OUT.prom",
+    p.add_argument("--metrics", default=None, metavar="OUT.prom",
                    help="Prometheus text file written by predict --metrics")
     p.add_argument("--trace", default=None, metavar="TRACE.jsonl",
                    help="optional trace file for the lifecycle roll-up")
+    p.add_argument("--diff", nargs=2, metavar=("BEFORE", "AFTER"),
+                   default=None,
+                   help="render the delta between two snapshots instead")
     p.set_defaults(func=cmd_obs_report)
+
+    p = sub.add_parser(
+        "obs-serve",
+        help="replay a log through a live fleet while serving /metrics")
+    _add_system_arg(p)
+    p.add_argument("--log", required=True)
+    p.add_argument("--backend", default="matcher",
+                   choices=["matcher", "lalr"])
+    p.add_argument("--truth", default=None, metavar="TRUTH.jsonl",
+                   help="ground-truth failures (enables /quality scoring)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=9464,
+                   help="HTTP port (0 = ephemeral; default 9464)")
+    p.add_argument("--slices", type=int, default=20,
+                   help="process the stream in this many batches")
+    p.add_argument("--pace", type=float, default=0.0,
+                   help="sleep this many seconds between batches")
+    p.add_argument("--hold", action="store_true",
+                   help="keep serving after the stream ends (Ctrl-C exits)")
+    p.set_defaults(func=cmd_obs_serve)
 
     p = sub.add_parser("fieldstudy", help="longitudinal failure statistics")
     _add_system_arg(p)

@@ -140,6 +140,7 @@ class PredictorFleet:
         pairs_of: Dict[str, List[tuple]] = {}
         appends: Dict[str, Callable] = {}
         get_append = appends.get
+        event: Optional[LogEvent] = None
         for i, event in enumerate(events):
             node = event.node
             append = get_append(node)
@@ -161,8 +162,11 @@ class PredictorFleet:
         report.predictions = [p for _, p in flagged]
         report.nodes = len(self._predictors)
         if obs is not None:
+            # The stream is time-ordered, so the grouping loop's final
+            # event carries the stream's high-water event time.
             self._record_run(obs, report, _time.perf_counter() - t_run,
-                             [len(p) for p in pairs_of.values()])
+                             [len(p) for p in pairs_of.values()],
+                             event.time if event is not None else None)
         return report
 
     def _record_run(
@@ -171,6 +175,7 @@ class PredictorFleet:
         report: FleetReport,
         seconds: float,
         batch_sizes: List[int],
+        last_event_time: Optional[float] = None,
     ) -> None:
         obs.record_run_stats(report.stats)
         obs.record_fleet_run(
@@ -188,6 +193,20 @@ class PredictorFleet:
                 self.scanner,
                 sum(p.stats.lines_seen for p in predictors),
             )
+        # Live/quality planes (no-ops unless configured on the facade).
+        # Latencies already reached the live sketch through the
+        # predictors' emit hooks; this folds in rate, lag, predictions,
+        # and the batch's discard fraction.
+        obs.record_live_run(
+            n_events=report.lines_seen,
+            seconds=seconds,
+            last_event_time=last_event_time,
+        )
+        obs.record_quality_run(
+            predictions=report.predictions,
+            stats_delta=report.stats,
+            now=last_event_time,
+        )
 
     @property
     def nodes(self) -> List[str]:

@@ -31,6 +31,7 @@ discarded lines cost no clock reads at all).
 from __future__ import annotations
 
 import multiprocessing as mp
+import time as _time
 from typing import List, Optional, Sequence, Tuple
 
 from ..core.events import LogEvent, Prediction
@@ -134,6 +135,7 @@ class ParallelFleet:
         self.n_workers = n_workers
         self.chunk_lines = chunk_lines
         self.obs = obs
+        self.timing = timing
         # Fleet-wide cumulative stats, merged back from worker diffs via
         # the PredictorStats.snapshot()/diff()/add() API.
         self.stats = PredictorStats()
@@ -159,6 +161,8 @@ class ParallelFleet:
         chunk sizes.
         """
         obs = self.obs
+        t_run = _time.perf_counter() if obs is not None else 0.0
+        stats_before = self.stats.snapshot() if obs is not None else None
         shards = partition_events(events, self.n_workers)
         chunk_lines = self.chunk_lines
         pending = []
@@ -194,6 +198,26 @@ class ParallelFleet:
         if obs is not None:
             obs.registry.gauge(PARALLEL_QUEUE_DEPTH).set(0)
         predictions.sort(key=lambda p: p.flagged_at)
+        if obs is not None:
+            # Workers never run a live monitor (P² state can't merge);
+            # the parent feeds its own from the returned predictions so
+            # the fleet-wide sketch covers every shard.  With
+            # timing="off" predictions carry prediction_time == 0.0,
+            # which would poison the sketch — skip them.
+            if obs.live is not None and self.timing != "off":
+                obs.live.observe_predictions(
+                    p.prediction_time for p in predictions)
+            last_event_time = events[-1].time if len(events) else None
+            obs.record_live_run(
+                n_events=len(events),
+                seconds=_time.perf_counter() - t_run,
+                last_event_time=last_event_time,
+            )
+            obs.record_quality_run(
+                predictions=predictions,
+                stats_delta=self.stats.diff(stats_before),
+                now=last_event_time,
+            )
         return predictions
 
     def close(self) -> None:

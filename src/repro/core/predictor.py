@@ -131,9 +131,12 @@ class AarohiPredictor:
             **obs.labels,
         )
         tracer = obs.tracer
+        live = obs.live
 
         def emit(prediction: Prediction) -> None:
             hist.observe(prediction.prediction_time)
+            if live is not None:
+                live.observe_prediction(prediction.prediction_time)
             if tracer is not None:
                 tracer.emit(
                     PREDICTION_FIRED,

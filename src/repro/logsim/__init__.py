@@ -12,7 +12,15 @@ from .catalogs import Catalog, CatalogEntry, catalog_for
 from .faults import ChainDef, DeltaTModel, LeadGapModel, chain_defs_for
 from .generator import ClusterLogGenerator, InjectedChain, LogWindow
 from .placement import ClusterProfile, PlacementResult, compare_placements, evaluate_placement
-from .stream import clip_window, merge_streams, read_log, split_by_node, write_log
+from .stream import (
+    clip_window,
+    merge_streams,
+    read_log,
+    read_truth,
+    split_by_node,
+    write_log,
+    write_truth,
+)
 from .systems import ALL_SYSTEMS, HPC1, HPC2, HPC3, HPC4, SystemConfig, system_by_name
 from .topology import ClusterTopology, NodeName
 
@@ -42,7 +50,9 @@ __all__ = [
     "evaluate_placement",
     "merge_streams",
     "read_log",
+    "read_truth",
     "split_by_node",
     "system_by_name",
     "write_log",
+    "write_truth",
 ]

@@ -9,10 +9,11 @@ and replay a recorded window as an iterator.
 from __future__ import annotations
 
 import heapq
+import json
 from pathlib import Path
 from typing import IO, Iterable, Iterator, List, Sequence, Union
 
-from ..core.events import LogEvent
+from ..core.events import LogEvent, NodeFailure
 
 
 def merge_streams(*streams: Iterable[LogEvent]) -> Iterator[LogEvent]:
@@ -42,6 +43,42 @@ def read_log(source: Union[str, Path, IO[str]]) -> Iterator[LogEvent]:
         line = line.rstrip("\n")
         if line:
             yield LogEvent.from_line(line)
+
+
+def write_truth(
+    failures: Iterable[NodeFailure], target: Union[str, Path, IO[str]]
+) -> int:
+    """Serialize injected-failure ground truth (JSONL, one failure per
+    line) next to a replayed log — the feed for the online
+    :class:`~repro.obs.quality.QualityScoreboard`.  Returns the count."""
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as fh:
+            return write_truth(failures, fh)
+    count = 0
+    for failure in failures:
+        target.write(json.dumps({
+            "node": failure.node,
+            "time": failure.time,
+            "chain_id": failure.chain_id,
+        }) + "\n")
+        count += 1
+    return count
+
+
+def read_truth(source: Union[str, Path, IO[str]]) -> Iterator[NodeFailure]:
+    """Parse a ground-truth file produced by :func:`write_truth`."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as fh:
+            yield from read_truth(fh)
+        return
+    for line in source:
+        line = line.strip()
+        if line:
+            record = json.loads(line)
+            yield NodeFailure(
+                node=record["node"], time=record["time"],
+                chain_id=record.get("chain_id"),
+            )
 
 
 def split_by_node(events: Iterable[LogEvent]) -> dict[str, List[LogEvent]]:

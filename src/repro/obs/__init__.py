@@ -1,6 +1,6 @@
 """`repro.obs` — observability for the online predictor fleet.
 
-Three layers (ISSUE 2 / DESIGN.md §5.6):
+Passive layers (ISSUE 2 / DESIGN.md §5.6):
 
 * :mod:`.metrics` — allocation-free Counter/Gauge/log2-Histogram types
   and a process-local :class:`Registry` with label support, snapshots,
@@ -10,12 +10,24 @@ Three layers (ISSUE 2 / DESIGN.md §5.6):
 * :mod:`.exposition` — Prometheus text-format and JSON renderers plus
   the inverse parser.
 
+Live ops plane (ISSUE 3 / DESIGN.md §5.7):
+
+* :mod:`.live` — P² latency quantiles, EWMA message rate, stream-lag
+  gauge, and the :class:`DeadlineMonitor` feasibility/SLO check;
+* :mod:`.quality` — the online :class:`QualityScoreboard` (rolling
+  precision/recall/lead time vs injected ground truth) and the CUSUM
+  discard-fraction drift detector;
+* :mod:`.server` — stdlib HTTP exposition (``/metrics``, ``/healthz``,
+  ``/quality``);
+* :mod:`.report` — snapshot → report-section renderers shared by
+  ``obs-report`` and the ``predict --watch`` dashboard.
+
 :class:`Observability` is the wiring facade the predictor stack accepts
-(``PredictorFleet.from_store(..., obs=...)``): it owns the registry and
-optional tracer and knows how to fold the cheap cumulative counters the
-hot path maintains (predictor stats, scanner funnel slots, matcher
-transition stats) into registry metrics **once per batch/run**, never
-per event.
+(``PredictorFleet.from_store(..., obs=...)``): it owns the registry,
+optional tracer, and the optional live monitor / quality scoreboard,
+and knows how to fold the cheap cumulative counters the hot path
+maintains into registry metrics **once per batch/run**, never per
+event.
 """
 
 from __future__ import annotations
@@ -29,6 +41,17 @@ from .exposition import (
     render_json,
     render_prometheus,
 )
+from .live import (
+    DeadlineMonitor,
+    DeadlineVerdict,
+    EwmaRate,
+    LiveMonitor,
+    P2Quantile,
+    QuantileSketch,
+    StreamLag,
+    inter_arrival_budget,
+    quantile_from_histogram,
+)
 from .metrics import (
     Counter,
     Gauge,
@@ -38,6 +61,56 @@ from .metrics import (
     Registry,
     diff_snapshots,
 )
+from .names import (  # noqa: F401  (canonical names, re-exported)
+    CHAIN_ACTIVATIONS,
+    CHAIN_MATCHES,
+    CHAIN_TIMEOUTS,
+    DEADLINE_BREACHES,
+    DEADLINE_BUDGET,
+    DEADLINE_OK,
+    DISCARD_CUSUM,
+    DISCARD_DRIFT_ALARM,
+    DISCARD_FRACTION,
+    FEED_SECONDS,
+    FLEET_BATCH_EVENTS,
+    FLEET_EVENTS_PER_SECOND,
+    FLEET_NODES,
+    FLEET_RUN_SECONDS,
+    FLEET_RUNS,
+    FUNNEL_STAGES,
+    LINES_SEEN,
+    LINES_TOKENIZED,
+    LIVE_LATENCY_QUANTILE,
+    LIVE_MESSAGE_RATE,
+    LIVE_STREAM_LAG,
+    LOGSIM_EVENTS,
+    LOGSIM_FAULTS,
+    LOGSIM_WINDOWS,
+    PARALLEL_CHUNK_EVENTS,
+    PARALLEL_QUEUE_DEPTH,
+    PREDICTION_SECONDS,
+    PREDICTIONS,
+    QUALITY_ACTIONABLE_RATIO,
+    QUALITY_F1,
+    QUALITY_FALSE_NEGATIVES,
+    QUALITY_FALSE_POSITIVES,
+    QUALITY_LEAD_SECONDS,
+    QUALITY_MEAN_LEAD,
+    QUALITY_PRECISION,
+    QUALITY_RECALL,
+    QUALITY_TRUE_POSITIVES,
+    SCANNER_DFA_MATCHES,
+    SCANNER_DFA_RUNS,
+    SCANNER_FIRST_CHAR_REJECTED,
+    SCANNER_MEMO_HITS,
+    SCANNER_PREFILTER_REJECTED,
+    SLO_BURN,
+    TOKENIZE_SECONDS,
+    TOKENS_ADVANCED,
+    TOKENS_SKIPPED,
+)
+from .quality import DiscardDriftDetector, QualityScore, QualityScoreboard
+from .server import ObsServer
 from .tracing import (
     CHAIN_STARTED,
     DELTA_T_TIMEOUT,
@@ -51,56 +124,16 @@ from .tracing import (
     realized_lead_times,
 )
 
-# Canonical metric names (one place, so exposition and reports agree).
-LINES_SEEN = "aarohi_lines_seen_total"
-LINES_TOKENIZED = "aarohi_lines_tokenized_total"
-PREDICTIONS = "aarohi_predictions_total"
-TOKENIZE_SECONDS = "aarohi_tokenize_seconds_total"
-FEED_SECONDS = "aarohi_feed_seconds_total"
-PREDICTION_SECONDS = "aarohi_prediction_seconds"
-
-SCANNER_FIRST_CHAR_REJECTED = "aarohi_scanner_first_char_rejected_total"
-SCANNER_PREFILTER_REJECTED = "aarohi_scanner_prefilter_rejected_total"
-SCANNER_MEMO_HITS = "aarohi_scanner_memo_hits_total"
-SCANNER_DFA_RUNS = "aarohi_scanner_dfa_runs_total"
-SCANNER_DFA_MATCHES = "aarohi_scanner_dfa_matches_total"
-
-CHAIN_ACTIVATIONS = "aarohi_chain_activations_total"
-TOKENS_ADVANCED = "aarohi_tokens_advanced_total"
-TOKENS_SKIPPED = "aarohi_tokens_skipped_total"
-CHAIN_TIMEOUTS = "aarohi_chain_timeouts_total"
-CHAIN_MATCHES = "aarohi_chain_matches_total"
-
-FLEET_RUNS = "aarohi_fleet_runs_total"
-FLEET_RUN_SECONDS = "aarohi_fleet_run_seconds"
-FLEET_EVENTS_PER_SECOND = "aarohi_fleet_events_per_second"
-FLEET_NODES = "aarohi_fleet_nodes"
-FLEET_BATCH_EVENTS = "aarohi_fleet_batch_events"
-
-PARALLEL_QUEUE_DEPTH = "aarohi_parallel_queue_depth"
-PARALLEL_CHUNK_EVENTS = "aarohi_parallel_chunk_events"
-
-LOGSIM_EVENTS = "aarohi_logsim_events_emitted_total"
-LOGSIM_FAULTS = "aarohi_logsim_faults_injected_total"
-LOGSIM_WINDOWS = "aarohi_logsim_windows_total"
-
-# The rejection-funnel stage names, in pipeline order.  Their counter
-# values sum to LINES_SEEN (asserted by the equivalence suite).
-FUNNEL_STAGES = (
-    (SCANNER_FIRST_CHAR_REJECTED, "first-char rejected"),
-    (SCANNER_PREFILTER_REJECTED, "prefilter rejected"),
-    (SCANNER_MEMO_HITS, "memo hits"),
-    (SCANNER_DFA_RUNS, "full DFA runs"),
-)
-
 
 class Observability:
-    """Wiring facade: a registry plus an optional lifecycle tracer.
+    """Wiring facade: registry, optional tracer, optional live plane.
 
     Instrumented components receive one of these (or ``None``, meaning
     observability fully off).  All recording methods are batch-grained —
     the per-event bookkeeping stays in plain int slots owned by the hot
-    path and is folded in here.
+    path and is folded in here.  ``live`` and ``quality`` opt the run
+    into the deadline/SLO monitor and the online scoreboard; both stay
+    ``None`` on the passive (PR 2) configuration.
     """
 
     def __init__(
@@ -108,9 +141,13 @@ class Observability:
         registry: Optional[Registry] = None,
         tracer: Optional[Tracer] = None,
         labels: Optional[dict] = None,
+        live: Optional[LiveMonitor] = None,
+        quality: Optional[QualityScoreboard] = None,
     ):
         self.registry = registry if registry is not None else Registry()
         self.tracer = tracer
+        self.live = live
+        self.quality = quality
         # Default labels stamped on every recorded series — e.g.
         # {"shard": "3"} inside a ParallelFleet worker, so per-shard
         # series stay distinct after the parent-side merge.
@@ -241,6 +278,91 @@ class Observability:
                 kind=injection.kind,
             ).inc()
 
+    # -- live ops plane (ISSUE 3) --------------------------------------
+    def record_live_run(
+        self,
+        *,
+        n_events: int,
+        seconds: Optional[float],
+        last_event_time: Optional[float],
+    ) -> None:
+        """Fold one run into the live monitor (rate, lag, gauges).
+
+        Per-prediction latencies reach the monitor through the
+        predictor's emit hook (serial) or explicit
+        ``live.observe_predictions`` (parallel parent), so this method
+        never touches them — double-feeding would skew the sketch."""
+        live = self.live
+        if live is None:
+            return
+        live.record_batch(
+            n_events=n_events, seconds=seconds,
+            last_event_time=last_event_time)
+        live.publish(self.registry, self.labels)
+
+    def record_quality_run(
+        self,
+        *,
+        predictions: Sequence,
+        stats_delta,
+        now: Optional[float],
+    ) -> None:
+        """Fold one run into the scoreboard: new predictions, the
+        batch's scanner discard numbers, and the event-time advance."""
+        quality = self.quality
+        if quality is None:
+            return
+        quality.add_predictions(predictions)
+        if stats_delta is not None and stats_delta.lines_seen:
+            quality.record_discard(
+                stats_delta.lines_seen - stats_delta.lines_tokenized,
+                stats_delta.lines_seen)
+        if now is not None:
+            quality.advance(now)
+        quality.publish(self.registry, self.labels)
+
+    def refresh(self) -> None:
+        """Re-publish live/quality gauges (the pre-scrape hook)."""
+        if self.live is not None:
+            self.live.publish(self.registry, self.labels)
+        if self.quality is not None:
+            self.quality.publish(self.registry, self.labels)
+
+    def healthz(self) -> dict:
+        """Deadline + drift health, the ``/healthz`` payload."""
+        payload: dict = {"status": "ok"}
+        live = self.live
+        if live is not None:
+            verdict = live.verdict()
+            if verdict is None and live.deadline is None:
+                # No budget configured: report quantiles only.
+                payload["latency_quantiles"] = live.sketch.quantiles()
+            elif verdict is not None:
+                payload["deadline"] = verdict.as_dict()
+                if not verdict.ok:
+                    payload["status"] = "failing"
+            payload["message_rate_hz"] = live.rate.rate
+            payload["stream_lag_seconds"] = live.stream_lag.lag
+        if self.quality is not None:
+            drift = self.quality.drift.as_dict()
+            payload["drift"] = drift
+            if drift["tripped"]:
+                payload["status"] = "failing"
+        return payload
+
+    def quality_report(self) -> dict:
+        """The rolling scoreboard as JSON, the ``/quality`` payload."""
+        quality = self.quality
+        if quality is None:
+            return {"enabled": False}
+        payload = quality.score().as_dict()
+        payload["enabled"] = True
+        payload["window_seconds"] = quality.window
+        payload["horizon_seconds"] = quality.horizon
+        payload["now"] = quality.now
+        payload["drift"] = quality.drift.as_dict()
+        return payload
+
     # -- exposition ----------------------------------------------------
     def prometheus(self) -> str:
         return render_prometheus(self.registry.snapshot())
@@ -259,21 +381,34 @@ __all__ = [
     "EVENT_KINDS",
     "FUNNEL_STAGES",
     "Counter",
+    "DeadlineMonitor",
+    "DeadlineVerdict",
+    "DiscardDriftDetector",
+    "EwmaRate",
     "Gauge",
     "Histogram",
+    "LiveMonitor",
     "NULL_REGISTRY",
     "NullRegistry",
+    "ObsServer",
     "Observability",
+    "P2Quantile",
     "PARSER_RESET",
     "PREDICTION_FIRED",
     "PrometheusParseError",
+    "QualityScore",
+    "QualityScoreboard",
+    "QuantileSketch",
     "Registry",
+    "StreamLag",
     "TOKEN_ADVANCED",
     "Tracer",
     "diff_snapshots",
     "histogram_series",
+    "inter_arrival_budget",
     "lifecycle_counts",
     "parse_prometheus",
+    "quantile_from_histogram",
     "read_trace",
     "realized_lead_times",
     "render_json",

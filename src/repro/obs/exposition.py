@@ -170,6 +170,12 @@ def parse_prometheus(text: str) -> dict:
         if match is None:
             raise PrometheusParseError(f"line {lineno}: cannot parse {line!r}")
         sample_name, _, label_text, value_text = match.groups()
+        try:
+            value = _parse_number(value_text)
+        except ValueError:
+            raise PrometheusParseError(
+                f"line {lineno}: bad sample value {value_text!r}"
+            ) from None
         labels = _parse_labels(label_text or "")
         family, role = family_of(sample_name)
         if family not in types:
@@ -181,7 +187,6 @@ def parse_prometheus(text: str) -> dict:
         entry = series.setdefault(family, {}).setdefault(
             key, {"labels": dict(key)}
         )
-        value = _parse_number(value_text)
         if role == "value":
             entry["value"] = value
         elif role == "sum":

@@ -1,0 +1,75 @@
+"""Canonical metric names, in one place so every layer agrees.
+
+Exposition, reports, the live ops plane, and the tests all refer to
+series by these constants; the strings themselves follow Prometheus
+conventions (``_total`` suffix on counters, base units in the name).
+Everything here is re-exported from :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+# -- predictor / fleet counters (PR 2, the passive layer) --------------
+LINES_SEEN = "aarohi_lines_seen_total"
+LINES_TOKENIZED = "aarohi_lines_tokenized_total"
+PREDICTIONS = "aarohi_predictions_total"
+TOKENIZE_SECONDS = "aarohi_tokenize_seconds_total"
+FEED_SECONDS = "aarohi_feed_seconds_total"
+PREDICTION_SECONDS = "aarohi_prediction_seconds"
+
+SCANNER_FIRST_CHAR_REJECTED = "aarohi_scanner_first_char_rejected_total"
+SCANNER_PREFILTER_REJECTED = "aarohi_scanner_prefilter_rejected_total"
+SCANNER_MEMO_HITS = "aarohi_scanner_memo_hits_total"
+SCANNER_DFA_RUNS = "aarohi_scanner_dfa_runs_total"
+SCANNER_DFA_MATCHES = "aarohi_scanner_dfa_matches_total"
+
+CHAIN_ACTIVATIONS = "aarohi_chain_activations_total"
+TOKENS_ADVANCED = "aarohi_tokens_advanced_total"
+TOKENS_SKIPPED = "aarohi_tokens_skipped_total"
+CHAIN_TIMEOUTS = "aarohi_chain_timeouts_total"
+CHAIN_MATCHES = "aarohi_chain_matches_total"
+
+FLEET_RUNS = "aarohi_fleet_runs_total"
+FLEET_RUN_SECONDS = "aarohi_fleet_run_seconds"
+FLEET_EVENTS_PER_SECOND = "aarohi_fleet_events_per_second"
+FLEET_NODES = "aarohi_fleet_nodes"
+FLEET_BATCH_EVENTS = "aarohi_fleet_batch_events"
+
+PARALLEL_QUEUE_DEPTH = "aarohi_parallel_queue_depth"
+PARALLEL_CHUNK_EVENTS = "aarohi_parallel_chunk_events"
+
+LOGSIM_EVENTS = "aarohi_logsim_events_emitted_total"
+LOGSIM_FAULTS = "aarohi_logsim_faults_injected_total"
+LOGSIM_WINDOWS = "aarohi_logsim_windows_total"
+
+# -- live ops plane (ISSUE 3): deadline / SLO monitor ------------------
+LIVE_LATENCY_QUANTILE = "aarohi_live_prediction_latency_seconds"
+LIVE_MESSAGE_RATE = "aarohi_live_message_rate_hz"
+LIVE_STREAM_LAG = "aarohi_live_stream_lag_seconds"
+DEADLINE_BUDGET = "aarohi_deadline_budget_seconds"
+DEADLINE_OK = "aarohi_deadline_ok"
+DEADLINE_BREACHES = "aarohi_deadline_breaches_total"
+SLO_BURN = "aarohi_slo_burn_rate"
+
+# -- live ops plane: online quality scoreboard -------------------------
+QUALITY_TRUE_POSITIVES = "aarohi_quality_true_positives"
+QUALITY_FALSE_POSITIVES = "aarohi_quality_false_positives"
+QUALITY_FALSE_NEGATIVES = "aarohi_quality_false_negatives"
+QUALITY_PRECISION = "aarohi_quality_precision"
+QUALITY_RECALL = "aarohi_quality_recall"
+QUALITY_F1 = "aarohi_quality_f1"
+QUALITY_LEAD_SECONDS = "aarohi_quality_lead_seconds"
+QUALITY_ACTIONABLE_RATIO = "aarohi_quality_actionable_ratio"
+QUALITY_MEAN_LEAD = "aarohi_quality_mean_lead_seconds"
+
+DISCARD_FRACTION = "aarohi_scanner_discard_fraction"
+DISCARD_CUSUM = "aarohi_scanner_discard_cusum"
+DISCARD_DRIFT_ALARM = "aarohi_scanner_discard_drift_alarm"
+
+# The rejection-funnel stage names, in pipeline order.  Their counter
+# values sum to LINES_SEEN (asserted by the equivalence suite).
+FUNNEL_STAGES = (
+    (SCANNER_FIRST_CHAR_REJECTED, "first-char rejected"),
+    (SCANNER_PREFILTER_REJECTED, "prefilter rejected"),
+    (SCANNER_MEMO_HITS, "memo hits"),
+    (SCANNER_DFA_RUNS, "full DFA runs"),
+)

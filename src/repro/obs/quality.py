@@ -1,0 +1,319 @@
+"""Online quality scoreboard: rolling precision/recall/lead-time + drift.
+
+Predictions are only useful if they are *right* and *early enough* —
+realized lead time must clear the mitigation window (~3 minutes,
+Table VII) for an action like checkpoint/drain to land.  The scoreboard
+scores a running fleet against ground truth as both arrive:
+
+* :class:`QualityScoreboard` — holds the predictions and ground-truth
+  failures inside a rolling event-time window and scores them with the
+  **same pairing rule** as the offline path
+  (:func:`repro.core.leadtime.pair_predictions`), so the online numbers
+  provably agree with post-hoc evaluation over the final window (the
+  differential test pins this);
+* :class:`DiscardDriftDetector` — a two-sided CUSUM on the scanner's
+  per-batch discard fraction.  The discard fraction is the hot path's
+  load-bearing invariant (Fig. 12: >99% of a healthy stream dies in the
+  scan stage); a sustained shift means the template vocabulary or the
+  workload changed under the fleet and precision numbers are suspect.
+
+Ground truth comes from the logsim generator's injected failures
+(``LogWindow.failures``), shipped alongside replayed streams via
+:func:`repro.logsim.stream.write_truth` / ``read_truth``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, Optional, Tuple
+
+from .names import (
+    DISCARD_CUSUM,
+    DISCARD_DRIFT_ALARM,
+    DISCARD_FRACTION,
+    QUALITY_ACTIONABLE_RATIO,
+    QUALITY_F1,
+    QUALITY_FALSE_NEGATIVES,
+    QUALITY_FALSE_POSITIVES,
+    QUALITY_LEAD_SECONDS,
+    QUALITY_MEAN_LEAD,
+    QUALITY_PRECISION,
+    QUALITY_RECALL,
+    QUALITY_TRUE_POSITIVES,
+)
+
+
+@dataclass(frozen=True)
+class QualityScore:
+    """One rolling-window reading of the scoreboard."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    lead_times: Tuple[float, ...]  # realized leads (failure − flag), seconds
+    mitigation_threshold: float
+
+    @property
+    def precision(self) -> float:
+        denom = self.true_positives + self.false_positives
+        return self.true_positives / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.true_positives + self.false_negatives
+        return self.true_positives / denom if denom else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if p + r else 0.0
+
+    @property
+    def mean_lead_time(self) -> float:
+        leads = self.lead_times
+        return sum(leads) / len(leads) if leads else 0.0
+
+    @property
+    def actionable_fraction(self) -> float:
+        """Fraction of realized leads that clear the mitigation window."""
+        if not self.lead_times:
+            return 0.0
+        cleared = sum(1 for t in self.lead_times
+                      if t >= self.mitigation_threshold)
+        return cleared / len(self.lead_times)
+
+    def as_dict(self) -> dict:
+        return {
+            "true_positives": self.true_positives,
+            "false_positives": self.false_positives,
+            "false_negatives": self.false_negatives,
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+            "mean_lead_seconds": self.mean_lead_time,
+            "actionable_fraction": self.actionable_fraction,
+            "mitigation_threshold_seconds": self.mitigation_threshold,
+            "lead_times": list(self.lead_times),
+        }
+
+
+class DiscardDriftDetector:
+    """Two-sided CUSUM on the scanner discard fraction.
+
+    Each batch contributes one sample ``x`` (fraction of lines the
+    scanner discarded).  With no explicit ``reference``, the first
+    ``warmup`` batches calibrate the reference mean; afterwards the
+    cumulative sums ``s⁺ = max(0, s⁺ + x − μ − k)`` and
+    ``s⁻ = max(0, s⁻ + μ − x − k)`` accumulate sustained deviation
+    beyond the ``drift`` allowance ``k`` and alarm past ``threshold``.
+    ``alarm`` is the current state; ``tripped`` is sticky until
+    :meth:`reset`.
+    """
+
+    def __init__(
+        self,
+        *,
+        reference: Optional[float] = None,
+        warmup: int = 5,
+        drift: float = 0.005,
+        threshold: float = 0.05,
+    ):
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.reference = reference
+        self.warmup = warmup
+        self.drift = drift
+        self.threshold = threshold
+        self.samples = 0
+        self.pos = 0.0
+        self.neg = 0.0
+        self.alarm = False
+        self.tripped = False
+        self.last_fraction = 0.0
+
+    def update(self, discarded: int, total: int) -> bool:
+        if total <= 0:
+            return self.alarm
+        x = discarded / total
+        self.last_fraction = x
+        self.samples += 1
+        if self.reference is None or self.samples <= self.warmup:
+            # Calibration: running mean over the warmup batches.
+            if self.reference is None:
+                self.reference = x
+            else:
+                self.reference += (x - self.reference) / self.samples
+            return self.alarm
+        mu = self.reference
+        self.pos = max(0.0, self.pos + x - mu - self.drift)
+        self.neg = max(0.0, self.neg + mu - x - self.drift)
+        self.alarm = max(self.pos, self.neg) > self.threshold
+        self.tripped = self.tripped or self.alarm
+        return self.alarm
+
+    @property
+    def statistic(self) -> float:
+        return max(self.pos, self.neg)
+
+    def reset(self) -> None:
+        self.pos = self.neg = 0.0
+        self.alarm = False
+        self.tripped = False
+
+    def as_dict(self) -> dict:
+        return {
+            "alarm": self.alarm,
+            "tripped": self.tripped,
+            "statistic": self.statistic,
+            "threshold": self.threshold,
+            "reference": self.reference,
+            "discard_fraction": self.last_fraction,
+            "samples": self.samples,
+        }
+
+
+class QualityScoreboard:
+    """Rolling precision/recall/F1 + realized-lead-time accounting.
+
+    ``add_prediction`` / ``add_failure`` accept records as they arrive
+    (order-free); :meth:`advance` moves the scoreboard's notion of "now"
+    forward in *event time* and evicts records older than ``window``.
+    :meth:`score` pairs what is currently in the window through
+    :func:`~repro.core.leadtime.pair_predictions` — one-to-one, earliest
+    flag wins, duplicates unpenalized — restricted to failures whose
+    time has already passed (a failure scheduled after ``now`` is not
+    yet a miss).
+    """
+
+    def __init__(
+        self,
+        *,
+        window: float = 3600.0,
+        horizon: float = 1800.0,
+        mitigation_threshold: float = 180.0,
+        drift: Optional[DiscardDriftDetector] = None,
+    ):
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+        self.horizon = horizon
+        self.mitigation_threshold = mitigation_threshold
+        self.drift = drift if drift is not None else DiscardDriftDetector()
+        self.now = 0.0
+        self._predictions: Deque = deque()
+        self._failures: Deque = deque()
+        # Leads already observed into the cumulative histogram, keyed by
+        # (node, flagged_at, failure_time) → failure_time for eviction.
+        self._credited: Dict[tuple, float] = {}
+
+    # -- feeding -------------------------------------------------------
+    def add_prediction(self, prediction) -> None:
+        self._predictions.append(prediction)
+        if prediction.flagged_at > self.now:
+            self.now = prediction.flagged_at
+
+    def add_predictions(self, predictions: Iterable) -> None:
+        for prediction in predictions:
+            self.add_prediction(prediction)
+
+    def add_failure(self, failure) -> None:
+        self._failures.append(failure)
+
+    def add_failures(self, failures: Iterable) -> None:
+        for failure in failures:
+            self.add_failure(failure)
+
+    def record_discard(self, discarded: int, total: int) -> bool:
+        """Feed one batch's scanner discard numbers to the CUSUM."""
+        return self.drift.update(discarded, total)
+
+    def advance(self, now: float) -> None:
+        """Move event-time forward and evict out-of-window records."""
+        if now > self.now:
+            self.now = now
+        cutoff = self.now - self.window
+        predictions = self._predictions
+        while predictions and predictions[0].flagged_at < cutoff:
+            predictions.popleft()
+        failures = self._failures
+        while failures and failures[0].time < cutoff:
+            failures.popleft()
+        if self._credited:
+            self._credited = {
+                key: t for key, t in self._credited.items() if t >= cutoff
+            }
+
+    # -- scoring -------------------------------------------------------
+    def score(self) -> QualityScore:
+        from ..core.leadtime import pair_predictions
+
+        now = self.now
+        predictions = [p for p in self._predictions if p.flagged_at <= now]
+        failures = [f for f in self._failures if f.time <= now]
+        report = pair_predictions(predictions, failures, horizon=self.horizon)
+        leads = tuple(r.lead_time for r in report.matched)
+        return QualityScore(
+            true_positives=report.true_positives,
+            false_positives=len(report.false_positives),
+            false_negatives=len(report.missed_failures),
+            lead_times=leads,
+            mitigation_threshold=self.mitigation_threshold,
+        )
+
+    def matched_records(self):
+        """The window's one-to-one pairings (for lead crediting)."""
+        from ..core.leadtime import pair_predictions
+
+        now = self.now
+        predictions = [p for p in self._predictions if p.flagged_at <= now]
+        failures = [f for f in self._failures if f.time <= now]
+        return pair_predictions(
+            predictions, failures, horizon=self.horizon).matched
+
+    # -- exposition ----------------------------------------------------
+    def publish(self, registry, labels: Optional[dict] = None) -> None:
+        """Mirror the rolling score into gauges and credit newly
+        realized leads into the cumulative lead-time histogram."""
+        labels = labels or {}
+        records = self.matched_records()
+        score = self.score()
+        for name, help_text, value in (
+            (QUALITY_TRUE_POSITIVES, "rolling-window true positives",
+             score.true_positives),
+            (QUALITY_FALSE_POSITIVES, "rolling-window false positives",
+             score.false_positives),
+            (QUALITY_FALSE_NEGATIVES, "rolling-window missed failures",
+             score.false_negatives),
+            (QUALITY_PRECISION, "rolling precision", score.precision),
+            (QUALITY_RECALL, "rolling recall", score.recall),
+            (QUALITY_F1, "rolling F1", score.f1),
+            (QUALITY_MEAN_LEAD, "mean realized lead (seconds)",
+             score.mean_lead_time),
+            (QUALITY_ACTIONABLE_RATIO,
+             "fraction of leads clearing the mitigation window",
+             score.actionable_fraction),
+        ):
+            registry.gauge(name, help_text, **labels).set(value)
+        # Realized leads are seconds-to-minutes scale: buckets 1 s–64 ks.
+        hist = registry.histogram(
+            QUALITY_LEAD_SECONDS,
+            "realized lead times of paired predictions",
+            lo_exp=0, hi_exp=16, **labels,
+        )
+        for record in records:
+            key = (record.prediction.node, record.prediction.flagged_at,
+                   record.failure.time)
+            if key not in self._credited:
+                self._credited[key] = record.failure.time
+                hist.observe(record.lead_time)
+        drift = self.drift
+        registry.gauge(
+            DISCARD_FRACTION, "last batch's scanner discard fraction",
+            **labels).set(drift.last_fraction)
+        registry.gauge(
+            DISCARD_CUSUM, "two-sided CUSUM statistic on discard fraction",
+            **labels).set(drift.statistic)
+        registry.gauge(
+            DISCARD_DRIFT_ALARM, "1 while the discard CUSUM is in alarm",
+            **labels).set(1.0 if drift.alarm else 0.0)

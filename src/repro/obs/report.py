@@ -1,0 +1,166 @@
+"""Snapshot → human-readable report sections.
+
+One set of renderers consumed by three frontends: ``aarohi obs-report``
+(offline ``.prom`` files), ``obs-report --diff`` (a
+:func:`~repro.obs.metrics.diff_snapshots` delta), and the in-terminal
+``predict --watch`` dashboard (a live registry snapshot).  Every
+function takes a snapshot-shaped dict and returns a rendered string (or
+``None`` when the relevant series are absent), so callers compose only
+the sections their data can support.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..reporting import render_bars, render_table
+from .exposition import histogram_series
+from .live import live_rows
+from .names import (
+    CHAIN_MATCHES,
+    DISCARD_DRIFT_ALARM,
+    DISCARD_FRACTION,
+    FLEET_EVENTS_PER_SECOND,
+    FLEET_NODES,
+    FUNNEL_STAGES,
+    LINES_SEEN,
+    PREDICTION_SECONDS,
+    PREDICTIONS,
+    QUALITY_ACTIONABLE_RATIO,
+    QUALITY_F1,
+    QUALITY_FALSE_NEGATIVES,
+    QUALITY_FALSE_POSITIVES,
+    QUALITY_MEAN_LEAD,
+    QUALITY_PRECISION,
+    QUALITY_RECALL,
+    QUALITY_TRUE_POSITIVES,
+)
+
+
+def counter_total(snapshot: dict, name: str) -> float:
+    """Sum a family's series values across label sets (0 if absent)."""
+    family = snapshot.get(name)
+    if not family:
+        return 0.0
+    return sum(entry["value"] for entry in family["series"])
+
+
+def funnel_section(snapshot: dict) -> str:
+    """The scanner rejection funnel (why the hot path is fast)."""
+    lines_seen = counter_total(snapshot, LINES_SEEN)
+    rows = []
+    for name, label in FUNNEL_STAGES:
+        count = counter_total(snapshot, name)
+        share = f"{count / lines_seen:.2%}" if lines_seen else "—"
+        rows.append((label, f"{count:.0f}", share))
+    rows.append(
+        ("lines seen", f"{lines_seen:.0f}", "100.00%" if lines_seen else "—"))
+    return render_table(
+        ["stage", "lines", "share"], rows, title="Scanner rejection funnel")
+
+
+def latency_sections(snapshot: dict) -> List[str]:
+    """Per-prediction latency histograms (log2 buckets), one per series."""
+    sections: List[str] = []
+    for entry in histogram_series(snapshot, PREDICTION_SECONDS):
+        labels, counts = entry["labels"], entry["counts"]
+        total = sum(counts)
+        if not total:
+            continue
+        lo_exp = entry["lo_exp"]
+        bucket_labels, bucket_values = [], []
+        for i, count in enumerate(counts):
+            if not count:
+                continue
+            top = 2.0 ** (lo_exp + i)
+            bucket_labels.append(
+                "+Inf" if i == len(counts) - 1 else f"≤{top:.3g}s")
+            bucket_values.append(float(count))
+        suffix = f" {labels}" if labels else ""
+        mean_s = entry["sum"] / total
+        sections.append(render_bars(
+            bucket_labels, bucket_values,
+            title=(f"Prediction latency{suffix} — {total:.0f} predictions, "
+                   f"mean {mean_s * 1e3:.4f} ms"),
+        ))
+    return sections
+
+
+def fleet_section(snapshot: dict) -> str:
+    """Headline fleet numbers."""
+    rows = [
+        ("predictions", f"{counter_total(snapshot, PREDICTIONS):.0f}"),
+        ("chain matches", f"{counter_total(snapshot, CHAIN_MATCHES):.0f}"),
+    ]
+    for gauge_name, label in (
+        (FLEET_NODES, "fleet nodes"),
+        (FLEET_EVENTS_PER_SECOND, "events/s (last run)"),
+    ):
+        family = snapshot.get(gauge_name)
+        if family and family["series"]:
+            value = sum(e["value"] for e in family["series"])
+            rows.append((label, f"{value:.4g}"))
+    return render_table(["metric", "value"], rows, title="Fleet summary")
+
+
+def live_section(snapshot: dict) -> Optional[str]:
+    """Deadline/SLO gauges (present only on live-instrumented runs)."""
+    rows = live_rows(snapshot)
+    if not rows:
+        return None
+    return render_table(["signal", "value"], rows, title="Live SLO monitor")
+
+
+def quality_section(snapshot: dict) -> Optional[str]:
+    """Rolling quality gauges (present only when ground truth is wired)."""
+    if QUALITY_PRECISION not in snapshot:
+        return None
+    rows = [
+        ("true positives",
+         f"{counter_total(snapshot, QUALITY_TRUE_POSITIVES):.0f}"),
+        ("false positives",
+         f"{counter_total(snapshot, QUALITY_FALSE_POSITIVES):.0f}"),
+        ("missed failures",
+         f"{counter_total(snapshot, QUALITY_FALSE_NEGATIVES):.0f}"),
+        ("precision", f"{counter_total(snapshot, QUALITY_PRECISION):.2%}"),
+        ("recall", f"{counter_total(snapshot, QUALITY_RECALL):.2%}"),
+        ("F1", f"{counter_total(snapshot, QUALITY_F1):.3f}"),
+        ("mean lead",
+         f"{counter_total(snapshot, QUALITY_MEAN_LEAD) / 60:.2f} min"),
+        ("actionable leads",
+         f"{counter_total(snapshot, QUALITY_ACTIONABLE_RATIO):.2%}"),
+    ]
+    if DISCARD_FRACTION in snapshot:
+        rows.append(("discard fraction",
+                     f"{counter_total(snapshot, DISCARD_FRACTION):.2%}"))
+    if DISCARD_DRIFT_ALARM in snapshot:
+        alarmed = counter_total(snapshot, DISCARD_DRIFT_ALARM) >= 1.0
+        rows.append(("discard drift", "ALARM" if alarmed else "stable"))
+    return render_table(
+        ["metric", "value"], rows, title="Online quality scoreboard")
+
+
+def lifecycle_section(records: Sequence[dict]) -> str:
+    """Event-kind roll-up of a trace file."""
+    from .tracing import lifecycle_counts
+
+    counts = lifecycle_counts(records)
+    return render_table(
+        ["lifecycle event", "count"],
+        [(kind, n) for kind, n in counts.items()],
+        title=f"Prediction lifecycle ({len(records)} trace records)")
+
+
+def report_sections(
+    snapshot: dict, trace_records: Optional[Sequence[dict]] = None
+) -> List[str]:
+    """Every section the snapshot supports, in reading order."""
+    sections = [funnel_section(snapshot)]
+    sections.extend(latency_sections(snapshot))
+    sections.append(fleet_section(snapshot))
+    for optional in (live_section(snapshot), quality_section(snapshot)):
+        if optional is not None:
+            sections.append(optional)
+    if trace_records is not None:
+        sections.append(lifecycle_section(trace_records))
+    return sections

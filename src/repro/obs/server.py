@@ -1,0 +1,100 @@
+"""Scrape plane: stdlib HTTP exposition for a live fleet.
+
+:class:`ObsServer` serves an :class:`~repro.obs.Observability` from a
+daemon thread (``ThreadingHTTPServer``), so a running fleet can be
+watched without stopping it:
+
+* ``GET /metrics``  — Prometheus text format (the scrape endpoint);
+* ``GET /healthz``  — JSON deadline/drift status, ``200`` when healthy
+  and ``503`` when the deadline SLO is failing or the discard CUSUM has
+  tripped (the shape load balancers and k8s probes expect);
+* ``GET /quality``  — the rolling scoreboard as JSON.
+
+Scrapes are read-only and best-effort consistent: the fleet mutates
+plain ints/floats under the GIL, so a mid-run scrape sees a slightly
+torn but valid snapshot — the same contract Prometheus client libraries
+offer.  ``port=0`` binds an ephemeral port (tests, parallel runs);
+the bound port is on :attr:`ObsServer.port`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class ObsServer:
+    """Background HTTP server over one Observability instance."""
+
+    def __init__(self, obs, *, host: str = "127.0.0.1", port: int = 0):
+        self.obs = obs
+        handler = _make_handler(obs)
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "ObsServer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever, name="obs-server",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def url(self, path: str = "/metrics") -> str:
+        return f"http://{self.host}:{self.port}{path}"
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "ObsServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _make_handler(obs):
+    class Handler(BaseHTTPRequestHandler):
+        # Exposition must never spam the serving terminal.
+        def log_message(self, format, *args):  # noqa: A002
+            pass
+
+        def do_GET(self):  # noqa: N802 (http.server API)
+            path = self.path.split("?", 1)[0]
+            if path == "/metrics":
+                obs.refresh()
+                self._send(200, PROMETHEUS_CONTENT_TYPE, obs.prometheus())
+            elif path == "/healthz":
+                payload = obs.healthz()
+                status = 200 if payload.get("status") == "ok" else 503
+                self._send(200 if status == 200 else 503,
+                           "application/json",
+                           json.dumps(payload, indent=2) + "\n")
+            elif path == "/quality":
+                payload = obs.quality_report()
+                self._send(200, "application/json",
+                           json.dumps(payload, indent=2) + "\n")
+            else:
+                self._send(404, "text/plain",
+                           "unknown path; try /metrics /healthz /quality\n")
+
+        def _send(self, status: int, content_type: str, body: str) -> None:
+            data = body.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+
+    return Handler

@@ -132,31 +132,59 @@ def realized_lead_times(
     """Annotate ``prediction_fired`` records with the realized lead time.
 
     Lead time is only *realized* once ground truth exists (the node
-    actually failed), so this is a post-hoc pass: each fired record is
-    credited to the earliest same-node failure within ``horizon``
-    seconds after the flag (the pairing rule of
-    :func:`repro.core.leadtime.pair_predictions`) and gains a ``lead``
-    field; unpaired records gain ``lead: None``.  Returns new records,
-    input untouched.
+    actually failed), so this is a post-hoc pass with **exactly** the
+    one-to-one pairing rule of
+    :func:`repro.core.leadtime.pair_predictions`: fired records are
+    walked in flag order, each targets the earliest same-node failure
+    within ``horizon`` seconds after its flag, and each failure is
+    credited **once** — to the earliest flag that targeted it.  Credited
+    records gain a ``lead`` field; later duplicate flags of an
+    already-credited failure gain ``lead: None`` plus
+    ``duplicate: true`` (they are not penalized downstream, mirroring
+    the offline report); stale flags gain plain ``lead: None``.  The
+    differential suite pins trace-path leads == offline-path leads.
+    Returns new records, input untouched.
     """
-    by_node: Dict[str, List[float]] = {}
+    by_node: Dict[str, List] = {}
     for failure in failures:
-        by_node.setdefault(failure.node, []).append(failure.time)
-    for times in by_node.values():
-        times.sort()
+        by_node.setdefault(failure.node, []).append(failure)
+    for node_failures in by_node.values():
+        node_failures.sort(key=lambda f: f.time)
+    # Credit in flag order (stable on input order for ties), exactly as
+    # pair_predictions sorts its predictions.
+    fired = sorted(
+        ((record.get("t", 0.0), i)
+         for i, record in enumerate(records)
+         if record.get("ev") == PREDICTION_FIRED),
+    )
+    claimed: set = set()
+    leads: Dict[int, Optional[float]] = {}
+    duplicates: set = set()
+    for flagged, i in fired:
+        target = None
+        for failure in by_node.get(records[i].get("node", ""), ()):
+            if flagged <= failure.time <= flagged + horizon:
+                target = failure
+                break
+        if target is None:
+            leads[i] = None
+        elif id(target) in claimed:
+            # Duplicate flag for an already-credited failure: the
+            # earliest flag keeps the (longest) lead.
+            leads[i] = None
+            duplicates.add(i)
+        else:
+            claimed.add(id(target))
+            leads[i] = target.time - flagged
     out: List[dict] = []
-    for record in records:
+    for i, record in enumerate(records):
         if record.get("ev") != PREDICTION_FIRED:
             out.append(record)
             continue
         record = dict(record)
-        flagged = record.get("t", 0.0)
-        lead: Optional[float] = None
-        for t_fail in by_node.get(record.get("node", ""), ()):
-            if flagged <= t_fail <= flagged + horizon:
-                lead = t_fail - flagged
-                break
-        record["lead"] = lead
+        record["lead"] = leads[i]
+        if i in duplicates:
+            record["duplicate"] = True
         out.append(record)
     return out
 

@@ -1,0 +1,218 @@
+"""Tests for the online quality scoreboard and the discard-fraction
+CUSUM, including the differential check that the rolling numbers agree
+with the offline :func:`pair_predictions` evaluation."""
+
+import pytest
+
+from repro.core.events import NodeFailure, Prediction
+from repro.core.leadtime import pair_predictions
+from repro.obs import (
+    DISCARD_DRIFT_ALARM,
+    DiscardDriftDetector,
+    Observability,
+    QUALITY_LEAD_SECONDS,
+    QUALITY_PRECISION,
+    QualityScoreboard,
+    Registry,
+    histogram_series,
+)
+
+
+def pred(node, flagged_at, chain="FC_1"):
+    return Prediction(
+        node=node, chain_id=chain, flagged_at=flagged_at,
+        prediction_time=0.0)
+
+
+def fail(node, time):
+    return NodeFailure(node=node, time=time, chain_id="FC_1")
+
+
+class TestScoreboardScoring:
+    def test_matched_prediction_scores_tp_with_lead(self):
+        board = QualityScoreboard(horizon=1800.0)
+        board.add_prediction(pred("n1", 100.0))
+        board.add_failure(fail("n1", 400.0))
+        board.advance(500.0)
+        score = board.score()
+        assert score.true_positives == 1
+        assert score.false_positives == 0
+        assert score.false_negatives == 0
+        assert score.lead_times == (300.0,)
+        assert score.precision == 1.0 and score.recall == 1.0
+
+    def test_unmatched_prediction_is_fp(self):
+        board = QualityScoreboard()
+        board.add_prediction(pred("n1", 100.0))
+        board.advance(3000.0)
+        score = board.score()
+        assert score.false_positives == 1
+        assert score.precision == 0.0
+
+    def test_unpredicted_failure_is_fn(self):
+        board = QualityScoreboard()
+        board.add_failure(fail("n2", 100.0))
+        board.advance(200.0)
+        score = board.score()
+        assert score.false_negatives == 1
+        assert score.recall == 0.0
+
+    def test_future_failure_is_not_yet_a_miss(self):
+        board = QualityScoreboard()
+        board.add_failure(fail("n2", 900.0))
+        board.advance(500.0)
+        assert board.score().false_negatives == 0
+        board.advance(901.0)
+        assert board.score().false_negatives == 1
+
+    def test_duplicate_flags_unpenalized(self):
+        board = QualityScoreboard()
+        board.add_predictions([pred("n1", 100.0), pred("n1", 200.0)])
+        board.add_failure(fail("n1", 400.0))
+        board.advance(500.0)
+        score = board.score()
+        # Earliest flag keeps the (longest) lead; the later duplicate is
+        # neither a TP nor an FP — exactly pair_predictions' rule.
+        assert score.true_positives == 1
+        assert score.false_positives == 0
+        assert score.lead_times == (300.0,)
+
+    def test_actionable_fraction_uses_mitigation_threshold(self):
+        board = QualityScoreboard(mitigation_threshold=180.0)
+        board.add_prediction(pred("n1", 100.0))
+        board.add_failure(fail("n1", 400.0))  # 300 s lead: actionable
+        board.add_prediction(pred("n2", 100.0))
+        board.add_failure(fail("n2", 160.0))  # 60 s lead: too late
+        board.advance(500.0)
+        assert board.score().actionable_fraction == 0.5
+
+    def test_window_eviction(self):
+        board = QualityScoreboard(window=1000.0)
+        board.add_prediction(pred("n1", 100.0))
+        board.add_failure(fail("n1", 200.0))
+        board.advance(500.0)
+        assert board.score().true_positives == 1
+        board.advance(1500.0)  # cutoff 500: both records evicted
+        score = board.score()
+        assert score.true_positives == 0
+        assert score.false_negatives == 0
+
+
+class TestScoreboardDifferential:
+    """Acceptance: the scoreboard's final-window numbers equal the
+    offline pairing over the same records, on a real fleet run."""
+
+    def test_agrees_with_offline_pairing(self):
+        from repro.core import PredictorFleet
+        from repro.logsim import ClusterLogGenerator, HPC3
+
+        gen = ClusterLogGenerator(HPC3, seed=29)
+        window = gen.generate_window(
+            duration=1800.0, n_nodes=12, n_failures=5, n_spurious=2)
+        board = QualityScoreboard(
+            window=10 * window.events[-1].time, horizon=1800.0)
+        obs = Observability(quality=board)
+        fleet = PredictorFleet.from_store(
+            gen.chains, gen.store, timeout=gen.recommended_timeout, obs=obs)
+        board.add_failures(window.failures)
+
+        # Feed in slices, as a live run would.  The wired fleet folds
+        # each run's predictions and event-time advance into the
+        # scoreboard itself — no manual record_quality_run here (that
+        # would double-feed).
+        events = window.events
+        step = max(1, len(events) // 7)
+        report_predictions = []
+        for start in range(0, len(events), step):
+            chunk = events[start:start + step]
+            report = fleet.run(chunk, timing="off")
+            report_predictions.extend(report.predictions)
+
+        final_now = events[-1].time
+        offline = pair_predictions(
+            [p for p in report_predictions if p.flagged_at <= final_now],
+            [f for f in window.failures if f.time <= final_now],
+            horizon=1800.0)
+        online = board.score()
+        assert online.true_positives == offline.true_positives
+        assert online.false_positives == len(offline.false_positives)
+        assert online.false_negatives == len(offline.missed_failures)
+        assert sorted(online.lead_times) == sorted(
+            r.lead_time for r in offline.matched)
+
+    def test_lead_histogram_credits_each_pair_once(self):
+        board = QualityScoreboard()
+        board.add_prediction(pred("n1", 100.0))
+        board.add_failure(fail("n1", 400.0))
+        board.advance(500.0)
+        registry = Registry()
+        board.publish(registry)
+        board.publish(registry)  # idempotent: no double crediting
+        (entry,) = histogram_series(registry.snapshot(), QUALITY_LEAD_SECONDS)
+        assert sum(entry["counts"]) == 1
+        assert entry["sum"] == 300.0
+
+    def test_publish_mirrors_score_gauges(self):
+        board = QualityScoreboard()
+        board.add_prediction(pred("n1", 100.0))
+        board.add_failure(fail("n1", 400.0))
+        board.advance(500.0)
+        registry = Registry()
+        board.publish(registry)
+        snap = registry.snapshot()
+        (precision,) = snap[QUALITY_PRECISION]["series"]
+        assert precision["value"] == 1.0
+
+
+class TestDiscardDrift:
+    def test_warmup_calibrates_reference(self):
+        det = DiscardDriftDetector(warmup=3, drift=0.005, threshold=0.05)
+        for _ in range(3):
+            det.update(990, 1000)
+        assert det.reference == pytest.approx(0.99)
+        assert not det.alarm
+
+    def test_stable_stream_never_alarms(self):
+        det = DiscardDriftDetector(reference=0.99, warmup=0)
+        for _ in range(200):
+            assert det.update(990, 1000) is False
+        assert det.statistic == 0.0
+
+    def test_sustained_shift_alarms(self):
+        det = DiscardDriftDetector(
+            reference=0.99, warmup=0, drift=0.005, threshold=0.05)
+        # Discard fraction drops to 0.90: vocabulary/workload changed.
+        fired = [det.update(900, 1000) for _ in range(20)]
+        assert any(fired)
+        assert det.alarm and det.tripped
+
+    def test_tripped_is_sticky_until_reset(self):
+        det = DiscardDriftDetector(
+            reference=0.99, warmup=0, drift=0.005, threshold=0.05)
+        for _ in range(20):
+            det.update(900, 1000)
+        assert det.tripped
+        # CUSUM decays by only ``drift`` per in-control batch, so the
+        # alarm clears slowly; ``tripped`` stays up regardless.
+        for _ in range(400):
+            det.update(990, 1000)  # back to normal
+        assert not det.alarm
+        assert det.tripped  # sticky: someone must look before clearing
+        det.reset()
+        assert not det.tripped
+
+    def test_empty_batch_ignored(self):
+        det = DiscardDriftDetector(reference=0.5, warmup=0)
+        assert det.update(0, 0) is False
+        assert det.samples == 0
+
+    def test_alarm_reaches_registry_via_scoreboard(self):
+        det = DiscardDriftDetector(
+            reference=0.99, warmup=0, drift=0.005, threshold=0.05)
+        board = QualityScoreboard(drift=det)
+        for _ in range(20):
+            board.record_discard(900, 1000)
+        registry = Registry()
+        board.publish(registry)
+        (alarm,) = registry.snapshot()[DISCARD_DRIFT_ALARM]["series"]
+        assert alarm["value"] == 1.0

@@ -1,0 +1,148 @@
+"""Tests for the HTTP exposition server (``/metrics``, ``/healthz``,
+``/quality``) against an ephemeral port."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.events import NodeFailure, Prediction
+from repro.obs import (
+    LINES_SEEN,
+    LiveMonitor,
+    Observability,
+    ObsServer,
+    QualityScoreboard,
+    parse_prometheus,
+)
+from repro.obs.server import PROMETHEUS_CONTENT_TYPE
+
+
+def fetch(url):
+    with urllib.request.urlopen(url, timeout=5.0) as resp:
+        return resp.status, resp.headers.get("Content-Type"), \
+            resp.read().decode("utf-8")
+
+
+@pytest.fixture()
+def obs():
+    o = Observability(
+        live=LiveMonitor(0.01, clock=lambda: 0.0),
+        quality=QualityScoreboard())
+    o.registry.counter(LINES_SEEN, "lines").inc(42)
+    return o
+
+
+class TestMetricsEndpoint:
+    def test_scrape_parses_and_carries_content_type(self, obs):
+        with ObsServer(obs) as server:
+            status, ctype, body = fetch(server.url("/metrics"))
+        assert status == 200
+        assert ctype == PROMETHEUS_CONTENT_TYPE
+        snap = parse_prometheus(body)
+        (entry,) = snap[LINES_SEEN]["series"]
+        assert entry["value"] == 42
+
+    def test_scrape_refreshes_live_gauges(self, obs):
+        obs.live.observe_prediction(0.001)
+        with ObsServer(obs) as server:
+            _, _, body = fetch(server.url("/metrics"))
+        assert "aarohi_live_prediction_latency_seconds" in body
+        assert "aarohi_deadline_ok 1" in body
+
+    def test_ephemeral_ports_do_not_collide(self, obs):
+        with ObsServer(obs) as a, ObsServer(obs) as b:
+            assert a.port != b.port
+
+
+class TestHealthz:
+    def test_healthy_fleet_returns_200(self, obs):
+        obs.live.observe_prediction(0.001)
+        with ObsServer(obs) as server:
+            status, ctype, body = fetch(server.url("/healthz"))
+        assert status == 200
+        assert ctype == "application/json"
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["deadline"]["ok"] is True
+
+    def test_busted_deadline_returns_503(self, obs):
+        for _ in range(100):
+            obs.live.observe_prediction(0.5)  # way past the 10 ms budget
+        with ObsServer(obs) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                fetch(server.url("/healthz"))
+        assert excinfo.value.code == 503
+        payload = json.loads(excinfo.value.read().decode("utf-8"))
+        assert payload["status"] == "failing"
+        assert payload["deadline"]["ok"] is False
+
+    def test_tripped_drift_returns_503(self, obs):
+        obs.quality.drift.reference = 0.99
+        obs.quality.drift.warmup = 0
+        for _ in range(30):
+            obs.quality.record_discard(900, 1000)
+        assert obs.quality.drift.tripped
+        with ObsServer(obs) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                fetch(server.url("/healthz"))
+        assert excinfo.value.code == 503
+
+
+class TestQualityEndpoint:
+    def test_scoreboard_json(self, obs):
+        obs.quality.add_prediction(Prediction(
+            node="n1", chain_id="FC_1", flagged_at=100.0,
+            prediction_time=0.0))
+        obs.quality.add_failure(NodeFailure(node="n1", time=400.0))
+        obs.quality.advance(500.0)
+        with ObsServer(obs) as server:
+            status, ctype, body = fetch(server.url("/quality"))
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["enabled"] is True
+        assert payload["true_positives"] == 1
+        assert payload["lead_times"] == [300.0]
+
+    def test_disabled_scoreboard(self):
+        obs = Observability()
+        with ObsServer(obs) as server:
+            _, _, body = fetch(server.url("/quality"))
+        assert json.loads(body) == {"enabled": False}
+
+
+class TestUnknownPath:
+    def test_404(self, obs):
+        with ObsServer(obs) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                fetch(server.url("/nope"))
+        assert excinfo.value.code == 404
+
+
+class TestMidRunScrape:
+    def test_scrape_during_fleet_progress(self):
+        """A scrape between two runs of the same fleet sees coherent,
+        monotone counters (the live-dashboard contract)."""
+        from repro.core import ChainSet, FailureChain, LogEvent, PredictorFleet
+        from repro.core.events import Severity
+        from repro.templates import TemplateStore
+
+        store = TemplateStore()
+        store.add("alpha fault *", Severity.ERRONEOUS, token=301)
+        store.add("beta warn *", Severity.UNKNOWN, token=302)
+        chains = ChainSet([FailureChain("FC_x", (301, 302))])
+        obs = Observability(live=LiveMonitor(0.01, clock=lambda: 0.0))
+        fleet = PredictorFleet.from_store(
+            chains, store, timeout=100.0, obs=obs)
+        events = [
+            LogEvent(float(i), "n0", "benign noise") for i in range(50)
+        ]
+        with ObsServer(obs) as server:
+            fleet.run(events, timing="off")
+            _, _, body = fetch(server.url("/metrics"))
+            first = parse_prometheus(body)[LINES_SEEN]["series"][0]["value"]
+            fleet.run(events, timing="off")
+            _, _, body = fetch(server.url("/metrics"))
+            second = parse_prometheus(body)[LINES_SEEN]["series"][0]["value"]
+        assert (first, second) == (50, 100)

@@ -106,6 +106,75 @@ class TestRealizedLeadTimes:
             records, [NodeFailure(node="a", time=130.0, chain_id="FC")])
         assert "lead" not in records[1]
 
+    def test_duplicate_flags_credit_earliest_only(self):
+        records = [
+            {"ev": PREDICTION_FIRED, "node": "a", "t": 10.0},
+            {"ev": PREDICTION_FIRED, "node": "a", "t": 40.0},
+        ]
+        failures = [NodeFailure(node="a", time=100.0, chain_id="FC")]
+        fired = realized_lead_times(records, failures)
+        assert fired[0]["lead"] == pytest.approx(90.0)
+        assert fired[1]["lead"] is None
+        assert fired[1].get("duplicate") is True
+        assert "duplicate" not in fired[0]
+
+    def test_each_failure_credited_once_across_two_failures(self):
+        records = [
+            {"ev": PREDICTION_FIRED, "node": "a", "t": 10.0},
+            {"ev": PREDICTION_FIRED, "node": "a", "t": 60.0},
+        ]
+        failures = [
+            NodeFailure(node="a", time=50.0, chain_id="FC"),
+            NodeFailure(node="a", time=100.0, chain_id="FC"),
+        ]
+        fired = realized_lead_times(records, failures)
+        # Earliest flag claims the earliest failure; the second flag
+        # moves on to the next one rather than double-crediting.
+        assert fired[0]["lead"] == pytest.approx(40.0)
+        assert fired[1]["lead"] == pytest.approx(40.0)
+        assert not any("duplicate" in r for r in fired)
+
+
+class TestRealizedLeadsDifferential:
+    """Satellite acceptance: lead times recovered from a real fleet's
+    trace equal the offline pair_predictions leads, flag for flag."""
+
+    def test_trace_leads_match_offline_pairing(self):
+        from repro.core import PredictorFleet
+        from repro.core.leadtime import pair_predictions
+        from repro.logsim import ClusterLogGenerator, HPC3
+        from repro.obs import Observability
+
+        gen = ClusterLogGenerator(HPC3, seed=43)
+        window = gen.generate_window(
+            duration=1800.0, n_nodes=12, n_failures=5, n_spurious=2)
+        sink = io.StringIO()
+        obs = Observability(tracer=Tracer(sink, sample=0.0, clock=lambda: 0.0))
+        fleet = PredictorFleet.from_store(
+            gen.chains, gen.store, timeout=gen.recommended_timeout, obs=obs)
+        report = fleet.run(window.events, timing="off")
+        assert report.predictions
+
+        records = read_trace(io.StringIO(sink.getvalue()))
+        fired = [r for r in records if r["ev"] == PREDICTION_FIRED]
+        # sample=0.0 still emits every prediction_fired record.
+        assert len(fired) == len(report.predictions)
+
+        annotated = realized_lead_times(
+            records, window.failures, horizon=1800.0)
+        trace_leads = sorted(
+            r["lead"] for r in annotated
+            if r["ev"] == PREDICTION_FIRED and r["lead"] is not None)
+        offline = pair_predictions(
+            report.predictions, window.failures, horizon=1800.0)
+        offline_leads = sorted(rec.lead_time for rec in offline.matched)
+        assert trace_leads == pytest.approx(offline_leads)
+        # Unrealized flags (trace-side) == offline FPs + duplicates.
+        unrealized = sum(
+            1 for r in annotated
+            if r["ev"] == PREDICTION_FIRED and r["lead"] is None)
+        assert unrealized == len(report.predictions) - len(offline.matched)
+
 
 class TestLifecycleCounts:
     def test_counts_every_kind(self):

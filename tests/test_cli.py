@@ -159,6 +159,154 @@ class TestObsReport:
         assert "prediction_fired" in out
 
 
+class TestGenerateTruth:
+    def test_truth_file_round_trips(self, tmp_path, capsys):
+        from repro.logsim import read_truth
+
+        out = tmp_path / "w.log"
+        truth = tmp_path / "truth.jsonl"
+        rc = main([
+            "generate", "--system", "HPC4", "--seed", "3",
+            "--duration", "600", "--nodes", "8", "--failures", "3",
+            "--out", str(out), "--truth", str(truth),
+        ])
+        assert rc == 0
+        failures = list(read_truth(str(truth)))
+        assert len(failures) == 3
+        assert all(f.node and f.time > 0 for f in failures)
+        assert "ground-truth failures" in capsys.readouterr().out
+
+
+class TestPredictWatch:
+    def test_watch_renders_dashboard_frames(self, tmp_path, capsys):
+        log = tmp_path / "w.log"
+        truth = tmp_path / "truth.jsonl"
+        main([
+            "generate", "--system", "HPC3", "--seed", "5",
+            "--duration", "1800", "--nodes", "12", "--failures", "4",
+            "--out", str(log), "--truth", str(truth),
+        ])
+        capsys.readouterr()
+        rc = main([
+            "predict", "--system", "HPC3", "--seed", "5",
+            "--log", str(log), "--watch", "--slices", "4",
+            "--truth", str(truth),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.count("— watch:") == 4
+        assert "Live SLO monitor" in out
+        assert "Online quality scoreboard" in out
+        assert "deadline verdict" in out
+        # The final predictions table still prints after the frames.
+        assert "predictions" in out
+
+
+class TestObsReportErrors:
+    def run_report(self, capsys, *argv):
+        rc = main(["obs-report", *argv])
+        captured = capsys.readouterr()
+        return rc, captured.out, captured.err
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        rc, _, err = self.run_report(
+            capsys, "--metrics", str(tmp_path / "nope.prom"))
+        assert rc == 2
+        assert err.startswith("obs-report: cannot read")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_empty_file_exits_2(self, tmp_path, capsys):
+        empty = tmp_path / "empty.prom"
+        empty.write_text("")
+        rc, _, err = self.run_report(capsys, "--metrics", str(empty))
+        assert rc == 2
+        assert "is empty" in err
+
+    def test_truncated_file_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "trunc.prom"
+        bad.write_text("# TYPE aarohi_lines_seen_total counter\n"
+                       "aarohi_lines_seen_total {{{garbage\n")
+        rc, _, err = self.run_report(capsys, "--metrics", str(bad))
+        assert rc == 2
+        assert "not a valid metrics snapshot" in err
+
+    def test_no_input_exits_2(self, capsys):
+        rc, _, err = self.run_report(capsys)
+        assert rc == 2
+        assert "need --metrics FILE or --diff" in err
+
+    def test_bad_trace_exits_2(self, tmp_path, capsys):
+        from repro.obs import LINES_SEEN, Registry, render_prometheus
+
+        registry = Registry()
+        registry.counter(LINES_SEEN, "lines").inc(5)
+        metrics = tmp_path / "ok.prom"
+        metrics.write_text(render_prometheus(registry.snapshot()))
+        trace = tmp_path / "bad.jsonl"
+        trace.write_text('{"ev": "mystery", "node": "n"}\n')
+        rc, _, err = self.run_report(
+            capsys, "--metrics", str(metrics), "--trace", str(trace))
+        assert rc == 2
+        assert "not a valid trace file" in err
+
+
+class TestObsReportDiff:
+    def write_prom(self, path, lines_seen):
+        from repro.obs import LINES_SEEN, Registry, render_prometheus
+
+        registry = Registry()
+        registry.counter(LINES_SEEN, "lines offered").inc(lines_seen)
+        path.write_text(render_prometheus(registry.snapshot()))
+
+    def test_diff_reports_delta(self, tmp_path, capsys):
+        before, after = tmp_path / "before.prom", tmp_path / "after.prom"
+        self.write_prom(before, 100)
+        self.write_prom(after, 150)
+        rc = main(["obs-report", "--diff", str(before), str(after)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Scanner rejection funnel" in out
+        assert "50" in out  # the delta, not either absolute value
+
+    def test_identical_snapshots_say_so(self, tmp_path, capsys):
+        before, after = tmp_path / "b.prom", tmp_path / "a.prom"
+        self.write_prom(before, 100)
+        self.write_prom(after, 100)
+        rc = main(["obs-report", "--diff", str(before), str(after)])
+        assert rc == 0
+        assert "no metric changed" in capsys.readouterr().out
+
+    def test_diff_with_missing_before_exits_2(self, tmp_path, capsys):
+        after = tmp_path / "a.prom"
+        self.write_prom(after, 100)
+        rc = main([
+            "obs-report", "--diff", str(tmp_path / "nope.prom"), str(after)])
+        assert rc == 2
+        assert "obs-report:" in capsys.readouterr().err
+
+
+class TestObsServe:
+    def test_serves_and_reports_verdict(self, tmp_path, capsys):
+        log = tmp_path / "w.log"
+        truth = tmp_path / "truth.jsonl"
+        main([
+            "generate", "--system", "HPC3", "--seed", "5",
+            "--duration", "1800", "--nodes", "12", "--failures", "4",
+            "--out", str(log), "--truth", str(truth),
+        ])
+        capsys.readouterr()
+        rc = main([
+            "obs-serve", "--system", "HPC3", "--seed", "5",
+            "--log", str(log), "--truth", str(truth),
+            "--port", "0", "--slices", "4",
+        ])
+        out = capsys.readouterr().out
+        assert "serving http://" in out
+        assert "/metrics" in out
+        assert "deadline PASS" in out
+        assert rc == 0
+
+
 class TestSpeedup:
     def test_speedup_table(self, capsys):
         rc = main(["speedup", "--system", "HPC3", "--length", "20"])
