@@ -5,23 +5,33 @@ Measures sustained events/s on the discard-heavy realistic stream for
 * the **per-event path** — one ``fleet.process(event)`` call per line,
   full timing (what the seed repo shipped), and
 * the **batched path** — ``fleet.run(events, timing="off")``, the
-  flattened driver this PR adds,
+  flattened whole-stream scan driver,
 
-and writes both, together with the recorded pre-PR reference numbers,
-to ``BENCH_hotpath.json`` at the repo root so the perf trajectory stays
+plus **scanner startup**: cold merged-DFA compilation vs warm load from
+the compiled-artifact cache (see :mod:`repro.persistence`).  Everything
+is written, together with the recorded pre-PR reference numbers, to
+``BENCH_hotpath.json`` at the repo root so the perf trajectory stays
 machine-readable from this PR onward.
 
 Run standalone::
 
-    PYTHONPATH=src python benchmarks/emit_bench.py
+    PYTHONPATH=src python benchmarks/emit_bench.py          # full, rewrites json
+    PYTHONPATH=src python benchmarks/emit_bench.py --smoke  # CI regression gate
 
-or let ``benchmarks/test_throughput.py`` write the same file as part of
-the bench suite.
+``--smoke`` runs a reduced-scale measurement and **fails** (exit 1) if
+batched throughput drops below the recorded ``BENCH_hotpath.json``
+floor times a slack factor (CI runners are noisy; the gate catches
+order-of-magnitude regressions, not single-digit drift).  Smoke mode
+never rewrites the recorded floors.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
+import os
+import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -34,6 +44,10 @@ PRE_PR_REFERENCE = {
     "HPC3": 704_101,
     "measured": "2026-08-05, fleet.process() per event, 20k-event window",
 }
+
+# Shared CI runners are slow and noisy relative to the machine that
+# recorded the floors; a smoke run must still clear floor × slack.
+SMOKE_SLACK = 0.3
 
 
 def discard_heavy_stream(gen, n_events: int = 20_000):
@@ -86,6 +100,40 @@ def measure_hotpath(gen, n_events: int = 20_000, rounds: int = 5) -> dict:
     }
 
 
+def measure_startup(gen, rounds: int = 3) -> dict:
+    """Cold merged-DFA compile vs warm artifact-cache load (best-of-N).
+
+    Runs against a throwaway cache directory so the measurement is
+    hermetic: the first compile populates it, warm rounds load from it.
+    """
+    store, keep = gen.store, gen.chains.token_set
+    saved = os.environ.get("AAROHI_SCANNER_CACHE")
+    with tempfile.TemporaryDirectory(prefix="aarohi-bench-cache-") as tmp:
+        os.environ["AAROHI_SCANNER_CACHE"] = tmp
+        try:
+            cold_best = float("inf")
+            for _ in range(rounds):
+                t0 = time.perf_counter()
+                store.compile_scanner(keep=keep, cache=False)
+                cold_best = min(cold_best, time.perf_counter() - t0)
+            store.compile_scanner(keep=keep)  # populate the cache
+            warm_best = float("inf")
+            for _ in range(rounds):
+                t0 = time.perf_counter()
+                store.compile_scanner(keep=keep)
+                warm_best = min(warm_best, time.perf_counter() - t0)
+        finally:
+            if saved is None:
+                del os.environ["AAROHI_SCANNER_CACHE"]
+            else:
+                os.environ["AAROHI_SCANNER_CACHE"] = saved
+    return {
+        "cold_compile_ms": round(cold_best * 1e3, 2),
+        "warm_cache_ms": round(warm_best * 1e3, 2),
+        "warm_speedup": round(cold_best / warm_best, 1),
+    }
+
+
 def write_bench_json(results: dict, path: Path = BENCH_PATH) -> dict:
     payload = {
         "bench": "hotpath",
@@ -102,17 +150,72 @@ def write_bench_json(results: dict, path: Path = BENCH_PATH) -> dict:
     return payload
 
 
-def main() -> None:
+def recorded_floors(path: Path = BENCH_PATH) -> dict:
+    """Recorded per-system batched floors from the committed json."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return {}
+    return {
+        name: row["batched_events_per_s"]
+        for name, row in payload.get("systems", {}).items()
+        if isinstance(row.get("batched_events_per_s"), int)
+    }
+
+
+def run_smoke(slack: float = SMOKE_SLACK) -> int:
+    """Reduced-scale regression gate against the recorded floors."""
+    from repro.logsim import ClusterLogGenerator, system_by_name
+
+    floors = recorded_floors()
+    if not floors:
+        print("no recorded floors in BENCH_hotpath.json; nothing to gate")
+        return 1
+    failures = []
+    for name, floor in sorted(floors.items()):
+        gen = ClusterLogGenerator(system_by_name(name))
+        # Full event count (small batches under-amortize per-run fixed
+        # costs and would sit below floor × slack even when healthy),
+        # fewer rounds: the timed loops are milliseconds each.
+        measured = measure_hotpath(gen, n_events=20_000, rounds=2)
+        rate = measured["batched_events_per_s"]
+        need = floor * slack
+        verdict = "ok" if rate >= need else "REGRESSION"
+        print(f"{name}: batched {rate:,.0f} ev/s "
+              f"(floor {floor:,} × {slack} = {need:,.0f}) {verdict}")
+        if rate < need:
+            failures.append(name)
+    if failures:
+        print(f"bench-regression smoke FAILED for: {', '.join(failures)}")
+        return 1
+    print("bench-regression smoke passed")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="reduced-scale floor check; does not rewrite BENCH_hotpath.json")
+    parser.add_argument(
+        "--slack", type=float, default=SMOKE_SLACK,
+        help="smoke floor slack factor (default %(default)s)")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return run_smoke(slack=args.slack)
+
     from repro.logsim import ClusterLogGenerator, system_by_name
 
     results = {}
     for name in ("HPC1", "HPC2", "HPC3", "HPC4"):
         gen = ClusterLogGenerator(system_by_name(name))
         results[name] = measure_hotpath(gen)
+        results[name]["startup"] = measure_startup(gen)
         print(name, results[name])
     payload = write_bench_json(results)
     print(f"wrote {BENCH_PATH} ({len(payload['systems'])} systems)")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -97,8 +97,8 @@ def scrape_funnel_identity(text: str) -> dict:
     """Assert the funnel identity on a ``/metrics`` scrape body.
 
     Every line the fleet has seen must be accounted for by exactly one
-    rejection stage (or a DFA run): ``first_char + prefilter + memo +
-    dfa_runs == lines_seen``.  Returns the parsed stage counts."""
+    terminal stage: ``first_char + memo + dfa_runs == lines_seen``.
+    Returns the parsed stage counts."""
     from repro.obs import FUNNEL_STAGES, LINES_SEEN, parse_prometheus
 
     snapshot = parse_prometheus(text)

@@ -1,11 +1,23 @@
 """Predictor code generation — Fig. 6's "produce the binary" step.
 
 flex/bison emit a C scanner/parser that compiles to a standalone
-binary; the Python analog emits a **self-contained module** with the
-scanner DFA tables, the chain rule tables and the Algorithm-2 driver
-baked in as literals.  The generated module imports nothing, so it can
-be dropped onto a monitoring host (the HSS workstation of Fig. 16)
-without shipping this library.
+binary; the Python analog emits **specialized source** at two levels:
+
+* :func:`compile_scan_kernels` — the in-process scanner kernels.  The
+  merged tagged DFA is lowered to a flat *translate walk*: a
+  precomputed ``str.translate`` table rewrites every character to its
+  alphabet equivalence class (flex ECS) in one C call, and the walk
+  indexes dense ``array``-backed transition rows by ``ord`` alone.
+  The kernel source is rendered with the start state, row stride and
+  memo policy inlined as literals, compiled once per shape, and closed
+  over the tables — so the discard path is one table walk regardless
+  of how many templates were merged.
+
+* :func:`emit_predictor_source` — a **self-contained module** with the
+  scanner tables, the chain rule tables and the Algorithm-2 driver
+  baked in as literals.  The generated module imports nothing, so it
+  can be dropped onto a monitoring host (the HSS workstation of
+  Fig. 16) without shipping this library.
 
 Usage::
 
@@ -26,14 +38,223 @@ The generated module exposes:
 from __future__ import annotations
 
 import types
-from typing import Optional
+from typing import Callable, Dict, List, NamedTuple, Optional, Sequence
 
-from .core.chains import ChainSet
-from .templates.store import (
-    TemplateStore,
-    heads_by_first_char,
-    template_literal_head,
-)
+from .regexlib.dfa import DFA
+
+_MEMO_MISS = object()  # cache sentinel: None is a legitimate cached value
+
+
+class ScanKernels(NamedTuple):
+    """The closure-specialized scanner entry points for one DFA.
+
+    ``tokenize(message)`` is the anchored per-message scan;
+    ``scan_hits(messages)`` is the batched driver loop (returns
+    ``[(index, token), ...]`` for the lines that matched — discarded
+    lines never leave the C-adjacent loop); ``match_span(message)``
+    returns ``(token, end)`` of the longest anchored match for
+    differential testing.  ``memo`` and ``counts`` expose the shared
+    mutable state (bounded result cache, funnel counters) the kernels
+    close over.
+    """
+
+    tokenize: Callable[[str], Optional[int]]
+    scan_hits: Callable
+    match_span: Callable
+    memo: dict
+    counts: List[int]
+
+
+# The kernel factory source.  All varying *shape* parameters (start
+# state, row stride, memo capacity and key policy, funnel counting) are
+# substituted as literals so the interpreter specializes each scanner;
+# the tables themselves are bound as default arguments (LOAD_FAST, the
+# cheapest name access CPython has).  Counting fragments compile to
+# nothing for the uninstrumented scanner — its loops are byte-identical
+# to the plain ones.
+_KERNELS_TEMPLATE = '''\
+def _make_kernels(transitions, accept_token, translate, first_ok, memo, miss, counts):
+    def tokenize(message, _ord=ord, _len=len,
+                 _trans=transitions, _accept=accept_token, _tab=translate,
+                 _first=first_ok, _memo=memo, _get=memo.get, _miss=miss,
+                 _counts=counts):
+        if not message:
+            return None
+        cp = _ord(message[0])
+        if cp < 128 and not _first[cp]:
+            return None
+{c_pass1}        key = {key_expr}
+        token = _get(key, _miss)
+        if token is not _miss:
+            return token
+{c_scan1}        state = {start}
+        best = -1
+        for ch in key.translate(_tab):
+            state = _trans[state * {stride} + _ord(ch)]
+            if state < 0:
+                break
+            t = _accept[state]
+            if t >= 0:
+                best = t
+        if best < 0:
+            token = None
+        else:
+            token = best
+{c_match1}        if _len(_memo) >= {capacity}:
+            _memo.clear()
+        _memo[key] = token
+        return token
+
+    def scan_hits(messages, _ord=ord, _len=len,
+                  _trans=transitions, _accept=accept_token, _tab=translate,
+                  _first=first_ok, _memo=memo, _get=memo.get, _miss=miss,
+                  _counts=counts):
+        hits = []
+        _append = hits.append
+{c_locals}        i = -1
+        for message in messages:
+            i += 1
+            if not message:
+                continue
+            cp = _ord(message[0])
+            if cp < 128 and not _first[cp]:
+                continue
+{c_pass2}            key = {key_expr}
+            token = _get(key, _miss)
+            if token is _miss:
+{c_scan2}                state = {start}
+                best = -1
+                for ch in key.translate(_tab):
+                    state = _trans[state * {stride} + _ord(ch)]
+                    if state < 0:
+                        break
+                    t = _accept[state]
+                    if t >= 0:
+                        best = t
+                if best < 0:
+                    token = None
+                else:
+                    token = best
+{c_match2}                if _len(_memo) >= {capacity}:
+                    _memo.clear()
+                _memo[key] = token
+            if token is not None:
+                _append((i, token))
+{c_fold}        return hits
+
+    def match_span(message, _ord=ord,
+                   _trans=transitions, _accept=accept_token, _tab=translate):
+        state = {start}
+        best = -1
+        end = 0
+        i = 0
+        for ch in message.translate(_tab):
+            state = _trans[state * {stride} + _ord(ch)]
+            if state < 0:
+                break
+            i += 1
+            t = _accept[state]
+            if t >= 0:
+                best = t
+                end = i
+        if best < 0:
+            return None, 0
+        return best, end
+
+    return tokenize, scan_hits, match_span
+'''
+
+_COUNTING_FRAGMENTS = {
+    "c_pass1": "        _counts[0] += 1\n",
+    "c_scan1": "        _counts[1] += 1\n",
+    "c_match1": "            _counts[2] += 1\n",
+    "c_locals": "        n_pass = n_scan = n_match = 0\n",
+    "c_pass2": "            n_pass += 1\n",
+    "c_scan2": "                n_scan += 1\n",
+    "c_match2": "                    n_match += 1\n",
+    "c_fold": (
+        "        _counts[0] += n_pass\n"
+        "        _counts[1] += n_scan\n"
+        "        _counts[2] += n_match\n"
+    ),
+}
+
+_PLAIN_FRAGMENTS = {name: "" for name in _COUNTING_FRAGMENTS}
+
+# Kernel shapes repeat heavily (every scanner over the same catalog has
+# the same start/stride/memo policy), so code objects are cached by
+# their rendered source.
+_KERNEL_CODE_CACHE: Dict[str, types.CodeType] = {}
+
+
+def emit_scan_kernels_source(
+    *,
+    start: int,
+    stride: int,
+    capacity: int,
+    memo_len: Optional[int],
+    counting: bool = False,
+) -> str:
+    """Render the kernel factory source for one scanner shape.
+
+    ``memo_len`` is the DFA's :attr:`~repro.regexlib.dfa.DFA.max_match_length`:
+    when finite, the memo keys on (and the walk translates) only the
+    determining prefix; ``None`` (cyclic DFA) keys on the whole message.
+    """
+    key_expr = "message" if memo_len is None else f"message[:{memo_len}]"
+    fragments = _COUNTING_FRAGMENTS if counting else _PLAIN_FRAGMENTS
+    return _KERNELS_TEMPLATE.format(
+        start=start,
+        stride=stride,
+        capacity=capacity,
+        key_expr=key_expr,
+        **fragments,
+    )
+
+
+def compile_scan_kernels(
+    dfa: DFA,
+    rule_tokens: Sequence[int],
+    *,
+    memo_capacity: int = 4096,
+    counting: bool = False,
+) -> ScanKernels:
+    """Build the specialized translate-walk kernels for ``dfa``.
+
+    ``rule_tokens[tag]`` maps the DFA's accept tags (rule indices) to
+    the external token ids the kernels return.  ``counting=True`` emits
+    the funnel-instrumented variant whose ``counts`` list tracks
+    ``[lines past first-char, DFA runs, DFA matches]``.
+    """
+    accept_token = tuple(
+        -1 if tag is None else rule_tokens[tag] for tag in dfa.accepts
+    )
+    source = emit_scan_kernels_source(
+        start=dfa.start,
+        stride=dfa.n_classes + 1,
+        capacity=max(1, memo_capacity),
+        memo_len=dfa.max_match_length,
+        counting=counting,
+    )
+    code = _KERNEL_CODE_CACHE.get(source)
+    if code is None:
+        code = compile(source, "<repro.codegen scan kernels>", "exec")
+        _KERNEL_CODE_CACHE[source] = code
+    namespace: dict = {}
+    exec(code, namespace)
+    memo: dict = {}
+    counts = [0, 0, 0]
+    tokenize, scan_hits, match_span = namespace["_make_kernels"](
+        dfa.walk_transitions,
+        accept_token,
+        dfa.translate_table,
+        dfa.start_viable_ascii,
+        memo,
+        _MEMO_MISS,
+        counts,
+    )
+    return ScanKernels(tokenize, scan_hits, match_span, memo, counts)
+
 
 _TEMPLATE = '''\
 """Auto-generated Aarohi predictor (do not edit).
@@ -44,19 +265,22 @@ Generated by repro.codegen from {n_chains} failure chains over
 
 # -- scanner tables ---------------------------------------------------
 N_CLASSES = {n_classes}
+# Walk-table row stride: one column per character class plus a trailing
+# always-dead column for unclassified characters.
+STRIDE = {stride}
+START = {start}
 ASCII_CLASSES = {ascii_table!r}
 CLASS_LOS = {los!r}
 CLASS_HIS = {his!r}
 CLASS_IDS = {ids!r}
-TRANSITIONS = {transitions!r}
-ACCEPTS = {accepts!r}
-RULE_TOKENS = {rule_tokens!r}
+# Dense row-major transitions (STRIDE columns per state, -1 = dead).
+WALK_TRANSITIONS = {walk_transitions!r}
+# Accept-state token per DFA state (-1 = non-accepting); longest match
+# wins, ties broken toward the lowest rule during table construction.
+ACCEPT_TOKEN = {accept_token!r}
 # ASCII codepoints that can leave the DFA start state: anything else is
 # rejected before the scan loop even starts (most log lines, Fig. 12).
 START_OK = {start_ok!r}
-# Literal-head prefilter: any match must start with one of these heads
-# (bucketed by first character); None disables the filter.
-HEADS_BY_FIRST = {heads_by_first!r}
 # Memo key length: when the DFA is acyclic a match is decided by this
 # many characters; None means cyclic — key on the whole message (still
 # sound: tokenize is a pure function of the message).
@@ -87,12 +311,34 @@ def _classify(cp):
     return -1
 
 
+class _Translate(dict):
+    """Memoizing codepoint → class-character map for str.translate.
+
+    Seeded with ASCII below; any other codepoint is classified once on
+    first sight and memoized.  Unclassified codepoints map to the dead
+    class (N_CLASSES), whose transition column is always -1.
+    """
+
+    def __missing__(self, cp):
+        cls = _classify(cp)
+        ch = chr(N_CLASSES if cls < 0 else cls)
+        self[cp] = ch
+        return ch
+
+
+TRANSLATE = _Translate(
+    (cp, chr(cls if cls >= 0 else N_CLASSES))
+    for cp, cls in enumerate(ASCII_CLASSES)
+)
+
+
 def tokenize(message):
     """Anchored longest-match scan; returns a phrase token or None.
 
-    Flattened hot path: first-char rejection, bounded memo, literal-head
-    prefilter, then an inlined ASCII class lookup per character in the
-    scan loop (non-ASCII falls back to _classify).
+    Flattened hot path: first-char rejection, bounded memo, then one
+    merged-DFA table walk over the translate-compressed message — the
+    equivalence-class mapping runs in a single C call and the walk
+    indexes dense rows by ord alone.
     """
     if not message:
         return None
@@ -103,42 +349,22 @@ def tokenize(message):
     token = _MEMO.get(key, _MEMO_MISS)
     if token is not _MEMO_MISS:
         return token
-    token = _scan(message)
+    state = START
+    best = -1
+    transitions = WALK_TRANSITIONS
+    accept = ACCEPT_TOKEN
+    for ch in key.translate(TRANSLATE):
+        state = transitions[state * STRIDE + ord(ch)]
+        if state < 0:
+            break
+        t = accept[state]
+        if t >= 0:
+            best = t
+    token = None if best < 0 else best
     if len(_MEMO) >= _MEMO_CAPACITY:
         _MEMO.clear()
     _MEMO[key] = token
     return token
-
-
-def _scan(message):
-    """Prefilter + DFA walk (the uncached tokenize tail)."""
-    if HEADS_BY_FIRST is not None:
-        heads = HEADS_BY_FIRST.get(message[0])
-        if heads is None or not message.startswith(heads):
-            return None
-    state = 0
-    best = ACCEPTS[0]
-    transitions = TRANSITIONS
-    accepts = ACCEPTS
-    ascii_classes = ASCII_CLASSES
-    n_classes = N_CLASSES
-    n = len(message)
-    i = 0
-    while i < n:
-        cp = ord(message[i])
-        cls = ascii_classes[cp] if cp < 128 else _classify(cp)
-        if cls < 0:
-            break
-        state = transitions[state * n_classes + cls]
-        if state < 0:
-            break
-        i += 1
-        tag = accepts[state]
-        if tag is not None:
-            best = tag
-    if best is None:
-        return None
-    return RULE_TOKENS[best]
 
 
 class Predictor:
@@ -190,8 +416,8 @@ class Predictor:
 
 
 def emit_predictor_source(
-    chains: ChainSet,
-    store: TemplateStore,
+    chains,
+    store,
     *,
     timeout: Optional[float] = None,
 ) -> str:
@@ -200,9 +426,9 @@ def emit_predictor_source(
     dfa = compiled.dfa
     classifier = dfa.classifier
     rule_tokens = [int(rule.name) for rule in compiled.spec.rules]
-    heads_by_first = heads_by_first_char(
-        template_literal_head(store.get(token).text) for token in rule_tokens
-    )
+    accept_token = [
+        -1 if tag is None else rule_tokens[tag] for tag in dfa.accepts
+    ]
     chain_rows = [(c.chain_id, tuple(c.tokens)) for c in chains]
     first_of = {}
     for idx, chain in enumerate(chains):
@@ -211,16 +437,16 @@ def emit_predictor_source(
         n_chains=len(chains),
         n_tokens=len(rule_tokens),
         n_classes=dfa.n_classes,
+        stride=dfa.n_classes + 1,
+        start=dfa.start,
         ascii_table=classifier.ascii_table,
         los=classifier.los,
         his=classifier.his,
         ids=classifier.ids,
-        transitions=dfa.transitions,
-        accepts=dfa.accepts,
+        walk_transitions=list(dfa.walk_transitions),
+        accept_token=accept_token,
         start_ok=list(dfa.start_viable_ascii),
-        heads_by_first=heads_by_first,
         memo_len=dfa.max_match_length,
-        rule_tokens=rule_tokens,
         chains=chain_rows,
         first_of=first_of,
         timeout=float(

@@ -10,13 +10,25 @@ collects predictions.
 from __future__ import annotations
 
 import time as _time
+from collections import Counter
 from dataclasses import dataclass, field
+from operator import attrgetter
 from typing import Callable, Dict, Iterable, List, Optional
 
 from ..obs import Observability
 from .chains import ChainSet
 from .events import LogEvent, Prediction
-from .predictor import AarohiPredictor, Backend, PredictorStats, Timing, Tokenizer
+from .predictor import (
+    _TIMING_MODES,
+    AarohiPredictor,
+    Backend,
+    PredictorStats,
+    Timing,
+    Tokenizer,
+)
+
+_node_of = attrgetter("node")
+_message_of = attrgetter("message")
 
 
 @dataclass
@@ -82,15 +94,17 @@ class PredictorFleet:
         *,
         optimized: bool = True,
         obs: Optional[Observability] = None,
+        scanner=None,
         **kwargs,
     ) -> "PredictorFleet":
-        if optimized:
-            scanner = store.compile_scanner(
-                keep=chains.token_set, counting=obs is not None)
-        else:
-            from ..templates.store import NaiveTemplateScanner
+        if scanner is None:
+            if optimized:
+                scanner = store.compile_scanner(
+                    keep=chains.token_set, counting=obs is not None)
+            else:
+                from ..templates.store import NaiveTemplateScanner
 
-            scanner = NaiveTemplateScanner(store, keep=chains.token_set)
+                scanner = NaiveTemplateScanner(store, keep=chains.token_set)
         return cls(chains, scanner.tokenize, obs=obs, scanner=scanner, **kwargs)
 
     def predictor_for(self, node: str) -> AarohiPredictor:
@@ -119,18 +133,108 @@ class PredictorFleet:
     ) -> FleetReport:
         """Drive a whole (time-ordered) stream through the fleet.
 
-        Per-node predictor state is independent, so the stream is
-        grouped by node and each group runs through
-        :meth:`AarohiPredictor.process_batch`'s flat loop (attribute
-        lookups hoisted, clock reads governed by ``timing`` — see
-        :class:`AarohiPredictor`).  Predictions come back in stream
-        order, exactly as the per-event loop would produce them.
+        The accept-or-discard decision is node-independent (every node
+        shares the merged scanner), so for ``timing="off"``/``"sampled"``
+        the stream is **not** grouped by node at all: one batched
+        :meth:`~repro.templates.store.TemplateScanner.scan_hits` call
+        scans every message, and only the rare surviving hits are routed
+        to their per-node engines.  Discarded lines never surface as
+        per-event Python work — no tuple, no dict probe, no function
+        call.  ``timing="full"`` (per-line tokenize timing) and fleets
+        without a batch-capable scanner fall back to grouping by node
+        and running :meth:`AarohiPredictor.process_batch`'s flat loop.
 
-        The report counts **this run only**: per-predictor stats are
-        snapshotted before the batch and diffed after.  When the fleet
-        carries an :class:`~repro.obs.Observability`, the run is folded
-        into its registry here — per run, never per event.
+        Either way predictions come back in stream order, exactly as the
+        per-event loop would produce them, and per-node predictor stats
+        stay byte-identical to per-event processing (the differential
+        suite asserts both).
+
+        The report counts **this run only**.  When the fleet carries an
+        :class:`~repro.obs.Observability`, the run is folded into its
+        registry here — per run, never per event.
         """
+        if timing not in _TIMING_MODES:
+            raise ValueError(f"unknown timing mode {timing!r}")
+        scan_hits = getattr(self.scanner, "scan_hits", None)
+        if timing != "full" and scan_hits is not None:
+            return self._run_flat(events, timing, scan_hits)
+        return self._run_grouped(events, timing)
+
+    def _run_flat(
+        self, events: Iterable[LogEvent], timing: Timing, scan_hits: Callable
+    ) -> FleetReport:
+        """Whole-stream scan: one batched kernel call, per-hit routing."""
+        obs = self.obs
+        t_run = _time.perf_counter() if obs is not None else 0.0
+        if not isinstance(events, (list, tuple)):
+            events = list(events)
+        report = FleetReport()
+        # Per-node line accounting in one C-speed pass (map/attrgetter/
+        # Counter all run without per-event bytecode), so per-predictor
+        # stats match per-event processing exactly.
+        node_counts = Counter(map(_node_of, events))
+        predictor_for = self.predictor_for
+        for node, n in node_counts.items():
+            predictor_for(node).stats.lines_seen += n
+        hits = scan_hits(list(map(_message_of, events)))
+        is_relevant = self.chains.is_relevant
+        predictors = self._predictors
+        predictions = report.predictions
+        sampled = timing == "sampled"
+        tokenized = 0
+        n_predictions = 0
+        feed_seconds = 0.0
+        for i, token in hits:
+            if not is_relevant(token):
+                continue
+            event = events[i]
+            predictor = predictors[event.node]
+            predictor.stats.lines_tokenized += 1
+            tokenized += 1
+            if sampled:
+                clock = predictor._clock
+                t0 = clock()
+                match = predictor._engine.feed(token, event.time)
+                cost = clock() - t0
+                predictor.stats.feed_seconds += cost
+                feed_seconds += cost
+                predictor._chain_cost += cost
+            else:
+                match = predictor._engine.feed(token, event.time)
+            if match is None:
+                continue
+            if sampled:
+                prediction_time = predictor._chain_cost
+                predictor._chain_cost = 0.0
+            else:
+                prediction_time = 0.0
+            predictor.stats.predictions += 1
+            n_predictions += 1
+            prediction = Prediction(
+                node=event.node,
+                chain_id=match.chain_id,
+                flagged_at=match.end_time,
+                prediction_time=prediction_time,
+                matched_tokens=match.tokens,
+            )
+            if predictor._obs_emit is not None:
+                predictor._obs_emit(prediction)
+            predictions.append(prediction)
+        report.stats.lines_seen = len(events)
+        report.stats.lines_tokenized = tokenized
+        report.stats.predictions = n_predictions
+        report.stats.feed_seconds = feed_seconds
+        report.nodes = len(predictors)
+        if obs is not None:
+            self._record_run(obs, report, _time.perf_counter() - t_run,
+                             list(node_counts.values()),
+                             events[-1].time if len(events) else None)
+        return report
+
+    def _run_grouped(
+        self, events: Iterable[LogEvent], timing: Timing
+    ) -> FleetReport:
+        """Group-by-node path (per-line timing, or no batch scanner)."""
         obs = self.obs
         t_run = _time.perf_counter() if obs is not None else 0.0
         report = FleetReport()

@@ -20,19 +20,22 @@ shared pool fed one giant ``map`` payload per shard:
   exactly one worker, so mid-chain configurations survive both chunk
   boundaries and repeated :meth:`ParallelFleet.run` calls.
 
-The worker initializer rebuilds the compiled scanner and chain tables
-once per process from a :class:`~repro.persistence.PredictorBundle`
-dict (cheap: milliseconds) rather than pickling live DFAs per task.
-Workers drive the batched :meth:`~repro.core.fleet.PredictorFleet.run`
-fast path; ``timing`` selects its clock-read mode (default ``"off"``:
-discarded lines cost no clock reads at all).
+The worker initializer rebuilds chain tables once per process from a
+:class:`~repro.persistence.PredictorBundle` dict, and receives the
+parent's **prebuilt scanner tables** (the compiled-artifact wire format
+of :func:`~repro.persistence.scanner_artifact`) alongside it — workers
+never rerun the NFA→DFA→Hopcroft pipeline, they reconstruct the DFA
+from its serialized arrays.  Workers drive the batched
+:meth:`~repro.core.fleet.PredictorFleet.run` fast path; ``timing``
+selects its clock-read mode (default ``"off"``: discarded lines cost no
+clock reads at all).
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import time as _time
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from ..core.events import LogEvent, Prediction
 from ..obs import (
@@ -41,8 +44,10 @@ from ..obs import (
     PARALLEL_QUEUE_DEPTH,
     diff_snapshots,
 )
-from ..persistence import PredictorBundle
 from .predictor import PredictorStats
+
+if TYPE_CHECKING:  # import cycle: persistence → templates.store → core
+    from ..persistence import PredictorBundle
 
 # Per-process globals, populated by the initializer.
 _WORKER_FLEET = None
@@ -71,11 +76,15 @@ def partition_events(
 
 def _init_worker(
     bundle_dict: dict,
+    scanner_tables: Optional[dict],
     timeout: Optional[float],
     timing: str,
     shard: Optional[int] = None,
 ) -> None:
     global _WORKER_FLEET, _WORKER_TIMING, _WORKER_OBS, _WORKER_LAST_SNAP
+    from ..persistence import PredictorBundle, scanner_from_artifact
+    from ..templates.store import CountingTemplateScanner, TemplateScanner
+
     bundle = PredictorBundle.from_dict(bundle_dict)
     kwargs = {} if timeout is None else {"timeout": timeout}
     if shard is not None:
@@ -86,6 +95,12 @@ def _init_worker(
         # processes.)
         _WORKER_OBS = Observability(labels={"shard": str(shard)})
         kwargs["obs"] = _WORKER_OBS
+    if scanner_tables is not None:
+        # Rebuild the scanner from the parent's compiled tables — no
+        # regex compilation in workers, just kernel specialization.
+        compiled = scanner_from_artifact(scanner_tables)
+        cls = CountingTemplateScanner if shard is not None else TemplateScanner
+        kwargs["scanner"] = cls(compiled)
     _WORKER_FLEET = bundle.make_fleet(**kwargs)
     _WORKER_TIMING = timing
     _WORKER_LAST_SNAP = None
@@ -141,12 +156,28 @@ class ParallelFleet:
         self.stats = PredictorStats()
         ctx = mp.get_context("spawn")
         bundle_dict = bundle.to_dict()
+        # Compile (or cache-load) the merged scanner once in the parent
+        # and ship the finished tables to every worker; n_workers
+        # processes then pay JSON-decode + kernel specialization instead
+        # of n_workers regex compilations.
+        from ..persistence import (
+            load_cached_scanner,
+            save_cached_scanner,
+            scanner_artifact,
+        )
+
+        spec = bundle.store.lex_spec(keep=bundle.chains.token_set)
+        compiled = load_cached_scanner(spec)
+        if compiled is None:
+            compiled = spec.compile()
+            save_cached_scanner(compiled)
+        tables = scanner_artifact(compiled)
         # One single-process pool per shard: shard i → worker i, always.
         self._pools = [
             ctx.Pool(
                 processes=1,
                 initializer=_init_worker,
-                initargs=(bundle_dict, timeout, timing,
+                initargs=(bundle_dict, tables, timeout, timing,
                           shard if obs is not None else None),
             )
             for shard in range(n_workers)

@@ -103,7 +103,6 @@ from .names import (  # noqa: F401  (canonical names, re-exported)
     SCANNER_DFA_RUNS,
     SCANNER_FIRST_CHAR_REJECTED,
     SCANNER_MEMO_HITS,
-    SCANNER_PREFILTER_REJECTED,
     SLO_BURN,
     TOKENIZE_SECONDS,
     TOKENS_ADVANCED,
@@ -192,11 +191,6 @@ class Observability:
             "lines rejected by the first-char table (incl. empty lines)",
             **labels,
         ).set_total(counts["first_char_rejected"])
-        registry.counter(
-            SCANNER_PREFILTER_REJECTED,
-            "lines rejected by the literal-head prefilter",
-            **labels,
-        ).set_total(counts["prefilter_rejected"])
         registry.counter(
             SCANNER_MEMO_HITS, "tokenize results served from the memo",
             **labels,

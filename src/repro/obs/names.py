@@ -17,7 +17,6 @@ FEED_SECONDS = "aarohi_feed_seconds_total"
 PREDICTION_SECONDS = "aarohi_prediction_seconds"
 
 SCANNER_FIRST_CHAR_REJECTED = "aarohi_scanner_first_char_rejected_total"
-SCANNER_PREFILTER_REJECTED = "aarohi_scanner_prefilter_rejected_total"
 SCANNER_MEMO_HITS = "aarohi_scanner_memo_hits_total"
 SCANNER_DFA_RUNS = "aarohi_scanner_dfa_runs_total"
 SCANNER_DFA_MATCHES = "aarohi_scanner_dfa_matches_total"
@@ -66,10 +65,11 @@ DISCARD_CUSUM = "aarohi_scanner_discard_cusum"
 DISCARD_DRIFT_ALARM = "aarohi_scanner_discard_drift_alarm"
 
 # The rejection-funnel stage names, in pipeline order.  Their counter
-# values sum to LINES_SEEN (asserted by the equivalence suite).
+# values sum to LINES_SEEN (asserted by the equivalence suite).  The
+# merged-DFA scanner has exactly three terminal stages per line: the
+# first-char table rejects it, the memo answers it, or the DFA walks it.
 FUNNEL_STAGES = (
     (SCANNER_FIRST_CHAR_REJECTED, "first-char rejected"),
-    (SCANNER_PREFILTER_REJECTED, "prefilter rejected"),
     (SCANNER_MEMO_HITS, "memo hits"),
     (SCANNER_DFA_RUNS, "full DFA runs"),
 )

@@ -1,4 +1,4 @@
-"""Model persistence: ship Phase-1 output as a JSON bundle.
+"""Model persistence: bundles and the compiled-scanner artifact cache.
 
 A *bundle* is everything Phase 2 needs to stand up a predictor on
 another host: the template store (token ↔ template ↔ severity), the
@@ -6,20 +6,50 @@ trained failure chains with their ΔT statistics, and the chosen parsing
 timeout.  Bundles are plain JSON — diffable, versioned, auditable —
 which matters operationally: site reliability teams review exactly
 which phrases can page them.
+
+The second half of this module is the **compiled-artifact cache** for
+merged scanners.  Compiling a template catalog (NFA union → subset
+construction → Hopcroft) costs tens of milliseconds per platform —
+negligible once, but paid on every process start, in every pool worker,
+and on every CLI invocation.  The cache persists the finished DFA
+tables keyed by a digest of the rule set and the compiler version, so
+warm starts skip regex compilation entirely:
+
+* location: ``$AAROHI_SCANNER_CACHE`` if set (``0``/``off`` disables),
+  else ``$XDG_CACHE_HOME/aarohi/scanners``, else
+  ``~/.cache/aarohi/scanners``;
+* invalidation: the digest covers every rule (name, pattern, skip
+  flag), the minimization flag and :data:`SCANNER_COMPILER_VERSION` —
+  any template edit or compiler change misses cleanly and recompiles;
+* artifacts are written atomically (temp file + ``os.replace``) and
+  treated as best-effort: any unreadable/stale artifact is ignored.
+
+:func:`scanner_artifact` / :func:`scanner_from_artifact` are also the
+wire format :class:`~repro.core.parallel.ParallelFleet` uses to ship
+prebuilt tables to pool workers instead of recompiling per process.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import IO, Union
+from typing import IO, Optional, Union
 
 from .core.chains import ChainSet, FailureChain
 from .core.events import Severity
+from .lexgen.spec import CompiledLexSpec, LexSpec
+from .regexlib.dfa import DFA, Classifier
 from .templates.store import TemplateStore
 
 FORMAT_VERSION = 1
+
+# Bump whenever regexlib/lexgen compilation semantics change: cached
+# tables from an older compiler must miss, not load.
+SCANNER_COMPILER_VERSION = 2
+SCANNER_ARTIFACT_VERSION = 1
 
 
 class BundleError(ValueError):
@@ -149,3 +179,175 @@ class PredictorBundle:
 
         return emit_predictor_source(
             self.chains, self.store, timeout=self.timeout)
+
+
+# -- compiled-scanner artifact cache ----------------------------------
+
+_CACHE_DISABLED = {"", "0", "off", "none", "disabled"}
+
+
+def scanner_cache_dir(cache: Optional[bool] = None) -> Optional[Path]:
+    """Resolve the artifact cache directory, or ``None`` if disabled.
+
+    ``cache=False`` bypasses the cache unconditionally; ``True``/``None``
+    defer to ``AAROHI_SCANNER_CACHE`` (a directory path, or ``0``/``off``
+    to disable), falling back to the XDG cache home.
+    """
+    if cache is False:
+        return None
+    env = os.environ.get("AAROHI_SCANNER_CACHE")
+    if env is not None:
+        if env.strip().lower() in _CACHE_DISABLED:
+            return None
+        return Path(env).expanduser()
+    base = os.environ.get("XDG_CACHE_HOME")
+    root = Path(base).expanduser() if base else Path.home() / ".cache"
+    return root / "aarohi" / "scanners"
+
+
+def scanner_digest(spec: LexSpec, *, minimized: bool = True) -> str:
+    """Content address of a compiled scanner: rule set + compiler rev."""
+    h = hashlib.sha256()
+    h.update(f"v{SCANNER_COMPILER_VERSION}|min={int(minimized)}".encode())
+    for rule in spec.rules:
+        h.update(b"\x00")
+        h.update(rule.name.encode())
+        h.update(b"\x01")
+        h.update(rule.pattern.encode())
+        h.update(b"\x02" if rule.skip else b"\x03")
+    return h.hexdigest()
+
+
+def dfa_to_dict(dfa: DFA) -> dict:
+    c = dfa.classifier
+    return {
+        "n_states": dfa.n_states,
+        "n_classes": dfa.n_classes,
+        "start": dfa.start,
+        "transitions": list(dfa.transitions),
+        "accepts": [-1 if tag is None else tag for tag in dfa.accepts],
+        "ascii_table": list(c.ascii_table),
+        "los": list(c.los),
+        "his": list(c.his),
+        "ids": list(c.ids),
+        "max_match_length": dfa.max_match_length,
+    }
+
+
+def dfa_from_dict(data: dict) -> DFA:
+    try:
+        n_classes = data["n_classes"]
+        dfa = DFA(
+            n_states=data["n_states"],
+            n_classes=n_classes,
+            transitions=list(data["transitions"]),
+            accepts=[None if tag < 0 else tag for tag in data["accepts"]],
+            classifier=Classifier(
+                ascii_table=list(data["ascii_table"]),
+                los=list(data["los"]),
+                his=list(data["his"]),
+                ids=list(data["ids"]),
+                n_classes=n_classes,
+            ),
+            start=data["start"],
+        )
+        # Seed the cached graph analysis so warm starts skip it too.
+        dfa.__dict__["max_match_length"] = data["max_match_length"]
+    except (KeyError, TypeError) as exc:
+        raise BundleError(f"bad DFA record: {exc}") from exc
+    if len(dfa.transitions) != dfa.n_states * dfa.n_classes:
+        raise BundleError("DFA transition table has the wrong shape")
+    return dfa
+
+
+def scanner_artifact(
+    compiled: CompiledLexSpec,
+    *,
+    minimized: bool = True,
+    digest: Optional[str] = None,
+) -> dict:
+    """Serialize a compiled scanner's tables (the cache/wire format)."""
+    return {
+        "format_version": SCANNER_ARTIFACT_VERSION,
+        "compiler_version": SCANNER_COMPILER_VERSION,
+        "minimized": minimized,
+        "digest": digest or scanner_digest(compiled.spec, minimized=minimized),
+        "rules": [
+            [rule.name, rule.pattern, rule.skip]
+            for rule in compiled.spec.rules
+        ],
+        "dfa": dfa_to_dict(compiled.dfa),
+    }
+
+
+def scanner_from_artifact(data: dict) -> CompiledLexSpec:
+    """Rebuild a :class:`CompiledLexSpec` from stored tables — no regex
+    compilation, just object construction around the DFA arrays."""
+    if data.get("format_version") != SCANNER_ARTIFACT_VERSION:
+        raise BundleError(
+            f"unsupported scanner artifact version "
+            f"{data.get('format_version')!r}"
+        )
+    if data.get("compiler_version") != SCANNER_COMPILER_VERSION:
+        raise BundleError("scanner artifact from a different compiler")
+    try:
+        spec = LexSpec()
+        for name, pattern, skip in data["rules"]:
+            spec.rule(name, pattern, skip=skip)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise BundleError(f"bad scanner rule record: {exc}") from exc
+    return CompiledLexSpec(spec=spec, dfa=dfa_from_dict(data["dfa"]))
+
+
+def load_cached_scanner(
+    spec: LexSpec,
+    *,
+    minimized: bool = True,
+    cache: Optional[bool] = None,
+) -> Optional[CompiledLexSpec]:
+    """Warm-start path: return the cached compiled scanner for ``spec``,
+    or ``None`` on any miss (absent, stale, unreadable, disabled)."""
+    directory = scanner_cache_dir(cache)
+    if directory is None:
+        return None
+    digest = scanner_digest(spec, minimized=minimized)
+    try:
+        with open(directory / f"{digest}.json", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return None
+    if data.get("digest") != digest:
+        return None
+    try:
+        return scanner_from_artifact(data)
+    except BundleError:
+        return None
+
+
+def save_cached_scanner(
+    compiled: CompiledLexSpec,
+    *,
+    minimized: bool = True,
+    cache: Optional[bool] = None,
+) -> Optional[Path]:
+    """Persist a freshly compiled scanner; best-effort (returns the
+    artifact path, or ``None`` if caching is off or the write failed)."""
+    directory = scanner_cache_dir(cache)
+    if directory is None:
+        return None
+    digest = scanner_digest(compiled.spec, minimized=minimized)
+    path = directory / f"{digest}.json"
+    tmp = directory / f".{digest}.{os.getpid()}.tmp"
+    data = scanner_artifact(compiled, minimized=minimized, digest=digest)
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(data, fh, separators=(",", ":"))
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            tmp.unlink(missing_ok=True)
+        except OSError:
+            pass
+        return None
+    return path

@@ -10,7 +10,7 @@ accept states for first-rule-wins tokenization.
 
 from .ast import literal
 from .charset import CharSet, partition_alphabet
-from .dfa import DEAD, DFA, from_nfa
+from .dfa import DEAD, DFA, TranslateTable, from_nfa
 from .matcher import Regex, compile
 from .minimize import minimize
 from .nfa import NFA, from_ast, from_asts
@@ -24,6 +24,7 @@ __all__ = [
     "NFA",
     "Regex",
     "RegexSyntaxError",
+    "TranslateTable",
     "compile",
     "equivalent",
     "find_distinguishing_string",

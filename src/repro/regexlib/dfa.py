@@ -11,6 +11,7 @@ the rest.
 from __future__ import annotations
 
 import bisect
+from array import array
 from dataclasses import dataclass
 from functools import cached_property
 from typing import Callable, Dict, List, Optional, Tuple
@@ -19,6 +20,35 @@ from .charset import CharSet, partition_alphabet
 from .nfa import NFA
 
 DEAD = -1  # transition target meaning "no move"
+
+
+class TranslateTable(dict):
+    """Memoizing codepoint → class-character map for ``str.translate``.
+
+    This is the flex-style equivalence-class (ECS) compression applied
+    in one C call: ``message.translate(table)`` rewrites every character
+    to ``chr(class_id)``, so the DFA walk indexes transition rows by
+    ``ord`` alone — no per-character classifier branch in Python.
+
+    ASCII is seeded eagerly; any other codepoint is classified once on
+    first sight (``__missing__``) and memoized, so repeated non-ASCII
+    traffic also runs at dict-lookup speed.  Codepoints outside every
+    class map to the *dead class* (``n_classes``), whose transition
+    column is always :data:`DEAD`.
+    """
+
+    __slots__ = ("_classify", "_dead_char")
+
+    def __init__(self, classify: Callable[[int], int], dead: int, seed: dict):
+        super().__init__(seed)
+        self._classify = classify
+        self._dead_char = chr(dead)
+
+    def __missing__(self, cp: int) -> str:
+        cls = self._classify(cp)
+        ch = self._dead_char if cls < 0 else chr(cls)
+        self[cp] = ch
+        return ch
 
 
 @dataclass
@@ -172,6 +202,34 @@ class DFA:
             if cls >= 0 and transitions[base + cls] >= 0:
                 table[cp] = 1
         return bytes(table)
+
+    @cached_property
+    def translate_table(self) -> TranslateTable:
+        """Shared :class:`TranslateTable` for this DFA's alphabet classes."""
+        dead = self.n_classes
+        seed = {
+            cp: chr(cls if cls >= 0 else dead)
+            for cp, cls in enumerate(self.classifier.ascii_table)
+        }
+        return TranslateTable(self.classifier.classify, dead, seed)
+
+    @cached_property
+    def walk_transitions(self) -> array:
+        """Dense, ``array``-backed row-major transition table for the
+        translate-walk kernel (see :func:`repro.codegen.compile_scan_kernels`).
+
+        Rows have ``n_classes + 1`` columns: one per character class
+        plus a trailing always-:data:`DEAD` column for the dead class,
+        so the walk needs no "unclassified?" branch at all — a dead
+        character simply steps to :data:`DEAD` like any failed move.
+        """
+        n = self.n_classes
+        stride = n + 1
+        table = array("i", [DEAD]) * (self.n_states * stride)
+        src = self.transitions
+        for s in range(self.n_states):
+            table[s * stride : s * stride + n] = array("i", src[s * n : (s + 1) * n])
+        return table
 
     @cached_property
     def max_match_length(self) -> Optional[int]:

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from ..codegen import compile_scan_kernels
 from ..core.events import Severity
 from ..lexgen import LexSpec
 from ..lexgen.spec import CompiledLexSpec
@@ -43,33 +44,6 @@ def template_to_pattern(template: str) -> str:
         pattern = ".*".join(p for p in escaped)
         return pattern.rstrip()  # trailing spaces before '*' are noise
     return ".*".join(escaped)
-
-
-def template_literal_head(template: str) -> str:
-    """The literal prefix every match of ``template`` must start with.
-
-    This is the text before the first wildcard, right-stripped (the
-    compiled pattern drops trailing spaces before a trailing ``*``, so
-    only the rstripped head is guaranteed).  Sound as a *rejection*
-    filter: a message that does not start with this cannot match the
-    template, whatever its wildcard structure.
-    """
-    return template.split(MASK, 1)[0].rstrip()
-
-
-def heads_by_first_char(heads: Iterable[str]) -> Optional[Dict[str, Tuple[str, ...]]]:
-    """Bucket literal heads by first character for C-speed prefiltering.
-
-    Returns ``None`` (filter unusable) if any head is empty — a
-    leading-wildcard template can match anything.
-    """
-    unique = sorted(set(heads))
-    if not unique or any(not h for h in unique):
-        return None
-    buckets: Dict[str, List[str]] = {}
-    for head in unique:
-        buckets.setdefault(head[0], []).append(head)
-    return {c: tuple(hs) for c, hs in buckets.items()}
 
 
 @dataclass(frozen=True)
@@ -161,197 +135,137 @@ class TemplateStore:
         *,
         minimized: bool = True,
         counting: bool = False,
+        cache: Optional[bool] = None,
     ) -> "TemplateScanner":
         """Compile the merged scanner; ``counting=True`` returns a
         :class:`CountingTemplateScanner` whose rejection-funnel stages
-        are observable (see :mod:`repro.obs`)."""
-        compiled = self.lex_spec(keep).compile(minimized=minimized)
-        heads = [
-            template_literal_head(self._by_token[int(rule.name)].text)
-            for rule in compiled.spec.rules
-        ]
+        are observable (see :mod:`repro.obs`).
+
+        ``cache`` controls the persistent compiled-artifact cache (see
+        :mod:`repro.persistence`): ``True`` forces it, ``False``
+        bypasses it, and ``None`` (default) defers to the
+        ``AAROHI_SCANNER_CACHE`` environment policy.  On a cache hit
+        the NFA→DFA→Hopcroft pipeline is skipped entirely and the
+        scanner is rebuilt from the stored tables.
+        """
+        from .. import persistence  # late: persistence imports this module
+
+        spec = self.lex_spec(keep)
+        compiled = persistence.load_cached_scanner(
+            spec, minimized=minimized, cache=cache
+        )
+        if compiled is None:
+            compiled = spec.compile(minimized=minimized)
+            persistence.save_cached_scanner(
+                compiled, minimized=minimized, cache=cache
+            )
         cls = CountingTemplateScanner if counting else TemplateScanner
-        return cls(compiled, prefilter_heads=heads)
-
-
-_MEMO_MISS = object()  # cache sentinel: None is a legitimate cached value
+        return cls(compiled)
 
 
 class TemplateScanner:
-    """Anchored tokenizer: message → token id or None.
+    """Anchored tokenizer over the merged template DFA.
 
-    Matches the merged template DFA at position 0 of the message.  A
-    match needs only the literal head of some template; the variable
-    tail is never scanned.
-
-    Four hot-path optimizations on top of the plain DFA scan, none of
-    which changes observable behavior:
+    All templates are unioned into one tagged DFA (longest match,
+    lowest rule on ties — flex semantics), so accept-or-discard is a
+    single table walk regardless of catalog size.  The walk itself is a
+    *translate kernel* (:func:`repro.codegen.compile_scan_kernels`):
 
     * **first-char rejection** — a 128-entry table of ASCII codepoints
       that can leave the DFA's start state; a message whose first char
       is not in it can match nothing, so it is discarded with one index
       (most log lines, per Fig. 12);
-    * **literal-head prefilter** — any match must begin with some
-      template's literal head, so survivors of the first-char check are
-      tested with ``str.startswith`` (a C memcmp) over the heads
-      sharing their first character before the Python scan loop runs;
-    * **closure-specialized kernel** — the scan runs through
-      :attr:`CompiledLexSpec.matcher`, a flattened loop with all tables
-      bound as locals;
+    * **alphabet compression** — ``str.translate`` maps every character
+      to its equivalence class in one C call, so the walk indexes dense
+      ``array``-backed rows by ``ord`` alone (no classifier branch);
     * **bounded memo** — results are cached for messages that pass the
-      cheap rejection filters.  When the DFA is acyclic, a match is
-      fully determined by the first ``max_match_length`` characters, so
-      the cache keys on that prefix; otherwise it keys on the whole
-      message (sound for any DFA: ``tokenize`` is a pure function of
-      the message, and CPython caches string hashes, so repeated log
-      lines cost one dict probe).  The cache is cleared when it reaches
-      ``memo_capacity``, bounding memory.
+      first-char check.  When the DFA is acyclic, a match is fully
+      determined by the first ``max_match_length`` characters, so the
+      cache keys on that prefix; otherwise it keys on the whole message
+      (sound for any DFA: ``tokenize`` is a pure function of the
+      message, and CPython caches string hashes, so repeated log lines
+      cost one dict probe).  The cache is cleared when it fills,
+      bounding memory.
+
+    The public entry points are plain functions bound as instance
+    attributes (no bound-method dispatch on the hot path):
+
+    * ``tokenize(message) -> token | None`` — per-message scan;
+    * ``scan_hits(messages) -> [(index, token), ...]`` — batched scan
+      returning only the lines that matched, so discard-heavy batches
+      never surface per-line results to Python;
+    * ``match_span(message) -> (token | None, end)`` — longest-match
+      span, for differential testing against per-template matching.
     """
 
-    __slots__ = (
-        "compiled",
-        "_match",
-        "_token_of_tag",
-        "_first_ok",
-        "_heads_by_first",
-        "_memo",
-        "_memo_len",
-        "_memo_capacity",
-    )
+    __slots__ = ("compiled", "tokenize", "scan_hits", "match_span", "memo",
+                 "_counts")
 
-    def __init__(
-        self,
-        compiled: CompiledLexSpec,
-        *,
-        memo_capacity: int = 4096,
-        prefilter_heads: Optional[Iterable[str]] = None,
-    ):
+    _counting = False
+
+    def __init__(self, compiled: CompiledLexSpec, *, memo_capacity: int = 4096):
         self.compiled = compiled
-        self._match = compiled.matcher
-        self._token_of_tag = tuple(int(rule.name) for rule in compiled.spec.rules)
-        self._first_ok = compiled.dfa.start_viable_ascii
-        self._heads_by_first = (
-            heads_by_first_char(prefilter_heads)
-            if prefilter_heads is not None
-            else None
+        rule_tokens = [int(rule.name) for rule in compiled.spec.rules]
+        kernels = compile_scan_kernels(
+            compiled.dfa,
+            rule_tokens,
+            memo_capacity=memo_capacity,
+            counting=self._counting,
         )
-        # Memo key: the determining prefix when the DFA is acyclic, the
-        # whole message otherwise (always sound — tokenize is pure).
-        self._memo_len = compiled.dfa.max_match_length
-        self._memo: Optional[Dict[str, Optional[int]]] = (
-            {} if memo_capacity > 0 else None
-        )
-        self._memo_capacity = memo_capacity
-
-    def tokenize(self, message: str) -> Optional[int]:
-        if not message:
-            return None
-        first = message[0]
-        cp = ord(first)
-        if cp < 128 and not self._first_ok[cp]:
-            return None
-        memo = self._memo
-        if memo is None:
-            return self._scan(message)
-        memo_len = self._memo_len
-        key = message if memo_len is None else message[:memo_len]
-        token = memo.get(key, _MEMO_MISS)
-        if token is not _MEMO_MISS:
-            return token
-        token = self._scan(message)
-        if len(memo) >= self._memo_capacity:
-            memo.clear()
-        memo[key] = token
-        return token
-
-    def _scan(self, message: str) -> Optional[int]:
-        """Prefilter + DFA walk (the uncached tokenize tail)."""
-        heads_by_first = self._heads_by_first
-        if heads_by_first is not None:
-            heads = heads_by_first.get(message[0])
-            if heads is None or not message.startswith(heads):
-                return None
-        tag, _ = self._match(message, 0)
-        return self._token_of_tag[tag] if tag is not None else None
+        self.tokenize = kernels.tokenize
+        self.scan_hits = kernels.scan_hits
+        self.match_span = kernels.match_span
+        self.memo = kernels.memo
+        self._counts = kernels.counts
 
 
 class CountingTemplateScanner(TemplateScanner):
     """A :class:`TemplateScanner` whose rejection funnel is observable.
 
-    Counting must not tax the hot path, so the increments sit only on
-    the *rare* branches — every line that survives the first-char table
-    (``n_pass_first``), prefilter rejections, and full DFA scans.  The
-    two overwhelmingly common outcomes cost **zero** extra bookkeeping:
+    Counting must not tax the hot path, so the kernels increment only on
+    the *rare* branches — lines that survive the first-char table
+    (``n_pass_first``), full DFA walks (``n_scans``) and matches
+    (``n_matched``).  The two overwhelmingly common outcomes cost
+    **zero** extra bookkeeping:
 
     * first-char rejection (most lines, Fig. 12) runs the exact same
-      instructions as the base class — its count is *derived* as
+      instructions as the plain kernel — its count is *derived* as
       ``lines_seen - n_pass_first`` (empty messages included: an empty
       message has no viable first character by definition);
     * memo hits (the common survivor outcome on repetitive streams) are
-      derived as ``n_pass_first - prefilter_rejected - dfa_runs``, since
-      every memo miss lands in exactly one of those two ``_scan``
-      branches.
+      derived as ``n_pass_first - n_scans``, since every memo miss runs
+      exactly one DFA walk.
 
-    ``funnel(lines_seen)`` resolves the derived stages; the four stage
+    ``funnel(lines_seen)`` resolves the derived stages; the three stage
     counts sum to ``lines_seen`` by construction, which the equivalence
     suite asserts against independently recomputed per-line outcomes.
     """
 
-    __slots__ = ("n_pass_first", "n_prefilter_rejected", "n_scans", "n_matched")
+    __slots__ = ()
 
-    def __init__(self, *args, **kwargs):
-        super().__init__(*args, **kwargs)
-        self.n_pass_first = 0
-        self.n_prefilter_rejected = 0
-        self.n_scans = 0
-        self.n_matched = 0
+    _counting = True
 
-    def tokenize(self, message: str) -> Optional[int]:
-        if not message:
-            return None
-        first = message[0]
-        cp = ord(first)
-        if cp < 128 and not self._first_ok[cp]:
-            return None
-        self.n_pass_first += 1
-        memo = self._memo
-        if memo is None:
-            return self._scan(message)
-        memo_len = self._memo_len
-        key = message if memo_len is None else message[:memo_len]
-        token = memo.get(key, _MEMO_MISS)
-        if token is not _MEMO_MISS:
-            return token
-        token = self._scan(message)
-        if len(memo) >= self._memo_capacity:
-            memo.clear()
-        memo[key] = token
-        return token
+    @property
+    def n_pass_first(self) -> int:
+        return self._counts[0]
 
-    def _scan(self, message: str) -> Optional[int]:
-        heads_by_first = self._heads_by_first
-        if heads_by_first is not None:
-            heads = heads_by_first.get(message[0])
-            if heads is None or not message.startswith(heads):
-                self.n_prefilter_rejected += 1
-                return None
-        self.n_scans += 1
-        tag, _ = self._match(message, 0)
-        if tag is None:
-            return None
-        self.n_matched += 1
-        return self._token_of_tag[tag]
+    @property
+    def n_scans(self) -> int:
+        return self._counts[1]
+
+    @property
+    def n_matched(self) -> int:
+        return self._counts[2]
 
     def funnel(self, lines_seen: int) -> Dict[str, int]:
         """Resolve the funnel given the total tokenize-call count
         (tracked for free by the predictors' ``lines_seen`` stats)."""
-        memo_hits = self.n_pass_first - self.n_prefilter_rejected - self.n_scans
+        n_pass, n_scans, n_matched = self._counts
         return {
-            "first_char_rejected": lines_seen - self.n_pass_first,
-            "prefilter_rejected": self.n_prefilter_rejected,
-            "memo_hits": memo_hits,
-            "dfa_runs": self.n_scans,
-            "dfa_matches": self.n_matched,
+            "first_char_rejected": lines_seen - n_pass,
+            "memo_hits": n_pass - n_scans,
+            "dfa_runs": n_scans,
+            "dfa_matches": n_matched,
         }
 
 
@@ -377,3 +291,17 @@ class NaiveTemplateScanner:
             if rx.match_prefix(message) is not None:
                 return token
         return None
+
+    def match_span(self, message: str) -> Tuple[Optional[int], int]:
+        """Longest match over all templates, lowest token on ties —
+        the reference semantics the merged DFA must reproduce."""
+        best_token: Optional[int] = None
+        best_end = 0
+        for token, rx in self._patterns:
+            span = rx.match_prefix(message)
+            if span is None:
+                continue
+            end = span[1]
+            if best_token is None or end > best_end:
+                best_token, best_end = token, end
+        return best_token, best_end
