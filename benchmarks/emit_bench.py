@@ -49,6 +49,10 @@ PRE_PR_REFERENCE = {
 # recorded the floors; a smoke run must still clear floor × slack.
 SMOKE_SLACK = 0.3
 
+# The tolerant decoder (ISSUE 5) must stay within 3% of a bare strict
+# LogEvent.from_line loop on a clean stream.
+DECODER_FLOOR = 0.97
+
 
 def discard_heavy_stream(gen, n_events: int = 20_000):
     """The throughput bench's realistic mixed window: >99% of lines are
@@ -97,6 +101,45 @@ def measure_hotpath(gen, n_events: int = 20_000, rounds: int = 5) -> dict:
         "per_event_events_per_s": round(old_best),
         "batched_events_per_s": round(new_best),
         "batched_vs_per_event": round(new_best / old_best, 2),
+    }
+
+
+def measure_decoder(gen, n_events: int = 20_000, rounds: int = 9) -> dict:
+    """Tolerant-decode tax on a clean stream: best-of-``rounds`` lines/s
+    for a bare strict ``LogEvent.from_line`` loop (the pre-hardening
+    decoder) vs :func:`repro.logsim.stream.decode_lines` under the
+    default policy.  Interleaved rounds, same lines, so both sample the
+    same machine conditions.  The contract (gated in ``--smoke``): the
+    tolerant path costs < 3% on clean input.
+    """
+    from repro.core.events import LogEvent
+    from repro.logsim.stream import decode_lines
+
+    lines = [e.to_line() for e in discard_heavy_stream(gen, n_events)]
+
+    def strict_decode():
+        from_line = LogEvent.from_line
+        for line in lines:
+            line = line.rstrip("\n")
+            if line:
+                yield from_line(line)
+
+    strict_best = 0.0
+    tolerant_best = 0.0
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        n = len(list(strict_decode()))
+        strict_best = max(strict_best, n / (time.perf_counter() - t0))
+
+        t0 = time.perf_counter()
+        n = len(list(decode_lines(lines, on_error="warn")))
+        tolerant_best = max(tolerant_best, n / (time.perf_counter() - t0))
+
+    return {
+        "lines": n_events,
+        "strict_lines_per_s": round(strict_best),
+        "tolerant_lines_per_s": round(tolerant_best),
+        "tolerant_vs_strict": round(tolerant_best / strict_best, 4),
     }
 
 
@@ -185,6 +228,18 @@ def run_smoke(slack: float = SMOKE_SLACK) -> int:
               f"(floor {floor:,} × {slack} = {need:,.0f}) {verdict}")
         if rate < need:
             failures.append(name)
+    # Tolerant-decoder tax: unlike the throughput floors, this is a
+    # *ratio* of two interleaved measurements on the same machine, so
+    # runner speed cancels out and the gate stays tight.
+    gen = ClusterLogGenerator(system_by_name("HPC3"))
+    decoder = measure_decoder(gen)
+    ratio = decoder["tolerant_vs_strict"]
+    verdict = "ok" if ratio >= DECODER_FLOOR else "REGRESSION"
+    print(f"decoder: tolerant {decoder['tolerant_lines_per_s']:,} vs "
+          f"strict {decoder['strict_lines_per_s']:,} lines/s "
+          f"(ratio {ratio} >= {DECODER_FLOOR}) {verdict}")
+    if ratio < DECODER_FLOOR:
+        failures.append("decoder")
     if failures:
         print(f"bench-regression smoke FAILED for: {', '.join(failures)}")
         return 1
@@ -211,6 +266,7 @@ def main(argv=None) -> int:
         gen = ClusterLogGenerator(system_by_name(name))
         results[name] = measure_hotpath(gen)
         results[name]["startup"] = measure_startup(gen)
+        results[name]["decoder"] = measure_decoder(gen)
         print(name, results[name])
     payload = write_bench_json(results)
     print(f"wrote {BENCH_PATH} ({len(payload['systems'])} systems)")

@@ -28,8 +28,13 @@ from typing import List, Optional, Sequence
 from .core import PredictorFleet, build_rules, pair_predictions
 from .logsim import (
     ClusterLogGenerator,
+    CorruptionSpec,
+    ERROR_POLICIES,
+    IngestStats,
+    corrupt_window,
     read_log,
     read_truth,
+    sorted_stream,
     system_by_name,
     write_log,
     write_truth,
@@ -52,6 +57,45 @@ def _add_system_arg(parser: argparse.ArgumentParser) -> None:
         help="which Table II system to simulate",
     )
     parser.add_argument("--seed", type=int, default=7)
+
+
+def _add_ingest_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--on-error", default="warn", choices=list(ERROR_POLICIES),
+        help="malformed-line policy: strict raises, warn logs and "
+             "quarantines, quarantine counts silently (default: warn)",
+    )
+    parser.add_argument(
+        "--reorder-horizon", type=float, default=0.0, metavar="SECONDS",
+        help="buffer the stream and re-sort events arriving up to this "
+             "many seconds out of order (default: 0, off)",
+    )
+
+
+def _read_events(args: argparse.Namespace, stats: IngestStats) -> list:
+    """Read ``args.log`` under the ingest flags, funnel into ``stats``."""
+    events = read_log(args.log, on_error=args.on_error, stats=stats)
+    if args.reorder_horizon > 0:
+        events = sorted_stream(events, args.reorder_horizon, stats)
+    return list(events)
+
+
+def _ingest_summary(stats: IngestStats) -> Optional[str]:
+    if not stats.lines_read:
+        return None
+    parts = [f"ingest: {stats.decoded}/{stats.lines_read} lines decoded"]
+    if stats.quarantined:
+        reasons = ", ".join(
+            f"{n} {reason}" for reason, n
+            in sorted(stats.quarantined_by_reason.items()))
+        parts.append(f"{stats.quarantined} quarantined ({reasons})")
+    if stats.reordered:
+        parts.append(f"{stats.reordered} reordered")
+    if stats.late:
+        parts.append(f"{stats.late} late (past the horizon)")
+    if stats.out_of_order:
+        parts.append(f"{stats.out_of_order} out of order")
+    return "; ".join(parts)
 
 
 def _add_obs_args(parser: argparse.ArgumentParser) -> None:
@@ -110,7 +154,19 @@ def cmd_generate(args: argparse.Namespace) -> int:
     window = gen.generate_window(
         duration=args.duration, n_nodes=args.nodes, n_failures=args.failures,
     )
-    count = write_log(window.events, args.out)
+    if args.corrupt > 0:
+        spec = CorruptionSpec.all_kinds(args.corrupt)
+        lines, report = corrupt_window(
+            window.events, spec, seed=args.seed)
+        with open(args.out, "w", encoding="utf-8", newline="") as fh:
+            fh.writelines(line + "\n" for line in lines)
+        count = len(lines)
+        faults = ", ".join(
+            f"{v} {k}" for k, v in report.as_dict().items()
+            if v and not k.startswith("events_"))
+        print(f"corrupted at p={args.corrupt:g}: {faults}")
+    else:
+        count = write_log(window.events, args.out)
     print(f"wrote {count} events for {len(window.nodes)} nodes to {args.out}")
     print(f"injected {len(window.failures)} failures "
           f"({sum(1 for i in window.injections if i.kind == 'novel')} novel)")
@@ -164,11 +220,14 @@ def cmd_predict(args: argparse.Namespace) -> int:
         gen.chains, gen.store, timeout=gen.recommended_timeout,
         backend=args.backend, obs=obs,
     )
+    ingest = IngestStats()
+    events = _read_events(args, ingest)
     if getattr(args, "watch", False):
-        report = _run_watched(
-            fleet, list(read_log(args.log)), obs, args.slices)
+        report = _run_watched(fleet, events, obs, args.slices)
     else:
-        report = fleet.run(read_log(args.log))
+        report = fleet.run(events)
+    if obs is not None and ingest.lines_read:
+        obs.record_ingest(ingest)
     _finish_obs(args, obs)
     if args.json:
         print(_json.dumps({
@@ -188,6 +247,7 @@ def cmd_predict(args: argparse.Namespace) -> int:
                 "fc_related_fraction": report.fc_related_fraction,
                 "nodes": report.nodes,
             },
+            "ingest": ingest.as_dict(),
         }, indent=2))
         return 0
     rows = [
@@ -200,6 +260,9 @@ def cmd_predict(args: argparse.Namespace) -> int:
         title=f"{len(rows)} predictions "
               f"({report.fc_related_fraction:.1%} of phrases FC-related)",
     ))
+    summary = _ingest_summary(ingest)
+    if summary is not None:
+        print(summary)
     return 0
 
 
@@ -418,7 +481,13 @@ def cmd_obs_serve(args: argparse.Namespace) -> int:
         gen.chains, gen.store, timeout=gen.recommended_timeout,
         backend=args.backend, obs=obs,
     )
-    events = list(read_log(args.log))
+    ingest = IngestStats()
+    events = _read_events(args, ingest)
+    if ingest.lines_read:
+        obs.record_ingest(ingest)
+        summary = _ingest_summary(ingest)
+        if summary is not None:
+            print(summary, flush=True)
     n_slices = max(1, args.slices)
     size = max(1, math.ceil(len(events) / n_slices)) if events else 1
     with ObsServer(obs, host=args.host, port=args.port) as server:
@@ -461,6 +530,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default="window.log")
     p.add_argument("--truth", default=None, metavar="TRUTH.jsonl",
                    help="also write injected-failure ground truth (JSONL)")
+    p.add_argument("--corrupt", type=float, default=0.0, metavar="P",
+                   help="inject every corruption kind (truncation, "
+                        "garbling, duplication, reordering, skew, drops) "
+                        "at probability P (default: 0, pristine output)")
     p.set_defaults(func=cmd_generate)
 
     p = sub.add_parser("rules", help="print Algorithm 1's rule derivation")
@@ -482,6 +555,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--truth", default=None, metavar="TRUTH.jsonl",
                    help="ground-truth failures (enables the online "
                         "quality scoreboard)")
+    _add_ingest_args(p)
     _add_obs_args(p)
     p.set_defaults(func=cmd_predict)
 
@@ -535,6 +609,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="sleep this many seconds between batches")
     p.add_argument("--hold", action="store_true",
                    help="keep serving after the stream ends (Ctrl-C exits)")
+    _add_ingest_args(p)
     p.set_defaults(func=cmd_obs_serve)
 
     p = sub.add_parser("fieldstudy", help="longitudinal failure statistics")

@@ -15,6 +15,44 @@ from datetime import datetime, timezone
 from typing import Optional
 
 
+class LogDecodeError(ValueError):
+    """A syslog line that cannot be decoded into a :class:`LogEvent`.
+
+    ``reason`` is a short stable tag (``"truncated"`` — fewer than three
+    space-separated fields — or ``"bad_timestamp"``) so quarantine
+    accounting can bucket failures without string-matching messages.
+    """
+
+    def __init__(self, reason: str, line: str):
+        preview = line if len(line) <= 80 else line[:77] + "..."
+        super().__init__(f"{reason}: {preview!r}")
+        self.reason = reason
+        self.line = line
+
+
+def escape_message(text: str) -> str:
+    """Make a message single-line safe: ``\\`` → ``\\\\``, newline →
+    ``\\n``, carriage return → ``\\r``.  Exact inverse of
+    :func:`unescape_message`."""
+    return (
+        text.replace("\\", "\\\\").replace("\n", "\\n").replace("\r", "\\r")
+    )
+
+
+def unescape_message(text: str) -> str:
+    """Inverse of :func:`escape_message`.
+
+    Splitting on the escaped backslash first means ``\\n`` sequences
+    inside each fragment are unambiguous real-newline escapes (a literal
+    backslash followed by ``n`` serializes as ``\\\\n``, which the split
+    consumes before the replace runs).
+    """
+    return "\\".join(
+        part.replace("\\n", "\n").replace("\\r", "\r")
+        for part in text.split("\\\\")
+    )
+
+
 class Severity(enum.Enum):
     """Phrase labels used during Phase-1 segregation (Table III).
 
@@ -37,14 +75,35 @@ class LogEvent:
     message: str
 
     def to_line(self) -> str:
-        """Serialize as a syslog-like line (ISO timestamp, node, message)."""
+        """Serialize as a syslog-like line (ISO timestamp, node, message).
+
+        Messages containing newlines or backslashes are escaped so one
+        event is always exactly one line (see :func:`escape_message`);
+        :meth:`from_line` reverses the escaping, making the round trip
+        exact for adversarial messages too.
+        """
         stamp = datetime.fromtimestamp(self.time, tz=timezone.utc)
-        return f"{stamp.isoformat(timespec='microseconds')} {self.node} {self.message}"
+        message = self.message
+        if "\\" in message or "\n" in message or "\r" in message:
+            message = escape_message(message)
+        return f"{stamp.isoformat(timespec='microseconds')} {self.node} {message}"
 
     @classmethod
     def from_line(cls, line: str) -> "LogEvent":
-        stamp, node, message = line.rstrip("\n").split(" ", 2)
-        t = datetime.fromisoformat(stamp).timestamp()
+        """Parse one serialized line; raises :class:`LogDecodeError` (a
+        ``ValueError``) on truncated fields or an unparseable timestamp.
+        Tolerant iteration lives in :func:`repro.logsim.stream.read_log`,
+        which maps these errors to its error policy."""
+        parts = line.rstrip("\n").split(" ", 2)
+        if len(parts) != 3:
+            raise LogDecodeError("truncated", line)
+        stamp, node, message = parts
+        try:
+            t = datetime.fromisoformat(stamp).timestamp()
+        except (ValueError, OverflowError, OSError) as exc:
+            raise LogDecodeError("bad_timestamp", line) from exc
+        if "\\" in message:
+            message = unescape_message(message)
         return cls(time=t, node=node, message=message)
 
 

@@ -44,6 +44,9 @@ class FleetReport:
     predictions: List[Prediction] = field(default_factory=list)
     stats: PredictorStats = field(default_factory=PredictorStats)
     nodes: int = 0
+    # Decode-funnel counters when the run came through :meth:`run_lines`
+    # (None for pre-decoded event streams).
+    ingest: Optional[object] = None
 
     @property
     def lines_seen(self) -> int:
@@ -159,6 +162,45 @@ class PredictorFleet:
         if timing != "full" and scan_hits is not None:
             return self._run_flat(events, timing, scan_hits)
         return self._run_grouped(events, timing)
+
+    def run_lines(
+        self,
+        source,
+        *,
+        on_error: str = "warn",
+        reorder_horizon: float = 0.0,
+        timing: Timing = "full",
+    ) -> FleetReport:
+        """Replay serialized log lines through the fleet, tolerantly.
+
+        ``source`` is a path / text handle (routed through
+        :func:`~repro.logsim.stream.read_log`) or an iterable of lines
+        (:func:`~repro.logsim.stream.decode_lines`).  ``on_error``
+        selects the decode policy — the default keeps the replay alive
+        across malformed lines, quarantining them into the report's
+        :attr:`~FleetReport.ingest` counters.  A positive
+        ``reorder_horizon`` routes the decoded events through a
+        :class:`~repro.logsim.stream.SortBuffer` so near-sorted input
+        (clock skew, interleaved controllers) reaches the engines in
+        time order.  When the fleet carries an Observability, the
+        ingest funnel is folded in alongside the run's other series.
+        """
+        from pathlib import Path
+
+        from ..logsim.stream import IngestStats, decode_lines, read_log, sorted_stream
+
+        stats = IngestStats()
+        if isinstance(source, (str, Path)) or hasattr(source, "read"):
+            events = read_log(source, on_error=on_error, stats=stats)
+        else:
+            events = decode_lines(source, on_error=on_error, stats=stats)
+        if reorder_horizon > 0:
+            events = sorted_stream(events, reorder_horizon, stats)
+        report = self.run(list(events), timing=timing)
+        report.ingest = stats
+        if self.obs is not None:
+            self.obs.record_ingest(stats)
+        return report
 
     def _run_flat(
         self, events: Iterable[LogEvent], timing: Timing, scan_hits: Callable

@@ -15,6 +15,18 @@ semantics follow Algorithm 2 exactly:
 * completing a rule flags a prediction and resets, continuing with the
   next phrase after the match.
 
+**Negative-ΔT policy** (ingest hardening): merged real-world streams
+carry clock skew, so a token can arrive with a timestamp *behind* the
+chain's last matched token.  Rewinding the chain clock would corrupt
+ΔT state (a later in-order token could be seen as a huge gap → bogus
+timeout) and inflate lead times (``flagged_at`` earlier than the events
+that produced it).  All engines apply the same explicit policy: the
+backwards time is **clamped** to the last-match time (ΔT = 0, clock
+never rewinds), and ``stats.negative_dt`` counts the occurrence — never
+a silent state corruption.  The lalr backend in
+:mod:`repro.core.predictor` implements the identical clamp; the
+differential suite cross-validates them.
+
 :class:`OracleTracker` runs every rule concurrently (what a hypothetical
 multi-parser would do); the Table V experiment compares it to
 :class:`ChainMatcher` to count interleavings and check that the
@@ -46,6 +58,7 @@ class MatcherStats:
     resets_timeout: int = 0
     matches: int = 0
     activations: int = 0
+    negative_dt: int = 0  # backwards timestamps clamped to the chain clock
 
 
 @dataclass(frozen=True, slots=True)
@@ -149,6 +162,12 @@ class ChainMatcher:
             self._try_activate(token, time)
             return None
 
+        if time < self._last_time:
+            # Skewed/backwards arrival: clamp to the chain clock (ΔT=0)
+            # instead of rewinding it — see the module docstring.
+            self.stats.negative_dt += 1
+            time = self._last_time
+
         if time - self._last_time > self.timeout:
             # Inordinate delay: this is not the same failure pattern.
             self.stats.resets_timeout += 1
@@ -244,6 +263,10 @@ class OracleTracker:
     def __init__(self, chains: ChainSet, timeout: Optional[float] = None):
         self.chains = chains
         self.timeout = chains.suggest_timeout() if timeout is None else timeout
+        # Only ``negative_dt`` is maintained here (clamps are counted
+        # per cursor); the full transition counters live on the
+        # single-rule matcher.
+        self.stats = MatcherStats()
         self._sequences = [c.tokens for c in chains]
         self._chain_ids = [c.chain_id for c in chains]
         self._cursors: Dict[int, _Cursor] = {}
@@ -253,19 +276,26 @@ class OracleTracker:
         timeout = self.timeout
         dead: List[int] = []
         for idx, cursor in self._cursors.items():
-            if time - cursor.last_time > timeout:
+            # Same negative-ΔT policy as ChainMatcher, applied per
+            # cursor: a backwards arrival clamps to *this* rule's last
+            # matched time, never rewinding its clock.
+            t = time
+            if t < cursor.last_time:
+                self.stats.negative_dt += 1
+                t = cursor.last_time
+            if t - cursor.last_time > timeout:
                 dead.append(idx)
                 continue
             seq = self._sequences[idx]
             if token == seq[cursor.pos]:
                 cursor.pos += 1
-                cursor.last_time = time
+                cursor.last_time = t
                 if cursor.pos == len(seq):
                     matches.append(
                         Match(
                             chain_id=self._chain_ids[idx],
                             start_time=cursor.start_time,
-                            end_time=time,
+                            end_time=t,
                             tokens=seq,
                         )
                     )

@@ -47,6 +47,7 @@ from ..obs import (
 from .predictor import PredictorStats
 
 if TYPE_CHECKING:  # import cycle: persistence → templates.store → core
+    from ..logsim.stream import IngestStats
     from ..persistence import PredictorBundle
 
 # Per-process globals, populated by the initializer.
@@ -54,6 +55,7 @@ _WORKER_FLEET = None
 _WORKER_TIMING = "off"
 _WORKER_OBS: Optional[Observability] = None
 _WORKER_LAST_SNAP: Optional[dict] = None
+_WORKER_ON_ERROR = "quarantine"
 
 
 def shard_of(node: str, n_shards: int) -> int:
@@ -80,8 +82,10 @@ def _init_worker(
     timeout: Optional[float],
     timing: str,
     shard: Optional[int] = None,
+    on_error: str = "quarantine",
 ) -> None:
     global _WORKER_FLEET, _WORKER_TIMING, _WORKER_OBS, _WORKER_LAST_SNAP
+    global _WORKER_ON_ERROR
     from ..persistence import PredictorBundle, scanner_from_artifact
     from ..templates.store import CountingTemplateScanner, TemplateScanner
 
@@ -104,12 +108,20 @@ def _init_worker(
     _WORKER_FLEET = bundle.make_fleet(**kwargs)
     _WORKER_TIMING = timing
     _WORKER_LAST_SNAP = None
+    _WORKER_ON_ERROR = on_error
 
 
-def _run_chunk(lines: List[str]) -> Tuple[List[tuple], PredictorStats, Optional[dict]]:
+def _run_chunk(lines: List[str]) -> Tuple[List[tuple], PredictorStats, Optional[dict], "IngestStats"]:
     global _WORKER_LAST_SNAP
     assert _WORKER_FLEET is not None, "worker not initialized"
-    events = [LogEvent.from_line(line) for line in lines]
+    from ..logsim.stream import IngestStats, decode_lines
+
+    # Tolerant decode: a single malformed line in a chunk must not take
+    # the whole worker (and with it the shard's predictor state) down.
+    # The per-chunk funnel ships back with the result and merges into
+    # the parent's cumulative ingest counters.
+    ingest = IngestStats()
+    events = list(decode_lines(lines, on_error=_WORKER_ON_ERROR, stats=ingest))
     report = _WORKER_FLEET.run(events, timing=_WORKER_TIMING)
     predictions = [
         (p.node, p.chain_id, p.flagged_at, p.prediction_time,
@@ -123,7 +135,7 @@ def _run_chunk(lines: List[str]) -> Tuple[List[tuple], PredictorStats, Optional[
         # parent-side merge never double-counts earlier chunks.
         obs_delta = diff_snapshots(snap, _WORKER_LAST_SNAP)
         _WORKER_LAST_SNAP = snap
-    return predictions, report.stats, obs_delta
+    return predictions, report.stats, obs_delta, ingest
 
 
 class ParallelFleet:
@@ -142,18 +154,27 @@ class ParallelFleet:
         chunk_lines: int = 4096,
         timing: str = "off",
         obs: Optional[Observability] = None,
+        on_error: str = "quarantine",
     ):
+        from ..logsim.stream import ERROR_POLICIES, IngestStats
+
         if n_workers < 1:
             raise ValueError("need at least one worker")
         if chunk_lines < 1:
             raise ValueError("need at least one line per chunk")
+        if on_error not in ERROR_POLICIES:
+            raise ValueError(
+                f"on_error must be one of {ERROR_POLICIES}, got {on_error!r}")
         self.n_workers = n_workers
         self.chunk_lines = chunk_lines
         self.obs = obs
         self.timing = timing
+        self.on_error = on_error
         # Fleet-wide cumulative stats, merged back from worker diffs via
         # the PredictorStats.snapshot()/diff()/add() API.
         self.stats = PredictorStats()
+        # Fleet-wide decode funnel, merged back from per-chunk deltas.
+        self.ingest = IngestStats()
         ctx = mp.get_context("spawn")
         bundle_dict = bundle.to_dict()
         # Compile (or cache-load) the merged scanner once in the parent
@@ -178,7 +199,7 @@ class ParallelFleet:
                 processes=1,
                 initializer=_init_worker,
                 initargs=(bundle_dict, tables, timeout, timing,
-                          shard if obs is not None else None),
+                          shard if obs is not None else None, on_error),
             )
             for shard in range(n_workers)
         ]
@@ -217,15 +238,19 @@ class ParallelFleet:
             ).observe_many(chunk_sizes)
         predictions: List[Prediction] = []
         for result in pending:
-            chunk_predictions, chunk_stats, obs_delta = result.get()
+            chunk_predictions, chunk_stats, obs_delta, chunk_ingest = result.get()
             predictions.extend(
                 Prediction(node=n, chain_id=c, flagged_at=f,
                            prediction_time=p, matched_tokens=tuple(m))
                 for (n, c, f, p, m) in chunk_predictions
             )
             self.stats.add(chunk_stats)
-            if obs is not None and obs_delta:
-                obs.registry.merge(obs_delta)
+            self.ingest.add(chunk_ingest)
+            if obs is not None:
+                if obs_delta:
+                    obs.registry.merge(obs_delta)
+                if chunk_ingest.lines_read:
+                    obs.record_ingest(chunk_ingest)
         if obs is not None:
             obs.registry.gauge(PARALLEL_QUEUE_DEPTH).set(0)
         predictions.sort(key=lambda p: p.flagged_at)

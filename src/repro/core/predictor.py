@@ -437,6 +437,11 @@ class _LalrEngine(_Engine):
         tracer = self._tracer
         stats.fed += 1
         active = parser.depth > 0
+        if active and time < self._last_time:
+            # Negative-ΔT clamp, identical to ChainMatcher's policy:
+            # never rewind the chain clock, count the occurrence.
+            stats.negative_dt += 1
+            time = self._last_time
         if active and time - self._last_time > self.timeout:
             stats.resets_timeout += 1
             if tracer is not None and self._trace_chain:

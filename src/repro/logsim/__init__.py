@@ -9,14 +9,27 @@
 """
 
 from .catalogs import Catalog, CatalogEntry, catalog_for
+from .corruptions import (
+    CorruptionReport,
+    CorruptionSpec,
+    corrupt_events,
+    corrupt_lines,
+    corrupt_window,
+)
 from .faults import ChainDef, DeltaTModel, LeadGapModel, chain_defs_for
 from .generator import ClusterLogGenerator, InjectedChain, LogWindow
 from .placement import ClusterProfile, PlacementResult, compare_placements, evaluate_placement
 from .stream import (
+    ERROR_POLICIES,
+    IngestStats,
+    SortBuffer,
+    StreamOrderError,
     clip_window,
+    decode_lines,
     merge_streams,
     read_log,
     read_truth,
+    sorted_stream,
     split_by_node,
     write_log,
     write_truth,
@@ -32,25 +45,36 @@ __all__ = [
     "ClusterLogGenerator",
     "ClusterProfile",
     "ClusterTopology",
+    "CorruptionReport",
+    "CorruptionSpec",
     "DeltaTModel",
+    "ERROR_POLICIES",
     "HPC1",
     "HPC2",
     "HPC3",
     "HPC4",
+    "IngestStats",
     "InjectedChain",
     "LeadGapModel",
     "LogWindow",
     "PlacementResult",
     "NodeName",
+    "SortBuffer",
+    "StreamOrderError",
     "SystemConfig",
     "catalog_for",
     "chain_defs_for",
     "clip_window",
     "compare_placements",
+    "corrupt_events",
+    "corrupt_lines",
+    "corrupt_window",
+    "decode_lines",
     "evaluate_placement",
     "merge_streams",
     "read_log",
     "read_truth",
+    "sorted_stream",
     "split_by_node",
     "system_by_name",
     "write_log",

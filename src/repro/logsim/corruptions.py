@@ -1,0 +1,246 @@
+"""Corruption injection: turn a pristine logsim stream into hostile input.
+
+``logsim`` emits byte-perfect, strictly time-ordered streams — nothing
+like production Cray syslog, where records arrive truncated (crashing
+writers), garbled (transport damage / mojibake), duplicated
+(retransmission), displaced (interleaved controller buffers), skewed
+(per-controller clocks), and with whole bursts missing (dropped UDP
+batches).  This module injects exactly those fault kinds with a seeded
+RNG, so every robustness claim about the ingest layer — tolerant
+decoding, the reorder buffer, the negative-ΔT clamp — is exercised
+end-to-end instead of asserted.
+
+Two stages, mirroring where real corruption happens:
+
+* **event-level** (:func:`corrupt_events`) — timing/stream faults
+  applied before serialization: per-node clock skew, burst drops,
+  duplication, bounded displacement;
+* **line-level** (:func:`corrupt_lines`) — byte faults applied to the
+  serialized text: truncation and garbling.
+
+:func:`corrupt_window` composes both and returns the corrupted lines
+plus a :class:`CorruptionReport`.  With an all-zero spec both stages
+are byte-identical passthroughs (asserted by the tests), so a clean run
+through the harness equals a clean run without it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.events import LogEvent
+
+#: Characters injected by the garbler: classic mojibake artifacts (the
+#: UTF-8 replacement char, Latin-1 misdecodes, stray NUL/control bytes
+#: as seen in truncated syslog buffers).
+GARBLE_CHARS = "�\x00\x01\x1b\xff\xfeÃ¯¿½"
+
+
+@dataclass(frozen=True)
+class CorruptionSpec:
+    """Per-fault-kind injection probabilities and bounds.
+
+    All probabilities are per event (or per line for the line-level
+    kinds); zero disables a kind.  The default spec is a no-op.
+    """
+
+    truncate_p: float = 0.0  # cut a serialized line short
+    garble_p: float = 0.0  # splice mojibake bytes into a line
+    duplicate_p: float = 0.0  # emit an event twice
+    reorder_p: float = 0.0  # displace an event in stream order
+    reorder_max_s: float = 5.0  # displacement bound (seconds)
+    skew_max_s: float = 0.0  # per-node clock offset in [-max, +max]
+    drop_p: float = 0.0  # probability a drop burst starts at an event
+    drop_burst: int = 4  # events lost per burst
+
+    def __post_init__(self):
+        for f in fields(self):
+            if f.name.endswith("_p"):
+                p = getattr(self, f.name)
+                if not 0.0 <= p <= 1.0:
+                    raise ValueError(f"{f.name} must be in [0, 1], got {p}")
+        if self.reorder_max_s < 0 or self.skew_max_s < 0:
+            raise ValueError("reorder_max_s / skew_max_s must be >= 0")
+        if self.drop_burst < 1:
+            raise ValueError("drop_burst must be >= 1")
+
+    @classmethod
+    def all_kinds(
+        cls,
+        p: float = 0.02,
+        *,
+        reorder_max_s: float = 5.0,
+        skew_max_s: float = 2.0,
+        drop_burst: int = 4,
+    ) -> "CorruptionSpec":
+        """Every fault kind enabled at probability ``p`` — the
+        end-to-end robustness workload."""
+        return cls(
+            truncate_p=p, garble_p=p, duplicate_p=p, reorder_p=p,
+            reorder_max_s=reorder_max_s,
+            skew_max_s=skew_max_s if p > 0 else 0.0,
+            drop_p=p, drop_burst=drop_burst,
+        )
+
+    @property
+    def enabled(self) -> bool:
+        return any(
+            getattr(self, f.name) > 0
+            for f in fields(self) if f.name.endswith("_p")
+        ) or self.skew_max_s > 0
+
+
+@dataclass
+class CorruptionReport:
+    """What the injector actually did (per kind)."""
+
+    events_in: int = 0
+    events_out: int = 0  # after drops/duplication, before serialization
+    dropped: int = 0
+    duplicated: int = 0
+    displaced: int = 0
+    skewed_nodes: int = 0
+    truncated: int = 0
+    garbled: int = 0
+
+    @property
+    def total_faults(self) -> int:
+        return (self.dropped + self.duplicated + self.displaced
+                + self.truncated + self.garbled)
+
+    def as_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+def corrupt_events(
+    events: Sequence[LogEvent],
+    spec: CorruptionSpec,
+    rng: np.random.Generator,
+    report: CorruptionReport,
+) -> List[LogEvent]:
+    """Apply the event-level fault kinds; returns the corrupted stream.
+
+    Order matters and mirrors reality: skew perturbs timestamps first
+    (a skewed clock stamps the record at the source), drops and
+    duplication happen in transit, and displacement reshuffles the
+    final arrival order without touching timestamps.
+    """
+    report.events_in += len(events)
+    out: List[LogEvent] = list(events)
+
+    # 1. Per-node clock skew: each node's controller clock is offset by
+    #    a constant drawn once per node.  Timestamps move; arrival
+    #    order does not — which is exactly how skew manifests at the
+    #    aggregation point (out-of-order *timestamps* in an in-order
+    #    feed).
+    if spec.skew_max_s > 0:
+        nodes = sorted({e.node for e in out})
+        offsets = {
+            node: float(rng.uniform(-spec.skew_max_s, spec.skew_max_s))
+            for node in nodes
+        }
+        report.skewed_nodes += len(nodes)
+        out = [
+            LogEvent(e.time + offsets[e.node], e.node, e.message)
+            for e in out
+        ]
+
+    # 2. Burst drops: a lost batch takes consecutive events with it.
+    if spec.drop_p > 0 and out:
+        keep: List[LogEvent] = []
+        remaining = 0
+        starts = rng.random(len(out)) < spec.drop_p
+        for i, event in enumerate(out):
+            if remaining > 0:
+                remaining -= 1
+                report.dropped += 1
+                continue
+            if starts[i]:
+                remaining = spec.drop_burst - 1
+                report.dropped += 1
+                continue
+            keep.append(event)
+        out = keep
+
+    # 3. Duplication: retransmitted records appear twice, back to back.
+    if spec.duplicate_p > 0 and out:
+        dup = rng.random(len(out)) < spec.duplicate_p
+        duplicated: List[LogEvent] = []
+        for i, event in enumerate(out):
+            duplicated.append(event)
+            if dup[i]:
+                duplicated.append(event)
+                report.duplicated += 1
+        out = duplicated
+
+    # 4. Bounded displacement: picked events slide up to reorder_max_s
+    #    away in *stream position* (sort by jittered key, timestamps
+    #    untouched), modeling interleaved controller buffers.  The
+    #    stable sort keeps unpicked events in their original relative
+    #    order, so a zero-jitter draw is a true no-op.
+    if spec.reorder_p > 0 and out:
+        picked = rng.random(len(out)) < spec.reorder_p
+        jitter = rng.uniform(-spec.reorder_max_s, spec.reorder_max_s, len(out))
+        keys = [
+            e.time + (float(jitter[i]) if picked[i] else 0.0)
+            for i, e in enumerate(out)
+        ]
+        order = sorted(range(len(out)), key=keys.__getitem__)
+        report.displaced += sum(1 for i, j in enumerate(order) if i != j)
+        out = [out[j] for j in order]
+
+    report.events_out += len(out)
+    return out
+
+
+def corrupt_lines(
+    lines: Iterable[str],
+    spec: CorruptionSpec,
+    rng: np.random.Generator,
+    report: CorruptionReport,
+) -> List[str]:
+    """Apply the line-level fault kinds (truncation, garbling)."""
+    out: List[str] = []
+    truncate_p = spec.truncate_p
+    garble_p = spec.garble_p
+    for line in lines:
+        if truncate_p > 0 and rng.random() < truncate_p and line:
+            # Cut anywhere, including inside the timestamp field.
+            line = line[: int(rng.integers(0, len(line)))]
+            report.truncated += 1
+        if garble_p > 0 and rng.random() < garble_p and line:
+            # Splice a short run of mojibake over a random slice.
+            start = int(rng.integers(0, len(line)))
+            width = int(rng.integers(1, 9))
+            junk = "".join(
+                GARBLE_CHARS[int(k)]
+                for k in rng.integers(0, len(GARBLE_CHARS), width)
+            )
+            line = line[:start] + junk + line[start + width:]
+            report.garbled += 1
+        out.append(line)
+    return out
+
+
+def corrupt_window(
+    events: Sequence[LogEvent],
+    spec: CorruptionSpec,
+    *,
+    seed: int = 0,
+) -> Tuple[List[str], CorruptionReport]:
+    """Serialize a stream with every configured fault kind injected.
+
+    Returns ``(lines, report)``.  Deterministic for a given
+    ``(events, spec, seed)``; with a disabled spec the lines are
+    byte-identical to ``[e.to_line() for e in events]`` and the report
+    counts zero faults.
+    """
+    rng = np.random.default_rng(seed)
+    report = CorruptionReport()
+    stream = corrupt_events(events, spec, rng, report)
+    lines = corrupt_lines(
+        (e.to_line() for e in stream), spec, rng, report)
+    return lines, report

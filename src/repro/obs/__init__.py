@@ -78,14 +78,25 @@ from .names import (  # noqa: F401  (canonical names, re-exported)
     FLEET_RUN_SECONDS,
     FLEET_RUNS,
     FUNNEL_STAGES,
+    INGEST_DECODED,
+    INGEST_FUNNEL_STAGES,
+    INGEST_LATE,
+    INGEST_LINES_READ,
+    INGEST_OUT_OF_ORDER,
+    INGEST_QUARANTINE_BURN,
+    INGEST_QUARANTINE_FRACTION,
+    INGEST_QUARANTINED,
+    INGEST_REORDERED,
     LINES_SEEN,
     LINES_TOKENIZED,
     LIVE_LATENCY_QUANTILE,
     LIVE_MESSAGE_RATE,
     LIVE_STREAM_LAG,
+    LOGSIM_CORRUPTIONS,
     LOGSIM_EVENTS,
     LOGSIM_FAULTS,
     LOGSIM_WINDOWS,
+    NEGATIVE_DELTA_T,
     PARALLEL_CHUNK_EVENTS,
     PARALLEL_QUEUE_DEPTH,
     PREDICTION_SECONDS,
@@ -142,6 +153,7 @@ class Observability:
         labels: Optional[dict] = None,
         live: Optional[LiveMonitor] = None,
         quality: Optional[QualityScoreboard] = None,
+        quarantine_slo: float = 0.01,
     ):
         self.registry = registry if registry is not None else Registry()
         self.tracer = tracer
@@ -151,6 +163,14 @@ class Observability:
         # {"shard": "3"} inside a ParallelFleet worker, so per-shard
         # series stay distinct after the parent-side merge.
         self.labels = dict(labels or {})
+        # Ingest hardening (ISSUE 5): cumulative decode-funnel totals
+        # and the allowed quarantine fraction (the /healthz burn gate).
+        if not 0.0 < quarantine_slo < 1.0:
+            raise ValueError("quarantine_slo must be in (0, 1)")
+        self.quarantine_slo = quarantine_slo
+        from ..logsim.stream import IngestStats
+
+        self.ingest = IngestStats()
 
     # -- fold-in paths (called per batch / run, never per event) -------
     def record_run_stats(self, run_stats) -> None:
@@ -204,10 +224,63 @@ class Observability:
             **labels,
         ).set_total(counts["dfa_matches"])
 
+    def record_ingest(self, delta) -> None:
+        """Fold one ingest pass's :class:`~repro.logsim.stream.IngestStats`
+        delta into the cumulative decode-funnel counters.
+
+        Call once per read/replay (CLI, ``run_lines``) or per worker
+        chunk (:class:`~repro.core.parallel.ParallelFleet`) — the deltas
+        accumulate into :attr:`ingest`, whose totals back both the
+        registry counters and the ``/healthz`` quarantine-burn gate.
+        """
+        ingest = self.ingest
+        ingest.add(delta)
+        registry = self.registry
+        labels = self.labels
+        registry.counter(
+            INGEST_LINES_READ, "log lines offered to the decoder",
+            **labels).set_total(ingest.lines_read)
+        registry.counter(
+            INGEST_DECODED, "lines decoded into events",
+            **labels).set_total(ingest.decoded)
+        registry.counter(
+            INGEST_QUARANTINED, "undecodable lines quarantined",
+            **labels).set_total(ingest.quarantined)
+        registry.counter(
+            INGEST_OUT_OF_ORDER, "disordered events seen by merge guards",
+            **labels).set_total(ingest.out_of_order)
+        registry.counter(
+            INGEST_REORDERED, "arrival inversions repaired by sort buffers",
+            **labels).set_total(ingest.reordered)
+        registry.counter(
+            INGEST_LATE, "events beyond the reorder horizon",
+            **labels).set_total(ingest.late)
+        registry.gauge(
+            INGEST_QUARANTINE_FRACTION,
+            "quarantined lines / lines read",
+            **labels).set(ingest.quarantine_fraction)
+        registry.gauge(
+            INGEST_QUARANTINE_BURN,
+            "quarantine fraction vs the allowed SLO fraction",
+            **labels).set(ingest.quarantine_fraction / self.quarantine_slo)
+
+    def record_corruptions(self, report) -> None:
+        """Count an injected-corruption report (per fault kind) from a
+        :func:`~repro.logsim.corruptions.corrupt_window` run."""
+        registry = self.registry
+        for kind, count in report.as_dict().items():
+            if kind.startswith("events_") or not count:
+                continue
+            registry.counter(
+                LOGSIM_CORRUPTIONS, "injected corruptions by kind",
+                kind=kind,
+            ).inc(count)
+
     def record_engine_stats(self, stats_iter: Iterable) -> None:
         """Mirror cumulative matcher transition stats (summed over the
         fleet's engines) into the registry."""
         fed = advanced = skipped = timeouts = matches = activations = 0
+        negative_dt = 0
         for stats in stats_iter:
             fed += stats.fed
             advanced += stats.advanced
@@ -215,6 +288,7 @@ class Observability:
             timeouts += stats.resets_timeout
             matches += stats.matches
             activations += stats.activations
+            negative_dt += stats.negative_dt
         registry = self.registry
         labels = self.labels
         registry.counter(
@@ -232,6 +306,9 @@ class Observability:
         registry.counter(
             CHAIN_MATCHES, "complete rule matches",
             **labels).set_total(matches)
+        registry.counter(
+            NEGATIVE_DELTA_T, "backwards timestamps clamped (ΔT floor 0)",
+            **labels).set_total(negative_dt)
 
     def record_fleet_run(
         self,
@@ -341,6 +418,26 @@ class Observability:
             drift = self.quality.drift.as_dict()
             payload["drift"] = drift
             if drift["tripped"]:
+                payload["status"] = "failing"
+        ingest = self.ingest
+        if ingest.lines_read:
+            # Quarantine-rate burn: the fraction of undecodable input
+            # vs the allowed SLO fraction.  >1 means the stream is
+            # dirtier than the deployment budgeted for — predictions
+            # are running on a partial view, so the probe goes red.
+            fraction = ingest.quarantine_fraction
+            burn = fraction / self.quarantine_slo
+            payload["ingest"] = {
+                "lines_read": ingest.lines_read,
+                "quarantined": ingest.quarantined,
+                "quarantine_fraction": fraction,
+                "slo_fraction": self.quarantine_slo,
+                "burn_rate": burn,
+                "out_of_order": ingest.out_of_order,
+                "late": ingest.late,
+                "ok": burn <= 1.0,
+            }
+            if burn > 1.0:
                 payload["status"] = "failing"
         return payload
 

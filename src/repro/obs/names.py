@@ -26,6 +26,19 @@ TOKENS_ADVANCED = "aarohi_tokens_advanced_total"
 TOKENS_SKIPPED = "aarohi_tokens_skipped_total"
 CHAIN_TIMEOUTS = "aarohi_chain_timeouts_total"
 CHAIN_MATCHES = "aarohi_chain_matches_total"
+NEGATIVE_DELTA_T = "aarohi_negative_delta_t_total"
+
+# -- ingest hardening (ISSUE 5): tolerant decode + time discipline -----
+INGEST_LINES_READ = "aarohi_ingest_lines_read_total"
+INGEST_DECODED = "aarohi_ingest_decoded_total"
+INGEST_QUARANTINED = "aarohi_ingest_quarantined_total"
+INGEST_OUT_OF_ORDER = "aarohi_ingest_out_of_order_total"
+INGEST_REORDERED = "aarohi_ingest_reordered_total"
+INGEST_LATE = "aarohi_ingest_late_total"
+INGEST_QUARANTINE_FRACTION = "aarohi_ingest_quarantine_fraction"
+INGEST_QUARANTINE_BURN = "aarohi_ingest_quarantine_burn_rate"
+
+LOGSIM_CORRUPTIONS = "aarohi_logsim_corruptions_injected_total"
 
 FLEET_RUNS = "aarohi_fleet_runs_total"
 FLEET_RUN_SECONDS = "aarohi_fleet_run_seconds"
@@ -72,4 +85,12 @@ FUNNEL_STAGES = (
     (SCANNER_FIRST_CHAR_REJECTED, "first-char rejected"),
     (SCANNER_MEMO_HITS, "memo hits"),
     (SCANNER_DFA_RUNS, "full DFA runs"),
+)
+
+# The ingest funnel, one level up: every line offered to the decoder is
+# either decoded or quarantined, so these two counters sum to
+# INGEST_LINES_READ (asserted by the robustness suite).
+INGEST_FUNNEL_STAGES = (
+    (INGEST_DECODED, "decoded"),
+    (INGEST_QUARANTINED, "quarantined"),
 )

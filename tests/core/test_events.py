@@ -4,7 +4,16 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.core.events import LogEvent, NodeFailure, Prediction, Severity, TokenEvent
+from repro.core.events import (
+    LogDecodeError,
+    LogEvent,
+    NodeFailure,
+    Prediction,
+    Severity,
+    TokenEvent,
+    escape_message,
+    unescape_message,
+)
 
 
 class TestLogEvent:
@@ -32,6 +41,69 @@ class TestLogEvent:
     def test_from_line_requires_three_fields(self):
         with pytest.raises(ValueError):
             LogEvent.from_line("2020-01-01T00:00:00+00:00 onlynode")
+
+    def test_decode_error_carries_reason(self):
+        with pytest.raises(LogDecodeError) as excinfo:
+            LogEvent.from_line("2020-01-01T00:00:00 onlynode")
+        assert excinfo.value.reason == "truncated"
+        with pytest.raises(LogDecodeError) as excinfo:
+            LogEvent.from_line("yesterday n0 some message")
+        assert excinfo.value.reason == "bad_timestamp"
+
+    def test_decode_error_is_value_error(self):
+        # Callers catching the pre-hardening ValueError still work.
+        assert issubclass(LogDecodeError, ValueError)
+
+
+class TestMessageEscaping:
+    """Satellite 2: embedded newlines must survive the line round-trip."""
+
+    ADVERSARIAL = [
+        "panic:\nstack trace line 1\nstack trace line 2",
+        "trailing backslash \\",
+        "literal \\n not a newline",
+        "mixed \\ and \n and \r\n endings",
+        "\n",
+        "\\",
+        "\\\\n",
+        "carriage\rreturn",
+    ]
+
+    @pytest.mark.parametrize("msg", ADVERSARIAL)
+    def test_adversarial_roundtrip(self, msg):
+        event = LogEvent(time=12.5, node="c0-0c0s0n0", message=msg)
+        line = event.to_line()
+        assert "\n" not in line and "\r" not in line  # stays one line
+        assert LogEvent.from_line(line) == event
+
+    def test_multiline_message_does_not_corrupt_replay(self):
+        import io
+
+        from repro.logsim import read_log, write_log
+
+        events = [
+            LogEvent(1.0, "n0", "kernel panic:\nRIP: 0010:do_fault"),
+            LogEvent(2.0, "n1", "ordinary message"),
+        ]
+        buffer = io.StringIO()
+        assert write_log(events, buffer) == 2
+        buffer.seek(0)
+        assert buffer.getvalue().count("\n") == 2  # one line per event
+        buffer.seek(0)
+        assert list(read_log(buffer, on_error="strict")) == events
+
+    def test_escape_inverse_property_examples(self):
+        for msg in self.ADVERSARIAL:
+            assert unescape_message(escape_message(msg)) == msg
+
+    @given(st.text(max_size=40))
+    def test_escape_inverse_property(self, msg):
+        assert unescape_message(escape_message(msg)) == msg
+
+    def test_clean_message_not_rewritten(self):
+        # The fast path: no escape characters → to_line emits verbatim.
+        event = LogEvent(0.0, "n0", "plain message, no escapes")
+        assert event.to_line().endswith("plain message, no escapes")
 
 
 class TestTokenEvent:

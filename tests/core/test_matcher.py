@@ -114,6 +114,100 @@ class TestTimeout:
             ChainMatcher(chains_fixture(), timeout=0)
 
 
+class TestNegativeDeltaT:
+    """Satellite 3: backwards timestamps clamp, never rewind the clock."""
+
+    def test_backwards_time_counts_and_chain_survives(self):
+        m = ChainMatcher(chains_fixture(), timeout=10)
+        m.feed(172, 100.0)
+        m.feed(177, 95.0)  # skewed source: 5s into the past
+        assert m.stats.negative_dt == 1
+        assert m.position == 2  # clamped ΔT=0 passes the timeout check
+        matches = run(m, [178, 193, 137], t0=101.0)
+        assert [x.chain_id for x in matches] == ["FC5"]
+
+    def test_clock_never_rewinds(self):
+        # The old bug: feed(t=90) after feed(t=100) rewound _last_time
+        # to 90, so a token at t=100+timeout later looked in-window
+        # relative to the rewound clock.
+        m = ChainMatcher(chains_fixture(), timeout=10)
+        m.feed(172, 100.0)
+        m.feed(177, 90.0)  # clamped; anchor stays 100.0
+        m.feed(178, 111.0)  # 11s after the anchor → timeout
+        assert m.active_chain is None
+        assert m.stats.resets_timeout == 1
+
+    def test_forward_time_not_counted(self):
+        m = ChainMatcher(chains_fixture(), timeout=120)
+        run(m, [172, 177, 178, 193, 137])
+        assert m.stats.negative_dt == 0
+
+    def test_activation_uses_raw_time(self):
+        # The clamp applies only while a chain is active: a fresh
+        # activation anchors at the event's own (possibly old) time.
+        m = ChainMatcher(chains_fixture(), timeout=10)
+        m.feed(172, 100.0)
+        m.feed(137, 100.5)  # 137 completes nothing here; stays active
+        m.reset()
+        m.feed(172, 50.0)  # re-activation in the past is fine
+        assert m.active_chain == "FC5"
+        assert m.stats.negative_dt == 0
+
+    def test_oracle_clamps_identically(self):
+        oracle = OracleTracker(chains_fixture(), timeout=10)
+        oracle.feed(172, 100.0)
+        out = oracle.feed(177, 95.0)
+        assert out == []
+        assert oracle.stats.negative_dt == 1
+        # Cursor survived the clamp and still completes.
+        matches = []
+        for i, tok in enumerate([178, 193, 137]):
+            matches += oracle.feed(tok, 101.0 + i)
+        assert [x.chain_id for x in matches] == ["FC5"]
+
+    def test_oracle_clock_never_rewinds(self):
+        oracle = OracleTracker(chains_fixture(), timeout=10)
+        oracle.feed(172, 100.0)
+        oracle.feed(177, 90.0)  # clamped; cursor anchor stays 100.0
+        out = []
+        for i, tok in enumerate([178, 193, 137]):
+            out += oracle.feed(tok, 111.0 + i)  # > anchor + timeout
+        assert out == []  # the cursor timed out against the clamped anchor
+
+    def test_match_end_time_is_clamped_not_backwards(self):
+        m = ChainMatcher(chains_fixture(), timeout=120)
+        m.feed(172, 10.0)
+        m.feed(177, 11.0)
+        m.feed(178, 12.0)
+        m.feed(193, 13.0)
+        match = m.feed(137, 5.0)  # final token arrives "before" the rest
+        assert match is not None
+        assert match.end_time == 13.0  # clamped to the anchor
+        assert match.end_time >= match.start_time
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.sampled_from([176, 177, 178, 179, 180, 137, 172, 193, 999, 4]),
+             max_size=30),
+    st.lists(st.floats(-5, 5), max_size=30),
+)
+def test_oracle_supersedes_matcher_under_skew(tokens, jitter):
+    """The superset property survives non-monotonic event times."""
+    m = ChainMatcher(chains_fixture(), timeout=1000)
+    oracle = OracleTracker(chains_fixture(), timeout=1000)
+    m_matches, o_matches = [], []
+    for i, tok in enumerate(tokens):
+        t = float(i) + (jitter[i] if i < len(jitter) else 0.0)
+        match = m.feed(tok, t)
+        if match:
+            m_matches.append(match)
+        o_matches += oracle.feed(tok, t)
+    o_keys = {(x.chain_id, x.end_time) for x in o_matches}
+    for match in m_matches:
+        assert (match.chain_id, match.end_time) in o_keys
+
+
 class TestFirstMatchPolicy:
     def test_first_rule_selected_and_held(self):
         # Once FC1 is active, FC5's start token does not preempt it.

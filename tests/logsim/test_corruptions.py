@@ -1,0 +1,175 @@
+"""Tests for the corruption-injection harness."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import LogEvent
+from repro.logsim import (
+    CorruptionReport,
+    CorruptionSpec,
+    corrupt_events,
+    corrupt_lines,
+    corrupt_window,
+)
+
+
+def ev(t, node="c0-0c0s0n0", msg="hello world"):
+    return LogEvent(time=t, node=node, message=msg)
+
+
+def stream(n=50, nodes=4):
+    return [ev(float(i), node=f"c0-0c0s0n{i % nodes}", msg=f"msg {i}")
+            for i in range(n)]
+
+
+class TestSpec:
+    def test_default_is_noop(self):
+        assert not CorruptionSpec().enabled
+
+    def test_all_kinds_enabled(self):
+        spec = CorruptionSpec.all_kinds(0.05)
+        assert spec.enabled
+        assert spec.truncate_p == spec.garble_p == spec.drop_p == 0.05
+        assert spec.skew_max_s > 0
+
+    def test_all_kinds_zero_p_is_noop(self):
+        # p=0 must disable skew too, so the spec is a true passthrough.
+        assert not CorruptionSpec.all_kinds(0.0).enabled
+
+    @pytest.mark.parametrize("kwargs", [
+        {"truncate_p": -0.1},
+        {"garble_p": 1.5},
+        {"reorder_max_s": -1.0},
+        {"skew_max_s": -0.5},
+        {"drop_burst": 0},
+    ])
+    def test_invalid_spec_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            CorruptionSpec(**kwargs)
+
+
+class TestPassthrough:
+    def test_zero_spec_is_byte_identical(self):
+        events = stream()
+        lines, report = corrupt_window(events, CorruptionSpec(), seed=3)
+        assert lines == [e.to_line() for e in events]
+        assert report.total_faults == 0
+        assert report.events_in == report.events_out == len(events)
+
+    def test_all_kinds_zero_p_is_byte_identical(self):
+        events = stream()
+        lines, report = corrupt_window(
+            events, CorruptionSpec.all_kinds(0.0), seed=3)
+        assert lines == [e.to_line() for e in events]
+        assert report.total_faults == 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_output(self):
+        events = stream(200)
+        spec = CorruptionSpec.all_kinds(0.1)
+        a, ra = corrupt_window(events, spec, seed=11)
+        b, rb = corrupt_window(events, spec, seed=11)
+        assert a == b
+        assert ra.as_dict() == rb.as_dict()
+
+    def test_different_seed_different_output(self):
+        events = stream(200)
+        spec = CorruptionSpec.all_kinds(0.1)
+        a, _ = corrupt_window(events, spec, seed=11)
+        b, _ = corrupt_window(events, spec, seed=12)
+        assert a != b
+
+
+class TestEventKinds:
+    def test_drops_remove_bursts(self):
+        events = stream(500)
+        report = CorruptionReport()
+        out = corrupt_events(
+            events, CorruptionSpec(drop_p=0.02, drop_burst=4),
+            np.random.default_rng(0), report)
+        assert len(out) == len(events) - report.dropped
+        assert report.dropped > 0
+        # Survivors are a subsequence of the input (order preserved).
+        it = iter(events)
+        assert all(any(e is o for e in it) for o in out)
+
+    def test_duplication_back_to_back(self):
+        events = stream(500)
+        report = CorruptionReport()
+        out = corrupt_events(
+            events, CorruptionSpec(duplicate_p=0.05),
+            np.random.default_rng(0), report)
+        assert len(out) == len(events) + report.duplicated
+        assert report.duplicated > 0
+        pairs = sum(1 for a, b in zip(out, out[1:]) if a is b)
+        assert pairs == report.duplicated
+
+    def test_reorder_bounded_and_timestamps_untouched(self):
+        events = stream(500)
+        max_s = 3.0
+        report = CorruptionReport()
+        out = corrupt_events(
+            events, CorruptionSpec(reorder_p=0.2, reorder_max_s=max_s),
+            np.random.default_rng(0), report)
+        assert report.displaced > 0
+        assert sorted(e.time for e in out) == [e.time for e in events]
+        # Displacement is time-bounded: no event precedes another whose
+        # timestamp is more than the bound ahead of it.
+        high = float("-inf")
+        for e in out:
+            assert e.time > high - 2 * max_s
+            high = max(high, e.time)
+
+    def test_skew_offsets_constant_per_node(self):
+        events = stream(200, nodes=3)
+        report = CorruptionReport()
+        out = corrupt_events(
+            events, CorruptionSpec(skew_max_s=2.0),
+            np.random.default_rng(0), report)
+        assert report.skewed_nodes == 3
+        offsets = {}
+        for before, after in zip(events, out):
+            assert after.node == before.node
+            offsets.setdefault(before.node, set()).add(
+                round(after.time - before.time, 9))
+        for node_offsets in offsets.values():
+            assert len(node_offsets) == 1
+            (offset,) = node_offsets
+            assert abs(offset) <= 2.0
+
+
+class TestLineKinds:
+    def test_truncation_shortens(self):
+        lines = [e.to_line() for e in stream(500)]
+        report = CorruptionReport()
+        out = corrupt_lines(
+            lines, CorruptionSpec(truncate_p=0.2),
+            np.random.default_rng(0), report)
+        assert report.truncated > 0
+        assert len(out) == len(lines)
+        shorter = sum(1 for a, b in zip(out, lines) if len(a) < len(b))
+        assert shorter == report.truncated
+
+    def test_garbling_injects_junk(self):
+        from repro.logsim.corruptions import GARBLE_CHARS
+
+        lines = [e.to_line() for e in stream(500)]
+        report = CorruptionReport()
+        out = corrupt_lines(
+            lines, CorruptionSpec(garble_p=0.2),
+            np.random.default_rng(0), report)
+        assert report.garbled > 0
+        junked = sum(
+            1 for line in out if any(c in GARBLE_CHARS for c in line))
+        assert junked > 0
+
+
+class TestReport:
+    def test_as_dict_covers_all_fields(self):
+        report = CorruptionReport(dropped=2, truncated=3)
+        d = report.as_dict()
+        assert d["dropped"] == 2 and d["truncated"] == 3
+        assert set(d) >= {"events_in", "events_out", "duplicated",
+                          "displaced", "skewed_nodes", "garbled"}
+        assert report.total_faults == 5

@@ -1,12 +1,24 @@
-"""Tests for stream plumbing (merge / serialize / replay)."""
+"""Tests for stream plumbing (merge / serialize / tolerant replay)."""
 
 import io
 
+import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.core.events import LogEvent
-from repro.logsim import clip_window, merge_streams, read_log, split_by_node, write_log
+from repro.core.events import LogDecodeError, LogEvent
+from repro.logsim import (
+    IngestStats,
+    SortBuffer,
+    StreamOrderError,
+    clip_window,
+    decode_lines,
+    merge_streams,
+    read_log,
+    sorted_stream,
+    split_by_node,
+    write_log,
+)
 
 
 def ev(t, node="c0-0c0s0n0", msg="hello world"):
@@ -62,6 +74,177 @@ class TestSerialization:
         assert len(list(read_log(buffer))) == 2
 
 
+def mixed_lines():
+    """Three good lines with two malformed ones interleaved."""
+    return [
+        ev(1.0).to_line(),
+        "1970-01-01T00:00:04 node-but-no-message",
+        ev(2.0).to_line(),
+        "not-a-timestamp c0-0c0s0n0 some message",
+        ev(3.0).to_line(),
+    ]
+
+
+class TestErrorPolicies:
+    def test_strict_raises_on_first_bad_line(self):
+        with pytest.raises(LogDecodeError):
+            list(decode_lines(mixed_lines(), on_error="strict"))
+
+    @pytest.mark.parametrize("policy", ["warn", "quarantine"])
+    def test_tolerant_policies_keep_stream_alive(self, policy):
+        stats = IngestStats()
+        events = list(decode_lines(mixed_lines(), on_error=policy, stats=stats))
+        assert [e.time for e in events] == [1.0, 2.0, 3.0]
+        assert stats.lines_read == 5
+        assert stats.decoded == 3
+        assert stats.quarantined == 2
+        assert stats.funnel_ok
+        assert stats.quarantined_by_reason == {
+            "truncated": 1, "bad_timestamp": 1}
+
+    def test_default_policy_is_tolerant(self):
+        # Satellite 1: a single bad line must not kill read_log.
+        buffer = io.StringIO("\n".join(mixed_lines()) + "\n")
+        assert len(list(read_log(buffer))) == 3
+
+    def test_strict_funnel_holds_on_error_exit(self):
+        stats = IngestStats()
+        with pytest.raises(LogDecodeError):
+            list(decode_lines(mixed_lines(), on_error="strict", stats=stats))
+        assert stats.funnel_ok
+        assert stats.quarantined == 1  # counted before the raise
+
+    def test_funnel_holds_on_midstream_abandon(self):
+        stats = IngestStats()
+        it = decode_lines(mixed_lines(), stats=stats)
+        next(it)
+        it.close()  # consumer walks away; finally-fold still runs
+        assert stats.funnel_ok
+        assert stats.lines_read == stats.decoded == 1
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            list(decode_lines([], on_error="ignore"))
+        with pytest.raises(ValueError):
+            list(read_log(io.StringIO(""), on_error="explode"))
+
+    def test_quarantine_fraction(self):
+        stats = IngestStats()
+        list(decode_lines(mixed_lines(), stats=stats))
+        assert stats.quarantine_fraction == pytest.approx(2 / 5)
+        assert IngestStats().quarantine_fraction == 0.0
+
+    def test_invalid_utf8_file_quarantined_not_fatal(self, tmp_path):
+        path = tmp_path / "binary.log"
+        with open(path, "wb") as fh:
+            fh.write((ev(1.0).to_line() + "\n").encode())
+            fh.write(b"\xff\xfe\x00 broken bytes\n")
+            fh.write((ev(2.0).to_line() + "\n").encode())
+        stats = IngestStats()
+        events = list(read_log(path, stats=stats))
+        assert [e.time for e in events] == [1.0, 2.0]
+        assert stats.quarantined == 1
+
+    def test_stats_add_accumulates(self):
+        a, b = IngestStats(), IngestStats()
+        list(decode_lines(mixed_lines(), stats=a))
+        list(decode_lines(mixed_lines(), stats=b))
+        a.add(b)
+        assert a.lines_read == 10
+        assert a.quarantined == 4
+        assert a.quarantined_by_reason == {"truncated": 2, "bad_timestamp": 2}
+        assert a.funnel_ok
+
+
+class TestMergeGuard:
+    def test_pass_without_stats_is_raw_merge(self):
+        # The zero-overhead path: unsorted input flows through unchecked.
+        out = list(merge_streams([ev(5.0), ev(1.0)]))
+        assert [e.time for e in out] == [5.0, 1.0]
+
+    def test_pass_with_stats_counts(self):
+        stats = IngestStats()
+        out = list(merge_streams([ev(5.0), ev(1.0), ev(6.0)], stats=stats))
+        assert len(out) == 3
+        assert stats.out_of_order == 1
+
+    def test_warn_counts_all_disorder(self):
+        stats = IngestStats()
+        out = list(merge_streams(
+            [ev(5.0), ev(1.0), ev(2.0), ev(6.0)],
+            on_disorder="warn", stats=stats))
+        assert len(out) == 4
+        assert stats.out_of_order == 2
+
+    def test_raise_policy(self):
+        with pytest.raises(StreamOrderError):
+            list(merge_streams([ev(5.0), ev(1.0)], on_disorder="raise"))
+
+    def test_sorted_inputs_never_trip_the_guard(self):
+        stats = IngestStats()
+        out = list(merge_streams(
+            [ev(1.0), ev(3.0)], [ev(2.0), ev(4.0)],
+            on_disorder="raise", stats=stats))
+        assert [e.time for e in out] == [1.0, 2.0, 3.0, 4.0]
+        assert stats.out_of_order == 0
+
+    def test_unknown_disorder_policy(self):
+        with pytest.raises(ValueError):
+            merge_streams([], on_disorder="shrug")
+
+
+class TestSortBuffer:
+    def test_repairs_within_horizon(self):
+        stats = IngestStats()
+        times = [1.0, 3.0, 2.0, 5.0, 4.0, 8.0, 9.0]
+        out = list(sorted_stream((ev(t) for t in times), 3.0, stats))
+        assert [e.time for e in out] == sorted(times)
+        assert stats.reordered == 2
+        assert stats.late == 0
+
+    def test_late_event_emitted_not_dropped(self):
+        stats = IngestStats()
+        buffer = SortBuffer(1.0, stats)
+        released = []
+        for t in [1.0, 5.0, 9.0]:
+            released += buffer.push(ev(t))
+        # 2.0 is behind the emit watermark (5.0 - 1.0 released 1.0..4.0
+        # range already): too late to reinsert, emitted immediately.
+        released += buffer.push(ev(2.0))
+        released += buffer.flush()
+        assert sorted(e.time for e in released) == [1.0, 2.0, 5.0, 9.0]
+        assert len(released) == 4
+        assert stats.late == 1
+
+    def test_equal_timestamps_keep_arrival_order(self):
+        buffer = SortBuffer(1.0)
+        a, b = ev(2.0, msg="first"), ev(2.0, msg="second")
+        buffer.push(a)
+        buffer.push(b)
+        out = buffer.flush()
+        assert [e.message for e in out] == ["first", "second"]
+
+    def test_len_and_flush(self):
+        buffer = SortBuffer(10.0)
+        for t in [1.0, 2.0, 3.0]:
+            assert buffer.push(ev(t)) == []
+        assert len(buffer) == 3
+        assert [e.time for e in buffer.flush()] == [1.0, 2.0, 3.0]
+        assert len(buffer) == 0
+
+    def test_negative_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            SortBuffer(-1.0)
+
+    @given(st.lists(st.floats(0, 100), max_size=50))
+    def test_bounded_displacement_always_sorted(self, times):
+        # Any stream whose events are displaced by at most the horizon
+        # comes out fully sorted.
+        out = list(sorted_stream(
+            (ev(t) for t in times), 200.0))  # horizon > whole window
+        assert [e.time for e in out] == sorted(times)
+
+
 class TestGrouping:
     def test_split_by_node(self):
         events = [ev(1.0, "a"), ev(2.0, "b"), ev(3.0, "a")]
@@ -69,7 +252,32 @@ class TestGrouping:
         assert sorted(groups) == ["a", "b"]
         assert [e.time for e in groups["a"]] == [1.0, 3.0]
 
+    def test_split_empty_stream(self):
+        assert split_by_node([]) == {}
+
+    def test_split_preserves_within_node_order(self):
+        events = [ev(2.0, "a", "x"), ev(2.0, "a", "y"), ev(2.0, "b", "z")]
+        groups = split_by_node(events)
+        assert [e.message for e in groups["a"]] == ["x", "y"]
+
     def test_clip_window(self):
         events = [ev(float(i)) for i in range(10)]
         clipped = clip_window(events, 3.0, 7.0)
         assert [e.time for e in clipped] == [3.0, 4.0, 5.0, 6.0]
+
+    def test_clip_empty_stream(self):
+        assert clip_window([], 0.0, 10.0) == []
+
+    def test_clip_equal_timestamps_all_kept(self):
+        events = [ev(5.0, msg=f"m{i}") for i in range(4)]
+        assert clip_window(events, 5.0, 6.0) == events
+        assert clip_window(events, 4.0, 5.0) == []  # end is exclusive
+
+    def test_clip_start_equals_end_is_empty(self):
+        events = [ev(float(i)) for i in range(5)]
+        assert clip_window(events, 3.0, 3.0) == []
+
+    def test_clip_outside_range(self):
+        events = [ev(float(i)) for i in range(5)]
+        assert clip_window(events, 10.0, 20.0) == []
+        assert clip_window(events, -5.0, 0.0) == []

@@ -307,6 +307,100 @@ class TestObsServe:
         assert rc == 0
 
 
+class TestDirtyLogs:
+    """The new ingest flags: generate --corrupt, predict --on-error /
+    --reorder-horizon."""
+
+    def make_corrupted_log(self, tmp_path, capsys):
+        log = tmp_path / "dirty.log"
+        rc = main([
+            "generate", "--system", "HPC3", "--seed", "5",
+            "--duration", "1800", "--nodes", "12", "--failures", "4",
+            "--out", str(log), "--corrupt", "0.05",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "corrupted at p=0.05" in out
+        return log
+
+    def test_generate_corrupt_writes_dirty_log(self, tmp_path, capsys):
+        log = self.make_corrupted_log(tmp_path, capsys)
+        from repro.core.events import LogEvent
+
+        bad = 0
+        for line in log.read_text().splitlines():
+            if not line:
+                continue
+            try:
+                LogEvent.from_line(line)
+            except ValueError:
+                bad += 1
+        assert bad > 0  # truncation/garbling left undecodable lines
+
+    def test_predict_survives_corrupted_log(self, tmp_path, capsys):
+        log = self.make_corrupted_log(tmp_path, capsys)
+        rc = main([
+            "predict", "--system", "HPC3", "--seed", "5",
+            "--log", str(log), "--on-error", "quarantine",
+            "--reorder-horizon", "10",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "predictions" in out
+        assert "quarantined" in out  # the ingest summary line
+
+    def test_predict_json_carries_ingest_funnel(self, tmp_path, capsys):
+        log = self.make_corrupted_log(tmp_path, capsys)
+        rc = main([
+            "predict", "--system", "HPC3", "--seed", "5",
+            "--log", str(log), "--on-error", "quarantine", "--json",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        ingest = payload["ingest"]
+        assert ingest["quarantined"] > 0
+        assert ingest["decoded"] + ingest["quarantined"] == \
+            ingest["lines_read"]
+
+    def test_predict_strict_flag_raises_on_dirty_log(self, tmp_path, capsys):
+        from repro.core.events import LogDecodeError
+
+        log = self.make_corrupted_log(tmp_path, capsys)
+        with pytest.raises(LogDecodeError):
+            main([
+                "predict", "--system", "HPC3", "--seed", "5",
+                "--log", str(log), "--on-error", "strict",
+            ])
+
+    def test_clean_log_reports_no_quarantine(self, tmp_path, capsys):
+        log = tmp_path / "clean.log"
+        main([
+            "generate", "--system", "HPC3", "--seed", "5",
+            "--duration", "1800", "--nodes", "12", "--failures", "4",
+            "--out", str(log),
+        ])
+        capsys.readouterr()
+        rc = main([
+            "predict", "--system", "HPC3", "--seed", "5",
+            "--log", str(log), "--json",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ingest"]["quarantined"] == 0
+
+    def test_obs_serve_accepts_ingest_flags(self, tmp_path, capsys):
+        log = self.make_corrupted_log(tmp_path, capsys)
+        rc = main([
+            "obs-serve", "--system", "HPC3", "--seed", "5",
+            "--log", str(log), "--port", "0", "--slices", "2",
+            "--on-error", "quarantine", "--reorder-horizon", "10",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "ingest:" in out
+        assert "quarantined" in out
+
+
 class TestSpeedup:
     def test_speedup_table(self, capsys):
         rc = main(["speedup", "--system", "HPC3", "--length", "20"])
