@@ -3,26 +3,35 @@
 Measures sustained events/s on the discard-heavy realistic stream for
 
 * the **per-event path** — one ``fleet.process(event)`` call per line,
-  full timing (what the seed repo shipped), and
+  full timing (what the seed repo shipped),
 * the **batched path** — ``fleet.run(events, timing="off")``, the
-  flattened whole-stream scan driver,
+  flattened whole-stream scan driver over decoded events, and
+* the **byte backends** — ``fleet.run_buffer(batch, timing="off")``
+  over a raw :class:`~repro.logsim.stream.ByteRecordBatch` for the
+  ``bytes`` and ``numpy`` kernels (rejected lines never decoded),
 
-plus **scanner startup**: cold merged-DFA compilation vs warm load from
-the compiled-artifact cache (see :mod:`repro.persistence`).  Everything
-is written, together with the recorded pre-PR reference numbers, to
-``BENCH_hotpath.json`` at the repo root so the perf trajectory stays
-machine-readable from this PR onward.
+plus **ingest** (mmap vs ``read()`` vs decoded-text line reading) and
+**scanner startup** (cold merged-DFA compilation vs warm load from the
+compiled-artifact cache, see :mod:`repro.persistence`).  Everything is
+written, together with the recorded reference numbers from earlier
+PRs, to ``BENCH_hotpath.json`` at the repo root so the perf trajectory
+stays machine-readable from this PR onward.
 
 Run standalone::
 
     PYTHONPATH=src python benchmarks/emit_bench.py          # full, rewrites json
+    PYTHONPATH=src python benchmarks/emit_bench.py --backend bytes  # one backend
     PYTHONPATH=src python benchmarks/emit_bench.py --smoke  # CI regression gate
 
+``--backend str|bytes|numpy|all`` restricts which scan kernels the full
+run measures (default ``all``; ``str`` is always measured — it is the
+baseline every ratio is computed against).
+
 ``--smoke`` runs a reduced-scale measurement and **fails** (exit 1) if
-batched throughput drops below the recorded ``BENCH_hotpath.json``
-floor times a slack factor (CI runners are noisy; the gate catches
-order-of-magnitude regressions, not single-digit drift).  Smoke mode
-never rewrites the recorded floors.
+batched or bytes-backend throughput drops below the recorded
+``BENCH_hotpath.json`` floor times a slack factor (CI runners are
+noisy; the gate catches order-of-magnitude regressions, not
+single-digit drift).  Smoke mode never rewrites the recorded floors.
 """
 
 from __future__ import annotations
@@ -45,6 +54,16 @@ PRE_PR_REFERENCE = {
     "measured": "2026-08-05, fleet.process() per event, 20k-event window",
 }
 
+# Batched str-kernel path as recorded before the byte-kernel PR — the
+# baseline the bytes backend must beat ≥ 2× (gated by the equivalence
+# suite against the freshly written json, not against live timing).
+PRE_BYTES_PR_REFERENCE = {
+    "HPC1": 2_847_455,
+    "HPC3": 3_340_420,
+    "measured": "2026-08-05, fleet.run(events, timing='off'), "
+                "20k-event window (before the byte-kernel PR)",
+}
+
 # Shared CI runners are slow and noisy relative to the machine that
 # recorded the floors; a smoke run must still clear floor × slack.
 SMOKE_SLACK = 0.3
@@ -52,6 +71,8 @@ SMOKE_SLACK = 0.3
 # The tolerant decoder (ISSUE 5) must stay within 3% of a bare strict
 # LogEvent.from_line loop on a clean stream.
 DECODER_FLOOR = 0.97
+
+SCAN_BACKENDS = ("str", "bytes", "numpy")
 
 
 def discard_heavy_stream(gen, n_events: int = 20_000):
@@ -66,22 +87,41 @@ def discard_heavy_stream(gen, n_events: int = 20_000):
     return events[:n_events]
 
 
-def measure_hotpath(gen, n_events: int = 20_000, rounds: int = 5) -> dict:
-    """Best-of-``rounds`` events/s for the old and new paths.
+def measure_hotpath(
+    gen,
+    n_events: int = 20_000,
+    rounds: int = 5,
+    backends: tuple = ("bytes", "numpy"),
+) -> dict:
+    """Best-of-``rounds`` events/s for every scan path.
 
-    Rounds are interleaved (old, new, old, new, …) so both paths sample
-    the same machine conditions; each round uses a fresh fleet (cold
-    memo, cold chain state)."""
+    Rounds are interleaved (per-event, str batched, bytes, numpy, …) so
+    all paths sample the same machine conditions; each round uses a
+    fresh fleet (cold memo, cold chain state).  The byte backends are
+    driven through :meth:`PredictorFleet.run_buffer` over a pre-built
+    :class:`ByteRecordBatch` — the same already-in-memory starting point
+    the str path gets with its pre-decoded event list, so the ratios
+    compare scan kernels, not ingest (ingest is measured separately by
+    :func:`measure_ingest`)."""
     from repro.core import PredictorFleet
+    from repro.logsim.stream import read_record_batch
 
     events = discard_heavy_stream(gen, n_events)
+    backends = tuple(b for b in backends if b != "str")
+    batch = None
+    if backends:
+        blob = ("\n".join(e.to_line() for e in events) + "\n").encode()
+        batch = read_record_batch(blob, on_error="strict")
+        assert len(batch) == n_events
 
-    def fresh_fleet():
+    def fresh_fleet(backend="str"):
         return PredictorFleet.from_store(
-            gen.chains, gen.store, timeout=gen.recommended_timeout)
+            gen.chains, gen.store, timeout=gen.recommended_timeout,
+            scan_backend=backend)
 
     old_best = 0.0
     new_best = 0.0
+    byte_best = {be: 0.0 for be in backends}
     report = None
     for _ in range(rounds):
         fleet = fresh_fleet()
@@ -95,12 +135,65 @@ def measure_hotpath(gen, n_events: int = 20_000, rounds: int = 5) -> dict:
         report = fleet.run(events, timing="off")
         new_best = max(new_best, n_events / (time.perf_counter() - t0))
 
-    return {
+        for be in backends:
+            fleet = fresh_fleet(be)
+            if fleet.scanner.backend != be:
+                continue  # numpy absent: resolved to bytes, skip the row
+            t0 = time.perf_counter()
+            fleet.run_buffer(batch, timing="off")
+            byte_best[be] = max(
+                byte_best[be], n_events / (time.perf_counter() - t0))
+
+    row = {
         "events": n_events,
         "fc_related_fraction": round(report.fc_related_fraction, 5),
         "per_event_events_per_s": round(old_best),
         "batched_events_per_s": round(new_best),
         "batched_vs_per_event": round(new_best / old_best, 2),
+    }
+    for be in backends:
+        if byte_best[be]:
+            row[f"{be}_events_per_s"] = round(byte_best[be])
+            row[f"{be}_vs_batched"] = round(byte_best[be] / new_best, 2)
+    return row
+
+
+def measure_ingest(gen, n_events: int = 20_000, rounds: int = 5) -> dict:
+    """mmap vs ``read()`` vs decoded-text ingest, records/s best-of-N.
+
+    All three read the same on-disk window: the byte path twice (mmap
+    via a path argument, one-shot ``read()`` via an open binary
+    handle — both split records and parse headers without decoding
+    payloads) and the text path via :func:`read_log` (full per-line
+    UTF-8 decode into events), which is what the byte pipeline
+    replaces."""
+    from repro.logsim.stream import read_log, read_record_batch
+
+    events = discard_heavy_stream(gen, n_events)
+    mmap_best = read_best = text_best = 0.0
+    with tempfile.TemporaryDirectory(prefix="aarohi-bench-ingest-") as tmp:
+        path = Path(tmp) / "window.log"
+        path.write_text(
+            "".join(e.to_line() + "\n" for e in events), encoding="utf-8")
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            n = len(read_record_batch(path, on_error="strict"))
+            mmap_best = max(mmap_best, n / (time.perf_counter() - t0))
+
+            with open(path, "rb") as fh:
+                t0 = time.perf_counter()
+                n = len(read_record_batch(fh, on_error="strict"))
+                read_best = max(read_best, n / (time.perf_counter() - t0))
+
+            t0 = time.perf_counter()
+            n = sum(1 for _ in read_log(path, on_error="strict"))
+            text_best = max(text_best, n / (time.perf_counter() - t0))
+    return {
+        "records": n_events,
+        "mmap_records_per_s": round(mmap_best),
+        "read_records_per_s": round(read_best),
+        "decoded_text_records_per_s": round(text_best),
+        "mmap_vs_decoded_text": round(mmap_best / text_best, 2),
     }
 
 
@@ -182,6 +275,7 @@ def write_bench_json(results: dict, path: Path = BENCH_PATH) -> dict:
         "bench": "hotpath",
         "stream": "discard-heavy realistic window (see discard_heavy_stream)",
         "pre_pr_reference_events_per_s": PRE_PR_REFERENCE,
+        "pre_bytes_pr_batched_events_per_s": PRE_BYTES_PR_REFERENCE,
         "systems": results,
     }
     for name, row in results.items():
@@ -189,21 +283,32 @@ def write_bench_json(results: dict, path: Path = BENCH_PATH) -> dict:
         if isinstance(ref, int):
             row["batched_vs_pre_pr"] = round(
                 row["batched_events_per_s"] / ref, 2)
+        ref = PRE_BYTES_PR_REFERENCE.get(name)
+        if isinstance(ref, int) and "bytes_events_per_s" in row:
+            row["bytes_vs_pre_bytes_pr"] = round(
+                row["bytes_events_per_s"] / ref, 2)
     path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     return payload
 
 
 def recorded_floors(path: Path = BENCH_PATH) -> dict:
-    """Recorded per-system batched floors from the committed json."""
+    """Recorded per-system floors from the committed json:
+    ``{system: {"batched": ev/s, "bytes": ev/s}}`` (``bytes`` only when
+    the json was generated with the byte backends measured)."""
     try:
         payload = json.loads(path.read_text(encoding="utf-8"))
     except (OSError, json.JSONDecodeError):
         return {}
-    return {
-        name: row["batched_events_per_s"]
-        for name, row in payload.get("systems", {}).items()
-        if isinstance(row.get("batched_events_per_s"), int)
-    }
+    floors = {}
+    for name, row in payload.get("systems", {}).items():
+        entry = {}
+        if isinstance(row.get("batched_events_per_s"), int):
+            entry["batched"] = row["batched_events_per_s"]
+        if isinstance(row.get("bytes_events_per_s"), int):
+            entry["bytes"] = row["bytes_events_per_s"]
+        if entry:
+            floors[name] = entry
+    return floors
 
 
 def run_smoke(slack: float = SMOKE_SLACK) -> int:
@@ -215,19 +320,28 @@ def run_smoke(slack: float = SMOKE_SLACK) -> int:
         print("no recorded floors in BENCH_hotpath.json; nothing to gate")
         return 1
     failures = []
-    for name, floor in sorted(floors.items()):
+    for name, entry in sorted(floors.items()):
         gen = ClusterLogGenerator(system_by_name(name))
         # Full event count (small batches under-amortize per-run fixed
         # costs and would sit below floor × slack even when healthy),
-        # fewer rounds: the timed loops are milliseconds each.
-        measured = measure_hotpath(gen, n_events=20_000, rounds=2)
-        rate = measured["batched_events_per_s"]
-        need = floor * slack
-        verdict = "ok" if rate >= need else "REGRESSION"
-        print(f"{name}: batched {rate:,.0f} ev/s "
-              f"(floor {floor:,} × {slack} = {need:,.0f}) {verdict}")
-        if rate < need:
-            failures.append(name)
+        # fewer rounds: the timed loops are milliseconds each.  The
+        # bytes kernel is measured in the same interleaved rounds, so
+        # its gate samples the same machine conditions.
+        measured = measure_hotpath(
+            gen, n_events=20_000, rounds=2,
+            backends=("bytes",) if "bytes" in entry else ())
+        for kind, key in (("batched", "batched_events_per_s"),
+                          ("bytes", "bytes_events_per_s")):
+            floor = entry.get(kind)
+            if floor is None or key not in measured:
+                continue
+            rate = measured[key]
+            need = floor * slack
+            verdict = "ok" if rate >= need else "REGRESSION"
+            print(f"{name}: {kind} {rate:,.0f} ev/s "
+                  f"(floor {floor:,} × {slack} = {need:,.0f}) {verdict}")
+            if rate < need:
+                failures.append(f"{name}/{kind}")
     # Tolerant-decoder tax: unlike the throughput floors, this is a
     # *ratio* of two interleaved measurements on the same machine, so
     # runner speed cancels out and the gate stays tight.
@@ -255,16 +369,27 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--slack", type=float, default=SMOKE_SLACK,
         help="smoke floor slack factor (default %(default)s)")
+    parser.add_argument(
+        "--backend", default="all", choices=list(SCAN_BACKENDS) + ["all"],
+        help="which scan kernels the full run measures (str is always "
+             "included as the baseline; default: all)")
     args = parser.parse_args(argv)
     if args.smoke:
         return run_smoke(slack=args.slack)
 
     from repro.logsim import ClusterLogGenerator, system_by_name
 
+    if args.backend == "all":
+        backends = ("bytes", "numpy")
+    elif args.backend == "str":
+        backends = ()
+    else:
+        backends = (args.backend,)
     results = {}
     for name in ("HPC1", "HPC2", "HPC3", "HPC4"):
         gen = ClusterLogGenerator(system_by_name(name))
-        results[name] = measure_hotpath(gen)
+        results[name] = measure_hotpath(gen, backends=backends)
+        results[name]["ingest"] = measure_ingest(gen)
         results[name]["startup"] = measure_startup(gen)
         results[name]["decoder"] = measure_decoder(gen)
         print(name, results[name])

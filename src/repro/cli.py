@@ -27,11 +27,8 @@ from typing import List, Optional, Sequence
 
 from .core import PredictorFleet, build_rules, pair_predictions
 from .logsim import (
-    ClusterLogGenerator,
-    CorruptionSpec,
     ERROR_POLICIES,
     IngestStats,
-    corrupt_window,
     read_log,
     read_truth,
     sorted_stream,
@@ -39,6 +36,16 @@ from .logsim import (
     write_log,
     write_truth,
 )
+
+try:  # the simulator half of logsim needs numpy (the [fast] extra)
+    from .logsim import ClusterLogGenerator, CorruptionSpec, corrupt_window
+except ImportError:
+    CorruptionSpec = corrupt_window = None
+
+    def ClusterLogGenerator(*_args, **_kwargs):
+        raise SystemExit(
+            "this command drives the log simulator, which requires numpy:"
+            " install the [fast] extra (pip install 'repro[fast]')")
 from .obs import (
     LiveMonitor,
     Observability,
@@ -219,15 +226,28 @@ def cmd_predict(args: argparse.Namespace) -> int:
     fleet = PredictorFleet.from_store(
         gen.chains, gen.store, timeout=gen.recommended_timeout,
         backend=args.backend, obs=obs,
+        scan_backend=getattr(args, "scan_backend", "str"),
     )
-    ingest = IngestStats()
-    events = _read_events(args, ingest)
     if getattr(args, "watch", False):
+        ingest = IngestStats()
+        events = _read_events(args, ingest)
         report = _run_watched(fleet, events, obs, args.slices)
+        if obs is not None and ingest.lines_read:
+            obs.record_ingest(ingest)
+    elif getattr(fleet.scanner, "backend", "str") != "str":
+        # Byte pipeline: mmap → byte kernels, rejected lines never
+        # decoded; run_lines folds ingest into obs itself.
+        report = fleet.run_lines(
+            args.log, on_error=args.on_error,
+            reorder_horizon=args.reorder_horizon, timing="off",
+        )
+        ingest = report.ingest
     else:
+        ingest = IngestStats()
+        events = _read_events(args, ingest)
         report = fleet.run(events)
-    if obs is not None and ingest.lines_read:
-        obs.record_ingest(ingest)
+        if obs is not None and ingest.lines_read:
+            obs.record_ingest(ingest)
     _finish_obs(args, obs)
     if args.json:
         print(_json.dumps({
@@ -480,6 +500,7 @@ def cmd_obs_serve(args: argparse.Namespace) -> int:
     fleet = PredictorFleet.from_store(
         gen.chains, gen.store, timeout=gen.recommended_timeout,
         backend=args.backend, obs=obs,
+        scan_backend=getattr(args, "scan_backend", "str"),
     )
     ingest = IngestStats()
     events = _read_events(args, ingest)
@@ -545,6 +566,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_system_arg(p)
     p.add_argument("--log", required=True)
     p.add_argument("--backend", default="matcher", choices=["matcher", "lalr"])
+    p.add_argument("--scan-backend", default="str",
+                   choices=["str", "bytes", "numpy"],
+                   help="scan kernel family: str (decoded text), bytes "
+                        "(mmap byte pipeline), numpy (vectorized sweep; "
+                        "falls back to bytes without numpy)")
     p.add_argument("--json", action="store_true",
                    help="emit machine-readable JSON instead of a table")
     p.add_argument("--watch", action="store_true",
@@ -598,6 +624,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--log", required=True)
     p.add_argument("--backend", default="matcher",
                    choices=["matcher", "lalr"])
+    p.add_argument("--scan-backend", default="str",
+                   choices=["str", "bytes", "numpy"],
+                   help="scan kernel family (see predict --scan-backend)")
     p.add_argument("--truth", default=None, metavar="TRUTH.jsonl",
                    help="ground-truth failures (enables /quality scoring)")
     p.add_argument("--host", default="127.0.0.1")

@@ -44,6 +44,48 @@ from .regexlib.dfa import DFA
 
 _MEMO_MISS = object()  # cache sentinel: None is a legitimate cached value
 
+#: Kernel backends accepted by :func:`compile_scan_kernels`.
+#:
+#: * ``"str"``   — decoded-text kernels (the original translate walk);
+#: * ``"bytes"`` — byte-alphabet kernels over raw UTF-8 records
+#:   (:class:`~repro.regexlib.dfa.ByteAlphabet`): messages are scanned
+#:   without ever being decoded;
+#: * ``"numpy"`` — the byte kernels plus a vectorized ``scan_hits``
+#:   that steps every memo-missing line through the transition table in
+#:   lockstep (``table[state, cls]`` gathers with early dead-state
+#:   retirement).  Falls back to ``"bytes"`` when numpy is absent.
+SCAN_BACKENDS = ("str", "bytes", "numpy")
+
+_NUMPY = None  # lazy import cache: module, or False when unavailable
+
+
+def _numpy():
+    global _NUMPY
+    if _NUMPY is None:
+        try:
+            import numpy
+
+            _NUMPY = numpy
+        except ImportError:
+            _NUMPY = False
+    return _NUMPY if _NUMPY is not False else None
+
+
+def numpy_available() -> bool:
+    return _numpy() is not None
+
+
+def resolve_backend(backend: str) -> str:
+    """Validate a backend name, degrading ``"numpy"`` to ``"bytes"``
+    when numpy is not installed (the fast path stays byte-level; only
+    the vectorized sweep is lost)."""
+    if backend not in SCAN_BACKENDS:
+        raise ValueError(
+            f"unknown scan backend {backend!r}; expected one of {SCAN_BACKENDS}")
+    if backend == "numpy" and not numpy_available():
+        return "bytes"
+    return backend
+
 
 class ScanKernels(NamedTuple):
     """The closure-specialized scanner entry points for one DFA.
@@ -56,6 +98,11 @@ class ScanKernels(NamedTuple):
     differential testing.  ``memo`` and ``counts`` expose the shared
     mutable state (bounded result cache, funnel counters) the kernels
     close over.
+
+    ``backend`` names the kernel family actually built (see
+    :data:`SCAN_BACKENDS`).  Str kernels take ``str`` messages; byte
+    and numpy kernels take ``bytes`` records, and ``match_span`` then
+    reports the end offset in bytes.
     """
 
     tokenize: Callable[[str], Optional[int]]
@@ -63,6 +110,7 @@ class ScanKernels(NamedTuple):
     match_span: Callable
     memo: dict
     counts: List[int]
+    backend: str = "str"
 
 
 # The kernel factory source.  All varying *shape* parameters (start
@@ -181,6 +229,176 @@ _COUNTING_FRAGMENTS = {
 
 _PLAIN_FRAGMENTS = {name: "" for name in _COUNTING_FRAGMENTS}
 
+# The byte-alphabet variant: identical structure, but the message is a
+# raw UTF-8 ``bytes`` record.  ``bytes.translate`` rewrites every byte
+# to its class id (the ECS table from DFA.byte_alphabet) and the walk
+# indexes by the byte value directly — no ord(), no decoding.  In
+# *fallback* mode (the catalog distinguishes non-ASCII codepoints) a
+# marker class flags bytes ≥ 0x80; ``marker in classes`` is one C-level
+# scan and only flagged lines decode and re-walk the str table — the
+# ``f_*`` fragments, empty in exact mode.
+#
+# Two byte-only table tweaks shave the per-step cost of the walk (the
+# dominant expense of a memo miss):
+#
+# * ``transitions`` is a plain list, not an ``array('i')`` — array
+#   subscripts box a fresh int object per step for state ids above the
+#   small-int cache, list subscripts return the prebuilt ones;
+# * states are renumbered so accepting states occupy the top of the id
+#   space (:func:`_accept_threshold_tables`): longest-match tracking is
+#   one ``state >= {athresh}`` compare instead of an accept-table load,
+#   and the walk resolves ``best`` to a token only once, at the end.
+_BYTE_KERNELS_TEMPLATE = '''\
+def _make_kernels(transitions, accept_token, translate, first_ok, memo, miss,
+                  counts, str_translate):
+{f_def}\
+    def tokenize(message, _len=len,
+                 _trans=transitions, _accept=accept_token, _tab=translate,
+                 _first=first_ok, _memo=memo, _get=memo.get, _miss=miss,
+                 _counts=counts):
+        if not message or not _first[message[0]]:
+            return None
+{c_pass1}        key = {key_expr}
+        token = _get(key, _miss)
+        if token is not _miss:
+            return token
+{c_scan1}        classes = key.translate(_tab)
+{f_tok}\
+        state = {start}
+        best = -1
+        for c in classes:
+            state = _trans[state * {stride} + c]
+            if state < 0:
+                break
+            if state >= {athresh}:
+                best = state
+        if best < 0:
+            token = None
+        else:
+            token = _accept[best]
+{c_match1}        if _len(_memo) >= {capacity}:
+            _memo.clear()
+        _memo[key] = token
+        return token
+
+    def scan_hits(messages, _len=len,
+                  _trans=transitions, _accept=accept_token, _tab=translate,
+                  _first=first_ok, _memo=memo, _get=memo.get, _miss=miss,
+                  _counts=counts):
+        hits = []
+        _append = hits.append
+{c_locals}        i = -1
+        for message in messages:
+            i += 1
+            if not message or not _first[message[0]]:
+                continue
+{c_pass2}            key = {key_expr}
+            token = _get(key, _miss)
+            if token is _miss:
+{c_scan2}                classes = key.translate(_tab)
+{f_hits}\
+                state = {start}
+                best = -1
+                for c in classes:
+                    state = _trans[state * {stride} + c]
+                    if state < 0:
+                        break
+                    if state >= {athresh}:
+                        best = state
+                if best < 0:
+                    token = None
+                else:
+                    token = _accept[best]
+{c_match2}                if _len(_memo) >= {capacity}:
+                    _memo.clear()
+                _memo[key] = token
+            if token is not None:
+                _append((i, token))
+{c_fold}        return hits
+
+    def match_span(message,
+                   _trans=transitions, _accept=accept_token, _tab=translate):
+        classes = message.translate(_tab)
+{f_span}\
+        state = {start}
+        best = -1
+        end = 0
+        i = 0
+        for c in classes:
+            state = _trans[state * {stride} + c]
+            if state < 0:
+                break
+            i += 1
+            if state >= {athresh}:
+                best = state
+                end = i
+        if best < 0:
+            return None, 0
+        return _accept[best], end
+
+    return tokenize, scan_hits, match_span, _fb_tokenize
+'''
+
+# Fallback-mode fragments for the byte template.  The decode path runs
+# only for lines whose translated form contains the marker class —
+# ASCII-only lines (virtually all syslog) never reach it.
+_BYTE_FALLBACK_DEF = '''\
+    def _fb_tokenize(key, _ord=ord,
+                     _trans=transitions, _accept=accept_token,
+                     _stab=str_translate):
+        state = {start}
+        best = -1
+        for ch in str(key, "utf-8", "replace").translate(_stab):
+            state = _trans[state * {stride} + _ord(ch)]
+            if state < 0:
+                break
+            if state >= {athresh}:
+                best = state
+        if best < 0:
+            return None
+        return _accept[best]
+
+'''
+
+_BYTE_FALLBACK_TOK = '''\
+        if {marker} in classes:
+            token = _fb_tokenize(key)
+{c_fbm1}            if _len(_memo) >= {capacity}:
+                _memo.clear()
+            _memo[key] = token
+            return token
+'''
+
+_BYTE_FALLBACK_HITS = '''\
+                if {marker} in classes:
+                    token = _fb_tokenize(key)
+{c_fbm2}                    if _len(_memo) >= {capacity}:
+                        _memo.clear()
+                    _memo[key] = token
+                    if token is not None:
+                        _append((i, token))
+                    continue
+'''
+
+_BYTE_FALLBACK_SPAN = '''\
+        if {marker} in classes:
+            state = {start}
+            best = -1
+            end = 0
+            i = 0
+            for ch in str(message, "utf-8", "replace").translate(str_translate):
+                state = _trans[state * {stride} + ord(ch)]
+                if state < 0:
+                    break
+                i += 1
+                if state >= {athresh}:
+                    best = state
+                    end = i
+            if best < 0:
+                return None, 0
+            return _accept[best], end
+'''
+
 # Kernel shapes repeat heavily (every scanner over the same catalog has
 # the same start/stride/memo policy), so code objects are cached by
 # their rendered source.
@@ -212,30 +430,308 @@ def emit_scan_kernels_source(
     )
 
 
+def emit_byte_scan_kernels_source(
+    *,
+    start: int,
+    stride: int,
+    capacity: int,
+    memo_len: Optional[int],
+    counting: bool = False,
+    exact: bool = True,
+    marker: int = 0,
+    athresh: int = 0,
+) -> str:
+    """Render the byte-alphabet kernel factory source for one shape.
+
+    ``exact=False`` renders the fallback variant: translated messages
+    containing the ``marker`` class (some byte ≥ 0x80 the byte alphabet
+    cannot decide) are decoded and re-walked over the str table.  The
+    fallback path keys the memo on the whole record — a byte-prefix key
+    is not sound when the match is decided by a *character* count.
+    ``athresh`` is the accept threshold of the renumbered walk table
+    (:func:`_accept_threshold_tables`): states ``>= athresh`` accept.
+    Consequence: with a finite ``memo_len``, fallback-mode funnel
+    counts can differ from the str kernel's on messages that share a
+    ``memo_len``-character prefix but not their raw bytes (the str memo
+    coalesces them, the byte memo cannot without decoding).  Tokens and
+    hits are identical regardless; exact mode (every real catalog) is
+    count-identical too.
+    """
+    if not exact:
+        memo_len = None
+    key_expr = "message" if memo_len is None else f"message[:{memo_len}]"
+    shape = {"start": start, "stride": stride, "capacity": capacity,
+             "marker": marker, "athresh": athresh}
+    if exact:
+        f_tok = f_hits = f_span = ""
+        f_def = "    _fb_tokenize = None\n\n"
+    else:
+        c_fbm1 = c_fbm2 = ""
+        if counting:
+            c_fbm1 = ("            if token is not None:\n"
+                      "                _counts[2] += 1\n")
+            c_fbm2 = ("                    if token is not None:\n"
+                      "                        n_match += 1\n")
+        f_def = _BYTE_FALLBACK_DEF.format(**shape)
+        f_tok = _BYTE_FALLBACK_TOK.format(c_fbm1=c_fbm1, **shape)
+        f_hits = _BYTE_FALLBACK_HITS.format(c_fbm2=c_fbm2, **shape)
+        f_span = _BYTE_FALLBACK_SPAN.format(**shape)
+    fragments = _COUNTING_FRAGMENTS if counting else _PLAIN_FRAGMENTS
+    return _BYTE_KERNELS_TEMPLATE.format(
+        key_expr=key_expr,
+        f_def=f_def,
+        f_tok=f_tok,
+        f_hits=f_hits,
+        f_span=f_span,
+        **shape,
+        **fragments,
+    )
+
+
+def _accept_threshold_tables(dfa: DFA, accept_token: Sequence[int]):
+    """Renumber states so accepting ids form the top of the id space.
+
+    Returns ``(transitions, accept_by_state, start, athresh)`` for the
+    byte kernels: ``transitions`` is a renumbered plain-list walk table
+    (list subscripts return prebuilt ints; ``array('i')`` boxes a fresh
+    one per step), ``accept_by_state[s]`` is the external token of
+    accepting state ``s`` (``-1`` below the threshold), and a state is
+    accepting iff ``s >= athresh`` — one compare in the walk instead of
+    an accept-table load per step.  Pure permutation: tokens, spans and
+    funnel counts are unchanged.
+    """
+    stride = dfa.n_classes + 1
+    trans = dfa.walk_transitions
+    n_states = len(trans) // stride
+    order = [s for s in range(n_states) if accept_token[s] < 0]
+    athresh = len(order)
+    order += [s for s in range(n_states) if accept_token[s] >= 0]
+    perm = [0] * n_states
+    for new, old in enumerate(order):
+        perm[old] = new
+    renumbered = [0] * len(trans)
+    for old in range(n_states):
+        base = old * stride
+        new_base = perm[old] * stride
+        for c in range(stride):
+            v = trans[base + c]
+            renumbered[new_base + c] = -1 if v < 0 else perm[v]
+    accept_by_state = tuple(accept_token[old] for old in order)
+    return renumbered, accept_by_state, perm[dfa.start], athresh
+
+
+class _Pending:
+    """Memo placeholder for a line queued in the vectorized sweep.
+
+    The numpy backend probes and fills the memo at exactly the same
+    points as the scalar kernels — including the clear-at-capacity
+    policy and intra-batch duplicates — so the funnel counters are
+    bit-identical across backends.  A duplicate arriving while its
+    first occurrence is still queued finds this placeholder: that is a
+    memo *hit* (no second DFA run), resolved after the sweep.
+    """
+
+    __slots__ = ("slot",)
+
+    def __init__(self, slot: int):
+        self.slot = slot
+
+
+# Bound on the padded class matrix one lockstep sweep materializes;
+# bigger pending sets sweep in row chunks.
+_SWEEP_MAX_CELLS = 1 << 22
+
+
+def _make_numpy_scan_hits(
+    dfa: DFA,
+    accept_token: Sequence[int],
+    memo: dict,
+    counts: List[int],
+    *,
+    capacity: int,
+    memo_len: Optional[int],
+    counting: bool,
+    fb_tokenize: Optional[Callable],
+) -> Callable:
+    """Vectorized ``scan_hits``: every memo-missing line in the batch
+    steps through the transition table in lockstep.
+
+    Per character position ``j`` one gather ``table[state, cls[:, j]]``
+    advances every still-live line at once; lines whose state goes dead
+    are retired from the active set immediately (the overwhelming
+    majority die within a few steps — first-char survivors that match
+    no template).  Rows are padded with the dead class, so ragged
+    batches need no per-row length bookkeeping.
+    """
+    np = _numpy()
+    assert np is not None
+    alpha = dfa.byte_alphabet
+    btab = alpha.table
+    first = alpha.first_ok
+    exact = alpha.exact
+    marker = alpha.marker
+    start = dfa.start
+    dead_class = dfa.n_classes
+    table2d = np.asarray(dfa.walk_transitions, dtype=np.int32).reshape(
+        dfa.n_states, dfa.n_classes + 1
+    )
+    accept_np = np.asarray(accept_token, dtype=np.int32)
+    miss = _MEMO_MISS
+    if not exact:
+        memo_len = None  # match the scalar fallback kernels' key policy
+
+    def _sweep(rows: List[bytes]) -> List[Optional[int]]:
+        n = len(rows)
+        lens = np.fromiter(map(len, rows), dtype=np.int64, count=n)
+        length = int(lens.max())
+        mat = np.full((n, length), dead_class, dtype=np.uint8)
+        mat[np.arange(length) < lens[:, None]] = np.frombuffer(
+            b"".join(rows), dtype=np.uint8
+        )
+        state = np.full(n, start, dtype=np.int32)
+        best = np.full(n, -1, dtype=np.int32)
+        active = np.arange(n)
+        for j in range(length):
+            s = table2d[state[active], mat[active, j]]
+            alive = s >= 0
+            if not alive.all():
+                active = active[alive]
+                if not active.size:
+                    break
+                s = s[alive]
+            state[active] = s
+            t = accept_np[s]
+            upd = t >= 0
+            if upd.any():
+                best[active[upd]] = t[upd]
+        return [None if b < 0 else int(b) for b in best]
+
+    def _sweep_chunked(rows: List[bytes]) -> List[Optional[int]]:
+        out: List[Optional[int]] = []
+        lo = 0
+        n = len(rows)
+        while lo < n:
+            hi = lo + 1
+            longest = len(rows[lo])
+            while hi < n:
+                cand = max(longest, len(rows[hi]))
+                if cand * (hi + 1 - lo) > _SWEEP_MAX_CELLS:
+                    break
+                longest = cand
+                hi += 1
+            out.extend(_sweep(rows[lo:hi]))
+            lo = hi
+        return out
+
+    def scan_hits(messages) -> List:
+        hits: List = []
+        pending_rows: List[bytes] = []  # translated class rows to sweep
+        pending_keys: List = []
+        pending_refs: List = []  # (line index, slot) resolved post-sweep
+        n_pass = n_scan = n_match = 0
+        i = -1
+        for message in messages:
+            i += 1
+            if not message or not first[message[0]]:
+                continue
+            n_pass += 1
+            key = message if memo_len is None else message[:memo_len]
+            token = memo.get(key, miss)
+            if token is miss:
+                n_scan += 1
+                classes = key.translate(btab)
+                if not exact and marker in classes:
+                    token = fb_tokenize(key)
+                    if token is not None:
+                        n_match += 1
+                    if len(memo) >= capacity:
+                        memo.clear()
+                    memo[key] = token
+                    if token is not None:
+                        hits.append((i, token))
+                    continue
+                slot = len(pending_rows)
+                pending_rows.append(classes)
+                pending_keys.append(key)
+                if len(memo) >= capacity:
+                    memo.clear()
+                memo[key] = _Pending(slot)
+                pending_refs.append((i, slot))
+            elif token.__class__ is _Pending:
+                pending_refs.append((i, token.slot))
+            elif token is not None:
+                hits.append((i, token))
+        if pending_rows:
+            tokens = _sweep_chunked(pending_rows)
+            for slot, key in enumerate(pending_keys):
+                cur = memo.get(key, miss)
+                if cur.__class__ is _Pending and cur.slot == slot:
+                    memo[key] = tokens[slot]
+            for idx, slot in pending_refs:
+                token = tokens[slot]
+                if token is not None:
+                    hits.append((idx, token))
+            hits.sort()
+            if counting:
+                n_match += sum(1 for t in tokens if t is not None)
+        if counting:
+            counts[0] += n_pass
+            counts[1] += n_scan
+            counts[2] += n_match
+        return hits
+
+    return scan_hits
+
+
 def compile_scan_kernels(
     dfa: DFA,
     rule_tokens: Sequence[int],
     *,
     memo_capacity: int = 4096,
     counting: bool = False,
+    backend: str = "str",
 ) -> ScanKernels:
     """Build the specialized translate-walk kernels for ``dfa``.
 
     ``rule_tokens[tag]`` maps the DFA's accept tags (rule indices) to
     the external token ids the kernels return.  ``counting=True`` emits
     the funnel-instrumented variant whose ``counts`` list tracks
-    ``[lines past first-char, DFA runs, DFA matches]``.
+    ``[lines past first-char, DFA runs, DFA matches]``.  ``backend``
+    selects the kernel family (:data:`SCAN_BACKENDS`); the byte-level
+    backends take raw ``bytes`` records and never decode a line the
+    funnel rejects.
     """
+    backend = resolve_backend(backend)
     accept_token = tuple(
         -1 if tag is None else rule_tokens[tag] for tag in dfa.accepts
     )
-    source = emit_scan_kernels_source(
-        start=dfa.start,
-        stride=dfa.n_classes + 1,
-        capacity=max(1, memo_capacity),
-        memo_len=dfa.max_match_length,
-        counting=counting,
-    )
+    capacity = max(1, memo_capacity)
+    if backend == "str":
+        source = emit_scan_kernels_source(
+            start=dfa.start,
+            stride=dfa.n_classes + 1,
+            capacity=capacity,
+            memo_len=dfa.max_match_length,
+            counting=counting,
+        )
+    else:
+        alpha = dfa.byte_alphabet
+        if alpha is None:
+            raise ValueError(
+                "catalog alphabet too large for the byte backend "
+                f"({dfa.n_classes} classes; byte translate caps at 254)")
+        byte_trans, byte_accept, byte_start, athresh = (
+            _accept_threshold_tables(dfa, accept_token))
+        source = emit_byte_scan_kernels_source(
+            start=byte_start,
+            stride=dfa.n_classes + 1,
+            capacity=capacity,
+            memo_len=dfa.max_match_length,
+            counting=counting,
+            exact=alpha.exact,
+            marker=alpha.marker,
+            athresh=athresh,
+        )
     code = _KERNEL_CODE_CACHE.get(source)
     if code is None:
         code = compile(source, "<repro.codegen scan kernels>", "exec")
@@ -244,16 +740,40 @@ def compile_scan_kernels(
     exec(code, namespace)
     memo: dict = {}
     counts = [0, 0, 0]
-    tokenize, scan_hits, match_span = namespace["_make_kernels"](
-        dfa.walk_transitions,
-        accept_token,
-        dfa.translate_table,
-        dfa.start_viable_ascii,
-        memo,
-        _MEMO_MISS,
-        counts,
-    )
-    return ScanKernels(tokenize, scan_hits, match_span, memo, counts)
+    if backend == "str":
+        tokenize, scan_hits, match_span = namespace["_make_kernels"](
+            dfa.walk_transitions,
+            accept_token,
+            dfa.translate_table,
+            dfa.start_viable_ascii,
+            memo,
+            _MEMO_MISS,
+            counts,
+        )
+    else:
+        alpha = dfa.byte_alphabet
+        tokenize, scan_hits, match_span, fb_tokenize = namespace["_make_kernels"](
+            byte_trans,
+            byte_accept,
+            alpha.table,
+            alpha.first_ok,
+            memo,
+            _MEMO_MISS,
+            counts,
+            dfa.translate_table,
+        )
+        if backend == "numpy":
+            scan_hits = _make_numpy_scan_hits(
+                dfa,
+                accept_token,
+                memo,
+                counts,
+                capacity=capacity,
+                memo_len=dfa.max_match_length,
+                counting=counting,
+                fb_tokenize=fb_tokenize,
+            )
+    return ScanKernels(tokenize, scan_hits, match_span, memo, counts, backend)
 
 
 _TEMPLATE = '''\

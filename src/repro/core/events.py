@@ -12,7 +12,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 from datetime import datetime, timezone
-from typing import Optional
+from typing import Optional, Tuple
 
 
 class LogDecodeError(ValueError):
@@ -105,6 +105,54 @@ class LogEvent:
         if "\\" in message:
             message = unescape_message(message)
         return cls(time=t, node=node, message=message)
+
+    @classmethod
+    def from_record(cls, record: bytes) -> "LogEvent":
+        """Decode a raw byte record into an event (the byte-ingest
+        analog of :meth:`from_line`; quarantine decisions coincide)."""
+        t, node, message = parse_record_bytes(record)
+        return cls(
+            time=t,
+            node=str(node, "utf-8", "replace"),
+            message=str(message, "utf-8", "replace"),
+        )
+
+
+def parse_record_bytes(record: bytes) -> Tuple[float, bytes, bytes]:
+    """Split and header-validate one raw serialized record **without
+    decoding the payload**.
+
+    Returns ``(time, node_bytes, message_bytes)``.  Only the ~32-byte
+    timestamp field is ever decoded; the node and message stay raw for
+    the byte-level scan path, which defers their decoding to the rare
+    lines that actually match (see :mod:`repro.logsim.stream`).
+
+    Quarantine decisions are identical to :meth:`LogEvent.from_line` on
+    the replace-decoded text: ``0x20`` never occurs inside a UTF-8
+    multi-byte sequence, so the byte-level field split finds exactly
+    the spaces the decoded split finds, and an invalid timestamp field
+    replace-decodes to text ``fromisoformat`` rejects just the same.
+    Raises :class:`LogDecodeError` with the same reason tags.
+
+    Messages containing escapes (``b"\\\\"`` present — rare) are
+    normalized here: decoded, unescaped, re-encoded.  The scanner must
+    see the same text the str pipeline scans, and an escaped newline is
+    two bytes on the wire but one character to the templates.
+    """
+    sp1 = record.find(b" ")
+    sp2 = record.find(b" ", sp1 + 1) if sp1 >= 0 else -1
+    if sp2 < 0:
+        raise LogDecodeError("truncated", str(record, "utf-8", "replace"))
+    try:
+        t = datetime.fromisoformat(
+            str(record[:sp1], "utf-8", "replace")).timestamp()
+    except (ValueError, OverflowError, OSError) as exc:
+        raise LogDecodeError(
+            "bad_timestamp", str(record, "utf-8", "replace")) from exc
+    message = record[sp2 + 1:]
+    if b"\\" in message:
+        message = unescape_message(str(message, "utf-8", "replace")).encode()
+    return t, record[sp1 + 1:sp2], message
 
 
 @dataclass(frozen=True, slots=True)

@@ -88,6 +88,11 @@ class PredictorFleet:
         self.scanner = scanner  # the shared scanner object, if known
         self._clock = clock
         self._predictors: Dict[str, AarohiPredictor] = {}
+        # Byte-path bookkeeping: raw node id -> decoded name (hits only),
+        # and lines scanned without per-predictor attribution (see
+        # :meth:`run_buffer`) so the funnel resolution stays exact.
+        self._node_names: Dict[bytes, str] = {}
+        self._scanned_unattributed = 0
 
     @classmethod
     def from_store(
@@ -98,17 +103,23 @@ class PredictorFleet:
         optimized: bool = True,
         obs: Optional[Observability] = None,
         scanner=None,
+        scan_backend: str = "str",
         **kwargs,
     ) -> "PredictorFleet":
         if scanner is None:
             if optimized:
                 scanner = store.compile_scanner(
-                    keep=chains.token_set, counting=obs is not None)
+                    keep=chains.token_set, counting=obs is not None,
+                    backend=scan_backend)
             else:
                 from ..templates.store import NaiveTemplateScanner
 
                 scanner = NaiveTemplateScanner(store, keep=chains.token_set)
-        return cls(chains, scanner.tokenize, obs=obs, scanner=scanner, **kwargs)
+        # Per-event paths hand the tokenizer decoded text, so on byte
+        # backends the fleet holds the encoding adapter, not the raw
+        # byte kernel (which only run_buffer/_run_flat call directly).
+        tokenizer = getattr(scanner, "tokenize_text", None) or scanner.tokenize
+        return cls(chains, tokenizer, obs=obs, scanner=scanner, **kwargs)
 
     def predictor_for(self, node: str) -> AarohiPredictor:
         predictor = self._predictors.get(node)
@@ -187,19 +198,148 @@ class PredictorFleet:
         """
         from pathlib import Path
 
-        from ..logsim.stream import IngestStats, decode_lines, read_log, sorted_stream
+        from ..logsim.stream import (
+            IngestStats,
+            decode_lines,
+            read_byte_batch,
+            read_log,
+            sorted_stream,
+        )
 
         stats = IngestStats()
-        if isinstance(source, (str, Path)) or hasattr(source, "read"):
-            events = read_log(source, on_error=on_error, stats=stats)
+        # Byte fast path: a byte-backend scanner reading from a file or
+        # a raw byte buffer never decodes the ~99% of lines the funnel
+        # rejects — records go straight from mmap to the byte kernel.
+        # Per-line timing needs per-event tokenize calls, so timing=
+        # "full" stays on the decoded path.
+        if (
+            timing != "full"
+            and getattr(self.scanner, "backend", "str") != "str"
+            and isinstance(source, (str, Path, bytes, bytearray, memoryview))
+        ):
+            batch = read_byte_batch(
+                source, on_error=on_error,
+                reorder_horizon=reorder_horizon, stats=stats,
+            )
+            report = self.run_buffer(batch, timing=timing)
+            report.ingest = stats
+            if self.obs is not None:
+                self.obs.record_ingest(stats)
+            return report
+        if isinstance(source, (bytes, bytearray, memoryview)):
+            # Raw buffers can still reach the decoded path (timing=
+            # "full", or a str-kernel fleet fed a byte blob): ingest at
+            # the byte layer, then decode for the event driver.
+            events = iter(read_byte_batch(
+                source, on_error=on_error,
+                reorder_horizon=reorder_horizon, stats=stats,
+            ).decode_events())
         else:
-            events = decode_lines(source, on_error=on_error, stats=stats)
-        if reorder_horizon > 0:
-            events = sorted_stream(events, reorder_horizon, stats)
+            if isinstance(source, (str, Path)) or hasattr(source, "read"):
+                events = read_log(source, on_error=on_error, stats=stats)
+            else:
+                events = decode_lines(source, on_error=on_error, stats=stats)
+            if reorder_horizon > 0:
+                events = sorted_stream(events, reorder_horizon, stats)
         report = self.run(list(events), timing=timing)
         report.ingest = stats
         if self.obs is not None:
             self.obs.record_ingest(stats)
+        return report
+
+    def run_buffer(self, batch, *, timing: Timing = "off") -> FleetReport:
+        """Drive a :class:`~repro.logsim.stream.ByteRecordBatch` through
+        the fleet without decoding rejected lines.
+
+        This is the byte-pipeline terminus: one batched byte-kernel
+        ``scan_hits`` call over the raw records, then per-hit routing
+        identical to :meth:`_run_flat`.  Node ids are decoded lazily —
+        only for the rare matching lines, through a persistent
+        ``bytes → str`` cache — so a discarded record costs zero Python
+        objects beyond its slice.
+
+        One deliberate difference from the event paths: per-predictor
+        ``lines_seen`` is **not** attributed (that would re-introduce a
+        per-line hash+probe on every record).  The fleet-level report
+        and the scanner-funnel identity stay exact via
+        ``_scanned_unattributed``, which :meth:`_record_run` folds into
+        the funnel resolution.  ``timing="full"`` is rejected — per-line
+        tokenize timing requires the per-event path.
+        """
+        if timing not in _TIMING_MODES:
+            raise ValueError(f"unknown timing mode {timing!r}")
+        if timing == "full":
+            raise ValueError(
+                "run_buffer cannot time per-line tokenization; decode the "
+                "batch and use run(events, timing='full') instead")
+        scan_hits = getattr(self.scanner, "scan_hits", None)
+        if scan_hits is None or getattr(self.scanner, "backend", "str") == "str":
+            return self.run(batch.decode_events(), timing=timing)
+        obs = self.obs
+        t_run = _time.perf_counter() if obs is not None else 0.0
+        report = FleetReport()
+        times = batch.times
+        nodes = batch.nodes
+        hits = scan_hits(batch.messages)
+        is_relevant = self.chains.is_relevant
+        predictor_for = self.predictor_for
+        node_names = self._node_names
+        predictions = report.predictions
+        sampled = timing == "sampled"
+        tokenized = 0
+        n_predictions = 0
+        feed_seconds = 0.0
+        for i, token in hits:
+            if not is_relevant(token):
+                continue
+            raw = nodes[i]
+            node = node_names.get(raw)
+            if node is None:
+                node = node_names[raw] = str(raw, "utf-8", "replace")
+            predictor = predictor_for(node)
+            predictor.stats.lines_tokenized += 1
+            tokenized += 1
+            event_time = times[i]
+            if sampled:
+                clock = predictor._clock
+                t0 = clock()
+                match = predictor._engine.feed(token, event_time)
+                cost = clock() - t0
+                predictor.stats.feed_seconds += cost
+                feed_seconds += cost
+                predictor._chain_cost += cost
+            else:
+                match = predictor._engine.feed(token, event_time)
+            if match is None:
+                continue
+            if sampled:
+                prediction_time = predictor._chain_cost
+                predictor._chain_cost = 0.0
+            else:
+                prediction_time = 0.0
+            predictor.stats.predictions += 1
+            n_predictions += 1
+            prediction = Prediction(
+                node=node,
+                chain_id=match.chain_id,
+                flagged_at=match.end_time,
+                prediction_time=prediction_time,
+                matched_tokens=match.tokens,
+            )
+            if predictor._obs_emit is not None:
+                predictor._obs_emit(prediction)
+            predictions.append(prediction)
+        n_records = len(batch)
+        self._scanned_unattributed += n_records
+        report.stats.lines_seen = n_records
+        report.stats.lines_tokenized = tokenized
+        report.stats.predictions = n_predictions
+        report.stats.feed_seconds = feed_seconds
+        report.nodes = len(self._predictors)
+        if obs is not None:
+            self._record_run(obs, report, _time.perf_counter() - t_run,
+                             [n_records] if n_records else [],
+                             times[-1] if n_records else None)
         return report
 
     def _run_flat(
@@ -218,7 +358,12 @@ class PredictorFleet:
         predictor_for = self.predictor_for
         for node, n in node_counts.items():
             predictor_for(node).stats.lines_seen += n
-        hits = scan_hits(list(map(_message_of, events)))
+        messages = list(map(_message_of, events))
+        if getattr(self.scanner, "backend", "str") != "str":
+            # Byte-backend kernels scan raw bytes; pre-decoded events
+            # re-encode here (the zero-decode win belongs to run_buffer).
+            messages = [m.encode("utf-8", "replace") for m in messages]
+        hits = scan_hits(messages)
         is_relevant = self.chains.is_relevant
         predictors = self._predictors
         predictions = report.predictions
@@ -334,10 +479,13 @@ class PredictorFleet:
         obs.record_engine_stats(p._engine.stats for p in predictors)
         if self.scanner is not None:
             # The scanner is shared by every predictor, so its funnel is
-            # resolved against the fleet-wide cumulative line count.
+            # resolved against the fleet-wide cumulative line count —
+            # including byte-batch lines scanned without per-predictor
+            # attribution (see :meth:`run_buffer`).
             obs.record_scanner(
                 self.scanner,
-                sum(p.stats.lines_seen for p in predictors),
+                sum(p.stats.lines_seen for p in predictors)
+                + self._scanned_unattributed,
             )
         # Live/quality planes (no-ops unless configured on the facade).
         # Latencies already reached the live sketch through the

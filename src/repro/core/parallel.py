@@ -83,6 +83,7 @@ def _init_worker(
     timing: str,
     shard: Optional[int] = None,
     on_error: str = "quarantine",
+    scan_backend: str = "str",
 ) -> None:
     global _WORKER_FLEET, _WORKER_TIMING, _WORKER_OBS, _WORKER_LAST_SNAP
     global _WORKER_ON_ERROR
@@ -104,25 +105,39 @@ def _init_worker(
         # regex compilation in workers, just kernel specialization.
         compiled = scanner_from_artifact(scanner_tables)
         cls = CountingTemplateScanner if shard is not None else TemplateScanner
-        kwargs["scanner"] = cls(compiled)
+        kwargs["scanner"] = cls(compiled, backend=scan_backend)
     _WORKER_FLEET = bundle.make_fleet(**kwargs)
     _WORKER_TIMING = timing
     _WORKER_LAST_SNAP = None
     _WORKER_ON_ERROR = on_error
 
 
-def _run_chunk(lines: List[str]) -> Tuple[List[tuple], PredictorStats, Optional[dict], "IngestStats"]:
+def _run_chunk(lines) -> Tuple[List[tuple], PredictorStats, Optional[dict], "IngestStats"]:
     global _WORKER_LAST_SNAP
     assert _WORKER_FLEET is not None, "worker not initialized"
-    from ..logsim.stream import IngestStats, decode_lines
+    from ..logsim.stream import IngestStats, decode_lines, read_record_batch
 
     # Tolerant decode: a single malformed line in a chunk must not take
     # the whole worker (and with it the shard's predictor state) down.
     # The per-chunk funnel ships back with the result and merges into
     # the parent's cumulative ingest counters.
     ingest = IngestStats()
-    events = list(decode_lines(lines, on_error=_WORKER_ON_ERROR, stats=ingest))
-    report = _WORKER_FLEET.run(events, timing=_WORKER_TIMING)
+    if isinstance(lines, bytes):
+        # Byte-backend payload: one newline-joined blob per chunk (one
+        # pickled object instead of a list of strings), split and
+        # header-validated worker-side, records never decoded unless
+        # they match.  Per-line timing needs per-event calls, so
+        # timing="full" decodes the batch and takes the event path.
+        batch = read_record_batch(
+            lines, on_error=_WORKER_ON_ERROR, stats=ingest)
+        if _WORKER_TIMING == "full":
+            report = _WORKER_FLEET.run(batch.decode_events(), timing="full")
+        else:
+            report = _WORKER_FLEET.run_buffer(batch, timing=_WORKER_TIMING)
+    else:
+        events = list(
+            decode_lines(lines, on_error=_WORKER_ON_ERROR, stats=ingest))
+        report = _WORKER_FLEET.run(events, timing=_WORKER_TIMING)
     predictions = [
         (p.node, p.chain_id, p.flagged_at, p.prediction_time,
          p.matched_tokens)
@@ -155,7 +170,9 @@ class ParallelFleet:
         timing: str = "off",
         obs: Optional[Observability] = None,
         on_error: str = "quarantine",
+        scan_backend: str = "str",
     ):
+        from ..codegen import resolve_backend
         from ..logsim.stream import ERROR_POLICIES, IngestStats
 
         if n_workers < 1:
@@ -170,6 +187,9 @@ class ParallelFleet:
         self.obs = obs
         self.timing = timing
         self.on_error = on_error
+        # Resolved in the parent (numpy-absent → "bytes") so the cache
+        # digest, the shipped artifact, and every worker kernel agree.
+        self.scan_backend = resolve_backend(scan_backend)
         # Fleet-wide cumulative stats, merged back from worker diffs via
         # the PredictorStats.snapshot()/diff()/add() API.
         self.stats = PredictorStats()
@@ -188,18 +208,19 @@ class ParallelFleet:
         )
 
         spec = bundle.store.lex_spec(keep=bundle.chains.token_set)
-        compiled = load_cached_scanner(spec)
+        compiled = load_cached_scanner(spec, backend=self.scan_backend)
         if compiled is None:
             compiled = spec.compile()
-            save_cached_scanner(compiled)
-        tables = scanner_artifact(compiled)
+            save_cached_scanner(compiled, backend=self.scan_backend)
+        tables = scanner_artifact(compiled, backend=self.scan_backend)
         # One single-process pool per shard: shard i → worker i, always.
         self._pools = [
             ctx.Pool(
                 processes=1,
                 initializer=_init_worker,
                 initargs=(bundle_dict, tables, timeout, timing,
-                          shard if obs is not None else None, on_error),
+                          shard if obs is not None else None, on_error,
+                          self.scan_backend),
             )
             for shard in range(n_workers)
         ]
@@ -217,6 +238,7 @@ class ParallelFleet:
         stats_before = self.stats.snapshot() if obs is not None else None
         shards = partition_events(events, self.n_workers)
         chunk_lines = self.chunk_lines
+        as_bytes = self.scan_backend != "str"
         pending = []
         chunk_sizes: List[int] = []
         for shard_idx, shard in enumerate(shards):
@@ -224,8 +246,15 @@ class ParallelFleet:
             # FIFO within a single-process pool keeps chunk order; the
             # serialization of chunk k+1 overlaps the compute of chunk k.
             for start in range(0, len(shard), chunk_lines):
-                payload = [e.to_line() for e in shard[start : start + chunk_lines]]
-                chunk_sizes.append(len(payload))
+                chunk = shard[start : start + chunk_lines]
+                if as_bytes:
+                    # One newline-joined blob per chunk: a single bytes
+                    # pickle, split worker-side by the byte ingest.
+                    payload = "\n".join(
+                        e.to_line() for e in chunk).encode("utf-8", "replace")
+                else:
+                    payload = [e.to_line() for e in chunk]
+                chunk_sizes.append(len(chunk))
                 pending.append(pool.apply_async(_run_chunk, (payload,)))
         if obs is not None:
             obs.registry.gauge(

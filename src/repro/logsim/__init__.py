@@ -8,27 +8,43 @@
 * :mod:`.stream` — merge / serialize / replay plumbing
 """
 
-from .catalogs import Catalog, CatalogEntry, catalog_for
-from .corruptions import (
-    CorruptionReport,
-    CorruptionSpec,
-    corrupt_events,
-    corrupt_lines,
-    corrupt_window,
-)
-from .faults import ChainDef, DeltaTModel, LeadGapModel, chain_defs_for
-from .generator import ClusterLogGenerator, InjectedChain, LogWindow
+# The simulator half (catalogs/faults/generator/corruptions) needs
+# numpy; the stream/ingest half below is pure stdlib.  Without numpy
+# (the [fast] extra) the ingest layer must stay importable — the
+# scanner stack quarantines and replays logs fine on the bytes
+# backend — so the simulator names simply go missing and any use of
+# them raises the usual ImportError at the access site.
+try:
+    from .catalogs import Catalog, CatalogEntry, catalog_for
+    from .corruptions import (
+        CorruptionReport,
+        CorruptionSpec,
+        corrupt_events,
+        corrupt_lines,
+        corrupt_window,
+    )
+    from .faults import ChainDef, DeltaTModel, LeadGapModel, chain_defs_for
+    from .generator import ClusterLogGenerator, InjectedChain, LogWindow
+
+    SIMULATOR_AVAILABLE = True
+except ImportError:
+    SIMULATOR_AVAILABLE = False
 from .placement import ClusterProfile, PlacementResult, compare_placements, evaluate_placement
 from .stream import (
     ERROR_POLICIES,
+    ByteRecordBatch,
     IngestStats,
     SortBuffer,
     StreamOrderError,
     clip_window,
     decode_lines,
+    iter_byte_records,
     merge_streams,
+    read_byte_batch,
     read_log,
+    read_record_batch,
     read_truth,
+    sort_record_batch,
     sorted_stream,
     split_by_node,
     write_log,
@@ -39,6 +55,7 @@ from .topology import ClusterTopology, NodeName
 
 __all__ = [
     "ALL_SYSTEMS",
+    "ByteRecordBatch",
     "Catalog",
     "CatalogEntry",
     "ChainDef",
@@ -59,6 +76,7 @@ __all__ = [
     "LogWindow",
     "PlacementResult",
     "NodeName",
+    "SIMULATOR_AVAILABLE",
     "SortBuffer",
     "StreamOrderError",
     "SystemConfig",
@@ -71,9 +89,13 @@ __all__ = [
     "corrupt_window",
     "decode_lines",
     "evaluate_placement",
+    "iter_byte_records",
     "merge_streams",
+    "read_byte_batch",
     "read_log",
+    "read_record_batch",
     "read_truth",
+    "sort_record_batch",
     "sorted_stream",
     "split_by_node",
     "system_by_name",

@@ -26,11 +26,14 @@ from __future__ import annotations
 import heapq
 import json
 import logging
+import mmap
 from dataclasses import dataclass, field, fields
 from pathlib import Path
-from typing import IO, Dict, Iterable, Iterator, List, Optional, Sequence, Union
+from typing import (IO, Dict, Iterable, Iterator, List, NamedTuple, Optional,
+                    Sequence, Union)
 
-from ..core.events import LogDecodeError, LogEvent, NodeFailure
+from ..core.events import (LogDecodeError, LogEvent, NodeFailure,
+                           parse_record_bytes)
 
 _log = logging.getLogger("repro.ingest")
 
@@ -332,6 +335,204 @@ def read_log(
             yield from decode_lines(fh, on_error=on_error, stats=stats)
         return
     yield from decode_lines(source, on_error=on_error, stats=stats)
+
+
+# -- byte-level ingest ------------------------------------------------
+#
+# The scan kernels' byte backends (see repro.codegen) consume raw UTF-8
+# records.  This ingest path parses *headers* eagerly (timestamp — the
+# quarantine decision needs it — and the node/message field split) but
+# leaves node and message bytes undecoded: the ~99% of lines the
+# rejection funnel discards never pay a UTF-8 decode at all.  Decoding
+# happens only on the quarantine path (error previews), the trace path,
+# and the prediction path (the rare lines that match a template).
+
+
+def iter_byte_records(
+    source: Union[str, Path, bytes, bytearray, memoryview, IO[bytes]],
+) -> Iterator[bytes]:
+    """Split a byte source into newline-delimited records.
+
+    * paths are **mmapped** (``ACCESS_READ``) — the file never transits
+      the Python heap as a whole; each record is sliced out on demand
+      (slices are immutable ``bytes``, hashable for the scan memo);
+    * binary file objects are drained with one ``read()``;
+    * ``bytes``/``bytearray``/``memoryview`` buffers (socket-style
+      receive windows) are split in place.
+
+    Blank records are skipped, matching the text pipeline.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "rb") as fh:
+            try:
+                buf: Union[bytes, mmap.mmap] = mmap.mmap(
+                    fh.fileno(), 0, access=mmap.ACCESS_READ)
+            except (ValueError, OSError):  # empty or unmappable file
+                buf = fh.read()
+            try:
+                yield from _split_records(buf)
+            finally:
+                if isinstance(buf, mmap.mmap):
+                    buf.close()
+        return
+    if hasattr(source, "read"):
+        yield from _split_records(source.read())
+        return
+    if isinstance(source, (bytearray, memoryview)):
+        source = bytes(source)  # slices must be immutable/hashable
+    yield from _split_records(source)
+
+
+def _split_records(buf) -> Iterator[bytes]:
+    find = buf.find
+    n = len(buf)
+    start = 0
+    while start < n:
+        nl = find(b"\n", start)
+        if nl < 0:
+            yield buf[start:]
+            return
+        if nl > start:
+            yield buf[start:nl]
+        start = nl + 1
+
+
+@dataclass
+class ByteRecordBatch:
+    """A record stream with parsed headers and undecoded payloads.
+
+    Parallel lists: ``times[i]`` (epoch seconds, parsed eagerly — the
+    quarantine decision requires it), ``nodes[i]`` and ``messages[i]``
+    (raw UTF-8 bytes).  The byte scan kernels sweep ``messages``
+    directly; nodes are decoded per *hit*, messages only for traces.
+    """
+
+    times: List[float]
+    nodes: List[bytes]
+    messages: List[bytes]
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def decode_events(self) -> List[LogEvent]:
+        """Fully decode into :class:`LogEvent` objects (tests, traces —
+        never the hot path)."""
+        return [
+            LogEvent(t, str(n, "utf-8", "replace"), str(m, "utf-8", "replace"))
+            for t, n, m in zip(self.times, self.nodes, self.messages)
+        ]
+
+
+def read_record_batch(
+    source: Union[str, Path, bytes, bytearray, memoryview, IO[bytes]],
+    *,
+    on_error: str = "warn",
+    stats: Optional[IngestStats] = None,
+) -> ByteRecordBatch:
+    """Byte-level analog of :func:`read_log`: mmap/split/validate into
+    a :class:`ByteRecordBatch` under the same error policies.
+
+    Quarantine decisions and counts match the text pipeline line for
+    line (asserted by the ingest equivalence tests); the funnel
+    identity ``decoded + quarantined == lines_read`` holds on every
+    exit path.  Under ``"strict"`` the first undecodable record raises
+    :class:`LogDecodeError` (the text pipeline may instead surface a
+    ``UnicodeDecodeError`` from the file reader for invalid UTF-8 —
+    both abort ingest; byte ingest pins down *which record*).
+    """
+    _check_policy(on_error)
+    strict = on_error == "strict"
+    warn = on_error == "warn"
+    times: List[float] = []
+    nodes: List[bytes] = []
+    messages: List[bytes] = []
+    lines_read = 0
+    quarantined = 0
+    by_reason: Dict[str, int] = {}
+    try:
+        for record in iter_byte_records(source):
+            if record.endswith(b"\r"):
+                # Text-mode reads normalize CRLF; serialized messages
+                # never end in a raw \r (escape_message), so stripping
+                # one here keeps the pipelines identical on CRLF logs.
+                record = record[:-1]
+                if not record:
+                    continue
+            lines_read += 1
+            try:
+                t, node, message = parse_record_bytes(record)
+            except LogDecodeError as exc:
+                quarantined += 1
+                reason = exc.reason
+                by_reason[reason] = by_reason.get(reason, 0) + 1
+                if strict:
+                    raise
+                if warn and quarantined <= WARN_LINE_CAP:
+                    _log.warning("quarantined record (%s)", exc)
+                continue
+            times.append(t)
+            nodes.append(node)
+            messages.append(message)
+        if warn and quarantined > WARN_LINE_CAP:
+            _log.warning(
+                "quarantined %d further records (suppressed per-record "
+                "warnings after the first %d)",
+                quarantined - WARN_LINE_CAP, WARN_LINE_CAP)
+    finally:
+        if stats is not None:
+            stats.lines_read += lines_read
+            stats.decoded += lines_read - quarantined
+            stats.quarantined += quarantined
+            for reason, n in by_reason.items():
+                stats.quarantined_by_reason[reason] = (
+                    stats.quarantined_by_reason.get(reason, 0) + n
+                )
+    return ByteRecordBatch(times, nodes, messages)
+
+
+class _Stamped(NamedTuple):
+    """Index carrier for replaying a batch through a SortBuffer (the
+    buffer only ever reads ``.time``)."""
+
+    time: float
+    index: int
+
+
+def sort_record_batch(
+    batch: ByteRecordBatch,
+    horizon_s: float,
+    stats: Optional[IngestStats] = None,
+) -> ByteRecordBatch:
+    """Bounded-horizon reorder of a batch — :class:`SortBuffer`
+    semantics (including ``reordered``/``late`` accounting) applied to
+    the parallel lists by index."""
+    buffer = SortBuffer(horizon_s, stats)
+    order: List[int] = []
+    for i, t in enumerate(batch.times):
+        order.extend(s.index for s in buffer.push(_Stamped(t, i)))
+    order.extend(s.index for s in buffer.flush())
+    return ByteRecordBatch(
+        times=[batch.times[i] for i in order],
+        nodes=[batch.nodes[i] for i in order],
+        messages=[batch.messages[i] for i in order],
+    )
+
+
+def read_byte_batch(
+    source: Union[str, Path, bytes, bytearray, memoryview, IO[bytes]],
+    *,
+    on_error: str = "warn",
+    reorder_horizon: float = 0.0,
+    stats: Optional[IngestStats] = None,
+) -> ByteRecordBatch:
+    """One-call byte ingest: :func:`read_record_batch` plus the optional
+    bounded-horizon reorder — the byte analog of ``read_log`` +
+    ``sorted_stream`` as :meth:`PredictorFleet.run_lines` composes them.
+    """
+    batch = read_record_batch(source, on_error=on_error, stats=stats)
+    if reorder_horizon > 0:
+        batch = sort_record_batch(batch, reorder_horizon, stats)
+    return batch
 
 
 def write_truth(

@@ -114,6 +114,7 @@ from .names import (  # noqa: F401  (canonical names, re-exported)
     SCANNER_DFA_RUNS,
     SCANNER_FIRST_CHAR_REJECTED,
     SCANNER_MEMO_HITS,
+    SCANNER_TRANSLATE_EVICTIONS,
     SLO_BURN,
     TOKENIZE_SECONDS,
     TOKENS_ADVANCED,
@@ -223,6 +224,11 @@ class Observability:
             SCANNER_DFA_MATCHES, "full DFA scans that matched a template",
             **labels,
         ).set_total(counts["dfa_matches"])
+        registry.counter(
+            SCANNER_TRANSLATE_EVICTIONS,
+            "codepoint classes evicted from the bounded translate memo",
+            **labels,
+        ).set_total(counts.get("translate_evictions", 0))
 
     def record_ingest(self, delta) -> None:
         """Fold one ingest pass's :class:`~repro.logsim.stream.IngestStats`

@@ -20,6 +20,7 @@ SCANNER_FIRST_CHAR_REJECTED = "aarohi_scanner_first_char_rejected_total"
 SCANNER_MEMO_HITS = "aarohi_scanner_memo_hits_total"
 SCANNER_DFA_RUNS = "aarohi_scanner_dfa_runs_total"
 SCANNER_DFA_MATCHES = "aarohi_scanner_dfa_matches_total"
+SCANNER_TRANSLATE_EVICTIONS = "aarohi_scanner_translate_evictions_total"
 
 CHAIN_ACTIVATIONS = "aarohi_chain_activations_total"
 TOKENS_ADVANCED = "aarohi_tokens_advanced_total"

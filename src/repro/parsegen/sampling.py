@@ -8,11 +8,30 @@ prefers minimal-cost productions so recursion terminates.
 
 from __future__ import annotations
 
+import random
 from typing import Dict, List
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # numpy is optional (the [fast] extra)
+    np = None
 
 from .cfg import Grammar
+
+
+class _StdlibGenerator:
+    """random.Random behind the one Generator method the sampler uses.
+
+    Keeps the sampler importable without numpy; same-seed runs are
+    deterministic within an environment but the stdlib and numpy
+    streams differ, so cross-environment sentence sets do too.
+    """
+
+    def __init__(self, seed):
+        self._rng = random.Random(seed)
+
+    def integers(self, n):
+        return self._rng.randrange(int(n))
 
 
 def _min_costs(grammar: Grammar) -> Dict[str, int]:
@@ -110,7 +129,8 @@ def sample_sentences(
     seed: int = 0,
     soft_depth: int = 12,
 ) -> List[List[str]]:
-    rng = np.random.default_rng(seed)
+    rng = (np.random.default_rng(seed) if np is not None
+           else _StdlibGenerator(seed))
     return [
         sample_sentence(grammar, rng, soft_depth=soft_depth)
         for _ in range(n)

@@ -19,8 +19,10 @@ warm starts skip regex compilation entirely:
   else ``$XDG_CACHE_HOME/aarohi/scanners``, else
   ``~/.cache/aarohi/scanners``;
 * invalidation: the digest covers every rule (name, pattern, skip
-  flag), the minimization flag and :data:`SCANNER_COMPILER_VERSION` —
-  any template edit or compiler change misses cleanly and recompiles;
+  flag), the minimization flag, the kernel backend and its byte/str
+  alphabet mode, and :data:`SCANNER_COMPILER_VERSION` — any template
+  edit, backend switch, or compiler change misses cleanly and
+  recompiles;
 * artifacts are written atomically (temp file + ``os.replace``) and
   treated as best-effort: any unreadable/stale artifact is ignored.
 
@@ -205,10 +207,24 @@ def scanner_cache_dir(cache: Optional[bool] = None) -> Optional[Path]:
     return root / "aarohi" / "scanners"
 
 
-def scanner_digest(spec: LexSpec, *, minimized: bool = True) -> str:
-    """Content address of a compiled scanner: rule set + compiler rev."""
+def scanner_alphabet_mode(backend: str) -> str:
+    """The alphabet family a kernel backend walks: byte backends share
+    byte-class translate tables, the str backend keeps codepoint ones."""
+    return "byte" if backend in ("bytes", "numpy") else "str"
+
+
+def scanner_digest(
+    spec: LexSpec, *, minimized: bool = True, backend: str = "str"
+) -> str:
+    """Content address of a compiled scanner: rule set + compiler rev +
+    kernel backend (and its byte/str alphabet mode), so switching
+    backends can never serve a stale artifact."""
     h = hashlib.sha256()
-    h.update(f"v{SCANNER_COMPILER_VERSION}|min={int(minimized)}".encode())
+    h.update(
+        f"v{SCANNER_COMPILER_VERSION}|min={int(minimized)}"
+        f"|backend={backend}|alphabet={scanner_alphabet_mode(backend)}"
+        .encode()
+    )
     for rule in spec.rules:
         h.update(b"\x00")
         h.update(rule.name.encode())
@@ -265,13 +281,17 @@ def scanner_artifact(
     *,
     minimized: bool = True,
     digest: Optional[str] = None,
+    backend: str = "str",
 ) -> dict:
     """Serialize a compiled scanner's tables (the cache/wire format)."""
     return {
         "format_version": SCANNER_ARTIFACT_VERSION,
         "compiler_version": SCANNER_COMPILER_VERSION,
         "minimized": minimized,
-        "digest": digest or scanner_digest(compiled.spec, minimized=minimized),
+        "backend": backend,
+        "alphabet": scanner_alphabet_mode(backend),
+        "digest": digest or scanner_digest(
+            compiled.spec, minimized=minimized, backend=backend),
         "rules": [
             [rule.name, rule.pattern, rule.skip]
             for rule in compiled.spec.rules
@@ -304,13 +324,14 @@ def load_cached_scanner(
     *,
     minimized: bool = True,
     cache: Optional[bool] = None,
+    backend: str = "str",
 ) -> Optional[CompiledLexSpec]:
     """Warm-start path: return the cached compiled scanner for ``spec``,
     or ``None`` on any miss (absent, stale, unreadable, disabled)."""
     directory = scanner_cache_dir(cache)
     if directory is None:
         return None
-    digest = scanner_digest(spec, minimized=minimized)
+    digest = scanner_digest(spec, minimized=minimized, backend=backend)
     try:
         with open(directory / f"{digest}.json", encoding="utf-8") as fh:
             data = json.load(fh)
@@ -329,16 +350,18 @@ def save_cached_scanner(
     *,
     minimized: bool = True,
     cache: Optional[bool] = None,
+    backend: str = "str",
 ) -> Optional[Path]:
     """Persist a freshly compiled scanner; best-effort (returns the
     artifact path, or ``None`` if caching is off or the write failed)."""
     directory = scanner_cache_dir(cache)
     if directory is None:
         return None
-    digest = scanner_digest(compiled.spec, minimized=minimized)
+    digest = scanner_digest(compiled.spec, minimized=minimized, backend=backend)
     path = directory / f"{digest}.json"
     tmp = directory / f".{digest}.{os.getpid()}.tmp"
-    data = scanner_artifact(compiled, minimized=minimized, digest=digest)
+    data = scanner_artifact(
+        compiled, minimized=minimized, digest=digest, backend=backend)
     try:
         directory.mkdir(parents=True, exist_ok=True)
         with open(tmp, "w", encoding="utf-8") as fh:

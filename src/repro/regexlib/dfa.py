@@ -14,12 +14,18 @@ import bisect
 from array import array
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Callable, Dict, List, Optional, Tuple
+from itertools import islice
+from typing import Callable, Dict, List, NamedTuple, Optional, Tuple
 
-from .charset import CharSet, partition_alphabet
+from .charset import MAX_CODEPOINT, CharSet, partition_alphabet
 from .nfa import NFA
 
 DEAD = -1  # transition target meaning "no move"
+
+#: Default bound on memoized non-ASCII codepoints in a TranslateTable.
+#: Unicode has ~1.1M codepoints; an adversarial stream cycling through
+#: them must not grow the shared table without limit.
+TRANSLATE_MEMO_CAPACITY = 4096
 
 
 class TranslateTable(dict):
@@ -35,20 +41,70 @@ class TranslateTable(dict):
     traffic also runs at dict-lookup speed.  Codepoints outside every
     class map to the *dead class* (``n_classes``), whose transition
     column is always :data:`DEAD`.
+
+    The memo is bounded: once ``capacity`` entries exist, each new
+    codepoint evicts the oldest memoized one (insertion order, never
+    the ASCII seed) — so a stream cycling through the ~1.1M-codepoint
+    space holds the table at ``capacity`` instead of growing without
+    limit, while steady-state non-ASCII traffic keeps its hot entries.
+    ``evictions`` counts displacements for the funnel stats.
     """
 
-    __slots__ = ("_classify", "_dead_char")
+    __slots__ = ("_classify", "_dead_char", "_n_seed", "capacity", "evictions")
 
-    def __init__(self, classify: Callable[[int], int], dead: int, seed: dict):
+    def __init__(
+        self,
+        classify: Callable[[int], int],
+        dead: int,
+        seed: dict,
+        capacity: int = TRANSLATE_MEMO_CAPACITY,
+    ):
         super().__init__(seed)
         self._classify = classify
         self._dead_char = chr(dead)
+        self._n_seed = len(self)
+        self.capacity = max(capacity, self._n_seed + 1)
+        self.evictions = 0
 
     def __missing__(self, cp: int) -> str:
         cls = self._classify(cp)
         ch = self._dead_char if cls < 0 else chr(cls)
+        if len(self) >= self.capacity:
+            # Seed keys were inserted first and are never deleted, so the
+            # first key past them is always the oldest memoized codepoint.
+            del self[next(islice(iter(self), self._n_seed, None))]
+            self.evictions += 1
         self[cp] = ch
         return ch
+
+
+class ByteAlphabet(NamedTuple):
+    """Byte-level ECS tables: scan raw UTF-8 without decoding.
+
+    ``table`` maps every byte value to a class id for ``bytes.translate``
+    (dead class = ``n_classes``, exactly like the str table).  Two modes:
+
+    * **exact** — every non-ASCII codepoint falls in one equivalence
+      class that is *idempotent* in the walk table (or in no class at
+      all), so stepping the DFA once per UTF-8 **byte** accepts exactly
+      the messages that stepping once per **codepoint** accepts: a
+      multi-byte character's continuation bytes just re-take the same
+      self-loop (or die on the same dead move).  Every byte ≥ 0x80 maps
+      to that class and the walk never needs to decode.
+    * **fallback** — the catalog distinguishes non-ASCII codepoints
+      (several classes, or a non-idempotent one).  Bytes ≥ 0x80 map to
+      ``marker`` instead; a kernel that sees the marker in a translated
+      message must decode that line and walk the str table.  ASCII-only
+      lines (the overwhelming majority of syslog) still scan as bytes.
+
+    ``first_ok`` is the 256-entry start-viability table; bytes ≥ 0x80
+    always pass, mirroring the str kernel's ASCII-only first-char guard.
+    """
+
+    table: bytes
+    first_ok: bytes
+    exact: bool
+    marker: int
 
 
 @dataclass
@@ -212,6 +268,62 @@ class DFA:
             for cp, cls in enumerate(self.classifier.ascii_table)
         }
         return TranslateTable(self.classifier.classify, dead, seed)
+
+    def _uniform_nonascii_class(self) -> Optional[int]:
+        """The single class id covering *all* of [0x80, MAX_CODEPOINT],
+        the dead class if no codepoint up there is classified at all, or
+        ``None`` when non-ASCII codepoints are distinguished."""
+        c = self.classifier
+        if not c.los:
+            return self.n_classes  # everything non-ASCII is dead
+        ids = set(c.ids)
+        if len(ids) != 1:
+            return None
+        # One class — but it must tile [128, MAX_CODEPOINT] gaplessly,
+        # or the gaps (dead) would be indistinguishable from it.
+        if c.los[0] != 128 or c.his[-1] != MAX_CODEPOINT:
+            return None
+        for i in range(len(c.los) - 1):
+            if c.los[i + 1] != c.his[i] + 1:
+                return None
+        return c.ids[0]
+
+    def _class_idempotent(self, cls: int) -> bool:
+        """True iff re-reading ``cls`` from any state it leads to is a
+        self-loop — the condition under which one codepoint-step and
+        several byte-steps on the same class are indistinguishable."""
+        stride = self.n_classes + 1
+        walk = self.walk_transitions
+        for s in range(self.n_states):
+            t = walk[s * stride + cls]
+            if t >= 0 and walk[t * stride + cls] != t:
+                return False
+        return True
+
+    @cached_property
+    def byte_alphabet(self) -> Optional[ByteAlphabet]:
+        """Byte-level translate tables for this DFA (see
+        :class:`ByteAlphabet`), or ``None`` when class ids cannot fit in
+        a byte (``bytes.translate`` maps byte → byte)."""
+        n = self.n_classes
+        if n + 2 > 256:  # need room for the dead class and the marker
+            return None
+        dead = n
+        marker = n + 1
+        ascii_part = [
+            cls if cls >= 0 else dead for cls in self.classifier.ascii_table
+        ]
+        star = self._uniform_nonascii_class()
+        exact = star is not None and (
+            star == dead or self._class_idempotent(star)
+        )
+        high = [star if exact else marker] * 128
+        return ByteAlphabet(
+            table=bytes(ascii_part + high),
+            first_ok=self.start_viable_ascii + b"\x01" * 128,
+            exact=exact,
+            marker=marker,
+        )
 
     @cached_property
     def walk_transitions(self) -> array:

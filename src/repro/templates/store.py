@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from ..codegen import compile_scan_kernels
+from ..codegen import compile_scan_kernels, resolve_backend
 from ..core.events import Severity
 from ..lexgen import LexSpec
 from ..lexgen.spec import CompiledLexSpec
@@ -136,6 +136,7 @@ class TemplateStore:
         minimized: bool = True,
         counting: bool = False,
         cache: Optional[bool] = None,
+        backend: str = "str",
     ) -> "TemplateScanner":
         """Compile the merged scanner; ``counting=True`` returns a
         :class:`CountingTemplateScanner` whose rejection-funnel stages
@@ -147,20 +148,27 @@ class TemplateStore:
         ``AAROHI_SCANNER_CACHE`` environment policy.  On a cache hit
         the NFA→DFA→Hopcroft pipeline is skipped entirely and the
         scanner is rebuilt from the stored tables.
+
+        ``backend`` selects the kernel family (``"str"``, ``"bytes"``,
+        or ``"numpy"``; see :data:`repro.codegen.SCAN_BACKENDS`).  It is
+        resolved *before* the cache probe — ``"numpy"`` degrades to
+        ``"bytes"`` when numpy is absent — so the artifact-cache key
+        always reflects the backend actually compiled.
         """
         from .. import persistence  # late: persistence imports this module
 
+        backend = resolve_backend(backend)
         spec = self.lex_spec(keep)
         compiled = persistence.load_cached_scanner(
-            spec, minimized=minimized, cache=cache
+            spec, minimized=minimized, cache=cache, backend=backend
         )
         if compiled is None:
             compiled = spec.compile(minimized=minimized)
             persistence.save_cached_scanner(
-                compiled, minimized=minimized, cache=cache
+                compiled, minimized=minimized, cache=cache, backend=backend
             )
         cls = CountingTemplateScanner if counting else TemplateScanner
-        return cls(compiled)
+        return cls(compiled, backend=backend)
 
 
 class TemplateScanner:
@@ -196,14 +204,27 @@ class TemplateScanner:
       never surface per-line results to Python;
     * ``match_span(message) -> (token | None, end)`` — longest-match
       span, for differential testing against per-template matching.
+
+    With ``backend="bytes"`` or ``"numpy"`` the kernels take raw
+    ``bytes`` records instead of ``str`` (see
+    :func:`repro.codegen.emit_byte_scan_kernels_source`); callers that
+    only have decoded text should go through ``tokenize_text``, which
+    encodes on byte backends and is a plain alias of ``tokenize`` on
+    the str backend.
     """
 
-    __slots__ = ("compiled", "tokenize", "scan_hits", "match_span", "memo",
-                 "_counts")
+    __slots__ = ("compiled", "backend", "tokenize", "tokenize_text",
+                 "scan_hits", "match_span", "memo", "_counts")
 
     _counting = False
 
-    def __init__(self, compiled: CompiledLexSpec, *, memo_capacity: int = 4096):
+    def __init__(
+        self,
+        compiled: CompiledLexSpec,
+        *,
+        memo_capacity: int = 4096,
+        backend: str = "str",
+    ):
         self.compiled = compiled
         rule_tokens = [int(rule.name) for rule in compiled.spec.rules]
         kernels = compile_scan_kernels(
@@ -211,8 +232,19 @@ class TemplateScanner:
             rule_tokens,
             memo_capacity=memo_capacity,
             counting=self._counting,
+            backend=backend,
         )
+        self.backend = kernels.backend
         self.tokenize = kernels.tokenize
+        if kernels.backend == "str":
+            self.tokenize_text = kernels.tokenize
+        else:
+            _tok = kernels.tokenize
+
+            def tokenize_text(message: str) -> Optional[int]:
+                return _tok(message.encode("utf-8", "replace"))
+
+            self.tokenize_text = tokenize_text
         self.scan_hits = kernels.scan_hits
         self.match_span = kernels.match_span
         self.memo = kernels.memo
@@ -266,6 +298,7 @@ class CountingTemplateScanner(TemplateScanner):
             "memo_hits": n_pass - n_scans,
             "dfa_runs": n_scans,
             "dfa_matches": n_matched,
+            "translate_evictions": self.compiled.dfa.translate_table.evictions,
         }
 
 

@@ -1,0 +1,244 @@
+"""Differential equivalence: byte/numpy scan backends vs the str kernel.
+
+The byte-alphabet kernels (and the numpy lockstep sweep riding on them)
+must be observationally identical to the established str translate walk
+— token ids, match spans, batched hits, and the funnel counters — over
+all four platform catalogs, under the seeded random-template property
+suite, and on corrupted streams containing invalid UTF-8.  The
+compiled-artifact cache must key on the backend (a str artifact must
+never satisfy a bytes probe, and vice versa), and ``"numpy"`` must
+degrade to ``"bytes"`` when numpy is absent.
+"""
+
+import random
+
+import pytest
+
+from repro import codegen, persistence
+from repro.codegen import SCAN_BACKENDS, numpy_available, resolve_backend
+from repro.logsim import HPC1, HPC2, HPC3, HPC4, ClusterLogGenerator
+from repro.regexlib.dfa import TranslateTable
+from repro.templates import TemplateStore
+from repro.templates.masking import MASK
+
+from test_merged_scanner_equivalence import probe_messages, random_store
+
+PLATFORMS = [("HPC1", HPC1), ("HPC2", HPC2), ("HPC3", HPC3), ("HPC4", HPC4)]
+BYTE_BACKENDS = ("bytes", "numpy")
+
+
+def encode(messages):
+    return [m.encode("utf-8", "replace") for m in messages]
+
+
+def fresh_scanner(store, backend, keep=None):
+    return store.compile_scanner(
+        keep=keep, counting=True, cache=False, backend=backend)
+
+
+def platform_probes(platform, seed):
+    gen = ClusterLogGenerator(platform, seed=seed)
+    window = gen.generate_window(duration=1200.0, n_nodes=16, n_failures=5)
+    messages = [e.message for e in window.events[:4000]]
+    messages += probe_messages(gen.store, seed=seed)
+    return gen, messages
+
+
+class TestBackendDifferential:
+    @pytest.mark.parametrize("name,platform", PLATFORMS)
+    def test_tokenize_and_counts_agree(self, name, platform):
+        gen, messages = platform_probes(platform, seed=17)
+        raw = encode(messages)
+        s_str = fresh_scanner(gen.store, "str")
+        s_byte = fresh_scanner(gen.store, "bytes")
+        assert [s_str.tokenize(m) for m in messages] == \
+            [s_byte.tokenize(b) for b in raw]
+        # Exact byte mode (every platform catalog): the funnel counters
+        # are identical stage for stage, not merely consistent.
+        assert s_byte.compiled.dfa.byte_alphabet.exact
+        assert list(s_str._counts) == list(s_byte._counts)
+
+    @pytest.mark.parametrize("name,platform", PLATFORMS)
+    def test_scan_hits_agree_across_all_backends(self, name, platform):
+        gen, messages = platform_probes(platform, seed=29)
+        raw = encode(messages)
+        scanners = {be: fresh_scanner(gen.store, be)
+                    for be in ("str",) + BYTE_BACKENDS}
+        hits = {"str": scanners["str"].scan_hits(messages)}
+        for be in BYTE_BACKENDS:
+            hits[be] = scanners[be].scan_hits(raw)
+        assert hits["str"] == hits["bytes"] == hits["numpy"]
+        counts = {be: list(s._counts) for be, s in scanners.items()}
+        assert counts["str"] == counts["bytes"] == counts["numpy"]
+
+    @pytest.mark.parametrize("name,platform", PLATFORMS[:2])
+    def test_match_span_agrees(self, name, platform):
+        gen, messages = platform_probes(platform, seed=31)
+        s_str = fresh_scanner(gen.store, "str")
+        s_byte = fresh_scanner(gen.store, "bytes")
+        for m in messages[:2500]:
+            b = m.encode("utf-8", "replace")
+            # Platform catalogs are pure ASCII, so the byte span's byte
+            # offset and the str span's char offset coincide.
+            assert s_byte.match_span(b) == s_str.match_span(m), m
+
+    @pytest.mark.parametrize("seed", [1, 7, 42, 1234, 99991])
+    def test_random_templates_property(self, seed):
+        rng = random.Random(seed)
+        store = random_store(rng)
+        probes = probe_messages(store, seed=seed)
+        fragments = [t.text.replace(MASK, "z") for t in store]
+        for _ in range(150):
+            k = rng.randrange(1, 4)
+            probes.append(" ".join(rng.choice(fragments) for _ in range(k)))
+            frag = rng.choice(fragments)
+            probes.append(frag[: rng.randrange(0, len(frag) + 1)] + "q")
+        raw = encode(probes)
+        s_str = fresh_scanner(store, "str")
+        tokens = [s_str.tokenize(m) for m in probes]
+        for be in BYTE_BACKENDS:
+            s = fresh_scanner(store, be)
+            assert [s.tokenize(b) for b in raw] == tokens, (seed, be)
+            s = fresh_scanner(store, be)
+            assert s.scan_hits(raw) == [
+                (i, t) for i, t in enumerate(tokens) if t is not None]
+
+
+class TestInvalidUtf8:
+    """Raw byte records that do not decode cleanly must tokenize the
+    same as the str kernel sees after replace-decoding — corruption is
+    quarantined/discarded identically, never mis-tokenized."""
+
+    def garbled(self, gen, seed):
+        rng = random.Random(seed)
+        window = gen.generate_window(duration=900.0, n_nodes=12,
+                                     n_failures=4)
+        raw = []
+        for e in window.events[:2000]:
+            b = bytearray(e.message.encode())
+            r = rng.random()
+            if r < 0.2 and b:
+                b[rng.randrange(len(b))] = rng.choice(
+                    [0x80, 0xC3, 0xFE, 0xFF])  # invalid / lone bytes
+            elif r < 0.3:
+                b = b[: rng.randrange(0, len(b) + 1)]  # truncated record
+            elif r < 0.4:
+                b += bytes([0xE2, 0x28])  # dangling multi-byte head
+            raw.append(bytes(b))
+        return raw
+
+    @pytest.mark.parametrize("backend", BYTE_BACKENDS)
+    def test_garbled_records_tokenize_like_replace_decode(self, backend):
+        gen = ClusterLogGenerator(HPC3, seed=5)
+        raw = self.garbled(gen, seed=5)
+        decoded = [b.decode("utf-8", "replace") for b in raw]
+        s_str = fresh_scanner(gen.store, "str")
+        s_b = fresh_scanner(gen.store, backend)
+        assert [s_b.tokenize(b) for b in raw] == \
+            [s_str.tokenize(m) for m in decoded]
+        s_b2 = fresh_scanner(gen.store, backend)
+        s_str2 = fresh_scanner(gen.store, "str")
+        assert s_b2.scan_hits(raw) == s_str2.scan_hits(decoded)
+
+    def test_fallback_mode_agrees_on_non_ascii_catalog(self):
+        # Non-ASCII template literals force the inexact (marker) byte
+        # alphabet: flagged lines decode and re-walk the str table.
+        store = TemplateStore()
+        store.add("temp sensor " + MASK + " overheat")
+        store.add("видео link fault " + MASK)
+        store.add("温度 warning " + MASK)
+        s_byte = fresh_scanner(store, "bytes")
+        assert not s_byte.compiled.dfa.byte_alphabet.exact
+        s_str = fresh_scanner(store, "str")
+        probes = ["temp sensor 9 overheat", "видео link fault x",
+                  "温度 warning hot", "温度 warning", "unrelated 行",
+                  "temp sensor overheat", ""]
+        for m in probes:
+            b = m.encode()
+            assert s_byte.tokenize(b) == s_str.tokenize(m), m
+            assert s_byte.match_span(b) == s_str.match_span(m), m
+
+
+class TestBackendResolution:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_backend("simd")
+
+    def test_backends_registry(self):
+        assert SCAN_BACKENDS == ("str", "bytes", "numpy")
+
+    def test_numpy_degrades_to_bytes_when_absent(self, monkeypatch):
+        monkeypatch.setattr(codegen, "_NUMPY", False)
+        assert not numpy_available()
+        assert resolve_backend("numpy") == "bytes"
+        store = TemplateStore()
+        store.add("link failed " + MASK)
+        scanner = store.compile_scanner(cache=False, backend="numpy")
+        assert scanner.backend == "bytes"
+        assert scanner.tokenize(b"link failed x") is not None
+
+    @pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+    def test_numpy_backend_reports_numpy(self):
+        store = TemplateStore()
+        store.add("link failed " + MASK)
+        scanner = store.compile_scanner(cache=False, backend="numpy")
+        assert scanner.backend == "numpy"
+
+
+class TestArtifactCacheBackendKey:
+    def test_backend_in_cache_key(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("AAROHI_SCANNER_CACHE", str(tmp_path))
+        gen = ClusterLogGenerator(HPC2, seed=13)
+        spec = gen.store.lex_spec()
+        assert persistence.scanner_digest(spec, backend="str") != \
+            persistence.scanner_digest(spec, backend="bytes")
+        # bytes and numpy share the byte alphabet mode but still key
+        # separately on the backend name.
+        assert persistence.scanner_digest(spec, backend="bytes") != \
+            persistence.scanner_digest(spec, backend="numpy")
+
+        gen.store.compile_scanner(backend="bytes")  # cold: persists
+        artifacts = list(tmp_path.glob("*.json"))
+        assert len(artifacts) == 1
+        # A str probe must not hit the bytes artifact.
+        assert persistence.load_cached_scanner(spec, backend="str") is None
+        assert persistence.load_cached_scanner(spec, backend="bytes") \
+            is not None
+
+        gen.store.compile_scanner(backend="str")
+        assert len(list(tmp_path.glob("*.json"))) == 2
+
+    def test_warm_byte_scanner_identical_to_cold(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("AAROHI_SCANNER_CACHE", str(tmp_path))
+        gen = ClusterLogGenerator(HPC1, seed=3)
+        cold = gen.store.compile_scanner(backend="bytes")
+        warm = gen.store.compile_scanner(backend="bytes")
+        probes = encode(probe_messages(gen.store, seed=2))
+        assert [warm.tokenize(b) for b in probes] == \
+            [cold.tokenize(b) for b in probes]
+        assert [warm.match_span(b) for b in probes[:400]] == \
+            [cold.match_span(b) for b in probes[:400]]
+
+
+class TestTranslateMemoBound:
+    def test_eviction_counter_and_bound(self):
+        table = TranslateTable(lambda cp: cp % 5, dead=7, seed={}, capacity=8)
+        for cp in range(0x100, 0x100 + 40):
+            chr(cp).translate(table)
+        assert len(table) <= 8
+        assert table.evictions == 40 - 8
+
+    def test_funnel_reports_evictions(self):
+        # The wildcard must sit mid-template: a trailing one bounds the
+        # memo key to the literal prefix and the walk never translates
+        # (or classifies) the varying non-ASCII codepoints at all.
+        store = TemplateStore()
+        store.add("link failed " + MASK + " x")
+        scanner = fresh_scanner(store, "str")
+        assert scanner.compiled.dfa.max_match_length is None
+        tt = scanner.compiled.dfa.translate_table
+        tt.capacity = tt._n_seed + 4
+        for cp in range(0x2200, 0x2240):
+            scanner.tokenize(f"link failed {chr(cp)} x")
+        funnel = scanner.funnel(lines_seen=0x40)
+        assert funnel["translate_evictions"] == tt.evictions > 0
