@@ -14,9 +14,13 @@ fleet per round, best of ``rounds``):
 * ``off``      — ``obs=None``, the baseline;
 * ``metrics``  — registry wired, no tracer (the production default);
 * ``traced``   — registry + full-sampling tracer to an in-memory sink
-                 (the worst case: every chain lifecycle emits JSONL).
+                 (the worst case: every chain lifecycle emits JSONL);
+* ``spans``    — registry + full-sampling :class:`~repro.obs.SpanClock`
+                 (every run pays the stage-lap clock reads), floor
+                 **≥93%** (:data:`SPANS_FLOOR`) via the same OR-gate as
+                 the live plane.
 
-A fourth configuration, ``live`` (:func:`measure_live_overhead`), runs
+A fifth configuration, ``live`` (:func:`measure_live_overhead`), runs
 the full ops plane — deadline monitor, quality scoreboard, and an HTTP
 ``/metrics`` endpoint being scraped **mid-run** — and must also hold
 the ≥95% floor; the scrape must satisfy the funnel identity (rejection
@@ -46,6 +50,9 @@ OVERHEAD_FLOOR = 0.95  # instrumented must keep ≥95% of baseline
 # production knob samples a fraction of chain activations — so it gets a
 # looser floor that still catches an accidentally-hot trace path.
 TRACED_FLOOR = 0.90
+# Full-sampling span timing: a handful of clock reads per run plus one
+# carve per prediction.  ≤7% overhead is the ISSUE's acceptance bound.
+SPANS_FLOOR = 0.93
 
 
 def _fresh_fleet(gen, obs):
@@ -91,6 +98,78 @@ def measure_obs_overhead(gen, n_events: int = 20_000, rounds: int = 5) -> dict:
         "metrics_vs_off": round(best["metrics"] / best["off"], 4),
         "traced_vs_off": round(best["traced"] / best["off"], 4),
     }
+
+
+def measure_spans_overhead(gen, n_events: int = 20_000, rounds: int = 5) -> dict:
+    """Best-of-``rounds`` events/s with full-sampling span timing on,
+    plus a direct measurement of the per-run span cost (the same
+    regime-drift-immune fallback :func:`measure_live_overhead` uses).
+
+    ``sample=1.0`` is the worst case: the production knob samples a
+    fraction of runs, and an unsampled run costs one float add and one
+    compare."""
+    from repro.obs import Observability, SpanClock
+    from repro.obs.spans import (
+        STAGE_DECODE,
+        STAGE_EMIT,
+        STAGE_MATCH,
+        STAGE_SCAN,
+    )
+
+    from emit_bench import discard_heavy_stream
+
+    events = discard_heavy_stream(gen, n_events)
+    best = {"off": 0.0, "spans": 0.0}
+    predictions = {}
+    for _ in range(rounds):
+        for mode in ("off", "spans"):
+            obs = None if mode == "off" else Observability(
+                spans=SpanClock(1.0))
+            fleet = _fresh_fleet(gen, obs)
+            t0 = time.perf_counter()
+            report = fleet.run(events, timing="off")
+            best[mode] = max(best[mode], n_events / (time.perf_counter() - t0))
+            predictions[mode] = len(report.predictions)
+    assert len(set(predictions.values())) == 1, predictions
+
+    # Direct per-run cost: replay the exact span calls fleet.run makes
+    # on a sampled run — start_run, the stage laps, one carve per
+    # prediction, and the cumulative fold + registry publish — and
+    # express them as a fraction of the baseline run time.
+    obs = Observability(spans=SpanClock(1.0))
+    n_predictions = predictions["off"]
+    reps = 500
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        timer = obs.spans.start_run()
+        timer.lap(STAGE_DECODE, n_events)
+        timer.lap(STAGE_SCAN, n_events)
+        for _ in range(n_predictions):
+            timer.carve(STAGE_MATCH, STAGE_EMIT, 1e-7, 1)
+        timer.lap(STAGE_MATCH, n_events)
+        obs.record_spans(timer)
+    span_seconds_per_run = (time.perf_counter() - t0) / reps
+    span_cost_fraction = span_seconds_per_run / (n_events / best["off"])
+
+    return {
+        "events": n_events,
+        "predictions": predictions["off"],
+        "off_events_per_s": round(best["off"]),
+        "spans_events_per_s": round(best["spans"]),
+        "spans_vs_off": round(best["spans"] / best["off"], 4),
+        "span_cost_fraction": round(span_cost_fraction, 5),
+    }
+
+
+def spans_gate_ok(spans: dict, floor: float = SPANS_FLOOR) -> bool:
+    """The span gate, same shape as :func:`live_gate_ok`: end-to-end
+    throughput held the floor, OR the directly-measured per-run span
+    cost is within the floor's budget.  A real regression in the lap
+    path (e.g. a syscall-grade clock or per-record laps) fails both."""
+    return (
+        spans["spans_vs_off"] >= floor
+        or spans["span_cost_fraction"] <= (1.0 - floor)
+    )
 
 
 def scrape_funnel_identity(text: str) -> dict:
@@ -251,6 +330,7 @@ def write_bench_json(results: dict, path: Path = BENCH_PATH) -> dict:
         "bench": "obs_overhead",
         "stream": "discard-heavy realistic window (see discard_heavy_stream)",
         "floor": OVERHEAD_FLOOR,
+        "spans_floor": SPANS_FLOOR,
         "systems": results,
     }
     path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
@@ -273,10 +353,15 @@ def main(argv=None) -> None:
     for name in ("HPC1",):
         gen = ClusterLogGenerator(system_by_name(name))
         measured = measure_obs_overhead(gen, n_events=n_events, rounds=rounds)
+        measured["spans"] = measure_spans_overhead(
+            gen, n_events=n_events, rounds=rounds)
         measured["live"] = measure_live_overhead(
             gen, n_events=n_events, rounds=rounds)
         results[name] = measured
         print(name, measured)
+        # The span gate runs in smoke too (ISSUE 7): the OR-gate's
+        # direct-cost arm makes it robust to shared-runner noise.
+        assert spans_gate_ok(measured["spans"]), measured["spans"]
         if not args.smoke:
             assert measured["metrics_vs_off"] >= OVERHEAD_FLOOR, measured
             assert measured["traced_vs_off"] >= TRACED_FLOOR, measured

@@ -25,6 +25,8 @@ from obs_overhead import (
     live_gate_ok,
     measure_live_overhead,
     measure_obs_overhead,
+    measure_spans_overhead,
+    spans_gate_ok,
     write_bench_json,
 )
 
@@ -53,6 +55,8 @@ def test_obs_overhead(benchmark, emit, generators):
     # The full ops plane (deadline monitor + scoreboard + a mid-run
     # HTTP scrape that must satisfy the funnel identity) rides the same
     # gate; the scrape itself happens off the clock.
+    spans = measure_spans_overhead(gen)
+    measured["spans"] = spans
     live = measure_live_overhead(gen)
     measured["live"] = live
     results = {"HPC1": measured}
@@ -66,6 +70,8 @@ def test_obs_overhead(benchmark, emit, generators):
              f"{measured['metrics_vs_off']:.4f}"),
             ("metrics+tracer", f"{measured['traced_events_per_s']:,.0f}",
              f"{measured['traced_vs_off']:.4f}"),
+            ("spans", f"{spans['spans_events_per_s']:,.0f}",
+             f"{spans['spans_vs_off']:.4f}"),
             ("live+scrape", f"{live['live_events_per_s']:,.0f}",
              f"{live['live_vs_off']:.4f}"),
         ],
@@ -80,3 +86,6 @@ def test_obs_overhead(benchmark, emit, generators):
     # Live plane: end-to-end ratio on a quiet machine, or the directly
     # measured per-run plane cost on a noisy one (see live_gate_ok).
     assert live_gate_ok(live), measured
+    # Span timing at sample=1.0 (worst case) keeps ≥93% — same OR-gate
+    # shape: throughput ratio, or the direct per-run lap cost.
+    assert spans_gate_ok(spans), spans

@@ -9,10 +9,12 @@ Thin wrappers over the library so each piece of the paper's workflow
 * ``pipeline`` — full two-phase run (generate → mine → predict → metrics)
 * ``speedup`` — quick Table VI-style comparison on this machine
 * ``obs-report`` — render a ``--metrics`` snapshot (and optionally a
-  ``--trace`` file) as funnel / latency / lifecycle summaries, or the
-  delta of two snapshots (``--diff BEFORE AFTER``)
+  ``--trace`` file) as funnel / latency / lifecycle summaries, the
+  delta of two snapshots (``--diff BEFORE AFTER``), or just the stage
+  span tables (``--spans``)
 * ``obs-serve`` — replay a log through a live-instrumented fleet while
-  serving ``/metrics``, ``/healthz``, and ``/quality`` over HTTP
+  serving ``/metrics``, ``/healthz``, ``/quality``, and the
+  ``/debug/*`` plane over HTTP
 """
 
 from __future__ import annotations
@@ -47,10 +49,12 @@ except ImportError:
             "this command drives the log simulator, which requires numpy:"
             " install the [fast] extra (pip install 'repro[fast]')")
 from .obs import (
+    FlightRecorder,
     LiveMonitor,
     Observability,
     ObsServer,
     QualityScoreboard,
+    SpanClock,
     Tracer,
     inter_arrival_budget,
 )
@@ -118,6 +122,17 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
         "--trace-sample", type=float, default=1.0,
         help="fraction of chain activations to trace (default: all)",
     )
+    parser.add_argument(
+        "--spans", type=float, default=0.0, metavar="SAMPLE",
+        help="time pipeline stages (ingest/decode/scan/match/emit) on "
+             "this fraction of runs (default: 0, off; 1.0 = every run)",
+    )
+    parser.add_argument(
+        "--flight-dir", default=None, metavar="DIR",
+        help="arm the flight recorder: on a deadline burn, quarantine "
+             "breach, or discard-drift trip, dump a JSONL crash capsule "
+             "into DIR",
+    )
 
 
 def _make_obs(
@@ -131,7 +146,10 @@ def _make_obs(
     """
     watch = getattr(args, "watch", False)
     truth = getattr(args, "truth", None)
-    if not (args.metrics or args.trace or watch or truth):
+    spans_sample = getattr(args, "spans", 0.0)
+    flight_dir = getattr(args, "flight_dir", None)
+    if not (args.metrics or args.trace or watch or truth
+            or spans_sample or flight_dir):
         return None
     tracer = None
     if args.trace:
@@ -144,7 +162,10 @@ def _make_obs(
     if truth:
         quality = QualityScoreboard()
         quality.add_failures(read_truth(truth))
-    return Observability(tracer=tracer, live=live, quality=quality)
+    spans = SpanClock(spans_sample) if spans_sample > 0.0 else None
+    flight = FlightRecorder(directory=flight_dir) if flight_dir else None
+    return Observability(tracer=tracer, live=live, quality=quality,
+                         spans=spans, flight=flight)
 
 
 def _finish_obs(args: argparse.Namespace, obs: Optional[Observability]) -> None:
@@ -153,6 +174,9 @@ def _finish_obs(args: argparse.Namespace, obs: Optional[Observability]) -> None:
     if args.metrics:
         with open(args.metrics, "w", encoding="utf-8") as fh:
             fh.write(obs.prometheus())
+    if obs.flight is not None and obs.flight.last_capsule_path is not None:
+        print(f"flight capsule ({obs.flight.last_reason}): "
+              f"{obs.flight.last_capsule_path}", file=sys.stderr)
     obs.close()
 
 
@@ -250,6 +274,10 @@ def cmd_predict(args: argparse.Namespace) -> int:
             obs.record_ingest(ingest)
     _finish_obs(args, obs)
     if args.json:
+        scanner = fleet.scanner
+        funnel = {}
+        if scanner is not None and hasattr(scanner, "funnel"):
+            funnel = scanner.funnel(report.lines_seen)
         print(_json.dumps({
             "system": args.system,
             "predictions": [
@@ -266,6 +294,10 @@ def cmd_predict(args: argparse.Namespace) -> int:
                 "lines_tokenized": report.lines_tokenized,
                 "fc_related_fraction": report.fc_related_fraction,
                 "nodes": report.nodes,
+            },
+            "scanner": {
+                "backend": getattr(scanner, "backend", None) or "str",
+                "translate_evictions": funnel.get("translate_evictions", 0),
             },
             "ingest": ingest.as_dict(),
         }, indent=2))
@@ -461,15 +493,26 @@ def _load_trace(path: str) -> list:
 
 
 def cmd_obs_report(args: argparse.Namespace) -> int:
-    from .obs import diff_snapshots
-    from .obs.report import report_sections
+    from .obs import diff_snapshots, snapshot_asymmetry
+    from .obs.report import (
+        report_sections,
+        series_change_section,
+        span_latency_section,
+        spans_section,
+    )
 
+    change_section = None
     try:
         if args.diff:
             before = _load_snapshot(args.diff[0])
             after = _load_snapshot(args.diff[1])
             snapshot = diff_snapshots(after, before)
-            if not snapshot:
+            # Snapshots that gained or lost whole series (a run that
+            # turned spans on, a backend change) report the asymmetry
+            # instead of pretending the series never existed.
+            change_section = series_change_section(
+                snapshot_asymmetry(after, before))
+            if not snapshot and change_section is None:
                 print("no metric changed between the two snapshots")
                 return 0
         else:
@@ -478,17 +521,31 @@ def cmd_obs_report(args: argparse.Namespace) -> int:
                     "need --metrics FILE or --diff BEFORE AFTER")
             snapshot = _load_snapshot(args.metrics)
         trace_records = _load_trace(args.trace) if args.trace else None
+        if getattr(args, "spans", False):
+            sections = [s for s in (spans_section(snapshot),
+                                    span_latency_section(snapshot))
+                        if s is not None]
+            if not sections:
+                raise _ReportError(
+                    "no span series in the snapshot — rerun the fleet "
+                    "with predict --spans SAMPLE")
+            print("\n\n".join(sections))
+            return 0
     except _ReportError as exc:
         print(f"obs-report: {exc}", file=sys.stderr)
         return 2
-    print("\n\n".join(report_sections(snapshot, trace_records)))
+    sections = report_sections(snapshot, trace_records)
+    if change_section is not None:
+        sections.append(change_section)
+    print("\n\n".join(sections))
     return 0
 
 
 def cmd_obs_serve(args: argparse.Namespace) -> int:
     """Replay a log through a live-instrumented fleet while serving
-    ``/metrics``, ``/healthz``, and ``/quality``.  Exit code reflects
-    the final deadline verdict (0 = feasible, 1 = budget blown)."""
+    ``/metrics``, ``/healthz``, ``/quality``, and ``/debug/*``.  Exit
+    code reflects the final deadline verdict (0 = feasible, 1 = budget
+    blown)."""
     config = system_by_name(args.system)
     gen = ClusterLogGenerator(config, seed=args.seed)
     live = LiveMonitor(inter_arrival_budget(config))
@@ -496,7 +553,11 @@ def cmd_obs_serve(args: argparse.Namespace) -> int:
     if args.truth:
         quality = QualityScoreboard()
         quality.add_failures(read_truth(args.truth))
-    obs = Observability(live=live, quality=quality)
+    spans = SpanClock(args.spans) if args.spans > 0.0 else None
+    flight = (FlightRecorder(directory=args.flight_dir)
+              if args.flight_dir else None)
+    obs = Observability(live=live, quality=quality, spans=spans,
+                        flight=flight)
     fleet = PredictorFleet.from_store(
         gen.chains, gen.store, timeout=gen.recommended_timeout,
         backend=args.backend, obs=obs,
@@ -513,7 +574,8 @@ def cmd_obs_serve(args: argparse.Namespace) -> int:
     size = max(1, math.ceil(len(events) / n_slices)) if events else 1
     with ObsServer(obs, host=args.host, port=args.port) as server:
         print(f"serving {server.url('/metrics')} "
-              f"(also /healthz and /quality)", flush=True)
+              f"(also /healthz /quality /debug/spans /debug/flight "
+              f"/debug/vars)", flush=True)
         for start in range(0, len(events), size):
             fleet.run(events[start:start + size])
             if args.pace > 0:
@@ -526,6 +588,9 @@ def cmd_obs_serve(args: argparse.Namespace) -> int:
                   f"{verdict.budget * 1e3:.4f} ms "
                   f"({verdict.observed} predictions, "
                   f"burn {verdict.burn_rate:.3f})")
+        if flight is not None and flight.last_capsule_path is not None:
+            print(f"flight capsule ({flight.last_reason}): "
+                  f"{flight.last_capsule_path}")
         if args.hold:
             print("stream done; serving until interrupted (Ctrl-C)")
             try:
@@ -615,6 +680,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--diff", nargs=2, metavar=("BEFORE", "AFTER"),
                    default=None,
                    help="render the delta between two snapshots instead")
+    p.add_argument("--spans", action="store_true",
+                   help="print only the pipeline stage span tables")
     p.set_defaults(func=cmd_obs_report)
 
     p = sub.add_parser(
@@ -638,6 +705,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="sleep this many seconds between batches")
     p.add_argument("--hold", action="store_true",
                    help="keep serving after the stream ends (Ctrl-C exits)")
+    p.add_argument("--spans", type=float, default=0.0, metavar="SAMPLE",
+                   help="time pipeline stages on this fraction of runs "
+                        "(serves /debug/spans; default: 0, off)")
+    p.add_argument("--flight-dir", default=None, metavar="DIR",
+                   help="arm the flight recorder; capsules land in DIR "
+                        "and on /debug/flight")
     _add_ingest_args(p)
     p.set_defaults(func=cmd_obs_serve)
 

@@ -16,6 +16,14 @@ from operator import attrgetter
 from typing import Callable, Dict, Iterable, List, Optional
 
 from ..obs import Observability
+from ..obs.spans import (
+    STAGE_DECODE,
+    STAGE_EMIT,
+    STAGE_INGEST,
+    STAGE_MATCH,
+    STAGE_SCAN,
+    SpanTimer,
+)
 from .chains import ChainSet
 from .events import LogEvent, Prediction
 from .predictor import (
@@ -29,6 +37,12 @@ from .predictor import (
 
 _node_of = attrgetter("node")
 _message_of = attrgetter("message")
+
+# Sentinel for the internal ``_span`` plumbing: "no caller-provided
+# timer — consult the span clock yourself".  Distinct from ``None``,
+# which means "the outer entry point already consulted the clock and
+# this run is unsampled".
+_SPAN_AUTO = object()
 
 
 @dataclass
@@ -142,8 +156,20 @@ class PredictorFleet:
     def process(self, event: LogEvent) -> Optional[Prediction]:
         return self.predictor_for(event.node).process(event)
 
+    def _span_start(self) -> Optional[SpanTimer]:
+        """Consult the span clock (if any) for this run — once per
+        outermost entry point (run / run_lines / run_buffer)."""
+        obs = self.obs
+        if obs is not None and obs.spans is not None:
+            return obs.spans.start_run()
+        return None
+
     def run(
-        self, events: Iterable[LogEvent], *, timing: Timing = "full"
+        self,
+        events: Iterable[LogEvent],
+        *,
+        timing: Timing = "full",
+        _span=_SPAN_AUTO,
     ) -> FleetReport:
         """Drive a whole (time-ordered) stream through the fleet.
 
@@ -169,10 +195,11 @@ class PredictorFleet:
         """
         if timing not in _TIMING_MODES:
             raise ValueError(f"unknown timing mode {timing!r}")
+        span = self._span_start() if _span is _SPAN_AUTO else _span
         scan_hits = getattr(self.scanner, "scan_hits", None)
         if timing != "full" and scan_hits is not None:
-            return self._run_flat(events, timing, scan_hits)
-        return self._run_grouped(events, timing)
+            return self._run_flat(events, timing, scan_hits, span)
+        return self._run_grouped(events, timing, span)
 
     def run_lines(
         self,
@@ -207,6 +234,7 @@ class PredictorFleet:
         )
 
         stats = IngestStats()
+        span = self._span_start()
         # Byte fast path: a byte-backend scanner reading from a file or
         # a raw byte buffer never decodes the ~99% of lines the funnel
         # rejects — records go straight from mmap to the byte kernel.
@@ -221,10 +249,14 @@ class PredictorFleet:
                 source, on_error=on_error,
                 reorder_horizon=reorder_horizon, stats=stats,
             )
-            report = self.run_buffer(batch, timing=timing)
-            report.ingest = stats
+            if span is not None:
+                # Zero-decode path: mmap/buffer read + byte header
+                # parse is the whole ingest stage; decode never runs.
+                span.lap(STAGE_INGEST, len(batch))
             if self.obs is not None:
                 self.obs.record_ingest(stats)
+            report = self.run_buffer(batch, timing=timing, _span=span)
+            report.ingest = stats
             return report
         if isinstance(source, (bytes, bytearray, memoryview)):
             # Raw buffers can still reach the decoded path (timing=
@@ -241,13 +273,22 @@ class PredictorFleet:
                 events = decode_lines(source, on_error=on_error, stats=stats)
             if reorder_horizon > 0:
                 events = sorted_stream(events, reorder_horizon, stats)
-        report = self.run(list(events), timing=timing)
-        report.ingest = stats
+        if span is not None:
+            span.lap(STAGE_INGEST)  # iterator setup; the read is lazy
+        events = list(events)
+        if span is not None:
+            # Materializing the stream drives read + tolerant decode
+            # (+ reorder repair) in one pass; it all lands on decode.
+            span.lap(STAGE_DECODE, len(events))
         if self.obs is not None:
             self.obs.record_ingest(stats)
+        report = self.run(events, timing=timing, _span=span)
+        report.ingest = stats
         return report
 
-    def run_buffer(self, batch, *, timing: Timing = "off") -> FleetReport:
+    def run_buffer(
+        self, batch, *, timing: Timing = "off", _span=_SPAN_AUTO
+    ) -> FleetReport:
         """Drive a :class:`~repro.logsim.stream.ByteRecordBatch` through
         the fleet without decoding rejected lines.
 
@@ -272,15 +313,18 @@ class PredictorFleet:
             raise ValueError(
                 "run_buffer cannot time per-line tokenization; decode the "
                 "batch and use run(events, timing='full') instead")
+        span = self._span_start() if _span is _SPAN_AUTO else _span
         scan_hits = getattr(self.scanner, "scan_hits", None)
         if scan_hits is None or getattr(self.scanner, "backend", "str") == "str":
-            return self.run(batch.decode_events(), timing=timing)
+            return self.run(batch.decode_events(), timing=timing, _span=span)
         obs = self.obs
         t_run = _time.perf_counter() if obs is not None else 0.0
         report = FleetReport()
         times = batch.times
         nodes = batch.nodes
         hits = scan_hits(batch.messages)
+        if span is not None:
+            span.lap(STAGE_SCAN, len(batch))
         is_relevant = self.chains.is_relevant
         predictor_for = self.predictor_for
         node_names = self._node_names
@@ -319,6 +363,9 @@ class PredictorFleet:
                 prediction_time = 0.0
             predictor.stats.predictions += 1
             n_predictions += 1
+            # Predictions are rare, so per-hit clock reads for the emit
+            # stage only run on sampled runs and cost nothing upstream.
+            t_emit = _time.perf_counter() if span is not None else 0.0
             prediction = Prediction(
                 node=node,
                 chain_id=match.chain_id,
@@ -329,6 +376,11 @@ class PredictorFleet:
             if predictor._obs_emit is not None:
                 predictor._obs_emit(prediction)
             predictions.append(prediction)
+            if span is not None:
+                span.carve(STAGE_MATCH, STAGE_EMIT,
+                           _time.perf_counter() - t_emit, 1)
+        if span is not None:
+            span.lap(STAGE_MATCH, tokenized)
         n_records = len(batch)
         self._scanned_unattributed += n_records
         report.stats.lines_seen = n_records
@@ -339,11 +391,15 @@ class PredictorFleet:
         if obs is not None:
             self._record_run(obs, report, _time.perf_counter() - t_run,
                              [n_records] if n_records else [],
-                             times[-1] if n_records else None)
+                             times[-1] if n_records else None, span)
         return report
 
     def _run_flat(
-        self, events: Iterable[LogEvent], timing: Timing, scan_hits: Callable
+        self,
+        events: Iterable[LogEvent],
+        timing: Timing,
+        scan_hits: Callable,
+        span: Optional[SpanTimer] = None,
     ) -> FleetReport:
         """Whole-stream scan: one batched kernel call, per-hit routing."""
         obs = self.obs
@@ -363,7 +419,13 @@ class PredictorFleet:
             # Byte-backend kernels scan raw bytes; pre-decoded events
             # re-encode here (the zero-decode win belongs to run_buffer).
             messages = [m.encode("utf-8", "replace") for m in messages]
+        if span is not None:
+            # Node accounting + message extraction (+ re-encode) is the
+            # in-memory analog of the decode stage.
+            span.lap(STAGE_DECODE, len(events))
         hits = scan_hits(messages)
+        if span is not None:
+            span.lap(STAGE_SCAN, len(events))
         is_relevant = self.chains.is_relevant
         predictors = self._predictors
         predictions = report.predictions
@@ -397,6 +459,9 @@ class PredictorFleet:
                 prediction_time = 0.0
             predictor.stats.predictions += 1
             n_predictions += 1
+            # Predictions are rare, so per-hit clock reads for the emit
+            # stage only run on sampled runs and cost nothing upstream.
+            t_emit = _time.perf_counter() if span is not None else 0.0
             prediction = Prediction(
                 node=event.node,
                 chain_id=match.chain_id,
@@ -407,6 +472,11 @@ class PredictorFleet:
             if predictor._obs_emit is not None:
                 predictor._obs_emit(prediction)
             predictions.append(prediction)
+            if span is not None:
+                span.carve(STAGE_MATCH, STAGE_EMIT,
+                           _time.perf_counter() - t_emit, 1)
+        if span is not None:
+            span.lap(STAGE_MATCH, tokenized)
         report.stats.lines_seen = len(events)
         report.stats.lines_tokenized = tokenized
         report.stats.predictions = n_predictions
@@ -415,11 +485,14 @@ class PredictorFleet:
         if obs is not None:
             self._record_run(obs, report, _time.perf_counter() - t_run,
                              list(node_counts.values()),
-                             events[-1].time if len(events) else None)
+                             events[-1].time if len(events) else None, span)
         return report
 
     def _run_grouped(
-        self, events: Iterable[LogEvent], timing: Timing
+        self,
+        events: Iterable[LogEvent],
+        timing: Timing,
+        span: Optional[SpanTimer] = None,
     ) -> FleetReport:
         """Group-by-node path (per-line timing, or no batch scanner)."""
         obs = self.obs
@@ -440,6 +513,13 @@ class PredictorFleet:
                 pairs_of[node] = pairs
                 append = appends[node] = pairs.append
             append((i, event))
+        if span is not None:
+            # Grouping is the decode-analog here; the fused per-node
+            # batches below tokenize and match in one predictor call,
+            # so their whole cost lands on the match stage (coarse by
+            # design — the batched paths get clean stage splits).
+            span.lap(STAGE_DECODE,
+                     sum(len(p) for p in pairs_of.values()))
         flagged: List[tuple] = []
         for node, pairs in pairs_of.items():
             order, batch = zip(*pairs)
@@ -449,6 +529,8 @@ class PredictorFleet:
                 batch, timing, lambda j, p, order=order: flagged.append((order[j], p))
             )
             report.stats.add(predictor.stats.diff(before))
+        if span is not None:
+            span.lap(STAGE_MATCH, report.stats.lines_tokenized)
         flagged.sort(key=lambda item: item[0])
         report.predictions = [p for _, p in flagged]
         report.nodes = len(self._predictors)
@@ -457,7 +539,7 @@ class PredictorFleet:
             # event carries the stream's high-water event time.
             self._record_run(obs, report, _time.perf_counter() - t_run,
                              [len(p) for p in pairs_of.values()],
-                             event.time if event is not None else None)
+                             event.time if event is not None else None, span)
         return report
 
     def _record_run(
@@ -467,40 +549,51 @@ class PredictorFleet:
         seconds: float,
         batch_sizes: List[int],
         last_event_time: Optional[float] = None,
+        span: Optional[SpanTimer] = None,
     ) -> None:
-        obs.record_run_stats(report.stats)
-        obs.record_fleet_run(
-            n_events=report.lines_seen,
-            n_nodes=report.nodes,
-            seconds=seconds,
-            batch_sizes=batch_sizes,
-        )
-        predictors = self._predictors.values()
-        obs.record_engine_stats(p._engine.stats for p in predictors)
-        if self.scanner is not None:
-            # The scanner is shared by every predictor, so its funnel is
-            # resolved against the fleet-wide cumulative line count —
-            # including byte-batch lines scanned without per-predictor
-            # attribution (see :meth:`run_buffer`).
-            obs.record_scanner(
-                self.scanner,
-                sum(p.stats.lines_seen for p in predictors)
-                + self._scanned_unattributed,
+        # The whole fold-in sequence runs under the facade lock so a
+        # concurrent scrape (server thread) never sees a half-recorded
+        # run — e.g. lines_seen bumped but the funnel counters not yet
+        # mirrored, which would break the funnel identity mid-scrape.
+        with obs.lock:
+            obs.record_run_stats(report.stats)
+            obs.record_fleet_run(
+                n_events=report.lines_seen,
+                n_nodes=report.nodes,
+                seconds=seconds,
+                batch_sizes=batch_sizes,
             )
-        # Live/quality planes (no-ops unless configured on the facade).
-        # Latencies already reached the live sketch through the
-        # predictors' emit hooks; this folds in rate, lag, predictions,
-        # and the batch's discard fraction.
-        obs.record_live_run(
-            n_events=report.lines_seen,
-            seconds=seconds,
-            last_event_time=last_event_time,
-        )
-        obs.record_quality_run(
-            predictions=report.predictions,
-            stats_delta=report.stats,
-            now=last_event_time,
-        )
+            predictors = self._predictors.values()
+            obs.record_engine_stats(p._engine.stats for p in predictors)
+            if self.scanner is not None:
+                # The scanner is shared by every predictor, so its funnel
+                # is resolved against the fleet-wide cumulative line
+                # count — including byte-batch lines scanned without
+                # per-predictor attribution (see :meth:`run_buffer`).
+                obs.record_scanner(
+                    self.scanner,
+                    sum(p.stats.lines_seen for p in predictors)
+                    + self._scanned_unattributed,
+                )
+            # Live/quality planes (no-ops unless configured on the
+            # facade).  Latencies already reached the live sketch through
+            # the predictors' emit hooks; this folds in rate, lag,
+            # predictions, and the batch's discard fraction.
+            obs.record_live_run(
+                n_events=report.lines_seen,
+                seconds=seconds,
+                last_event_time=last_event_time,
+            )
+            obs.record_quality_run(
+                predictions=report.predictions,
+                stats_delta=report.stats,
+                now=last_event_time,
+            )
+            obs.record_spans(span)
+            # With everything folded in, evaluate the anomaly trigger
+            # matrix — a burn/breach/trip caused by this run dumps its
+            # flight capsule before the next run muddies the ring.
+            obs.check_flight()
 
     @property
     def nodes(self) -> List[str]:

@@ -42,6 +42,7 @@ from ..obs import (
     Observability,
     PARALLEL_CHUNK_EVENTS,
     PARALLEL_QUEUE_DEPTH,
+    SpanClock,
     diff_snapshots,
 )
 from .predictor import PredictorStats
@@ -84,6 +85,7 @@ def _init_worker(
     shard: Optional[int] = None,
     on_error: str = "quarantine",
     scan_backend: str = "str",
+    spans_sample: float = 0.0,
 ) -> None:
     global _WORKER_FLEET, _WORKER_TIMING, _WORKER_OBS, _WORKER_LAST_SNAP
     global _WORKER_ON_ERROR
@@ -97,8 +99,14 @@ def _init_worker(
         # with every chunk result and merge into the parent's registry,
         # where the shard label keeps per-shard series (throughput,
         # funnel, latency) distinct.  (Tracers are not forwarded across
-        # processes.)
-        _WORKER_OBS = Observability(labels={"shard": str(shard)})
+        # processes.)  A positive spans_sample arms a worker-side span
+        # clock: its cumulative stage counters ride the same delta path,
+        # so the parent reassembles per-shard stage breakdowns from its
+        # merged registry.
+        _WORKER_OBS = Observability(
+            labels={"shard": str(shard)},
+            spans=SpanClock(spans_sample) if spans_sample > 0.0 else None,
+        )
         kwargs["obs"] = _WORKER_OBS
     if scanner_tables is not None:
         # Rebuild the scanner from the parent's compiled tables — no
@@ -112,7 +120,14 @@ def _init_worker(
     _WORKER_ON_ERROR = on_error
 
 
-def _run_chunk(lines) -> Tuple[List[tuple], PredictorStats, Optional[dict], "IngestStats"]:
+def _run_chunk(
+    lines, trace: Optional[tuple] = None
+) -> Tuple[List[tuple], PredictorStats, Optional[dict], "IngestStats",
+           Optional[tuple]]:
+    """Process one chunk; ``trace`` is the parent's trace context
+    ``(run, shard, chunk)``, echoed back verbatim so the parent can
+    correlate results with submissions (the flight recorder's
+    ``chunk_done`` notes)."""
     global _WORKER_LAST_SNAP
     assert _WORKER_FLEET is not None, "worker not initialized"
     from ..logsim.stream import IngestStats, decode_lines, read_record_batch
@@ -150,7 +165,7 @@ def _run_chunk(lines) -> Tuple[List[tuple], PredictorStats, Optional[dict], "Ing
         # parent-side merge never double-counts earlier chunks.
         obs_delta = diff_snapshots(snap, _WORKER_LAST_SNAP)
         _WORKER_LAST_SNAP = snap
-    return predictions, report.stats, obs_delta, ingest
+    return predictions, report.stats, obs_delta, ingest, trace
 
 
 class ParallelFleet:
@@ -171,6 +186,7 @@ class ParallelFleet:
         obs: Optional[Observability] = None,
         on_error: str = "quarantine",
         scan_backend: str = "str",
+        spans_sample: Optional[float] = None,
     ):
         from ..codegen import resolve_backend
         from ..logsim.stream import ERROR_POLICIES, IngestStats
@@ -195,6 +211,17 @@ class ParallelFleet:
         self.stats = PredictorStats()
         # Fleet-wide decode funnel, merged back from per-chunk deltas.
         self.ingest = IngestStats()
+        # Worker span sampling: explicit knob, else inherit the parent
+        # facade's span-clock rate (workers own their clocks — P²/timer
+        # state never crosses processes, only cumulative counters do).
+        if spans_sample is None:
+            spans_sample = (
+                obs.spans.sample
+                if obs is not None and obs.spans is not None else 0.0)
+        self.spans_sample = spans_sample
+        # Monotone run counter: the trace-context run id stamped on
+        # every submitted chunk.
+        self._run_seq = 0
         ctx = mp.get_context("spawn")
         bundle_dict = bundle.to_dict()
         # Compile (or cache-load) the merged scanner once in the parent
@@ -220,7 +247,8 @@ class ParallelFleet:
                 initializer=_init_worker,
                 initargs=(bundle_dict, tables, timeout, timing,
                           shard if obs is not None else None, on_error,
-                          self.scan_backend),
+                          self.scan_backend,
+                          spans_sample if obs is not None else 0.0),
             )
             for shard in range(n_workers)
         ]
@@ -233,41 +261,91 @@ class ParallelFleet:
         into the parent registry and the parent records queue depth and
         chunk sizes.
         """
+        shards = partition_events(events, self.n_workers)
+        return self._run_shards(
+            [[e.to_line() for e in shard] for shard in shards],
+            n_events=len(events),
+            last_event_time=events[-1].time if len(events) else None,
+        )
+
+    def run_lines(self, lines) -> List[Prediction]:
+        """Shard serialized log lines across workers without decoding
+        them in the parent.
+
+        Routing reads only the header's node field (one ``split``), so
+        the parent stays out of the decode business entirely — workers
+        decode tolerantly under the fleet's ``on_error`` policy, exactly
+        as :meth:`run` chunks do.  Lines whose header doesn't split
+        (truncated, garbled) are routed by a hash of the whole line, so
+        a malformed line always lands on the same worker and is
+        quarantined there with its shard label.  This is the ingest
+        shape the sharded daemon (ROADMAP item 1) consumes: raw lines
+        in, per-shard tolerant decode + funnel accounting out.
+        """
+        shards: List[List[str]] = [[] for _ in range(self.n_workers)]
+        n_shards = self.n_workers
+        for line in lines:
+            parts = line.split(" ", 2)
+            key = parts[1] if len(parts) == 3 else line
+            shards[shard_of(key, n_shards)].append(line)
+        return self._run_shards(
+            shards,
+            n_events=sum(len(s) for s in shards),
+            last_event_time=None,
+        )
+
+    def _run_shards(
+        self,
+        line_shards: List[List[str]],
+        *,
+        n_events: int,
+        last_event_time: Optional[float],
+    ) -> List[Prediction]:
         obs = self.obs
         t_run = _time.perf_counter() if obs is not None else 0.0
         stats_before = self.stats.snapshot() if obs is not None else None
-        shards = partition_events(events, self.n_workers)
+        self._run_seq += 1
+        run_seq = self._run_seq
         chunk_lines = self.chunk_lines
         as_bytes = self.scan_backend != "str"
         pending = []
         chunk_sizes: List[int] = []
-        for shard_idx, shard in enumerate(shards):
+        for shard_idx, shard in enumerate(line_shards):
             pool = self._pools[shard_idx]
             # FIFO within a single-process pool keeps chunk order; the
             # serialization of chunk k+1 overlaps the compute of chunk k.
-            for start in range(0, len(shard), chunk_lines):
+            for chunk_idx, start in enumerate(
+                    range(0, len(shard), chunk_lines)):
                 chunk = shard[start : start + chunk_lines]
                 if as_bytes:
                     # One newline-joined blob per chunk: a single bytes
                     # pickle, split worker-side by the byte ingest.
-                    payload = "\n".join(
-                        e.to_line() for e in chunk).encode("utf-8", "replace")
+                    payload = "\n".join(chunk).encode("utf-8", "replace")
                 else:
-                    payload = [e.to_line() for e in chunk]
+                    payload = chunk
                 chunk_sizes.append(len(chunk))
-                pending.append(pool.apply_async(_run_chunk, (payload,)))
+                # Trace context rides the payload and is echoed back in
+                # the result, tying each completion to its submission.
+                trace = (run_seq, shard_idx, chunk_idx)
+                pending.append(
+                    (pool.apply_async(_run_chunk, (payload, trace)),
+                     len(chunk)))
         if obs is not None:
-            obs.registry.gauge(
-                PARALLEL_QUEUE_DEPTH,
-                "chunks in flight across worker pools",
-            ).set(len(pending))
-            obs.registry.histogram(
-                PARALLEL_CHUNK_EVENTS, "events per submitted chunk",
-                lo_exp=0, hi_exp=24,
-            ).observe_many(chunk_sizes)
+            with obs.lock:
+                obs.registry.gauge(
+                    PARALLEL_QUEUE_DEPTH,
+                    "chunks in flight across worker pools",
+                ).set(len(pending))
+                obs.registry.histogram(
+                    PARALLEL_CHUNK_EVENTS, "events per submitted chunk",
+                    lo_exp=0, hi_exp=24,
+                ).observe_many(chunk_sizes)
         predictions: List[Prediction] = []
-        for result in pending:
-            chunk_predictions, chunk_stats, obs_delta, chunk_ingest = result.get()
+        for result, submitted in pending:
+            # Never hold the facade lock across .get(): collection
+            # blocks on worker compute and a scrape must not.
+            (chunk_predictions, chunk_stats, obs_delta, chunk_ingest,
+             trace) = result.get()
             predictions.extend(
                 Prediction(node=n, chain_id=c, flagged_at=f,
                            prediction_time=p, matched_tokens=tuple(m))
@@ -276,33 +354,47 @@ class ParallelFleet:
             self.stats.add(chunk_stats)
             self.ingest.add(chunk_ingest)
             if obs is not None:
-                if obs_delta:
-                    obs.registry.merge(obs_delta)
-                if chunk_ingest.lines_read:
-                    obs.record_ingest(chunk_ingest)
+                with obs.lock:
+                    if obs_delta:
+                        obs.registry.merge(obs_delta)
+                    if chunk_ingest.lines_read:
+                        obs.record_ingest(chunk_ingest)
+                    if obs.flight is not None and trace is not None:
+                        run_id, shard_id, chunk_id = trace
+                        obs.flight.note(
+                            "chunk_done", run=run_id, shard=shard_id,
+                            chunk=chunk_id, lines=submitted,
+                            predictions=len(chunk_predictions),
+                            quarantined=chunk_ingest.quarantined or None,
+                        )
         if obs is not None:
-            obs.registry.gauge(PARALLEL_QUEUE_DEPTH).set(0)
+            with obs.lock:
+                obs.registry.gauge(PARALLEL_QUEUE_DEPTH).set(0)
         predictions.sort(key=lambda p: p.flagged_at)
         if obs is not None:
-            # Workers never run a live monitor (P² state can't merge);
-            # the parent feeds its own from the returned predictions so
-            # the fleet-wide sketch covers every shard.  With
-            # timing="off" predictions carry prediction_time == 0.0,
-            # which would poison the sketch — skip them.
-            if obs.live is not None and self.timing != "off":
-                obs.live.observe_predictions(
-                    p.prediction_time for p in predictions)
-            last_event_time = events[-1].time if len(events) else None
-            obs.record_live_run(
-                n_events=len(events),
-                seconds=_time.perf_counter() - t_run,
-                last_event_time=last_event_time,
-            )
-            obs.record_quality_run(
-                predictions=predictions,
-                stats_delta=self.stats.diff(stats_before),
-                now=last_event_time,
-            )
+            with obs.lock:
+                # Workers never run a live monitor (P² state can't
+                # merge); the parent feeds its own from the returned
+                # predictions so the fleet-wide sketch covers every
+                # shard.  With timing="off" predictions carry
+                # prediction_time == 0.0, which would poison the sketch
+                # — skip them.
+                if obs.live is not None and self.timing != "off":
+                    obs.live.observe_predictions(
+                        p.prediction_time for p in predictions)
+                obs.record_live_run(
+                    n_events=n_events,
+                    seconds=_time.perf_counter() - t_run,
+                    last_event_time=last_event_time,
+                )
+                obs.record_quality_run(
+                    predictions=predictions,
+                    stats_delta=self.stats.diff(stats_before),
+                    now=last_event_time,
+                )
+                # Anomalies caused by this window (quarantine burn,
+                # drift from merged worker numbers) capsule immediately.
+                obs.check_flight()
         return predictions
 
     def close(self) -> None:

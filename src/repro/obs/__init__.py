@@ -32,7 +32,9 @@ event.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+import functools
+import threading
+from typing import Iterable, List, Optional, Sequence
 
 from .exposition import (
     PrometheusParseError,
@@ -52,6 +54,14 @@ from .live import (
     inter_arrival_budget,
     quantile_from_histogram,
 )
+from .flight import (
+    FlightRecorder,
+    TRIGGER_DEADLINE,
+    TRIGGER_DRIFT,
+    TRIGGER_QUARANTINE,
+    TRIGGER_REASONS,
+    read_capsule,
+)
 from .metrics import (
     Counter,
     Gauge,
@@ -60,6 +70,7 @@ from .metrics import (
     NullRegistry,
     Registry,
     diff_snapshots,
+    snapshot_asymmetry,
 )
 from .names import (  # noqa: F401  (canonical names, re-exported)
     CHAIN_ACTIVATIONS,
@@ -69,6 +80,8 @@ from .names import (  # noqa: F401  (canonical names, re-exported)
     DEADLINE_BUDGET,
     DEADLINE_OK,
     DISCARD_CUSUM,
+    FLIGHT_CAPSULES,
+    FLIGHT_EVENTS_BUFFERED,
     DISCARD_DRIFT_ALARM,
     DISCARD_FRACTION,
     FEED_SECONDS,
@@ -110,18 +123,36 @@ from .names import (  # noqa: F401  (canonical names, re-exported)
     QUALITY_PRECISION,
     QUALITY_RECALL,
     QUALITY_TRUE_POSITIVES,
+    SCANNER_BACKEND_INFO,
     SCANNER_DFA_MATCHES,
     SCANNER_DFA_RUNS,
     SCANNER_FIRST_CHAR_REJECTED,
     SCANNER_MEMO_HITS,
     SCANNER_TRANSLATE_EVICTIONS,
     SLO_BURN,
+    SPAN_RUN_SECONDS,
+    SPAN_RUNS,
+    SPAN_RUNS_SAMPLED,
+    SPAN_STAGE_LATENCY,
+    SPAN_STAGE_RECORDS,
+    SPAN_STAGE_SECONDS,
     TOKENIZE_SECONDS,
     TOKENS_ADVANCED,
     TOKENS_SKIPPED,
 )
 from .quality import DiscardDriftDetector, QualityScore, QualityScoreboard
 from .server import ObsServer
+from .spans import (
+    SPAN_STAGES,
+    STAGE_DECODE,
+    STAGE_EMIT,
+    STAGE_INGEST,
+    STAGE_MATCH,
+    STAGE_SCAN,
+    SpanClock,
+    SpanTimer,
+    shard_span_breakdown,
+)
 from .tracing import (
     CHAIN_STARTED,
     DELTA_T_TIMEOUT,
@@ -136,6 +167,19 @@ from .tracing import (
 )
 
 
+def _locked(method):
+    """Serialize a facade method under ``self.lock`` (reentrant, so
+    callers holding the lock across multi-method fold-in sequences —
+    ``PredictorFleet._record_run`` — nest freely)."""
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        with self.lock:
+            return method(self, *args, **kwargs)
+
+    return wrapper
+
+
 class Observability:
     """Wiring facade: registry, optional tracer, optional live plane.
 
@@ -144,7 +188,14 @@ class Observability:
     the per-event bookkeeping stays in plain int slots owned by the hot
     path and is folded in here.  ``live`` and ``quality`` opt the run
     into the deadline/SLO monitor and the online scoreboard; both stay
-    ``None`` on the passive (PR 2) configuration.
+    ``None`` on the passive (PR 2) configuration.  ``spans`` opts runs
+    into stage-level time attribution and ``flight`` arms the black-box
+    recorder (ISSUE 7).
+
+    Every public method runs under :attr:`lock` (a reentrant lock), so
+    a `/metrics` scrape from the server thread never observes a
+    half-folded run — fold-in sequences that must be atomic as a group
+    additionally take ``with obs.lock:`` around the whole sequence.
     """
 
     def __init__(
@@ -155,11 +206,18 @@ class Observability:
         live: Optional[LiveMonitor] = None,
         quality: Optional[QualityScoreboard] = None,
         quarantine_slo: float = 0.01,
+        spans: Optional[SpanClock] = None,
+        flight: Optional[FlightRecorder] = None,
     ):
         self.registry = registry if registry is not None else Registry()
         self.tracer = tracer
         self.live = live
         self.quality = quality
+        self.spans = spans
+        self.flight = flight
+        if tracer is not None and flight is not None and tracer.mirror is None:
+            # Tee sampled lifecycle records into the flight ring.
+            tracer.mirror = flight.absorb
         # Default labels stamped on every recorded series — e.g.
         # {"shard": "3"} inside a ParallelFleet worker, so per-shard
         # series stay distinct after the parent-side merge.
@@ -172,8 +230,13 @@ class Observability:
         from ..logsim.stream import IngestStats
 
         self.ingest = IngestStats()
+        # Scanner identity stash (backend, funnel totals) for
+        # /debug/vars and the ``predict --json`` scanner block.
+        self.scanner_info: dict = {}
+        self.lock = threading.RLock()
 
     # -- fold-in paths (called per batch / run, never per event) -------
+    @_locked
     def record_run_stats(self, run_stats) -> None:
         """Fold one run's :class:`~repro.core.predictor.PredictorStats`
         delta (from ``snapshot()``/``diff()``) into the counters."""
@@ -195,6 +258,7 @@ class Observability:
             FEED_SECONDS, "cumulative rule-check time", **labels).inc(
             run_stats.feed_seconds)
 
+    @_locked
     def record_scanner(self, scanner, lines_seen_total: int) -> None:
         """Mirror a counting scanner's cumulative funnel slots into the
         registry.  ``lines_seen_total`` is the total number of tokenize
@@ -229,7 +293,20 @@ class Observability:
             "codepoint classes evicted from the bounded translate memo",
             **labels,
         ).set_total(counts.get("translate_evictions", 0))
+        backend = getattr(scanner, "backend", None) or "str"
+        registry.gauge(
+            SCANNER_BACKEND_INFO,
+            "scan-kernel backend identity (value pinned to 1)",
+            backend=backend, **labels,
+        ).set(1.0)
+        self.scanner_info = {
+            "backend": backend,
+            "translate_evictions": counts.get("translate_evictions", 0),
+            "funnel": dict(counts),
+            "lines_seen": lines_seen_total,
+        }
 
+    @_locked
     def record_ingest(self, delta) -> None:
         """Fold one ingest pass's :class:`~repro.logsim.stream.IngestStats`
         delta into the cumulative decode-funnel counters.
@@ -269,7 +346,16 @@ class Observability:
             INGEST_QUARANTINE_BURN,
             "quarantine fraction vs the allowed SLO fraction",
             **labels).set(ingest.quarantine_fraction / self.quarantine_slo)
+        if self.flight is not None and (delta.lines_read or delta.late):
+            self.flight.note(
+                "ingest",
+                lines_read=delta.lines_read,
+                quarantined=delta.quarantined or None,
+                late=delta.late or None,
+                quarantine_fraction=ingest.quarantine_fraction,
+            )
 
+    @_locked
     def record_corruptions(self, report) -> None:
         """Count an injected-corruption report (per fault kind) from a
         :func:`~repro.logsim.corruptions.corrupt_window` run."""
@@ -282,6 +368,7 @@ class Observability:
                 kind=kind,
             ).inc(count)
 
+    @_locked
     def record_engine_stats(self, stats_iter: Iterable) -> None:
         """Mirror cumulative matcher transition stats (summed over the
         fleet's engines) into the registry."""
@@ -316,6 +403,7 @@ class Observability:
             NEGATIVE_DELTA_T, "backwards timestamps clamped (ΔT floor 0)",
             **labels).set_total(negative_dt)
 
+    @_locked
     def record_fleet_run(
         self,
         *,
@@ -324,6 +412,10 @@ class Observability:
         seconds: Optional[float],
         batch_sizes: Sequence[int],
     ) -> None:
+        if self.flight is not None:
+            self.flight.note(
+                "fleet_run", n_events=n_events, n_nodes=n_nodes,
+                seconds=seconds)
         registry = self.registry
         labels = self.labels
         registry.counter(FLEET_RUNS, "fleet.run() invocations", **labels).inc()
@@ -343,6 +435,7 @@ class Observability:
                 **labels,
             ).set(n_events / seconds)
 
+    @_locked
     def record_window(self, n_events: int, injections) -> None:
         """Count a generated logsim window (events emitted, faults
         injected by kind)."""
@@ -356,6 +449,7 @@ class Observability:
             ).inc()
 
     # -- live ops plane (ISSUE 3) --------------------------------------
+    @_locked
     def record_live_run(
         self,
         *,
@@ -377,6 +471,7 @@ class Observability:
             last_event_time=last_event_time)
         live.publish(self.registry, self.labels)
 
+    @_locked
     def record_quality_run(
         self,
         *,
@@ -398,13 +493,172 @@ class Observability:
             quality.advance(now)
         quality.publish(self.registry, self.labels)
 
+    # -- span tracing + flight recorder (ISSUE 7) ----------------------
+    @_locked
+    def record_spans(self, timer: Optional[SpanTimer] = None) -> None:
+        """Fold one run's (possibly ``None`` = unsampled) stage timer
+        into the span clock and mirror cumulative span series into the
+        registry."""
+        spans = self.spans
+        if spans is None:
+            return
+        if timer is not None:
+            spans.finish_run(timer)
+            if self.flight is not None:
+                self.flight.note(
+                    "span_run", total=timer.total,
+                    stages={s: round(v, 9)
+                            for s, v in timer.seconds.items()})
+        spans.publish(self.registry, self.labels)
+
+    @_locked
+    def check_flight(self) -> List[str]:
+        """Evaluate the anomaly trigger matrix against current state
+        and dump a crash capsule for each *newly* tripped reason.
+
+        Triggers (each sticky — one capsule per reason):
+
+        * ``deadline_burn`` — the live deadline verdict went not-ok
+          (watched quantile over budget, or SLO burn > 1);
+        * ``quarantine_slo`` — the cumulative quarantine fraction
+          exceeded the allowed SLO fraction;
+        * ``discard_drift`` — the discard CUSUM tripped.
+
+        Returns the reasons that fired capsules this call.
+        """
+        flight = self.flight
+        if flight is None:
+            return []
+        fired: List[str] = []
+        live = self.live
+        if live is not None and live.deadline is not None:
+            verdict = live.verdict()
+            if verdict is not None and not verdict.ok:
+                if flight.trigger(
+                    TRIGGER_DEADLINE,
+                    snapshot=self.registry.snapshot(),
+                    verdict=verdict.as_dict(),
+                ) is not None:
+                    fired.append(TRIGGER_DEADLINE)
+        ingest = self.ingest
+        if ingest.lines_read:
+            burn = ingest.quarantine_fraction / self.quarantine_slo
+            if burn > 1.0:
+                if flight.trigger(
+                    TRIGGER_QUARANTINE,
+                    snapshot=self.registry.snapshot(),
+                    burn_rate=burn,
+                    quarantined=ingest.quarantined,
+                    lines_read=ingest.lines_read,
+                ) is not None:
+                    fired.append(TRIGGER_QUARANTINE)
+        if self.quality is not None and self.quality.drift.tripped:
+            if flight.trigger(
+                TRIGGER_DRIFT,
+                snapshot=self.registry.snapshot(),
+                drift=self.quality.drift.as_dict(),
+            ) is not None:
+                fired.append(TRIGGER_DRIFT)
+        registry = self.registry
+        labels = self.labels
+        registry.counter(
+            FLIGHT_CAPSULES, "crash capsules dumped",
+            **labels).set_total(flight.capsules)
+        registry.gauge(
+            FLIGHT_EVENTS_BUFFERED, "lifecycle notes in the flight ring",
+            **labels).set(flight.buffered)
+        return fired
+
+    @_locked
+    def debug_spans(self) -> dict:
+        """The ``/debug/spans`` payload: local span clock state plus
+        per-shard stage breakdowns reassembled from the registry."""
+        payload: dict = {"enabled": self.spans is not None}
+        if self.spans is not None:
+            payload["local"] = self.spans.report()
+        shards = shard_span_breakdown(self.registry.snapshot())
+        if shards:
+            payload["shards"] = shards
+        return payload
+
+    @_locked
+    def debug_flight(self) -> dict:
+        """The ``/debug/flight`` metadata (the capsule body itself is
+        served verbatim as JSONL)."""
+        flight = self.flight
+        if flight is None:
+            return {"enabled": False}
+        return {
+            "enabled": True,
+            "capacity": flight.capacity,
+            "buffered": flight.buffered,
+            "capsules": flight.capsules,
+            "triggered": dict(flight.triggered),
+            "last_reason": flight.last_reason,
+            "last_capsule_path": (
+                str(flight.last_capsule_path)
+                if flight.last_capsule_path is not None else None),
+        }
+
+    @_locked
+    def debug_vars(self) -> dict:
+        """The ``/debug/vars`` payload: build/backend identity plus the
+        full registry snapshot."""
+        import platform
+
+        from .. import __version__
+
+        payload: dict = {
+            "build": {
+                "version": __version__,
+                "python": platform.python_version(),
+                "implementation": platform.python_implementation(),
+            },
+            "labels": dict(self.labels),
+            "quarantine_slo": self.quarantine_slo,
+            "scanner": dict(self.scanner_info),
+        }
+        snapshot = self.registry.snapshot()
+        if not payload["scanner"]:
+            # Parallel parent: record_scanner ran worker-side, but the
+            # shard-labeled identity gauge merged in — derive from it.
+            family = snapshot.get(SCANNER_BACKEND_INFO)
+            if family:
+                backends = sorted({
+                    series["labels"].get("backend", "str")
+                    for series in family["series"] if series["value"]
+                })
+                evictions = sum(
+                    series["value"]
+                    for series in snapshot.get(
+                        SCANNER_TRANSLATE_EVICTIONS, {}).get("series", ()))
+                payload["scanner"] = {
+                    "backend": ",".join(backends),
+                    "translate_evictions": int(evictions),
+                }
+        if self.spans is not None:
+            payload["spans"] = {
+                "sample": self.spans.sample,
+                "runs": self.spans.runs,
+                "runs_sampled": self.spans.runs_sampled,
+            }
+        flight = self.debug_flight()
+        if flight.get("enabled"):
+            payload["flight"] = flight
+        payload["registry"] = snapshot
+        return payload
+
+    @_locked
     def refresh(self) -> None:
         """Re-publish live/quality gauges (the pre-scrape hook)."""
         if self.live is not None:
             self.live.publish(self.registry, self.labels)
         if self.quality is not None:
             self.quality.publish(self.registry, self.labels)
+        if self.spans is not None:
+            self.spans.publish(self.registry, self.labels)
 
+    @_locked
     def healthz(self) -> dict:
         """Deadline + drift health, the ``/healthz`` payload."""
         payload: dict = {"status": "ok"}
@@ -447,6 +701,7 @@ class Observability:
                 payload["status"] = "failing"
         return payload
 
+    @_locked
     def quality_report(self) -> dict:
         """The rolling scoreboard as JSON, the ``/quality`` payload."""
         quality = self.quality
@@ -461,9 +716,11 @@ class Observability:
         return payload
 
     # -- exposition ----------------------------------------------------
+    @_locked
     def prometheus(self) -> str:
         return render_prometheus(self.registry.snapshot())
 
+    @_locked
     def json(self) -> str:
         return render_json(self.registry.snapshot())
 
@@ -477,11 +734,22 @@ __all__ = [
     "DELTA_T_TIMEOUT",
     "EVENT_KINDS",
     "FUNNEL_STAGES",
+    "SPAN_STAGES",
+    "STAGE_DECODE",
+    "STAGE_EMIT",
+    "STAGE_INGEST",
+    "STAGE_MATCH",
+    "STAGE_SCAN",
+    "TRIGGER_DEADLINE",
+    "TRIGGER_DRIFT",
+    "TRIGGER_QUARANTINE",
+    "TRIGGER_REASONS",
     "Counter",
     "DeadlineMonitor",
     "DeadlineVerdict",
     "DiscardDriftDetector",
     "EwmaRate",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "LiveMonitor",
@@ -497,6 +765,8 @@ __all__ = [
     "QualityScoreboard",
     "QuantileSketch",
     "Registry",
+    "SpanClock",
+    "SpanTimer",
     "StreamLag",
     "TOKEN_ADVANCED",
     "Tracer",
@@ -506,8 +776,11 @@ __all__ = [
     "lifecycle_counts",
     "parse_prometheus",
     "quantile_from_histogram",
+    "read_capsule",
     "read_trace",
     "realized_lead_times",
     "render_json",
     "render_prometheus",
+    "shard_span_breakdown",
+    "snapshot_asymmetry",
 ]

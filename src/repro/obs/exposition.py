@@ -23,10 +23,17 @@ def _escape_label(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
+_UNESCAPE_RE = re.compile(r"\\(.)")
+_UNESCAPE_MAP = {"\\": "\\", '"': '"', "n": "\n"}
+
+
 def _unescape_label(value: str) -> str:
-    return (
-        value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
-    )
+    # One left-to-right scan, not a replace chain: the chain corrupts a
+    # raw backslash followed by "n" (escaped to ``\\n``) into
+    # backslash+newline.  Unknown escapes pass through literally, per
+    # the text-format spec.
+    return _UNESCAPE_RE.sub(
+        lambda m: _UNESCAPE_MAP.get(m.group(1), "\\" + m.group(1)), value)
 
 
 def _format_labels(labels: Dict[str, str]) -> str:

@@ -277,6 +277,16 @@ def diff_snapshots(new: dict, old: Optional[dict]) -> dict:
                 if value:
                     series.append({"labels": entry["labels"], "value": value})
                 continue
+            if (
+                entry["lo_exp"] != prev["lo_exp"]
+                or len(entry["counts"]) != len(prev["counts"])
+            ):
+                # Bucket layout changed between snapshots (reconfigured
+                # histogram): subtraction is meaningless, so the new
+                # cumulative state passes through whole rather than
+                # being silently zip-truncated to garbage.
+                series.append(entry)
+                continue
             counts = [c - p for c, p in zip(entry["counts"], prev["counts"])]
             if any(counts):
                 series.append({
@@ -293,6 +303,40 @@ def diff_snapshots(new: dict, old: Optional[dict]) -> dict:
                 "series": series,
             }
     return out
+
+
+def snapshot_asymmetry(new: dict, old: Optional[dict]) -> dict:
+    """Series present in only one of two snapshots.
+
+    Returns ``{"added": [...], "removed": [...]}`` where each item is
+    ``"family{label="value",...}"`` — the shape ``obs-report --diff``
+    prints when BEFORE and AFTER disagree about which metrics exist
+    (the common case once a run gains span series the previous run
+    lacked).  ``diff_snapshots`` handles added series fine (they pass
+    through whole) but silently drops removed ones; this makes both
+    directions visible instead.
+    """
+
+    def series_names(snapshot: Optional[dict]):
+        names = set()
+        for family, family_data in (snapshot or {}).items():
+            for entry in family_data.get("series", ()):
+                names.add((family, _label_key(entry.get("labels", {}))))
+        return names
+
+    def render(item) -> str:
+        family, key = item
+        if not key:
+            return family
+        inner = ",".join(f'{k}="{v}"' for k, v in key)
+        return family + "{" + inner + "}"
+
+    new_names = series_names(new)
+    old_names = series_names(old)
+    return {
+        "added": sorted(render(i) for i in new_names - old_names),
+        "removed": sorted(render(i) for i in old_names - new_names),
+    }
 
 
 class _NullMetric:

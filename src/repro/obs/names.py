@@ -41,6 +41,22 @@ INGEST_QUARANTINE_BURN = "aarohi_ingest_quarantine_burn_rate"
 
 LOGSIM_CORRUPTIONS = "aarohi_logsim_corruptions_injected_total"
 
+# -- span tracing (ISSUE 7): per-stage pipeline time attribution -------
+SPAN_STAGE_SECONDS = "aarohi_span_stage_seconds_total"
+SPAN_STAGE_RECORDS = "aarohi_span_stage_records_total"
+SPAN_RUN_SECONDS = "aarohi_span_run_seconds_total"
+SPAN_RUNS = "aarohi_span_runs_total"
+SPAN_RUNS_SAMPLED = "aarohi_span_runs_sampled_total"
+SPAN_STAGE_LATENCY = "aarohi_span_stage_seconds_per_record"
+
+# Scanner backend identity (str/bytes/numpy), exposed as an info-style
+# gauge: one series with a ``backend`` label, value pinned to 1.
+SCANNER_BACKEND_INFO = "aarohi_scanner_backend_info"
+
+# -- flight recorder (ISSUE 7): black-box crash capsules ---------------
+FLIGHT_CAPSULES = "aarohi_flight_capsules_total"
+FLIGHT_EVENTS_BUFFERED = "aarohi_flight_events_buffered"
+
 FLEET_RUNS = "aarohi_fleet_runs_total"
 FLEET_RUN_SECONDS = "aarohi_fleet_run_seconds"
 FLEET_EVENTS_PER_SECOND = "aarohi_fleet_events_per_second"

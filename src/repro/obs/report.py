@@ -34,6 +34,10 @@ from .names import (
     QUALITY_PRECISION,
     QUALITY_RECALL,
     QUALITY_TRUE_POSITIVES,
+    SCANNER_BACKEND_INFO,
+    SCANNER_TRANSLATE_EVICTIONS,
+    SPAN_RUNS,
+    SPAN_STAGE_LATENCY,
 )
 
 
@@ -100,7 +104,93 @@ def fleet_section(snapshot: dict) -> str:
         if family and family["series"]:
             value = sum(e["value"] for e in family["series"])
             rows.append((label, f"{value:.4g}"))
+    backend_family = snapshot.get(SCANNER_BACKEND_INFO)
+    if backend_family and backend_family["series"]:
+        backends = sorted({
+            entry["labels"].get("backend", "?")
+            for entry in backend_family["series"] if entry["value"]})
+        rows.append(("scan backend", ", ".join(backends) or "—"))
+    if SCANNER_TRANSLATE_EVICTIONS in snapshot:
+        rows.append((
+            "translate evictions",
+            f"{counter_total(snapshot, SCANNER_TRANSLATE_EVICTIONS):.0f}"))
     return render_table(["metric", "value"], rows, title="Fleet summary")
+
+
+def spans_section(snapshot: dict) -> Optional[str]:
+    """Per-shard pipeline stage breakdown from the span counters."""
+    from .spans import _stage_order, shard_span_breakdown
+
+    if SPAN_RUNS not in snapshot:
+        return None
+    breakdown = shard_span_breakdown(snapshot)
+    rows = []
+    for shard in sorted(breakdown):
+        data = breakdown[shard]
+        stage_total = sum(
+            cell["seconds"] for cell in data["stages"].values())
+        for stage in _stage_order(data["stages"]):
+            cell = data["stages"][stage]
+            seconds, records = cell["seconds"], cell["records"]
+            share = f"{seconds / stage_total:.1%}" if stage_total else "—"
+            per_record = (
+                f"{seconds / records * 1e6:.3f}" if records else "—")
+            rows.append((shard, stage, f"{seconds * 1e3:.3f}",
+                         f"{records:.0f}", per_record, share))
+    if not rows:
+        return None
+    runs = sum(d["runs"] for d in breakdown.values())
+    sampled = sum(d["runs_sampled"] for d in breakdown.values())
+    return render_table(
+        ["shard", "stage", "time (ms)", "records", "µs/record", "share"],
+        rows,
+        title=(f"Pipeline stage spans — {sampled:.0f}/{runs:.0f} "
+               f"runs sampled"))
+
+
+def span_latency_section(snapshot: dict) -> Optional[str]:
+    """Per-stage per-record latency quantiles (P² estimates)."""
+    from .spans import _stage_order
+
+    family = snapshot.get(SPAN_STAGE_LATENCY)
+    if not family or not family["series"]:
+        return None
+    by_stage: dict = {}
+    for entry in family["series"]:
+        stage = entry["labels"].get("stage", "?")
+        quantile = entry["labels"].get("quantile", "?")
+        by_stage.setdefault(stage, {})[quantile] = entry["value"]
+    quantiles = sorted(
+        {q for cells in by_stage.values() for q in cells},
+        key=lambda q: float(q) if q.replace(".", "", 1).isdigit() else 0.0)
+    rows = [
+        (stage,
+         *(f"{by_stage[stage].get(q, 0.0) * 1e6:.3f}" for q in quantiles))
+        for stage in _stage_order(by_stage)
+    ]
+
+    def column(q: str) -> str:
+        try:
+            return f"p{float(q) * 100:g} (µs)"
+        except ValueError:
+            return f"{q} (µs)"
+
+    return render_table(
+        ["stage", *(column(q) for q in quantiles)], rows,
+        title="Per-record stage latency quantiles")
+
+
+def series_change_section(asymmetry: dict) -> Optional[str]:
+    """Series that exist in only one of two diffed snapshots."""
+    added = asymmetry.get("added") or []
+    removed = asymmetry.get("removed") or []
+    if not added and not removed:
+        return None
+    rows = [("added", series) for series in added]
+    rows += [("removed", series) for series in removed]
+    return render_table(
+        ["change", "series"], rows,
+        title="Series added/removed between snapshots")
 
 
 def live_section(snapshot: dict) -> Optional[str]:
@@ -158,7 +248,12 @@ def report_sections(
     sections = [funnel_section(snapshot)]
     sections.extend(latency_sections(snapshot))
     sections.append(fleet_section(snapshot))
-    for optional in (live_section(snapshot), quality_section(snapshot)):
+    for optional in (
+        spans_section(snapshot),
+        span_latency_section(snapshot),
+        live_section(snapshot),
+        quality_section(snapshot),
+    ):
         if optional is not None:
             sections.append(optional)
     if trace_records is not None:

@@ -10,11 +10,21 @@ watched without stopping it:
   tripped (the shape load balancers and k8s probes expect);
 * ``GET /quality``  — the rolling scoreboard as JSON.
 
-Scrapes are read-only and best-effort consistent: the fleet mutates
-plain ints/floats under the GIL, so a mid-run scrape sees a slightly
-torn but valid snapshot — the same contract Prometheus client libraries
-offer.  ``port=0`` binds an ephemeral port (tests, parallel runs);
-the bound port is on :attr:`ObsServer.port`.
+The debug plane rides the same server (no second port to firewall):
+
+* ``GET /debug/spans`` — per-stage latency quantiles from the local
+  span clock plus per-shard stage breakdowns reassembled from the
+  merged registry;
+* ``GET /debug/flight`` — the last flight capsule as JSONL (the exact
+  bytes written to disk), ``404`` until a trigger has fired;
+* ``GET /debug/vars`` — build/backend identity, facade configuration,
+  and the full registry snapshot (the expvar-style kitchen sink).
+
+Scrapes are read-only and consistent: every facade read takes the
+facade lock, so a mid-run scrape sees a whole snapshot, never a torn
+one (the funnel-identity invariants hold on every response).
+``port=0`` binds an ephemeral port (tests, parallel runs); the bound
+port is on :attr:`ObsServer.port`.
 """
 
 from __future__ import annotations
@@ -85,9 +95,30 @@ def _make_handler(obs):
                 payload = obs.quality_report()
                 self._send(200, "application/json",
                            json.dumps(payload, indent=2) + "\n")
+            elif path == "/debug/spans":
+                payload = obs.debug_spans()
+                self._send(200, "application/json",
+                           json.dumps(payload, indent=2) + "\n")
+            elif path == "/debug/flight":
+                flight = obs.flight
+                capsule = (
+                    flight.last_capsule_text if flight is not None else None)
+                if capsule is None:
+                    self._send(404, "text/plain",
+                               "no flight capsule captured yet\n")
+                else:
+                    # Serve the capsule verbatim — byte-identical to the
+                    # file the recorder wrote, so a curl of this path is
+                    # interchangeable with the on-disk artifact.
+                    self._send(200, "application/x-ndjson", capsule)
+            elif path == "/debug/vars":
+                payload = obs.debug_vars()
+                self._send(200, "application/json",
+                           json.dumps(payload, indent=2) + "\n")
             else:
                 self._send(404, "text/plain",
-                           "unknown path; try /metrics /healthz /quality\n")
+                           "unknown path; try /metrics /healthz /quality"
+                           " /debug/spans /debug/flight /debug/vars\n")
 
         def _send(self, status: int, content_type: str, body: str) -> None:
             data = body.encode("utf-8")

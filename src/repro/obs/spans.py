@@ -1,0 +1,299 @@
+"""Stage-level span tracing: where did each record's time go?
+
+The aggregate latency histograms (PR 2/3) answer *how long* a
+prediction took; they cannot answer *where* the time went across
+ingest → decode → scan → match → emit, which is the question every
+feasibility regression starts with.  This module attributes per-run
+wall time to named pipeline stages with the same near-zero-overhead
+discipline the rest of ``repro.obs`` uses:
+
+* **Sampled activation.**  A :class:`SpanClock` decides once per
+  *run* (batch) whether to time it, using the deterministic
+  error-accumulator from :meth:`~repro.obs.tracing.Tracer.sample_chain`
+  — no RNG, no clock, ``sample=0.05`` times every 20th run.  Unsampled
+  runs cost one float add and one compare.
+* **Lap timing.**  A sampled run gets a :class:`SpanTimer`; the fleet
+  calls ``lap(stage, records)`` at each stage boundary, so a stage
+  costs exactly one monotonic clock read.  Laps telescope:
+  ``timer.total == sum(stage seconds)`` holds *exactly* (it is the
+  same subtraction), which is the invariant the e2e suite asserts per
+  shard.
+* **Cumulative fold.**  ``finish_run`` folds the timer into cumulative
+  per-stage seconds/records plus a per-record latency
+  :class:`~repro.obs.live.QuantileSketch` (P²) per stage;
+  ``publish`` mirrors the totals into registry counters via
+  ``set_total`` — so worker-side span state ships to the parent
+  through the existing snapshot → diff → merge path with shard labels
+  and per-shard breakdowns reassemble for free
+  (:func:`shard_span_breakdown`).
+
+Emit time is measured *inside* the match loop (predictions are rare,
+so the extra clock reads only happen on hits) and moved from the
+enclosing match lap with :meth:`SpanTimer.carve`, which is zero-sum by
+construction — the telescoping invariant survives.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Callable, Dict, Optional, Sequence
+
+from .live import QuantileSketch
+from .names import (
+    SPAN_RUN_SECONDS,
+    SPAN_RUNS,
+    SPAN_RUNS_SAMPLED,
+    SPAN_STAGE_LATENCY,
+    SPAN_STAGE_RECORDS,
+    SPAN_STAGE_SECONDS,
+)
+
+STAGE_INGEST = "ingest"
+STAGE_DECODE = "decode"
+STAGE_SCAN = "scan"
+STAGE_MATCH = "match"
+STAGE_EMIT = "emit"
+
+# Pipeline order — reports render stages in this order, unknown stages
+# (future subsystems) sort after.
+SPAN_STAGES = (STAGE_INGEST, STAGE_DECODE, STAGE_SCAN, STAGE_MATCH,
+               STAGE_EMIT)
+
+
+class SpanTimer:
+    """One sampled run's stage stopwatch.
+
+    ``lap(stage, records)`` attributes the wall time since the previous
+    lap (or construction) to ``stage``.  Because each lap is
+    ``now - last`` with ``last`` then set to ``now``, the laps
+    telescope: ``total == Σ seconds`` exactly.
+    """
+
+    __slots__ = ("seconds", "records", "_t0", "_last", "_clock")
+
+    def __init__(self, clock: Callable[[], float] = _time.perf_counter):
+        self._clock = clock
+        self.seconds: Dict[str, float] = {}
+        self.records: Dict[str, int] = {}
+        self._t0 = self._last = clock()
+
+    def lap(self, stage: str, records: int = 0) -> float:
+        """Close the current stage: everything since the last lap was
+        ``stage``, processing ``records`` records."""
+        now = self._clock()
+        delta = now - self._last
+        self._last = now
+        seconds = self.seconds
+        seconds[stage] = seconds.get(stage, 0.0) + delta
+        if records:
+            self.records[stage] = self.records.get(stage, 0) + records
+        return delta
+
+    def carve(self, from_stage: str, to_stage: str, seconds: float,
+              records: int = 0) -> None:
+        """Move ``seconds`` of already-measured time between stages.
+
+        Used when a cheap inner stage (emit) is timed inside an outer
+        loop whose enclosing lap will be attributed to ``from_stage``
+        (match): the inner measurements are carved out.  Zero-sum, so
+        the telescoping ``total == Σ seconds`` invariant is preserved
+        even when the carve lands before the enclosing lap (the
+        transient negative cancels when the lap closes).
+        """
+        table = self.seconds
+        table[from_stage] = table.get(from_stage, 0.0) - seconds
+        table[to_stage] = table.get(to_stage, 0.0) + seconds
+        if records:
+            self.records[to_stage] = self.records.get(to_stage, 0) + records
+
+    @property
+    def total(self) -> float:
+        """Wall seconds between construction and the last lap."""
+        return self._last - self._t0
+
+
+class SpanClock:
+    """Sampled run-activation + cumulative per-stage accounting.
+
+    The fleet asks :meth:`start_run` once per run; ``None`` means the
+    run is unsampled (skip all laps).  :meth:`finish_run` folds a
+    completed timer into cumulative slots; :meth:`publish` mirrors them
+    into the registry (``set_total``, the cumulative-slot discipline
+    every other obs producer uses).
+    """
+
+    def __init__(
+        self,
+        sample: float = 1.0,
+        *,
+        quantiles: Sequence[float] = (0.5, 0.9, 0.99),
+        clock: Callable[[], float] = _time.perf_counter,
+    ):
+        if not 0.0 <= sample <= 1.0:
+            raise ValueError("sample must be within [0, 1]")
+        self.sample = sample
+        self._clock = clock
+        self._acc = 1.0  # start full: the first run is always sampled
+        self.runs = 0
+        self.runs_sampled = 0
+        self.run_seconds = 0.0
+        self.stage_seconds: Dict[str, float] = {}
+        self.stage_records: Dict[str, int] = {}
+        self._quantiles = tuple(quantiles)
+        # Per-stage P² sketches over *per-record* seconds of sampled
+        # runs (one observation per sampled run: stage seconds / stage
+        # records) — the /debug/spans latency quantiles.
+        self.sketches: Dict[str, QuantileSketch] = {}
+
+    # -- sampling ------------------------------------------------------
+    def start_run(self) -> Optional[SpanTimer]:
+        """Count a run; return a live timer when this run is sampled."""
+        self.runs += 1
+        if self.sample <= 0.0:
+            return None
+        self._acc += self.sample
+        if self._acc >= 1.0:
+            self._acc -= 1.0
+            self.runs_sampled += 1
+            return SpanTimer(self._clock)
+        return None
+
+    def finish_run(self, timer: Optional[SpanTimer]) -> None:
+        """Fold a completed (or ``None`` = unsampled) timer in."""
+        if timer is None:
+            return
+        self.run_seconds += timer.total
+        stage_seconds = self.stage_seconds
+        stage_records = self.stage_records
+        for stage, seconds in timer.seconds.items():
+            stage_seconds[stage] = stage_seconds.get(stage, 0.0) + seconds
+            n = timer.records.get(stage, 0)
+            if n:
+                stage_records[stage] = stage_records.get(stage, 0) + n
+                sketch = self.sketches.get(stage)
+                if sketch is None:
+                    sketch = self.sketches[stage] = QuantileSketch(
+                        self._quantiles)
+                sketch.observe(seconds / n)
+
+    # -- exposition ----------------------------------------------------
+    def publish(self, registry, labels: Optional[dict] = None) -> None:
+        """Mirror cumulative span state into registry series."""
+        labels = labels or {}
+        registry.counter(
+            SPAN_RUNS, "fleet runs seen by the span clock",
+            **labels).set_total(self.runs)
+        registry.counter(
+            SPAN_RUNS_SAMPLED, "fleet runs the span clock timed",
+            **labels).set_total(self.runs_sampled)
+        registry.counter(
+            SPAN_RUN_SECONDS, "wall seconds of sampled runs",
+            **labels).set_total(self.run_seconds)
+        for stage, seconds in self.stage_seconds.items():
+            registry.counter(
+                SPAN_STAGE_SECONDS,
+                "wall seconds attributed to a pipeline stage (sampled runs)",
+                stage=stage, **labels).set_total(seconds)
+        for stage, records in self.stage_records.items():
+            registry.counter(
+                SPAN_STAGE_RECORDS,
+                "records processed by a pipeline stage (sampled runs)",
+                stage=stage, **labels).set_total(records)
+        for stage, sketch in self.sketches.items():
+            for q, value in sketch.quantiles().items():
+                registry.gauge(
+                    SPAN_STAGE_LATENCY,
+                    "per-record stage latency quantile (P² over sampled runs)",
+                    stage=stage, quantile=f"{q:g}", **labels).set(value)
+
+    def report(self) -> dict:
+        """Local span state as JSON (half of ``/debug/spans``)."""
+        stages = []
+        for stage in _stage_order(self.stage_seconds):
+            seconds = self.stage_seconds.get(stage, 0.0)
+            records = self.stage_records.get(stage, 0)
+            entry: dict = {
+                "stage": stage,
+                "seconds": seconds,
+                "records": records,
+            }
+            if records:
+                entry["seconds_per_record"] = seconds / records
+            sketch = self.sketches.get(stage)
+            if sketch is not None and sketch.count:
+                entry["latency_quantiles"] = {
+                    f"{q:g}": value for q, value in sketch.quantiles().items()
+                }
+            stages.append(entry)
+        return {
+            "sample": self.sample,
+            "runs": self.runs,
+            "runs_sampled": self.runs_sampled,
+            "run_seconds": self.run_seconds,
+            "stages": stages,
+        }
+
+
+def _stage_order(stages) -> list:
+    """Known stages in pipeline order, then any others alphabetically."""
+    known = [s for s in SPAN_STAGES if s in stages]
+    extra = sorted(s for s in stages if s not in SPAN_STAGES)
+    return known + extra
+
+
+def shard_span_breakdown(snapshot: dict) -> Dict[str, dict]:
+    """Reassemble per-shard stage breakdowns from a merged snapshot.
+
+    Workers publish span counters with a ``shard`` label; the chunk
+    deltas merge into the parent registry, so a parent-side snapshot
+    carries every shard's series.  Returns ``{shard: {"stages":
+    {stage: {"seconds", "records"}}, "run_seconds", "runs",
+    "runs_sampled"}}`` — series without a shard label land under
+    ``"-"`` (the serial fleet).  Per shard,
+    ``Σ stages[*].seconds == run_seconds`` within float tolerance (the
+    telescoping invariant, post-merge).
+    """
+    shards: Dict[str, dict] = {}
+
+    def shard_entry(labels: dict) -> dict:
+        shard = labels.get("shard", "-")
+        entry = shards.get(shard)
+        if entry is None:
+            entry = shards[shard] = {
+                "stages": {},
+                "run_seconds": 0.0,
+                "runs": 0,
+                "runs_sampled": 0,
+            }
+        return entry
+
+    def stage_entry(labels: dict) -> dict:
+        stages = shard_entry(labels)["stages"]
+        stage = labels.get("stage", "?")
+        entry = stages.get(stage)
+        if entry is None:
+            entry = stages[stage] = {"seconds": 0.0, "records": 0}
+        return entry
+
+    for name, field, cast in (
+        (SPAN_STAGE_SECONDS, "seconds", float),
+        (SPAN_STAGE_RECORDS, "records", int),
+    ):
+        family = snapshot.get(name)
+        if not family:
+            continue
+        for series in family["series"]:
+            entry = stage_entry(series.get("labels", {}))
+            entry[field] += cast(series["value"])
+    for name, field, cast in (
+        (SPAN_RUN_SECONDS, "run_seconds", float),
+        (SPAN_RUNS, "runs", int),
+        (SPAN_RUNS_SAMPLED, "runs_sampled", int),
+    ):
+        family = snapshot.get(name)
+        if not family:
+            continue
+        for series in family["series"]:
+            entry = shard_entry(series.get("labels", {}))
+            entry[field] += cast(series["value"])
+    return shards

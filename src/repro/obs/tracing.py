@@ -56,6 +56,7 @@ class Tracer:
         *,
         sample: float = 1.0,
         clock: Callable[[], float] = _time.time,
+        mirror: Optional[Callable[[dict], None]] = None,
     ):
         if not 0.0 <= sample <= 1.0:
             raise ValueError("sample must be within [0, 1]")
@@ -69,6 +70,10 @@ class Tracer:
         self._clock = clock
         self._acc = 1.0  # start full: the first activation is sampled
         self.emitted = 0
+        # Optional tee: every emitted record is also handed to
+        # ``mirror`` (e.g. FlightRecorder.absorb), so the flight ring
+        # sees the same sampled lifecycle the JSONL sink does.
+        self.mirror = mirror
 
     # -- sampling ------------------------------------------------------
     def sample_chain(self) -> bool:
@@ -93,6 +98,8 @@ class Tracer:
         record["wall"] = self._clock()
         self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
         self.emitted += 1
+        if self.mirror is not None:
+            self.mirror(record)
 
     def close(self) -> None:
         self._fh.flush()

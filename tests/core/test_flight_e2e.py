@@ -1,0 +1,187 @@
+"""End-to-end observability drill: a corrupted, deadline-paced stream
+through a 2-shard :class:`ParallelFleet` with spans and the flight
+recorder armed.
+
+The acceptance triangle for the debug plane (ISSUE 7):
+
+(a) per-shard stage breakdowns reassembled from the merged registry sum
+    to each shard's observed run wall time (the telescoping invariant
+    survives the worker → parent snapshot/diff/merge trip), and stay
+    bounded by the parent-side wall clock;
+(b) a forced deadline burn produces exactly one flight capsule whose
+    JSONL replays into events that all precede the trigger;
+(c) ``/debug/spans`` and ``/debug/flight`` serve the same data the
+    capsule file contains.
+
+Run with ``-m corruption``.  Set ``AAROHI_FLIGHT_DIR`` to redirect the
+capsule directory (CI uploads it as a workflow artifact on failure).
+"""
+
+import json
+import os
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.core.parallel import ParallelFleet
+from repro.logsim import ClusterLogGenerator, CorruptionSpec, corrupt_window, HPC3
+from repro.obs import (
+    FlightRecorder,
+    LiveMonitor,
+    Observability,
+    ObsServer,
+    TRIGGER_DEADLINE,
+    read_capsule,
+    shard_span_breakdown,
+)
+from repro.persistence import PredictorBundle
+
+pytestmark = pytest.mark.corruption
+
+
+def fetch(url):
+    with urllib.request.urlopen(url, timeout=5.0) as resp:
+        return resp.status, resp.read().decode("utf-8")
+
+
+@pytest.fixture(scope="module")
+def drill(tmp_path_factory):
+    """One corrupted deadline-paced replay, shared by all assertions."""
+    flight_dir = os.environ.get("AAROHI_FLIGHT_DIR")
+    if flight_dir is None:
+        flight_dir = tmp_path_factory.mktemp("capsules")
+    gen = ClusterLogGenerator(HPC3, seed=61)
+    window = gen.generate_window(
+        duration=3600.0, n_nodes=16, n_failures=8, n_spurious=2)
+    lines, report = corrupt_window(
+        window.events, CorruptionSpec.all_kinds(0.02), seed=61)
+    assert report.total_faults > 0
+    bundle = PredictorBundle(
+        store=gen.store, chains=gen.chains,
+        timeout=gen.recommended_timeout, system="HPC3")
+    # A vanishingly small deadline budget forces the burn: every timed
+    # prediction is over budget, so the verdict goes not-ok on the
+    # first run and the deadline trigger must capsule exactly once.
+    # The quarantine SLO is set far above the injected corruption rate
+    # so the *only* anomaly in this drill is the deadline.
+    obs = Observability(
+        live=LiveMonitor(1e-12),
+        quarantine_slo=0.5,
+        flight=FlightRecorder(capacity=128, directory=flight_dir),
+    )
+    with ParallelFleet(
+        bundle, n_workers=2, obs=obs, timing="full",
+        chunk_lines=1024, spans_sample=1.0,
+    ) as fleet:
+        t0 = time.perf_counter()
+        predictions = fleet.run_lines(lines)
+        wall = time.perf_counter() - t0
+    return {
+        "obs": obs,
+        "predictions": predictions,
+        "wall": wall,
+        "flight_dir": flight_dir,
+    }
+
+
+class TestShardSpans:
+    def test_breakdowns_sum_to_observed_wall_time(self, drill):
+        obs, wall = drill["obs"], drill["wall"]
+        breakdown = shard_span_breakdown(obs.registry.snapshot())
+        shards = {s for s in breakdown if s != "-"}
+        assert shards == {"0", "1"}
+        for shard in shards:
+            data = breakdown[shard]
+            assert data["runs_sampled"] > 0
+            stage_sum = sum(
+                cell["seconds"] for cell in data["stages"].values())
+            # (a) telescoping survives the merge: stages sum to the
+            # shard's sampled run wall time...
+            assert stage_sum == pytest.approx(
+                data["run_seconds"], rel=1e-6, abs=1e-9)
+            # ...and a worker cannot have spent longer than the parent
+            # observed waiting for it.
+            assert data["run_seconds"] <= wall
+
+    def test_every_stage_accounts_records(self, drill):
+        breakdown = shard_span_breakdown(drill["obs"].registry.snapshot())
+        for shard in ("0", "1"):
+            stages = breakdown[shard]["stages"]
+            assert stages["decode"]["records"] > 0
+            assert stages["match"]["records"] > 0
+
+
+class TestDeadlineCapsule:
+    def test_exactly_one_capsule_fired(self, drill):
+        flight = drill["obs"].flight
+        assert flight.capsules == 1
+        assert list(flight.triggered) == [TRIGGER_DEADLINE]
+        assert flight.last_reason == TRIGGER_DEADLINE
+
+    def test_capsule_replays_events_preceding_the_trigger(self, drill):
+        flight = drill["obs"].flight
+        parsed = read_capsule(flight.last_capsule_path)
+        header = parsed["header"]
+        assert header["reason"] == TRIGGER_DEADLINE
+        assert header["verdict"]["ok"] is False
+        events = parsed["events"]
+        assert events, "the ring must have buffered the run-up"
+        seqs = [e["seq"] for e in events]
+        assert seqs == sorted(seqs)
+        assert all(e["wall"] <= header["wall"] for e in events)
+        kinds = {e["kind"] for e in events}
+        assert "chunk_done" in kinds  # the parallel run-up was captured
+        # The snapshot frozen into the capsule carries the merged
+        # per-shard span series.
+        snap_breakdown = shard_span_breakdown(parsed["snapshot"])
+        assert {"0", "1"} <= set(snap_breakdown)
+
+    def test_chunk_done_events_carry_trace_context(self, drill):
+        parsed = read_capsule(drill["obs"].flight.last_capsule_path)
+        chunk_events = [
+            e for e in parsed["events"] if e["kind"] == "chunk_done"]
+        for event in chunk_events:
+            assert event["run"] == 1
+            assert event["shard"] in (0, 1)
+            assert event["chunk"] >= 0
+            assert event["lines"] > 0
+
+
+class TestDebugPlaneAgreement:
+    def test_debug_flight_serves_the_capsule_file(self, drill):
+        obs = drill["obs"]
+        with ObsServer(obs) as server:
+            status, body = fetch(server.url("/debug/flight"))
+        assert status == 200
+        assert body == obs.flight.last_capsule_text
+        assert body == obs.flight.last_capsule_path.read_text(
+            encoding="utf-8")
+
+    def test_debug_spans_matches_the_capsule_snapshot(self, drill):
+        obs = drill["obs"]
+        with ObsServer(obs) as server:
+            status, body = fetch(server.url("/debug/spans"))
+        assert status == 200
+        served = json.loads(body)["shards"]
+        parsed = read_capsule(obs.flight.last_capsule_text)
+        frozen = shard_span_breakdown(parsed["snapshot"])
+        # No runs happened after the trigger, so the live registry and
+        # the frozen snapshot describe the same spans.
+        for shard in ("0", "1"):
+            assert served[shard]["run_seconds"] == pytest.approx(
+                frozen[shard]["run_seconds"])
+            assert served[shard]["stages"] == frozen[shard]["stages"]
+
+    def test_debug_vars_reports_the_capsule(self, drill):
+        obs = drill["obs"]
+        with ObsServer(obs) as server:
+            status, body = fetch(server.url("/debug/vars"))
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["flight"]["capsules"] == 1
+        assert payload["flight"]["last_reason"] == TRIGGER_DEADLINE
+        assert list(payload["flight"]["triggered"]) == [TRIGGER_DEADLINE]

@@ -183,7 +183,9 @@ class TestParallelTolerance:
             lines = [e.to_line() for e in window.events]
             lines.insert(3, "totally broken line")
             lines.insert(10, "1970-01-01T00:00:09 short")
-            predictions, stats, _, ingest = parallel._run_chunk(lines)
+            predictions, stats, _, ingest, trace = parallel._run_chunk(
+                lines, trace=(1, 0, 0))
+            assert trace == (1, 0, 0)
             assert ingest.quarantined == 2
             assert ingest.funnel_ok
             assert stats.lines_seen == len(lines) - 2

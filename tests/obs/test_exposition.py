@@ -4,6 +4,8 @@ import json
 import math
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.obs.exposition import (
     PrometheusParseError,
@@ -41,6 +43,51 @@ class TestRoundTrip:
         r.counter("c_total", "x", path='we"ird\\lab\nel').inc(1)
         snap = r.snapshot()
         assert parse_prometheus(render_prometheus(snap)) == snap
+
+
+class TestLabelEscapingProperty:
+    """Hypothesis property: label values survive render → parse for any
+    text built from the characters the Prometheus format can carry —
+    including the three escaped ones (``\\``, ``"``, newline) in any
+    combination and position.  Line separators beyond ``\\n`` (\\r,
+    U+2028, …) are excluded: the text format defines no escape for
+    them."""
+
+    label_values = st.text(
+        alphabet=st.one_of(
+            # Weight the troublesome characters heavily.
+            st.sampled_from('\\"\n'),
+            st.sampled_from('\\\\n\\"{}=, '),
+            st.characters(
+                blacklist_categories=("Cs", "Cc", "Zl", "Zp")),
+        ),
+        max_size=40,
+    )
+
+    @given(value=label_values)
+    @settings(max_examples=200, deadline=None)
+    def test_escape_unescape_identity(self, value):
+        from repro.obs.exposition import _escape_label, _unescape_label
+
+        assert _unescape_label(_escape_label(value)) == value
+
+    @given(value=label_values)
+    @settings(max_examples=100, deadline=None)
+    def test_label_value_round_trips_through_text_format(self, value):
+        r = Registry()
+        r.counter("esc_total", "escaping", path=value).inc(1)
+        snap = r.snapshot()
+        assert parse_prometheus(render_prometheus(snap)) == snap
+
+    def test_trailing_backslash_and_literal_backslash_n(self):
+        # The regression that motivated the property: '\\' followed by
+        # 'n' in the *source* value must not collapse into a newline,
+        # and a trailing backslash must stay one backslash.
+        for value in ("\\n", "ends with \\", "\\\\n", "\\\n", 'mix\\"\n\\'):
+            r = Registry()
+            r.counter("esc_total", "escaping", path=value).inc(1)
+            snap = r.snapshot()
+            assert parse_prometheus(render_prometheus(snap)) == snap
 
 
 class TestRoundTripProperty:

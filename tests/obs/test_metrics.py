@@ -11,6 +11,7 @@ from repro.obs.metrics import (
     NULL_REGISTRY,
     Registry,
     diff_snapshots,
+    snapshot_asymmetry,
 )
 
 
@@ -162,6 +163,51 @@ class TestDiffSnapshots:
             parent.merge(diff_snapshots(snap, last))
             last = snap
         assert parent.snapshot()["c_total"]["series"][0]["value"] == 10
+
+    def test_reconfigured_histogram_passes_through_whole(self):
+        """A bucket-layout change between snapshots must not be
+        zip-truncated into garbage — the new cumulative state passes
+        through untouched."""
+        old_r, new_r = Registry(), Registry()
+        old_r.histogram("h", lo_exp=0, hi_exp=4).observe(1.0)
+        new_r.histogram("h", lo_exp=-4, hi_exp=8).observe(2.0)
+        new = new_r.snapshot()
+        delta = diff_snapshots(new, old_r.snapshot())
+        assert delta["h"]["series"][0] == new["h"]["series"][0]
+
+
+class TestSnapshotAsymmetry:
+    def test_added_and_removed_series_reported(self):
+        old_r, new_r = Registry(), Registry()
+        old_r.counter("gone_total").inc(1)
+        old_r.counter("stays_total").inc(1)
+        new_r.counter("stays_total").inc(2)
+        new_r.counter("fresh_total", "", stage="scan").inc(3)
+        out = snapshot_asymmetry(new_r.snapshot(), old_r.snapshot())
+        assert out["added"] == ['fresh_total{stage="scan"}']
+        assert out["removed"] == ["gone_total"]
+
+    def test_label_sets_are_distinct_series(self):
+        old_r, new_r = Registry(), Registry()
+        old_r.counter("c_total", "", shard="0").inc(1)
+        new_r.counter("c_total", "", shard="1").inc(1)
+        out = snapshot_asymmetry(new_r.snapshot(), old_r.snapshot())
+        assert out["added"] == ['c_total{shard="1"}']
+        assert out["removed"] == ['c_total{shard="0"}']
+
+    def test_identical_snapshots_are_symmetric(self):
+        r = Registry()
+        r.counter("c_total").inc(1)
+        snap = r.snapshot()
+        assert snapshot_asymmetry(snap, snap) == {
+            "added": [], "removed": []}
+
+    def test_none_old_counts_everything_added(self):
+        r = Registry()
+        r.counter("c_total").inc(1)
+        out = snapshot_asymmetry(r.snapshot(), None)
+        assert out["added"] == ["c_total"]
+        assert out["removed"] == []
 
 
 class TestNullRegistry:

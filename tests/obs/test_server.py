@@ -120,6 +120,157 @@ class TestUnknownPath:
         assert excinfo.value.code == 404
 
 
+class TestDebugEndpoints:
+    def _spanned_obs(self):
+        from repro.obs import FlightRecorder, SpanClock
+
+        return Observability(
+            spans=SpanClock(1.0), flight=FlightRecorder(capacity=32))
+
+    def test_debug_spans_serves_local_and_shard_views(self):
+        from repro.obs import SPAN_RUNS
+
+        obs = self._spanned_obs()
+        timer = obs.spans.start_run()
+        timer.lap("decode", 10)
+        timer.lap("match", 10)
+        obs.record_spans(timer)
+        with ObsServer(obs) as server:
+            status, ctype, body = fetch(server.url("/debug/spans"))
+        assert status == 200
+        assert ctype == "application/json"
+        payload = json.loads(body)
+        assert payload["enabled"] is True
+        assert payload["local"]["runs_sampled"] == 1
+        stages = {s["stage"] for s in payload["local"]["stages"]}
+        assert stages == {"decode", "match"}
+        assert "-" in payload["shards"]
+
+    def test_debug_spans_without_clock_reports_disabled(self):
+        obs = Observability()
+        with ObsServer(obs) as server:
+            _, _, body = fetch(server.url("/debug/spans"))
+        assert json.loads(body)["enabled"] is False
+
+    def test_debug_flight_404_until_triggered_then_exact_capsule(
+            self, tmp_path):
+        from repro.obs import FlightRecorder, TRIGGER_DRIFT
+
+        obs = Observability(
+            flight=FlightRecorder(capacity=16, directory=tmp_path))
+        obs.flight.note("fleet_run", events=100)
+        with ObsServer(obs) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                fetch(server.url("/debug/flight"))
+            assert excinfo.value.code == 404
+            text = obs.flight.trigger(
+                TRIGGER_DRIFT, snapshot=obs.registry.snapshot())
+            status, ctype, body = fetch(server.url("/debug/flight"))
+        assert status == 200
+        assert ctype == "application/x-ndjson"
+        # Endpoint == in-memory capsule == on-disk file, byte for byte.
+        assert body == text
+        assert obs.flight.last_capsule_path.read_text(
+            encoding="utf-8") == body
+
+    def test_debug_vars_carries_build_scanner_and_registry(self):
+        obs = self._spanned_obs()
+        obs.registry.counter(LINES_SEEN, "lines").inc(7)
+        with ObsServer(obs) as server:
+            status, _, body = fetch(server.url("/debug/vars"))
+        assert status == 200
+        payload = json.loads(body)
+        assert "version" in payload["build"]
+        assert "python" in payload["build"]
+        assert payload["spans"]["sample"] == 1.0
+        assert payload["flight"]["capacity"] == 32
+        assert payload["registry"][LINES_SEEN]["series"][0]["value"] == 7
+
+    def test_404_lists_debug_paths(self, obs):
+        with ObsServer(obs) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                fetch(server.url("/nope"))
+        assert excinfo.value.code == 404
+        assert "/debug/spans" in excinfo.value.read().decode("utf-8")
+
+
+class TestConcurrentScrapes:
+    """Scrapes racing a running fleet must see whole snapshots: the
+    facade lock makes every multi-metric record atomic, so the funnel
+    identity holds on every response, mid-run included."""
+
+    def _make_fleet(self):
+        from repro.core import ChainSet, FailureChain, PredictorFleet
+        from repro.core.events import Severity
+        from repro.obs import SpanClock
+        from repro.templates import TemplateStore
+
+        store = TemplateStore()
+        store.add("alpha fault *", Severity.ERRONEOUS, token=301)
+        store.add("beta warn *", Severity.UNKNOWN, token=302)
+        chains = ChainSet([FailureChain("FC_x", (301, 302))])
+        obs = Observability(
+            live=LiveMonitor(0.01, clock=lambda: 0.0),
+            quality=QualityScoreboard(),
+            spans=SpanClock(1.0))
+        fleet = PredictorFleet.from_store(
+            chains, store, timeout=100.0, obs=obs)
+        return fleet, obs
+
+    def test_funnel_identity_holds_mid_scrape(self):
+        import threading
+
+        from repro.core import LogEvent
+        from repro.obs import (
+            SCANNER_DFA_RUNS,
+            SCANNER_FIRST_CHAR_REJECTED,
+            SCANNER_MEMO_HITS,
+        )
+
+        fleet, obs = self._make_fleet()
+        events = [
+            LogEvent(float(i), f"n{i % 4}",
+                     "alpha fault 12" if i % 3 == 0 else "benign noise")
+            for i in range(200)
+        ]
+        stop = threading.Event()
+        torn: list = []
+
+        def scrape(server):
+            while not stop.is_set():
+                _, _, body = fetch(server.url("/metrics"))
+                snap = parse_prometheus(body)
+                if LINES_SEEN not in snap:
+                    continue  # scraped before the first run recorded
+                seen = snap[LINES_SEEN]["series"][0]["value"]
+                funnel = sum(
+                    snap[name]["series"][0]["value"]
+                    for name in (SCANNER_FIRST_CHAR_REJECTED,
+                                 SCANNER_MEMO_HITS, SCANNER_DFA_RUNS)
+                    if name in snap)
+                if funnel != seen:
+                    torn.append((seen, funnel))
+                # /quality races the same lock from another thread.
+                fetch(server.url("/quality"))
+
+        with ObsServer(obs) as server:
+            threads = [
+                threading.Thread(target=scrape, args=(server,), daemon=True)
+                for _ in range(3)
+            ]
+            for t in threads:
+                t.start()
+            try:
+                for _ in range(30):
+                    fleet.run(events, timing="off")
+            finally:
+                stop.set()
+                for t in threads:
+                    t.join(timeout=10.0)
+        assert torn == []
+        assert not any(t.is_alive() for t in threads)
+
+
 class TestMidRunScrape:
     def test_scrape_during_fleet_progress(self):
         """A scrape between two runs of the same fleet sees coherent,

@@ -101,6 +101,9 @@ class TestJsonOutput:
         stats = payload["stats"]
         assert stats["lines_seen"] == len(log.read_text().splitlines())
         assert 0.0 <= stats["fc_related_fraction"] <= 1.0
+        scanner = payload["scanner"]
+        assert scanner["backend"] in ("str", "bytes", "numpy")
+        assert scanner["translate_evictions"] >= 0
 
     def test_pipeline_json(self, capsys):
         rc = main([
@@ -157,6 +160,59 @@ class TestObsReport:
         out = capsys.readouterr().out
         assert "lifecycle" in out.lower()
         assert "prediction_fired" in out
+
+
+class TestSpansAndFlightCli:
+    @pytest.fixture()
+    def spanned_metrics(self, tmp_path, capsys):
+        log = tmp_path / "w.log"
+        metrics = tmp_path / "spans.prom"
+        main([
+            "generate", "--system", "HPC3", "--seed", "5",
+            "--duration", "1800", "--nodes", "12", "--failures", "4",
+            "--out", str(log),
+        ])
+        rc = main([
+            "predict", "--system", "HPC3", "--seed", "5",
+            "--log", str(log), "--metrics", str(metrics),
+            "--spans", "1.0", "--flight-dir", str(tmp_path / "caps"),
+        ])
+        assert rc == 0
+        capsys.readouterr()
+        return metrics
+
+    def test_spans_series_written_and_reported(
+            self, spanned_metrics, capsys):
+        assert "aarohi_span_stage_seconds_total" in \
+            spanned_metrics.read_text()
+        rc = main(["obs-report", "--metrics", str(spanned_metrics)])
+        assert rc == 0
+        assert "Pipeline stage spans" in capsys.readouterr().out
+
+    def test_spans_flag_prints_only_span_tables(
+            self, spanned_metrics, capsys):
+        rc = main(["obs-report", "--metrics", str(spanned_metrics),
+                   "--spans"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Pipeline stage spans" in out
+        assert "Scanner rejection funnel" not in out
+
+    def test_spans_flag_without_span_series_exits_2(
+            self, tmp_path, capsys):
+        from repro.obs import LINES_SEEN, Registry, render_prometheus
+
+        registry = Registry()
+        registry.counter(LINES_SEEN, "lines").inc(5)
+        plain = tmp_path / "plain.prom"
+        plain.write_text(render_prometheus(registry.snapshot()))
+        rc = main(["obs-report", "--metrics", str(plain), "--spans"])
+        assert rc == 2
+        assert "no span series" in capsys.readouterr().err
+
+    def test_clean_run_writes_no_capsule(self, spanned_metrics, tmp_path):
+        caps = tmp_path / "caps"
+        assert not caps.exists() or not list(caps.iterdir())
 
 
 class TestGenerateTruth:
@@ -283,6 +339,23 @@ class TestObsReportDiff:
             "obs-report", "--diff", str(tmp_path / "nope.prom"), str(after)])
         assert rc == 2
         assert "obs-report:" in capsys.readouterr().err
+
+    def test_diff_reports_added_and_removed_series(self, tmp_path, capsys):
+        from repro.obs import Registry, render_prometheus
+
+        before, after = tmp_path / "b.prom", tmp_path / "a.prom"
+        old_r = Registry()
+        old_r.counter("aarohi_gone_total", "x").inc(1)
+        before.write_text(render_prometheus(old_r.snapshot()))
+        new_r = Registry()
+        new_r.counter("aarohi_span_runs_total", "x").inc(2)
+        after.write_text(render_prometheus(new_r.snapshot()))
+        rc = main(["obs-report", "--diff", str(before), str(after)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Series added/removed" in out
+        assert "aarohi_span_runs_total" in out
+        assert "aarohi_gone_total" in out
 
 
 class TestObsServe:
