@@ -26,6 +26,13 @@ the full ops plane — deadline monitor, quality scoreboard, and an HTTP
 the ≥95% floor; the scrape must satisfy the funnel identity (rejection
 stages sum exactly to ``aarohi_lines_seen_total``).
 
+A sixth, ``history`` (:func:`measure_history_overhead`), arms the
+recording-rules plane on top of the live plane — a
+:class:`~repro.obs.HistoryRing` capturing on every run plus the default
+alert ruleset evaluated on every capture — and must keep ≥95% of the
+live plane's throughput (:data:`HISTORY_FLOOR`, OR-gated on the direct
+per-capture cost like the other batch-grained planes).
+
 Run standalone::
 
     PYTHONPATH=src python benchmarks/obs_overhead.py [--smoke]
@@ -53,6 +60,9 @@ TRACED_FLOOR = 0.90
 # Full-sampling span timing: a handful of clock reads per run plus one
 # carve per prediction.  ≤7% overhead is the ISSUE's acceptance bound.
 SPANS_FLOOR = 0.93
+# Recording-rules plane (history ring + alert-rule evaluation every
+# capture): batch-grained like the live plane, so it shares its floor.
+HISTORY_FLOOR = 0.95
 
 
 def _fresh_fleet(gen, obs):
@@ -169,6 +179,102 @@ def spans_gate_ok(spans: dict, floor: float = SPANS_FLOOR) -> bool:
     return (
         spans["spans_vs_off"] >= floor
         or spans["span_cost_fraction"] <= (1.0 - floor)
+    )
+
+
+def measure_history_overhead(
+        gen, n_events: int = 20_000, rounds: int = 5) -> dict:
+    """Best-of-``rounds`` events/s with the recording-rules plane armed
+    at its shipped cadence (a default :class:`~repro.obs.HistoryRing`
+    plus the default alert ruleset evaluated on every capture), vs the
+    live plane alone.  The delta isolates what ISSUE 8 added on top of
+    ISSUE 5's ops plane.
+
+    The plane's cost model is *per capture, per cadence interval* —
+    ``record_history`` is offered once per ``fleet.run`` but the ring's
+    throttle accepts at most one capture per ``interval`` seconds, so
+    steady-state cost is (per-capture cost)/(interval) of one core no
+    matter the event rate.  Alongside the throughput ratio we measure
+    that per-capture cost directly — a forced snapshot + ring fold +
+    full rule evaluation against a realistically-populated registry and
+    a full ring — and express it as a fraction of the cadence interval.
+    :func:`history_gate_ok` accepts either bound."""
+    from repro.obs import (
+        HistoryRing,
+        LiveMonitor,
+        Observability,
+        QualityScoreboard,
+        RuleEngine,
+        default_ruleset,
+        inter_arrival_budget,
+    )
+
+    from emit_bench import discard_heavy_stream
+
+    events = discard_heavy_stream(gen, n_events)
+    budget = inter_arrival_budget(gen.config)
+
+    def make_obs(with_history):
+        kwargs = {}
+        if with_history:
+            kwargs = {
+                "history": HistoryRing(),  # shipped cadence
+                "rules": RuleEngine(default_ruleset()),
+            }
+        return Observability(
+            live=LiveMonitor(budget), quality=QualityScoreboard(), **kwargs)
+
+    best = {"live": 0.0, "history": 0.0}
+    predictions = {}
+    for _ in range(rounds):
+        for mode in ("live", "history"):
+            fleet = _fresh_fleet(gen, make_obs(mode == "history"))
+            t0 = time.perf_counter()
+            report = fleet.run(events, timing="off")
+            best[mode] = max(best[mode], n_events / (time.perf_counter() - t0))
+            predictions[mode] = len(report.predictions)
+    assert len(set(predictions.values())) == 1, predictions
+
+    # Direct per-capture cost against a realistically-populated registry
+    # (one real run's worth of series) and a full ring, including rule
+    # evaluation — the worst case a single cadence tick can cost.
+    obs = make_obs(True)
+    fleet = _fresh_fleet(gen, obs)
+    fleet.run(events, timing="off")
+    for _ in range(obs.history.capacity):
+        obs.record_history(force=True)  # fill the ring to capacity
+    reps = 200
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        obs.record_history(force=True)
+    capture_seconds = (time.perf_counter() - t0) / reps
+    interval = obs.history.interval
+    capture_cost_fraction = capture_seconds / interval
+
+    return {
+        "events": n_events,
+        "predictions": predictions["live"],
+        "rules": len(obs.rules.rules),
+        "ring_samples": len(obs.history),
+        "interval_seconds": interval,
+        "live_events_per_s": round(best["live"]),
+        "history_events_per_s": round(best["history"]),
+        "history_vs_live": round(best["history"] / best["live"], 4),
+        "capture_ms": round(capture_seconds * 1e3, 4),
+        "capture_cost_fraction": round(capture_cost_fraction, 6),
+    }
+
+
+def history_gate_ok(history: dict, floor: float = HISTORY_FLOOR) -> bool:
+    """The recording-rules gate, same OR shape as :func:`live_gate_ok`:
+    throughput with history+rules held ≥``floor`` of the live plane
+    alone, OR the directly-measured per-capture cost (snapshot + ring
+    fold + full-ring rule evaluation) fits in the floor's share of one
+    cadence interval.  A regression that makes captures per-event, or
+    rule evaluation super-linear in the ring, fails both."""
+    return (
+        history["history_vs_live"] >= floor
+        or history["capture_cost_fraction"] <= (1.0 - floor)
     )
 
 
@@ -331,6 +437,7 @@ def write_bench_json(results: dict, path: Path = BENCH_PATH) -> dict:
         "stream": "discard-heavy realistic window (see discard_heavy_stream)",
         "floor": OVERHEAD_FLOOR,
         "spans_floor": SPANS_FLOOR,
+        "history_floor": HISTORY_FLOOR,
         "systems": results,
     }
     path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
@@ -357,11 +464,14 @@ def main(argv=None) -> None:
             gen, n_events=n_events, rounds=rounds)
         measured["live"] = measure_live_overhead(
             gen, n_events=n_events, rounds=rounds)
+        measured["history"] = measure_history_overhead(
+            gen, n_events=n_events, rounds=rounds)
         results[name] = measured
         print(name, measured)
-        # The span gate runs in smoke too (ISSUE 7): the OR-gate's
-        # direct-cost arm makes it robust to shared-runner noise.
+        # The span and history gates run in smoke too (ISSUEs 7/8): the
+        # OR-gates' direct-cost arms are robust to shared-runner noise.
         assert spans_gate_ok(measured["spans"]), measured["spans"]
+        assert history_gate_ok(measured["history"]), measured["history"]
         if not args.smoke:
             assert measured["metrics_vs_off"] >= OVERHEAD_FLOOR, measured
             assert measured["traced_vs_off"] >= TRACED_FLOOR, measured

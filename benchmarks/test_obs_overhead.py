@@ -22,7 +22,9 @@ from emit_bench import discard_heavy_stream
 from obs_overhead import (
     OVERHEAD_FLOOR,
     TRACED_FLOOR,
+    history_gate_ok,
     live_gate_ok,
+    measure_history_overhead,
     measure_live_overhead,
     measure_obs_overhead,
     measure_spans_overhead,
@@ -59,6 +61,8 @@ def test_obs_overhead(benchmark, emit, generators):
     measured["spans"] = spans
     live = measure_live_overhead(gen)
     measured["live"] = live
+    history = measure_history_overhead(gen)
+    measured["history"] = history
     results = {"HPC1": measured}
     write_bench_json(results)
 
@@ -74,6 +78,8 @@ def test_obs_overhead(benchmark, emit, generators):
              f"{spans['spans_vs_off']:.4f}"),
             ("live+scrape", f"{live['live_events_per_s']:,.0f}",
              f"{live['live_vs_off']:.4f}"),
+            ("live+history+rules", f"{history['history_events_per_s']:,.0f}",
+             f"{history['history_vs_live']:.4f} (vs live)"),
         ],
         title="Observability overhead on the HPC1 discard-heavy stream "
               f"(floor: {OVERHEAD_FLOOR:.0%})"))
@@ -89,3 +95,7 @@ def test_obs_overhead(benchmark, emit, generators):
     # Span timing at sample=1.0 (worst case) keeps ≥93% — same OR-gate
     # shape: throughput ratio, or the direct per-run lap cost.
     assert spans_gate_ok(spans), spans
+    # Recording-rules plane (history ring capturing every run + default
+    # alert rules evaluated per capture) keeps ≥95% of the live plane —
+    # same OR-gate: ratio, or the direct per-capture cost.
+    assert history_gate_ok(history), history

@@ -13,8 +13,10 @@ Thin wrappers over the library so each piece of the paper's workflow
   delta of two snapshots (``--diff BEFORE AFTER``), or just the stage
   span tables (``--spans``)
 * ``obs-serve`` — replay a log through a live-instrumented fleet while
-  serving ``/metrics``, ``/healthz``, ``/quality``, and the
-  ``/debug/*`` plane over HTTP
+  serving ``/metrics``, ``/healthz``, ``/quality``, ``/alerts``, and
+  the ``/debug/*`` plane over HTTP
+* ``obs-rules`` — lint an alert-rules file (``--check``, exit 2 on
+  problems) or print the shipped default ruleset as TOML
 """
 
 from __future__ import annotations
@@ -130,8 +132,20 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--flight-dir", default=None, metavar="DIR",
         help="arm the flight recorder: on a deadline burn, quarantine "
-             "breach, or discard-drift trip, dump a JSONL crash capsule "
-             "into DIR",
+             "breach, discard-drift trip, or firing alert rule, dump a "
+             "JSONL crash capsule into DIR",
+    )
+    parser.add_argument(
+        "--history", type=float, default=None, metavar="SECONDS",
+        help="arm the in-process history ring, capturing a registry "
+             "sample at most every SECONDS (0 = every run); --watch "
+             "arms it automatically",
+    )
+    parser.add_argument(
+        "--rules", default=None, metavar="RULES",
+        help="evaluate alert rules on the history cadence: a [[rule]] "
+             "TOML file, or the literal word 'default' for the shipped "
+             "ruleset (implies --history)",
     )
 
 
@@ -148,8 +162,11 @@ def _make_obs(
     truth = getattr(args, "truth", None)
     spans_sample = getattr(args, "spans", 0.0)
     flight_dir = getattr(args, "flight_dir", None)
+    history_interval = getattr(args, "history", None)
+    rules_source = getattr(args, "rules", None)
     if not (args.metrics or args.trace or watch or truth
-            or spans_sample or flight_dir):
+            or spans_sample or flight_dir
+            or history_interval is not None or rules_source):
         return None
     tracer = None
     if args.trace:
@@ -164,8 +181,45 @@ def _make_obs(
         quality.add_failures(read_truth(truth))
     spans = SpanClock(spans_sample) if spans_sample > 0.0 else None
     flight = FlightRecorder(directory=flight_dir) if flight_dir else None
+    history, rules = _make_history(
+        history_interval, rules_source, default_on=watch)
     return Observability(tracer=tracer, live=live, quality=quality,
-                         spans=spans, flight=flight)
+                         spans=spans, flight=flight,
+                         history=history, rules=rules)
+
+
+def _make_history(
+    history_interval: Optional[float],
+    rules_source: Optional[str],
+    *,
+    default_on: bool = False,
+):
+    """Build the (history ring, rule engine) pair the flags ask for.
+
+    ``--watch`` (``default_on``) arms both by default — the dashboard's
+    trend columns and firing-alerts banner need them — while an
+    explicit ``--history``/``--rules`` wins over the default.
+    """
+    from .obs import HistoryRing, RuleEngine, default_ruleset, load_rules
+
+    if history_interval is None and rules_source is None and default_on:
+        return HistoryRing(), RuleEngine(default_ruleset())
+    history = None
+    if history_interval is not None:
+        if history_interval < 0:
+            raise SystemExit("--history must be >= 0 seconds")
+        history = HistoryRing(interval=history_interval)
+    rules = None
+    if rules_source:
+        try:
+            loaded = (default_ruleset() if rules_source == "default"
+                      else load_rules(rules_source))
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"cannot load rules {rules_source!r}: {exc}")
+        rules = RuleEngine(loaded)
+        if history is None:
+            history = HistoryRing()
+    return history, rules
 
 
 def _finish_obs(args: argparse.Namespace, obs: Optional[Observability]) -> None:
@@ -174,6 +228,12 @@ def _finish_obs(args: argparse.Namespace, obs: Optional[Observability]) -> None:
     if args.metrics:
         with open(args.metrics, "w", encoding="utf-8") as fh:
             fh.write(obs.prometheus())
+    if obs.rules is not None:
+        firing = obs.rules.firing()
+        if firing:
+            rules = ", ".join(
+                f"{r.id} ({r.severity})" for r in firing)
+            print(f"alerts firing: {rules}", file=sys.stderr)
     if obs.flight is not None and obs.flight.last_capsule_path is not None:
         print(f"flight capsule ({obs.flight.last_reason}): "
               f"{obs.flight.last_capsule_path}", file=sys.stderr)
@@ -215,11 +275,33 @@ def cmd_rules(args: argparse.Namespace) -> int:
 
 
 def _watch_frame(obs: Observability) -> str:
-    """One dashboard refresh: funnel, latency, fleet, live, quality."""
-    from .obs.report import report_sections
+    """One dashboard refresh: firing-alerts banner, funnel, latency,
+    fleet, live, quality, alert-rule states, history trends."""
+    from .obs import group_history_records
+    from .obs.report import (
+        alerts_banner,
+        alerts_section,
+        history_trend_section,
+        report_sections,
+    )
 
     obs.refresh()
-    return "\n\n".join(report_sections(obs.registry.snapshot()))
+    sections = report_sections(obs.registry.snapshot())
+    alerts = obs.alerts_report()
+    banner = alerts_banner(alerts)
+    if banner is not None:
+        sections.insert(0, banner)
+    table = alerts_section(alerts)
+    if table is not None:
+        sections.append(table)
+    records = obs.history_records()
+    if records:
+        trends = history_trend_section(
+            group_history_records(records), limit=16,
+            title="History trends (ring)")
+        if trends is not None:
+            sections.append(trends)
+    return "\n\n".join(sections)
 
 
 def _run_watched(
@@ -492,17 +574,59 @@ def _load_trace(path: str) -> list:
             f"{path} is not a valid trace file ({exc})") from exc
 
 
+def _load_history_records(path: str) -> list:
+    """History points from an NDJSON dump (``/debug/history``) or a
+    flight capsule with an embedded ``history`` record."""
+    from .obs import parse_history_ndjson, read_capsule
+
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError as exc:
+        raise _ReportError(
+            f"cannot read {path}: {exc.strerror or exc}") from exc
+    if not text.strip():
+        raise _ReportError(f"{path} is empty — no history was written")
+    first = text.lstrip().splitlines()[0]
+    if '"kind":"capsule"' in first.replace(" ", ""):
+        capsule = read_capsule(text)
+        records = capsule.get("history")
+        if not records:
+            raise _ReportError(
+                f"{path} is a flight capsule without embedded history "
+                "(only alert_rule capsules carry one)")
+        return records
+    try:
+        return parse_history_ndjson(text)
+    except ValueError as exc:
+        raise _ReportError(
+            f"{path} is not a history dump ({exc})") from exc
+
+
 def cmd_obs_report(args: argparse.Namespace) -> int:
-    from .obs import diff_snapshots, snapshot_asymmetry
+    from .obs import diff_snapshots, group_history_records, snapshot_asymmetry
     from .obs.report import (
+        history_trend_section,
         report_sections,
+        resets_section,
         series_change_section,
         span_latency_section,
         spans_section,
     )
 
     change_section = None
+    clamp_section = None
     try:
+        if getattr(args, "history", None):
+            records = _load_history_records(args.history)
+            trends = history_trend_section(
+                group_history_records(records),
+                title=f"History trends — {len(records)} points")
+            if trends is None:
+                raise _ReportError(
+                    f"{args.history} contains no history points")
+            print(trends)
+            return 0
         if args.diff:
             before = _load_snapshot(args.diff[0])
             after = _load_snapshot(args.diff[1])
@@ -512,6 +636,10 @@ def cmd_obs_report(args: argparse.Namespace) -> int:
             # instead of pretending the series never existed.
             change_section = series_change_section(
                 snapshot_asymmetry(after, before))
+            # Counters that went backwards (process restart between
+            # snapshots) had their deltas clamped to 0 — say so rather
+            # than silently reporting a flat rate.
+            clamp_section = resets_section(snapshot)
             if not snapshot and change_section is None:
                 print("no metric changed between the two snapshots")
                 return 0
@@ -537,7 +665,39 @@ def cmd_obs_report(args: argparse.Namespace) -> int:
     sections = report_sections(snapshot, trace_records)
     if change_section is not None:
         sections.append(change_section)
+    if clamp_section is not None:
+        sections.append(clamp_section)
     print("\n\n".join(sections))
+    return 0
+
+
+def cmd_obs_rules(args: argparse.Namespace) -> int:
+    """Lint a ruleset (``--check``) or print the shipped default
+    ruleset as TOML (``--print-default``)."""
+    from .obs import DEFAULT_RULES, rules_to_toml, validate_rules
+    from .obs.rules import load_raw_rules
+
+    if args.print_default:
+        print(rules_to_toml(DEFAULT_RULES), end="")
+        return 0
+    if not args.check:
+        print("obs-rules: need --check RULES or --print-default",
+              file=sys.stderr)
+        return 2
+    try:
+        raw_rules = load_raw_rules(args.check)
+    except (OSError, ValueError) as exc:
+        print(f"obs-rules: cannot load {args.check!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    problems = validate_rules(raw_rules)
+    if problems:
+        for problem in problems:
+            print(f"obs-rules: {problem}", file=sys.stderr)
+        print(f"obs-rules: {len(problems)} problem(s) in "
+              f"{len(raw_rules)} rule(s)", file=sys.stderr)
+        return 2
+    print(f"obs-rules: {len(raw_rules)} rule(s) OK")
     return 0
 
 
@@ -556,8 +716,12 @@ def cmd_obs_serve(args: argparse.Namespace) -> int:
     spans = SpanClock(args.spans) if args.spans > 0.0 else None
     flight = (FlightRecorder(directory=args.flight_dir)
               if args.flight_dir else None)
+    # A serving fleet self-monitors by default: history + the shipped
+    # ruleset, unless the flags say otherwise.
+    history, rules = _make_history(
+        args.history, args.rules, default_on=True)
     obs = Observability(live=live, quality=quality, spans=spans,
-                        flight=flight)
+                        flight=flight, history=history, rules=rules)
     fleet = PredictorFleet.from_store(
         gen.chains, gen.store, timeout=gen.recommended_timeout,
         backend=args.backend, obs=obs,
@@ -574,8 +738,8 @@ def cmd_obs_serve(args: argparse.Namespace) -> int:
     size = max(1, math.ceil(len(events) / n_slices)) if events else 1
     with ObsServer(obs, host=args.host, port=args.port) as server:
         print(f"serving {server.url('/metrics')} "
-              f"(also /healthz /quality /debug/spans /debug/flight "
-              f"/debug/vars)", flush=True)
+              f"(also /healthz /quality /alerts /debug/spans "
+              f"/debug/flight /debug/vars /debug/history)", flush=True)
         for start in range(0, len(events), size):
             fleet.run(events[start:start + size])
             if args.pace > 0:
@@ -588,6 +752,10 @@ def cmd_obs_serve(args: argparse.Namespace) -> int:
                   f"{verdict.budget * 1e3:.4f} ms "
                   f"({verdict.observed} predictions, "
                   f"burn {verdict.burn_rate:.3f})")
+        firing = obs.rules.firing() if obs.rules is not None else []
+        if firing:
+            print("alerts firing: " + ", ".join(
+                f"{r.id} ({r.severity})" for r in firing))
         if flight is not None and flight.last_capsule_path is not None:
             print(f"flight capsule ({flight.last_reason}): "
                   f"{flight.last_capsule_path}")
@@ -682,7 +850,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="render the delta between two snapshots instead")
     p.add_argument("--spans", action="store_true",
                    help="print only the pipeline stage span tables")
+    p.add_argument("--history", default=None, metavar="HISTORY",
+                   help="render min/p50/max trend tables from a history "
+                        "NDJSON dump (/debug/history) or an alert_rule "
+                        "flight capsule")
     p.set_defaults(func=cmd_obs_report)
+
+    p = sub.add_parser(
+        "obs-rules",
+        help="lint an alert-rules file (or print the shipped defaults)")
+    p.add_argument("--check", default=None, metavar="RULES",
+                   help="validate a [[rule]] TOML file (or the literal "
+                        "word 'default'); exit 2 on problems")
+    p.add_argument("--print-default", action="store_true",
+                   help="print the shipped default ruleset as TOML")
+    p.set_defaults(func=cmd_obs_rules)
 
     p = sub.add_parser(
         "obs-serve",
@@ -711,6 +893,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--flight-dir", default=None, metavar="DIR",
                    help="arm the flight recorder; capsules land in DIR "
                         "and on /debug/flight")
+    p.add_argument("--history", type=float, default=None,
+                   metavar="SECONDS",
+                   help="history-ring capture interval (default: armed "
+                        "with interval 0 — every batch)")
+    p.add_argument("--rules", default=None, metavar="RULES",
+                   help="alert rules: a [[rule]] TOML file or 'default' "
+                        "(default: the shipped ruleset; serves /alerts)")
     _add_ingest_args(p)
     p.set_defaults(func=cmd_obs_serve)
 

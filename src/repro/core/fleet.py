@@ -594,6 +594,12 @@ class PredictorFleet:
             # matrix — a burn/breach/trip caused by this run dumps its
             # flight capsule before the next run muddies the ring.
             obs.check_flight()
+            # Then offer the settled snapshot to the history ring (the
+            # cadence throttle makes this nearly free when not due);
+            # an accepted capture also runs one alert-rules pass.  The
+            # ring keeps its own (injectable) clock — wall time, not
+            # event time, so paced replays and live streams look alike.
+            obs.record_history()
 
     @property
     def nodes(self) -> List[str]:

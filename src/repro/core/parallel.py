@@ -395,6 +395,10 @@ class ParallelFleet:
                 # Anomalies caused by this window (quarantine burn,
                 # drift from merged worker numbers) capsule immediately.
                 obs.check_flight()
+                # History capture rides the same cadence: the merged
+                # registry holds every shard's labeled series, so the
+                # ring records per-shard deltas in one sample.
+                obs.record_history()
         return predictions
 
     def close(self) -> None:

@@ -22,6 +22,16 @@ Live ops plane (ISSUE 3 / DESIGN.md §5.7):
 * :mod:`.report` — snapshot → report-section renderers shared by
   ``obs-report`` and the ``predict --watch`` dashboard.
 
+Recording-rules plane (ISSUE 8 / DESIGN.md §5.12):
+
+* :mod:`.history` — the bounded :class:`HistoryRing` of
+  delta-compressed registry captures plus the Prometheus-flavoured
+  window-query kit (``rate``/``increase``/``*_over_time``/``absent``);
+* :mod:`.rules` — declarative alert rules (dicts / TOML) with
+  pending→firing→resolved tracking, evaluated on the capture cadence;
+  firing rules dump ``alert_rule`` flight capsules and gate
+  ``/healthz`` (``/alerts`` serves the same state).
+
 :class:`Observability` is the wiring facade the predictor stack accepts
 (``PredictorFleet.from_store(..., obs=...)``): it owns the registry,
 optional tracer, and the optional live monitor / quality scoreboard,
@@ -56,11 +66,17 @@ from .live import (
 )
 from .flight import (
     FlightRecorder,
+    TRIGGER_ALERT,
     TRIGGER_DEADLINE,
     TRIGGER_DRIFT,
     TRIGGER_QUARANTINE,
     TRIGGER_REASONS,
     read_capsule,
+)
+from .history import (
+    HistoryRing,
+    group_history_records,
+    parse_history_ndjson,
 )
 from .metrics import (
     Counter,
@@ -70,9 +86,15 @@ from .metrics import (
     NullRegistry,
     Registry,
     diff_snapshots,
+    reset_series,
+    series_display_name,
     snapshot_asymmetry,
 )
 from .names import (  # noqa: F401  (canonical names, re-exported)
+    ALERT_STATE,
+    ALERT_TRANSITIONS,
+    ALERTS_FIRING,
+    ALL_SERIES,
     CHAIN_ACTIVATIONS,
     CHAIN_MATCHES,
     CHAIN_TIMEOUTS,
@@ -83,8 +105,12 @@ from .names import (  # noqa: F401  (canonical names, re-exported)
     FLIGHT_CAPSULES,
     FLIGHT_EVENTS_BUFFERED,
     DISCARD_DRIFT_ALARM,
+    DISCARD_DRIFT_TRIPPED,
     DISCARD_FRACTION,
     FEED_SECONDS,
+    HISTORY_CAPTURES,
+    HISTORY_SAMPLES,
+    HISTORY_SPAN_SECONDS,
     FLEET_BATCH_EVENTS,
     FLEET_EVENTS_PER_SECOND,
     FLEET_NODES,
@@ -141,6 +167,15 @@ from .names import (  # noqa: F401  (canonical names, re-exported)
     TOKENS_SKIPPED,
 )
 from .quality import DiscardDriftDetector, QualityScore, QualityScoreboard
+from .rules import (
+    AlertRule,
+    DEFAULT_RULES,
+    RuleEngine,
+    default_ruleset,
+    load_rules,
+    rules_to_toml,
+    validate_rules,
+)
 from .server import ObsServer
 from .spans import (
     SPAN_STAGES,
@@ -208,6 +243,8 @@ class Observability:
         quarantine_slo: float = 0.01,
         spans: Optional[SpanClock] = None,
         flight: Optional[FlightRecorder] = None,
+        history: Optional[HistoryRing] = None,
+        rules: Optional[RuleEngine] = None,
     ):
         self.registry = registry if registry is not None else Registry()
         self.tracer = tracer
@@ -215,6 +252,12 @@ class Observability:
         self.quality = quality
         self.spans = spans
         self.flight = flight
+        # History ring + alert rules (ISSUE 8).  Rules evaluate over
+        # the ring, so arming rules without a ring gets a default one.
+        if rules is not None and history is None:
+            history = HistoryRing()
+        self.history = history
+        self.rules = rules
         if tracer is not None and flight is not None and tracer.mirror is None:
             # Tee sampled lifecycle records into the flight ring.
             tracer.mirror = flight.absorb
@@ -524,10 +567,19 @@ class Observability:
           exceeded the allowed SLO fraction;
         * ``discard_drift`` — the discard CUSUM tripped.
 
+        When a :class:`RuleEngine` is armed the hardcoded matrix stands
+        down: the shipped default ruleset expresses the same three
+        conditions as data (plus hold durations), and
+        :meth:`check_rules` owns the capsule dumps — one declarative
+        mechanism instead of two trigger paths that could disagree.
+
         Returns the reasons that fired capsules this call.
         """
         flight = self.flight
         if flight is None:
+            return []
+        if self.rules is not None:
+            self._publish_flight_gauges()
             return []
         fired: List[str] = []
         live = self.live
@@ -559,6 +611,11 @@ class Observability:
                 drift=self.quality.drift.as_dict(),
             ) is not None:
                 fired.append(TRIGGER_DRIFT)
+        self._publish_flight_gauges()
+        return fired
+
+    def _publish_flight_gauges(self) -> None:
+        flight = self.flight
         registry = self.registry
         labels = self.labels
         registry.counter(
@@ -567,7 +624,149 @@ class Observability:
         registry.gauge(
             FLIGHT_EVENTS_BUFFERED, "lifecycle notes in the flight ring",
             **labels).set(flight.buffered)
+
+    # -- history ring + alert rules (ISSUE 8) --------------------------
+    @_locked
+    def record_history(
+        self, now: Optional[float] = None, *, force: bool = False
+    ) -> bool:
+        """Offer the current registry snapshot to the history ring and,
+        when a sample lands, run one rule-evaluation pass.
+
+        Called by both fleet drivers at the end of every run fold-in
+        (after live/quality gauges are published, so the sample sees
+        them).  The cadence throttle is checked *before* building the
+        snapshot — a declined capture costs two attribute loads and a
+        comparison, which is what keeps an aggressive ``interval=0``
+        affordable and a throttled one free (DESIGN.md §5.12).
+
+        Returns ``True`` when a sample was captured.
+        """
+        ring = self.history
+        if ring is None:
+            return False
+        if not force and not ring.due(now):
+            return False
+        captured = ring.capture(
+            self.registry.snapshot(), t=now, force=force)
+        if not captured:
+            return False
+        registry = self.registry
+        labels = self.labels
+        registry.counter(
+            HISTORY_CAPTURES, "history ring captures accepted",
+            **labels).set_total(ring.captures)
+        registry.gauge(
+            HISTORY_SAMPLES, "samples retained in the history ring",
+            **labels).set(len(ring))
+        registry.gauge(
+            HISTORY_SPAN_SECONDS, "seconds of history retained",
+            **labels).set(ring.span)
+        self.check_rules(now=ring.end_time)
+        return True
+
+    @_locked
+    def check_rules(self, now: Optional[float] = None) -> List[str]:
+        """One alert-rule evaluation pass over the history ring.
+
+        State transitions are noted into the flight ring (so a later
+        capsule shows the alert's own build-up), every rule that
+        *newly* entered ``firing`` dumps one ``alert_rule`` capsule —
+        sticky per rule id — with the rule's recent history embedded,
+        and alert state is mirrored into the ``aarohi_alert_*`` series.
+
+        Returns the ids of rules that fired capsules this call.
+        """
+        engine = self.rules
+        if engine is None:
+            return []
+        flight = self.flight
+        transitions = engine.evaluate(self.history, now)
+        fired: List[str] = []
+        for transition in transitions:
+            if flight is not None:
+                flight.note(
+                    "alert",
+                    rule=transition["rule"],
+                    state=transition["to"],
+                    value=round(transition["value"], 9),
+                    at=transition["at"],
+                )
+            if transition["to"] != "firing":
+                continue
+            rule = engine.rule(transition["rule"])
+            if flight is not None:
+                text = flight.trigger(
+                    TRIGGER_ALERT,
+                    key=rule.id,
+                    snapshot=self.registry.snapshot(),
+                    history=self.history.records(
+                        rule.series, rule.labels or None),
+                    rule=rule.id,
+                    series=rule.series,
+                    expr=rule.expr,
+                    threshold=rule.threshold,
+                    value=transition["value"],
+                    severity=rule.severity,
+                    summary=rule.summary or None,
+                )
+                if text is not None:
+                    fired.append(rule.id)
+            else:
+                fired.append(rule.id)
+        registry = self.registry
+        labels = self.labels
+        state_rank = {"inactive": 0, "pending": 1, "firing": 2,
+                      "resolved": 3}
+        for rule in engine.rules:
+            state = engine.states[rule.id]
+            registry.gauge(
+                ALERT_STATE,
+                "alert state (0 inactive, 1 pending, 2 firing,"
+                " 3 resolved)",
+                rule=rule.id, severity=rule.severity, **labels,
+            ).set(state_rank[state.state])
+        registry.gauge(
+            ALERTS_FIRING, "alert rules currently firing",
+            **labels).set(len(engine.firing()))
+        for transition in transitions:
+            registry.counter(
+                ALERT_TRANSITIONS, "alert state transitions",
+                rule=transition["rule"], to=transition["to"], **labels,
+            ).inc()
+        if flight is not None:
+            self._publish_flight_gauges()
         return fired
+
+    @_locked
+    def alerts_report(self) -> dict:
+        """The ``/alerts`` payload: every rule with its declarative
+        definition, current state, last value, and since-timestamps."""
+        engine = self.rules
+        if engine is None:
+            return {"enabled": False}
+        payload = engine.report()
+        payload["enabled"] = True
+        if self.history is not None:
+            payload["history"] = {
+                "samples": len(self.history),
+                "span_seconds": self.history.span,
+                "interval": self.history.interval,
+                "captures": self.history.captures,
+            }
+        return payload
+
+    @_locked
+    def history_records(
+        self,
+        series: Optional[str] = None,
+        labels: Optional[dict] = None,
+    ) -> Optional[List[dict]]:
+        """Flat history point records (``None`` when no ring armed) —
+        the ``/debug/history`` and ``obs-report --history`` source."""
+        if self.history is None:
+            return None
+        return self.history.records(series, labels)
 
     @_locked
     def debug_spans(self) -> dict:
@@ -642,6 +841,20 @@ class Observability:
                 "runs": self.spans.runs,
                 "runs_sampled": self.spans.runs_sampled,
             }
+        if self.history is not None:
+            payload["history"] = {
+                "capacity": self.history.capacity,
+                "interval": self.history.interval,
+                "samples": len(self.history),
+                "span_seconds": self.history.span,
+                "captures": self.history.captures,
+            }
+        if self.rules is not None:
+            payload["rules"] = {
+                "count": len(self.rules.rules),
+                "evaluations": self.rules.evaluations,
+                "firing": sorted(r.id for r in self.rules.firing()),
+            }
         flight = self.debug_flight()
         if flight.get("enabled"):
             payload["flight"] = flight
@@ -678,6 +891,20 @@ class Observability:
             drift = self.quality.drift.as_dict()
             payload["drift"] = drift
             if drift["tripped"]:
+                payload["status"] = "failing"
+        if self.rules is not None:
+            # The declarative gate: /healthz and /alerts read the same
+            # rule states, so the two surfaces can never disagree — a
+            # firing page-severity rule is exactly what flips the probe.
+            engine = self.rules
+            firing = engine.firing()
+            payload["alerts"] = {
+                "firing": sorted(r.id for r in firing),
+                "pending": sorted(
+                    r.id for r in engine.rules
+                    if engine.states[r.id].state == "pending"),
+            }
+            if any(r.severity == "page" for r in firing):
                 payload["status"] = "failing"
         ingest = self.ingest
         if ingest.lines_read:
@@ -730,7 +957,9 @@ class Observability:
 
 
 __all__ = [
+    "ALL_SERIES",
     "CHAIN_STARTED",
+    "DEFAULT_RULES",
     "DELTA_T_TIMEOUT",
     "EVENT_KINDS",
     "FUNNEL_STAGES",
@@ -740,10 +969,12 @@ __all__ = [
     "STAGE_INGEST",
     "STAGE_MATCH",
     "STAGE_SCAN",
+    "TRIGGER_ALERT",
     "TRIGGER_DEADLINE",
     "TRIGGER_DRIFT",
     "TRIGGER_QUARANTINE",
     "TRIGGER_REASONS",
+    "AlertRule",
     "Counter",
     "DeadlineMonitor",
     "DeadlineVerdict",
@@ -752,6 +983,7 @@ __all__ = [
     "FlightRecorder",
     "Gauge",
     "Histogram",
+    "HistoryRing",
     "LiveMonitor",
     "NULL_REGISTRY",
     "NullRegistry",
@@ -765,15 +997,20 @@ __all__ = [
     "QualityScoreboard",
     "QuantileSketch",
     "Registry",
+    "RuleEngine",
     "SpanClock",
     "SpanTimer",
     "StreamLag",
     "TOKEN_ADVANCED",
     "Tracer",
+    "default_ruleset",
     "diff_snapshots",
+    "group_history_records",
     "histogram_series",
     "inter_arrival_budget",
     "lifecycle_counts",
+    "load_rules",
+    "parse_history_ndjson",
     "parse_prometheus",
     "quantile_from_histogram",
     "read_capsule",
@@ -781,6 +1018,10 @@ __all__ = [
     "realized_lead_times",
     "render_json",
     "render_prometheus",
+    "reset_series",
+    "rules_to_toml",
+    "series_display_name",
     "shard_span_breakdown",
     "snapshot_asymmetry",
+    "validate_rules",
 ]

@@ -37,12 +37,14 @@ from collections import deque
 from pathlib import Path
 from typing import Callable, Deque, Dict, IO, Iterable, List, Optional, Union
 
-# The trigger matrix (see Observability.check_flight).
+# The trigger matrix (see Observability.check_flight / check_rules).
 TRIGGER_DEADLINE = "deadline_burn"
 TRIGGER_QUARANTINE = "quarantine_slo"
 TRIGGER_DRIFT = "discard_drift"
+TRIGGER_ALERT = "alert_rule"
 
-TRIGGER_REASONS = (TRIGGER_DEADLINE, TRIGGER_QUARANTINE, TRIGGER_DRIFT)
+TRIGGER_REASONS = (
+    TRIGGER_DEADLINE, TRIGGER_QUARANTINE, TRIGGER_DRIFT, TRIGGER_ALERT)
 
 
 class FlightRecorder:
@@ -103,22 +105,30 @@ class FlightRecorder:
         reason: str,
         *,
         snapshot: Optional[dict] = None,
+        history: Optional[list] = None,
+        key: Optional[str] = None,
         **fields,
     ) -> Optional[str]:
         """Freeze the ring into a capsule, once per ``reason``.
 
         Returns the capsule JSONL text on the first trip of a reason,
-        ``None`` on repeats (sticky).  When a ``directory`` is
-        configured the same text is also written to
+        ``None`` on repeats (sticky).  ``key`` refines the sticky
+        grain: an ``alert_rule`` trigger passes the rule id, so two
+        *different* firing rules each capture a capsule while one rule
+        stays one-capsule-sticky.  ``history`` embeds pre-trigger
+        time-series records (``kind="history"``) from the
+        :class:`~repro.obs.history.HistoryRing`.  When a ``directory``
+        is configured the same text is also written to
         ``capsule-<n>-<reason>.jsonl`` there.
         """
         if reason not in TRIGGER_REASONS:
             raise ValueError(
                 f"reason must be one of {TRIGGER_REASONS}, got {reason!r}")
-        if reason in self.triggered:
+        sticky = reason if key is None else f"{reason}:{key}"
+        if sticky in self.triggered:
             return None
         wall = self._clock()
-        self.triggered[reason] = wall
+        self.triggered[sticky] = wall
         self.capsules += 1
         header: dict = {
             "kind": "capsule",
@@ -136,6 +146,10 @@ class FlightRecorder:
             json.dumps(event, separators=(",", ":"))
             for event in self._events
         )
+        if history is not None:
+            lines.append(json.dumps(
+                {"kind": "history", "samples": list(history)},
+                separators=(",", ":")))
         if snapshot is not None:
             lines.append(json.dumps(
                 {"kind": "snapshot", "registry": snapshot},
@@ -166,8 +180,9 @@ def read_capsule(
     into its parts.
 
     Returns ``{"header": dict, "events": [dict...], "snapshot":
-    dict | None}``.  Raises ``ValueError`` when the first record is not
-    a capsule header (the file is not a capsule).
+    dict | None, "history": [dict...] | None}``.  Raises ``ValueError``
+    when the first record is not a capsule header (the file is not a
+    capsule).
     """
     if isinstance(source, str) and source.lstrip().startswith("{"):
         source = source.splitlines()  # capsule text, not a path
@@ -177,6 +192,7 @@ def read_capsule(
     header: Optional[dict] = None
     events: List[dict] = []
     snapshot: Optional[dict] = None
+    history: Optional[List[dict]] = None
     for line in source:
         line = line.strip()
         if not line:
@@ -190,8 +206,13 @@ def read_capsule(
             header = record
         elif kind == "snapshot":
             snapshot = record.get("registry")
+        elif kind == "history":
+            history = record.get("samples")
         else:
             events.append(record)
     if header is None:
         raise ValueError("empty capsule")
-    return {"header": header, "events": events, "snapshot": snapshot}
+    return {
+        "header": header, "events": events, "snapshot": snapshot,
+        "history": history,
+    }

@@ -255,6 +255,15 @@ def diff_snapshots(new: dict, old: Optional[dict]) -> dict:
     (their latest value is the meaningful one).  Families or series
     absent from ``old`` pass through whole.  The result feeds
     :meth:`Registry.merge` on another process's registry.
+
+    A cumulative series that went *down* means the process restarted
+    between the snapshots (counters are monotone within one process
+    lifetime).  Subtraction would produce a negative delta — a negative
+    rate in ``obs-report --diff`` and a poisoned ring in
+    :class:`~repro.obs.history.HistoryRing` — so the delta is clamped
+    to zero and the series entry is annotated with ``"reset": True``
+    instead.  ``Registry.merge`` ignores the marker (a zero-delta merge
+    is a no-op) and reports surface it.
     """
     if not old:
         return new
@@ -274,7 +283,12 @@ def diff_snapshots(new: dict, old: Optional[dict]) -> dict:
                 continue
             if kind == "counter":
                 value = entry["value"] - prev["value"]
-                if value:
+                if value < 0:
+                    series.append({
+                        "labels": entry["labels"], "value": 0.0,
+                        "reset": True,
+                    })
+                elif value:
                     series.append({"labels": entry["labels"], "value": value})
                 continue
             if (
@@ -288,6 +302,11 @@ def diff_snapshots(new: dict, old: Optional[dict]) -> dict:
                 series.append(entry)
                 continue
             counts = [c - p for c, p in zip(entry["counts"], prev["counts"])]
+            if any(c < 0 for c in counts):
+                # Histogram restarted: the new cumulative state passes
+                # through whole (like a fresh series) with the marker.
+                series.append(dict(entry, reset=True))
+                continue
             if any(counts):
                 series.append({
                     "labels": entry["labels"],
@@ -303,6 +322,27 @@ def diff_snapshots(new: dict, old: Optional[dict]) -> dict:
                 "series": series,
             }
     return out
+
+
+def series_display_name(family: str, labels: Dict[str, str]) -> str:
+    """``family{label="value",...}`` — the exposition-style display name
+    shared by diff reports and history dumps."""
+    if not labels:
+        return family
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return family + "{" + inner + "}"
+
+
+def reset_series(snapshot: Optional[dict]) -> List[str]:
+    """Display names of series a :func:`diff_snapshots` delta marked as
+    reset (cumulative value went backwards — process restart)."""
+    out = []
+    for family, family_data in (snapshot or {}).items():
+        for entry in family_data.get("series", ()):
+            if entry.get("reset"):
+                out.append(
+                    series_display_name(family, entry.get("labels", {})))
+    return sorted(out)
 
 
 def snapshot_asymmetry(new: dict, old: Optional[dict]) -> dict:
@@ -326,10 +366,7 @@ def snapshot_asymmetry(new: dict, old: Optional[dict]) -> dict:
 
     def render(item) -> str:
         family, key = item
-        if not key:
-            return family
-        inner = ",".join(f'{k}="{v}"' for k, v in key)
-        return family + "{" + inner + "}"
+        return series_display_name(family, dict(key))
 
     new_names = series_names(new)
     old_names = series_names(old)

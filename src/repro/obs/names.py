@@ -93,6 +93,15 @@ QUALITY_MEAN_LEAD = "aarohi_quality_mean_lead_seconds"
 DISCARD_FRACTION = "aarohi_scanner_discard_fraction"
 DISCARD_CUSUM = "aarohi_scanner_discard_cusum"
 DISCARD_DRIFT_ALARM = "aarohi_scanner_discard_drift_alarm"
+DISCARD_DRIFT_TRIPPED = "aarohi_scanner_discard_drift_tripped"
+
+# -- history ring + alert rules (ISSUE 8) ------------------------------
+HISTORY_CAPTURES = "aarohi_history_captures_total"
+HISTORY_SAMPLES = "aarohi_history_samples"
+HISTORY_SPAN_SECONDS = "aarohi_history_span_seconds"
+ALERT_STATE = "aarohi_alert_state"
+ALERTS_FIRING = "aarohi_alerts_firing"
+ALERT_TRANSITIONS = "aarohi_alert_transitions_total"
 
 # The rejection-funnel stage names, in pipeline order.  Their counter
 # values sum to LINES_SEEN (asserted by the equivalence suite).  The
@@ -111,3 +120,15 @@ INGEST_FUNNEL_STAGES = (
     (INGEST_DECODED, "decoded"),
     (INGEST_QUARANTINED, "quarantined"),
 )
+
+# Every canonical series name defined above, for alert-rule linting
+# (``aarohi obs-rules --check``): a rule watching a series no layer can
+# ever publish is a typo, not a rule.  Collected from the module's own
+# UPPER_CASE ``aarohi_*`` string constants so adding a name here is
+# automatically enough.
+ALL_SERIES = tuple(sorted(
+    value
+    for key, value in list(globals().items())
+    if key.isupper() and isinstance(value, str)
+    and value.startswith("aarohi_")
+))

@@ -31,6 +31,7 @@ from typing import Deque, Dict, Iterable, Optional, Tuple
 from .names import (
     DISCARD_CUSUM,
     DISCARD_DRIFT_ALARM,
+    DISCARD_DRIFT_TRIPPED,
     DISCARD_FRACTION,
     QUALITY_ACTIONABLE_RATIO,
     QUALITY_F1,
@@ -317,3 +318,11 @@ class QualityScoreboard:
         registry.gauge(
             DISCARD_DRIFT_ALARM, "1 while the discard CUSUM is in alarm",
             **labels).set(1.0 if drift.alarm else 0.0)
+        # The sticky companion: the alarm gauge tracks the *current*
+        # CUSUM state, but /healthz fails on the sticky trip — publish
+        # it too so alert rules (and any scraper) see the same signal
+        # the probe acts on instead of a flapping proxy for it.
+        registry.gauge(
+            DISCARD_DRIFT_TRIPPED,
+            "1 once the discard CUSUM has tripped (sticky until reset)",
+            **labels).set(1.0 if drift.tripped else 0.0)

@@ -11,11 +11,13 @@ the sections their data can support.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from statistics import median
+from typing import Dict, List, Optional, Sequence
 
 from ..reporting import render_bars, render_table
 from .exposition import histogram_series
 from .live import live_rows
+from .metrics import reset_series
 from .names import (
     CHAIN_MATCHES,
     DISCARD_DRIFT_ALARM,
@@ -178,6 +180,124 @@ def span_latency_section(snapshot: dict) -> Optional[str]:
     return render_table(
         ["stage", *(column(q) for q in quantiles)], rows,
         title="Per-record stage latency quantiles")
+
+
+_SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 24) -> str:
+    """Unicode block sparkline over the last ``width`` values."""
+    values = [float(v) for v in values][-width:]
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return _SPARK_BLOCKS[0] * len(values)
+    scale = (len(_SPARK_BLOCKS) - 1) / (hi - lo)
+    return "".join(
+        _SPARK_BLOCKS[int((v - lo) * scale)] for v in values)
+
+
+def _trend_values(name: str, points: Sequence[dict]) -> List[float]:
+    """The values a trend row summarizes: per-interval increases for
+    cumulative ``_total`` series (their raw values only ever climb),
+    raw values for gauges and everything else."""
+    raw = [float(p.get("value", 0.0)) for p in points]
+    if not name.partition("{")[0].endswith("_total"):
+        return raw
+    return [
+        max(b - a, 0.0) for a, b in zip(raw, raw[1:])
+    ] or raw[:1]
+
+
+def history_trend_section(
+    grouped: Dict[str, List[dict]],
+    *,
+    title: str = "History trends",
+    limit: Optional[int] = None,
+) -> Optional[str]:
+    """Sparkline-style min/p50/max trend table per series.
+
+    ``grouped`` is ``{display_name: [point records]}`` from
+    :func:`~repro.obs.history.group_history_records` — the shape both
+    an NDJSON dump and a capsule's embedded history parse into.
+    """
+    rows = []
+    names = sorted(grouped)
+    if limit is not None:
+        names = names[:limit]
+    for name in names:
+        points = grouped[name]
+        values = _trend_values(name, points)
+        if not values:
+            continue
+        resets = sum(1 for p in points if p.get("reset"))
+        flag = f" ↺{resets}" if resets else ""
+        rows.append((
+            name,
+            f"{len(points)}{flag}",
+            f"{min(values):.4g}",
+            f"{median(values):.4g}",
+            f"{max(values):.4g}",
+            f"{values[-1]:.4g}",
+            sparkline(values),
+        ))
+    if not rows:
+        return None
+    return render_table(
+        ["series", "points", "min", "p50", "max", "last", "trend"],
+        rows, title=title)
+
+
+def alerts_section(report: dict) -> Optional[str]:
+    """Alert-rule states from an ``alerts_report`` payload."""
+    if not report.get("enabled"):
+        return None
+    rows = []
+    for rule in report.get("rules", ()):
+        window = rule.get("window")
+        expr = rule["expr"]
+        if window:
+            expr = f"{expr}[{window:g}s]"
+        rows.append((
+            rule["id"],
+            rule["severity"],
+            rule["state"].upper() if rule["state"] == "firing"
+            else rule["state"],
+            f"{expr} {rule['op']} {rule['threshold']:g}",
+            f"{rule.get('value', 0.0):.4g}",
+        ))
+    if not rows:
+        return None
+    return render_table(
+        ["rule", "severity", "state", "condition", "value"],
+        rows, title="Alert rules")
+
+
+def alerts_banner(report: dict) -> Optional[str]:
+    """One-line firing banner for the watch dashboard (``None`` when
+    nothing is firing)."""
+    if not report.get("enabled"):
+        return None
+    firing = [
+        rule for rule in report.get("rules", ())
+        if rule.get("state") == "firing"
+    ]
+    if not firing:
+        return None
+    parts = ", ".join(
+        f"{rule['id']} ({rule['severity']})" for rule in firing)
+    return f"⚠ ALERTS FIRING: {parts}"
+
+
+def resets_section(snapshot: dict) -> Optional[str]:
+    """Series a diff marked as reset (process restarted in between)."""
+    names = reset_series(snapshot)
+    if not names:
+        return None
+    return render_table(
+        ["series"], [(name,) for name in names],
+        title="Counter resets between snapshots (deltas clamped to 0)")
 
 
 def series_change_section(asymmetry: dict) -> Optional[str]:

@@ -8,7 +8,10 @@ watched without stopping it:
 * ``GET /healthz``  — JSON deadline/drift status, ``200`` when healthy
   and ``503`` when the deadline SLO is failing or the discard CUSUM has
   tripped (the shape load balancers and k8s probes expect);
-* ``GET /quality``  — the rolling scoreboard as JSON.
+* ``GET /quality``  — the rolling scoreboard as JSON;
+* ``GET /alerts``   — every alert rule with its declarative definition,
+  pending/firing/resolved state, and since-timestamps (the same state
+  the healthz gate reads, so the two can never disagree).
 
 The debug plane rides the same server (no second port to firewall):
 
@@ -18,7 +21,11 @@ The debug plane rides the same server (no second port to firewall):
 * ``GET /debug/flight`` — the last flight capsule as JSONL (the exact
   bytes written to disk), ``404`` until a trigger has fired;
 * ``GET /debug/vars`` — build/backend identity, facade configuration,
-  and the full registry snapshot (the expvar-style kitchen sink).
+  and the full registry snapshot (the expvar-style kitchen sink);
+* ``GET /debug/history?series=NAME`` — the history ring's retained
+  points as NDJSON (one ``{"t", "series", "labels", "value"}`` record
+  per line; omit ``series`` for everything), ``404`` until a ring is
+  armed.
 
 Scrapes are read-only and consistent: every facade read takes the
 facade lock, so a mid-run scrape sees a whole snapshot, never a torn
@@ -33,6 +40,7 @@ import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
+from urllib.parse import parse_qs, urlsplit
 
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
@@ -95,6 +103,22 @@ def _make_handler(obs):
                 payload = obs.quality_report()
                 self._send(200, "application/json",
                            json.dumps(payload, indent=2) + "\n")
+            elif path == "/alerts":
+                payload = obs.alerts_report()
+                self._send(200, "application/json",
+                           json.dumps(payload, indent=2) + "\n")
+            elif path == "/debug/history":
+                query = parse_qs(urlsplit(self.path).query)
+                series = query.get("series", [None])[0]
+                records = obs.history_records(series)
+                if records is None:
+                    self._send(404, "text/plain",
+                               "history ring not armed\n")
+                else:
+                    body = "".join(
+                        json.dumps(r, separators=(",", ":")) + "\n"
+                        for r in records)
+                    self._send(200, "application/x-ndjson", body)
             elif path == "/debug/spans":
                 payload = obs.debug_spans()
                 self._send(200, "application/json",
@@ -118,7 +142,8 @@ def _make_handler(obs):
             else:
                 self._send(404, "text/plain",
                            "unknown path; try /metrics /healthz /quality"
-                           " /debug/spans /debug/flight /debug/vars\n")
+                           " /alerts /debug/spans /debug/flight"
+                           " /debug/vars /debug/history\n")
 
         def _send(self, status: int, content_type: str, body: str) -> None:
             data = body.encode("utf-8")

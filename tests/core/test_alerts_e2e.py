@@ -1,0 +1,217 @@
+"""End-to-end alerting drill: a corrupted, deadline-paced stream
+against the shipped default ruleset (ISSUE 8).
+
+The acceptance triangle for the history + rules plane:
+
+(a) driving the stream in paced slices, ``/alerts`` shows the
+    ``deadline-burn`` rule walk the full declarative lifecycle —
+    ``pending`` first (breach observed, ``for:`` hold not yet elapsed),
+    then ``firing`` once the hold has been held across wall-clock
+    captures;
+(b) exactly one ``alert_rule`` flight capsule is dumped — sticky per
+    rule id — and its embedded history window covers the pre-firing
+    interval (first record at or before ``pending_since``, last record
+    at the firing evaluation);
+(c) ``obs-report --history`` renders the very capsule the recorder
+    wrote, consistent with the records the ring handed it, and
+    ``/healthz`` agrees with ``/alerts`` about what is firing.
+
+Run with ``-m corruption``.  Set ``AAROHI_FLIGHT_DIR`` to redirect the
+capsule directory (CI uploads it as a workflow artifact on failure).
+"""
+
+import json
+import os
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.fleet import PredictorFleet
+from repro.logsim import ClusterLogGenerator, CorruptionSpec, corrupt_window, HPC3
+from repro.obs import (
+    FlightRecorder,
+    HistoryRing,
+    LiveMonitor,
+    Observability,
+    ObsServer,
+    RuleEngine,
+    TRIGGER_ALERT,
+    default_ruleset,
+    read_capsule,
+)
+from repro.obs.names import SLO_BURN
+
+pytestmark = pytest.mark.corruption
+
+
+def fetch_json(url):
+    try:
+        with urllib.request.urlopen(url, timeout=5.0) as resp:
+            return resp.status, json.loads(resp.read().decode("utf-8"))
+    except urllib.error.HTTPError as err:  # non-2xx still carries JSON
+        return err.code, json.loads(err.read().decode("utf-8"))
+
+
+def alert_row(payload, rule_id):
+    (row,) = [r for r in payload["rules"] if r["id"] == rule_id]
+    return row
+
+
+@pytest.fixture(scope="module")
+def drill(tmp_path_factory):
+    """One paced corrupted replay under the default rules, shared by
+    all assertions."""
+    flight_dir = os.environ.get("AAROHI_FLIGHT_DIR")
+    if flight_dir is None:
+        flight_dir = tmp_path_factory.mktemp("capsules")
+    gen = ClusterLogGenerator(HPC3, seed=61)
+    window = gen.generate_window(
+        duration=3600.0, n_nodes=16, n_failures=8, n_spurious=2)
+    lines, report = corrupt_window(
+        window.events, CorruptionSpec.all_kinds(0.02), seed=61)
+    assert report.total_faults > 0
+    # A vanishingly small deadline budget forces the burn: every timed
+    # prediction is over budget, so SLO_BURN exceeds 1.0 on the first
+    # slice that predicts, and the declarative deadline-burn rule (the
+    # data twin of the old hardcoded trigger) takes over the capsule.
+    # The quarantine SLO sits far above the injected corruption rate so
+    # the *only* page-worthy anomaly in this drill is the deadline.
+    obs = Observability(
+        live=LiveMonitor(1e-12),
+        quarantine_slo=0.5,
+        flight=FlightRecorder(capacity=128, directory=flight_dir),
+        history=HistoryRing(interval=0.0),
+        rules=RuleEngine(default_ruleset()),
+    )
+    fleet = PredictorFleet.from_store(
+        gen.chains, gen.store, timeout=gen.recommended_timeout, obs=obs)
+    # Pace the stream through in slices.  Every slice ends in a history
+    # capture + rule evaluation at *wall* time; once /alerts reports
+    # the rule pending, sleeping past its ``for: 1.0`` hold lets the
+    # next slice's capture promote it to firing.
+    n = len(lines)
+    bounds = [0, n // 4, n // 2, 3 * n // 4, n]
+    slices = [lines[a:b] for a, b in zip(bounds, bounds[1:])]
+    states = []
+    with ObsServer(obs) as server:
+        for i, chunk in enumerate(slices):
+            fleet.run_lines(chunk)
+            status, payload = fetch_json(server.url("/alerts"))
+            assert status == 200
+            states.append(alert_row(payload, "deadline-burn")["state"])
+            if states[-1] == "pending" and i + 1 < len(slices):
+                time.sleep(1.2)
+        status, final_alerts = fetch_json(server.url("/alerts"))
+        healthz_status, healthz = fetch_json(server.url("/healthz"))
+        with urllib.request.urlopen(
+                server.url("/debug/history"), timeout=5.0) as resp:
+            debug_status = resp.status
+            debug_history = resp.read().decode("utf-8")
+    return {
+        "obs": obs,
+        "states": states,
+        "alerts": final_alerts,
+        "healthz": (healthz_status, healthz),
+        "debug_history": (debug_status, debug_history),
+        "flight_dir": flight_dir,
+    }
+
+
+class TestAlertLifecycle:
+    def test_pending_observed_before_firing(self, drill):
+        states = drill["states"]
+        assert "pending" in states, states
+        assert "firing" in states, states
+        assert states.index("pending") < states.index("firing"), states
+        assert states[-1] == "firing", states
+
+    def test_alerts_payload_carries_definition_and_since(self, drill):
+        row = alert_row(drill["alerts"], "deadline-burn")
+        # The declarative definition rides along with the state.
+        assert row["series"] == SLO_BURN
+        assert row["expr"] == "max_over_time"
+        assert row["severity"] == "page"
+        assert row["for"] == 1.0
+        assert row["state"] == "firing"
+        assert row["firing_since"] >= row["pending_since"] + 1.0
+        assert drill["alerts"]["firing"] == ["deadline-burn"]
+
+    def test_only_the_deadline_rule_fired(self, drill):
+        rows = {r["id"]: r["state"] for r in drill["alerts"]["rules"]}
+        assert rows["deadline-burn"] == "firing"
+        # High quarantine SLO, no drift detector, predictions flowing:
+        # the other three shipped rules never fire.
+        assert rows["quarantine-burn"] in ("inactive", "pending")
+        assert rows["discard-drift"] == "inactive"
+        assert rows["prediction-absence"] != "firing"
+
+    def test_healthz_agrees_with_alerts(self, drill):
+        status, payload = drill["healthz"]
+        assert status == 503
+        assert payload["status"] == "failing"
+        assert payload["alerts"]["firing"] == ["deadline-burn"]
+
+
+class TestAlertCapsule:
+    def test_exactly_one_alert_rule_capsule(self, drill):
+        flight = drill["obs"].flight
+        assert flight.capsules == 1
+        assert list(flight.triggered) == ["alert_rule:deadline-burn"]
+        assert flight.last_reason == TRIGGER_ALERT
+
+    def test_capsule_header_names_the_rule(self, drill):
+        parsed = read_capsule(drill["obs"].flight.last_capsule_path)
+        header = parsed["header"]
+        assert header["reason"] == TRIGGER_ALERT
+        assert header["rule"] == "deadline-burn"
+        assert header["series"] == SLO_BURN
+        assert header["severity"] == "page"
+        assert header["value"] > header["threshold"] == 1.0
+
+    def test_embedded_history_covers_the_pre_firing_interval(self, drill):
+        parsed = read_capsule(drill["obs"].flight.last_capsule_path)
+        records = parsed["history"]
+        assert records, "the capsule must embed the rule's history"
+        assert {r["series"] for r in records} == {SLO_BURN}
+        times = [r["t"] for r in records]
+        assert times == sorted(times)
+        row = alert_row(drill["alerts"], "deadline-burn")
+        # The window spans from before the breach was first seen up to
+        # the capture that promoted the rule to firing.
+        assert times[0] <= row["pending_since"]
+        assert times[-1] == pytest.approx(row["firing_since"])
+        # And the breach itself is visible in the embedded values.
+        assert max(r["value"] for r in records) > 1.0
+
+    def test_alert_buildup_noted_in_capsule_events(self, drill):
+        parsed = read_capsule(drill["obs"].flight.last_capsule_path)
+        notes = [e for e in parsed["events"] if e["kind"] == "alert"]
+        # Transitions are noted before the capsule freezes, so the
+        # firing evaluation's own dump shows the full build-up.
+        assert [n["state"] for n in notes
+                if n["rule"] == "deadline-burn"] == ["pending", "firing"]
+
+
+class TestReportAndDebugAgreement:
+    def test_obs_report_history_renders_the_capsule(self, drill, capsys):
+        from repro.cli import main
+
+        path = drill["obs"].flight.last_capsule_path
+        assert main(["obs-report", "--history", str(path)]) == 0
+        out = capsys.readouterr().out
+        records = read_capsule(path)["history"]
+        assert f"History trends — {len(records)} points" in out
+        assert SLO_BURN in out
+
+    def test_debug_history_serves_the_live_ring(self, drill):
+        status, body = drill["debug_history"]
+        assert status == 200
+        served = [json.loads(line) for line in body.splitlines() if line]
+        # The live ring kept capturing after the freeze, so it has at
+        # least everything the /alerts summary counted.
+        assert len(served) >= 1
+        assert drill["alerts"]["history"]["samples"] >= 1
+        burn = [r for r in served if r["series"] == SLO_BURN]
+        assert burn and max(r["value"] for r in burn) > 1.0

@@ -1,0 +1,252 @@
+"""Alert rules: parsing, linting, TOML round-trips, state machine."""
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_RULES,
+    AlertRule,
+    HistoryRing,
+    RuleEngine,
+    default_ruleset,
+    load_rules,
+    rules_to_toml,
+    validate_rules,
+)
+from repro.obs.names import SLO_BURN
+from repro.obs.rules import (
+    _mini_toml,
+    _parse_toml_rules,
+    load_raw_rules,
+    validate_rule,
+)
+
+
+def burn_snapshot(burn):
+    return {SLO_BURN: {
+        "type": "gauge", "help": "t",
+        "series": [{"labels": {}, "value": float(burn)}],
+    }}
+
+
+def burn_rule(**overrides):
+    raw = {
+        "id": "test-burn", "series": SLO_BURN, "expr": "max_over_time",
+        "op": ">", "threshold": 1.0, "window": 5.0, "for": 5.0,
+        "severity": "page",
+    }
+    raw.update(overrides)
+    return raw
+
+
+class TestAlertRule:
+    def test_from_dict_defaults(self):
+        rule = AlertRule.from_dict({
+            "id": "r", "series": SLO_BURN, "expr": "latest"})
+        assert rule.op == ">"
+        assert rule.threshold == 0.0
+        assert rule.window is None
+        assert rule.hold == 0.0  # the file's "for" key
+        assert rule.severity == "warn"
+        assert rule.labels == {}
+
+    def test_for_key_becomes_hold(self):
+        rule = AlertRule.from_dict(burn_rule(**{"for": 30}))
+        assert rule.hold == 30.0
+        assert rule.as_dict()["for"] == 30.0
+
+    def test_from_dict_rejects_invalid(self):
+        with pytest.raises(ValueError, match="unknown series"):
+            AlertRule.from_dict(burn_rule(series="aarohi_nope_total"))
+
+    def test_evaluate_against_ring(self):
+        ring = HistoryRing(interval=0.0)
+        ring.capture(burn_snapshot(2.5), t=0.0)
+        rule = AlertRule.from_dict(burn_rule())
+        value, breached = rule.evaluate(ring)
+        assert (value, breached) == (2.5, True)
+
+    def test_absent_expr(self):
+        rule = AlertRule.from_dict({
+            "id": "r", "series": SLO_BURN, "expr": "absent"})
+        empty = HistoryRing()
+        assert rule.evaluate(empty) == (1.0, True)
+        ring = HistoryRing(interval=0.0)
+        ring.capture(burn_snapshot(0.0), t=0.0)
+        assert rule.evaluate(ring) == (0.0, False)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("override,fragment", [
+        ({"id": None}, "missing rule id"),
+        ({"series": None}, "missing series"),
+        ({"series": "aarohi_not_a_series"}, "unknown series"),
+        ({"expr": "stddev"}, "malformed expr"),
+        ({"op": "~"}, "malformed op"),
+        ({"threshold": "high"}, "threshold must be a number"),
+        ({"window": -1}, "window must be positive"),
+        ({"for": -1}, "for must be >= 0"),
+        ({"severity": "critical"}, "unknown severity"),
+        ({"labels": {"shard": 3}}, "labels must be a table"),
+        ({"when": "always"}, "unknown key 'when'"),
+    ])
+    def test_single_rule_problems(self, override, fragment):
+        problems = validate_rule(burn_rule(**override))
+        assert any(fragment in p for p in problems), problems
+
+    def test_clean_rule_has_no_problems(self):
+        assert validate_rule(burn_rule()) == []
+
+    def test_duplicate_ids(self):
+        problems = validate_rules([burn_rule(), burn_rule()])
+        assert any("duplicate rule id" in p for p in problems)
+
+    def test_empty_ruleset(self):
+        assert validate_rules([]) == ["ruleset is empty"]
+
+    def test_default_rules_lint_clean(self):
+        assert validate_rules(DEFAULT_RULES) == []
+        assert len(default_ruleset()) == 4
+
+    def test_load_rules_raises_on_problems(self):
+        with pytest.raises(ValueError, match="invalid ruleset"):
+            load_rules([burn_rule(expr="stddev")])
+
+
+class TestToml:
+    def test_default_rules_round_trip(self):
+        text = rules_to_toml(DEFAULT_RULES)
+        parsed = _parse_toml_rules(text)
+        assert [AlertRule.from_dict(r) for r in parsed] == default_ruleset()
+
+    def test_mini_toml_agrees_with_tomllib(self):
+        # The py<3.11 fallback parser must read what we write the same
+        # way tomllib does.
+        text = rules_to_toml(DEFAULT_RULES)
+        import tomllib
+        assert _mini_toml(text) == tomllib.loads(text)
+
+    def test_mini_toml_labels_table(self):
+        text = (
+            '[[rule]]\nid = "r"\nseries = "x"\nexpr = "latest"\n'
+            "threshold = 2\nenabled = true\n\n"
+            '[rule.labels]\nshard = "0"\n'
+        )
+        data = _mini_toml(text)
+        assert data["rule"] == [{
+            "id": "r", "series": "x", "expr": "latest",
+            "threshold": 2, "enabled": True, "labels": {"shard": "0"},
+        }]
+
+    @pytest.mark.parametrize("text,fragment", [
+        ("id = 1\n", "outside any"),
+        ("[[rule]]\nid ~ 1\n", "expected key = value"),
+        ("[[rule]]\nid = [1]\n", "unsupported value"),
+        ("[weird.deep.table]\n", "unsupported table"),
+    ])
+    def test_mini_toml_rejects(self, text, fragment):
+        with pytest.raises(ValueError, match=fragment):
+            _mini_toml(text)
+
+    def test_load_raw_rules_sources(self, tmp_path):
+        text = rules_to_toml(DEFAULT_RULES)
+        path = tmp_path / "rules.toml"
+        path.write_text(text, encoding="utf-8")
+        expected = [dict(r) for r in DEFAULT_RULES]
+        assert load_raw_rules("default") == expected
+        assert load_raw_rules(list(DEFAULT_RULES)) == expected
+        for source in (text, path, str(path)):
+            assert [r["id"] for r in load_raw_rules(source)] == [
+                r["id"] for r in expected]
+        with pytest.raises(TypeError):
+            load_raw_rules(42)
+
+
+class FakeClockRing:
+    """A real ring driven by explicit capture times."""
+
+    def __init__(self):
+        self.ring = HistoryRing(interval=0.0)
+
+    def burn(self, t, value):
+        assert self.ring.capture(burn_snapshot(value), t=float(t))
+        return self.ring
+
+
+class TestStateMachine:
+    def engine(self, hold=5.0):
+        return RuleEngine([AlertRule.from_dict(burn_rule(**{"for": hold}))])
+
+    def test_full_lifecycle(self):
+        clock = FakeClockRing()
+        engine = self.engine()
+        state = engine.states["test-burn"]
+
+        engine.evaluate(clock.burn(0, 0.5), now=0.0)
+        assert state.state == "inactive"
+
+        # Breach → pending; the hold hasn't elapsed yet.
+        out = engine.evaluate(clock.burn(10, 2.0), now=10.0)
+        assert [(t["from"], t["to"]) for t in out] == [
+            ("inactive", "pending")]
+        assert state.pending_since == 10.0
+
+        engine.evaluate(clock.burn(12, 2.0), now=12.0)
+        assert state.state == "pending"
+
+        # Held past ``for:`` → firing.
+        out = engine.evaluate(clock.burn(16, 2.0), now=16.0)
+        assert [(t["from"], t["to"]) for t in out] == [
+            ("pending", "firing")]
+        assert engine.firing()[0].id == "test-burn"
+
+        # Clear (the 5 s window slides past the burn) → resolved.
+        out = engine.evaluate(clock.burn(30, 0.5), now=30.0)
+        assert [(t["from"], t["to"]) for t in out] == [
+            ("firing", "resolved")]
+        assert engine.firing() == []
+
+        # Re-breach from resolved → pending again.
+        out = engine.evaluate(clock.burn(40, 3.0), now=40.0)
+        assert [(t["from"], t["to"]) for t in out] == [
+            ("resolved", "pending")]
+
+    def test_pending_clears_to_inactive(self):
+        clock = FakeClockRing()
+        engine = self.engine()
+        engine.evaluate(clock.burn(0, 2.0), now=0.0)
+        assert engine.states["test-burn"].state == "pending"
+        out = engine.evaluate(clock.burn(10, 0.5), now=10.0)
+        assert [(t["from"], t["to"]) for t in out] == [
+            ("pending", "inactive")]
+
+    def test_zero_hold_fires_in_one_pass(self):
+        clock = FakeClockRing()
+        engine = self.engine(hold=0.0)
+        out = engine.evaluate(clock.burn(0, 2.0), now=0.0)
+        assert [(t["from"], t["to"]) for t in out] == [
+            ("inactive", "pending"), ("pending", "firing")]
+
+    def test_report_shape(self):
+        clock = FakeClockRing()
+        engine = self.engine(hold=0.0)
+        engine.evaluate(clock.burn(0, 2.0), now=0.0)
+        report = engine.report()
+        assert report["evaluations"] == 1
+        assert report["last_eval"] == 0.0
+        assert report["firing"] == ["test-burn"]
+        (row,) = report["rules"]
+        assert row["id"] == "test-burn"
+        assert row["state"] == "firing"
+        assert row["value"] == 2.0
+        assert row["firing_since"] == 0.0
+
+    def test_engine_rejects_duplicate_ids(self):
+        rule = AlertRule.from_dict(burn_rule())
+        with pytest.raises(ValueError, match="duplicate"):
+            RuleEngine([rule, rule])
+
+    def test_engine_loads_default_by_name(self):
+        engine = RuleEngine("default")
+        assert sorted(engine.states) == [
+            "deadline-burn", "discard-drift", "prediction-absence",
+            "quarantine-burn"]

@@ -1,0 +1,378 @@
+"""HistoryRing: bounded delta-compressed time series + query kit.
+
+The load-bearing property (ISSUE 8 satellite): capture → evict → query
+round-trips **exactly** against a naive list-of-snapshots oracle that
+never deletes anything, under hypothesis-generated cadences, ring
+sizes, and counter patterns including resets.  All generated values are
+integers, so float addition is associativity-free and "exactly" means
+``==``, not approx.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import (
+    HistoryRing,
+    group_history_records,
+    parse_history_ndjson,
+)
+
+COUNTER = "aarohi_test_events_total"
+GAUGE = "aarohi_test_level"
+HIST = "aarohi_test_latency_seconds"
+
+
+def counter_snapshot(value, *, shard=None, gauge=None):
+    labels = {} if shard is None else {"shard": shard}
+    snap = {
+        COUNTER: {
+            "type": "counter", "help": "t",
+            "series": [{"labels": labels, "value": float(value)}],
+        },
+    }
+    if gauge is not None:
+        snap[GAUGE] = {
+            "type": "gauge", "help": "t",
+            "series": [{"labels": {}, "value": float(gauge)}],
+        }
+    return snap
+
+
+class TestCapture:
+    def test_interval_throttles(self):
+        ring = HistoryRing(interval=10.0)
+        assert ring.capture(counter_snapshot(1), t=0.0)
+        assert not ring.capture(counter_snapshot(2), t=5.0)
+        assert ring.capture(counter_snapshot(3), t=10.0)
+        assert len(ring) == 2
+
+    def test_force_overrides_throttle(self):
+        ring = HistoryRing(interval=10.0)
+        ring.capture(counter_snapshot(1), t=0.0)
+        assert ring.capture(counter_snapshot(2), t=1.0, force=True)
+
+    def test_backwards_clock_dropped_even_forced(self):
+        ring = HistoryRing(interval=0.0)
+        ring.capture(counter_snapshot(1), t=10.0)
+        assert not ring.capture(counter_snapshot(2), t=5.0, force=True)
+        assert len(ring) == 1
+
+    def test_due_avoids_snapshot_cost(self):
+        ring = HistoryRing(interval=10.0)
+        assert ring.due(0.0)  # empty ring: always due
+        ring.capture(counter_snapshot(1), t=0.0)
+        assert not ring.due(5.0)
+        assert ring.due(10.0)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            HistoryRing(0)
+        with pytest.raises(ValueError):
+            HistoryRing(interval=-1.0)
+
+    def test_injectable_clock(self):
+        now = [100.0]
+        ring = HistoryRing(interval=0.0, clock=lambda: now[0])
+        ring.capture(counter_snapshot(1))
+        assert ring.end_time == 100.0
+
+
+class TestQueries:
+    def test_increase_and_rate_fixed_window(self):
+        ring = HistoryRing(interval=0.0)
+        for t, v in [(0, 0), (10, 40), (20, 100)]:
+            ring.capture(counter_snapshot(v), t=float(t))
+        assert ring.increase(COUNTER) == 100.0
+        assert ring.increase(COUNTER, window=10.0) == 60.0
+        # Fixed-window normalization: divisor is the window, not the
+        # (possibly half-empty) retained span.
+        assert ring.rate(COUNTER, window=10.0) == 6.0
+        # No window: divisor is the ring's span.
+        assert ring.rate(COUNTER) == 5.0
+
+    def test_counter_reset_clamps_and_flags(self):
+        ring = HistoryRing(interval=0.0)
+        ring.capture(counter_snapshot(100), t=0.0)
+        ring.capture(counter_snapshot(3), t=1.0)  # restart
+        ring.capture(counter_snapshot(10), t=2.0)
+        pts = ring.points(COUNTER)
+        assert [(v, r) for _, v, r in pts] == [
+            (100.0, False), (100.0, True), (107.0, False)]
+        # The drop contributes 0; post-reset growth counts from the
+        # restart, not from the old high-water mark.  (Unclamped, the
+        # endpoint difference would be 10 - 100 = -90.)
+        assert ring.increase(COUNTER) == 7.0
+
+    def test_eviction_folds_into_base(self):
+        ring = HistoryRing(2, interval=0.0)
+        for t, v in [(0, 10), (1, 25), (2, 40)]:
+            ring.capture(counter_snapshot(v), t=float(t))
+        assert len(ring) == 2
+        # The evicted capture's cumulative value survives in the base.
+        assert [v for _, v, _ in ring.points(COUNTER)] == [25.0, 40.0]
+        assert ring.latest(COUNTER) == 40.0
+
+    def test_shard_labels_stay_distinct_and_sum(self):
+        ring = HistoryRing(interval=0.0)
+        snap = {COUNTER: {"type": "counter", "help": "t", "series": [
+            {"labels": {"shard": "0"}, "value": 10.0},
+            {"labels": {"shard": "1"}, "value": 32.0},
+        ]}}
+        ring.capture(snap, t=0.0)
+        assert ring.latest(COUNTER, labels={"shard": "0"}) == 10.0
+        assert ring.latest(COUNTER, labels={"shard": "1"}) == 32.0
+        assert ring.latest(COUNTER) == 42.0  # selector-free: summed
+
+    def test_gauges_store_values_not_deltas(self):
+        ring = HistoryRing(interval=0.0)
+        for t, g in [(0, 5), (1, 3), (2, 7)]:
+            ring.capture(counter_snapshot(0, gauge=g), t=float(t))
+        assert [v for _, v, _ in ring.points(GAUGE)] == [5.0, 3.0, 7.0]
+        assert ring.max_over_time(GAUGE) == 7.0
+        assert ring.min_over_time(GAUGE) == 3.0
+        assert ring.avg_over_time(GAUGE) == 5.0
+        assert ring.latest(GAUGE) == 7.0
+
+    def test_histogram_flattens_to_total_count(self):
+        ring = HistoryRing(interval=0.0)
+        snap = {HIST: {"type": "histogram", "help": "t", "series": [
+            {"labels": {}, "counts": [2, 3, 1], "sum": 0.5,
+             "lo_exp": -3, "hi_exp": 0},
+        ]}}
+        ring.capture(snap, t=0.0)
+        assert ring.latest(HIST) == 6.0
+
+    def test_absent_is_existence_not_zero(self):
+        ring = HistoryRing(interval=0.0)
+        ring.capture(counter_snapshot(0), t=0.0)
+        assert not ring.absent(COUNTER)  # exists with value 0
+        assert ring.absent("aarohi_never_seen_total")
+        assert ring.absent(COUNTER, labels={"shard": "9"})
+
+    def test_empty_ring(self):
+        ring = HistoryRing()
+        assert len(ring) == 0
+        assert ring.span == 0.0
+        assert ring.start_time is None and ring.end_time is None
+        assert ring.points(COUNTER) == []
+        assert ring.increase(COUNTER) == 0.0
+        assert ring.rate(COUNTER) == 0.0
+        assert ring.latest(COUNTER) == 0.0
+        assert ring.absent(COUNTER)
+
+
+class TestRecords:
+    def test_ndjson_round_trip(self):
+        ring = HistoryRing(interval=0.0)
+        ring.capture(counter_snapshot(5, gauge=2), t=0.0)
+        ring.capture(counter_snapshot(100, gauge=1), t=1.0)
+        ring.capture(counter_snapshot(3, gauge=4), t=2.0)  # reset
+        text = ring.render_ndjson()
+        records = parse_history_ndjson(text)
+        assert records == ring.records()
+        # Every line is a self-describing record.
+        for line in text.strip().splitlines():
+            record = json.loads(line)
+            assert set(record) >= {"t", "series", "labels", "value"}
+        resets = [r for r in records if r.get("reset")]
+        assert len(resets) == 1 and resets[0]["series"] == COUNTER
+
+    def test_records_filter_by_series(self):
+        ring = HistoryRing(interval=0.0)
+        ring.capture(counter_snapshot(5, gauge=2), t=0.0)
+        only = ring.records(COUNTER)
+        assert {r["series"] for r in only} == {COUNTER}
+
+    def test_group_history_records(self):
+        ring = HistoryRing(interval=0.0)
+        snap = {COUNTER: {"type": "counter", "help": "t", "series": [
+            {"labels": {"shard": "0"}, "value": 1.0},
+            {"labels": {"shard": "1"}, "value": 2.0},
+        ]}}
+        ring.capture(snap, t=0.0)
+        grouped = group_history_records(ring.records())
+        assert sorted(grouped) == [
+            COUNTER + '{shard="0"}', COUNTER + '{shard="1"}']
+
+    def test_parse_rejects_non_records(self):
+        with pytest.raises(ValueError):
+            parse_history_ndjson('{"kind":"capsule"}\n')
+
+
+# ---------------------------------------------------------------------------
+# The oracle property (ISSUE 8 satellite): the ring's delta compression
+# + base-folding eviction must round-trip exactly against a naive model
+# that stores every accepted snapshot in a plain list.
+# ---------------------------------------------------------------------------
+
+LABELSETS = ((), (("shard", "0"),), (("shard", "1"),))
+
+
+@st.composite
+def ring_runs(draw):
+    """A ring config plus a sequence of offered captures.
+
+    Counter values are free integers (drops are resets), offered at
+    non-decreasing integer times so the cadence throttle gets exercised
+    (equal/short gaps are dropped when interval > 0).
+    """
+    capacity = draw(st.integers(1, 6))
+    interval = draw(st.integers(0, 3))
+    n = draw(st.integers(1, 16))
+    offers = []
+    t = 0
+    for _ in range(n):
+        t += draw(st.integers(0, 3))
+        series = {}
+        for labels in LABELSETS:
+            if draw(st.booleans()):
+                series[labels] = draw(st.integers(0, 50))
+        gauge = (
+            draw(st.integers(-20, 20)) if draw(st.booleans()) else None)
+        offers.append((t, series, gauge))
+    return capacity, interval, offers
+
+
+def _snapshot(series, gauge):
+    snap = {COUNTER: {"type": "counter", "help": "t", "series": [
+        {"labels": dict(labels), "value": float(v)}
+        for labels, v in series.items()
+    ]}}
+    if gauge is not None:
+        snap[GAUGE] = {
+            "type": "gauge", "help": "t",
+            "series": [{"labels": {}, "value": float(gauge)}],
+        }
+    return snap
+
+
+class NaiveHistory:
+    """The oracle: every accepted capture kept verbatim in a list;
+    every query recomputed from scratch with the clamped-cumulative
+    recurrence.  No deltas, no eviction, no folding."""
+
+    def __init__(self, capacity, interval):
+        self.capacity = capacity
+        self.interval = interval
+        self.accepted = []  # (t, {labels: raw_counter}, gauge)
+
+    def offer(self, t, series, gauge):
+        if self.accepted:
+            last = self.accepted[-1][0]
+            if t < last or t - last < self.interval:
+                return False
+        self.accepted.append((t, series, gauge))
+        return True
+
+    def _counter_states(self, labels):
+        """Per accepted-capture index: ``(seen, cum, present, reset)``
+        for one label set, where ``cum`` is the clamped-cumulative
+        recurrence and ``seen`` means the series has appeared at or
+        before this capture (its value carries forward when absent)."""
+        out, cum, prev = [], 0.0, None
+        for _, series, _ in self.accepted:
+            if labels in series:
+                raw = float(series[labels])
+                if prev is None:
+                    cum, reset = raw, False
+                elif raw < prev:
+                    reset = True  # clamp: delta 0
+                else:
+                    cum += raw - prev
+                    reset = False
+                prev = raw
+                out.append((True, cum, True, reset))
+            else:
+                out.append((prev is not None, cum, False, False))
+        return out
+
+    def points(self, name, labels=None, window=None):
+        start = max(0, len(self.accepted) - self.capacity)
+        retained = self.accepted[start:]
+        if not retained:
+            return []
+        cutoff = None if window is None else retained[-1][0] - window
+        if name == GAUGE:
+            if labels:
+                return []
+            return [
+                (t, float(g), False) for t, _, g in retained
+                if g is not None and (cutoff is None or t >= cutoff)]
+        matched = [
+            ls for ls in LABELSETS
+            if not labels or set(labels.items()) <= set(ls)]
+        states = {ls: self._counter_states(ls) for ls in matched}
+        out = []
+        for idx in range(start, len(self.accepted)):
+            t, series, _ = self.accepted[idx]
+            if cutoff is not None and t < cutoff:
+                continue
+            if not any(states[ls][idx][2] for ls in matched):
+                continue
+            value = sum(
+                states[ls][idx][1] for ls in matched
+                if states[ls][idx][0])
+            reset = any(states[ls][idx][3] for ls in matched)
+            out.append((t, value, reset))
+        return out
+
+    def increase(self, name, window=None, labels=None):
+        if name == GAUGE:
+            return 0.0
+        pts = self.points(name, labels, window)
+        return pts[-1][1] - pts[0][1] if len(pts) >= 2 else 0.0
+
+    def latest(self, name, labels=None):
+        if name == GAUGE:
+            if labels:
+                return 0.0
+            gauges = [g for _, _, g in self.accepted if g is not None]
+            return float(gauges[-1]) if gauges else 0.0
+        matched = [
+            ls for ls in LABELSETS
+            if not labels or set(labels.items()) <= set(ls)]
+        total = 0.0
+        for ls in matched:
+            states = self._counter_states(ls)
+            if states and states[-1][0]:
+                total += states[-1][1]
+        return total
+
+    def absent(self, name, window=None, labels=None):
+        return not self.points(name, labels, window)
+
+
+@settings(max_examples=120, deadline=None)
+@given(ring_runs(), st.one_of(st.none(), st.integers(0, 8)))
+def test_ring_matches_naive_oracle(run, window):
+    """capture→evict→query == a naive list of every accepted snapshot,
+    exactly, for every query in the kit, under random cadences, ring
+    sizes, and counter patterns including resets."""
+    capacity, interval, offers = run
+    ring = HistoryRing(capacity, interval=float(interval))
+    oracle = NaiveHistory(capacity, interval)
+    for t, series, gauge in offers:
+        accepted = ring.capture(_snapshot(series, gauge), t=float(t))
+        assert accepted == oracle.offer(t, series, gauge)
+
+    window_f = None if window is None else float(window)
+    for labels in (None, {"shard": "0"}, {"shard": "1"}):
+        expected = oracle.points(COUNTER, labels, window_f)
+        assert ring.points(COUNTER, labels, window_f) == expected
+        assert ring.increase(COUNTER, window_f, labels) == (
+            oracle.increase(COUNTER, window_f, labels))
+        assert ring.latest(COUNTER, labels) == (
+            oracle.latest(COUNTER, labels))
+        assert ring.absent(COUNTER, window_f, labels) == (
+            oracle.absent(COUNTER, window_f, labels))
+        values = [v for _, v, _ in expected]
+        assert ring.max_over_time(COUNTER, window_f, labels) == (
+            max(values) if values else 0.0)
+        assert ring.avg_over_time(COUNTER, window_f, labels) == (
+            sum(values) / len(values) if values else 0.0)
+    assert ring.points(GAUGE, None, window_f) == (
+        oracle.points(GAUGE, None, window_f))
+    assert ring.latest(GAUGE) == oracle.latest(GAUGE)

@@ -164,6 +164,51 @@ class TestDiffSnapshots:
             last = snap
         assert parent.snapshot()["c_total"]["series"][0]["value"] == 10
 
+    def test_counter_reset_clamps_to_zero_with_marker(self):
+        """A restarted process's counters go backwards between
+        snapshots; the delta clamps to 0 and flags ``reset`` instead of
+        reporting a negative increase."""
+        old_r, new_r = Registry(), Registry()
+        old_r.counter("c_total").inc(100)
+        new_r.counter("c_total").inc(3)
+        delta = diff_snapshots(new_r.snapshot(), old_r.snapshot())
+        (entry,) = delta["c_total"]["series"]
+        assert entry["value"] == 0.0
+        assert entry["reset"] is True
+
+    def test_histogram_reset_flags_and_passes_through(self):
+        old_r, new_r = Registry(), Registry()
+        old_r.histogram("h", lo_exp=0, hi_exp=4).observe(1.0)
+        old_r.histogram("h", lo_exp=0, hi_exp=4).observe(1.0)
+        new_r.histogram("h", lo_exp=0, hi_exp=4).observe(1.0)
+        delta = diff_snapshots(new_r.snapshot(), old_r.snapshot())
+        (entry,) = delta["h"]["series"]
+        assert entry["reset"] is True
+        # Post-restart cumulative state, not a negative bucket delta.
+        assert sum(entry["counts"]) == 1
+
+    def test_reset_series_lists_display_names(self):
+        from repro.obs import reset_series
+
+        old_r, new_r = Registry(), Registry()
+        old_r.counter("c_total", shard="0").inc(100)
+        new_r.counter("c_total", shard="0").inc(3)
+        new_r.counter("ok_total").inc(5)
+        delta = diff_snapshots(new_r.snapshot(), old_r.snapshot())
+        assert reset_series(delta) == ['c_total{shard="0"}']
+
+    def test_merge_after_reset_does_not_go_backwards(self):
+        """The shipping path survives a worker restart: the clamped
+        delta folds as 0, so the parent total never decreases."""
+        worker, parent = Registry(), Registry()
+        worker.counter("c_total").inc(10)
+        snap = worker.snapshot()
+        parent.merge(diff_snapshots(snap, None))
+        restarted = Registry()
+        restarted.counter("c_total").inc(2)
+        parent.merge(diff_snapshots(restarted.snapshot(), snap))
+        assert parent.snapshot()["c_total"]["series"][0]["value"] == 10
+
     def test_reconfigured_histogram_passes_through_whole(self):
         """A bucket-layout change between snapshots must not be
         zip-truncated into garbage — the new cumulative state passes

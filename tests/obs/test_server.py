@@ -194,6 +194,82 @@ class TestDebugEndpoints:
         assert "/debug/spans" in excinfo.value.read().decode("utf-8")
 
 
+class TestAlertsEndpoint:
+    def _ruled_obs(self):
+        from repro.obs import HistoryRing, RuleEngine
+        from repro.obs.names import SLO_BURN
+
+        obs = Observability(
+            history=HistoryRing(interval=0.0), rules=RuleEngine("default"))
+        obs.registry.gauge(SLO_BURN, "burn").set(2.0)
+        return obs
+
+    def test_alerts_serves_rule_state_and_since_timestamps(self):
+        obs = self._ruled_obs()
+        obs.record_history(now=100.0)          # breach → pending
+        obs.record_history(now=102.0, force=True)  # held 2 s ≥ 1 s → firing
+        with ObsServer(obs) as server:
+            status, ctype, body = fetch(server.url("/alerts"))
+        assert status == 200
+        assert ctype == "application/json"
+        payload = json.loads(body)
+        assert payload["enabled"] is True
+        assert payload["firing"] == ["deadline-burn"]
+        rows = {row["id"]: row for row in payload["rules"]}
+        burn = rows["deadline-burn"]
+        assert burn["state"] == "firing"
+        assert burn["pending_since"] == 100.0
+        assert burn["firing_since"] == 102.0
+        assert burn["severity"] == "page"
+        # The declarative definition rides along with the state.
+        assert burn["expr"] == "max_over_time"
+        assert burn["for"] == 1.0
+        assert payload["history"]["samples"] == 2
+
+    def test_alerts_disabled_without_engine(self, obs):
+        with ObsServer(obs) as server:
+            _, _, body = fetch(server.url("/alerts"))
+        assert json.loads(body) == {"enabled": False}
+
+    def test_firing_page_rule_fails_healthz(self):
+        obs = self._ruled_obs()
+        obs.record_history(now=100.0)
+        obs.record_history(now=102.0, force=True)
+        with ObsServer(obs) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                fetch(server.url("/healthz"))
+        assert excinfo.value.code == 503
+        payload = json.loads(excinfo.value.read().decode("utf-8"))
+        # healthz names the same firing rule /alerts shows.
+        assert payload["alerts"]["firing"] == ["deadline-burn"]
+
+
+class TestDebugHistory:
+    def test_404_until_ring_armed(self, obs):
+        with ObsServer(obs) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                fetch(server.url("/debug/history"))
+        assert excinfo.value.code == 404
+
+    def test_ndjson_dump_and_series_filter(self):
+        from repro.obs import HistoryRing, parse_history_ndjson
+
+        obs = Observability(history=HistoryRing(interval=0.0))
+        obs.registry.counter(LINES_SEEN, "lines").inc(42)
+        obs.record_history(now=100.0)
+        with ObsServer(obs) as server:
+            status, ctype, body = fetch(server.url("/debug/history"))
+            _, _, filtered = fetch(
+                server.url(f"/debug/history?series={LINES_SEEN}"))
+        assert status == 200
+        assert ctype == "application/x-ndjson"
+        records = parse_history_ndjson(body)
+        assert records == obs.history_records()
+        only = parse_history_ndjson(filtered)
+        assert {r["series"] for r in only} == {LINES_SEEN}
+        assert only[0]["value"] == 42.0
+
+
 class TestConcurrentScrapes:
     """Scrapes racing a running fleet must see whole snapshots: the
     facade lock makes every multi-metric record atomic, so the funnel

@@ -254,6 +254,11 @@ class TestPredictWatch:
         assert "Live SLO monitor" in out
         assert "Online quality scoreboard" in out
         assert "deadline verdict" in out
+        # --watch arms the history ring + default ruleset: every frame
+        # carries the alert-rule states and the ring's trend columns.
+        assert "Alert rules" in out
+        assert "deadline-burn" in out
+        assert "History trends (ring)" in out
         # The final predictions table still prints after the frames.
         assert "predictions" in out
 
@@ -356,6 +361,148 @@ class TestObsReportDiff:
         assert "Series added/removed" in out
         assert "aarohi_span_runs_total" in out
         assert "aarohi_gone_total" in out
+
+
+class TestObsRules:
+    def test_check_default_ruleset(self, capsys):
+        rc = main(["obs-rules", "--check", "default"])
+        assert rc == 0
+        assert "4 rule(s) OK" in capsys.readouterr().out
+
+    def test_print_default_round_trips_through_check(
+            self, tmp_path, capsys):
+        rc = main(["obs-rules", "--print-default"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "[[rule]]" in text
+        assert "deadline-burn" in text
+        path = tmp_path / "rules.toml"
+        path.write_text(text, encoding="utf-8")
+        assert main(["obs-rules", "--check", str(path)]) == 0
+
+    def test_problems_exit_2_and_name_the_rules(self, tmp_path, capsys):
+        path = tmp_path / "bad.toml"
+        path.write_text(
+            '[[rule]]\nid = "a"\nseries = "aarohi_not_real_total"\n'
+            'expr = "stddev"\n\n'
+            '[[rule]]\nid = "a"\nseries = "aarohi_predictions_total"\n'
+            'expr = "increase"\nwindow = 60.0\n',
+            encoding="utf-8")
+        rc = main(["obs-rules", "--check", str(path)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown series 'aarohi_not_real_total'" in err
+        assert "malformed expr" in err
+        assert "duplicate rule id" in err
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        rc = main(["obs-rules", "--check", str(tmp_path / "nope.toml")])
+        assert rc == 2
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_no_flags_exits_2(self, capsys):
+        rc = main(["obs-rules"])
+        assert rc == 2
+        assert "need --check" in capsys.readouterr().err
+
+
+class TestObsReportHistory:
+    def _ring(self):
+        from repro.obs import LINES_SEEN, HistoryRing, Registry
+
+        registry = Registry()
+        ring = HistoryRing(interval=0.0)
+        counter = registry.counter(LINES_SEEN, "lines")
+        for t, inc in [(0, 10), (10, 90), (20, 40)]:
+            counter.inc(inc)
+            ring.capture(registry.snapshot(), t=float(t))
+        return ring
+
+    def test_trend_table_from_ndjson_dump(self, tmp_path, capsys):
+        from repro.obs import LINES_SEEN
+
+        dump = tmp_path / "history.ndjson"
+        dump.write_text(self._ring().render_ndjson(), encoding="utf-8")
+        rc = main(["obs-report", "--history", str(dump)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "History trends" in out
+        assert LINES_SEEN in out
+        assert any(block in out for block in "▁▂▃▄▅▆▇█")
+
+    def test_trend_table_from_alert_capsule(self, tmp_path, capsys):
+        from repro.obs import LINES_SEEN, TRIGGER_ALERT, FlightRecorder
+
+        ring = self._ring()
+        flight = FlightRecorder(capacity=16, directory=tmp_path)
+        text = flight.trigger(
+            TRIGGER_ALERT, key="r1", history=ring.records(),
+            rule="r1", severity="page")
+        capsule = tmp_path / "capsule.jsonl"
+        capsule.write_text(text, encoding="utf-8")
+        rc = main(["obs-report", "--history", str(capsule)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "History trends" in out
+        assert LINES_SEEN in out
+
+    def test_capsule_without_history_exits_2(self, tmp_path, capsys):
+        from repro.obs import TRIGGER_DEADLINE, FlightRecorder
+
+        flight = FlightRecorder(capacity=16, directory=tmp_path)
+        text = flight.trigger(TRIGGER_DEADLINE)
+        capsule = tmp_path / "capsule.jsonl"
+        capsule.write_text(text, encoding="utf-8")
+        rc = main(["obs-report", "--history", str(capsule)])
+        assert rc == 2
+        assert "without embedded history" in capsys.readouterr().err
+
+    def test_empty_dump_exits_2(self, tmp_path, capsys):
+        empty = tmp_path / "empty.ndjson"
+        empty.write_text("", encoding="utf-8")
+        rc = main(["obs-report", "--history", str(empty)])
+        assert rc == 2
+        assert "is empty" in capsys.readouterr().err
+
+
+class TestPredictHistoryFlags:
+    def _log(self, tmp_path):
+        log = tmp_path / "w.log"
+        main([
+            "generate", "--system", "HPC3", "--seed", "5",
+            "--duration", "1800", "--nodes", "12", "--failures", "4",
+            "--out", str(log),
+        ])
+        return log
+
+    def test_history_and_rules_flags_run_clean(self, tmp_path, capsys):
+        log = self._log(tmp_path)
+        capsys.readouterr()
+        rc = main([
+            "predict", "--system", "HPC3", "--seed", "5",
+            "--log", str(log), "--history", "0", "--rules", "default",
+        ])
+        assert rc == 0
+        # A healthy run must not report firing alerts.
+        assert "alerts firing" not in capsys.readouterr().err
+
+    def test_negative_history_rejected(self, tmp_path, capsys):
+        log = self._log(tmp_path)
+        with pytest.raises(SystemExit, match="--history must be"):
+            main([
+                "predict", "--system", "HPC3", "--seed", "5",
+                "--log", str(log), "--history", "-1",
+            ])
+
+    def test_bad_rules_file_rejected(self, tmp_path, capsys):
+        log = self._log(tmp_path)
+        bad = tmp_path / "bad.toml"
+        bad.write_text('[[rule]]\nid = "x"\n', encoding="utf-8")
+        with pytest.raises(SystemExit, match="cannot load rules"):
+            main([
+                "predict", "--system", "HPC3", "--seed", "5",
+                "--log", str(log), "--rules", str(bad),
+            ])
 
 
 class TestObsServe:
