@@ -8,11 +8,16 @@ Measures sustained events/s on the discard-heavy realistic stream for
   flattened whole-stream scan driver over decoded events, and
 * the **byte backends** — ``fleet.run_buffer(batch, timing="off")``
   over a raw :class:`~repro.logsim.stream.ByteRecordBatch` for the
-  ``bytes`` and ``numpy`` kernels (rejected lines never decoded),
+  ``bytes``, ``numpy`` and ``native`` kernels (rejected lines never
+  decoded; ``native`` is the compiled C walk), and
+* the **fused native path** — ``fleet.run_lines(blob, timing="off")``
+  with a native scanner: record split, header check and scan in one C
+  pass over the raw blob,
 
 plus **ingest** (mmap vs ``read()`` vs decoded-text line reading) and
 **scanner startup** (cold merged-DFA compilation vs warm load from the
-compiled-artifact cache, see :mod:`repro.persistence`).  Everything is
+compiled-artifact cache, and the native kernel's cold ``cc`` compile
+vs warm shared-object load, see :mod:`repro.persistence`).  Everything is
 written, together with the recorded reference numbers from earlier
 PRs, to ``BENCH_hotpath.json`` at the repo root so the perf trajectory
 stays machine-readable from this PR onward.
@@ -23,9 +28,9 @@ Run standalone::
     PYTHONPATH=src python benchmarks/emit_bench.py --backend bytes  # one backend
     PYTHONPATH=src python benchmarks/emit_bench.py --smoke  # CI regression gate
 
-``--backend str|bytes|numpy|all`` restricts which scan kernels the full
-run measures (default ``all``; ``str`` is always measured — it is the
-baseline every ratio is computed against).
+``--backend str|bytes|numpy|native|all`` restricts which scan kernels
+the full run measures (default ``all``; ``str`` is always measured — it
+is the baseline every ratio is computed against).
 
 ``--smoke`` runs a reduced-scale measurement and **fails** (exit 1) if
 batched or bytes-backend throughput drops below the recorded
@@ -64,6 +69,20 @@ PRE_BYTES_PR_REFERENCE = {
                 "20k-event window (before the byte-kernel PR)",
 }
 
+# Byte-kernel path as recorded before the native-kernel PR — the
+# baseline the compiled C walk must beat ≥ 2× on at least three of the
+# four catalogs (gated by the equivalence suite against the freshly
+# written json).
+PRE_NATIVE_PR_REFERENCE = {
+    "HPC1": 5_302_612,
+    "HPC2": 6_188_310,
+    "HPC3": 6_873_511,
+    "HPC4": 6_315_633,
+    "measured": "2026-08-07, fleet.run_buffer(batch, timing='off'), "
+                "bytes kernels, 20k-event window (before the native "
+                "kernel PR)",
+}
+
 # Shared CI runners are slow and noisy relative to the machine that
 # recorded the floors; a smoke run must still clear floor × slack.
 SMOKE_SLACK = 0.3
@@ -72,7 +91,7 @@ SMOKE_SLACK = 0.3
 # LogEvent.from_line loop on a clean stream.
 DECODER_FLOOR = 0.97
 
-SCAN_BACKENDS = ("str", "bytes", "numpy")
+SCAN_BACKENDS = ("str", "bytes", "numpy", "native")
 
 
 def discard_heavy_stream(gen, n_events: int = 20_000):
@@ -122,6 +141,7 @@ def measure_hotpath(
     old_best = 0.0
     new_best = 0.0
     byte_best = {be: 0.0 for be in backends}
+    fused_best = 0.0
     report = None
     for _ in range(rounds):
         fleet = fresh_fleet()
@@ -138,11 +158,19 @@ def measure_hotpath(
         for be in backends:
             fleet = fresh_fleet(be)
             if fleet.scanner.backend != be:
-                continue  # numpy absent: resolved to bytes, skip the row
+                continue  # prerequisite absent: resolved to bytes, skip
             t0 = time.perf_counter()
             fleet.run_buffer(batch, timing="off")
             byte_best[be] = max(
                 byte_best[be], n_events / (time.perf_counter() - t0))
+            if be == "native":
+                # The fused single-pass path: raw blob in, predictions
+                # out — ingest and scan in one C call (run_lines).
+                fleet = fresh_fleet(be)
+                t0 = time.perf_counter()
+                fleet.run_lines(blob, timing="off")
+                fused_best = max(
+                    fused_best, n_events / (time.perf_counter() - t0))
 
     row = {
         "events": n_events,
@@ -155,6 +183,11 @@ def measure_hotpath(
         if byte_best[be]:
             row[f"{be}_events_per_s"] = round(byte_best[be])
             row[f"{be}_vs_batched"] = round(byte_best[be] / new_best, 2)
+    if byte_best.get("native") and byte_best.get("bytes"):
+        row["native_vs_bytes"] = round(
+            byte_best["native"] / byte_best["bytes"], 2)
+    if fused_best:
+        row["native_fused_events_per_s"] = round(fused_best)
     return row
 
 
@@ -241,7 +274,13 @@ def measure_startup(gen, rounds: int = 3) -> dict:
 
     Runs against a throwaway cache directory so the measurement is
     hermetic: the first compile populates it, warm rounds load from it.
+    When a C compiler is available the native kernel's cold path (one
+    ``cc`` invocation) is measured against its warm path (``dlopen`` of
+    the cached shared object) the same way.
     """
+    from repro import native as native_mod
+    from repro.codegen import native_available
+
     store, keep = gen.store, gen.chains.token_set
     saved = os.environ.get("AAROHI_SCANNER_CACHE")
     with tempfile.TemporaryDirectory(prefix="aarohi-bench-cache-") as tmp:
@@ -258,16 +297,46 @@ def measure_startup(gen, rounds: int = 3) -> dict:
                 t0 = time.perf_counter()
                 store.compile_scanner(keep=keep)
                 warm_best = min(warm_best, time.perf_counter() - t0)
+            native_cold = native_warm = None
+            if native_available():
+                native_cold = float("inf")
+                for _ in range(rounds):
+                    # A fresh in-process state each round, or the digest
+                    # memo would turn every cold round but the first
+                    # into a warm one.
+                    native_mod._LOADED.clear()
+                    for so in Path(tmp).glob("native-*.so"):
+                        so.unlink()
+                    t0 = time.perf_counter()
+                    scanner = store.compile_scanner(
+                        keep=keep, backend="native")
+                    native_cold = min(
+                        native_cold, time.perf_counter() - t0)
+                if scanner.backend != "native":
+                    native_cold = None  # compile failed: nothing to time
+                else:
+                    native_warm = float("inf")
+                    for _ in range(rounds):
+                        native_mod._LOADED.clear()
+                        t0 = time.perf_counter()
+                        store.compile_scanner(keep=keep, backend="native")
+                        native_warm = min(
+                            native_warm, time.perf_counter() - t0)
         finally:
             if saved is None:
                 del os.environ["AAROHI_SCANNER_CACHE"]
             else:
                 os.environ["AAROHI_SCANNER_CACHE"] = saved
-    return {
+    row = {
         "cold_compile_ms": round(cold_best * 1e3, 2),
         "warm_cache_ms": round(warm_best * 1e3, 2),
         "warm_speedup": round(cold_best / warm_best, 1),
     }
+    if native_cold is not None and native_warm is not None:
+        row["native_cold_compile_ms"] = round(native_cold * 1e3, 2)
+        row["native_warm_load_ms"] = round(native_warm * 1e3, 2)
+        row["native_warm_speedup"] = round(native_cold / native_warm, 1)
+    return row
 
 
 def write_bench_json(results: dict, path: Path = BENCH_PATH) -> dict:
@@ -276,6 +345,7 @@ def write_bench_json(results: dict, path: Path = BENCH_PATH) -> dict:
         "stream": "discard-heavy realistic window (see discard_heavy_stream)",
         "pre_pr_reference_events_per_s": PRE_PR_REFERENCE,
         "pre_bytes_pr_batched_events_per_s": PRE_BYTES_PR_REFERENCE,
+        "pre_native_pr_bytes_events_per_s": PRE_NATIVE_PR_REFERENCE,
         "systems": results,
     }
     for name, row in results.items():
@@ -287,14 +357,19 @@ def write_bench_json(results: dict, path: Path = BENCH_PATH) -> dict:
         if isinstance(ref, int) and "bytes_events_per_s" in row:
             row["bytes_vs_pre_bytes_pr"] = round(
                 row["bytes_events_per_s"] / ref, 2)
+        ref = PRE_NATIVE_PR_REFERENCE.get(name)
+        if isinstance(ref, int) and "native_events_per_s" in row:
+            row["native_vs_pre_native_pr"] = round(
+                row["native_events_per_s"] / ref, 2)
     path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     return payload
 
 
 def recorded_floors(path: Path = BENCH_PATH) -> dict:
     """Recorded per-system floors from the committed json:
-    ``{system: {"batched": ev/s, "bytes": ev/s}}`` (``bytes`` only when
-    the json was generated with the byte backends measured)."""
+    ``{system: {"batched": ev/s, "bytes": ev/s, "native": ev/s}}``
+    (byte-backend entries only when the json was generated with those
+    backends measured)."""
     try:
         payload = json.loads(path.read_text(encoding="utf-8"))
     except (OSError, json.JSONDecodeError):
@@ -306,6 +381,8 @@ def recorded_floors(path: Path = BENCH_PATH) -> dict:
             entry["batched"] = row["batched_events_per_s"]
         if isinstance(row.get("bytes_events_per_s"), int):
             entry["bytes"] = row["bytes_events_per_s"]
+        if isinstance(row.get("native_events_per_s"), int):
+            entry["native"] = row["native_events_per_s"]
         if entry:
             floors[name] = entry
     return floors
@@ -319,19 +396,26 @@ def run_smoke(slack: float = SMOKE_SLACK) -> int:
     if not floors:
         print("no recorded floors in BENCH_hotpath.json; nothing to gate")
         return 1
+    from repro.codegen import native_available
+
     failures = []
     for name, entry in sorted(floors.items()):
         gen = ClusterLogGenerator(system_by_name(name))
         # Full event count (small batches under-amortize per-run fixed
         # costs and would sit below floor × slack even when healthy),
         # fewer rounds: the timed loops are milliseconds each.  The
-        # bytes kernel is measured in the same interleaved rounds, so
-        # its gate samples the same machine conditions.
+        # byte backends are measured in the same interleaved rounds, so
+        # their gates sample the same machine conditions.  The native
+        # floor is only enforceable where a C compiler exists (the
+        # no-compiler CI leg deliberately has none).
+        smoke_backends = tuple(
+            be for be in ("bytes", "native")
+            if be in entry and (be != "native" or native_available()))
         measured = measure_hotpath(
-            gen, n_events=20_000, rounds=2,
-            backends=("bytes",) if "bytes" in entry else ())
+            gen, n_events=20_000, rounds=2, backends=smoke_backends)
         for kind, key in (("batched", "batched_events_per_s"),
-                          ("bytes", "bytes_events_per_s")):
+                          ("bytes", "bytes_events_per_s"),
+                          ("native", "native_events_per_s")):
             floor = entry.get(kind)
             if floor is None or key not in measured:
                 continue
@@ -380,7 +464,7 @@ def main(argv=None) -> int:
     from repro.logsim import ClusterLogGenerator, system_by_name
 
     if args.backend == "all":
-        backends = ("bytes", "numpy")
+        backends = ("bytes", "numpy", "native")
     elif args.backend == "str":
         backends = ()
     else:

@@ -379,6 +379,11 @@ def cmd_predict(args: argparse.Namespace) -> int:
             },
             "scanner": {
                 "backend": getattr(scanner, "backend", None) or "str",
+                "requested_backend": getattr(
+                    scanner, "requested_backend", None)
+                or getattr(scanner, "backend", None) or "str",
+                "fallback": getattr(scanner, "requested_backend", None)
+                not in (None, getattr(scanner, "backend", None)),
                 "translate_evictions": funnel.get("translate_evictions", 0),
             },
             "ingest": ingest.as_dict(),
@@ -800,10 +805,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--log", required=True)
     p.add_argument("--backend", default="matcher", choices=["matcher", "lalr"])
     p.add_argument("--scan-backend", default="str",
-                   choices=["str", "bytes", "numpy"],
+                   choices=["str", "bytes", "numpy", "native"],
                    help="scan kernel family: str (decoded text), bytes "
                         "(mmap byte pipeline), numpy (vectorized sweep; "
-                        "falls back to bytes without numpy)")
+                        "falls back to bytes without numpy), native "
+                        "(compiled C kernel; falls back to bytes without "
+                        "a C compiler)")
     p.add_argument("--json", action="store_true",
                    help="emit machine-readable JSON instead of a table")
     p.add_argument("--watch", action="store_true",
@@ -874,7 +881,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", default="matcher",
                    choices=["matcher", "lalr"])
     p.add_argument("--scan-backend", default="str",
-                   choices=["str", "bytes", "numpy"],
+                   choices=["str", "bytes", "numpy", "native"],
                    help="scan kernel family (see predict --scan-backend)")
     p.add_argument("--truth", default=None, metavar="TRUTH.jsonl",
                    help="ground-truth failures (enables /quality scoring)")

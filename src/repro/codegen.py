@@ -54,7 +54,14 @@ _MEMO_MISS = object()  # cache sentinel: None is a legitimate cached value
 #:   that steps every memo-missing line through the transition table in
 #:   lockstep (``table[state, cls]`` gathers with early dead-state
 #:   retirement).  Falls back to ``"bytes"`` when numpy is absent.
-SCAN_BACKENDS = ("str", "bytes", "numpy")
+#: * ``"native"`` — the same renumbered accept-threshold tables rendered
+#:   as C (:func:`emit_native_scan_kernels_source`), compiled at runtime
+#:   with the system ``cc`` into a cached shared object and driven
+#:   through ``ctypes``; adds a fused ``scan_records`` entry point that
+#:   splits, header-checks and scans raw record blobs in one pass.
+#:   Falls back to ``"bytes"`` when no compiler is found, the compile
+#:   fails, or the catalog needs the non-exact decode fallback.
+SCAN_BACKENDS = ("str", "bytes", "numpy", "native")
 
 _NUMPY = None  # lazy import cache: module, or False when unavailable
 
@@ -75,14 +82,26 @@ def numpy_available() -> bool:
     return _numpy() is not None
 
 
+def native_available() -> bool:
+    """True iff a working system C compiler was found for ``native``."""
+    from . import native
+
+    return native.native_available()
+
+
 def resolve_backend(backend: str) -> str:
-    """Validate a backend name, degrading ``"numpy"`` to ``"bytes"``
-    when numpy is not installed (the fast path stays byte-level; only
-    the vectorized sweep is lost)."""
+    """Validate a backend name, degrading the optional backends to
+    ``"bytes"`` when their prerequisite is missing: ``"numpy"`` without
+    numpy installed, ``"native"`` without a working C compiler.  The
+    fast path stays byte-level either way; only the vectorized sweep or
+    the compiled walk is lost.  A *compile* failure with a present
+    compiler degrades later, inside :func:`compile_scan_kernels`."""
     if backend not in SCAN_BACKENDS:
         raise ValueError(
             f"unknown scan backend {backend!r}; expected one of {SCAN_BACKENDS}")
     if backend == "numpy" and not numpy_available():
+        return "bytes"
+    if backend == "native" and not native_available():
         return "bytes"
     return backend
 
@@ -100,9 +119,19 @@ class ScanKernels(NamedTuple):
     close over.
 
     ``backend`` names the kernel family actually built (see
-    :data:`SCAN_BACKENDS`).  Str kernels take ``str`` messages; byte
-    and numpy kernels take ``bytes`` records, and ``match_span`` then
-    reports the end offset in bytes.
+    :data:`SCAN_BACKENDS`).  Str kernels take ``str`` messages; the
+    byte-level kernels (bytes/numpy/native) take ``bytes`` records, and
+    ``match_span`` then reports the end offset in bytes.
+
+    ``scan_records`` is the native backend's fused ingest+scan entry
+    point (``None`` elsewhere): one C pass over a raw record blob that
+    splits on newlines, header-checks each record, and scans accepted
+    messages — see :func:`repro.native.make_kernels`.
+    ``scan_hits_view`` (also native-only) is ``scan_hits`` minus the
+    join: callers holding a cached contiguous newline-joined view of
+    their messages (:meth:`ByteRecordBatch.message_blob`) pass it
+    straight through; ``None`` signals the embedded-newline desync the
+    caller must resolve per message.
     """
 
     tokenize: Callable[[str], Optional[int]]
@@ -111,6 +140,8 @@ class ScanKernels(NamedTuple):
     memo: dict
     counts: List[int]
     backend: str = "str"
+    scan_records: Optional[Callable] = None
+    scan_hits_view: Optional[Callable] = None
 
 
 # The kernel factory source.  All varying *shape* parameters (start
@@ -520,6 +551,503 @@ def _accept_threshold_tables(dfa: DFA, accept_token: Sequence[int]):
     return renumbered, accept_by_state, perm[dfa.start], athresh
 
 
+# The native kernel: the byte kernels' renumbered accept-threshold walk
+# rendered as self-contained C.  The header carries everything that
+# varies per scanner shape (tables as static arrays, shape parameters
+# as macros); the body is fixed C the compiler specializes against
+# those macros.  Dead state is 0xFFFF in the uint16 walk table, checked
+# before the accept compare, so the hot loop is: class lookup, table
+# load, one dead test, one threshold compare.
+_NATIVE_HEADER = '''\
+/* Auto-generated Aarohi native scan kernel (do not edit).
+ *
+ * Mirrors the "bytes" backend kernels exactly: first-char gate,
+ * bounded memo with clear-at-capacity, renumbered accept-threshold
+ * walk, funnel counter semantics.  MEMO_LEN is the acyclic-DFA match
+ * bound (SIZE_MAX = cyclic, key on the whole message).
+ */
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+#define START {start}u
+#define STRIDE {stride}
+#define ATHRESH {athresh}u
+#define CAPACITY {capacity}u
+#define N_SLOTS {n_slots}u
+#define MEMO_LEN {memo_len}
+#define DEAD16 0xFFFFu
+#define SUSPECT (-2)
+
+static const uint16_t WALK[] = {{{walk}}};
+static const int32_t ACCEPT[] = {{{accept}}};
+static const uint8_t CLASSES[256] = {{{classes}}};
+static const uint8_t FIRST_OK[256] = {{{first_ok}}};
+'''
+
+_NATIVE_BODY = r'''
+/* One probe, one cache line: the slot packs arena offset, key length
+ * and token together (parallel arrays would cost up to three misses
+ * per lookup on a cold table). */
+typedef struct {
+    uint32_t off;            /* key arena offset + 1; 0 = empty slot */
+    uint32_t len;
+    int32_t  tok;
+} memo_slot;
+
+typedef struct {
+    memo_slot slots[N_SLOTS];
+    uint32_t count;
+    unsigned char *arena;    /* append-only key bytes, reset on clear */
+    size_t arena_len;
+    size_t arena_cap;
+    uint64_t counts[3];      /* [past first-char, DFA runs, matches] */
+} aarohi_state;
+
+/* Word-at-a-time FNV-style mix with a murmur finalizer.  The hash only
+ * steers probe placement — hit/miss decisions always go through the
+ * memcmp — so the choice is pure performance, not semantics. */
+static uint64_t hash_key(const unsigned char *p, size_t n) {
+    uint64_t h = 1469598103934665603ULL ^ (n * 1099511628211ULL);
+    uint64_t v;
+    while (n >= 8) {
+        memcpy(&v, p, 8);
+        h = (h ^ v) * 1099511628211ULL;
+        p += 8;
+        n -= 8;
+    }
+    if (n) {
+        v = 0;
+        memcpy(&v, p, n);
+        h = (h ^ v) * 1099511628211ULL;
+    }
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return h;
+}
+
+static int memo_get(const aarohi_state *st, const unsigned char *key,
+                    size_t klen, int32_t *tok) {
+    uint32_t i = (uint32_t)(hash_key(key, klen) & (N_SLOTS - 1u));
+    while (st->slots[i].off) {
+        if (st->slots[i].len == klen &&
+            memcmp(st->arena + st->slots[i].off - 1, key, klen) == 0) {
+            *tok = st->slots[i].tok;
+            return 1;
+        }
+        i = (i + 1u) & (N_SLOTS - 1u);
+    }
+    return 0;
+}
+
+static void memo_put(aarohi_state *st, const unsigned char *key,
+                     size_t klen, int32_t tok) {
+    /* Same policy as the Python kernels: wholesale clear when full,
+     * then insert.  CAPACITY <= N_SLOTS / 2, so a probe always finds
+     * an empty slot.  The memo is best-effort: allocation failure
+     * skips the insert, never the scan. */
+    if (st->count >= CAPACITY) {
+        memset(st->slots, 0, sizeof(st->slots));
+        st->count = 0;
+        st->arena_len = 0;
+    }
+    if (st->arena_len + klen + 1 > UINT32_MAX)
+        return;
+    if (st->arena_len + klen > st->arena_cap) {
+        size_t cap = st->arena_cap ? st->arena_cap : 65536;
+        while (cap < st->arena_len + klen)
+            cap *= 2;
+        unsigned char *next = realloc(st->arena, cap);
+        if (!next)
+            return;
+        st->arena = next;
+        st->arena_cap = cap;
+    }
+    uint32_t i = (uint32_t)(hash_key(key, klen) & (N_SLOTS - 1u));
+    while (st->slots[i].off) {
+        if (st->slots[i].len == klen &&
+            memcmp(st->arena + st->slots[i].off - 1, key, klen) == 0) {
+            st->slots[i].tok = tok;
+            return;
+        }
+        i = (i + 1u) & (N_SLOTS - 1u);
+    }
+    memcpy(st->arena + st->arena_len, key, klen);
+    st->slots[i].off = (uint32_t)st->arena_len + 1u;
+    st->slots[i].len = (uint32_t)klen;
+    st->slots[i].tok = tok;
+    st->arena_len += klen;
+    st->count++;
+}
+
+/* SWAR single-byte search: glibc memchr pays call+setup overhead on
+ * every ~40-byte log line; eight bytes per step with no call wins on
+ * short ranges.  Falls back to memchr where the bit tricks are not
+ * known-safe (non-GNU compiler or big-endian target). */
+#if defined(__GNUC__) && defined(__BYTE_ORDER__) && \
+    __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+static const char *find_byte(const char *p, const char *end, char c) {
+    const uint64_t ones = 0x0101010101010101ULL;
+    const uint64_t high = 0x8080808080808080ULL;
+    const uint64_t pat = ones * (unsigned char)c;
+    uint64_t v, m;
+    while (end - p >= 8) {
+        memcpy(&v, p, 8);
+        v ^= pat;
+        m = (v - ones) & ~v & high;
+        if (m)
+            return p + (__builtin_ctzll(m) >> 3);
+        p += 8;
+    }
+    for (; p < end; p++)
+        if (*p == c)
+            return p;
+    return NULL;
+}
+#else
+static const char *find_byte(const char *p, const char *end, char c) {
+    return memchr(p, c, (size_t)(end - p));
+}
+#endif
+
+static int32_t walk_key(const unsigned char *key, size_t klen) {
+    uint32_t state = START;
+    uint32_t best = DEAD16;
+    for (size_t j = 0; j < klen; j++) {
+        state = WALK[(size_t)state * STRIDE + CLASSES[key[j]]];
+        if (state == DEAD16)
+            break;
+        if (state >= ATHRESH)
+            best = state;
+    }
+    return best == DEAD16 ? -1 : ACCEPT[best];
+}
+
+static int32_t scan_message(aarohi_state *st, const unsigned char *msg,
+                            size_t len) {
+    if (len == 0 || !FIRST_OK[msg[0]])
+        return -1;
+    st->counts[0]++;
+    size_t klen = len < MEMO_LEN ? len : MEMO_LEN;
+    int32_t tok;
+    if (memo_get(st, msg, klen, &tok))
+        return tok;
+    st->counts[1]++;
+    tok = walk_key(msg, klen);
+    if (tok >= 0)
+        st->counts[2]++;
+    memo_put(st, msg, klen, tok);
+    return tok;
+}
+
+void *aarohi_new(void) {
+    return calloc(1, sizeof(aarohi_state));
+}
+
+void aarohi_free(void *h) {
+    aarohi_state *st = h;
+    if (!st)
+        return;
+    free(st->arena);
+    free(st);
+}
+
+void aarohi_memo_clear(void *h) {
+    aarohi_state *st = h;
+    memset(st->slots, 0, sizeof(st->slots));
+    st->count = 0;
+    st->arena_len = 0;
+}
+
+uint32_t aarohi_memo_len(void *h) {
+    return ((aarohi_state *)h)->count;
+}
+
+uint64_t *aarohi_counts_ptr(void *h) {
+    return ((aarohi_state *)h)->counts;
+}
+
+int32_t aarohi_tokenize(void *h, const char *msg, size_t len) {
+    return scan_message(h, (const unsigned char *)msg, len);
+}
+
+int32_t aarohi_match_span(const char *msg, size_t len, size_t *end) {
+    const unsigned char *m = (const unsigned char *)msg;
+    uint32_t state = START;
+    uint32_t best = DEAD16;
+    size_t bend = 0;
+    for (size_t j = 0; j < len; j++) {
+        state = WALK[(size_t)state * STRIDE + CLASSES[m[j]]];
+        if (state == DEAD16)
+            break;
+        if (state >= ATHRESH) {
+            best = state;
+            bend = j + 1;
+        }
+    }
+    if (best == DEAD16)
+        return -1;
+    *end = bend;
+    return ACCEPT[best];
+}
+
+int64_t aarohi_scan_blob(void *h, const char *blob, size_t blen,
+                         int64_t n_expected, int32_t *out_idx,
+                         int32_t *out_tok) {
+    aarohi_state *st = h;
+    const char *p = blob;
+    const char *endp = blob + blen;
+    /* Desync guard: a message embedding a raw newline would shift
+     * every index after it.  Verify the message count first at memchr
+     * pace — no state is touched on a mismatch, so the caller's
+     * per-message fallback leaves the memo and funnel counters exactly
+     * as a clean batch would have. */
+    {
+        /* Plain byte loop instead of per-line memchr calls: it
+         * auto-vectorizes, and 20k short lines would otherwise pay
+         * 20k call overheads just to be counted. */
+        int64_t msgs = 1;
+        for (const char *q = p; q < endp; q++)
+            msgs += (*q == '\n');
+        if (msgs != n_expected)
+            return -1;
+    }
+    int64_t i = 0, k = 0;
+    for (;;) {
+        const char *nl = (p < endp) ? find_byte(p, endp, '\n') : NULL;
+        const char *e = nl ? nl : endp;
+        int32_t tok = scan_message(
+            st, (const unsigned char *)p, (size_t)(e - p));
+        if (tok >= 0) {
+            out_idx[k] = (int32_t)i;
+            out_tok[k] = tok;
+            k++;
+        }
+        i++;
+        if (!nl)
+            break;
+        p = nl + 1;
+    }
+    return k;
+}
+
+/* Canonical Event.to_line timestamp: YYYY-MM-DDTHH:MM:SS.ffffff+00:00.
+ * 'd' = any digit; everything else literal (so the UTC offset must be
+ * exactly +00:00).  Range checks below make acceptance imply that
+ * datetime.fromisoformat succeeds, so every record this passes is one
+ * Python would decode — anything else goes back as a suspect. */
+static const char TS_PAT[33] = "dddd-dd-ddTdd:dd:dd.dddddd+00:00";
+
+static int ts_ok(const unsigned char *s, size_t n) {
+    if (n != 32)
+        return 0;
+    for (size_t i = 0; i < 32; i++) {
+        char p = TS_PAT[i];
+        if (p == 'd') {
+            if (s[i] < '0' || s[i] > '9')
+                return 0;
+        } else if (s[i] != (unsigned char)p) {
+            return 0;
+        }
+    }
+    int year = (s[0] - '0') * 1000 + (s[1] - '0') * 100
+             + (s[2] - '0') * 10 + (s[3] - '0');
+    int mon = (s[5] - '0') * 10 + (s[6] - '0');
+    int day = (s[8] - '0') * 10 + (s[9] - '0');
+    int hour = (s[11] - '0') * 10 + (s[12] - '0');
+    int minute = (s[14] - '0') * 10 + (s[15] - '0');
+    int sec = (s[17] - '0') * 10 + (s[18] - '0');
+    static const int mdays[13] = {0, 31, 28, 31, 30, 31, 30,
+                                  31, 31, 30, 31, 30, 31};
+    if (year == 0 || mon < 1 || mon > 12 || day < 1)
+        return 0;
+    int dmax = mdays[mon];
+    if (mon == 2 && year % 4 == 0 && (year % 100 != 0 || year % 400 == 0))
+        dmax = 29;
+    if (day > dmax || hour > 23 || minute > 59 || sec > 59)
+        return 0;
+    return 1;
+}
+
+/* Fused ingest+scan: split a raw record blob on newlines, strip one
+ * trailing CR per record, skip blanks, header-split each record on its
+ * first two spaces and validate the timestamp.  Records that pass are
+ * counted ok and their message scanned; records that do not (or whose
+ * message contains a backslash, i.e. possible escape sequences) are
+ * emitted as SUSPECT for the caller to re-parse.  Emissions (hits and
+ * suspects) are in record order so the caller's downstream chain state
+ * sees the exact stream order. */
+int aarohi_scan_records(void *h, const char *blob, size_t blen,
+                        int64_t *n_records, int64_t *n_ok,
+                        int64_t *last_off, int64_t *last_len,
+                        int64_t **out_off, int64_t **out_len,
+                        int32_t **out_tok, int64_t *n_out) {
+    aarohi_state *st = h;
+    size_t cap = 1;
+    {
+        const char *endq = blob + blen;
+        for (const char *q = blob; q < endq; q++)
+            cap += (*q == '\n');
+    }
+    int64_t *off = malloc(cap * sizeof(int64_t));
+    int64_t *lens = malloc(cap * sizeof(int64_t));
+    int32_t *toks = malloc(cap * sizeof(int32_t));
+    if (!off || !lens || !toks) {
+        free(off);
+        free(lens);
+        free(toks);
+        return -1;
+    }
+    int64_t records = 0, ok = 0, k = 0;
+    *last_off = -1;
+    *last_len = 0;
+    const char *p = blob;
+    const char *endp = blob + blen;
+    for (;;) {
+        const char *nl = (p < endp) ? find_byte(p, endp, '\n') : NULL;
+        const char *e = nl ? nl : endp;
+        if (e > p && e[-1] == '\r')
+            e--;
+        if (e > p) {
+            records++;
+            size_t rlen = (size_t)(e - p);
+            /* Canonical records carry the 32-char timestamp, so the
+             * first space is at offset 32; anything else takes the
+             * generic search and fails ts_ok into the suspect path. */
+            const char *sp1 = (rlen > 32 && p[32] == ' ')
+                ? p + 32 : find_byte(p, e, ' ');
+            const char *sp2 = sp1 ? find_byte(sp1 + 1, e, ' ') : NULL;
+            int suspect = !sp2
+                || !ts_ok((const unsigned char *)p, (size_t)(sp1 - p));
+            const char *msg = sp2 ? sp2 + 1 : p;
+            size_t mlen = sp2 ? (size_t)(e - msg) : 0;
+            if (!suspect && mlen && find_byte(msg, msg + mlen, '\\'))
+                suspect = 1;
+            if (suspect) {
+                off[k] = p - blob;
+                lens[k] = (int64_t)rlen;
+                toks[k] = SUSPECT;
+                k++;
+            } else {
+                ok++;
+                *last_off = p - blob;
+                *last_len = (int64_t)rlen;
+                int32_t tok = scan_message(
+                    st, (const unsigned char *)msg, mlen);
+                if (tok >= 0) {
+                    off[k] = p - blob;
+                    lens[k] = (int64_t)rlen;
+                    toks[k] = tok;
+                    k++;
+                }
+            }
+        }
+        if (!nl)
+            break;
+        p = nl + 1;
+    }
+    *n_records = records;
+    *n_ok = ok;
+    *n_out = k;
+    *out_off = off;
+    *out_len = lens;
+    *out_tok = toks;
+    return 0;
+}
+
+void aarohi_records_free(int64_t *off, int64_t *len, int32_t *tok) {
+    free(off);
+    free(len);
+    free(tok);
+}
+'''
+
+
+def emit_native_scan_kernels_source(
+    *,
+    walk: Sequence[int],
+    accept: Sequence[int],
+    classes: bytes,
+    first_ok: bytes,
+    start: int,
+    stride: int,
+    athresh: int,
+    capacity: int,
+    memo_len: Optional[int],
+) -> str:
+    """Render the native scanner's C source for one scanner shape.
+
+    ``walk`` is the renumbered accept-threshold walk table with the
+    dead state already rewritten to ``0xFFFF`` (the uint16 sentinel);
+    ``accept`` the per-state external token table; ``classes`` and
+    ``first_ok`` the 256-entry byte-class map and first-char gate from
+    :attr:`~repro.regexlib.dfa.DFA.byte_alphabet`.  The rendered source
+    is self-contained (stdlib headers only) and doubles as the cache
+    key material for the compiled object — any table or shape change
+    reshapes the source and therefore the digest.
+    """
+    n_slots = 1
+    while n_slots < 2 * capacity:
+        n_slots *= 2
+    header = _NATIVE_HEADER.format(
+        start=start,
+        stride=stride,
+        athresh=athresh,
+        capacity=capacity,
+        n_slots=n_slots,
+        memo_len="SIZE_MAX" if memo_len is None else str(memo_len),
+        walk=",".join(map(str, walk)),
+        accept=",".join(map(str, accept)),
+        classes=",".join(map(str, classes)),
+        first_ok=",".join(map(str, first_ok)),
+    )
+    return header + _NATIVE_BODY
+
+
+def _try_native_kernels(
+    dfa: DFA, accept_token: Sequence[int], *, capacity: int
+) -> Optional[ScanKernels]:
+    """Build the compiled-kernel surface, or ``None`` to degrade.
+
+    ``None`` means the caller falls back to the ``bytes`` backend:
+    non-exact byte alphabets (the C walk has no decode-and-rewalk
+    path), state counts that overflow the uint16 walk table, a missing
+    compiler, or a failed compile/load.
+    """
+    alpha = dfa.byte_alphabet
+    if alpha is None or not alpha.exact:
+        return None
+    stride = dfa.n_classes + 1
+    trans, accept, start, athresh = _accept_threshold_tables(dfa, accept_token)
+    if len(trans) // stride >= 0xFFFF:
+        return None
+    from . import native
+
+    source = emit_native_scan_kernels_source(
+        walk=[0xFFFF if v < 0 else v for v in trans],
+        accept=accept,
+        classes=alpha.table,
+        first_ok=alpha.first_ok,
+        start=start,
+        stride=stride,
+        athresh=athresh,
+        capacity=capacity,
+        memo_len=dfa.max_match_length,
+    )
+    lib = native.compile_kernel_library(source)
+    if lib is None:
+        return None
+    try:
+        (tokenize, scan_hits, match_span, memo, counts, scan_records,
+         scan_hits_view) = native.make_kernels(lib)
+    except MemoryError:
+        return None
+    return ScanKernels(
+        tokenize, scan_hits, match_span, memo, counts, "native",
+        scan_records, scan_hits_view)
+
+
 class _Pending:
     """Memo placeholder for a line queued in the vectorized sweep.
 
@@ -706,6 +1234,13 @@ def compile_scan_kernels(
         -1 if tag is None else rule_tokens[tag] for tag in dfa.accepts
     )
     capacity = max(1, memo_capacity)
+    if backend == "native":
+        kernels = _try_native_kernels(dfa, accept_token, capacity=capacity)
+        if kernels is not None:
+            return kernels
+        # Compile failed or the catalog shape is out of native's range:
+        # degrade to the byte kernels, same as a missing compiler.
+        backend = "bytes"
     if backend == "str":
         source = emit_scan_kernels_source(
             start=dfa.start,

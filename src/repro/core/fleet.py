@@ -235,6 +235,23 @@ class PredictorFleet:
 
         stats = IngestStats()
         span = self._span_start()
+        # Fused native path: the compiled kernel splits, header-checks
+        # and scans the raw blob in a single C pass — Python sees only
+        # the hits and the rare suspect records.  Restricted to the
+        # plain replay shape: no per-line timing, no reorder buffer,
+        # and a tolerant policy (strict must attribute the *first* bad
+        # record, which means classifying every record in order).
+        if (
+            timing == "off"
+            and reorder_horizon == 0
+            and on_error != "strict"
+            and getattr(self.scanner, "scan_records", None) is not None
+            and isinstance(source, (str, Path, bytes, bytearray, memoryview))
+        ):
+            report = self._run_fused(
+                source, on_error=on_error, stats=stats, span=span)
+            report.ingest = stats
+            return report
         # Byte fast path: a byte-backend scanner reading from a file or
         # a raw byte buffer never decodes the ~99% of lines the funnel
         # rejects — records go straight from mmap to the byte kernel.
@@ -322,7 +339,16 @@ class PredictorFleet:
         report = FleetReport()
         times = batch.times
         nodes = batch.nodes
-        hits = scan_hits(batch.messages)
+        hits = None
+        scan_view = getattr(self.scanner, "scan_hits_view", None)
+        if scan_view is not None and hasattr(batch, "message_blob"):
+            # Native backend: sweep the batch's cached contiguous view
+            # in one C call, skipping the per-run newline join.  A
+            # message embedding a raw newline returns None (desync);
+            # scan_hits resolves that per message, count-exactly.
+            hits = scan_view(batch.message_blob(), len(batch.messages))
+        if hits is None:
+            hits = scan_hits(batch.messages)
         if span is not None:
             span.lap(STAGE_SCAN, len(batch))
         is_relevant = self.chains.is_relevant
@@ -392,6 +418,138 @@ class PredictorFleet:
             self._record_run(obs, report, _time.perf_counter() - t_run,
                              [n_records] if n_records else [],
                              times[-1] if n_records else None, span)
+        return report
+
+    def _run_fused(
+        self,
+        source,
+        *,
+        on_error: str,
+        stats,
+        span: Optional[SpanTimer] = None,
+    ) -> FleetReport:
+        """Native fused ingest+scan: one C pass over the raw blob.
+
+        The kernel's ``scan_records`` returns, in record order, only
+        the records Python must look at: template *hits* (header
+        already validated in C) and *suspects* (records that failed the
+        strict C header check — malformed, odd timestamp shape, or an
+        escaped message).  Suspects re-run the tolerant Python parser,
+        so quarantine decisions, counts, and warn-policy logging are
+        identical to :func:`~repro.logsim.stream.read_record_batch`;
+        decoded suspects are tokenized through the scanner like any
+        other line.  Because emissions arrive in stream order, the
+        per-node chain engines see the exact feed sequence of the
+        unfused pipeline — predictions are byte-identical (asserted by
+        the fused-equivalence tests).
+        """
+        from ..logsim.stream import WARN_LINE_CAP, _log, open_byte_buffer
+        from .events import LogDecodeError, parse_record_bytes
+
+        obs = self.obs
+        t_run = _time.perf_counter() if obs is not None else 0.0
+        warn = on_error == "warn"
+        report = FleetReport()
+        is_relevant = self.chains.is_relevant
+        predictor_for = self.predictor_for
+        node_names = self._node_names
+        predictions = report.predictions
+        tokenize = self.scanner.tokenize
+        tokenized = 0
+        n_predictions = 0
+        quarantined = 0
+        by_reason: Dict[str, int] = {}
+        suspect_decoded = 0
+        tail_t: Optional[float] = None  # last decoded suspect (stream order)
+        tail_off = -1
+        last_time: Optional[float] = None
+        with open_byte_buffer(source) as blob:
+            if span is not None:
+                span.lap(STAGE_INGEST)  # open/mmap; the read is the scan
+            n_records, n_ok, items, last_ok = self.scanner.scan_records(blob)
+            if span is not None:
+                span.lap(STAGE_SCAN, n_records)
+            for off, length, token in items:
+                record = blob[off:off + length]
+                if type(record) is not bytes:  # bytearray source
+                    record = bytes(record)
+                if token < 0:  # suspect: the tolerant Python parse path
+                    try:
+                        t, raw, message = parse_record_bytes(record)
+                    except LogDecodeError as exc:
+                        quarantined += 1
+                        reason = exc.reason
+                        by_reason[reason] = by_reason.get(reason, 0) + 1
+                        if warn and quarantined <= WARN_LINE_CAP:
+                            _log.warning("quarantined record (%s)", exc)
+                        continue
+                    suspect_decoded += 1
+                    tail_t, tail_off = t, off
+                    token = tokenize(message)
+                    if token is None:
+                        continue
+                else:  # hit: C validated the header, the parse cannot fail
+                    t, raw, message = parse_record_bytes(record)
+                if not is_relevant(token):
+                    continue
+                node = node_names.get(raw)
+                if node is None:
+                    node = node_names[raw] = str(raw, "utf-8", "replace")
+                predictor = predictor_for(node)
+                predictor.stats.lines_tokenized += 1
+                tokenized += 1
+                match = predictor._engine.feed(token, t)
+                if match is None:
+                    continue
+                predictor.stats.predictions += 1
+                n_predictions += 1
+                t_emit = _time.perf_counter() if span is not None else 0.0
+                prediction = Prediction(
+                    node=node,
+                    chain_id=match.chain_id,
+                    flagged_at=match.end_time,
+                    prediction_time=0.0,
+                    matched_tokens=match.tokens,
+                )
+                if predictor._obs_emit is not None:
+                    predictor._obs_emit(prediction)
+                predictions.append(prediction)
+                if span is not None:
+                    span.carve(STAGE_MATCH, STAGE_EMIT,
+                               _time.perf_counter() - t_emit, 1)
+            # Stream-order last event time: the later of the last
+            # C-accepted record and the last decoded suspect.
+            if last_ok is not None and last_ok[0] > tail_off:
+                lo, ll = last_ok
+                rec = blob[lo:lo + ll]
+                if type(rec) is not bytes:
+                    rec = bytes(rec)
+                last_time = parse_record_bytes(rec)[0]
+            elif tail_off >= 0:
+                last_time = tail_t
+        if span is not None:
+            span.lap(STAGE_MATCH, tokenized)
+        if warn and quarantined > WARN_LINE_CAP:
+            _log.warning(
+                "quarantined %d further records (suppressed per-record "
+                "warnings after the first %d)",
+                quarantined - WARN_LINE_CAP, WARN_LINE_CAP)
+        decoded = n_ok + suspect_decoded
+        stats.lines_read += n_records
+        stats.decoded += decoded
+        stats.quarantined += quarantined
+        for reason, n in by_reason.items():
+            stats.quarantined_by_reason[reason] = (
+                stats.quarantined_by_reason.get(reason, 0) + n)
+        self._scanned_unattributed += decoded
+        report.stats.lines_seen = decoded
+        report.stats.lines_tokenized = tokenized
+        report.stats.predictions = n_predictions
+        report.nodes = len(self._predictors)
+        if obs is not None:
+            obs.record_ingest(stats)
+            self._record_run(obs, report, _time.perf_counter() - t_run,
+                             [decoded] if decoded else [], last_time, span)
         return report
 
     def _run_flat(

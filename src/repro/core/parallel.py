@@ -228,17 +228,14 @@ class ParallelFleet:
         # and ship the finished tables to every worker; n_workers
         # processes then pay JSON-decode + kernel specialization instead
         # of n_workers regex compilations.
-        from ..persistence import (
-            load_cached_scanner,
-            save_cached_scanner,
-            scanner_artifact,
-        )
+        from ..persistence import compile_scanner_cached, scanner_artifact
 
         spec = bundle.store.lex_spec(keep=bundle.chains.token_set)
-        compiled = load_cached_scanner(spec, backend=self.scan_backend)
-        if compiled is None:
-            compiled = spec.compile()
-            save_cached_scanner(compiled, backend=self.scan_backend)
+        # Single-flight through the artifact cache: several fleets (or
+        # CLI invocations) cold-starting concurrently elect exactly one
+        # compiler; the native backend's shared-object build goes
+        # through the same lock when workers specialize their kernels.
+        compiled = compile_scanner_cached(spec, backend=self.scan_backend)
         tables = scanner_artifact(compiled, backend=self.scan_backend)
         # One single-process pool per shard: shard i → worker i, always.
         self._pools = [

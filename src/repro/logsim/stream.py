@@ -27,6 +27,7 @@ import heapq
 import json
 import logging
 import mmap
+from contextlib import contextmanager
 from dataclasses import dataclass, field, fields
 from pathlib import Path
 from typing import (IO, Dict, Iterable, Iterator, List, NamedTuple, Optional,
@@ -383,6 +384,38 @@ def iter_byte_records(
     yield from _split_records(source)
 
 
+@contextmanager
+def open_byte_buffer(
+    source: Union[str, Path, bytes, bytearray, memoryview, IO[bytes]],
+):
+    """Yield ``source`` as one contiguous byte buffer for the native
+    backend's fused ingest+scan pass (:meth:`PredictorFleet.run_lines`).
+
+    Paths are mmapped with ``ACCESS_COPY``: private copy-on-write pages
+    — reads hit the page cache like ``ACCESS_READ``, nothing ever
+    touches the file, and the mapping is *writable*, which is what lets
+    ``ctypes`` take a zero-copy array view of it (read-only buffers
+    refuse ``from_buffer``).  Empty or unmappable files degrade to one
+    ``read()``; byte buffers pass through untouched.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "rb") as fh:
+            try:
+                buf = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_COPY)
+            except (ValueError, OSError):  # empty or unmappable file
+                yield fh.read()
+                return
+        try:
+            yield buf
+        finally:
+            buf.close()
+        return
+    if hasattr(source, "read"):
+        yield source.read()
+        return
+    yield source
+
+
 def _split_records(buf) -> Iterator[bytes]:
     find = buf.find
     n = len(buf)
@@ -411,8 +444,26 @@ class ByteRecordBatch:
     nodes: List[bytes]
     messages: List[bytes]
 
+    # Cached newline-joined view of ``messages``, built lazily by
+    # message_blob().  Class-level default so it is not a dataclass
+    # field (it is derived state, not part of the value).
+    _message_blob = None
+
     def __len__(self) -> int:
         return len(self.times)
+
+    def message_blob(self) -> bytes:
+        """Newline-joined view of ``messages``, built once and cached.
+
+        The native scan kernel sweeps one contiguous buffer per C call
+        (``scan_hits_view``); batches are value objects after ingest,
+        so the cached join can never go stale.  Costs one extra copy of
+        the message payload while the batch is alive.
+        """
+        blob = self._message_blob
+        if blob is None:
+            blob = self._message_blob = b"\n".join(self.messages)
+        return blob
 
     def decode_events(self) -> List[LogEvent]:
         """Fully decode into :class:`LogEvent` objects (tests, traces —

@@ -1,0 +1,392 @@
+"""Native scan kernel runtime: compile, cache, load, wrap.
+
+:func:`repro.codegen.emit_native_scan_kernels_source` renders one
+merged DFA as self-contained C; this module turns that source into
+callable kernels:
+
+* **compiler probe** — ``$CC``, else the first of ``cc``/``gcc``/
+  ``clang`` on PATH, identified by path + ``--version`` line.  The
+  probe result keys on the ``$CC`` value so test environments that
+  repoint the compiler are re-probed, and a probe failure simply means
+  the ``native`` backend resolves to ``bytes``
+  (:func:`repro.codegen.resolve_backend`).
+* **compile + cache** — the shared object lands in the scanner
+  artifact cache (:func:`repro.persistence.scanner_cache_dir`) under a
+  digest of the generated source **and the compiler identity**, so a
+  compiler upgrade or table change misses cleanly.  Concurrent cold
+  starts (pool workers) are serialized through
+  :func:`repro.persistence.single_flight` — one compile, N loads.
+* **ctypes wrappers** — :func:`make_kernels` binds one loaded library
+  into the ``tokenize``/``scan_hits``/``match_span`` surface of
+  :class:`repro.codegen.ScanKernels`.  Each wrapper set owns its own
+  C-side state (bounded memo + funnel counters), so several scanners
+  can share one cached library.  The funnel counters are read through
+  a zero-copy ``ctypes`` view — always current, no refresh call.
+
+Every failure path (no compiler, compile error, unloadable object)
+returns ``None`` and the caller degrades to the ``bytes`` backend; the
+degradation is observable through the scanner's ``requested_backend``
+(see :mod:`repro.obs`).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+import weakref
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+#: Bump to invalidate every cached native shared object (ABI or
+#: generated-source semantics change).
+NATIVE_KERNEL_VERSION = 1
+
+#: Suspect marker in ``scan_records`` output: the record failed the
+#: C fast-path header check and must be re-parsed (and its message
+#: scanned) by Python.  Distinct from -1, which plain scans use for
+#: "no match".
+SUSPECT_RECORD = -2
+
+_CC_TIMEOUT = 120  # seconds; a hung compiler must not hang the scanner
+
+# Probe results keyed by the $CC value in effect (None = unset), so a
+# repointed compiler is re-probed instead of served stale.
+_PROBES: Dict[Optional[str], object] = {}
+
+# Loaded libraries by source digest: dlopen once per process even when
+# many scanners share one catalog (mirrors codegen._KERNEL_CODE_CACHE).
+_LOADED: Dict[str, ctypes.CDLL] = {}
+
+
+def compiler_identity() -> Optional[Tuple[str, str]]:
+    """The C compiler to use, as ``(path, version line)``, or ``None``.
+
+    ``$CC`` wins when set; otherwise the first of ``cc``, ``gcc``,
+    ``clang`` found on PATH.  A candidate that cannot run ``--version``
+    successfully is treated as absent — that is exactly the no-compiler
+    CI leg (``CC=/bin/false``).
+    """
+    env_cc = os.environ.get("CC")
+    cached = _PROBES.get(env_cc, _PROBES)
+    if cached is not _PROBES:
+        return cached  # type: ignore[return-value]
+    result: Optional[Tuple[str, str]] = None
+    if env_cc:
+        candidates = [env_cc]
+    else:
+        candidates = ["cc", "gcc", "clang"]
+    for name in candidates:
+        path = shutil.which(name)
+        if path is None:
+            continue
+        try:
+            proc = subprocess.run(
+                [path, "--version"], capture_output=True, text=True,
+                timeout=_CC_TIMEOUT,
+            )
+        except (OSError, subprocess.SubprocessError):
+            continue
+        if proc.returncode != 0:
+            continue
+        first_line = (proc.stdout or proc.stderr).splitlines() or [""]
+        result = (path, first_line[0].strip())
+        break
+    _PROBES[env_cc] = result
+    return result
+
+
+def native_available() -> bool:
+    """True iff a working system C compiler was found."""
+    return compiler_identity() is not None
+
+
+def native_source_digest(source: str, cc: str, version: str) -> str:
+    """Content address of one compiled kernel: generated source +
+    compiler identity + ABI revision."""
+    h = hashlib.sha256()
+    h.update(f"native-v{NATIVE_KERNEL_VERSION}|{cc}|{version}|".encode())
+    h.update(source.encode())
+    return h.hexdigest()
+
+
+def _invoke_cc(cc: str, source: str, out_path) -> bool:
+    """Run one compile; True iff the shared object landed at
+    ``out_path``.  All compiler failures are soft (degradation, not
+    exceptions)."""
+    out_path = Path(out_path)
+    try:
+        with tempfile.TemporaryDirectory(prefix="aarohi-cc-") as td:
+            cfile = Path(td) / "scan_kernel.c"
+            cfile.write_text(source)
+            proc = subprocess.run(
+                [cc, "-O2", "-shared", "-fPIC", "-o", str(out_path),
+                 str(cfile)],
+                capture_output=True, timeout=_CC_TIMEOUT,
+            )
+    except (OSError, subprocess.SubprocessError):
+        return False
+    return proc.returncode == 0 and out_path.exists()
+
+
+def compile_kernel_library(
+    source: str, *, cache: Optional[bool] = None
+) -> Optional[ctypes.CDLL]:
+    """Compile generated kernel source to a loaded shared library.
+
+    Warm path: the object already sits in the artifact cache (or was
+    loaded earlier in this process) and only ``dlopen`` runs.  Cold
+    path: one single-flight ``cc`` invocation publishes it atomically.
+    With caching disabled the object is built in a throwaway directory
+    (and still memoized in-process by digest).  Returns ``None`` on any
+    failure — no compiler, compile error, unloadable object.
+    """
+    ident = compiler_identity()
+    if ident is None:
+        return None
+    cc, version = ident
+    digest = native_source_digest(source, cc, version)
+    lib = _LOADED.get(digest)
+    if lib is not None:
+        return lib
+    from . import persistence  # late: persistence sits above codegen
+
+    directory = persistence.scanner_cache_dir(cache)
+    if directory is not None:
+        path = persistence.single_flight(
+            directory, f"native-{digest}.so",
+            lambda tmp: _invoke_cc(cc, source, tmp),
+        )
+        if path is None:
+            return None
+        try:
+            lib = ctypes.CDLL(str(path))
+        except OSError:
+            return None
+    else:
+        tmpdir = tempfile.mkdtemp(prefix="aarohi-native-")
+        try:
+            out = Path(tmpdir) / "scan_kernel.so"
+            if not _invoke_cc(cc, source, out):
+                return None
+            try:
+                lib = ctypes.CDLL(str(out))
+            except OSError:
+                return None
+        finally:
+            # The object stays mapped after unlink (POSIX); nothing of
+            # the throwaway build outlives the load.
+            shutil.rmtree(tmpdir, ignore_errors=True)
+    _LOADED[digest] = lib
+    return lib
+
+
+def _bind(lib: ctypes.CDLL) -> None:
+    """Declare the kernel ABI once per loaded library."""
+    if getattr(lib, "_aarohi_bound", False):
+        return
+    c_void_p = ctypes.c_void_p
+    c_char_p = ctypes.c_char_p
+    c_size_t = ctypes.c_size_t
+    c_int32 = ctypes.c_int32
+    c_int64 = ctypes.c_int64
+    p_i32 = ctypes.POINTER(c_int32)
+    p_i64 = ctypes.POINTER(c_int64)
+    lib.aarohi_new.argtypes = []
+    lib.aarohi_new.restype = c_void_p
+    lib.aarohi_free.argtypes = [c_void_p]
+    lib.aarohi_free.restype = None
+    lib.aarohi_memo_clear.argtypes = [c_void_p]
+    lib.aarohi_memo_clear.restype = None
+    lib.aarohi_memo_len.argtypes = [c_void_p]
+    lib.aarohi_memo_len.restype = ctypes.c_uint32
+    lib.aarohi_counts_ptr.argtypes = [c_void_p]
+    lib.aarohi_counts_ptr.restype = ctypes.POINTER(ctypes.c_uint64)
+    lib.aarohi_tokenize.argtypes = [c_void_p, c_char_p, c_size_t]
+    lib.aarohi_tokenize.restype = c_int32
+    lib.aarohi_match_span.argtypes = [
+        c_char_p, c_size_t, ctypes.POINTER(c_size_t)]
+    lib.aarohi_match_span.restype = c_int32
+    lib.aarohi_scan_blob.argtypes = [
+        c_void_p, c_char_p, c_size_t, c_int64, p_i32, p_i32]
+    lib.aarohi_scan_blob.restype = c_int64
+    lib.aarohi_scan_records.argtypes = [
+        c_void_p, c_char_p, c_size_t,
+        p_i64, p_i64, p_i64, p_i64,
+        ctypes.POINTER(p_i64), ctypes.POINTER(p_i64),
+        ctypes.POINTER(p_i32), p_i64,
+    ]
+    lib.aarohi_scan_records.restype = ctypes.c_int
+    lib.aarohi_records_free.argtypes = [p_i64, p_i64, p_i32]
+    lib.aarohi_records_free.restype = None
+    lib._aarohi_bound = True
+
+
+class _KernelState:
+    """Owns one C-side scanner state (bounded memo + funnel counters).
+
+    ``counts`` is a zero-copy ``uint64[3]`` view into the C struct, so
+    the Python side reads live funnel counters with plain indexing —
+    the :class:`~repro.templates.store.CountingTemplateScanner` funnel
+    works unchanged.
+    """
+
+    __slots__ = ("lib", "handle", "counts", "_finalizer", "__weakref__")
+
+    def __init__(self, lib: ctypes.CDLL):
+        self.lib = lib
+        handle = lib.aarohi_new()
+        if not handle:
+            raise MemoryError("native scanner state allocation failed")
+        self.handle = handle
+        self._finalizer = weakref.finalize(self, lib.aarohi_free, handle)
+        ptr = lib.aarohi_counts_ptr(handle)
+        self.counts = ctypes.cast(
+            ptr, ctypes.POINTER(ctypes.c_uint64 * 3)).contents
+
+
+class NativeMemo:
+    """``len()``/``clear()`` view of the C-side bounded memo — the
+    surface the library (and the equivalence tests) touch on the
+    kernel ``memo``."""
+
+    __slots__ = ("_state",)
+
+    def __init__(self, state: _KernelState):
+        self._state = state
+
+    def __len__(self) -> int:
+        return self._state.lib.aarohi_memo_len(self._state.handle)
+
+    def clear(self) -> None:
+        self._state.lib.aarohi_memo_clear(self._state.handle)
+
+
+def _as_cbuf(blob):
+    """A ctypes-passable view of ``blob`` plus its length: ``bytes``
+    pass through, writable buffers (``mmap.ACCESS_COPY``) get a
+    zero-copy array view, anything else is copied once."""
+    if isinstance(blob, bytes):
+        return blob, len(blob)
+    size = len(blob)
+    try:
+        return (ctypes.c_char * size).from_buffer(blob), size
+    except (TypeError, ValueError):
+        return bytes(blob), size
+
+
+def make_kernels(lib: ctypes.CDLL):
+    """Bind one loaded kernel library into the ScanKernels surface.
+
+    Returns ``(tokenize, scan_hits, match_span, memo, counts,
+    scan_records, scan_hits_view)``.  The batched entry points make
+    exactly one C call per batch: ``scan_hits`` joins its messages into
+    a newline blob the C side re-splits (falling back to a per-message
+    loop in the pathological case of a message containing a newline
+    byte), ``scan_hits_view`` takes an already-joined blob so callers
+    holding a cached contiguous view skip the join entirely, and
+    ``scan_records`` drives the fused ingest+scan pass over a raw
+    record blob.
+    """
+    _bind(lib)
+    state = _KernelState(lib)
+    handle = state.handle
+    c_tokenize = lib.aarohi_tokenize
+    c_scan_blob = lib.aarohi_scan_blob
+    c_match_span = lib.aarohi_match_span
+    # Grow-only hit output arrays, shared across calls (hits are
+    # bounded by the batch size).
+    out: dict = {"cap": 0, "idx": None, "tok": None}
+
+    def tokenize(message, _scan=c_tokenize, _h=handle):
+        token = _scan(_h, message, len(message))
+        return token if token >= 0 else None
+
+    def scan_hits_view(blob, n, _scan=c_scan_blob, _h=handle, _len=len,
+                       _out=out):
+        """One C call over a prejoined newline blob of ``n`` messages.
+
+        Returns ``None`` when a message embedding a raw newline desynced
+        the blob index space — the C side detects that before touching
+        any state, so the caller can re-scan per message count-exactly.
+        """
+        if not n:
+            return []
+        if _out["cap"] < n:
+            cap = max(1024, n)
+            _out["idx"] = (ctypes.c_int32 * cap)()
+            _out["tok"] = (ctypes.c_int32 * cap)()
+            _out["cap"] = cap
+        idx = _out["idx"]
+        tok = _out["tok"]
+        k = _scan(_h, blob, _len(blob), n, idx, tok)
+        if k < 0:
+            return None
+        if not k:
+            return []
+        return list(zip(idx[:k], tok[:k]))
+
+    def scan_hits(messages, _view=scan_hits_view, _tok=c_tokenize,
+                  _h=handle, _len=len):
+        n = _len(messages)
+        if not n:
+            return []
+        hits = _view(b"\n".join(messages), n)
+        if hits is None:
+            hits = []
+            for i, message in enumerate(messages):
+                token = _tok(_h, message, _len(message))
+                if token >= 0:
+                    hits.append((i, token))
+        return hits
+
+    def match_span(message, _span=c_match_span):
+        end = ctypes.c_size_t(0)
+        token = _span(message, len(message), ctypes.byref(end))
+        if token < 0:
+            return None, 0
+        return token, end.value
+
+    def scan_records(blob):
+        """One fused pass over a raw record blob.
+
+        Returns ``(n_records, n_ok, items, last_ok)``: the record count
+        (blank records excluded), the count the C header check accepted
+        and scanned, an in-order list of ``(offset, length, token)``
+        where ``token`` is :data:`SUSPECT_RECORD` for records Python
+        must re-parse, and the ``(offset, length)`` of the last
+        accepted record (``None`` when there was none).
+        """
+        cbuf, size = _as_cbuf(blob)
+        n_records = ctypes.c_int64(0)
+        n_ok = ctypes.c_int64(0)
+        last_off = ctypes.c_int64(-1)
+        last_len = ctypes.c_int64(0)
+        n_out = ctypes.c_int64(0)
+        off_p = ctypes.POINTER(ctypes.c_int64)()
+        len_p = ctypes.POINTER(ctypes.c_int64)()
+        tok_p = ctypes.POINTER(ctypes.c_int32)()
+        rc = lib.aarohi_scan_records(
+            handle, cbuf, size,
+            ctypes.byref(n_records), ctypes.byref(n_ok),
+            ctypes.byref(last_off), ctypes.byref(last_len),
+            ctypes.byref(off_p), ctypes.byref(len_p), ctypes.byref(tok_p),
+            ctypes.byref(n_out),
+        )
+        if rc != 0:
+            raise MemoryError("native record-scan allocation failed")
+        try:
+            k = n_out.value
+            items: List[tuple] = (
+                list(zip(off_p[:k], len_p[:k], tok_p[:k])) if k else [])
+        finally:
+            lib.aarohi_records_free(off_p, len_p, tok_p)
+        last = (
+            (last_off.value, last_len.value) if last_off.value >= 0 else None)
+        return n_records.value, n_ok.value, items, last
+
+    return (tokenize, scan_hits, match_span, NativeMemo(state),
+            state.counts, scan_records, scan_hits_view)

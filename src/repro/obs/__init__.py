@@ -149,6 +149,7 @@ from .names import (  # noqa: F401  (canonical names, re-exported)
     QUALITY_PRECISION,
     QUALITY_RECALL,
     QUALITY_TRUE_POSITIVES,
+    SCANNER_BACKEND_FALLBACK,
     SCANNER_BACKEND_INFO,
     SCANNER_DFA_MATCHES,
     SCANNER_DFA_RUNS,
@@ -337,13 +338,24 @@ class Observability:
             **labels,
         ).set_total(counts.get("translate_evictions", 0))
         backend = getattr(scanner, "backend", None) or "str"
+        requested = getattr(scanner, "requested_backend", None) or backend
         registry.gauge(
             SCANNER_BACKEND_INFO,
             "scan-kernel backend identity (value pinned to 1)",
             backend=backend, **labels,
         ).set(1.0)
+        if requested != backend:
+            # Degradation is once per scanner build, not per run:
+            # set_total keeps the counter idempotent across run folds.
+            registry.counter(
+                SCANNER_BACKEND_FALLBACK,
+                "scan-kernel backends degraded below the requested one",
+                requested=requested, backend=backend, **labels,
+            ).set_total(1)
         self.scanner_info = {
             "backend": backend,
+            "requested_backend": requested,
+            "fallback": requested != backend,
             "translate_evictions": counts.get("translate_evictions", 0),
             "funnel": dict(counts),
             "lines_seen": lines_seen_total,

@@ -49,9 +49,13 @@ SPAN_RUNS = "aarohi_span_runs_total"
 SPAN_RUNS_SAMPLED = "aarohi_span_runs_sampled_total"
 SPAN_STAGE_LATENCY = "aarohi_span_stage_seconds_per_record"
 
-# Scanner backend identity (str/bytes/numpy), exposed as an info-style
-# gauge: one series with a ``backend`` label, value pinned to 1.
+# Scanner backend identity (str/bytes/numpy/native), exposed as an
+# info-style gauge: one series with a ``backend`` label, value pinned
+# to 1.  When the *requested* backend degraded (native without a C
+# compiler or with a failed compile, numpy without numpy), the fallback
+# counter carries one series labelled requested=<asked>/backend=<got>.
 SCANNER_BACKEND_INFO = "aarohi_scanner_backend_info"
+SCANNER_BACKEND_FALLBACK = "aarohi_scanner_backend_fallback_total"
 
 # -- flight recorder (ISSUE 7): black-box crash capsules ---------------
 FLIGHT_CAPSULES = "aarohi_flight_capsules_total"

@@ -36,6 +36,7 @@ from .names import (
     QUALITY_PRECISION,
     QUALITY_RECALL,
     QUALITY_TRUE_POSITIVES,
+    SCANNER_BACKEND_FALLBACK,
     SCANNER_BACKEND_INFO,
     SCANNER_TRANSLATE_EVICTIONS,
     SPAN_RUNS,
@@ -112,6 +113,15 @@ def fleet_section(snapshot: dict) -> str:
             entry["labels"].get("backend", "?")
             for entry in backend_family["series"] if entry["value"]})
         rows.append(("scan backend", ", ".join(backends) or "—"))
+    fallback_family = snapshot.get(SCANNER_BACKEND_FALLBACK)
+    if fallback_family and fallback_family["series"]:
+        falls = sorted({
+            (entry["labels"].get("requested", "?"),
+             entry["labels"].get("backend", "?"))
+            for entry in fallback_family["series"] if entry["value"]})
+        if falls:
+            rows.append(("backend fallback", ", ".join(
+                f"{req}→{got}" for req, got in falls)))
     if SCANNER_TRANSLATE_EVICTIONS in snapshot:
         rows.append((
             "translate evictions",

@@ -24,7 +24,13 @@ warm starts skip regex compilation entirely:
   edit, backend switch, or compiler change misses cleanly and
   recompiles;
 * artifacts are written atomically (temp file + ``os.replace``) and
-  treated as best-effort: any unreadable/stale artifact is ignored.
+  treated as best-effort: any unreadable/stale artifact is ignored;
+* concurrent cold starts (N pool workers all missing at once) are
+  serialized by :func:`single_flight` — an ``O_EXCL`` lock file elects
+  one builder, everyone else waits for the atomic publish — so exactly
+  one compile runs per artifact.  The native backend stores its
+  compiled shared objects (``native-<digest>.so``) through the same
+  mechanism.
 
 :func:`scanner_artifact` / :func:`scanner_from_artifact` are also the
 wire format :class:`~repro.core.parallel.ParallelFleet` uses to ship
@@ -36,6 +42,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import IO, Optional, Union
@@ -210,7 +217,7 @@ def scanner_cache_dir(cache: Optional[bool] = None) -> Optional[Path]:
 def scanner_alphabet_mode(backend: str) -> str:
     """The alphabet family a kernel backend walks: byte backends share
     byte-class translate tables, the str backend keeps codepoint ones."""
-    return "byte" if backend in ("bytes", "numpy") else "str"
+    return "byte" if backend in ("bytes", "numpy", "native") else "str"
 
 
 def scanner_digest(
@@ -374,3 +381,131 @@ def save_cached_scanner(
             pass
         return None
     return path
+
+
+def single_flight(
+    directory: Path,
+    name: str,
+    build,
+    *,
+    timeout_s: float = 20.0,
+    stale_s: float = 60.0,
+) -> Optional[Path]:
+    """Build-once coordination for one cache artifact.
+
+    Exactly one concurrent caller runs ``build(tmp_path)`` (write the
+    artifact to ``tmp_path``, return True on success); the winner
+    publishes it atomically via ``os.replace`` and every waiter picks
+    up the published file.  Election is an ``O_CREAT | O_EXCL`` lock
+    file — the portable atomic primitive — extending the temp-file +
+    rename idiom the JSON writes already use.  Waiters poll; a lock
+    older than ``stale_s`` (builder died mid-compile) is broken and
+    re-elected, and a waiter that exhausts ``timeout_s`` stops trusting
+    the lock entirely and builds into a private temp itself — progress
+    is never blocked on a wedged peer, the worst case is one redundant
+    build.  Returns the final artifact path, or ``None`` when the build
+    failed or the directory is unusable.
+    """
+    final = directory / name
+    if final.exists():
+        return final
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+    except OSError:
+        return None
+    lock = directory / f".{name}.lock"
+    deadline = time.monotonic() + timeout_s
+    while True:
+        if final.exists():
+            return final
+        try:
+            fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            try:
+                age = time.time() - lock.stat().st_mtime
+            except OSError:
+                continue  # lock vanished between probes: re-elect now
+            if age > stale_s:
+                try:
+                    lock.unlink()
+                except OSError:
+                    pass
+                continue
+            if time.monotonic() >= deadline:
+                break
+            time.sleep(0.05)
+            continue
+        except OSError:
+            return None
+        os.close(fd)
+        tmp = directory / f".{name}.{os.getpid()}.tmp"
+        try:
+            if build(tmp) and tmp.exists():
+                os.replace(tmp, final)
+                return final
+            return None
+        finally:
+            for leftover in (tmp, lock):
+                try:
+                    leftover.unlink()
+                except OSError:
+                    pass
+    tmp = directory / f".{name}.{os.getpid()}.wait.tmp"
+    try:
+        if build(tmp) and tmp.exists():
+            os.replace(tmp, final)
+            return final
+        return None
+    finally:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+
+
+def compile_scanner_cached(
+    spec: LexSpec,
+    *,
+    minimized: bool = True,
+    cache: Optional[bool] = None,
+    backend: str = "str",
+) -> CompiledLexSpec:
+    """Compile ``spec`` through the artifact cache with single-flight.
+
+    The load → compile → save sequence the store and the parallel fleet
+    used to inline raced under concurrent cold starts (every pool
+    worker compiled the catalog); here the compile itself runs under
+    :func:`single_flight`, so one process builds and publishes while
+    the rest reuse the artifact.  Falls back to a plain local compile
+    whenever the cache is disabled or unusable — correctness never
+    depends on the cache.
+    """
+    compiled = load_cached_scanner(
+        spec, minimized=minimized, cache=cache, backend=backend)
+    if compiled is not None:
+        return compiled
+    directory = scanner_cache_dir(cache)
+    if directory is None:
+        return spec.compile(minimized=minimized)
+    digest = scanner_digest(spec, minimized=minimized, backend=backend)
+    result: dict = {}
+
+    def build(tmp: Path) -> bool:
+        result["compiled"] = built = spec.compile(minimized=minimized)
+        data = scanner_artifact(
+            built, minimized=minimized, digest=digest, backend=backend)
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(data, fh, separators=(",", ":"))
+        except OSError:
+            return False
+        return True
+
+    single_flight(directory, f"{digest}.json", build)
+    if "compiled" in result:
+        return result["compiled"]
+    compiled = load_cached_scanner(
+        spec, minimized=minimized, cache=cache, backend=backend)
+    if compiled is not None:
+        return compiled
+    return spec.compile(minimized=minimized)

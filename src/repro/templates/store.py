@@ -150,25 +150,24 @@ class TemplateStore:
         scanner is rebuilt from the stored tables.
 
         ``backend`` selects the kernel family (``"str"``, ``"bytes"``,
-        or ``"numpy"``; see :data:`repro.codegen.SCAN_BACKENDS`).  It is
-        resolved *before* the cache probe — ``"numpy"`` degrades to
-        ``"bytes"`` when numpy is absent — so the artifact-cache key
-        always reflects the backend actually compiled.
+        ``"numpy"``, or ``"native"``; see
+        :data:`repro.codegen.SCAN_BACKENDS`).  It is resolved *before*
+        the cache probe — ``"numpy"`` degrades to ``"bytes"`` when
+        numpy is absent, ``"native"`` when no C compiler is found — so
+        the artifact-cache key always reflects the backend actually
+        compiled.  The scanner's ``requested_backend`` keeps the
+        pre-resolution name, which is how obs detects degradation.
         """
         from .. import persistence  # late: persistence imports this module
 
+        requested = backend
         backend = resolve_backend(backend)
         spec = self.lex_spec(keep)
-        compiled = persistence.load_cached_scanner(
+        compiled = persistence.compile_scanner_cached(
             spec, minimized=minimized, cache=cache, backend=backend
         )
-        if compiled is None:
-            compiled = spec.compile(minimized=minimized)
-            persistence.save_cached_scanner(
-                compiled, minimized=minimized, cache=cache, backend=backend
-            )
         cls = CountingTemplateScanner if counting else TemplateScanner
-        return cls(compiled, backend=backend)
+        return cls(compiled, backend=backend, requested_backend=requested)
 
 
 class TemplateScanner:
@@ -205,16 +204,26 @@ class TemplateScanner:
     * ``match_span(message) -> (token | None, end)`` — longest-match
       span, for differential testing against per-template matching.
 
-    With ``backend="bytes"`` or ``"numpy"`` the kernels take raw
-    ``bytes`` records instead of ``str`` (see
+    With ``backend="bytes"``, ``"numpy"`` or ``"native"`` the kernels
+    take raw ``bytes`` records instead of ``str`` (see
     :func:`repro.codegen.emit_byte_scan_kernels_source`); callers that
     only have decoded text should go through ``tokenize_text``, which
     encodes on byte backends and is a plain alias of ``tokenize`` on
     the str backend.
+
+    ``backend`` is the kernel family actually running, which can sit
+    below what the caller asked for: ``requested_backend`` preserves
+    the request (``"native"`` whose compile failed runs ``"bytes"``
+    kernels), and :meth:`repro.obs.Obs.record_scanner` turns the
+    difference into a fallback counter.  ``scan_records`` (fused
+    ingest+scan over a raw record blob) and ``scan_hits_view``
+    (``scan_hits`` over an already-joined message blob) are the native
+    backend's extra entry points, ``None`` elsewhere.
     """
 
-    __slots__ = ("compiled", "backend", "tokenize", "tokenize_text",
-                 "scan_hits", "match_span", "memo", "_counts")
+    __slots__ = ("compiled", "backend", "requested_backend", "tokenize",
+                 "tokenize_text", "scan_hits", "match_span", "scan_records",
+                 "scan_hits_view", "memo", "_counts")
 
     _counting = False
 
@@ -224,6 +233,7 @@ class TemplateScanner:
         *,
         memo_capacity: int = 4096,
         backend: str = "str",
+        requested_backend: Optional[str] = None,
     ):
         self.compiled = compiled
         rule_tokens = [int(rule.name) for rule in compiled.spec.rules]
@@ -235,6 +245,9 @@ class TemplateScanner:
             backend=backend,
         )
         self.backend = kernels.backend
+        self.requested_backend = requested_backend or backend
+        self.scan_records = kernels.scan_records
+        self.scan_hits_view = kernels.scan_hits_view
         self.tokenize = kernels.tokenize
         if kernels.backend == "str":
             self.tokenize_text = kernels.tokenize

@@ -12,7 +12,7 @@ import io
 
 import pytest
 
-from repro.codegen import numpy_available
+from repro.codegen import native_available, numpy_available
 from repro.core import PredictorFleet
 from repro.logsim import (
     HPC3,
@@ -28,7 +28,9 @@ from repro.logsim import (
 )
 from repro.persistence import PredictorBundle
 
-BACKENDS = ["str", "bytes"] + (["numpy"] if numpy_available() else [])
+BACKENDS = ["str", "bytes"] \
+    + (["numpy"] if numpy_available() else []) \
+    + (["native"] if native_available() else [])
 
 
 @pytest.fixture(scope="module")
@@ -240,6 +242,76 @@ class TestFleetBytePath:
         # run_buffer skips per-node attribution, yet the funnel stages
         # still resolve exactly against the fleet-level line count.
         assert sum(total(name) for name, _ in FUNNEL_STAGES) == lines_seen
+
+
+@pytest.mark.skipif(not native_available(), reason="no C compiler")
+class TestFusedNativePath:
+    """run_lines with a native scanner and the plain replay shape
+    (timing off, no reorder, tolerant policy) routes through the fused
+    single-pass C kernel; everything observable must match the unfused
+    byte pipeline."""
+
+    def fused_fleet(self, gen):
+        fleet = make_fleet(gen, "native")
+        if getattr(fleet.scanner, "scan_records", None) is None:
+            pytest.skip("native kernels did not build")
+        return fleet
+
+    def test_clean_blob_matches_bytes_pipeline(self, gen, window, log_path):
+        fused = self.fused_fleet(gen).run_lines(log_path, timing="off")
+        plain = make_fleet(gen, "bytes").run_lines(log_path, timing="off")
+        assert prediction_keys(fused.predictions) == \
+            prediction_keys(plain.predictions)
+        assert fused.ingest.as_dict() == plain.ingest.as_dict()
+        assert fused.ingest.funnel_ok
+        assert fused.lines_seen == plain.lines_seen
+        assert fused.lines_tokenized == plain.lines_tokenized
+
+    def test_corrupted_blob_quarantines_identically(self, gen, window):
+        lines, report = corrupt_window(
+            window.events, CorruptionSpec.all_kinds(0.03), seed=23)
+        assert report.total_faults > 0
+        blob = "\n".join(lines).encode("utf-8") + b"\n"
+        fused = self.fused_fleet(gen).run_lines(
+            blob, on_error="quarantine", timing="off")
+        plain = make_fleet(gen, "bytes").run_lines(
+            blob, on_error="quarantine", timing="off")
+        assert prediction_keys(fused.predictions) == \
+            prediction_keys(plain.predictions)
+        assert fused.ingest.as_dict() == plain.ingest.as_dict()
+        assert fused.ingest.quarantined > 0 and fused.ingest.funnel_ok
+
+    def test_strict_policy_stays_on_unfused_path(self, gen, window):
+        # strict must attribute the first bad record in order, which
+        # the fused kernel cannot do; the clean-stream answers must
+        # nevertheless agree between the two shapes.
+        blob = "\n".join(
+            e.to_line() for e in window.events).encode() + b"\n"
+        fleet = self.fused_fleet(gen)
+        strict = fleet.run_lines(blob, on_error="strict", timing="off")
+        fused = self.fused_fleet(gen).run_lines(
+            blob, on_error="warn", timing="off")
+        assert prediction_keys(strict.predictions) == \
+            prediction_keys(fused.predictions)
+        assert strict.ingest.lines_read == fused.ingest.lines_read
+
+    def test_scanner_funnel_folds_into_obs(self, gen, window, log_path):
+        from repro.obs import LINES_SEEN, SCANNER_BACKEND_INFO, Observability
+
+        obs = Observability()
+        fleet = PredictorFleet.from_store(
+            gen.chains, gen.store, timeout=gen.recommended_timeout,
+            scan_backend="native", obs=obs)
+        if getattr(fleet.scanner, "scan_records", None) is None:
+            pytest.skip("native kernels did not build")
+        fleet.run_lines(log_path, timing="off")
+        snap = obs.registry.snapshot()
+        lines_seen = sum(
+            s["value"] for s in snap[LINES_SEEN]["series"])
+        assert lines_seen == len(window.events)
+        backends = {s["labels"]["backend"]
+                    for s in snap[SCANNER_BACKEND_INFO]["series"]}
+        assert backends == {"native"}
 
 
 class TestParallelBytePath:

@@ -1,13 +1,14 @@
-"""Differential equivalence: byte/numpy scan backends vs the str kernel.
+"""Differential equivalence: byte/numpy/native backends vs the str kernel.
 
-The byte-alphabet kernels (and the numpy lockstep sweep riding on them)
-must be observationally identical to the established str translate walk
-— token ids, match spans, batched hits, and the funnel counters — over
-all four platform catalogs, under the seeded random-template property
-suite, and on corrupted streams containing invalid UTF-8.  The
-compiled-artifact cache must key on the backend (a str artifact must
-never satisfy a bytes probe, and vice versa), and ``"numpy"`` must
-degrade to ``"bytes"`` when numpy is absent.
+The byte-alphabet kernels (the numpy lockstep sweep and the compiled C
+walk both ride on them) must be observationally identical to the
+established str translate walk — token ids, match spans, batched hits,
+and the funnel counters — over all four platform catalogs, under the
+seeded random-template property suite, and on corrupted streams
+containing invalid UTF-8.  The compiled-artifact cache must key on the
+backend (a str artifact must never satisfy a bytes probe, and vice
+versa), ``"numpy"`` must degrade to ``"bytes"`` when numpy is absent,
+and ``"native"`` must degrade the same way without a C compiler.
 """
 
 import random
@@ -15,7 +16,12 @@ import random
 import pytest
 
 from repro import codegen, persistence
-from repro.codegen import SCAN_BACKENDS, numpy_available, resolve_backend
+from repro.codegen import (
+    SCAN_BACKENDS,
+    native_available,
+    numpy_available,
+    resolve_backend,
+)
 from repro.logsim import HPC1, HPC2, HPC3, HPC4, ClusterLogGenerator
 from repro.regexlib.dfa import TranslateTable
 from repro.templates import TemplateStore
@@ -24,7 +30,10 @@ from repro.templates.masking import MASK
 from test_merged_scanner_equivalence import probe_messages, random_store
 
 PLATFORMS = [("HPC1", HPC1), ("HPC2", HPC2), ("HPC3", HPC3), ("HPC4", HPC4)]
-BYTE_BACKENDS = ("bytes", "numpy")
+# "numpy" and "native" degrade to "bytes" when their prerequisite is
+# missing, so the differential holds either way — the equality just
+# becomes (vacuously) bytes-vs-bytes on a stripped machine.
+BYTE_BACKENDS = ("bytes", "numpy", "native")
 
 
 def encode(messages):
@@ -67,20 +76,23 @@ class TestBackendDifferential:
         hits = {"str": scanners["str"].scan_hits(messages)}
         for be in BYTE_BACKENDS:
             hits[be] = scanners[be].scan_hits(raw)
-        assert hits["str"] == hits["bytes"] == hits["numpy"]
+        assert hits["str"] == hits["bytes"] == hits["numpy"] == hits["native"]
         counts = {be: list(s._counts) for be, s in scanners.items()}
-        assert counts["str"] == counts["bytes"] == counts["numpy"]
+        assert counts["str"] == counts["bytes"] == counts["numpy"] \
+            == counts["native"]
 
     @pytest.mark.parametrize("name,platform", PLATFORMS[:2])
     def test_match_span_agrees(self, name, platform):
         gen, messages = platform_probes(platform, seed=31)
         s_str = fresh_scanner(gen.store, "str")
         s_byte = fresh_scanner(gen.store, "bytes")
+        s_nat = fresh_scanner(gen.store, "native")
         for m in messages[:2500]:
             b = m.encode("utf-8", "replace")
             # Platform catalogs are pure ASCII, so the byte span's byte
             # offset and the str span's char offset coincide.
             assert s_byte.match_span(b) == s_str.match_span(m), m
+            assert s_nat.match_span(b) == s_str.match_span(m), m
 
     @pytest.mark.parametrize("seed", [1, 7, 42, 1234, 99991])
     def test_random_templates_property(self, seed):
@@ -143,12 +155,17 @@ class TestInvalidUtf8:
     def test_fallback_mode_agrees_on_non_ascii_catalog(self):
         # Non-ASCII template literals force the inexact (marker) byte
         # alphabet: flagged lines decode and re-walk the str table.
+        # The C walk has no decode path, so "native" silently drops to
+        # the byte kernels here — same answers, degraded backend.
         store = TemplateStore()
         store.add("temp sensor " + MASK + " overheat")
         store.add("видео link fault " + MASK)
         store.add("温度 warning " + MASK)
         s_byte = fresh_scanner(store, "bytes")
         assert not s_byte.compiled.dfa.byte_alphabet.exact
+        s_nat = fresh_scanner(store, "native")
+        assert s_nat.backend == "bytes"
+        assert s_nat.requested_backend == "native"
         s_str = fresh_scanner(store, "str")
         probes = ["temp sensor 9 overheat", "видео link fault x",
                   "温度 warning hot", "温度 warning", "unrelated 行",
@@ -157,6 +174,7 @@ class TestInvalidUtf8:
             b = m.encode()
             assert s_byte.tokenize(b) == s_str.tokenize(m), m
             assert s_byte.match_span(b) == s_str.match_span(m), m
+            assert s_nat.tokenize(b) == s_str.tokenize(m), m
 
 
 class TestBackendResolution:
@@ -165,7 +183,7 @@ class TestBackendResolution:
             resolve_backend("simd")
 
     def test_backends_registry(self):
-        assert SCAN_BACKENDS == ("str", "bytes", "numpy")
+        assert SCAN_BACKENDS == ("str", "bytes", "numpy", "native")
 
     def test_numpy_degrades_to_bytes_when_absent(self, monkeypatch):
         monkeypatch.setattr(codegen, "_NUMPY", False)
@@ -184,6 +202,25 @@ class TestBackendResolution:
         scanner = store.compile_scanner(cache=False, backend="numpy")
         assert scanner.backend == "numpy"
 
+    def test_native_degrades_to_bytes_when_no_compiler(self, monkeypatch):
+        monkeypatch.setattr(codegen, "native_available", lambda: False)
+        assert resolve_backend("native") == "bytes"
+        store = TemplateStore()
+        store.add("link failed " + MASK)
+        scanner = store.compile_scanner(cache=False, backend="native")
+        assert scanner.backend == "bytes"
+        assert scanner.requested_backend == "native"
+        assert scanner.tokenize(b"link failed x") is not None
+
+    @pytest.mark.skipif(not native_available(), reason="no C compiler")
+    def test_native_backend_reports_native(self):
+        store = TemplateStore()
+        store.add("link failed " + MASK)
+        scanner = store.compile_scanner(cache=False, backend="native")
+        assert scanner.backend == "native"
+        assert scanner.requested_backend == "native"
+        assert scanner.scan_records is not None
+
 
 class TestArtifactCacheBackendKey:
     def test_backend_in_cache_key(self, tmp_path, monkeypatch):
@@ -196,6 +233,11 @@ class TestArtifactCacheBackendKey:
         # separately on the backend name.
         assert persistence.scanner_digest(spec, backend="bytes") != \
             persistence.scanner_digest(spec, backend="numpy")
+        # native shares the byte alphabet mode too, and still keys apart
+        # from both of its siblings.
+        digests = {persistence.scanner_digest(spec, backend=be)
+                   for be in SCAN_BACKENDS}
+        assert len(digests) == len(SCAN_BACKENDS)
 
         gen.store.compile_scanner(backend="bytes")  # cold: persists
         artifacts = list(tmp_path.glob("*.json"))
