@@ -17,6 +17,17 @@ Thin wrappers over the library so each piece of the paper's workflow
   the ``/debug/*`` plane over HTTP
 * ``obs-rules`` — lint an alert-rules file (``--check``, exit 2 on
   problems) or print the shipped default ruleset as TOML
+* ``serve`` — persistent sharded live-ingest daemon: accept line
+  streams over TCP / unix sockets, tail rotating files, survive worker
+  death via chain-state handoff, and serve the obs HTTP plane
+* ``stream`` — replay a log file *as a live stream* (optionally paced
+  against event time) to a ``serve`` daemon or stdout
+
+Long-running commands (``predict``, ``obs-serve``, ``serve``) install
+a SIGTERM handler: on termination they drain gracefully — flush a
+``shutdown`` flight capsule and write the final ``--metrics`` snapshot
+— and exit 143, so an orchestrator's ``kill`` never loses the run's
+accounting.
 """
 
 from __future__ import annotations
@@ -24,6 +35,7 @@ from __future__ import annotations
 import argparse
 import json as _json
 import math
+import signal
 import sys
 import time
 from statistics import mean
@@ -61,6 +73,45 @@ from .obs import (
     inter_arrival_budget,
 )
 from .reporting import render_table
+
+
+SIGTERM_EXIT = 143  # 128 + SIGTERM, the conventional termination code
+
+
+class _Terminated(Exception):
+    """Raised by the SIGTERM handler to unwind into the graceful-drain
+    path of whatever command is running."""
+
+    def __init__(self, signame: str = "SIGTERM"):
+        super().__init__(signame)
+        self.signame = signame
+
+
+def _install_sigterm() -> None:
+    """Route SIGTERM through :class:`_Terminated` so ``finally`` blocks
+    and context managers run (a bare default handler would kill the
+    process mid-write).  A no-op off the main thread, where Python
+    forbids signal handlers (tests drive commands in-process)."""
+
+    def handler(signum, frame):
+        raise _Terminated(signal.Signals(signum).name)
+
+    try:
+        signal.signal(signal.SIGTERM, handler)
+    except ValueError:
+        pass
+
+
+def _flush_shutdown(obs, signame: str) -> None:
+    """Freeze the flight ring into a shutdown capsule (when armed) and
+    say where it landed."""
+    if obs is None:
+        return
+    text = obs.flush_shutdown(signal=signame)
+    if text is not None and obs.flight is not None \
+            and obs.flight.last_capsule_path is not None:
+        print(f"flight capsule (shutdown): {obs.flight.last_capsule_path}",
+              file=sys.stderr)
 
 
 def _add_system_arg(parser: argparse.ArgumentParser) -> None:
@@ -326,6 +377,7 @@ def _run_watched(
 
 
 def cmd_predict(args: argparse.Namespace) -> int:
+    _install_sigterm()
     config = system_by_name(args.system)
     obs = _make_obs(args, config)
     gen = ClusterLogGenerator(config, seed=args.seed)
@@ -334,26 +386,35 @@ def cmd_predict(args: argparse.Namespace) -> int:
         backend=args.backend, obs=obs,
         scan_backend=getattr(args, "scan_backend", "str"),
     )
-    if getattr(args, "watch", False):
-        ingest = IngestStats()
-        events = _read_events(args, ingest)
-        report = _run_watched(fleet, events, obs, args.slices)
-        if obs is not None and ingest.lines_read:
-            obs.record_ingest(ingest)
-    elif getattr(fleet.scanner, "backend", "str") != "str":
-        # Byte pipeline: mmap → byte kernels, rejected lines never
-        # decoded; run_lines folds ingest into obs itself.
-        report = fleet.run_lines(
-            args.log, on_error=args.on_error,
-            reorder_horizon=args.reorder_horizon, timing="off",
-        )
-        ingest = report.ingest
-    else:
-        ingest = IngestStats()
-        events = _read_events(args, ingest)
-        report = fleet.run(events)
-        if obs is not None and ingest.lines_read:
-            obs.record_ingest(ingest)
+    try:
+        if getattr(args, "watch", False):
+            ingest = IngestStats()
+            events = _read_events(args, ingest)
+            report = _run_watched(fleet, events, obs, args.slices)
+            if obs is not None and ingest.lines_read:
+                obs.record_ingest(ingest)
+        elif getattr(fleet.scanner, "backend", "str") != "str":
+            # Byte pipeline: mmap → byte kernels, rejected lines never
+            # decoded; run_lines folds ingest into obs itself.
+            report = fleet.run_lines(
+                args.log, on_error=args.on_error,
+                reorder_horizon=args.reorder_horizon, timing="off",
+            )
+            ingest = report.ingest
+        else:
+            ingest = IngestStats()
+            events = _read_events(args, ingest)
+            report = fleet.run(events)
+            if obs is not None and ingest.lines_read:
+                obs.record_ingest(ingest)
+    except _Terminated as term:
+        # Graceful drain: everything processed so far is accounted —
+        # shutdown capsule + final metrics snapshot, then the
+        # conventional 143.
+        print(f"predict: {term.signame} — draining", file=sys.stderr)
+        _flush_shutdown(obs, term.signame)
+        _finish_obs(args, obs)
+        return SIGTERM_EXIT
     _finish_obs(args, obs)
     if args.json:
         scanner = fleet.scanner
@@ -710,7 +771,9 @@ def cmd_obs_serve(args: argparse.Namespace) -> int:
     """Replay a log through a live-instrumented fleet while serving
     ``/metrics``, ``/healthz``, ``/quality``, and ``/debug/*``.  Exit
     code reflects the final deadline verdict (0 = feasible, 1 = budget
-    blown)."""
+    blown); SIGTERM drains gracefully (shutdown capsule + final
+    ``--metrics`` snapshot) and exits 143."""
+    _install_sigterm()
     config = system_by_name(args.system)
     gen = ClusterLogGenerator(config, seed=args.seed)
     live = LiveMonitor(inter_arrival_budget(config))
@@ -741,37 +804,216 @@ def cmd_obs_serve(args: argparse.Namespace) -> int:
             print(summary, flush=True)
     n_slices = max(1, args.slices)
     size = max(1, math.ceil(len(events) / n_slices)) if events else 1
-    with ObsServer(obs, host=args.host, port=args.port) as server:
-        print(f"serving {server.url('/metrics')} "
-              f"(also /healthz /quality /alerts /debug/spans "
-              f"/debug/flight /debug/vars /debug/history)", flush=True)
-        for start in range(0, len(events), size):
-            fleet.run(events[start:start + size])
-            if args.pace > 0:
-                time.sleep(args.pace)
-        verdict = live.verdict()
-        if verdict is not None:
-            state = "PASS" if verdict.ok else "FAIL"
-            print(f"deadline {state}: p{verdict.quantile:g} latency "
-                  f"{verdict.latency * 1e3:.4f} ms vs budget "
-                  f"{verdict.budget * 1e3:.4f} ms "
-                  f"({verdict.observed} predictions, "
-                  f"burn {verdict.burn_rate:.3f})")
-        firing = obs.rules.firing() if obs.rules is not None else []
-        if firing:
-            print("alerts firing: " + ", ".join(
-                f"{r.id} ({r.severity})" for r in firing))
-        if flight is not None and flight.last_capsule_path is not None:
-            print(f"flight capsule ({flight.last_reason}): "
-                  f"{flight.last_capsule_path}")
-        if args.hold:
-            print("stream done; serving until interrupted (Ctrl-C)")
-            try:
-                while True:
-                    time.sleep(1.0)
-            except KeyboardInterrupt:
-                pass
+
+    def write_metrics() -> None:
+        if getattr(args, "metrics", None):
+            with open(args.metrics, "w", encoding="utf-8") as fh:
+                fh.write(obs.prometheus())
+
+    try:
+        with ObsServer(obs, host=args.host, port=args.port) as server:
+            print(f"serving {server.url('/metrics')} "
+                  f"(also /healthz /quality /alerts /debug/spans "
+                  f"/debug/flight /debug/vars /debug/history)", flush=True)
+            for start in range(0, len(events), size):
+                fleet.run(events[start:start + size])
+                if args.pace > 0:
+                    time.sleep(args.pace)
+            verdict = live.verdict()
+            if verdict is not None:
+                state = "PASS" if verdict.ok else "FAIL"
+                print(f"deadline {state}: p{verdict.quantile:g} latency "
+                      f"{verdict.latency * 1e3:.4f} ms vs budget "
+                      f"{verdict.budget * 1e3:.4f} ms "
+                      f"({verdict.observed} predictions, "
+                      f"burn {verdict.burn_rate:.3f})")
+            firing = obs.rules.firing() if obs.rules is not None else []
+            if firing:
+                print("alerts firing: " + ", ".join(
+                    f"{r.id} ({r.severity})" for r in firing))
+            if flight is not None and flight.last_capsule_path is not None:
+                print(f"flight capsule ({flight.last_reason}): "
+                      f"{flight.last_capsule_path}")
+            if args.hold:
+                print("stream done; serving until interrupted (Ctrl-C)",
+                      flush=True)
+                try:
+                    while True:
+                        time.sleep(1.0)
+                except KeyboardInterrupt:
+                    pass
+    except _Terminated as term:
+        # Graceful drain: the ObsServer context already closed on
+        # unwind; freeze the capsule + final snapshot and exit 143.
+        print(f"obs-serve: {term.signame} — draining", file=sys.stderr)
+        _flush_shutdown(obs, term.signame)
+        write_metrics()
+        return SIGTERM_EXIT
+    write_metrics()
     return 0 if verdict is None or verdict.ok else 1
+
+
+def _parse_endpoint(value: str, default_host: str = "127.0.0.1"):
+    """``HOST:PORT``, ``:PORT``, or bare ``PORT`` → ``(host, port)``."""
+    host, sep, port = value.rpartition(":")
+    if not sep:
+        host, port = default_host, value
+    if not host:
+        host = default_host
+    try:
+        return host, int(port)
+    except ValueError:
+        raise SystemExit(f"invalid endpoint {value!r}: want HOST:PORT")
+
+
+def _serve_bundle(args: argparse.Namespace):
+    """The daemon's predictor bundle: an explicit ``--bundle`` file, or
+    one derived from the simulator's trained chains (needs numpy)."""
+    from .persistence import BundleError, PredictorBundle
+
+    if args.bundle:
+        try:
+            return PredictorBundle.load(args.bundle)
+        except (OSError, BundleError) as exc:
+            raise SystemExit(f"serve: cannot load bundle "
+                             f"{args.bundle!r}: {exc}")
+    gen = ClusterLogGenerator(system_by_name(args.system), seed=args.seed)
+    return PredictorBundle(
+        store=gen.store, chains=gen.chains,
+        timeout=gen.recommended_timeout, system=args.system)
+
+
+def _make_serve_history(history_interval, rules_source):
+    """Serve self-monitors by default with the daemon ruleset (the
+    shipped rules plus shard-down / handoff-spike / backpressure);
+    explicit flags win."""
+    from .obs import HistoryRing, RuleEngine, daemon_ruleset
+
+    if history_interval is None and rules_source is None:
+        return HistoryRing(), RuleEngine(daemon_ruleset())
+    return _make_history(history_interval, rules_source, default_on=False)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the sharded live-ingest daemon until SIGTERM/SIGINT, then
+    drain gracefully and write the run's accounting."""
+    from .core.daemon import FleetDaemon
+
+    _install_sigterm()
+    bundle = _serve_bundle(args)
+    flight = (FlightRecorder(directory=args.flight_dir)
+              if args.flight_dir else None)
+    history, rules = _make_serve_history(args.history, args.rules)
+    obs = Observability(flight=flight, history=history, rules=rules)
+    try:
+        daemon = FleetDaemon(
+            bundle,
+            n_shards=args.shards,
+            on_error=args.on_error,
+            scan_backend=getattr(args, "scan_backend", "str"),
+            chunk_lines=args.chunk_lines,
+            high_water_chunks=args.high_water,
+            reorder_horizon=args.reorder_horizon,
+            obs=obs,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"serve: {exc}")
+    daemon.start()
+    if not daemon.wait_ready(60.0):
+        daemon.stop(drain=False)
+        raise SystemExit("serve: workers failed to come up")
+    endpoints = []
+    # No explicit source → an ephemeral TCP listener, so a bare
+    # ``aarohi serve`` is immediately usable (the bound port prints).
+    if args.tcp or not (args.unix or args.tail):
+        host, port = _parse_endpoint(args.tcp or "127.0.0.1:0")
+        bound = daemon.listen_tcp(host, port)
+        endpoints.append(f"tcp {bound[0]}:{bound[1]}")
+    if args.unix:
+        endpoints.append(f"unix {daemon.listen_unix(args.unix)}")
+    for path in args.tail or []:
+        daemon.tail_file(path)
+        endpoints.append(f"tail {path}")
+    server = None
+    if args.http_port is not None:
+        server = ObsServer(
+            obs, host=args.http_host, port=args.http_port).start()
+        endpoints.append(f"http {server.url('/metrics')}")
+    print("serve: " + "; ".join(endpoints), flush=True)
+    print(f"daemon ready: {args.shards} shard(s), "
+          f"on_error={args.on_error}", flush=True)
+    signame = None
+    try:
+        while True:
+            time.sleep(0.5)
+    except KeyboardInterrupt:
+        signame = "SIGINT"
+    except _Terminated as term:
+        signame = term.signame
+    print(f"serve: {signame} — draining", file=sys.stderr, flush=True)
+    report = daemon.stop(drain=True)
+    _flush_shutdown(obs, signame)
+    if args.metrics:
+        with open(args.metrics, "w", encoding="utf-8") as fh:
+            fh.write(obs.prometheus())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            for p in report.predictions:
+                fh.write(_json.dumps({
+                    "node": p.node,
+                    "chain": p.chain_id,
+                    "flagged_at": p.flagged_at,
+                    "prediction_time": p.prediction_time,
+                }) + "\n")
+        print(f"wrote {len(report.predictions)} predictions to {args.out}",
+              file=sys.stderr)
+    if server is not None:
+        server.close()
+    status = daemon.status()
+    summary = _ingest_summary(report.ingest)
+    drained = "drained" if report.drained else "DRAIN TIMED OUT"
+    print(f"serve: {drained}; {len(report.predictions)} predictions; "
+          f"{status['worker_deaths']} worker death(s), "
+          f"{status['handoffs']} handoff(s), "
+          f"{status['chains_restored']} chain(s) restored",
+          file=sys.stderr)
+    if summary is not None:
+        print(summary, file=sys.stderr)
+    return SIGTERM_EXIT if signame == "SIGTERM" else 0
+
+
+def cmd_stream(args: argparse.Namespace) -> int:
+    """Replay a log file as a live byte stream — the forwarder half of
+    a ``serve`` drill — to a TCP endpoint or stdout."""
+    import socket
+
+    from .logsim import file_sink, stream_log, tcp_sink
+
+    if args.pace < 0:
+        raise SystemExit("stream: --pace must be >= 0")
+    try:
+        if args.tcp:
+            host, port = _parse_endpoint(args.tcp)
+            with socket.create_connection((host, port)) as sock:
+                stats = stream_log(
+                    args.log, tcp_sink(sock),
+                    pace=args.pace, chunk=args.chunk)
+        else:
+            stats = stream_log(
+                args.log, file_sink(sys.stdout.buffer),
+                pace=args.pace, chunk=args.chunk)
+    except OSError as exc:
+        raise SystemExit(f"stream: {exc}")
+    parts = [f"streamed {stats.lines} lines "
+             f"({stats.bytes_sent} bytes, {stats.flushes} flushes)"]
+    if stats.sleeps:
+        parts.append(f"slept {stats.slept_seconds:.2f}s "
+                     f"across {stats.sleeps} waits")
+    if stats.unparsed_times:
+        parts.append(f"{stats.unparsed_times} records inherited their "
+                     "schedule (unparseable timestamps)")
+    print("; ".join(parts), file=sys.stderr)
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -907,8 +1149,73 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rules", default=None, metavar="RULES",
                    help="alert rules: a [[rule]] TOML file or 'default' "
                         "(default: the shipped ruleset; serves /alerts)")
+    p.add_argument("--metrics", metavar="OUT.prom", default=None,
+                   help="write the final metrics snapshot here on exit "
+                        "(including SIGTERM graceful drain)")
     _add_ingest_args(p)
     p.set_defaults(func=cmd_obs_serve)
+
+    p = sub.add_parser(
+        "serve",
+        help="persistent sharded live-ingest daemon (TCP/unix/tail)")
+    _add_system_arg(p)
+    p.add_argument("--bundle", default=None, metavar="BUNDLE.json",
+                   help="serve this saved predictor bundle instead of "
+                        "deriving one from the simulator (no numpy "
+                        "needed)")
+    p.add_argument("--shards", type=int, default=2,
+                   help="worker shard processes (default 2)")
+    p.add_argument("--tcp", default=None, metavar="HOST:PORT",
+                   help="accept line streams on this TCP endpoint "
+                        "(port 0 = ephemeral; default when no source "
+                        "flag is given: 127.0.0.1:0)")
+    p.add_argument("--unix", default=None, metavar="PATH",
+                   help="accept line streams on a unix socket at PATH")
+    p.add_argument("--tail", action="append", default=None, metavar="FILE",
+                   help="follow FILE like tail -F, surviving logrotate "
+                        "(repeatable)")
+    p.add_argument("--http-host", default="127.0.0.1")
+    p.add_argument("--http-port", type=int, default=None, metavar="PORT",
+                   help="serve /metrics /healthz /alerts /debug/* on "
+                        "this port (0 = ephemeral; default: no HTTP)")
+    p.add_argument("--chunk-lines", type=int, default=256,
+                   help="lines per worker chunk (default 256)")
+    p.add_argument("--high-water", type=int, default=32,
+                   help="unacked chunks per shard before ingest stalls "
+                        "(backpressure; default 32)")
+    p.add_argument("--scan-backend", default="str",
+                   choices=["str", "bytes", "numpy", "native"],
+                   help="scan kernel family (see predict --scan-backend)")
+    p.add_argument("--out", default=None, metavar="PRED.jsonl",
+                   help="write the session's predictions here on exit")
+    p.add_argument("--metrics", metavar="OUT.prom", default=None,
+                   help="write the final metrics snapshot here on exit")
+    p.add_argument("--flight-dir", default=None, metavar="DIR",
+                   help="arm the flight recorder (shutdown + alert "
+                        "capsules land in DIR)")
+    p.add_argument("--history", type=float, default=None, metavar="SECONDS",
+                   help="history-ring capture interval (default: armed "
+                        "with interval 0 — every supervisor tick)")
+    p.add_argument("--rules", default=None, metavar="RULES",
+                   help="alert rules: a [[rule]] TOML file or 'default' "
+                        "(default: the daemon ruleset — shipped rules "
+                        "plus shard-down/handoff/backpressure)")
+    _add_ingest_args(p)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "stream",
+        help="replay a log file as a live (optionally paced) stream")
+    p.add_argument("--log", required=True)
+    p.add_argument("--tcp", default=None, metavar="HOST:PORT",
+                   help="stream to this TCP endpoint (default: stdout)")
+    p.add_argument("--pace", type=float, default=0.0,
+                   help="speed multiplier over event time: 1 = real "
+                        "time, 60 = a minute of log per second "
+                        "(default 0 = blast)")
+    p.add_argument("--chunk", type=int, default=256,
+                   help="records per sink write (default 256)")
+    p.set_defaults(func=cmd_stream)
 
     p = sub.add_parser("fieldstudy", help="longitudinal failure statistics")
     _add_system_arg(p)

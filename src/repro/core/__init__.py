@@ -7,12 +7,14 @@
 * :mod:`.matcher` — Algorithm 2's O(1)-per-token rule checker
 * :mod:`.predictor` — the online predictor (scan → tokenize → parse → flag)
 * :mod:`.fleet` — per-node predictor instances over a cluster stream
+* :mod:`.daemon` — persistent sharded live-ingest service (``aarohi serve``)
 * :mod:`.leadtime` — prediction↔failure pairing and lead-time metrics
 """
 
 from .adaptive import AdaptationEvent, AdaptiveFleet
 from .audit import AuditLog, AuditRecord, read_audit_log
 from .chains import ChainSet, FailureChain, common_subchains
+from .daemon import DaemonReport, FleetDaemon
 from .events import LogEvent, NodeFailure, Prediction, Severity, TokenEvent
 from .fleet import FleetReport, PredictorFleet
 from .grammar_builder import build_chain_tables, factored_grammar, flat_grammar
@@ -31,7 +33,9 @@ __all__ = [
     "ChainMatcher",
     "ChainRule",
     "ChainSet",
+    "DaemonReport",
     "FactoredRule",
+    "FleetDaemon",
     "FailureChain",
     "FleetReport",
     "LeadTimeRecord",

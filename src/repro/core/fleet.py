@@ -759,6 +759,36 @@ class PredictorFleet:
             # event time, so paced replays and live streams look alike.
             obs.record_history()
 
+    # -- state handoff ---------------------------------------------------
+    def state_snapshot(self) -> dict:
+        """Serializable fleet state for worker handoff: per-node
+        predictor snapshots, **mid-chain nodes only** (idle nodes carry
+        no state worth shipping and are rebuilt lazily on their next
+        line).  Per-node state is a few scalars, so even a fleet with
+        thousands of instantiated predictors snapshots in microseconds.
+        """
+        nodes: Dict[str, dict] = {}
+        for node, predictor in self._predictors.items():
+            state = predictor.state_snapshot()
+            if state is not None:
+                nodes[node] = state
+        return {"backend": self.backend, "nodes": nodes}
+
+    def restore_state(self, state: dict) -> int:
+        """Adopt a :meth:`state_snapshot` from an equivalent fleet (same
+        chain set and backend) — how a replacement worker inherits the
+        dead shard's in-flight chains.  Returns the number of node
+        states restored."""
+        backend = state.get("backend", self.backend)
+        if backend != self.backend:
+            raise ValueError(
+                f"fleet snapshot from backend {backend!r} cannot restore "
+                f"into a {self.backend!r} fleet")
+        nodes = state.get("nodes", {})
+        for node, node_state in nodes.items():
+            self.predictor_for(node).restore_state(node_state)
+        return len(nodes)
+
     @property
     def nodes(self) -> List[str]:
         return sorted(self._predictors)

@@ -139,6 +139,54 @@ class ChainMatcher:
         self._tracer = tracer
         self._trace_node = node
 
+    def state_snapshot(self) -> Optional[dict]:
+        """Serializable matcher state, or ``None`` when no chain is
+        active.
+
+        The whole per-node state is four scalars (§III: "per-node state
+        is three integers"), so a snapshot is a tiny JSON-safe dict keyed
+        by the *chain id string* — never the rule index, which is an
+        artifact of catalog ordering and would silently mis-restore
+        across a reordered (but semantically identical) chain set.
+        """
+        if self._active < 0:
+            return None
+        return {
+            "chain": self._chain_ids[self._active],
+            "pos": self._pos,
+            "last_time": self._last_time,
+            "start_time": self._start_time,
+        }
+
+    def restore_state(self, state: Optional[dict]) -> None:
+        """Adopt a :meth:`state_snapshot` taken from an equivalent
+        matcher (same chain set), e.g. on worker handoff.
+
+        ``None`` restores the idle state.  Tracing does not survive a
+        handoff — the chain re-enters the sampling lottery on its next
+        activation rather than pretending continuity across processes.
+        """
+        self._trace_chain = False
+        if state is None:
+            self._active = -1
+            self._pos = 0
+            return
+        chain = state["chain"]
+        try:
+            idx = self._chain_ids.index(chain)
+        except ValueError:
+            raise ValueError(f"unknown chain id {chain!r}") from None
+        pos = int(state["pos"])
+        if not 1 <= pos < len(self._sequences[idx]):
+            # pos == len(seq) completes the rule and is never
+            # snapshotted; pos == 0 means idle, which is ``None``.
+            raise ValueError(
+                f"position {pos} out of range for chain {chain!r}")
+        self._active = idx
+        self._pos = pos
+        self._last_time = float(state["last_time"])
+        self._start_time = float(state["start_time"])
+
     def reset(self) -> None:
         tracer = self._tracer
         if tracer is not None and self._trace_chain and self._active >= 0:

@@ -67,6 +67,17 @@ def shard_of(node: str, n_shards: int) -> int:
     return h % n_shards
 
 
+def route_key(line: str) -> str:
+    """The shard-routing key of one serialized line: the header's node
+    field when the line splits, else the whole line (so a malformed
+    line always lands on — and is quarantined by — the same worker).
+    Shared by :meth:`ParallelFleet.run_lines` and the live daemon
+    (:mod:`repro.core.daemon`), which must route identically for
+    stream-vs-batch prediction equivalence to hold."""
+    parts = line.split(" ", 2)
+    return parts[1] if len(parts) == 3 else line
+
+
 def partition_events(
     events: Sequence[LogEvent], n_shards: int
 ) -> List[List[LogEvent]]:

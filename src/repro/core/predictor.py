@@ -363,6 +363,36 @@ class AarohiPredictor:
         self._engine.reset()
         self._chain_cost = 0.0
 
+    # -- state handoff ---------------------------------------------------
+    def state_snapshot(self) -> Optional[dict]:
+        """Serializable in-flight state: the engine's chain progress plus
+        the accumulated chain-check cost.  ``None`` when there is nothing
+        worth shipping (idle engine, zero cost) — the common case, so a
+        fleet snapshot only carries nodes that are mid-chain."""
+        engine_state = self._engine.state_snapshot()
+        if engine_state is None and self._chain_cost == 0.0:
+            return None
+        return {
+            "backend": self.backend,
+            "engine": engine_state,
+            "chain_cost": self._chain_cost,
+        }
+
+    def restore_state(self, state: Optional[dict]) -> None:
+        """Adopt a :meth:`state_snapshot` from an equivalent predictor
+        (same chains, same backend) — the worker-handoff path."""
+        if state is None:
+            self._engine.restore_state(None)
+            self._chain_cost = 0.0
+            return
+        backend = state.get("backend", self.backend)
+        if backend != self.backend:
+            raise ValueError(
+                f"snapshot from backend {backend!r} cannot restore into "
+                f"a {self.backend!r} predictor")
+        self._engine.restore_state(state["engine"])
+        self._chain_cost = float(state.get("chain_cost", 0.0))
+
 
 class _Engine:
     def feed(self, token: int, time: float) -> Optional[Match]:  # pragma: no cover
@@ -372,6 +402,12 @@ class _Engine:
         raise NotImplementedError
 
     def set_tracer(self, tracer, node: str) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def state_snapshot(self) -> Optional[dict]:  # pragma: no cover
+        raise NotImplementedError
+
+    def restore_state(self, state: Optional[dict]) -> None:  # pragma: no cover
         raise NotImplementedError
 
     @property
@@ -391,6 +427,12 @@ class _MatcherEngine(_Engine):
 
     def set_tracer(self, tracer, node: str) -> None:
         self.matcher.set_tracer(tracer, node)
+
+    def state_snapshot(self) -> Optional[dict]:
+        return self.matcher.state_snapshot()
+
+    def restore_state(self, state: Optional[dict]) -> None:
+        self.matcher.restore_state(state)
 
     @property
     def stats(self) -> MatcherStats:
@@ -510,3 +552,42 @@ class _LalrEngine(_Engine):
         self._trace_chain = False
         self.parser.reset()
         self._tokens.clear()
+
+    def state_snapshot(self) -> Optional[dict]:
+        """The LALR configuration is reconstructible from the consumed
+        token sequence (every fed token was a non-ERROR transition), so
+        the snapshot ships the token list, not the parser stack."""
+        if self.parser.depth == 0:
+            return None
+        return {
+            "tokens": list(self._tokens),
+            "last_time": self._last_time,
+            "start_time": self._start_time,
+        }
+
+    def restore_state(self, state: Optional[dict]) -> None:
+        """Rebuild the mid-chain configuration by replaying the
+        snapshot's tokens through a reset parser — deterministic, and
+        immune to parser-stack representation changes across versions.
+        Stats are untouched: the replayed transitions were already
+        counted by the process that took the snapshot."""
+        self._trace_chain = False
+        self.parser.reset()
+        self._tokens.clear()
+        if state is None:
+            return
+        parser = self.parser
+        names = self._names
+        for tok in state["tokens"]:
+            name = names.get(tok)
+            if name is None:
+                name = names[tok] = terminal_name(tok)
+            if parser.feed(name, tok) is FeedResult.ERROR:
+                parser.reset()
+                self._tokens.clear()
+                raise ValueError(
+                    f"token {tok} does not replay into a viable LALR "
+                    f"configuration (incompatible chain set?)")
+            self._tokens.append(tok)
+        self._last_time = float(state["last_time"])
+        self._start_time = float(state["start_time"])

@@ -29,6 +29,7 @@ try:
     SIMULATOR_AVAILABLE = True
 except ImportError:
     SIMULATOR_AVAILABLE = False
+from .emitter import EmitStats, file_sink, parse_time_prefix, stream_log, tcp_sink
 from .placement import ClusterProfile, PlacementResult, compare_placements, evaluate_placement
 from .stream import (
     ERROR_POLICIES,
@@ -66,6 +67,7 @@ __all__ = [
     "CorruptionSpec",
     "DeltaTModel",
     "ERROR_POLICIES",
+    "EmitStats",
     "HPC1",
     "HPC2",
     "HPC3",
@@ -89,8 +91,10 @@ __all__ = [
     "corrupt_window",
     "decode_lines",
     "evaluate_placement",
+    "file_sink",
     "iter_byte_records",
     "merge_streams",
+    "parse_time_prefix",
     "read_byte_batch",
     "read_log",
     "read_record_batch",
@@ -98,7 +102,9 @@ __all__ = [
     "sort_record_batch",
     "sorted_stream",
     "split_by_node",
+    "stream_log",
     "system_by_name",
+    "tcp_sink",
     "write_log",
     "write_truth",
 ]

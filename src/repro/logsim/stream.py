@@ -172,10 +172,11 @@ class SortBuffer:
     event displaced by at most the horizon comes out sorted, with
     bounded memory and latency.
 
-    Events arriving *behind* the emit watermark (displaced further than
-    the horizon) cannot be re-inserted without unbounded buffering; they
-    are emitted immediately and counted as ``late`` — the downstream
-    negative-ΔT clamp keeps them harmless.
+    Events arriving at or behind the emit watermark (displaced further
+    than the horizon, or tying a timestamp whose slot was already
+    released) cannot be re-inserted without breaking the emitted
+    order; they are emitted immediately and counted as ``late`` — the
+    downstream negative-ΔT clamp keeps them harmless.
     """
 
     def __init__(self, horizon_s: float, stats: Optional[IngestStats] = None):
@@ -193,9 +194,14 @@ class SortBuffer:
         stats = self.stats
         if event.time < self._high_water:
             stats.reordered += 1
-        if event.time < self._emitted_to:
+        if event.time <= self._emitted_to:
             # Too late to re-order: the slot it belongs in was already
-            # emitted.  Ship it now rather than stall or drop.
+            # emitted.  That includes a timestamp *equal* to the emit
+            # watermark — its tie slot was released when ``_emitted_to``
+            # reached it, so re-entering the heap would emit it behind
+            # an already-emitted equal-timestamp event, silently
+            # breaking the FIFO tie order the buffer guarantees.  Ship
+            # it now (still non-decreasing in time) and count it late.
             stats.late += 1
             return [event]
         heapq.heappush(self._heap, (event.time, self._seq, event))

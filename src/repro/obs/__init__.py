@@ -71,6 +71,7 @@ from .flight import (
     TRIGGER_DRIFT,
     TRIGGER_QUARANTINE,
     TRIGGER_REASONS,
+    TRIGGER_SHUTDOWN,
     read_capsule,
 )
 from .history import (
@@ -98,6 +99,19 @@ from .names import (  # noqa: F401  (canonical names, re-exported)
     CHAIN_ACTIVATIONS,
     CHAIN_MATCHES,
     CHAIN_TIMEOUTS,
+    DAEMON_BACKPRESSURE_STALLS,
+    DAEMON_CHAINS_RESTORED,
+    DAEMON_CONNECTIONS_ACTIVE,
+    DAEMON_CONNECTIONS_TOTAL,
+    DAEMON_HANDOFFS,
+    DAEMON_LINES_RECEIVED,
+    DAEMON_QUEUE_CHUNKS,
+    DAEMON_SHARDS,
+    DAEMON_SHARDS_DOWN,
+    DAEMON_SHARDS_UP,
+    DAEMON_TAIL_ROTATIONS,
+    DAEMON_UPTIME_SECONDS,
+    DAEMON_WORKER_DEATHS,
     DEADLINE_BREACHES,
     DEADLINE_BUDGET,
     DEADLINE_OK,
@@ -170,8 +184,10 @@ from .names import (  # noqa: F401  (canonical names, re-exported)
 from .quality import DiscardDriftDetector, QualityScore, QualityScoreboard
 from .rules import (
     AlertRule,
+    DAEMON_RULES,
     DEFAULT_RULES,
     RuleEngine,
+    daemon_ruleset,
     default_ruleset,
     load_rules,
     rules_to_toml,
@@ -277,7 +293,35 @@ class Observability:
         # Scanner identity stash (backend, funnel totals) for
         # /debug/vars and the ``predict --json`` scanner block.
         self.scanner_info: dict = {}
+        # Pluggable surface extensions (the daemon mounts its service
+        # plane through these instead of the facade hardcoding it):
+        # health hooks contribute named /healthz blocks and can flip
+        # the probe red; debug providers contribute /debug/vars blocks.
+        self._health_hooks: dict = {}
+        self._debug_providers: dict = {}
         self.lock = threading.RLock()
+
+    # -- surface extension hooks ---------------------------------------
+    @property
+    def health_hooks(self) -> dict:
+        return dict(self._health_hooks)
+
+    def add_health_hook(self, name: str, hook) -> None:
+        """Register ``hook() -> dict`` to contribute the ``name`` block
+        of every ``/healthz`` payload.  A block carrying ``"ok": False``
+        flips the probe to ``failing`` — how the daemon surfaces a dead
+        shard without the facade knowing what a shard is.  Hooks run
+        under the facade lock; keep them allocation-light."""
+        if not callable(hook):
+            raise TypeError("health hook must be callable")
+        self._health_hooks[name] = hook
+
+    def add_debug_provider(self, name: str, provider) -> None:
+        """Register ``provider() -> dict`` as the ``name`` block of
+        every ``/debug/vars`` payload (expvar-style)."""
+        if not callable(provider):
+            raise TypeError("debug provider must be callable")
+        self._debug_providers[name] = provider
 
     # -- fold-in paths (called per batch / run, never per event) -------
     @_locked
@@ -637,6 +681,21 @@ class Observability:
             FLIGHT_EVENTS_BUFFERED, "lifecycle notes in the flight ring",
             **labels).set(flight.buffered)
 
+    @_locked
+    def flush_shutdown(self, **fields) -> Optional[str]:
+        """Freeze the flight ring into a ``shutdown`` capsule — the
+        graceful-drain path (SIGTERM, daemon stop).  No-op without a
+        recorder armed; sticky like every trigger, so a SIGTERM racing
+        a second shutdown path still dumps exactly one capsule.
+        Returns the capsule text when one was written."""
+        flight = self.flight
+        if flight is None:
+            return None
+        text = flight.trigger(
+            TRIGGER_SHUTDOWN, snapshot=self.registry.snapshot(), **fields)
+        self._publish_flight_gauges()
+        return text
+
     # -- history ring + alert rules (ISSUE 8) --------------------------
     @_locked
     def record_history(
@@ -870,6 +929,8 @@ class Observability:
         flight = self.debug_flight()
         if flight.get("enabled"):
             payload["flight"] = flight
+        for name, provider in self._debug_providers.items():
+            payload[name] = provider()
         payload["registry"] = snapshot
         return payload
 
@@ -938,6 +999,11 @@ class Observability:
             }
             if burn > 1.0:
                 payload["status"] = "failing"
+        for name, hook in self._health_hooks.items():
+            block = hook()
+            payload[name] = block
+            if isinstance(block, dict) and block.get("ok") is False:
+                payload["status"] = "failing"
         return payload
 
     @_locked
@@ -971,6 +1037,7 @@ class Observability:
 __all__ = [
     "ALL_SERIES",
     "CHAIN_STARTED",
+    "DAEMON_RULES",
     "DEFAULT_RULES",
     "DELTA_T_TIMEOUT",
     "EVENT_KINDS",
@@ -986,6 +1053,7 @@ __all__ = [
     "TRIGGER_DRIFT",
     "TRIGGER_QUARANTINE",
     "TRIGGER_REASONS",
+    "TRIGGER_SHUTDOWN",
     "AlertRule",
     "Counter",
     "DeadlineMonitor",
@@ -1015,6 +1083,7 @@ __all__ = [
     "StreamLag",
     "TOKEN_ADVANCED",
     "Tracer",
+    "daemon_ruleset",
     "default_ruleset",
     "diff_snapshots",
     "group_history_records",

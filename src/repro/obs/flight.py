@@ -42,9 +42,14 @@ TRIGGER_DEADLINE = "deadline_burn"
 TRIGGER_QUARANTINE = "quarantine_slo"
 TRIGGER_DRIFT = "discard_drift"
 TRIGGER_ALERT = "alert_rule"
+# Not an anomaly: the graceful-drain path (SIGTERM / daemon shutdown)
+# freezes the ring so the last moments of a run are never lost to a
+# clean exit racing an in-flight investigation.
+TRIGGER_SHUTDOWN = "shutdown"
 
 TRIGGER_REASONS = (
-    TRIGGER_DEADLINE, TRIGGER_QUARANTINE, TRIGGER_DRIFT, TRIGGER_ALERT)
+    TRIGGER_DEADLINE, TRIGGER_QUARANTINE, TRIGGER_DRIFT, TRIGGER_ALERT,
+    TRIGGER_SHUTDOWN)
 
 
 class FlightRecorder:

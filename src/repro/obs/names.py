@@ -99,6 +99,21 @@ DISCARD_CUSUM = "aarohi_scanner_discard_cusum"
 DISCARD_DRIFT_ALARM = "aarohi_scanner_discard_drift_alarm"
 DISCARD_DRIFT_TRIPPED = "aarohi_scanner_discard_drift_tripped"
 
+# -- fleet daemon (ISSUE 10): live-ingest service plane ----------------
+DAEMON_UPTIME_SECONDS = "aarohi_daemon_uptime_seconds"
+DAEMON_CONNECTIONS_ACTIVE = "aarohi_daemon_connections_active"
+DAEMON_CONNECTIONS_TOTAL = "aarohi_daemon_connections_total"
+DAEMON_LINES_RECEIVED = "aarohi_daemon_lines_received_total"
+DAEMON_BACKPRESSURE_STALLS = "aarohi_daemon_backpressure_stalls_total"
+DAEMON_QUEUE_CHUNKS = "aarohi_daemon_queue_chunks"
+DAEMON_SHARDS = "aarohi_daemon_shards"
+DAEMON_SHARDS_UP = "aarohi_daemon_shards_up"
+DAEMON_SHARDS_DOWN = "aarohi_daemon_shards_down"
+DAEMON_WORKER_DEATHS = "aarohi_daemon_worker_deaths_total"
+DAEMON_HANDOFFS = "aarohi_daemon_handoffs_total"
+DAEMON_CHAINS_RESTORED = "aarohi_daemon_chains_restored_total"
+DAEMON_TAIL_ROTATIONS = "aarohi_daemon_tail_rotations_total"
+
 # -- history ring + alert rules (ISSUE 8) ------------------------------
 HISTORY_CAPTURES = "aarohi_history_captures_total"
 HISTORY_SAMPLES = "aarohi_history_samples"

@@ -37,6 +37,9 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from .names import (
     ALL_SERIES,
+    DAEMON_BACKPRESSURE_STALLS,
+    DAEMON_HANDOFFS,
+    DAEMON_SHARDS_DOWN,
     DISCARD_DRIFT_TRIPPED,
     INGEST_QUARANTINE_BURN,
     PREDICTIONS,
@@ -384,6 +387,54 @@ DEFAULT_RULES: Tuple[dict, ...] = (
 
 def default_ruleset() -> List[AlertRule]:
     return [AlertRule.from_dict(dict(raw)) for raw in DEFAULT_RULES]
+
+
+# Service-plane rules for ``aarohi serve``: layered *on top of* the
+# default matrix (kept separate so batch runs never see shard series
+# that, for them, can only be absent).
+DAEMON_RULES: Tuple[dict, ...] = (
+    {
+        "id": "shard-down",
+        "series": DAEMON_SHARDS_DOWN,
+        "expr": "latest",
+        "op": ">=",
+        "threshold": 1.0,
+        "for": 0.0,
+        "severity": "page",
+        "summary": "a worker shard is down (takeover in progress)",
+    },
+    {
+        "id": "handoff-spike",
+        "series": DAEMON_HANDOFFS,
+        "expr": "increase",
+        "op": ">=",
+        "threshold": 3.0,
+        "window": 300.0,
+        "for": 0.0,
+        "severity": "warn",
+        "summary": "repeated shard handoffs — workers are crash-looping",
+    },
+    {
+        "id": "backpressure-sustained",
+        "series": DAEMON_BACKPRESSURE_STALLS,
+        "expr": "increase",
+        "op": ">",
+        "threshold": 0.0,
+        "window": 60.0,
+        "for": 30.0,
+        "severity": "warn",
+        "summary": "ingest running against the backpressure high-water",
+    },
+)
+
+
+def daemon_ruleset() -> List[AlertRule]:
+    """The default matrix plus the daemon's shard/handoff/backpressure
+    rules — what ``aarohi serve`` arms its RuleEngine with."""
+    return [
+        AlertRule.from_dict(dict(raw))
+        for raw in DEFAULT_RULES + DAEMON_RULES
+    ]
 
 
 class RuleState:

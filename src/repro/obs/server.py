@@ -45,14 +45,34 @@ from urllib.parse import parse_qs, urlsplit
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
+class _ReusableHTTPServer(ThreadingHTTPServer):
+    """``SO_REUSEADDR`` pinned on explicitly.
+
+    A daemon restart rebinds the same host:port while the previous
+    socket's connections linger in TIME_WAIT; without the flag the bind
+    fails with ``EADDRINUSE`` for up to 2·MSL.  ``http.server`` happens
+    to default this on today, but the restart path is a correctness
+    contract for ``aarohi serve`` — not something to inherit silently
+    from a stdlib default.
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+
 class ObsServer:
-    """Background HTTP server over one Observability instance."""
+    """Background HTTP server over one Observability instance.
+
+    ``port=0`` requests an ephemeral kernel-assigned port; the chosen
+    port is published on :attr:`port` (and by :meth:`start`'s return
+    value via :meth:`url`), so tests and parallel runs never race over
+    a fixed port.
+    """
 
     def __init__(self, obs, *, host: str = "127.0.0.1", port: int = 0):
         self.obs = obs
         handler = _make_handler(obs)
-        self._httpd = ThreadingHTTPServer((host, port), handler)
-        self._httpd.daemon_threads = True
+        self._httpd = _ReusableHTTPServer((host, port), handler)
         self.host, self.port = self._httpd.server_address[:2]
         self._thread: Optional[threading.Thread] = None
 
@@ -69,7 +89,12 @@ class ObsServer:
         return f"http://{self.host}:{self.port}{path}"
 
     def close(self) -> None:
-        self._httpd.shutdown()
+        if self._thread is not None:
+            # ``shutdown()`` handshakes with ``serve_forever`` and blocks
+            # forever if the loop never ran, so only a started server is
+            # shut down; a bound-but-unstarted one just closes its socket
+            # (the daemon's bind-then-fail error path hits this).
+            self._httpd.shutdown()
         self._httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5.0)

@@ -1,0 +1,208 @@
+"""Chain-state snapshot/restore (the worker-handoff API).
+
+The daemon survives worker death by serializing per-node matcher state
+and handing it to the replacement shard.  These tests prove the
+contract the handoff depends on: a restored engine is *byte-equivalent*
+to the uninterrupted one — the remaining stream produces identical
+predictions — and snapshots survive a JSON round trip.
+"""
+
+import json
+
+import pytest
+
+from repro.core import (
+    AarohiPredictor,
+    ChainSet,
+    FailureChain,
+    LogEvent,
+    PredictorFleet,
+)
+from repro.core.events import Severity
+from repro.core.matcher import ChainMatcher
+from repro.templates import TemplateStore
+
+
+def chains_fixture():
+    return ChainSet(
+        [
+            FailureChain("FC1", (176, 177, 178, 179, 180, 137)),
+            FailureChain("FC5", (172, 177, 178, 193, 137)),
+        ]
+    )
+
+
+@pytest.fixture
+def store():
+    s = TemplateStore()
+    s.add("alpha *", Severity.ERRONEOUS, token=176)
+    s.add("bravo *", Severity.UNKNOWN, token=177)
+    s.add("charlie *", Severity.UNKNOWN, token=178)
+    s.add("delta *", Severity.UNKNOWN, token=179)
+    s.add("echo *", Severity.ERRONEOUS, token=180)
+    s.add("foxtrot *", Severity.ERRONEOUS, token=137)
+    s.add("golf *", Severity.ERRONEOUS, token=172)
+    s.add("hotel *", Severity.UNKNOWN, token=193)
+    return s
+
+
+WORDS = {
+    176: "alpha x", 177: "bravo x", 178: "charlie x", 179: "delta x",
+    180: "echo x", 137: "foxtrot x", 172: "golf x", 193: "hotel x",
+}
+
+
+class TestChainMatcherSnapshot:
+    def test_idle_snapshot_is_none(self):
+        m = ChainMatcher(chains_fixture(), timeout=120)
+        assert m.state_snapshot() is None
+
+    def test_mid_chain_round_trip_continues_identically(self):
+        m = ChainMatcher(chains_fixture(), timeout=120)
+        control = ChainMatcher(chains_fixture(), timeout=120)
+        prefix = [(172, 0.0), (177, 1.0), (178, 2.0)]
+        for tok, t in prefix:
+            assert m.feed(tok, t) is None
+            assert control.feed(tok, t) is None
+        state = json.loads(json.dumps(m.state_snapshot()))
+        assert state == {
+            "chain": "FC5", "pos": 3, "last_time": 2.0, "start_time": 0.0,
+        }
+        fresh = ChainMatcher(chains_fixture(), timeout=120)
+        fresh.restore_state(state)
+        assert fresh.active_chain == "FC5"
+        assert fresh.position == 3
+        suffix = [(193, 3.0), (137, 4.0)]
+        for tok, t in suffix:
+            assert fresh.feed(tok, t) == control.feed(tok, t)
+
+    def test_restore_none_resets(self):
+        m = ChainMatcher(chains_fixture(), timeout=120)
+        m.feed(176, 0.0)
+        m.restore_state(None)
+        assert m.active_chain is None
+        assert m.state_snapshot() is None
+
+    def test_restore_preserves_timeout_clock(self):
+        # The ΔT window must continue from the snapshot's last-match
+        # time, not restart at the takeover.
+        m = ChainMatcher(chains_fixture(), timeout=10)
+        m.feed(172, 0.0)
+        fresh = ChainMatcher(chains_fixture(), timeout=10)
+        fresh.restore_state(m.state_snapshot())
+        # 11s gap > timeout: the inherited chain must reset.
+        assert fresh.feed(177, 11.0) is None
+        assert fresh.stats.resets_timeout == 1
+        assert fresh.active_chain is None
+
+    def test_unknown_chain_rejected(self):
+        m = ChainMatcher(chains_fixture(), timeout=120)
+        with pytest.raises(ValueError, match="unknown chain"):
+            m.restore_state(
+                {"chain": "FC9", "pos": 1, "last_time": 0.0, "start_time": 0.0})
+
+    def test_out_of_range_position_rejected(self):
+        m = ChainMatcher(chains_fixture(), timeout=120)
+        for pos in (0, 5, 7):
+            with pytest.raises(ValueError, match="out of range"):
+                m.restore_state({
+                    "chain": "FC5", "pos": pos,
+                    "last_time": 0.0, "start_time": 0.0,
+                })
+
+
+def _events(tokens, node="n1", t0=0.0, dt=1.0):
+    return [
+        LogEvent(time=t0 + i * dt, node=node, message=WORDS[tok])
+        for i, tok in enumerate(tokens)
+    ]
+
+
+@pytest.mark.parametrize("backend", ["matcher", "lalr"])
+class TestPredictorSnapshot:
+    def test_split_stream_equals_uninterrupted(self, store, backend):
+        chains = chains_fixture()
+        stream = _events([172, 177, 178, 193, 137, 176, 177, 178, 179, 180, 137])
+        control = AarohiPredictor.from_store(chains, store, backend=backend)
+        expected = [p for e in stream if (p := control.process(e))]
+        assert len(expected) == 2
+
+        for cut in range(len(stream)):
+            first = AarohiPredictor.from_store(chains, store, backend=backend)
+            got = [p for e in stream[:cut] if (p := first.process(e))]
+            state = first.state_snapshot()
+            if state is not None:
+                state = json.loads(json.dumps(state))  # must survive the wire
+            second = AarohiPredictor.from_store(chains, store, backend=backend)
+            second.restore_state(state)
+            got += [p for e in stream[cut:] if (p := second.process(e))]
+            assert [
+                (p.node, p.chain_id, p.flagged_at, p.matched_tokens)
+                for p in got
+            ] == [
+                (p.node, p.chain_id, p.flagged_at, p.matched_tokens)
+                for p in expected
+            ], f"divergence when splitting at event {cut}"
+
+    def test_idle_predictor_snapshot_is_none(self, store, backend):
+        predictor = AarohiPredictor.from_store(
+            chains_fixture(), store, backend=backend)
+        assert predictor.state_snapshot() is None
+
+    def test_backend_mismatch_rejected(self, store, backend):
+        other = "lalr" if backend == "matcher" else "matcher"
+        donor = AarohiPredictor.from_store(
+            chains_fixture(), store, backend=backend)
+        donor.process(_events([172])[0])
+        receiver = AarohiPredictor.from_store(
+            chains_fixture(), store, backend=other)
+        with pytest.raises(ValueError, match="backend"):
+            receiver.restore_state(donor.state_snapshot())
+
+
+@pytest.mark.parametrize("backend", ["matcher", "lalr"])
+class TestFleetSnapshot:
+    def test_only_mid_chain_nodes_ship(self, store, backend):
+        chains = chains_fixture()
+        fleet = PredictorFleet.from_store(chains, store, backend=backend)
+        # n1 completes a chain (idle afterwards); n2 stops mid-chain.
+        fleet.run(_events([172, 177, 178, 193, 137], node="n1"))
+        fleet.run(_events([176, 177], node="n2"))
+        state = fleet.state_snapshot()
+        assert state["backend"] == backend
+        assert set(state["nodes"]) == {"n2"}
+
+    def test_fleet_handoff_round_trip(self, store, backend):
+        chains = chains_fixture()
+        head = (
+            _events([172, 177], node="n1")
+            + _events([176, 177, 178], node="n2", t0=0.5)
+        )
+        tail = (
+            _events([178, 193, 137], node="n1", t0=2.0)
+            + _events([179, 180, 137], node="n2", t0=3.5)
+        )
+        control = PredictorFleet.from_store(chains, store, backend=backend)
+        expected = (
+            control.run(head).predictions + control.run(tail).predictions
+        )
+        assert {p.node for p in expected} == {"n1", "n2"}
+
+        first = PredictorFleet.from_store(chains, store, backend=backend)
+        got = list(first.run(head).predictions)
+        wire = json.loads(json.dumps(first.state_snapshot()))
+        second = PredictorFleet.from_store(chains, store, backend=backend)
+        assert second.restore_state(wire) == 2
+        got += second.run(tail).predictions
+        assert [
+            (p.node, p.chain_id, p.flagged_at, p.matched_tokens) for p in got
+        ] == [
+            (p.node, p.chain_id, p.flagged_at, p.matched_tokens)
+            for p in expected
+        ]
+
+    def test_fleet_backend_mismatch_rejected(self, store, backend):
+        other = "lalr" if backend == "matcher" else "matcher"
+        fleet = PredictorFleet.from_store(chains_fixture(), store, backend=backend)
+        with pytest.raises(ValueError, match="backend"):
+            fleet.restore_state({"backend": other, "nodes": {}})

@@ -224,6 +224,40 @@ class TestSortBuffer:
         out = buffer.flush()
         assert [e.message for e in out] == ["first", "second"]
 
+    def test_tie_at_emit_watermark_counts_late(self):
+        # Regression: an event whose timestamp *equals* the emit
+        # watermark must not re-enter the heap — its tie slot was
+        # already released, so buffering it again would emit it behind
+        # an already-emitted equal-timestamp event.  It is late.
+        stats = IngestStats()
+        buffer = SortBuffer(1.0, stats)
+        released = []
+        released += buffer.push(ev(2.0, msg="on-time"))
+        # High water 3.0 ⇒ watermark 2.0 ⇒ the 2.0 slot is emitted.
+        released += buffer.push(ev(3.0))
+        assert [e.time for e in released] == [2.0]
+        assert buffer._emitted_to == 2.0
+        # Equal-timestamp arrival displaced by exactly the horizon:
+        # emitted immediately (order still non-decreasing), counted
+        # late, never behind a later-timestamp heap release.
+        released += buffer.push(ev(2.0, msg="displaced"))
+        assert stats.late == 1
+        assert [e.time for e in released] == [2.0, 2.0]
+        released += buffer.flush()
+        assert [e.time for e in released] == [2.0, 2.0, 3.0]
+        times = [e.time for e in released]
+        assert times == sorted(times)
+
+    def test_tie_displacement_in_sorted_stream(self):
+        # The same boundary through the lazy wrapper: the duplicate
+        # timestamp arriving after its slot emitted comes out adjacent
+        # to its tie, not displaced behind later events.
+        stats = IngestStats()
+        out = list(sorted_stream(
+            (ev(t) for t in [2.0, 3.0, 2.0, 4.0]), 1.0, stats))
+        assert [e.time for e in out] == [2.0, 2.0, 3.0, 4.0]
+        assert stats.late == 1
+
     def test_len_and_flush(self):
         buffer = SortBuffer(10.0)
         for t in [1.0, 2.0, 3.0]:

@@ -107,6 +107,19 @@ class TestValidation:
         assert validate_rules(DEFAULT_RULES) == []
         assert len(default_ruleset()) == 4
 
+    def test_daemon_ruleset_extends_default(self):
+        from repro.obs.rules import DAEMON_RULES, daemon_ruleset
+
+        assert validate_rules(DEFAULT_RULES + DAEMON_RULES) == []
+        rules = daemon_ruleset()
+        ids = [r.id for r in rules]
+        # Layered, not replaced: the batch matrix still evaluates.
+        for rule in default_ruleset():
+            assert rule.id in ids
+        assert "shard-down" in ids
+        shard_down = next(r for r in rules if r.id == "shard-down")
+        assert shard_down.severity == "page"
+
     def test_load_rules_raises_on_problems(self):
         with pytest.raises(ValueError, match="invalid ruleset"):
             load_rules([burn_rule(expr="stddev")])

@@ -152,6 +152,31 @@ class TestFacadeTriggers:
         assert parsed["header"]["reason"] == TRIGGER_QUARANTINE
         assert parsed["snapshot"] is not None
 
+    def test_flush_shutdown_freezes_the_ring(self, tmp_path):
+        from repro.obs import Observability, TRIGGER_SHUTDOWN
+
+        obs = Observability(
+            flight=FlightRecorder(capacity=16, directory=tmp_path))
+        obs.flight.note("chunk", n=3)
+        text = obs.flush_shutdown(signal="SIGTERM")
+        assert text is not None
+        parsed = read_capsule(text)
+        assert parsed["header"]["reason"] == TRIGGER_SHUTDOWN
+        assert parsed["header"]["signal"] == "SIGTERM"
+        assert parsed["snapshot"] is not None
+        assert any(e["kind"] == "chunk" for e in parsed["events"])
+        # Written to the capsule directory like any anomaly capsule.
+        assert obs.flight.last_capsule_path is not None
+        assert obs.flight.last_capsule_path.exists()
+        # Sticky: a double drain writes exactly one capsule.
+        assert obs.flush_shutdown(signal="SIGTERM") is None
+        assert obs.flight.capsules == 1
+
+    def test_flush_shutdown_without_recorder_is_noop(self):
+        from repro.obs import Observability
+
+        assert Observability().flush_shutdown() is None
+
     def test_tracer_mirror_feeds_the_ring(self, tmp_path):
         import io
 

@@ -55,6 +55,37 @@ class TestMetricsEndpoint:
         with ObsServer(obs) as a, ObsServer(obs) as b:
             assert a.port != b.port
 
+    def test_ephemeral_bind_publishes_chosen_port(self, obs):
+        server = ObsServer(obs, port=0)
+        try:
+            assert server.port != 0
+            assert str(server.port) in server.url("/healthz")
+        finally:
+            server.close()
+
+    def test_restart_rebinds_same_port(self, obs):
+        # Daemon-restart contract: close with live TIME_WAIT remnants,
+        # then immediately rebind the identical host:port.  Without
+        # allow_reuse_address this raises EADDRINUSE.
+        first = ObsServer(obs).start()
+        port = first.port
+        fetch(first.url("/metrics"))  # leave a connection in TIME_WAIT
+        first.close()
+        second = ObsServer(obs, host=first.host, port=port).start()
+        try:
+            assert second.port == port
+            status, _, _ = fetch(second.url("/metrics"))
+            assert status == 200
+        finally:
+            second.close()
+
+    def test_reuse_address_is_explicit(self):
+        from repro.obs.server import _ReusableHTTPServer
+
+        # The restart path must not lean on the stdlib default.
+        assert "allow_reuse_address" in vars(_ReusableHTTPServer)
+        assert _ReusableHTTPServer.allow_reuse_address is True
+
 
 class TestHealthz:
     def test_healthy_fleet_returns_200(self, obs):
@@ -88,6 +119,33 @@ class TestHealthz:
             with pytest.raises(urllib.error.HTTPError) as excinfo:
                 fetch(server.url("/healthz"))
         assert excinfo.value.code == 503
+
+    def test_health_hook_block_and_gate(self, obs):
+        # The daemon mounts its service plane through a named hook:
+        # the block lands in the payload, and ok=False flips the probe.
+        obs.live.observe_prediction(0.001)
+        shard_state = {"ok": True, "shards": 2, "up": 2}
+        obs.add_health_hook("daemon", lambda: dict(shard_state))
+        with ObsServer(obs) as server:
+            _, _, body = fetch(server.url("/healthz"))
+            assert json.loads(body)["daemon"]["shards"] == 2
+            shard_state.update(ok=False, up=1)
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                fetch(server.url("/healthz"))
+            assert excinfo.value.code == 503
+            payload = json.loads(excinfo.value.read().decode("utf-8"))
+            assert payload["status"] == "failing"
+            assert payload["daemon"]["up"] == 1
+            shard_state.update(ok=True, up=2)  # recovery: probe goes green
+            status, _, body = fetch(server.url("/healthz"))
+            assert status == 200
+            assert json.loads(body)["status"] == "ok"
+
+    def test_debug_provider_block(self, obs):
+        obs.add_debug_provider("daemon", lambda: {"connections": 3})
+        with ObsServer(obs) as server:
+            _, _, body = fetch(server.url("/debug/vars"))
+        assert json.loads(body)["daemon"]["connections"] == 3
 
 
 class TestQualityEndpoint:
